@@ -1,0 +1,21 @@
+"""Table-rendering helper shared by the reproduction benchmarks."""
+
+from typing import Iterable, Sequence
+
+__all__ = ["print_table"]
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[str]]) -> None:
+    """Render an aligned text table to stdout (visible with pytest -s)."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,27 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark regenerates one table/figure of Chapter 5 and prints the
+paper's reported values next to the measured ones.  Benchmarks run under
+``pytest benchmarks/ --benchmark-only``; each measured computation runs
+exactly once (``benchmark.pedantic(..., rounds=1, iterations=1)``)
+because the workloads are deterministic and some are minutes-long.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.models import build_phone_model, build_tmr
+
+
+@pytest.fixture(scope="session")
+def tmr3():
+    return build_tmr(3)
+
+
+@pytest.fixture(scope="session")
+def phone():
+    return build_phone_model()

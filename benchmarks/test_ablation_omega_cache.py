@@ -1,0 +1,90 @@
+"""Ablation — the Omega memoization and the (k, j) class aggregation.
+
+The paper notes that many generated paths share the same ``(k, j)``
+characterization, so the conditional probability can be computed once
+per class (Section 4.4.2, last paragraph).  This benchmark quantifies
+both layers of sharing on the TMR(3) workload:
+
+* paths stored vs distinct ``(k, j)`` classes (aggregation factor);
+* Omega recursion nodes evaluated with the shared memo table vs the
+  cost of evaluating each class independently.
+"""
+
+import time
+
+from repro.check.until import until_probability
+from repro.numerics.orderstat import OmegaCalculator
+from repro.numerics.intervals import Interval
+
+from _bench_utils import print_table
+
+
+def test_omega_sharing(benchmark, tmr3):
+    sup = tmr3.states_with_label("Sup")
+    failed = tmr3.states_with_label("failed")
+
+    def run():
+        return until_probability(
+            tmr3, 3, sup, failed,
+            Interval.upto(400), Interval.upto(3000),
+            truncation_probability=1e-11, truncation="paper",
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    aggregation = result.paths_stored / max(result.classes, 1)
+    print_table(
+        "Ablation: path aggregation and Omega memoization (t=400, w=1e-11)",
+        ["metric", "value"],
+        [
+            ("paths generated", result.paths_generated),
+            ("paths stored (end in Psi)", result.paths_stored),
+            ("distinct (k, j) classes", result.classes),
+            ("aggregation factor", f"{aggregation:.1f}x"),
+            ("Omega nodes evaluated (shared memo)", result.omega_evaluations),
+        ],
+    )
+    # Aggregation must be substantial: thousands of stored paths per class.
+    assert aggregation > 10.0
+    # The shared memo evaluates far fewer nodes than classes * lattice size.
+    assert result.omega_evaluations < result.paths_stored
+
+
+def test_memoization_on_vs_off(benchmark):
+    """Direct micro-comparison: shared calculator vs fresh calculators."""
+    coefficients = [8.0, 6.0, 2.0, 0.0]
+    queries = []
+    for a in range(0, 12):
+        for b in range(0, 12):
+            queries.append((a, b, 6, 8))
+
+    def shared():
+        calculator = OmegaCalculator(coefficients, threshold=3.0)
+        return sum(calculator.value(q) for q in queries), calculator.evaluations
+
+    def fresh():
+        total = 0.0
+        evaluations = 0
+        for q in queries:
+            calculator = OmegaCalculator(coefficients, threshold=3.0)
+            total += calculator.value(q)
+            evaluations += calculator.evaluations
+        return total, evaluations
+
+    start = time.perf_counter()
+    shared_total, shared_evals = shared()
+    shared_time = time.perf_counter() - start
+    start = time.perf_counter()
+    fresh_total, fresh_evals = fresh()
+    fresh_time = time.perf_counter() - start
+
+    benchmark.pedantic(shared, rounds=1, iterations=1)
+    print_table(
+        "Ablation: Omega memo shared across queries vs per-query",
+        ["variant", "recursion nodes", "T (s)"],
+        [
+            ("shared memo", shared_evals, f"{shared_time:.4f}"),
+            ("fresh per query", fresh_evals, f"{fresh_time:.4f}"),
+        ],
+    )
+    assert abs(shared_total - fresh_total) < 1e-9
+    assert shared_evals < fresh_evals

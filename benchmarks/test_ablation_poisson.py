@@ -1,0 +1,71 @@
+"""Ablation — Poisson weight computation at growing Lambda * t.
+
+The paper's path engine uses the simple recursive scheme
+``P_i = (Lambda t / i) P_{i-1}`` (Algorithm 4.7), which underflows for
+large ``Lambda t``; the P1 engine uses Fox–Glynn instead.  This
+benchmark shows where the recursive scheme stops being usable and that
+Fox–Glynn stays accurate throughout.
+"""
+
+import math
+import time
+
+import pytest
+
+from repro.exceptions import NumericalError
+from repro.numerics.poisson import fox_glynn, poisson_weights
+
+from _bench_utils import print_table
+
+
+def test_poisson_schemes(benchmark):
+    rows = []
+
+    def run_all():
+        for lam_t in (1.0, 10.0, 100.0, 700.0, 2000.0, 20000.0):
+            depth = int(lam_t + 6 * math.sqrt(lam_t) + 20)
+            start = time.perf_counter()
+            try:
+                weights = poisson_weights(lam_t, depth)
+                recursive = f"{float(weights.sum()):.9f}"
+            except NumericalError:
+                recursive = "underflow"
+            recursive_time = time.perf_counter() - start
+
+            start = time.perf_counter()
+            fg = fox_glynn(lam_t, 1e-10)
+            fg_time = time.perf_counter() - start
+            rows.append(
+                (
+                    f"{lam_t:g}",
+                    recursive,
+                    f"{recursive_time * 1e3:.2f}",
+                    f"{float(fg.weights.sum()):.9f}",
+                    len(fg),
+                    f"{fg_time * 1e3:.2f}",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Ablation: recursive Poisson weights vs Fox-Glynn",
+        [
+            "Lambda*t",
+            "recursive mass",
+            "T (ms)",
+            "Fox-Glynn mass",
+            "window",
+            "T (ms)",
+        ],
+        rows,
+    )
+
+    by_lam = {row[0]: row for row in rows}
+    # The recursive scheme underflows somewhere past Lambda t ~ 700.
+    assert by_lam["2000"][1] == "underflow"
+    # Fox-Glynn retains ~unit mass everywhere.
+    for row in rows:
+        assert abs(float(row[3]) - 1.0) < 1e-6
+    # The Fox-Glynn window is o(Lambda t): it scales with the std dev.
+    assert by_lam["20000"][4] < 20000 / 4

@@ -1,0 +1,86 @@
+"""Ablation — truncation design choices of Section 4.4.2/4.6.
+
+Three decisions are compared on the TMR(3) workload:
+
+1. **path truncation (paper)** — Algorithm 4.7's literal test on
+   ``P(sigma, t)``; cheap but unsound for ``exp(-Lambda t)`` close to w
+   (Table 5.3's failure mode);
+2. **path truncation (safe)** — our sound variant testing the supremum
+   over extensions; slightly more work, never collapses;
+3. **depth truncation** — eq. (4.3): a fixed expansion depth N with no
+   probability test.
+
+Also compares the per-path DFS against the merged (state, k, j) dynamic
+programming at equal w.
+"""
+
+import time
+
+from repro.check.paths_engine import joint_distribution
+from repro.check.until import until_probability
+from repro.numerics.intervals import Interval
+
+from _bench_utils import print_table
+
+
+def test_truncation_modes(benchmark, tmr3):
+    sup = tmr3.states_with_label("Sup")
+    failed = tmr3.states_with_label("failed")
+    bounds = dict(time_bound=Interval.upto(450), reward_bound=Interval.upto(3000))
+    rows = []
+
+    # Pure depth truncation (w = 0) enumerates every path up to N, which
+    # explodes combinatorially in a per-path DFS; the paper combines it
+    # with conditioning, and we pair it with the merged DP (class counts
+    # stay polynomial in N) to isolate the depth-vs-probability choice.
+    configs = [
+        ("paper w=1e-11", dict(truncation_probability=1e-11, truncation="paper")),
+        ("safe  w=1e-11", dict(truncation_probability=1e-11, truncation="safe")),
+        ("paper w=1e-13", dict(truncation_probability=1e-13, truncation="paper")),
+        (
+            "depth N=40",
+            dict(truncation_probability=0.0, depth_limit=40, strategy="merged"),
+        ),
+        (
+            "depth N=80",
+            dict(truncation_probability=0.0, depth_limit=80, strategy="merged"),
+        ),
+        (
+            "merged w=1e-11",
+            dict(truncation_probability=1e-11, truncation="safe", strategy="merged"),
+        ),
+    ]
+
+    def run_all():
+        for name, kwargs in configs:
+            start = time.perf_counter()
+            result = until_probability(tmr3, 3, sup, failed, **bounds, **kwargs)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                (
+                    name,
+                    f"{result.probability:.8f}",
+                    f"{result.error_bound:.2e}",
+                    result.paths_generated,
+                    f"{elapsed:.3f}",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Ablation: truncation strategies on P(Sup U[0,450][0,3000] failed)",
+        ["config", "P", "error bound", "paths", "T (s)"],
+        rows,
+    )
+
+    by_name = {row[0]: row for row in rows}
+    # Safe truncation achieves a smaller error bound than paper's at equal w.
+    assert float(by_name["safe  w=1e-11"][2]) <= float(by_name["paper w=1e-11"][2])
+    # Deeper depth truncation converges toward the tight path-truncation value.
+    tight = float(by_name["paper w=1e-13"][1])
+    assert abs(float(by_name["depth N=80"][1]) - tight) < abs(
+        float(by_name["depth N=40"][1]) - tight
+    ) + 1e-12
+    # Merged DP visits far fewer nodes than the per-path DFS.
+    assert by_name["merged w=1e-11"][3] < by_name["safe  w=1e-11"][3]

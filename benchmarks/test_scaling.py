@@ -1,0 +1,110 @@
+"""Scaling study — how each P2 engine grows with the state space.
+
+The paper's Section 4.5.1/4.6.4 gives asymptotic costs; this benchmark
+measures them on the two-tier cluster model (compiled from the guarded-
+command language) as the machine counts grow:
+
+* per-path DFS (`strategy="paths"`) — cost follows the surviving path
+  count, which grows with fan-out and `Lambda * t`;
+* merged DP (`strategy="merged"`) — cost follows the `(state, k, j)`
+  class count, polynomial in the depth;
+* discretization — cost is `O(|S|^2 t (t - r) d^-2)`, insensitive to
+  branching but paying for the full reward grid.
+
+All three must agree within their reported analysis errors.
+"""
+
+import os
+import time
+
+from repro.check.until import until_probability
+from repro.lang.compiler import load_model
+from repro.numerics.intervals import Interval
+
+from _bench_utils import print_table
+
+MODELS = os.path.join(os.path.dirname(__file__), "..", "examples", "models")
+
+
+def _evaluate(compiled, engine_kwargs):
+    model = compiled.mrm
+    serving = model.states_with_label("serving")
+    down = model.states_with_label("down")
+    # Start from the most fragile serving state so the measured
+    # probability stays in a comparable range as the cluster grows.
+    fragile = compiled.state_index(fe=1, be=1)
+    start = time.perf_counter()
+    result = until_probability(
+        model,
+        fragile,
+        serving,
+        down,
+        Interval.upto(24.0),
+        Interval.upto(200.0),
+        **engine_kwargs,
+    )
+    return result, time.perf_counter() - start
+
+
+def test_engine_scaling(benchmark):
+    rows = []
+
+    def run_all():
+        for f, b in ((3, 2), (6, 4), (10, 8)):
+            compiled = load_model(
+                os.path.join(MODELS, "cluster.mrm"),
+                constants={"F": f, "B": b},
+            )
+            paths_result, paths_time = _evaluate(
+                compiled,
+                dict(truncation_probability=1e-7, strategy="paths"),
+            )
+            merged_result, merged_time = _evaluate(
+                compiled,
+                dict(truncation_probability=1e-7, strategy="merged"),
+            )
+            disc_result, disc_time = _evaluate(
+                compiled,
+                dict(engine="discretization", discretization_step=1 / 8),
+            )
+            agreement = max(
+                abs(paths_result.probability - merged_result.probability),
+                abs(merged_result.probability - disc_result.probability),
+            )
+            tolerance = (
+                paths_result.error_bound
+                + merged_result.error_bound
+                + 0.02  # first-order discretization slack at d = 1/8
+            )
+            assert agreement <= tolerance, (agreement, tolerance)
+            rows.append(
+                (
+                    f"F={f},B={b}",
+                    compiled.mrm.num_states,
+                    paths_result.paths_generated,
+                    f"{paths_time:.3f}",
+                    merged_result.paths_generated,
+                    f"{merged_time:.3f}",
+                    f"{disc_time:.3f}",
+                    f"{merged_result.probability:.6f}",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Scaling: P(serving U[0,24][0,200] down) per engine on the cluster model",
+        [
+            "config",
+            "states",
+            "paths DFS",
+            "T paths",
+            "merged classes",
+            "T merged",
+            "T disc",
+            "P",
+        ],
+        rows,
+    )
+    # Merged stays far below the per-path node count as the model grows.
+    assert rows[-1][4] < rows[-1][2]

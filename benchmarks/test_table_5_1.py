@@ -1,0 +1,75 @@
+"""Table 5.1 — discretization without impulse rewards.
+
+Paper setup: the [Hav02] case study (here: the calibrated substitute
+model, see DESIGN.md), formula
+``P((Call_Idle || Doze) U^{<=24}_{<=600} Call_Initiated)`` from state 1,
+discretization at d = 1/16, 1/32, 1/64.  The paper's values converge to
+the reference 0.49540399; ours converge to the independently computed
+uniformization reference of the substitute model (~0.49507).
+"""
+
+import time
+
+from repro.check.until import until_probability
+from repro.numerics.intervals import Interval
+
+from _bench_utils import print_table
+
+PAPER_ROWS = {
+    16: (0.49564786212263934, 7.990),
+    32: (0.49545079878452436, 65.858),
+    64: (0.49534976475617837, 518.674),
+}
+
+
+def _phi_psi(phone):
+    phi = phone.states_with_label("Call_Idle") | phone.states_with_label("Doze")
+    psi = phone.states_with_label("Call_Initiated")
+    return phi, psi
+
+
+def test_table_5_1(benchmark, phone):
+    phi, psi = _phi_psi(phone)
+    bounds = dict(time_bound=Interval.upto(24), reward_bound=Interval.upto(600))
+
+    reference = until_probability(
+        phone, 0, phi, psi, truncation_probability=1e-12, strategy="merged",
+        **bounds,
+    )
+
+    rows = []
+
+    def run_sweep():
+        for denominator in (16, 32, 64):
+            start = time.perf_counter()
+            result = until_probability(
+                phone, 0, phi, psi, engine="discretization",
+                discretization_step=1.0 / denominator, **bounds,
+            )
+            elapsed = time.perf_counter() - start
+            paper_value, paper_time = PAPER_ROWS[denominator]
+            rows.append(
+                (
+                    f"1/{denominator}",
+                    f"{result.probability:.10f}",
+                    f"{paper_value:.10f}",
+                    f"{elapsed:.3f}",
+                    f"{paper_time:.1f}",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "Table 5.1: Pr{Y(24) <= 600, X(24) |= Call_Initiated} by discretization",
+        ["d", "P (ours)", "P (paper)", "T ours (s)", "T paper (s)"],
+        rows,
+    )
+    print(
+        f"reference (ours, uniformization): {reference.probability:.8f} "
+        f"+- {reference.error_bound:.1e}   [Hav02] reference: 0.49540399"
+    )
+    # Convergence toward the reference as d halves.
+    values = [float(row[1]) for row in rows]
+    errors = [abs(v - reference.probability) for v in values]
+    assert errors[2] < errors[0]

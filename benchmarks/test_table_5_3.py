@@ -1,0 +1,85 @@
+"""Table 5.3 / Figure 5.3 — constant truncation probability w = 1e-11.
+
+Paper setup: TMR(3), formula ``P(Sup U^{<=t}_{<=3000} failed)`` from the
+all-up state, t = 50..500, the literal Algorithm 4.7 truncation.  The
+paper's observations, all reproduced here:
+
+* P grows roughly linearly with t while the error bound E is small;
+* past t ~ 400 the error bound blows up from ~1e-7 to ~1e-2 (the term
+  ``exp(-Lambda t)`` approaches w, so path generation truncates early);
+* computation time T grows superlinearly with t even at fixed w
+  (Figure 5.3).
+"""
+
+import time
+
+from repro.check.until import until_probability
+from repro.numerics.intervals import Interval
+
+from _bench_utils import print_table
+
+#: t -> (P, E, T seconds) as printed in Table 5.3.
+PAPER_ROWS = {
+    50: (0.005087386344177422, 2.4358698148888235e-9, 0.01),
+    100: (0.010200965534212462, 1.2515341178826049e-8, 0.02),
+    150: (0.015292345758962047, 3.082240323341275e-8, 0.04),
+    200: (0.020357846035241836, 9.586925654419818e-8, 0.08),
+    250: (0.025397296769503298, 2.23071030162702e-7, 0.161),
+    300: (0.0304108011763401, 3.719970665306907e-7, 0.29),
+    350: (0.035398424356873154, 8.059405465802234e-7, 0.481),
+    400: (0.037778881862768586, 1.8187796388985496e-5, 0.791),
+    450: (0.035702997386052426, 2.09565155821465e-3, 1.142),
+    500: (0.033399142731982794, 1.19809420907302e-2, 1.512),
+}
+
+
+def test_table_5_3(benchmark, tmr3):
+    sup = tmr3.states_with_label("Sup")
+    failed = tmr3.states_with_label("failed")
+    rows = []
+    series = {"t": [], "T": [], "E": []}
+
+    def run_sweep():
+        for t in sorted(PAPER_ROWS):
+            start = time.perf_counter()
+            result = until_probability(
+                tmr3, 3, sup, failed,
+                Interval.upto(t), Interval.upto(3000),
+                truncation_probability=1e-11, truncation="paper",
+            )
+            elapsed = time.perf_counter() - start
+            paper_p, paper_e, paper_t = PAPER_ROWS[t]
+            rows.append(
+                (
+                    t,
+                    f"{result.probability:.9f}",
+                    f"{paper_p:.9f}",
+                    f"{result.error_bound:.3e}",
+                    f"{paper_e:.3e}",
+                    f"{elapsed:.3f}",
+                    f"{paper_t:.3f}",
+                )
+            )
+            series["t"].append(t)
+            series["T"].append(elapsed)
+            series["E"].append(result.error_bound)
+        return rows
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "Table 5.3: P(Sup U[0,t][0,3000] failed), w = 1e-11 (truncation='paper')",
+        ["t", "P (ours)", "P (paper)", "E (ours)", "E (paper)", "T ours", "T paper"],
+        rows,
+    )
+    print("Figure 5.3 series (T vs t):", [f"{v:.3f}" for v in series["T"]])
+    print("Figure 5.3 series (E vs t):", [f"{v:.2e}" for v in series["E"]])
+
+    # Shape assertions from the paper's discussion.
+    errors = series["E"]
+    assert errors[-1] > 1e-3, "error bound must blow up at t = 500"
+    assert errors[0] < 1e-7, "error bound must be tiny at t = 50"
+    # P at small/medium t matches the paper closely (rates fully known).
+    assert abs(float(rows[0][1]) - PAPER_ROWS[50][0]) < 1e-6
+    assert abs(float(rows[3][1]) - PAPER_ROWS[200][0]) < 1e-6
+    # Superlinear growth of T: the last step costs more than the first.
+    assert series["T"][-1] > series["T"][0]

@@ -1,0 +1,92 @@
+"""Table 5.5 / Figure 5.4 — reaching the fully operational state,
+constant failure rates.
+
+Paper setup: 11-module TMR, formula ``P(tt U^{<=100}_{<=2000} allUp)``
+from every starting state n = 0..10 working modules, w = 1e-8.
+Observations reproduced:
+
+* P rises monotonically from ~5e-3 (n = 0) to ~0.98 (n = 10), crossing
+  0.5 between n = 6 and n = 7;
+* the computation time falls as n grows (fewer, more probable paths
+  reach allUp) — Figure 5.4.
+
+Rewards are the calibrated TMR11 values (the thesis gives none); see
+DESIGN.md substitution 2.
+"""
+
+import time
+
+from repro.check.until import until_probability
+from repro.models import build_tmr
+from repro.models.tmr import TMR11_REWARDS
+from repro.numerics.intervals import Interval
+
+from _bench_utils import print_table
+
+#: n -> (P, E, T seconds) as printed in Table 5.5.
+PAPER_ROWS = {
+    0: (0.00482952588914756, 4.05866323902596e-4, 0.381),
+    1: (0.0068486521925764, 4.19455701443569e-4, 0.481),
+    2: (0.0131488893307554, 3.82813317721167e-4, 0.42),
+    3: (0.0307864803541378, 3.01314786268715e-4, 0.401),
+    4: (0.0735906999244802, 2.44049258515375e-4, 0.35),
+    5: (0.161653274832831, 1.66495488214506e-4, 0.261),
+    6: (0.311639369763902, 1.20696967385326e-4, 0.23),
+    7: (0.516966415983422, 7.02115774733882e-5, 0.11),
+    8: (0.733673548795558, 3.47684889215192e-5, 0.06),
+    9: (0.899015328912742, 1.64366888658804e-5, 0.03),
+    10: (0.980329681725223, 4.57035775880327e-6, 0.01),
+}
+
+
+def run_sweep(model, rows, series):
+    allup = model.states_with_label("allUp")
+    everything = set(range(model.num_states))
+    for n in sorted(PAPER_ROWS):
+        start = time.perf_counter()
+        result = until_probability(
+            model, n, everything, allup,
+            Interval.upto(100), Interval.upto(2000),
+            truncation_probability=1e-8, truncation="paper",
+        )
+        elapsed = time.perf_counter() - start
+        paper_p, paper_e, paper_t = PAPER_ROWS[n]
+        rows.append(
+            (
+                n,
+                f"{result.probability:.6f}",
+                f"{paper_p:.6f}",
+                f"{result.error_bound:.2e}",
+                f"{paper_e:.2e}",
+                f"{elapsed:.3f}",
+                f"{paper_t:.3f}",
+            )
+        )
+        series.append((n, result.probability, elapsed))
+    return rows
+
+
+def test_table_5_5(benchmark):
+    model = build_tmr(11, rewards=TMR11_REWARDS)
+    rows = []
+    series = []
+    benchmark.pedantic(run_sweep, args=(model, rows, series), rounds=1, iterations=1)
+    print_table(
+        "Table 5.5: P(tt U[0,100][0,2000] allUp), constant failure rates, w = 1e-8",
+        ["n", "P (ours)", "P (paper)", "E (ours)", "E (paper)", "T ours", "T paper"],
+        rows,
+    )
+    print("Figure 5.4 series (P vs n):", [f"{p:.4f}" for _, p, _ in series])
+    print("Figure 5.4 series (T vs n):", [f"{t:.3f}" for _, _, t in series])
+
+    probabilities = [p for _, p, _ in series]
+    times = [t for _, _, t in series]
+    # Monotone increase over the number of working modules.
+    assert all(a < b for a, b in zip(probabilities, probabilities[1:]))
+    # Same endpoints as the paper, same crossover region.
+    assert probabilities[0] < 0.02
+    assert probabilities[10] > 0.95
+    crossover = next(n for n, p, _ in series if p > 0.5)
+    assert 5 <= crossover <= 8  # paper: between n = 6 and n = 7
+    # Computation time falls with n (Figure 5.4's right axis).
+    assert times[10] < times[0]

@@ -1,0 +1,93 @@
+"""Table 5.7 / Figure 5.5 — reaching the fully operational state,
+variable failure rates.
+
+Same setup as Table 5.5 but the module failure rate from a state with
+``i`` working modules is ``i * 0.0004`` (Table 5.6).  Observations
+reproduced:
+
+* every probability is lower than its constant-rate counterpart of
+  Table 5.5;
+* the computation time is higher (more failure transitions carry
+  non-negligible probability, widening the explored path set).
+"""
+
+import time
+
+from repro.check.until import until_probability
+from repro.models import TMRParameters, build_tmr
+from repro.models.tmr import TMR11_REWARDS
+from repro.numerics.intervals import Interval
+
+from _bench_utils import print_table
+
+#: n -> (P, E, T seconds) as printed in Table 5.7.
+PAPER_ROWS = {
+    0: (0.00477909028870443, 6.38697324029973e-4, 0.49),
+    1: (0.00664628290706118, 7.20798178315112e-4, 0.571),
+    2: (0.0124264528171119, 7.33708127644168e-4, 0.621),
+    3: (0.0285473649414625, 7.07105529376643e-4, 0.62),
+    4: (0.0676727123697789, 6.27622240550083e-4, 0.611),
+    5: (0.14851270909792, 5.35659168600983e-4, 0.521),
+    6: (0.287706855662473, 4.10240541832982e-4, 0.4),
+    7: (0.482315748557532, 2.99067173956765e-4, 0.3),
+    8: (0.695701644333058, 1.78056305155566e-4, 0.18),
+    9: (0.87014207211784, 9.35552614283647e-5, 0.091),
+    10: (0.968076165457539, 3.27905198638695e-5, 0.04),
+}
+
+
+def test_table_5_7(benchmark):
+    constant = build_tmr(11, rewards=TMR11_REWARDS)
+    variable = build_tmr(
+        11, TMRParameters(variable_failure_rates=True), rewards=TMR11_REWARDS
+    )
+    allup = variable.states_with_label("allUp")
+    everything = set(range(variable.num_states))
+    bounds = dict(
+        time_bound=Interval.upto(100),
+        reward_bound=Interval.upto(2000),
+        truncation_probability=1e-8,
+        truncation="paper",
+    )
+    rows = []
+    series = []
+
+    def run_sweep():
+        for n in sorted(PAPER_ROWS):
+            start = time.perf_counter()
+            result = until_probability(variable, n, everything, allup, **bounds)
+            elapsed = time.perf_counter() - start
+            p_constant = until_probability(
+                constant, n, everything, allup, **bounds
+            ).probability
+            paper_p, paper_e, paper_t = PAPER_ROWS[n]
+            rows.append(
+                (
+                    n,
+                    f"{result.probability:.6f}",
+                    f"{paper_p:.6f}",
+                    f"{result.error_bound:.2e}",
+                    f"{paper_e:.2e}",
+                    f"{elapsed:.3f}",
+                    f"{paper_t:.3f}",
+                )
+            )
+            series.append((n, result.probability, p_constant, elapsed))
+        return rows
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "Table 5.7: P(tt U[0,100][0,2000] allUp), variable failure rates, w = 1e-8",
+        ["n", "P (ours)", "P (paper)", "E (ours)", "E (paper)", "T ours", "T paper"],
+        rows,
+    )
+    print("Figure 5.5 series (P vs n):", [f"{p:.4f}" for _, p, _, _ in series])
+    print("Figure 5.5 series (T vs n):", [f"{t:.3f}" for _, _, _, t in series])
+
+    # The paper's headline comparison: variable rates suppress P at every
+    # n with at least one working module that can fail.
+    for n, p_variable, p_constant, _ in series:
+        if n >= 1:
+            assert p_variable <= p_constant + 1e-12, f"ordering violated at n={n}"
+    probabilities = [p for _, p, _, _ in series]
+    assert all(a < b for a, b in zip(probabilities, probabilities[1:]))

@@ -1,0 +1,60 @@
+"""The tool workflow of the paper's appendix: files in, verdicts out.
+
+Writes the WaveLAN MRM as a ``.tra/.lab/.rewr/.rewi`` bundle, reloads
+it, checks a formula through the library API, and finally drives the
+``mrmc-impulse`` CLI entry point in-process on the same files —
+mirroring::
+
+    java checker/MRMChecker *.tra *.lab *.rewr *.rewi [{u|d}=f] [NP]
+
+Run:  python examples/files_and_cli.py
+"""
+
+import tempfile
+
+from repro import ModelChecker, load_mrm, save_mrm
+from repro.cli.main import main as mrmc_impulse
+from repro.models import build_wavelan_modem
+
+
+def run() -> None:
+    model = build_wavelan_modem()
+    with tempfile.TemporaryDirectory() as directory:
+        paths = save_mrm(model, directory, "wavelan")
+        print("wrote model bundle:")
+        for kind, path in paths.items():
+            print(f"  .{kind:<5} {path}")
+        print()
+
+        with open(paths["tra"]) as handle:
+            print("head of the .tra file:")
+            for line in list(handle)[:5]:
+                print("  " + line.rstrip())
+        print()
+
+        reloaded = load_mrm(paths["tra"], paths["lab"], paths["rewr"], paths["rewi"])
+        checker = ModelChecker(reloaded)
+        result = checker.check("P(>0.1) [idle U[0,2][0,2000] busy]")
+        print(f"library check: {result.formula}")
+        print(f"  satisfying states (0-based): {sorted(result.states)}")
+        print()
+
+        print("CLI run (uniformization, w = 1e-10):")
+        status = mrmc_impulse(
+            [
+                paths["tra"],
+                paths["lab"],
+                paths["rewr"],
+                paths["rewi"],
+                "u=1e-10",
+                "--formula",
+                "P(>0.1) [idle U[0,2][0,2000] busy]",
+                "--formula",
+                "S(>=0) busy",
+            ]
+        )
+        print(f"CLI exit status: {status}")
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,91 @@
+"""Maintenance-window analysis with the interval-until extension.
+
+The paper's algorithms support time bounds of the form [0, t]; its
+Chapter 6 lists general intervals as future work.  This library
+implements them for reward-unbounded until (two-phase uniformization),
+which enables *window* questions: not "does the system fail within t"
+but "does the failure land inside a given maintenance window [t1, t2]"
+— the case where a failure would be caught immediately.
+
+The study also uses the expected-reward extension to budget the
+resources consumed up to the window.
+
+Run:  python examples/maintenance_windows.py
+"""
+
+import numpy as np
+
+from repro.check.until import (
+    interval_until_probabilities,
+    time_bounded_until_probabilities,
+)
+from repro.models import build_tmr
+from repro.performability.expected import (
+    expected_accumulated_reward,
+    long_run_reward_rate,
+)
+
+
+def failure_window_study() -> None:
+    model = build_tmr(3)
+    sup = model.states_with_label("Sup")
+    failed = model.states_with_label("failed")
+    start = 3  # all modules working
+
+    print("TMR(3): probability the first failure lands in a window")
+    print(f"{'window (h)':>14}  {'P(failure in window)':>21}")
+    windows = [(0, 100), (100, 200), (200, 300), (300, 400), (0, 400)]
+    total = 0.0
+    for t1, t2 in windows[:-1]:
+        from repro.numerics.intervals import Interval
+
+        values = interval_until_probabilities(
+            model, sup, failed, Interval(float(t1), float(t2))
+        )
+        print(f"{f'[{t1},{t2}]':>14}  {values[start]:>21.8f}")
+        total += values[start]
+    from repro.numerics.intervals import Interval
+
+    full = interval_until_probabilities(model, sup, failed, Interval(0.0, 400.0))
+    print(f"{'[0,400]':>14}  {full[start]:>21.8f}")
+    # Windows of the first-passage event partition the horizon: the sum
+    # over disjoint windows equals the full-horizon probability, because
+    # once failed, the transformed process never returns.
+    print(f"{'sum of windows':>14}  {total:>21.8f}")
+    print()
+
+
+def staffing_question() -> None:
+    """Would an unstaffed night shift (hours 0-12) be risky?"""
+    model = build_tmr(3)
+    sup = model.states_with_label("Sup")
+    failed = model.states_with_label("failed")
+    from repro.numerics.intervals import Interval
+
+    night = interval_until_probabilities(model, sup, failed, Interval(0.0, 12.0))
+    day = interval_until_probabilities(model, sup, failed, Interval(12.0, 24.0))
+    print("failure probability per 12 h shift (from all-up):")
+    print(f"  night [0,12):  {night[3]:.3e}")
+    print(f"  day  [12,24):  {day[3]:.3e}")
+    print()
+
+
+def resource_budgeting() -> None:
+    model = build_tmr(3)
+    initial = np.zeros(model.num_states)
+    initial[3] = 1.0
+    print("expected resources consumed (state rewards + repair impulses):")
+    for horizon in (100.0, 200.0, 400.0):
+        expected = expected_accumulated_reward(model, initial, horizon)
+        print(f"  E[Y({horizon:g})] = {expected:10.2f}")
+    rate = long_run_reward_rate(model, initial)
+    print(f"  long-run rate: {rate:.4f} per hour")
+    print("  (the Table 5.3 bound r = 3000 is hit near t ~"
+          f" {3000 / rate:.0f} h on average, matching the saturation"
+          " of Table 5.4)")
+
+
+if __name__ == "__main__":
+    failure_window_study()
+    staffing_question()
+    resource_budgeting()

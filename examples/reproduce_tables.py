@@ -1,0 +1,48 @@
+"""Regenerate the paper's tables without pytest.
+
+Uses the :mod:`repro.experiments` sweeps at reduced ranges so the whole
+script finishes in well under a minute; pass ``--full`` for the paper's
+exact parameters (several minutes, matching ``benchmarks/``).
+
+Run:  python examples/reproduce_tables.py [--full]
+"""
+
+import sys
+
+from repro.experiments import table_5_1, table_5_3, table_5_5, table_5_8
+
+
+def main() -> None:
+    full = "--full" in sys.argv[1:]
+
+    print("Table 5.1 — discretization on the phone workload")
+    steps = (1 / 16, 1 / 32, 1 / 64) if full else (1 / 8, 1 / 16)
+    for row in table_5_1(steps=steps):
+        print(f"  d = 1/{int(1 / row.step):<3}  P = {row.probability:.10f}"
+              f"  ({row.seconds:.2f}s)")
+    print("  (reference ~0.49507; [Hav02]: 0.49540399)\n")
+
+    print("Table 5.3 — constant truncation probability")
+    times = (50, 100, 150, 200, 250, 300, 350, 400, 450, 500) if full else (50, 150, 250)
+    w = 1e-11 if full else 1e-9
+    for row in table_5_3(times=times, truncation_probability=w):
+        print(f"  t = {row.time_bound:<4g}  P = {row.probability:.9f}"
+              f"  E = {row.error_bound:.2e}  paths = {row.paths_generated:<8}"
+              f"  ({row.seconds:.2f}s)")
+    print()
+
+    print("Table 5.5 — reaching allUp on the 11-module system")
+    starts = tuple(range(11)) if full else (0, 5, 10)
+    for row in table_5_5(starts=starts):
+        print(f"  n = {row.working_modules:<2}  P = {row.probability:.6f}"
+              f"  E = {row.error_bound:.2e}  ({row.seconds:.2f}s)")
+    print()
+
+    print("Table 5.8 — discretization on the TMR formula (d = 0.25)")
+    times = (50, 100, 150, 200) if full else (50, 100)
+    for t, probability, seconds in table_5_8(times=times):
+        print(f"  t = {t:<4g}  P = {probability:.12f}  ({seconds:.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Dependability analysis of the triple-modular redundant system.
+
+Reproduces the spirit of the paper's Chapter 5 study interactively:
+
+* the probability of system failure within a mission time, under a
+  resource (reward) budget — the Table 5.3/5.4 formula — computed with
+  BOTH numerical engines and cross-validated;
+* the sensitivity of the repair story to the number of modules — the
+  Table 5.5 formula on a smaller sweep;
+* the effect of the truncation probability w on accuracy and work.
+
+Run:  python examples/tmr_dependability.py
+"""
+
+from repro.check.until import until_probability
+from repro.models import build_tmr
+from repro.numerics.intervals import Interval
+
+
+def failure_probability_study() -> None:
+    model = build_tmr(3)
+    sup = model.states_with_label("Sup")
+    failed = model.states_with_label("failed")
+    print("TMR(3): P(Sup U[0,t][0,3000] failed) from the all-up state")
+    print(f"{'t':>5}  {'uniformization':>15}  {'discretization':>15}  {'error bound':>12}")
+    for t in (50, 100, 200):
+        uniform = until_probability(
+            model, 3, sup, failed, Interval.upto(t), Interval.upto(3000),
+            truncation_probability=1e-11,
+        )
+        disc = until_probability(
+            model, 3, sup, failed, Interval.upto(t), Interval.upto(3000),
+            engine="discretization", discretization_step=0.25,
+        )
+        print(
+            f"{t:>5}  {uniform.probability:>15.9f}  {disc.probability:>15.9f}"
+            f"  {uniform.error_bound:>12.2e}"
+        )
+    print()
+
+
+def repair_capacity_study() -> None:
+    from repro.models.tmr import TMR11_REWARDS
+
+    model = build_tmr(11, rewards=TMR11_REWARDS)
+    allup = model.states_with_label("allUp")
+    everything = set(range(model.num_states))
+    print("TMR(11): P(tt U[0,100][0,2000] allUp) per starting state")
+    print(f"{'working':>8}  {'P':>10}  {'paths':>9}")
+    for n in (0, 3, 6, 9, 10):
+        result = until_probability(
+            model, n, everything, allup, Interval.upto(100), Interval.upto(2000),
+            truncation_probability=1e-8,
+        )
+        print(f"{n:>8}  {result.probability:>10.6f}  {result.paths_generated:>9}")
+    print()
+
+
+def truncation_study() -> None:
+    model = build_tmr(3)
+    sup = model.states_with_label("Sup")
+    failed = model.states_with_label("failed")
+    print("Truncation probability w vs accuracy/work (t = 300)")
+    print(f"{'w':>8}  {'P':>12}  {'error bound':>12}  {'paths':>9}")
+    for w in (1e-6, 1e-8, 1e-10, 1e-12):
+        result = until_probability(
+            model, 3, sup, failed, Interval.upto(300), Interval.upto(3000),
+            truncation_probability=w,
+        )
+        print(
+            f"{w:>8.0e}  {result.probability:>12.9f}"
+            f"  {result.error_bound:>12.2e}  {result.paths_generated:>9}"
+        )
+
+
+if __name__ == "__main__":
+    failure_probability_study()
+    repair_capacity_study()
+    truncation_study()

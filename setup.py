@@ -1,0 +1,7 @@
+"""Legacy shim so `python setup.py develop` works in offline
+environments lacking the `wheel` package (PEP 517 editable installs
+need it); configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

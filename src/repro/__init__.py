@@ -1,0 +1,116 @@
+"""Model checking Markov reward models with impulse rewards.
+
+A from-scratch reproduction of *Model Checking Markov Reward Models with
+Impulse Rewards* (Khattri & Pulungan, University of Twente, 2004; the
+thesis behind the DSN 2005 paper by Cloth, Katoen, Khattri & Pulungan).
+
+Public surface
+--------------
+Models
+    :class:`CTMC`, :class:`DTMC`, :class:`MRM`, :class:`TimedPath`
+Logic
+    :func:`parse_formula` and the AST constructors in :mod:`repro.logic`
+Checking
+    :class:`ModelChecker` (everything), plus the per-operator functions
+    in :mod:`repro.check`
+Performability
+    :func:`accumulated_reward_distribution`
+I/O
+    :func:`load_mrm` / :func:`save_mrm` for the ``.tra/.lab/.rewr/.rewi``
+    bundle; the ``mrmc-impulse`` CLI (``python -m repro.cli.main``)
+Examples
+    Ready-made models in :mod:`repro.models`
+
+Quickstart
+----------
+>>> from repro import ModelChecker
+>>> from repro.models import build_wavelan_modem
+>>> checker = ModelChecker(build_wavelan_modem())
+>>> result = checker.check("P(>0.5) [TT U[0,600][0,50000] busy]")
+>>> sorted(result.states)  # doctest: +SKIP
+[0, 1, 2, 3, 4]
+"""
+
+from repro.check.checker import CheckOptions, ModelChecker
+from repro.check.results import SatResult, UntilResult
+from repro.ctmc.chain import CTMC
+from repro.dtmc.chain import DTMC
+from repro.exceptions import (
+    CheckError,
+    ConvergenceError,
+    FileFormatError,
+    FormulaError,
+    LabelingError,
+    ModelError,
+    NumericalError,
+    ParseError,
+    ReproError,
+    RewardError,
+)
+from repro.io.bundle import load_mrm, save_mrm
+from repro.lang.compiler import CompiledModel, compile_model, load_model
+from repro.logic.parser import parse_formula
+from repro.mrm.builder import MRMBuilder
+from repro.mrm.lumping import LumpingResult, lump
+from repro.mrm.model import MRM, UniformizedMRM
+from repro.mrm.paths import TimedPath, UniformizedPath
+from repro.numerics.intervals import Interval
+from repro.performability.distribution import (
+    accumulated_reward_cdf,
+    accumulated_reward_distribution,
+)
+from repro.performability.expected import (
+    expected_accumulated_reward,
+    expected_reward_rate,
+    long_run_reward_rate,
+)
+from repro.simulation.simulator import MRMSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # models
+    "CTMC",
+    "DTMC",
+    "MRM",
+    "MRMBuilder",
+    "lump",
+    "LumpingResult",
+    "UniformizedMRM",
+    "TimedPath",
+    "UniformizedPath",
+    "Interval",
+    # logic
+    "parse_formula",
+    # checking
+    "ModelChecker",
+    "CheckOptions",
+    "SatResult",
+    "UntilResult",
+    # performability
+    "accumulated_reward_distribution",
+    "accumulated_reward_cdf",
+    "expected_accumulated_reward",
+    "expected_reward_rate",
+    "long_run_reward_rate",
+    "MRMSimulator",
+    # I/O
+    "load_mrm",
+    "save_mrm",
+    # modeling language
+    "compile_model",
+    "load_model",
+    "CompiledModel",
+    # errors
+    "ReproError",
+    "ModelError",
+    "LabelingError",
+    "RewardError",
+    "FormulaError",
+    "ParseError",
+    "CheckError",
+    "NumericalError",
+    "ConvergenceError",
+    "FileFormatError",
+]

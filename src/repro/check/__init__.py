@@ -1,0 +1,36 @@
+"""Model-checking algorithms for CSRL over MRMs (Chapter 4 of the paper)."""
+
+from repro.check.checker import CheckOptions, ModelChecker
+from repro.check.results import NextResult, SatResult, SteadyResult, UntilResult
+from repro.check.steady import satisfy_steady, steady_state_values
+from repro.check.next_op import next_probabilities, satisfy_next
+from repro.check.until import (
+    interval_until_probabilities,
+    satisfy_until,
+    unbounded_until_probabilities,
+    time_bounded_until_probabilities,
+    until_probability,
+)
+from repro.check.paths_engine import PathEngineResult, joint_distribution
+from repro.check.discretization import discretized_joint_distribution
+
+__all__ = [
+    "ModelChecker",
+    "CheckOptions",
+    "SatResult",
+    "SteadyResult",
+    "NextResult",
+    "UntilResult",
+    "satisfy_steady",
+    "steady_state_values",
+    "satisfy_next",
+    "next_probabilities",
+    "satisfy_until",
+    "until_probability",
+    "unbounded_until_probabilities",
+    "interval_until_probabilities",
+    "time_bounded_until_probabilities",
+    "joint_distribution",
+    "PathEngineResult",
+    "discretized_joint_distribution",
+]

@@ -1,0 +1,270 @@
+"""The model-checking procedure (Section 4.1, Algorithm 4.1).
+
+:class:`ModelChecker` binds an MRM to the per-operator algorithms.  A
+formula's value is the set of states that satisfy it; the checker walks
+the parse tree post-order (sub-formulas first), caching the satisfying
+set of every sub-formula, exactly as ``SatisfyStateFormula`` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.check.next_op import satisfy_next
+from repro.check.results import SatResult
+from repro.check.steady import satisfy_steady
+from repro.check.until import satisfy_until
+from repro.exceptions import CheckError, FormulaError
+from repro.logic.ast import (
+    And,
+    Atomic,
+    Comparison,
+    FalseFormula,
+    Formula,
+    Implies,
+    Next,
+    Not,
+    Or,
+    PathFormula,
+    Prob,
+    StateFormula,
+    Steady,
+    TrueFormula,
+    Until,
+)
+from repro.logic.parser import parse_formula
+from repro.mrm.model import MRM
+
+__all__ = ["CheckOptions", "ModelChecker"]
+
+
+@dataclass(frozen=True)
+class CheckOptions:
+    """Numerical configuration for the quantitative operators.
+
+    Attributes
+    ----------
+    until_engine:
+        ``"uniformization"`` (Section 4.6) or ``"discretization"``
+        (Section 4.5) for time- and reward-bounded until.
+    truncation_probability:
+        The path-truncation threshold ``w`` of the uniformization engine
+        (the appendix default is ``1e-8``).
+    discretization_step:
+        The step ``d`` of the discretization engine.
+    path_strategy:
+        ``"paths"`` (the paper's per-path DFS) or ``"merged"``
+        (class-aggregated dynamic programming; prunes less at equal
+        ``w``).
+    truncation_mode:
+        ``"safe"`` (default; prunes on a sound upper bound over all
+        extensions of a path) or ``"paper"`` (Algorithm 4.7's literal
+        ``P(sigma, t) < w`` test, which degrades for large
+        ``Lambda * t`` exactly as Table 5.3 shows).
+    linear_solver:
+        Solver for steady-state/unbounded-until linear systems
+        (``"gauss-seidel"``, ``"jacobi"``, ``"sor"``, ``"direct"``).
+    """
+
+    until_engine: str = "uniformization"
+    truncation_probability: float = 1e-8
+    discretization_step: float = 1 / 32
+    path_strategy: str = "paths"
+    truncation_mode: str = "safe"
+    linear_solver: str = "gauss-seidel"
+
+
+class ModelChecker:
+    """Checks CSRL formulas against an MRM.
+
+    Examples
+    --------
+    >>> from repro.models import build_wavelan_modem
+    >>> checker = ModelChecker(build_wavelan_modem())
+    >>> result = checker.check("P(>=0) [TT U[0,0.5][0,50] busy]")
+    >>> 2 in result  # the idle state satisfies the trivial bound
+    True
+    """
+
+    def __init__(self, model: MRM, options: Optional[CheckOptions] = None) -> None:
+        self._model = model
+        self._options = options or CheckOptions()
+        self._cache: Dict[Formula, FrozenSet[int]] = {}
+        self._value_cache: Dict[Formula, Tuple[float, ...]] = {}
+
+    @property
+    def model(self) -> MRM:
+        return self._model
+
+    @property
+    def options(self) -> CheckOptions:
+        return self._options
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def check(self, formula: Union[str, StateFormula]) -> SatResult:
+        """Evaluate a state formula; returns its satisfying set.
+
+        Accepts either an AST or concrete syntax (parsed with
+        :func:`repro.logic.parse_formula`).
+        """
+        parsed = self._coerce(formula)
+        states = self.satisfying_states(parsed)
+        probabilities = self._value_cache.get(parsed)
+        return SatResult(
+            formula=str(parsed), states=states, probabilities=probabilities
+        )
+
+    def holds_in(self, formula: Union[str, StateFormula], state: int) -> bool:
+        """Whether ``state |= formula``."""
+        parsed = self._coerce(formula)
+        return int(state) in self.satisfying_states(parsed)
+
+    def satisfying_states(self, formula: Union[str, StateFormula]) -> FrozenSet[int]:
+        """``Sat(Phi)`` with per-sub-formula caching (Algorithm 4.1)."""
+        parsed = self._coerce(formula)
+        return self._sat(parsed)
+
+    def path_probabilities(self, formula: Union[str, PathFormula]) -> np.ndarray:
+        """``P(s, phi)`` for every state ``s`` and a path formula ``phi``.
+
+        Accepts a path AST, or a string of the form the ``P`` operator
+        would wrap (e.g. ``"a U[0,3][0,23] b"`` or ``"X a"``): strings are
+        parsed by wrapping them in a trivial probability bound.
+        """
+        if isinstance(formula, str):
+            wrapped = parse_formula(f"P(>=0) [{formula}]")
+            assert isinstance(wrapped, Prob)
+            path = wrapped.path
+        elif isinstance(formula, PathFormula):
+            path = formula
+        else:
+            raise FormulaError(
+                f"expected a path formula, got {type(formula).__name__}"
+            )
+        if isinstance(path, Next):
+            result = satisfy_next(
+                self._model,
+                comparison=Comparison.GE,
+                bound=0.0,
+                phi_states=self._sat(path.child),
+                time_bound=path.time_bound,
+                reward_bound=path.reward_bound,
+            )
+            return result.values
+        if isinstance(path, Until):
+            result = satisfy_until(
+                self._model,
+                comparison=Comparison.GE,
+                bound=0.0,
+                phi_states=self._sat(path.left),
+                psi_states=self._sat(path.right),
+                time_bound=path.time_bound,
+                reward_bound=path.reward_bound,
+                engine=self._options.until_engine,
+                truncation_probability=self._options.truncation_probability,
+                discretization_step=self._options.discretization_step,
+                strategy=self._options.path_strategy,
+                truncation=self._options.truncation_mode,
+                solver=self._options.linear_solver,
+            )
+            return result.values
+        raise FormulaError(f"unsupported path formula {path!r}")
+
+    # ------------------------------------------------------------------
+    # recursion (Algorithm 4.1)
+    # ------------------------------------------------------------------
+    def _coerce(self, formula: Union[str, StateFormula]) -> StateFormula:
+        if isinstance(formula, str):
+            return parse_formula(formula)
+        if isinstance(formula, StateFormula):
+            return formula
+        raise FormulaError(
+            f"expected a state formula or string, got {type(formula).__name__}"
+        )
+
+    def _sat(self, formula: StateFormula) -> FrozenSet[int]:
+        cached = self._cache.get(formula)
+        if cached is not None:
+            return cached
+        result = self._compute_sat(formula)
+        self._cache[formula] = result
+        return result
+
+    def _compute_sat(self, formula: StateFormula) -> FrozenSet[int]:
+        model = self._model
+        all_states = frozenset(range(model.num_states))
+        if isinstance(formula, TrueFormula):
+            return all_states
+        if isinstance(formula, FalseFormula):
+            return frozenset()
+        if isinstance(formula, Atomic):
+            if (
+                model.atomic_propositions
+                and formula.name not in model.atomic_propositions
+            ):
+                raise CheckError(
+                    f"atomic proposition {formula.name!r} is not used in the "
+                    "model (declared propositions: "
+                    f"{sorted(model.atomic_propositions)})"
+                )
+            return frozenset(model.states_with_label(formula.name))
+        if isinstance(formula, Not):
+            return all_states - self._sat(formula.child)
+        if isinstance(formula, Or):
+            return self._sat(formula.left) | self._sat(formula.right)
+        if isinstance(formula, And):
+            return self._sat(formula.left) & self._sat(formula.right)
+        if isinstance(formula, Implies):
+            return (all_states - self._sat(formula.left)) | self._sat(formula.right)
+        if isinstance(formula, Steady):
+            result = satisfy_steady(
+                model,
+                comparison=formula.comparison,
+                bound=formula.bound,
+                phi_states=self._sat(formula.child),
+            )
+            self._value_cache[formula] = tuple(float(v) for v in result.values)
+            return result.satisfying
+        if isinstance(formula, Prob):
+            return self._sat_probability(formula)
+        raise FormulaError(f"unsupported formula {formula!r}")
+
+    def _sat_probability(self, formula: Prob) -> FrozenSet[int]:
+        model = self._model
+        options = self._options
+        path = formula.path
+        if isinstance(path, Next):
+            result = satisfy_next(
+                model,
+                comparison=formula.comparison,
+                bound=formula.bound,
+                phi_states=self._sat(path.child),
+                time_bound=path.time_bound,
+                reward_bound=path.reward_bound,
+            )
+            self._value_cache[formula] = tuple(float(v) for v in result.values)
+            return result.satisfying
+        if isinstance(path, Until):
+            result = satisfy_until(
+                model,
+                comparison=formula.comparison,
+                bound=formula.bound,
+                phi_states=self._sat(path.left),
+                psi_states=self._sat(path.right),
+                time_bound=path.time_bound,
+                reward_bound=path.reward_bound,
+                engine=options.until_engine,
+                truncation_probability=options.truncation_probability,
+                discretization_step=options.discretization_step,
+                strategy=options.path_strategy,
+                truncation=options.truncation_mode,
+                solver=options.linear_solver,
+            )
+            self._value_cache[formula] = tuple(float(v) for v in result.values)
+            return result.satisfying
+        raise FormulaError(f"unsupported path formula {path!r}")

@@ -1,0 +1,82 @@
+"""The probabilistic next operator ``P_{op p}(X^I_J Phi)`` (Section 4.3.1).
+
+Per eq. (3.4) the probability of taking the first transition into a
+``Phi``-state at a time in ``I`` while the accumulated reward (state
+reward earned in the current state plus the transition's impulse reward)
+lies in ``J`` is
+
+    sum_{s' |= Phi} P(s, s') * (exp(-E(s) inf K(s,s')) - exp(-E(s) sup K(s,s')))
+
+with ``K(s, s') = {x in I | rho(s) x + iota(s, s') in J}``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, FrozenSet
+
+import numpy as np
+
+from repro.check.results import NextResult
+from repro.logic.ast import Comparison
+from repro.mrm.model import MRM
+from repro.numerics.intervals import Interval
+
+__all__ = ["next_probabilities", "satisfy_next"]
+
+
+def next_probabilities(
+    model: MRM,
+    phi_states: AbstractSet[int],
+    time_bound: Interval,
+    reward_bound: Interval,
+) -> np.ndarray:
+    """``P(s, X^I_J Phi)`` for every state ``s`` (eq. 3.4 / Alg. 4.4)."""
+    n = model.num_states
+    values = np.zeros(n, dtype=float)
+    rates = model.rates
+    for state in range(n):
+        exit_rate = model.exit_rate(state)
+        if exit_rate == 0.0:
+            # Absorbing: no next transition ever happens.
+            continue
+        total = 0.0
+        for pos in range(rates.indptr[state], rates.indptr[state + 1]):
+            successor = int(rates.indices[pos])
+            if successor not in phi_states:
+                continue
+            rate = float(rates.data[pos])
+            window = Interval.k_transition(
+                time_bound,
+                reward_bound,
+                rate=model.state_reward(state),
+                impulse=model.impulse_reward(state, successor),
+            )
+            if window.is_empty:
+                continue
+            jump = rate / exit_rate
+            upper = math.exp(-exit_rate * window.lower)
+            lower = (
+                0.0
+                if math.isinf(window.upper)
+                else math.exp(-exit_rate * window.upper)
+            )
+            total += jump * (upper - lower)
+        values[state] = total
+    return values
+
+
+def satisfy_next(
+    model: MRM,
+    comparison: Comparison,
+    bound: float,
+    phi_states: AbstractSet[int],
+    time_bound: Interval,
+    reward_bound: Interval,
+) -> NextResult:
+    """Algorithm 4.4: the states satisfying ``P_{op p}(X^I_J Phi)``."""
+    values = next_probabilities(model, phi_states, time_bound, reward_bound)
+    satisfying: FrozenSet[int] = frozenset(
+        state for state in range(model.num_states) if comparison.holds(values[state], bound)
+    )
+    return NextResult(values=values, satisfying=satisfying)

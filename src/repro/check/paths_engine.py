@@ -1,0 +1,517 @@
+"""Uniformization with depth-first path generation (Sections 4.4.2, 4.6).
+
+This is the paper's main computational contribution: evaluating
+
+    Pr{Y(t) <= r, X(t) |= Psi}
+
+over an MRM whose ``(!Phi or Psi)``-states have been made absorbing, by
+
+1. uniformizing the MRM (Definition 4.2);
+2. enumerating finite paths of the uniformized DTMC depth-first
+   (Algorithm 4.7, DFPG) with *path truncation*: a path is abandoned as
+   soon as its Poisson-weighted probability ``P(sigma, t)`` drops below
+   the truncation probability ``w`` (Definition 4.6);
+3. characterizing each stored path by its sojourn-count vector ``k``
+   (one entry per distinct state reward) and impulse-count vector ``j``
+   (one entry per distinct impulse reward) and aggregating the
+   probabilities of paths with equal ``(k, j)``;
+4. evaluating the conditional probability ``Pr{Y(t) <= r | n, k, j}`` per
+   equivalence class with the Omega recursion (Algorithm 4.8) over
+   uniform order statistics;
+5. reporting the truncation error bound of eq. (4.6).
+
+The module also implements *depth truncation* (eq. 4.3) as an alternative
+strategy for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import CheckError, NumericalError
+from repro.mrm.model import MRM
+from repro.numerics.orderstat import OmegaCalculator
+
+__all__ = ["PathEngineResult", "joint_distribution"]
+
+
+@dataclass(frozen=True)
+class PathEngineResult:
+    """Outcome of one path-engine run from one initial state.
+
+    Attributes
+    ----------
+    probability:
+        The estimate of ``Pr{Y(t) <= r, X(t) |= Psi}`` (eq. 4.5).
+    error_bound:
+        The truncation error bound of eq. (4.6): an upper bound on the
+        probability mass of discarded paths that could still have
+        satisfied the formula.
+    paths_generated:
+        Number of DFPG tree nodes expanded.
+    paths_stored:
+        Number of stored ``(n, k, j)`` records (path/length pairs ending
+        in a ``Psi``-state).
+    classes:
+        Number of distinct ``(k, j)`` equivalence classes, i.e. Omega
+        evaluations needed before memoization.
+    max_depth:
+        Length of the longest explored path.
+    uniformization_rate:
+        The Poisson rate ``Lambda`` used.
+    omega_evaluations:
+        Total Omega recursion nodes evaluated across all classes.
+    """
+
+    probability: float
+    error_bound: float
+    paths_generated: int
+    paths_stored: int
+    classes: int
+    max_depth: int
+    uniformization_rate: float
+    omega_evaluations: int
+
+
+def _poisson_heads(lam_t: float, depth: int) -> np.ndarray:
+    """``head[n] = sum_{i < n} poisson(i; lam_t)`` for ``n = 0..depth``."""
+    heads = np.empty(depth + 1, dtype=float)
+    term = math.exp(-lam_t)
+    acc = 0.0
+    for n in range(depth + 1):
+        heads[n] = acc
+        acc += term
+        term *= lam_t / (n + 1)
+    return heads
+
+
+def _poisson_max_from(lam_t: float, depth: int) -> np.ndarray:
+    """``maxpois[n] = max_{m >= n} poisson(m; lam_t)`` for ``n = 0..depth``.
+
+    Used by the ``"safe"`` truncation mode: since the DTMC path
+    probability can only shrink, ``p_dtmc * maxpois[n]`` bounds
+    ``P(sigma', t)`` for every extension ``sigma'`` of the current path.
+    The maximum sits at the Poisson mode ``floor(lam_t)`` and the pmf
+    decreases beyond it.
+    """
+    mode = int(lam_t)
+    table_length = max(depth + 2, mode + 2)
+    term = math.exp(-lam_t)
+    pmf = np.empty(table_length, dtype=float)
+    for n in range(table_length):
+        pmf[n] = term
+        term *= lam_t / (n + 1)
+    values = np.empty(table_length, dtype=float)
+    running = 0.0
+    for n in range(table_length - 1, -1, -1):
+        running = max(running, pmf[n])
+        values[n] = running
+    return values[: depth + 2]
+
+
+def _max_useful_depth(lam_t: float, w: float, start: float = 1.0) -> int:
+    """Smallest depth beyond which ``poisson(n) * start`` stays below ``w``.
+
+    Since the DTMC path probability only shrinks, no path can survive the
+    truncation test past this depth.  Used to pre-size the Poisson tables.
+    """
+    term = math.exp(-lam_t)
+    n = 0
+    best_exceeded = 0
+    while True:
+        if term * start >= w:
+            best_exceeded = n
+        n += 1
+        term *= lam_t / n
+        if n > lam_t and term * start < w:
+            return max(best_exceeded + 1, n)
+        if n > 10_000_000:  # pragma: no cover - defensive
+            raise NumericalError("Poisson depth search failed to terminate")
+
+
+def joint_distribution(
+    model: MRM,
+    initial_state: int,
+    psi_states: AbstractSet[int],
+    time_bound: float,
+    reward_bound: float,
+    truncation_probability: float = 1e-8,
+    dead_states: Optional[AbstractSet[int]] = None,
+    depth_limit: Optional[int] = None,
+    strategy: str = "paths",
+    truncation: str = "safe",
+    uniformization_rate: Optional[float] = None,
+) -> PathEngineResult:
+    """``Pr{Y(t) <= r, X(t) in psi_states}`` from ``initial_state``.
+
+    The model is used as given — callers that evaluate an until formula
+    must apply :meth:`repro.mrm.MRM.make_absorbing` first (Theorems
+    4.1/4.3); see :func:`repro.check.until.until_probability`.
+
+    Parameters
+    ----------
+    model:
+        The (already transformed) MRM.
+    initial_state:
+        The starting state ``s_0`` (point-mass initial distribution).
+    psi_states:
+        The target set; a path contributes when its last state lies here.
+    time_bound, reward_bound:
+        ``t > 0`` and ``r >= 0`` of ``Pr{Y(t) <= r, ...}``.
+    truncation_probability:
+        The path-truncation threshold ``w`` (Definition 4.6).  Must be
+        positive unless a ``depth_limit`` bounds the search instead.
+    dead_states:
+        States whose subtrees cannot contribute (the ``(!Phi and !Psi)``
+        states of Algorithm 4.7); exploration prunes there and the error
+        bound excludes them per eq. (4.6).
+    depth_limit:
+        Optional maximal path length ``N`` — the *depth truncation* of
+        eq. (4.3).  May be combined with path truncation.
+    strategy:
+        ``"paths"`` — the paper's per-path DFS (Algorithm 4.7);
+        ``"merged"`` — a dynamic-programming variant that aggregates
+        probability mass per ``(state, k, j)`` before applying the
+        truncation test, which prunes strictly less at equal ``w`` (its
+        error bound still covers exactly what was discarded).
+    truncation:
+        How the test ``p < w`` of Algorithm 4.7 is applied.
+
+        * ``"paper"`` — literally on ``P(sigma, t) = poisson(n) P(sigma)``.
+          Because the Poisson weight first *rises* with ``n`` (up to the
+          mode ``Lambda t``), this can discard a subtree whose deeper
+          extensions carry far more probability than the current node;
+          for ``exp(-Lambda t) < w`` even the empty path is discarded.
+          This is the regime behind the error blow-up of Table 5.3 and
+          the paper's conclusion that the method applies only for small
+          ``Lambda t``.
+        * ``"safe"`` (default) — on the *supremum* of ``P(sigma', t)``
+          over all extensions ``sigma'``, namely
+          ``P(sigma) * max_{m >= n} poisson(m)``.  Never discards a
+          subtree that still carries a node above ``w``; the reported
+          error bound covers exactly what was discarded, as before.
+    uniformization_rate:
+        Optional explicit ``Lambda``.
+
+    Returns
+    -------
+    PathEngineResult
+    """
+    if time_bound <= 0:
+        raise CheckError("time bound must be positive")
+    if reward_bound < 0:
+        raise CheckError("reward bound must be non-negative")
+    if truncation_probability < 0:
+        raise CheckError("truncation probability must be non-negative")
+    if truncation_probability == 0.0 and depth_limit is None:
+        raise CheckError(
+            "either a positive truncation probability or a depth limit is "
+            "required for the search to terminate"
+        )
+    if strategy not in ("paths", "merged"):
+        raise CheckError(f"unknown path-engine strategy {strategy!r}")
+    if truncation not in ("paper", "safe"):
+        raise CheckError(f"unknown truncation mode {truncation!r}")
+    n_states = model.num_states
+    if not 0 <= int(initial_state) < n_states:
+        raise CheckError(f"initial state {initial_state} out of range")
+    psi = frozenset(int(s) for s in psi_states)
+    dead = frozenset(int(s) for s in dead_states) if dead_states else frozenset()
+
+    process = model.uniformize(uniformization_rate)
+    lam = process.rate
+    lam_t = lam * time_bound
+
+    reward_levels = model.distinct_state_rewards()
+    impulse_levels = model.distinct_impulse_rewards()
+    level_index = {level: i for i, level in enumerate(reward_levels)}
+    impulse_index = {level: i for i, level in enumerate(impulse_levels)}
+    state_level = [level_index[model.state_reward(s)] for s in range(n_states)]
+
+    # Successor tables for the uniformized DTMC: per state, a list of
+    # (successor, probability, impulse-level index).
+    matrix = process.dtmc.matrix
+    successors: List[List[Tuple[int, float, int]]] = []
+    for state in range(n_states):
+        entries: List[Tuple[int, float, int]] = []
+        for pos in range(matrix.indptr[state], matrix.indptr[state + 1]):
+            target = int(matrix.indices[pos])
+            probability = float(matrix.data[pos])
+            if probability <= 0.0:
+                continue
+            impulse = process.impulse_reward(state, target)
+            entries.append((target, probability, impulse_index[impulse]))
+        successors.append(entries)
+
+    w = float(truncation_probability)
+    max_depth_cap = (
+        depth_limit
+        if depth_limit is not None
+        else _max_useful_depth(lam_t, w)
+    )
+    heads = _poisson_heads(lam_t, max_depth_cap + 1)
+    maxpois = (
+        _poisson_max_from(lam_t, max_depth_cap + 1)
+        if truncation == "safe"
+        else None
+    )
+    poisson0 = math.exp(-lam_t)
+
+    runner = _run_paths_dfs if strategy == "paths" else _run_merged_dp
+    stats = runner(
+        initial_state=int(initial_state),
+        psi=psi,
+        dead=dead,
+        successors=successors,
+        state_level=state_level,
+        num_levels=len(reward_levels),
+        num_impulses=len(impulse_levels),
+        lam_t=lam_t,
+        w=w,
+        depth_limit=depth_limit,
+        heads=heads,
+        maxpois=maxpois,
+        poisson0=poisson0,
+    )
+    aggregated, error_bound, generated, stored, max_depth = stats
+
+    probability, classes, omega_evals = _combine_with_omega(
+        aggregated,
+        reward_levels,
+        impulse_levels,
+        time_bound,
+        reward_bound,
+    )
+    return PathEngineResult(
+        probability=probability,
+        error_bound=error_bound,
+        paths_generated=generated,
+        paths_stored=stored,
+        classes=classes,
+        max_depth=max_depth,
+        uniformization_rate=lam,
+        omega_evaluations=omega_evals,
+    )
+
+
+def _run_paths_dfs(
+    initial_state: int,
+    psi: frozenset,
+    dead: frozenset,
+    successors: List[List[Tuple[int, float, int]]],
+    state_level: List[int],
+    num_levels: int,
+    num_impulses: int,
+    lam_t: float,
+    w: float,
+    depth_limit: Optional[int],
+    heads: np.ndarray,
+    maxpois: Optional[np.ndarray],
+    poisson0: float,
+) -> Tuple[Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], float], float, int, int, int]:
+    """Algorithm 4.7 with an explicit stack.
+
+    Stack frames carry ``(state, n, k, j, p_t, p_dtmc)`` where ``p_t`` is
+    the Poisson-weighted probability ``P(sigma, t)`` and ``p_dtmc`` the
+    bare DTMC path probability ``P(sigma)`` needed by the error bound.
+    ``maxpois`` switches the truncation test to the safe variant (see
+    :func:`joint_distribution`).
+    """
+    aggregated: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], float] = {}
+    error_bound = 0.0
+    generated = 0
+    stored = 0
+    max_depth = 0
+
+    if initial_state in dead:
+        return aggregated, 0.0, 0, 0, 0
+    root_score = poisson0 if maxpois is None else float(maxpois[0])
+    if root_score < w:
+        # Even the empty path is truncated (Algorithm 4.7 line 1): all
+        # probability mass is discarded and the error bound is total.
+        return aggregated, 1.0, 0, 0, 0
+
+    root_k = tuple(
+        1 if i == state_level[initial_state] else 0 for i in range(num_levels)
+    )
+    root_j = (0,) * num_impulses
+    stack: List[Tuple[int, int, Tuple[int, ...], Tuple[int, ...], float, float]] = [
+        (initial_state, 0, root_k, root_j, poisson0, 1.0)
+    ]
+    head_count = len(heads)
+    while stack:
+        state, depth, k, j, p_t, p_dtmc = stack.pop()
+        generated += 1
+        if depth > max_depth:
+            max_depth = depth
+        if state in psi:
+            key = (k, j)
+            aggregated[key] = aggregated.get(key, 0.0) + p_t
+            stored += 1
+        if depth_limit is not None and depth >= depth_limit:
+            continue
+        next_depth = depth + 1
+        factor = lam_t / next_depth
+        for target, probability, impulse_idx in successors[state]:
+            child_dtmc = p_dtmc * probability
+            child_t = p_t * factor * probability
+            if target in dead:
+                continue
+            child_score = (
+                child_t if maxpois is None else child_dtmc * maxpois[next_depth]
+            )
+            if child_score < w:
+                # eq. (4.6): the discarded path and all its suffixes; the
+                # last state satisfies (Phi or Psi) since dead states were
+                # skipped above.
+                if next_depth < head_count:
+                    tail = 1.0 - heads[next_depth]
+                else:  # pragma: no cover - depth table always suffices
+                    tail = 1.0
+                error_bound += child_dtmc * tail
+                continue
+            level = state_level[target]
+            child_k = k[:level] + (k[level] + 1,) + k[level + 1 :]
+            child_j = (
+                j[:impulse_idx] + (j[impulse_idx] + 1,) + j[impulse_idx + 1 :]
+            )
+            stack.append((target, next_depth, child_k, child_j, child_t, child_dtmc))
+    return aggregated, error_bound, generated, stored, max_depth
+
+
+def _run_merged_dp(
+    initial_state: int,
+    psi: frozenset,
+    dead: frozenset,
+    successors: List[List[Tuple[int, float, int]]],
+    state_level: List[int],
+    num_levels: int,
+    num_impulses: int,
+    lam_t: float,
+    w: float,
+    depth_limit: Optional[int],
+    heads: np.ndarray,
+    maxpois: Optional[np.ndarray],
+    poisson0: float,
+) -> Tuple[Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], float], float, int, int, int]:
+    """Breadth-first dynamic programming over ``(state, k, j)`` classes.
+
+    Paths with equal state and equal reward characterization are merged
+    *before* the truncation test, so at equal ``w`` this prunes strictly
+    less than the per-path DFS and yields a tighter error bound.  The
+    frontier at depth ``n`` maps ``(state, k, j) -> (p_t, p_dtmc)``.
+    """
+    aggregated: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], float] = {}
+    error_bound = 0.0
+    generated = 0
+    stored = 0
+    max_depth = 0
+
+    if initial_state in dead:
+        return aggregated, 0.0, 0, 0, 0
+    root_score = poisson0 if maxpois is None else float(maxpois[0])
+    if root_score < w:
+        return aggregated, 1.0, 0, 0, 0
+
+    root_k = tuple(
+        1 if i == state_level[initial_state] else 0 for i in range(num_levels)
+    )
+    root_j = (0,) * num_impulses
+    frontier: Dict[Tuple[int, Tuple[int, ...], Tuple[int, ...]], Tuple[float, float]] = {
+        (initial_state, root_k, root_j): (poisson0, 1.0)
+    }
+    depth = 0
+    head_count = len(heads)
+    while frontier:
+        max_depth = depth
+        for (state, k, j), (p_t, _) in frontier.items():
+            generated += 1
+            if state in psi:
+                key = (k, j)
+                aggregated[key] = aggregated.get(key, 0.0) + p_t
+                stored += 1
+        if depth_limit is not None and depth >= depth_limit:
+            break
+        next_depth = depth + 1
+        factor = lam_t / next_depth
+        next_frontier: Dict[
+            Tuple[int, Tuple[int, ...], Tuple[int, ...]], Tuple[float, float]
+        ] = {}
+        for (state, k, j), (p_t, p_dtmc) in frontier.items():
+            for target, probability, impulse_idx in successors[state]:
+                if target in dead:
+                    continue
+                child_t = p_t * factor * probability
+                child_dtmc = p_dtmc * probability
+                level = state_level[target]
+                child_k = k[:level] + (k[level] + 1,) + k[level + 1 :]
+                child_j = (
+                    j[:impulse_idx] + (j[impulse_idx] + 1,) + j[impulse_idx + 1 :]
+                )
+                key = (target, child_k, child_j)
+                old = next_frontier.get(key)
+                if old is None:
+                    next_frontier[key] = (child_t, child_dtmc)
+                else:
+                    next_frontier[key] = (old[0] + child_t, old[1] + child_dtmc)
+        # Truncation test on the merged classes.
+        surviving: Dict[
+            Tuple[int, Tuple[int, ...], Tuple[int, ...]], Tuple[float, float]
+        ] = {}
+        tail = 1.0 - heads[next_depth] if next_depth < head_count else 1.0
+        ceiling = (
+            None
+            if maxpois is None
+            else float(maxpois[min(next_depth, len(maxpois) - 1)])
+        )
+        for key, (p_t, p_dtmc) in next_frontier.items():
+            score = p_t if ceiling is None else p_dtmc * ceiling
+            if score < w:
+                error_bound += p_dtmc * tail
+            else:
+                surviving[key] = (p_t, p_dtmc)
+        frontier = surviving
+        depth = next_depth
+    return aggregated, error_bound, generated, stored, max_depth
+
+
+def _combine_with_omega(
+    aggregated: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], float],
+    reward_levels: List[float],
+    impulse_levels: List[float],
+    time_bound: float,
+    reward_bound: float,
+) -> Tuple[float, int, int]:
+    """Combine class probabilities with ``Pr{Y(t) <= r | n, k, j}``.
+
+    Per eqs. (4.9)/(4.10): with the distinct state rewards
+    ``r_1 > ... > r_{K+1}``, group coefficients ``c_l = r_l - r_{K+1}``
+    and impulse contribution ``imp = sum_l i_l j_l``, the conditional
+    probability is ``Omega(r/t - r_{K+1} - imp/t, k)``.  One
+    :class:`OmegaCalculator` is shared per distinct threshold so the memo
+    tables are reused across classes.
+    """
+    if not aggregated:
+        return 0.0, 0, 0
+    smallest = reward_levels[-1]
+    coefficients = [level - smallest for level in reward_levels]
+    calculators: Dict[float, OmegaCalculator] = {}
+    probability = 0.0
+    for (k, j), mass in aggregated.items():
+        impulse_total = sum(
+            level * count for level, count in zip(impulse_levels, j)
+        )
+        threshold = reward_bound / time_bound - smallest - impulse_total / time_bound
+        if threshold < 0.0:
+            continue  # reward bound already violated by impulses alone
+        calculator = calculators.get(threshold)
+        if calculator is None:
+            calculator = OmegaCalculator(coefficients, threshold)
+            calculators[threshold] = calculator
+        probability += mass * calculator.value(k)
+    omega_evals = sum(c.evaluations for c in calculators.values())
+    return probability, len(aggregated), omega_evals

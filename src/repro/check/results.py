@@ -1,0 +1,88 @@
+"""Result objects returned by the model-checking algorithms.
+
+Each operator's algorithm returns both the quantitative values (per-state
+probabilities) and the qualitative answer (the satisfying set), plus the
+diagnostics the experiments in Chapter 5 report: error bounds, number of
+generated/stored paths, and engine parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SatResult", "SteadyResult", "NextResult", "UntilResult"]
+
+
+@dataclass(frozen=True)
+class SatResult:
+    """The satisfying set of a state formula.
+
+    Attributes
+    ----------
+    formula:
+        The rendered formula text.
+    states:
+        The satisfying states ``Sat(Phi)``.
+    probabilities:
+        Per-state probabilities, when the top operator was quantitative
+        (``S`` or ``P``); ``None`` for purely boolean formulas.
+    """
+
+    formula: str
+    states: FrozenSet[int]
+    probabilities: Optional[Tuple[float, ...]] = None
+
+    def __contains__(self, state: int) -> bool:
+        return int(state) in self.states
+
+    def probability_of(self, state: int) -> Optional[float]:
+        """The computed probability for a state (None if not quantitative)."""
+        if self.probabilities is None:
+            return None
+        return self.probabilities[int(state)]
+
+
+@dataclass(frozen=True)
+class SteadyResult:
+    """Values behind a steady-state operator evaluation."""
+
+    values: np.ndarray
+    satisfying: FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class NextResult:
+    """Values behind a next operator evaluation."""
+
+    values: np.ndarray
+    satisfying: FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class UntilResult:
+    """Values and diagnostics behind an until operator evaluation.
+
+    Attributes
+    ----------
+    values:
+        Per-state probabilities ``P(s, Phi U^I_J Psi)``.
+    satisfying:
+        States meeting the probability bound.
+    engine:
+        ``"linear-system"`` (P0), ``"uniformization-transient"`` (P1),
+        ``"paths-uniformization"`` or ``"discretization"`` (P2).
+    error_bounds:
+        Per-state truncation error bounds (paths engine only; zeros for
+        the other engines, whose errors are solver tolerances).
+    statistics:
+        Per-state engine statistics, e.g. paths generated/stored.
+    """
+
+    values: np.ndarray
+    satisfying: FrozenSet[int]
+    engine: str
+    error_bounds: Optional[np.ndarray] = None
+    statistics: Dict[int, "object"] = field(default_factory=dict)

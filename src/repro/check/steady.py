@@ -1,0 +1,56 @@
+"""The steady-state operator ``S_{op p}(Phi)`` (Section 4.2, Alg. 4.3).
+
+For every state ``s`` the long-run probability of residing in
+``Phi``-states is
+
+    sum_B P(s, eventually B) * sum_{s' in B and Sat(Phi)} pi^B(s')
+
+over the bottom strongly connected components ``B`` (eq. 3.2), which
+collapses to a single standard steady-state analysis when the chain is
+strongly connected (eq. 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet
+
+import numpy as np
+
+from repro.check.results import SteadyResult
+from repro.ctmc.steady import steady_state_matrix
+from repro.logic.ast import Comparison
+from repro.mrm.model import MRM
+
+__all__ = ["steady_state_values", "satisfy_steady"]
+
+
+def steady_state_values(model: MRM, phi_states: AbstractSet[int]) -> np.ndarray:
+    """``pi(s, Sat(Phi))`` for every starting state ``s``.
+
+    Parameters
+    ----------
+    model:
+        The MRM (rewards are irrelevant to the steady-state operator; the
+        underlying CTMC is analyzed).
+    phi_states:
+        The satisfying set of the operand formula.
+    """
+    matrix = steady_state_matrix(model.ctmc)
+    if not phi_states:
+        return np.zeros(model.num_states, dtype=float)
+    columns = sorted(int(s) for s in phi_states)
+    return matrix[:, columns].sum(axis=1)
+
+
+def satisfy_steady(
+    model: MRM,
+    comparison: Comparison,
+    bound: float,
+    phi_states: AbstractSet[int],
+) -> SteadyResult:
+    """Algorithm 4.3: the states satisfying ``S_{op p}(Phi)``."""
+    values = steady_state_values(model, phi_states)
+    satisfying: FrozenSet[int] = frozenset(
+        state for state in range(model.num_states) if comparison.holds(values[state], bound)
+    )
+    return SteadyResult(values=values, satisfying=satisfying)

@@ -1,0 +1,372 @@
+"""The probabilistic until operator (Sections 4.3.2, 4.5, 4.6).
+
+Three property classes are distinguished per the paper:
+
+* **P0** ``P(Phi U Psi)`` — unbounded: a linear system over the embedded
+  chain (eq. 3.8), solved after qualitative reachability precomputation;
+* **P1** ``P(Phi U^{[0,t]} Psi)`` — time-bounded, reward-unbounded:
+  transient analysis of ``M[!Phi or Psi]`` by standard uniformization
+  with Fox–Glynn Poisson weights;
+* **P2** ``P(Phi U^{[0,t]}_{[0,r]} Psi)`` — time- and reward-bounded:
+  via Theorems 4.1/4.3 reduced to ``Pr{Y(t) <= r, X(t) |= Psi}`` over
+  ``M[!Phi or Psi]``, evaluated with either the path-generation engine
+  (Section 4.6) or the discretization engine (Section 4.5).
+
+The paper restricts computational support to lower-bound-zero intervals
+``[0, t]``/``[0, r]``.  As an extension of the paper (its chapter 6
+lists general bounds as future work), reward-*unbounded* until
+additionally supports general time intervals ``[t1, t2]`` via the
+two-phase construction of :func:`interval_until_probabilities`;
+reward-bounded formulas with positive lower bounds still raise
+:class:`CheckError`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Dict, FrozenSet, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.check.discretization import discretized_joint_distribution
+from repro.check.paths_engine import joint_distribution
+from repro.check.results import UntilResult
+from repro.exceptions import CheckError
+from repro.graphs.reachability import backward_reachable
+from repro.logic.ast import Comparison
+from repro.mrm.model import MRM
+from repro.numerics.intervals import Interval
+from repro.numerics.linsolve import solve_linear_system
+from repro.numerics.poisson import fox_glynn
+
+__all__ = [
+    "unbounded_until_probabilities",
+    "time_bounded_until_probabilities",
+    "interval_until_probabilities",
+    "until_probability",
+    "satisfy_until",
+]
+
+
+def unbounded_until_probabilities(
+    model: MRM,
+    phi_states: AbstractSet[int],
+    psi_states: AbstractSet[int],
+    solver: str = "gauss-seidel",
+) -> np.ndarray:
+    """P0: ``P(s, Phi U Psi)`` for all states (least solution of eq. 3.8).
+
+    States that cannot reach ``Psi`` through ``Phi``-states get exactly 0
+    (the least-fixed-point requirement); ``Psi``-states get exactly 1.
+    The remaining states are solved as a linear system over the embedded
+    jump probabilities.
+    """
+    n = model.num_states
+    phi = {int(s) for s in phi_states}
+    psi = {int(s) for s in psi_states}
+    values = np.zeros(n, dtype=float)
+    for state in psi:
+        values[state] = 1.0
+
+    # Qualitative step: only Phi-states that can reach Psi via Phi-states
+    # have positive probability.
+    allowed = phi - psi
+    relevant = backward_reachable(model.rates, psi, allowed=allowed)
+    unknown = sorted((relevant - psi) & allowed)
+    if not unknown:
+        return values
+
+    index = {state: pos for pos, state in enumerate(unknown)}
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    rhs = np.zeros(len(unknown), dtype=float)
+    rates = model.rates
+    for state in unknown:
+        row = index[state]
+        rows.append(row)
+        cols.append(row)
+        vals.append(1.0)
+        exit_rate = model.exit_rate(state)
+        if exit_rate == 0.0:
+            continue  # absorbing: equation x = 0 (cannot move at all)
+        for pos in range(rates.indptr[state], rates.indptr[state + 1]):
+            successor = int(rates.indices[pos])
+            probability = float(rates.data[pos]) / exit_rate
+            if probability == 0.0:
+                continue
+            if successor in psi:
+                rhs[row] += probability
+            elif successor in index:
+                rows.append(row)
+                cols.append(index[successor])
+                vals.append(-probability)
+    system = sp.csr_matrix((vals, (rows, cols)), shape=(len(unknown), len(unknown)))
+    solution = solve_linear_system(system, rhs, method=solver)
+    for state, row in index.items():
+        values[state] = min(max(float(solution[row]), 0.0), 1.0)
+    return values
+
+
+def time_bounded_until_probabilities(
+    model: MRM,
+    phi_states: AbstractSet[int],
+    psi_states: AbstractSet[int],
+    time_bound: float,
+    epsilon: float = 1e-12,
+) -> np.ndarray:
+    """P1: ``P(s, Phi U^{[0,t]} Psi)`` for all states.
+
+    Theorem 4.1 with trivial reward bound: make ``(!Phi or Psi)``-states
+    absorbing and compute ``Pr{X(t) |= Psi}`` by uniformization.  The
+    computation runs backwards (``u = sum_i poisson(i) P^i 1_Psi``) so a
+    single pass yields the value for every initial state.
+    """
+    if time_bound < 0:
+        raise CheckError("time bound must be non-negative")
+    n = model.num_states
+    phi = {int(s) for s in phi_states}
+    psi = {int(s) for s in psi_states}
+    indicator = np.zeros(n, dtype=float)
+    for state in psi:
+        indicator[state] = 1.0
+    if time_bound == 0.0:
+        return indicator
+
+    absorbing = (set(range(n)) - phi) | psi
+    transformed = model.make_absorbing(absorbing)
+    process = transformed.uniformize()
+    weights = fox_glynn(process.rate * time_bound, epsilon)
+    matrix = process.dtmc.matrix
+
+    current = indicator.copy()
+    result = np.zeros(n, dtype=float)
+    for step in range(weights.right + 1):
+        if step >= weights.left:
+            result += weights.weight(step) * current
+        if step < weights.right:
+            current = matrix.dot(current)
+    return np.clip(result, 0.0, 1.0)
+
+
+def interval_until_probabilities(
+    model: MRM,
+    phi_states: AbstractSet[int],
+    psi_states: AbstractSet[int],
+    time_bound: Interval,
+    epsilon: float = 1e-12,
+) -> np.ndarray:
+    """P1 with a general time interval: ``P(s, Phi U^{[t1,t2]} Psi)``.
+
+    The paper's Chapter 6 lists general time bounds as future work; for
+    the reward-unbounded case the standard two-phase CSL construction
+    (Baier et al., IEEE TSE 2003) applies and is implemented here:
+
+    1. during ``[0, t1]`` the path must stay within ``Phi``-states, so
+       the first phase evolves ``M[!Phi]`` for ``t1`` time units;
+    2. from the state occupied at ``t1`` (if still a ``Phi``-state) the
+       remaining obligation is ``Phi U^{[0, t2 - t1]} Psi``.
+
+    Both phases run backwards so one pass covers every initial state.
+    For ``t1 = t2`` the second phase degenerates to the indicator of
+    ``Psi``, matching the ``U^{[t,t]}`` semantics of Theorem 4.2.
+    """
+    if time_bound.is_empty:
+        raise CheckError("time interval must be non-empty")
+    t1 = time_bound.lower
+    t2 = time_bound.upper
+    if math.isinf(t2):
+        raise CheckError(
+            "intervals of the form [t1, infinity) are not supported; "
+            "combine a [t1, t1] phase with an unbounded until instead"
+        )
+    n = model.num_states
+    phi = {int(s) for s in phi_states}
+    psi = {int(s) for s in psi_states}
+    if t1 == 0.0:
+        return time_bounded_until_probabilities(model, phi, psi, t2, epsilon)
+
+    # Phase 2: values from each state for the residual obligation.
+    if t2 > t1:
+        residual = time_bounded_until_probabilities(model, phi, psi, t2 - t1, epsilon)
+    else:
+        residual = np.zeros(n, dtype=float)
+        for state in psi:
+            residual[state] = 1.0
+    # Only Phi-states may be occupied at t1 (strictly-before satisfaction
+    # of Phi); zero the rest.
+    phase_two = np.array(
+        [residual[s] if s in phi else 0.0 for s in range(n)], dtype=float
+    )
+
+    # Phase 1: evolve M[!Phi] backwards for t1.
+    transformed = model.make_absorbing(set(range(n)) - phi)
+    process = transformed.uniformize()
+    weights = fox_glynn(process.rate * t1, epsilon)
+    matrix = process.dtmc.matrix
+    current = phase_two.copy()
+    values = np.zeros(n, dtype=float)
+    for step in range(weights.right + 1):
+        if step >= weights.left:
+            values += weights.weight(step) * current
+        if step < weights.right:
+            current = matrix.dot(current)
+    # Non-Phi start states were absorbed immediately with value 0 unless
+    # they are Phi themselves (handled), so just clip.
+    return np.clip(values, 0.0, 1.0)
+
+
+def _require_zero_lower(interval: Interval, what: str) -> None:
+    if interval.lower != 0.0:
+        raise CheckError(
+            f"{what} intervals with positive lower bounds are not supported "
+            "(the paper restricts computation to [0, t] and [0, r]; see "
+            "chapter 6, future work)"
+        )
+
+
+def until_probability(
+    model: MRM,
+    initial_state: int,
+    phi_states: AbstractSet[int],
+    psi_states: AbstractSet[int],
+    time_bound: Interval,
+    reward_bound: Interval,
+    engine: str = "uniformization",
+    truncation_probability: float = 1e-8,
+    discretization_step: float = 1 / 32,
+    strategy: str = "paths",
+    truncation: str = "safe",
+    depth_limit: Optional[int] = None,
+):
+    """P2 for one initial state: the quantitative value plus diagnostics.
+
+    Returns the engine-specific result object
+    (:class:`repro.check.paths_engine.PathEngineResult` or
+    :class:`repro.check.discretization.DiscretizationResult`).
+
+    Implements Theorems 4.1/4.3: ``(!Phi or Psi)``-states are made
+    absorbing with zero rewards, then the joint distribution
+    ``Pr{Y(t) <= r, X(t) |= Psi}`` is evaluated.
+    """
+    _require_zero_lower(time_bound, "time")
+    _require_zero_lower(reward_bound, "reward")
+    if math.isinf(time_bound.upper):
+        raise CheckError(
+            "reward-bounded but time-unbounded until is not supported"
+        )
+    n = model.num_states
+    phi = {int(s) for s in phi_states}
+    psi = {int(s) for s in psi_states}
+    absorbing = (set(range(n)) - phi) | psi
+    transformed = model.make_absorbing(absorbing)
+    dead = set(range(n)) - phi - psi
+
+    if engine == "uniformization":
+        return joint_distribution(
+            transformed,
+            initial_state=initial_state,
+            psi_states=psi,
+            time_bound=time_bound.upper,
+            reward_bound=reward_bound.upper,
+            truncation_probability=truncation_probability,
+            dead_states=dead,
+            depth_limit=depth_limit,
+            strategy=strategy,
+            truncation=truncation,
+        )
+    if engine == "discretization":
+        return discretized_joint_distribution(
+            transformed,
+            initial_state=initial_state,
+            psi_states=psi,
+            time_bound=time_bound.upper,
+            reward_bound=reward_bound.upper,
+            step=discretization_step,
+        )
+    raise CheckError(f"unknown until engine {engine!r}")
+
+
+def satisfy_until(
+    model: MRM,
+    comparison: Comparison,
+    bound: float,
+    phi_states: AbstractSet[int],
+    psi_states: AbstractSet[int],
+    time_bound: Interval,
+    reward_bound: Interval,
+    engine: str = "uniformization",
+    truncation_probability: float = 1e-8,
+    discretization_step: float = 1 / 32,
+    strategy: str = "paths",
+    truncation: str = "safe",
+    solver: str = "gauss-seidel",
+) -> UntilResult:
+    """Algorithm 4.5 generalized over the three property classes.
+
+    Computes ``P(s, Phi U^I_J Psi)`` for every state and compares against
+    the bound.  ``Psi``-states trivially get probability 1 and
+    ``(!Phi and !Psi)``-states 0 (for the supported ``[0, ...]``
+    intervals), so the quantitative engines run only on the remaining
+    ``Phi``-states.  Reward-unbounded formulas additionally support
+    general time intervals ``[t1, t2]`` (the paper's future-work case)
+    via :func:`interval_until_probabilities`.
+    """
+    _require_zero_lower(reward_bound, "reward")
+    n = model.num_states
+    phi = {int(s) for s in phi_states}
+    psi = {int(s) for s in psi_states}
+
+    error_bounds = np.zeros(n, dtype=float)
+    statistics: Dict[int, object] = {}
+
+    if time_bound.is_unbounded and reward_bound.is_unbounded:
+        values = unbounded_until_probabilities(model, phi, psi, solver=solver)
+        engine_name = "linear-system"
+    elif reward_bound.is_unbounded and time_bound.lower > 0.0:
+        values = interval_until_probabilities(model, phi, psi, time_bound)
+        engine_name = "uniformization-interval"
+    elif reward_bound.is_unbounded:
+        values = time_bounded_until_probabilities(
+            model, phi, psi, time_bound=time_bound.upper
+        )
+        engine_name = "uniformization-transient"
+    else:
+        _require_zero_lower(time_bound, "time")
+        values = np.zeros(n, dtype=float)
+        for state in psi:
+            values[state] = 1.0
+        pending = sorted(phi - psi)
+        for state in pending:
+            result = until_probability(
+                model,
+                initial_state=state,
+                phi_states=phi,
+                psi_states=psi,
+                time_bound=time_bound,
+                reward_bound=reward_bound,
+                engine=engine,
+                truncation_probability=truncation_probability,
+                discretization_step=discretization_step,
+                strategy=strategy,
+                truncation=truncation,
+            )
+            values[state] = result.probability
+            statistics[state] = result
+            if hasattr(result, "error_bound"):
+                error_bounds[state] = result.error_bound
+        engine_name = (
+            "paths-uniformization" if engine == "uniformization" else "discretization"
+        )
+
+    satisfying: FrozenSet[int] = frozenset(
+        state for state in range(n) if comparison.holds(float(values[state]), bound)
+    )
+    return UntilResult(
+        values=values,
+        satisfying=satisfying,
+        engine=engine_name,
+        error_bounds=error_bounds,
+        statistics=statistics,
+    )

@@ -1,0 +1,5 @@
+"""Command-line interface mirroring the appendix usage of the paper's tool."""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

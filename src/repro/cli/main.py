@@ -1,0 +1,194 @@
+"""``mrmc-impulse`` — the command-line model checker.
+
+Usage mirrors the paper's appendix::
+
+    mrmc-impulse model.tra model.lab model.rewr model.rewi [u=1e-8 | d=0.03125] [NP]
+
+or, with a guarded-command model description::
+
+    mrmc-impulse model.mrm [u=1e-8 | d=0.03125] [NP] [-c NAME=VALUE ...]
+
+* ``u=<w>`` selects uniformization with truncation probability ``w`` for
+  reward-bounded until formulas; ``d=<step>`` selects discretization with
+  factor ``step``.  The default is uniformization with ``w = 1e-8``
+  (the appendix default).
+* ``NP`` suppresses the computed probabilities; only satisfying states
+  are printed.
+* ``-c/--const NAME=VALUE`` overrides a ``const`` declaration of a
+  ``.mrm`` model (repeatable).
+
+Formulas are read one per line, either from ``--formula/-f`` arguments
+or from standard input.  Empty lines and lines starting with ``#`` are
+skipped.  States in the output are 1-based, matching the file formats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.check.checker import CheckOptions, ModelChecker
+from repro.exceptions import ReproError
+from repro.io.bundle import load_mrm
+from repro.lang.compiler import load_model
+
+__all__ = ["main"]
+
+
+def _build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mrmc-impulse",
+        description="CSRL model checker for Markov reward models with impulse rewards",
+    )
+    parser.add_argument(
+        "tra", help="transition file (.tra) or guarded-command model (.mrm)"
+    )
+    parser.add_argument("lab", nargs="?", default=None, help="labeling file (.lab)")
+    parser.add_argument("rewr", nargs="?", default=None, help="state reward file (.rewr)")
+    parser.add_argument("rewi", nargs="?", default=None, help="impulse reward file (.rewi)")
+    parser.add_argument(
+        "method",
+        nargs="?",
+        default=None,
+        help="until engine: u=<truncation probability> or d=<discretization factor>",
+    )
+    parser.add_argument(
+        "np_flag",
+        nargs="?",
+        default=None,
+        metavar="NP",
+        help="suppress probability output",
+    )
+    parser.add_argument(
+        "--formula",
+        "-f",
+        action="append",
+        default=[],
+        help="CSRL formula to check (repeatable); otherwise read from stdin",
+    )
+    parser.add_argument(
+        "--const",
+        "-c",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="override a const declaration of a .mrm model (repeatable)",
+    )
+    return parser
+
+
+def _parse_method(argument: Optional[str]) -> CheckOptions:
+    if argument is None:
+        return CheckOptions()
+    text = argument.strip()
+    if "=" not in text:
+        raise ReproError(
+            f"bad engine argument {argument!r}: expected u=<w> or d=<step>"
+        )
+    key, _, value = text.partition("=")
+    key = key.strip().lower()
+    try:
+        number = float(value)
+    except ValueError as error:
+        raise ReproError(f"bad engine parameter {value!r}: {error}") from error
+    if key == "u":
+        return CheckOptions(until_engine="uniformization", truncation_probability=number)
+    if key == "d":
+        return CheckOptions(until_engine="discretization", discretization_step=number)
+    raise ReproError(f"unknown engine {key!r}: expected 'u' or 'd'")
+
+
+def _iter_formulas(args: argparse.Namespace, declared):
+    """Formulas to check: explicit flags win; then a .mrm model's own
+    ``formula`` declarations; stdin as the last resort."""
+    if args.formula:
+        for formula in args.formula:
+            yield None, formula
+        return
+    if declared:
+        for name, formula in declared.items():
+            yield name, formula
+        return
+    for line in sys.stdin:
+        text = line.strip()
+        if text and not text.startswith("#"):
+            yield None, text
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_argument_parser()
+    args = parser.parse_args(argv)
+
+    # A .mrm language model takes a single positional; shift the rest
+    # into the method/NP slots.
+    positionals = [args.lab, args.rewr, args.rewi, args.method, args.np_flag]
+    if args.tra.endswith(".mrm"):
+        tail = [p for p in positionals if p is not None]
+        if len(tail) > 2:
+            print(
+                "error: a .mrm model takes at most engine and NP arguments",
+                file=sys.stderr,
+            )
+            return 2
+        method_slot = tail[0] if tail else None
+        np_slot = tail[1] if len(tail) > 1 else None
+    else:
+        method_slot = args.method
+        np_slot = args.np_flag
+
+    # The positional tail is flexible: "NP" may appear in the method slot.
+    method_argument = method_slot
+    print_probabilities = True
+    for candidate in (method_slot, np_slot):
+        if candidate is not None and candidate.upper() == "NP":
+            print_probabilities = False
+            if candidate is method_slot:
+                method_argument = None
+
+    try:
+        options = _parse_method(method_argument)
+        if args.tra.endswith(".mrm"):
+            overrides = {}
+            for item in args.const:
+                name, separator, value = item.partition("=")
+                if not separator:
+                    raise ReproError(
+                        f"bad --const {item!r}: expected NAME=VALUE"
+                    )
+                overrides[name.strip()] = float(value)
+            compiled = load_model(args.tra, constants=overrides or None)
+            model = compiled.mrm
+            declared_formulas = compiled.formulas
+        else:
+            if args.lab is None:
+                raise ReproError("a .tra model also needs a .lab file")
+            model = load_mrm(args.tra, args.lab, args.rewr, args.rewi)
+            declared_formulas = None
+    except (ReproError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    checker = ModelChecker(model, options)
+    status = 0
+    for name, formula in _iter_formulas(args, declared_formulas):
+        try:
+            result = checker.check(formula)
+        except ReproError as error:
+            print(f"error: {formula}: {error}", file=sys.stderr)
+            status = 1
+            continue
+        states = sorted(result.states)
+        rendered = ", ".join(str(s + 1) for s in states) if states else "(none)"
+        title = f"formula {name!r}: " if name else "formula: "
+        print(f"{title}{result.formula}")
+        print(f"satisfying states: {rendered}")
+        if print_probabilities and result.probabilities is not None:
+            for state, value in enumerate(result.probabilities):
+                print(f"  state {state + 1}: {value:.12g}")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,12 @@
+"""Labeled continuous-time Markov chain substrate."""
+
+from repro.ctmc.chain import CTMC
+from repro.ctmc.transient import transient_distribution
+from repro.ctmc.steady import steady_state_distribution, steady_state_matrix
+
+__all__ = [
+    "CTMC",
+    "transient_distribution",
+    "steady_state_distribution",
+    "steady_state_matrix",
+]

@@ -1,0 +1,237 @@
+"""Labeled continuous-time Markov chains (Definition 2.1 of the paper).
+
+A CTMC is a triple ``(S, R, Label)``: a finite state space, a rate matrix
+``R: S x S -> R>=0`` (self-loops allowed, per the paper's convention), and
+a labeling assigning a set of atomic propositions to each state.
+
+This class is the substrate under :class:`repro.mrm.MRM`; it owns the
+structural notions (exit rates ``E(s)``, generator ``Q``, embedded DTMC,
+uniformized DTMC) while transient/steady analyses live in sibling
+modules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.dtmc.chain import DTMC
+from repro.exceptions import LabelingError, ModelError
+
+__all__ = ["CTMC"]
+
+Labeling = Mapping[int, Iterable[str]]
+
+
+class CTMC:
+    """A finite labeled CTMC ``(S, R, Label)``.
+
+    Parameters
+    ----------
+    rates:
+        Square matrix of transition rates (dense array-like or scipy
+        sparse).  ``rates[s, s'] > 0`` means there is a transition from
+        ``s`` to ``s'``.  Self-loop rates are allowed (Definition 2.1).
+    labels:
+        Mapping from state index to an iterable of atomic propositions
+        valid in that state.  States may be omitted (empty label set).
+    state_names:
+        Optional human-readable names, one per state.
+    atomic_propositions:
+        Optional explicit universe ``AP``; when given, every used label
+        must belong to it.  When omitted, ``AP`` is the set of used
+        labels.
+
+    Examples
+    --------
+    >>> wavelan_rates = [[0.0, 0.1], [0.05, 0.0]]
+    >>> chain = CTMC(wavelan_rates, labels={0: {"off"}, 1: {"sleep"}})
+    >>> chain.exit_rate(1)
+    0.05
+    """
+
+    def __init__(
+        self,
+        rates,
+        labels: Optional[Labeling] = None,
+        state_names: Optional[Sequence[str]] = None,
+        atomic_propositions: Optional[Iterable[str]] = None,
+    ) -> None:
+        matrix = sp.csr_matrix(rates, dtype=float)
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ModelError(f"rate matrix must be square, got {matrix.shape}")
+        if matrix.nnz and not np.all(np.isfinite(matrix.data)):
+            raise ModelError("transition rates must be finite")
+        if matrix.nnz and matrix.data.min() < 0.0:
+            raise ModelError("transition rates must be non-negative")
+        matrix.eliminate_zeros()
+        self._rates = matrix
+        self._n = matrix.shape[0]
+        self._exit_rates = np.asarray(matrix.sum(axis=1)).ravel()
+
+        if state_names is not None:
+            names = [str(name) for name in state_names]
+            if len(names) != self._n:
+                raise ModelError(f"{len(names)} state names given for {self._n} states")
+            self._names = names
+        else:
+            self._names = [str(i) for i in range(self._n)]
+
+        label_map: Dict[int, FrozenSet[str]] = {}
+        used: Set[str] = set()
+        if labels:
+            for state, props in labels.items():
+                state = int(state)
+                if not 0 <= state < self._n:
+                    raise LabelingError(
+                        f"label for state {state} out of range for {self._n} states"
+                    )
+                prop_set = frozenset(str(p) for p in props)
+                for prop in prop_set:
+                    if not prop or any(ch.isspace() for ch in prop):
+                        raise LabelingError(
+                            f"invalid atomic proposition {prop!r} on state {state}"
+                        )
+                label_map[state] = prop_set
+                used |= prop_set
+        if atomic_propositions is not None:
+            universe = {str(p) for p in atomic_propositions}
+            unknown = used - universe
+            if unknown:
+                raise LabelingError(
+                    f"labels {sorted(unknown)} are not declared atomic propositions"
+                )
+        else:
+            universe = used
+        self._labels = label_map
+        self._ap = frozenset(universe)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """Number of states ``|S|``."""
+        return self._n
+
+    @property
+    def rates(self) -> sp.csr_matrix:
+        """The rate matrix ``R`` (CSR, do not mutate)."""
+        return self._rates
+
+    @property
+    def state_names(self) -> List[str]:
+        """State names (copied)."""
+        return list(self._names)
+
+    @property
+    def atomic_propositions(self) -> FrozenSet[str]:
+        """The universe ``AP`` of atomic propositions."""
+        return self._ap
+
+    def rate(self, source: int, target: int) -> float:
+        """Transition rate ``R[source, target]``."""
+        return float(self._rates[source, target])
+
+    def exit_rate(self, state: int) -> float:
+        """Total outgoing rate ``E(s) = sum_s' R[s, s']``."""
+        return float(self._exit_rates[state])
+
+    @property
+    def exit_rates(self) -> np.ndarray:
+        """Vector of ``E(s)`` for all states (copied)."""
+        return self._exit_rates.copy()
+
+    def labels_of(self, state: int) -> FrozenSet[str]:
+        """``Label(state)``."""
+        if not 0 <= state < self._n:
+            raise LabelingError(f"state {state} out of range")
+        return self._labels.get(state, frozenset())
+
+    def states_with_label(self, proposition: str) -> Set[int]:
+        """All ``p``-states: ``{s | p in Label(s)}``."""
+        return {
+            state
+            for state, props in self._labels.items()
+            if proposition in props
+        }
+
+    def labeling(self) -> Dict[int, FrozenSet[str]]:
+        """The full labeling function (copied)."""
+        return dict(self._labels)
+
+    def successors(self, state: int) -> List[int]:
+        """States with a direct transition from ``state``."""
+        start, stop = self._rates.indptr[state], self._rates.indptr[state + 1]
+        return [int(self._rates.indices[pos]) for pos in range(start, stop)]
+
+    def is_absorbing(self, state: int) -> bool:
+        """Whether ``R[state, s'] = 0`` for all ``s'`` (Definition 3.2)."""
+        return self.exit_rate(state) == 0.0
+
+    def transition_probability(self, source: int, target: int) -> float:
+        """Embedded jump probability ``P(s, s') = R[s, s'] / E(s)``."""
+        exit_rate = self.exit_rate(source)
+        if exit_rate == 0.0:
+            return 1.0 if source == target else 0.0
+        return self.rate(source, target) / exit_rate
+
+    # ------------------------------------------------------------------
+    # derived processes
+    # ------------------------------------------------------------------
+    def generator(self) -> sp.csr_matrix:
+        """Infinitesimal generator ``Q = R - diag(E)``."""
+        return (self._rates - sp.diags(self._exit_rates)).tocsr()
+
+    def embedded_dtmc(self) -> DTMC:
+        """The jump chain: ``P(s, s') = R[s, s'] / E(s)``; absorbing
+        states get a self-loop of probability 1."""
+        matrix = sp.lil_matrix((self._n, self._n), dtype=float)
+        csr = self._rates
+        for state in range(self._n):
+            exit_rate = self._exit_rates[state]
+            if exit_rate == 0.0:
+                matrix[state, state] = 1.0
+                continue
+            for pos in range(csr.indptr[state], csr.indptr[state + 1]):
+                matrix[state, csr.indices[pos]] = csr.data[pos] / exit_rate
+        return DTMC(matrix.tocsr(), state_names=self._names)
+
+    def default_uniformization_rate(self) -> float:
+        """The smallest admissible ``Lambda = max_s E(s)`` (Section 2.4.1).
+
+        For a chain with no transitions at all, 1.0 is returned so the
+        uniformized DTMC is well defined (identity).
+        """
+        maximum = float(self._exit_rates.max()) if self._n else 0.0
+        return maximum if maximum > 0.0 else 1.0
+
+    def uniformized_dtmc(self, rate: Optional[float] = None) -> DTMC:
+        """The uniformized chain ``P = I + Q / Lambda`` (Section 2.4.1).
+
+        Parameters
+        ----------
+        rate:
+            Uniformization rate ``Lambda``; must satisfy
+            ``Lambda >= max_s E(s)``.  Defaults to that maximum.
+        """
+        lam = self.default_uniformization_rate() if rate is None else float(rate)
+        if lam <= 0.0:
+            raise ModelError("uniformization rate must be positive")
+        max_exit = float(self._exit_rates.max()) if self._n else 0.0
+        if lam + 1e-12 < max_exit:
+            raise ModelError(
+                f"uniformization rate {lam} is below the maximal exit rate "
+                f"{max_exit}"
+            )
+        probabilities = (self._rates / lam + sp.diags(1.0 - self._exit_rates / lam)).tocsr()
+        return DTMC(probabilities, state_names=self._names)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CTMC(num_states={self._n}, transitions={self._rates.nnz}, "
+            f"ap={sorted(self._ap)})"
+        )

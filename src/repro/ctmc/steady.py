@@ -1,0 +1,94 @@
+"""Steady-state analysis of CTMCs (Sections 2.4.2, 3.7 of the paper).
+
+For a strongly connected CTMC the steady-state distribution ``pi`` solves
+``pi Q = 0`` with ``sum pi = 1`` (eq. 2.3).  For a general chain the limit
+depends on the initial state: the chain is decomposed into bottom
+strongly connected components (BSCCs), each BSCC gets its conditional
+stationary distribution, and the contributions are weighted with the
+probability of reaching the BSCC (eq. 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ctmc.chain import CTMC
+from repro.exceptions import ModelError
+from repro.graphs.scc import bottom_strongly_connected_components
+
+__all__ = ["steady_state_distribution", "steady_state_matrix"]
+
+
+def _bscc_stationary(chain: CTMC, members: np.ndarray) -> np.ndarray:
+    """Stationary distribution ``pi^B`` of one BSCC, embedded in ``|S|``."""
+    n = chain.num_states
+    result = np.zeros(n, dtype=float)
+    if len(members) == 1:
+        result[members[0]] = 1.0
+        return result
+    generator = chain.generator()
+    sub = generator[members][:, members].toarray()
+    k = len(members)
+    # pi Q = 0 with one equation replaced by the normalization sum pi = 1.
+    system = sub.T.copy()
+    system[-1, :] = 1.0
+    rhs = np.zeros(k, dtype=float)
+    rhs[-1] = 1.0
+    local = np.linalg.solve(system, rhs)
+    local = np.clip(local, 0.0, None)
+    total = local.sum()
+    if total <= 0.0:
+        raise ModelError("BSCC stationary distribution degenerated")
+    local /= total
+    result[members] = local
+    return result
+
+
+def steady_state_matrix(chain: CTMC) -> np.ndarray:
+    """Matrix ``pi(s, s')`` of steady-state probabilities for all starts.
+
+    Row ``s`` is the limiting distribution when starting in state ``s``
+    (eq. 3.2): the per-BSCC stationary distributions weighted with the
+    reachability probabilities ``P(s, eventually B)``.
+    """
+    n = chain.num_states
+    bsccs = bottom_strongly_connected_components(chain.rates)
+    embedded = chain.embedded_dtmc()
+    result = np.zeros((n, n), dtype=float)
+    for bscc in bsccs:
+        members = np.asarray(sorted(bscc), dtype=np.int64)
+        reach = embedded.absorption_probabilities(members)
+        stationary = _bscc_stationary(chain, members)
+        result += np.outer(reach, stationary)
+    return result
+
+
+def steady_state_distribution(
+    chain: CTMC,
+    initial: Optional[Iterable[float]] = None,
+) -> np.ndarray:
+    """Limiting distribution ``pi`` for a given initial distribution.
+
+    When the chain is strongly connected, the initial distribution is
+    irrelevant and may be omitted.  Otherwise it is required.
+    """
+    n = chain.num_states
+    bsccs = bottom_strongly_connected_components(chain.rates)
+    if len(bsccs) == 1 and len(bsccs[0]) == n:
+        return _bscc_stationary(chain, np.arange(n, dtype=np.int64))
+    if initial is None:
+        raise ModelError(
+            "CTMC is not strongly connected: the steady-state distribution "
+            "depends on the initial distribution, pass one explicitly"
+        )
+    start = np.asarray(list(initial), dtype=float).ravel()
+    if start.shape[0] != n:
+        raise ModelError(
+            f"initial distribution has length {start.shape[0]}, expected {n}"
+        )
+    if abs(start.sum() - 1.0) > 1e-6:
+        raise ModelError("initial distribution must sum to 1")
+    return start.dot(steady_state_matrix(chain))

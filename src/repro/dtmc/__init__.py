@@ -1,0 +1,5 @@
+"""Discrete-time Markov chain substrate."""
+
+from repro.dtmc.chain import DTMC
+
+__all__ = ["DTMC"]

@@ -1,0 +1,254 @@
+"""Discrete-time Markov chains (Section 2.3 of the paper).
+
+A DTMC is specified by a row-stochastic one-step probability matrix ``P``
+over a finite state space.  This substrate supports the two analyses the
+paper develops (transient ``p(n) = p(0) P^n`` and steady-state
+``v = v P``) plus absorption probabilities, which the model checker uses
+for unbounded until (eq. 3.8) over embedded/uniformized chains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ModelError, NumericalError
+from repro.graphs.scc import bottom_strongly_connected_components
+from repro.numerics.linsolve import solve_linear_system
+
+__all__ = ["DTMC"]
+
+_ROW_SUM_TOLERANCE = 1e-9
+
+
+class DTMC:
+    """A finite discrete-time Markov chain.
+
+    Parameters
+    ----------
+    probabilities:
+        Square row-stochastic matrix (dense array-like or scipy sparse);
+        each row must sum to 1 within a small tolerance.
+    state_names:
+        Optional human-readable names, one per state.
+
+    Examples
+    --------
+    The three-state chain of Figure 2.1:
+
+    >>> chain = DTMC([[0.5, 0.5, 0.0], [0.25, 0.0, 0.75], [0.2, 0.6, 0.2]])
+    >>> chain.transient([1.0, 0.0, 0.0], 3).round(4).tolist()
+    [0.325, 0.4125, 0.2625]
+    """
+
+    def __init__(
+        self,
+        probabilities,
+        state_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        matrix = sp.csr_matrix(probabilities, dtype=float)
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ModelError(f"probability matrix must be square, got {matrix.shape}")
+        if matrix.nnz and not np.all(np.isfinite(matrix.data)):
+            raise ModelError("transition probabilities must be finite")
+        if matrix.nnz and matrix.data.min() < 0.0:
+            raise ModelError("transition probabilities must be non-negative")
+        row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+        bad = np.where(np.abs(row_sums - 1.0) > _ROW_SUM_TOLERANCE)[0]
+        if bad.size:
+            raise ModelError(
+                f"rows {bad[:5].tolist()} of the probability matrix do not sum "
+                f"to 1 (sums {row_sums[bad[:5]].tolist()})"
+            )
+        self._matrix = matrix
+        self._n = matrix.shape[0]
+        if state_names is not None:
+            names = [str(name) for name in state_names]
+            if len(names) != self._n:
+                raise ModelError(
+                    f"{len(names)} state names given for {self._n} states"
+                )
+            self._names = names
+        else:
+            self._names = [str(i) for i in range(self._n)]
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """Number of states."""
+        return self._n
+
+    @property
+    def matrix(self) -> sp.csr_matrix:
+        """The one-step probability matrix ``P`` (CSR, do not mutate)."""
+        return self._matrix
+
+    @property
+    def state_names(self) -> List[str]:
+        """State names (copied)."""
+        return list(self._names)
+
+    def probability(self, source: int, target: int) -> float:
+        """One-step probability ``P[source, target]``."""
+        return float(self._matrix[source, target])
+
+    def successors(self, state: int) -> List[int]:
+        """States reachable in one step with positive probability."""
+        start, stop = self._matrix.indptr[state], self._matrix.indptr[state + 1]
+        return [
+            int(self._matrix.indices[pos])
+            for pos in range(start, stop)
+            if self._matrix.data[pos] > 0.0
+        ]
+
+    def is_absorbing(self, state: int) -> bool:
+        """Whether the state only loops onto itself."""
+        return self.successors(state) in ([], [state])
+
+    # ------------------------------------------------------------------
+    # analyses
+    # ------------------------------------------------------------------
+    def _check_distribution(self, initial: Iterable[float]) -> np.ndarray:
+        vector = np.asarray(list(initial), dtype=float).ravel()
+        if vector.shape[0] != self._n:
+            raise ModelError(
+                f"initial distribution has length {vector.shape[0]}, "
+                f"expected {self._n}"
+            )
+        if vector.min() < -_ROW_SUM_TOLERANCE:
+            raise ModelError("initial distribution has negative entries")
+        if abs(vector.sum() - 1.0) > 1e-6:
+            raise ModelError(
+                f"initial distribution sums to {vector.sum()!r}, expected 1"
+            )
+        return vector
+
+    def transient(self, initial: Iterable[float], steps: int) -> np.ndarray:
+        """State occupation probabilities ``p(n) = p(0) P^n``."""
+        if steps < 0:
+            raise ModelError("number of steps must be non-negative")
+        distribution = self._check_distribution(initial)
+        for _ in range(steps):
+            distribution = self._matrix.T.dot(distribution)
+        return distribution
+
+    def steady_state(
+        self,
+        initial: Optional[Iterable[float]] = None,
+        tolerance: float = 1e-12,
+    ) -> np.ndarray:
+        """Long-run distribution ``v`` with ``v = v P`` and ``sum v = 1``.
+
+        For an irreducible (single-BSCC, whole-space) chain the initial
+        distribution is irrelevant.  Otherwise the limit depends on where
+        the chain starts, so ``initial`` is required: the result combines
+        per-BSCC stationary distributions with the absorption
+        probabilities into each BSCC.
+
+        Note: for periodic chains this returns the Cesaro limit (the
+        stationary distribution), which is the standard object for
+        long-run measures.
+        """
+        bsccs = bottom_strongly_connected_components(self._matrix)
+        if len(bsccs) == 1 and len(bsccs[0]) == self._n:
+            return self._stationary_of(np.arange(self._n))
+        if initial is None:
+            raise NumericalError(
+                "chain is not irreducible: steady state depends on the "
+                "initial distribution, pass one explicitly"
+            )
+        start = self._check_distribution(initial)
+        result = np.zeros(self._n, dtype=float)
+        for bscc in bsccs:
+            members = np.asarray(sorted(bscc), dtype=np.int64)
+            reach = self.absorption_probabilities(members)
+            weight = float(start.dot(reach))
+            if weight == 0.0:
+                continue
+            local = self._stationary_of(members)
+            result += weight * local
+        return result
+
+    def _stationary_of(self, members: np.ndarray) -> np.ndarray:
+        """Stationary distribution supported on the given closed subset."""
+        sub = self._matrix[members][:, members].toarray()
+        k = len(members)
+        if k == 1:
+            result = np.zeros(self._n, dtype=float)
+            result[members[0]] = 1.0
+            return result
+        # Solve v (P - I) = 0 with the normalization replacing one equation.
+        system = (sub.T - np.eye(k))
+        system[-1, :] = 1.0
+        rhs = np.zeros(k, dtype=float)
+        rhs[-1] = 1.0
+        local = np.linalg.solve(system, rhs)
+        local = np.clip(local, 0.0, None)
+        local /= local.sum()
+        result = np.zeros(self._n, dtype=float)
+        result[members] = local
+        return result
+
+    def absorption_probabilities(
+        self,
+        targets: Iterable[int],
+        method: str = "direct",
+    ) -> np.ndarray:
+        """Probability of ever reaching ``targets``, per start state.
+
+        This is the least solution of the linear system of eq. (3.8) with
+        ``Phi = tt``: ``x[s] = 1`` on targets, ``x[s] = sum P[s, s'] x[s']``
+        elsewhere, and ``x[s] = 0`` for states that cannot reach the
+        targets at all.
+        """
+        target_set = {int(t) for t in targets}
+        for t in target_set:
+            if not 0 <= t < self._n:
+                raise ModelError(f"target state {t} out of range")
+        from repro.graphs.reachability import backward_reachable
+
+        can_reach = backward_reachable(self._matrix, target_set)
+        unknown = sorted(can_reach - target_set)
+        result = np.zeros(self._n, dtype=float)
+        for t in target_set:
+            result[t] = 1.0
+        if not unknown:
+            return result
+        index = {state: pos for pos, state in enumerate(unknown)}
+        k = len(unknown)
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        rhs = np.zeros(k, dtype=float)
+        matrix = self._matrix
+        for state in unknown:
+            row = index[state]
+            rows.append(row)
+            cols.append(row)
+            vals.append(1.0)
+            start, stop = matrix.indptr[state], matrix.indptr[state + 1]
+            for pos in range(start, stop):
+                successor = int(matrix.indices[pos])
+                probability = float(matrix.data[pos])
+                if probability == 0.0:
+                    continue
+                if successor in target_set:
+                    rhs[row] += probability
+                elif successor in index:
+                    rows.append(row)
+                    cols.append(index[successor])
+                    vals.append(-probability)
+                # successors that cannot reach the target contribute 0
+        system = sp.csr_matrix((vals, (rows, cols)), shape=(k, k))
+        solution = solve_linear_system(system, rhs, method=method)
+        for state, row in index.items():
+            result[state] = min(max(float(solution[row]), 0.0), 1.0)
+        return result
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DTMC(num_states={self._n})"

@@ -1,0 +1,111 @@
+"""Typed exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing model-construction problems, formula problems and
+numerical problems when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """A stochastic model (DTMC, CTMC, MRM) is malformed.
+
+    Raised by model constructors when a matrix has the wrong shape, a rate
+    or probability is negative, rows of a stochastic matrix do not sum to
+    one, or a reward structure violates Definition 3.1 (an impulse reward
+    on a self-loop must be zero).
+    """
+
+
+class LabelingError(ModelError):
+    """A labeling function refers to unknown states or invalid propositions."""
+
+
+class RewardError(ModelError):
+    """A reward structure is malformed (negative rewards, bad shapes)."""
+
+
+class FormulaError(ReproError):
+    """A CSRL formula is syntactically or structurally invalid."""
+
+
+class ParseError(FormulaError):
+    """The CSRL parser rejected its input.
+
+    Attributes
+    ----------
+    position:
+        Character offset in the input at which parsing failed, or ``None``
+        when the error is not tied to a specific offset.
+    """
+
+    def __init__(self, message: str, position: "int | None" = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class CheckError(ReproError):
+    """Model checking could not be carried out for a structural reason.
+
+    For example: an until formula with reward bounds was handed to an
+    engine that only supports unbounded rewards, or a formula refers to an
+    atomic proposition the model does not declare.
+    """
+
+
+class NumericalError(ReproError):
+    """A numerical routine failed to produce a trustworthy answer.
+
+    Raised when an iterative solver does not converge within its iteration
+    budget, or when discretization preconditions (integral rewards,
+    ``iota/d`` integral) are violated.
+    """
+
+
+class ConvergenceError(NumericalError):
+    """An iterative method exhausted its iteration budget before converging."""
+
+    def __init__(self, method: str, iterations: int, residual: float) -> None:
+        super().__init__(
+            f"{method} did not converge within {iterations} iterations "
+            f"(last residual {residual:.3e})"
+        )
+        self.method = method
+        self.iterations = iterations
+        self.residual = residual
+
+
+class FileFormatError(ReproError):
+    """A ``.tra``/``.lab``/``.rewr``/``.rewi`` file is malformed.
+
+    Attributes
+    ----------
+    path:
+        The file being read, if known.
+    line:
+        1-based line number at which the problem was detected, if known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: "str | None" = None,
+        line: "int | None" = None,
+    ) -> None:
+        prefix = ""
+        if path is not None:
+            prefix = f"{path}:"
+            if line is not None:
+                prefix += f"{line}:"
+            prefix += " "
+        super().__init__(prefix + message)
+        self.path = path
+        self.line = line

@@ -1,0 +1,31 @@
+"""Programmatic regeneration of the paper's experiments.
+
+The benchmark suite prints the tables; this package exposes the same
+sweeps as plain functions returning structured rows, so downstream code
+(notebooks, CI dashboards, plotting scripts) can regenerate any table
+or figure of Chapter 5 — at the paper's parameters or scaled-down ones.
+"""
+
+from repro.experiments.tables import (
+    Table51Row,
+    Table53Row,
+    Table55Row,
+    table_5_1,
+    table_5_3,
+    table_5_4,
+    table_5_5,
+    table_5_7,
+    table_5_8,
+)
+
+__all__ = [
+    "table_5_1",
+    "table_5_3",
+    "table_5_4",
+    "table_5_5",
+    "table_5_7",
+    "table_5_8",
+    "Table51Row",
+    "Table53Row",
+    "Table55Row",
+]

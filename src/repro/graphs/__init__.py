@@ -1,0 +1,11 @@
+"""Graph substrate: strongly connected components and reachability."""
+
+from repro.graphs.scc import bottom_strongly_connected_components, strongly_connected_components
+from repro.graphs.reachability import backward_reachable, forward_reachable
+
+__all__ = [
+    "strongly_connected_components",
+    "bottom_strongly_connected_components",
+    "forward_reachable",
+    "backward_reachable",
+]

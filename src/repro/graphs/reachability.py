@@ -1,0 +1,98 @@
+"""Forward and backward reachability over transition graphs.
+
+Qualitative precomputations used by the model checker: before solving the
+linear system for ``P(s, Phi U Psi)`` (eq. 3.8) it pays to identify the
+states that cannot reach a target at all (probability exactly 0) and, for
+the complementary system, the states from which the target is reached
+almost surely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Sequence, Set, Union
+
+import scipy.sparse as sp
+
+from repro.graphs.scc import _to_adjacency
+
+__all__ = ["forward_reachable", "backward_reachable"]
+
+AdjacencyInput = Union[sp.spmatrix, Sequence[Sequence[int]]]
+
+
+def forward_reachable(
+    graph: AdjacencyInput,
+    sources: Iterable[int],
+    allowed: "Set[int] | None" = None,
+) -> Set[int]:
+    """States reachable from ``sources`` by directed edges.
+
+    Parameters
+    ----------
+    allowed:
+        If given, the walk may only pass *through* states in this set;
+        sources are always included, and successors outside ``allowed``
+        are recorded as reached but not expanded.  This matches the
+        until-semantics where intermediate states must satisfy ``Phi``.
+    """
+    adjacency = _to_adjacency(graph)
+    seen: Set[int] = set()
+    frontier = deque()
+    for source in sources:
+        source = int(source)
+        if source not in seen:
+            seen.add(source)
+            frontier.append(source)
+    while frontier:
+        state = frontier.popleft()
+        if allowed is not None and state not in allowed:
+            # Reached but not expandable: recorded in ``seen`` already.
+            continue
+        for successor in adjacency[state]:
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return seen
+
+
+def backward_reachable(
+    graph: AdjacencyInput,
+    targets: Iterable[int],
+    allowed: "Set[int] | None" = None,
+) -> Set[int]:
+    """States from which some state in ``targets`` is reachable.
+
+    Parameters
+    ----------
+    allowed:
+        If given, only states in ``allowed`` may appear *strictly before*
+        the target on the witnessing path (the targets themselves need not
+        be in ``allowed``).  This computes
+        ``Sat(exists(Phi U Psi))`` with ``allowed = Sat(Phi)`` and
+        ``targets = Sat(Psi)``.
+    """
+    adjacency = _to_adjacency(graph)
+    n = len(adjacency)
+    predecessors: List[List[int]] = [[] for _ in range(n)]
+    for state, successors in enumerate(adjacency):
+        for successor in successors:
+            predecessors[successor].append(state)
+
+    seen: Set[int] = set()
+    frontier = deque()
+    for target in targets:
+        target = int(target)
+        if target not in seen:
+            seen.add(target)
+            frontier.append(target)
+    while frontier:
+        state = frontier.popleft()
+        for predecessor in predecessors[state]:
+            if predecessor in seen:
+                continue
+            if allowed is not None and predecessor not in allowed:
+                continue
+            seen.add(predecessor)
+            frontier.append(predecessor)
+    return seen

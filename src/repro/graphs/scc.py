@@ -1,0 +1,143 @@
+"""Strongly connected components and BSCC detection (Algorithm 4.2).
+
+The steady-state operator needs the *bottom* strongly connected components
+(BSCCs) of the CTMC's transition graph: SCCs with no outgoing edge.  The
+paper augments Tarjan's algorithm with a ``reachSCC`` flag so BSCCs are
+recognized during the same pass; we implement the same idea with an
+explicit stack (no Python recursion limit) over a CSR adjacency
+structure.
+
+Both functions accept either a ``scipy.sparse`` matrix (an edge exists
+where the entry is ``> 0``) or an adjacency list (a sequence of integer
+successor sequences).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ModelError
+
+__all__ = [
+    "strongly_connected_components",
+    "bottom_strongly_connected_components",
+]
+
+AdjacencyInput = Union[sp.spmatrix, Sequence[Sequence[int]]]
+
+
+def _to_adjacency(graph: AdjacencyInput) -> List[List[int]]:
+    """Normalize the input into an adjacency list of successor indices."""
+    if sp.issparse(graph):
+        csr = sp.csr_matrix(graph)
+        if csr.shape[0] != csr.shape[1]:
+            raise ModelError(f"adjacency matrix must be square, got {csr.shape}")
+        adjacency: List[List[int]] = []
+        for row in range(csr.shape[0]):
+            start, stop = csr.indptr[row], csr.indptr[row + 1]
+            successors = [
+                int(csr.indices[pos])
+                for pos in range(start, stop)
+                if csr.data[pos] > 0.0
+            ]
+            adjacency.append(successors)
+        return adjacency
+    adjacency = [[int(s) for s in successors] for successors in graph]
+    n = len(adjacency)
+    for successors in adjacency:
+        for s in successors:
+            if not 0 <= s < n:
+                raise ModelError(f"successor index {s} out of range for {n} states")
+    return adjacency
+
+
+def strongly_connected_components(graph: AdjacencyInput) -> List[List[int]]:
+    """All maximal SCCs by an iterative Tarjan traversal.
+
+    Returns the components as lists of state indices; within each
+    component the order is the reverse of the pop order (deterministic),
+    and components appear in the order Tarjan completes them.
+    """
+    adjacency = _to_adjacency(graph)
+    n = len(adjacency)
+
+    index_counter = 0
+    indices = [-1] * n  # discovery order; -1 means unvisited
+    lowlink = [0] * n
+    on_stack = [False] * n
+    tarjan_stack: List[int] = []
+    components: List[List[int]] = []
+
+    for root in range(n):
+        if indices[root] != -1:
+            continue
+        # Each work-stack frame is (state, iterator position into successors).
+        work: List[List[int]] = [[root, 0]]
+        while work:
+            state, pointer = work[-1]
+            if pointer == 0:
+                indices[state] = index_counter
+                lowlink[state] = index_counter
+                index_counter += 1
+                tarjan_stack.append(state)
+                on_stack[state] = True
+            advanced = False
+            successors = adjacency[state]
+            while work[-1][1] < len(successors):
+                successor = successors[work[-1][1]]
+                work[-1][1] += 1
+                if indices[successor] == -1:
+                    work.append([successor, 0])
+                    advanced = True
+                    break
+                if on_stack[successor]:
+                    lowlink[state] = min(lowlink[state], indices[successor])
+            if advanced:
+                continue
+            # All successors done: close the frame.
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[state])
+            if lowlink[state] == indices[state]:
+                component: List[int] = []
+                while True:
+                    member = tarjan_stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == state:
+                        break
+                components.append(component)
+    return components
+
+
+def bottom_strongly_connected_components(graph: AdjacencyInput) -> List[List[int]]:
+    """The BSCCs: SCCs with no edge leaving the component (Alg. 4.2).
+
+    A component ``B`` is bottom iff every successor of every member lies
+    in ``B``.  The check mirrors the ``reachSCC`` augmentation of the
+    paper's modified Tarjan; here it runs as a linear post-pass over the
+    component assignment, which has the same ``O(M + N)`` cost.
+    """
+    adjacency = _to_adjacency(graph)
+    components = strongly_connected_components(adjacency)
+    assignment = np.empty(len(adjacency), dtype=np.int64)
+    for component_id, component in enumerate(components):
+        for state in component:
+            assignment[state] = component_id
+
+    is_bottom = [True] * len(components)
+    for state, successors in enumerate(adjacency):
+        home = assignment[state]
+        for successor in successors:
+            if assignment[successor] != home:
+                is_bottom[home] = False
+                break
+    return [
+        component
+        for component_id, component in enumerate(components)
+        if is_bottom[component_id]
+    ]

@@ -1,0 +1,33 @@
+"""Readers and writers for the tool's file formats (paper appendix).
+
+A model is specified by four files:
+
+* ``.tra`` — transitions: ``STATES n`` / ``TRANSITIONS m`` header, then
+  ``state1 state2 rate`` lines;
+* ``.lab`` — labels: ``#DECLARATION`` block listing the atomic
+  propositions, ``#END``, then ``state ap[,ap]*`` lines;
+* ``.rewr`` — state rewards: ``state reward`` lines;
+* ``.rewi`` — impulse rewards: ``TRANSITIONS n`` header, then
+  ``state1 state2 reward`` lines.
+
+State indices in files are 1-based (MRMC convention); in-memory state
+indices are 0-based.
+"""
+
+from repro.io.tra import read_tra, write_tra
+from repro.io.lab import read_lab, write_lab
+from repro.io.rew import read_rewi, read_rewr, write_rewi, write_rewr
+from repro.io.bundle import load_mrm, save_mrm
+
+__all__ = [
+    "read_tra",
+    "write_tra",
+    "read_lab",
+    "write_lab",
+    "read_rewr",
+    "write_rewr",
+    "read_rewi",
+    "write_rewi",
+    "load_mrm",
+    "save_mrm",
+]

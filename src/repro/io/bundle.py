@@ -1,0 +1,66 @@
+"""Load/save complete MRMs from the four-file bundle of the appendix."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.ctmc.chain import CTMC
+from repro.io.lab import read_lab, write_lab
+from repro.io.rew import read_rewi, read_rewr, write_rewi, write_rewr
+from repro.io.tra import read_tra, write_tra
+from repro.mrm.model import MRM
+
+__all__ = ["load_mrm", "save_mrm"]
+
+
+def load_mrm(
+    tra_path: str,
+    lab_path: str,
+    rewr_path: Optional[str] = None,
+    rewi_path: Optional[str] = None,
+) -> MRM:
+    """Build an MRM from ``.tra``/``.lab``/``.rewr``/``.rewi`` files.
+
+    The reward files are optional; a missing file means all-zero rewards
+    of that kind.
+    """
+    rates = read_tra(tra_path)
+    declared, labels = read_lab(lab_path)
+    chain = CTMC(
+        rates,
+        labels=labels,
+        atomic_propositions=declared if declared else None,
+    )
+    num_states = chain.num_states
+    state_rewards = read_rewr(rewr_path, num_states) if rewr_path else None
+    impulse_rewards = read_rewi(rewi_path, num_states) if rewi_path else None
+    return MRM(chain, state_rewards=state_rewards, impulse_rewards=impulse_rewards)
+
+
+def save_mrm(model: MRM, directory: str, basename: str) -> Dict[str, str]:
+    """Write an MRM as a four-file bundle; returns the written paths.
+
+    Files are ``<directory>/<basename>.tra|.lab|.rewr|.rewi``.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths = {
+        "tra": os.path.join(directory, f"{basename}.tra"),
+        "lab": os.path.join(directory, f"{basename}.lab"),
+        "rewr": os.path.join(directory, f"{basename}.rewr"),
+        "rewi": os.path.join(directory, f"{basename}.rewi"),
+    }
+    write_tra(paths["tra"], model.rates)
+    write_lab(
+        paths["lab"],
+        model.ctmc.labeling(),
+        declared=sorted(model.atomic_propositions),
+    )
+    write_rewr(paths["rewr"], model.state_rewards)
+    impulses: Dict[Tuple[int, int], float] = {}
+    coo = model.impulse_rewards.tocoo()
+    for source, target, value in zip(coo.row, coo.col, coo.data):
+        if value != 0.0:
+            impulses[(int(source), int(target))] = float(value)
+    write_rewi(paths["rewi"], impulses)
+    return paths

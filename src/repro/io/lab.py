@@ -1,0 +1,129 @@
+"""The ``.lab`` labeling file format.
+
+::
+
+    #DECLARATION
+    off sleep idle busy
+    #END
+    1 off
+    4 receive,busy
+
+States are 1-based in the file.  Multiple propositions per state are
+comma-separated (whitespace around commas is tolerated).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Mapping, Set, Tuple
+
+from repro.exceptions import FileFormatError
+
+__all__ = ["read_lab", "write_lab"]
+
+
+def read_lab(path: str) -> Tuple[List[str], Dict[int, Set[str]]]:
+    """Read a labeling file.
+
+    Returns
+    -------
+    (declared, labels):
+        The declared atomic propositions in order, and the 0-based state
+        labeling.
+    """
+    declared: List[str] = []
+    labels: Dict[int, Set[str]] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+
+    in_declaration = False
+    declaration_seen = False
+    declaration_closed = False
+    for number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("%") or line.startswith("//"):
+            continue
+        if line.upper() == "#DECLARATION":
+            if declaration_seen:
+                raise FileFormatError("duplicate #DECLARATION", path=path, line=number)
+            in_declaration = True
+            declaration_seen = True
+            continue
+        if line.upper() == "#END":
+            if not in_declaration:
+                raise FileFormatError("#END without #DECLARATION", path=path, line=number)
+            in_declaration = False
+            declaration_closed = True
+            continue
+        if in_declaration:
+            for proposition in line.split():
+                if proposition in declared:
+                    raise FileFormatError(
+                        f"duplicate declaration of {proposition!r}",
+                        path=path,
+                        line=number,
+                    )
+                declared.append(proposition)
+            continue
+        fields = line.split(None, 1)
+        if len(fields) != 2:
+            raise FileFormatError(
+                f"expected 'state ap[,ap]*', got {line!r}", path=path, line=number
+            )
+        try:
+            state = int(fields[0])
+        except ValueError as error:
+            raise FileFormatError(str(error), path=path, line=number) from error
+        if state < 1:
+            raise FileFormatError("states are 1-based", path=path, line=number)
+        props = {p.strip() for p in fields[1].split(",") if p.strip()}
+        unknown = props - set(declared)
+        if declared and unknown:
+            raise FileFormatError(
+                f"labels {sorted(unknown)} not declared", path=path, line=number
+            )
+        labels.setdefault(state - 1, set()).update(props)
+    if declaration_seen and not declaration_closed:
+        raise FileFormatError("#DECLARATION never closed with #END", path=path)
+    return declared, labels
+
+
+def write_lab(
+    path: str,
+    labels: Mapping[int, Iterable[str]],
+    declared: "Iterable[str] | None" = None,
+) -> None:
+    """Write a labeling file (1-based states).
+
+    Parameters
+    ----------
+    labels:
+        0-based state labeling.
+    declared:
+        Optional explicit declaration order; defaults to the sorted union
+        of the used propositions.
+    """
+    used: Set[str] = set()
+    for props in labels.values():
+        used |= {str(p) for p in props}
+    if declared is None:
+        declaration = sorted(used)
+    else:
+        declaration = [str(p) for p in declared]
+        missing = used - set(declaration)
+        if missing:
+            raise FileFormatError(
+                f"labels {sorted(missing)} missing from the declaration"
+            )
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("#DECLARATION\n")
+        if declaration:
+            handle.write(" ".join(declaration) + "\n")
+        handle.write("#END\n")
+        for state in sorted(labels):
+            props = sorted(str(p) for p in labels[state])
+            if props:
+                handle.write(f"{int(state) + 1} {','.join(props)}\n")

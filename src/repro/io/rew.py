@@ -1,0 +1,124 @@
+"""The ``.rewr`` (state reward) and ``.rewi`` (impulse reward) formats.
+
+::
+
+    # .rewr: one 'state reward' line per state with non-zero reward
+    1 7.0
+    2 9.0
+
+    # .rewi
+    TRANSITIONS 2
+    2 1 4.0
+    3 2 4.0
+
+States are 1-based in the files.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from repro.exceptions import FileFormatError
+from repro.io.tra import _tokenize_lines
+
+__all__ = ["read_rewr", "write_rewr", "read_rewi", "write_rewi"]
+
+
+def read_rewr(path: str, num_states: int) -> np.ndarray:
+    """Read state rewards into a dense vector of length ``num_states``."""
+    rewards = np.zeros(num_states, dtype=float)
+    for line, fields in _tokenize_lines(path):
+        if len(fields) != 2:
+            raise FileFormatError(
+                f"expected 'state reward', got {' '.join(fields)!r}",
+                path=path,
+                line=line,
+            )
+        try:
+            state = int(fields[0])
+            value = float(fields[1])
+        except ValueError as error:
+            raise FileFormatError(str(error), path=path, line=line) from error
+        if not 1 <= state <= num_states:
+            raise FileFormatError(
+                f"state {state} out of range (1..{num_states})", path=path, line=line
+            )
+        if value < 0:
+            raise FileFormatError("rewards must be non-negative", path=path, line=line)
+        rewards[state - 1] = value
+    return rewards
+
+
+def write_rewr(path: str, rewards: Iterable[float]) -> None:
+    """Write state rewards (only non-zero entries are emitted)."""
+    vector = np.asarray(list(rewards), dtype=float)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for state, value in enumerate(vector, start=1):
+            if value != 0.0:
+                handle.write(f"{state} {value:.17g}\n")
+
+
+def read_rewi(path: str, num_states: int) -> Dict[Tuple[int, int], float]:
+    """Read impulse rewards as a 0-based ``{(source, target): reward}`` map."""
+    entries = _tokenize_lines(path)
+    if not entries:
+        return {}
+    line, header = entries[0]
+    if len(header) != 2 or header[0].upper() != "TRANSITIONS":
+        raise FileFormatError("expected 'TRANSITIONS n' header", path=path, line=line)
+    try:
+        count = int(header[1])
+    except ValueError as error:
+        raise FileFormatError(str(error), path=path, line=line) from error
+    impulses: Dict[Tuple[int, int], float] = {}
+    for line, fields in entries[1:]:
+        if len(fields) != 3:
+            raise FileFormatError(
+                f"expected 'state1 state2 reward', got {' '.join(fields)!r}",
+                path=path,
+                line=line,
+            )
+        try:
+            source = int(fields[0])
+            target = int(fields[1])
+            value = float(fields[2])
+        except ValueError as error:
+            raise FileFormatError(str(error), path=path, line=line) from error
+        if not (1 <= source <= num_states and 1 <= target <= num_states):
+            raise FileFormatError(
+                f"state out of range in impulse {source} -> {target}",
+                path=path,
+                line=line,
+            )
+        if value < 0:
+            raise FileFormatError("rewards must be non-negative", path=path, line=line)
+        impulses[(source - 1, target - 1)] = value
+    if len(impulses) != count:
+        raise FileFormatError(
+            f"header declares {count} impulse entries but {len(impulses)} "
+            "distinct ones were given",
+            path=path,
+        )
+    return impulses
+
+
+def write_rewi(path: str, impulses: Mapping[Tuple[int, int], float]) -> None:
+    """Write impulse rewards (1-based states; zero entries skipped)."""
+    entries = sorted(
+        (int(s) + 1, int(t) + 1, float(v))
+        for (s, t), v in impulses.items()
+        if v != 0.0
+    )
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"TRANSITIONS {len(entries)}\n")
+        for source, target, value in entries:
+            handle.write(f"{source} {target} {value:.17g}\n")

@@ -1,0 +1,110 @@
+"""The ``.tra`` transition file format.
+
+::
+
+    STATES 5
+    TRANSITIONS 8
+    1 2 0.1
+    2 1 0.05
+    ...
+
+States are 1-based in the file, 0-based in memory.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import scipy.sparse as sp
+
+from repro.exceptions import FileFormatError
+
+__all__ = ["read_tra", "write_tra"]
+
+
+def _tokenize_lines(path: str) -> List[Tuple[int, List[str]]]:
+    """Non-empty, non-comment lines as (line number, fields)."""
+    entries: List[Tuple[int, List[str]]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("%") or line.startswith("//"):
+                continue
+            entries.append((number, line.split()))
+    return entries
+
+
+def read_tra(path: str) -> sp.csr_matrix:
+    """Read a rate matrix from a ``.tra`` file."""
+    entries = _tokenize_lines(path)
+    if len(entries) < 2:
+        raise FileFormatError("missing STATES/TRANSITIONS header", path=path)
+    (line_a, header_a), (line_b, header_b) = entries[0], entries[1]
+    if len(header_a) != 2 or header_a[0].upper() != "STATES":
+        raise FileFormatError("expected 'STATES n'", path=path, line=line_a)
+    if len(header_b) != 2 or header_b[0].upper() != "TRANSITIONS":
+        raise FileFormatError("expected 'TRANSITIONS m'", path=path, line=line_b)
+    try:
+        num_states = int(header_a[1])
+        num_transitions = int(header_b[1])
+    except ValueError as error:
+        raise FileFormatError(f"bad header count: {error}", path=path) from error
+    if num_states < 1:
+        raise FileFormatError("STATES must be at least 1", path=path, line=line_a)
+
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    for line, fields in entries[2:]:
+        if len(fields) != 3:
+            raise FileFormatError(
+                f"expected 'state1 state2 rate', got {' '.join(fields)!r}",
+                path=path,
+                line=line,
+            )
+        try:
+            source = int(fields[0])
+            target = int(fields[1])
+            rate = float(fields[2])
+        except ValueError as error:
+            raise FileFormatError(str(error), path=path, line=line) from error
+        if not (1 <= source <= num_states and 1 <= target <= num_states):
+            raise FileFormatError(
+                f"state out of range in transition {source} -> {target}",
+                path=path,
+                line=line,
+            )
+        if rate < 0:
+            raise FileFormatError("rates must be non-negative", path=path, line=line)
+        rows.append(source - 1)
+        cols.append(target - 1)
+        vals.append(rate)
+    if len(vals) != num_transitions:
+        raise FileFormatError(
+            f"header declares {num_transitions} transitions but "
+            f"{len(vals)} were given",
+            path=path,
+        )
+    return sp.csr_matrix((vals, (rows, cols)), shape=(num_states, num_states))
+
+
+def write_tra(path: str, rates: sp.spmatrix) -> None:
+    """Write a rate matrix to a ``.tra`` file (1-based states)."""
+    matrix = sp.coo_matrix(rates)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise FileFormatError(f"rate matrix must be square, got {matrix.shape}")
+    entries = [
+        (int(r) + 1, int(c) + 1, float(v))
+        for r, c, v in zip(matrix.row, matrix.col, matrix.data)
+        if v != 0.0
+    ]
+    entries.sort()
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"STATES {matrix.shape[0]}\n")
+        handle.write(f"TRANSITIONS {len(entries)}\n")
+        for source, target, rate in entries:
+            handle.write(f"{source} {target} {rate:.17g}\n")

@@ -1,0 +1,42 @@
+"""A guarded-command modeling language for MRMs.
+
+Hand-writing rate matrices stops scaling at a dozen states; the paper's
+own case studies (TMR systems with parametric module counts) are most
+naturally described by *guarded commands* over integer state variables,
+in the tradition of PRISM's reactive-modules dialect.  This package
+provides a small such language that compiles to :class:`repro.mrm.MRM`:
+
+.. code-block:: text
+
+    // tmr.mrm — the paper's triple-modular redundant system
+    const N = 3;
+    const lambda = 0.0004;
+
+    var modules : [0 .. N] init N;
+    var voter   : [0 .. 1] init 1;
+
+    [fail]        modules > 0 & voter = 1
+                  -> lambda : modules' = modules - 1;
+    [repair]      modules < N & voter = 1
+                  -> 0.05 : modules' = modules + 1;
+    [voter_fail]  voter = 1 -> 0.0001 : voter' = 0;
+    [voter_fix]   voter = 0 -> 0.06 : voter' = 1 & modules' = N;
+
+    label "Sup"    = modules >= 2 & voter = 1;
+    label "failed" = modules < 2 | voter = 0;
+    label "allUp"  = modules = N & voter = 1;
+
+    reward state  voter = 1 : 7 + 2 * (N - modules);
+    reward state  voter = 0 : 15;
+    reward impulse [fail]       : 4;
+    reward impulse [voter_fail] : 8;
+    reward impulse [voter_fix]  : 12;
+
+Compile with :func:`compile_model` (text) or :func:`load_model` (file).
+The reachable state space is explored breadth-first from the initial
+valuation; labels and reward expressions are evaluated per state.
+"""
+
+from repro.lang.compiler import CompiledModel, compile_model, load_model
+
+__all__ = ["compile_model", "load_model", "CompiledModel"]

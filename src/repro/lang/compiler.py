@@ -1,0 +1,384 @@
+"""Compiler: guarded-command source -> reachable-state MRM.
+
+Pipeline:
+
+1. parse (``repro.lang.parser``);
+2. resolve constants (in declaration order; constants may reference
+   earlier constants) and variable ranges/initial values;
+3. explore the reachable state space breadth-first from the initial
+   valuation, firing every command whose guard holds; rates and update
+   expressions are evaluated in the source state;
+4. assemble the MRM: parallel transitions between the same pair of
+   valuations merge by *summing rates*; impulse rewards attach per
+   action (a merged transition whose contributing actions declare
+   different impulse values is rejected — the MRM formalism stores one
+   impulse per state pair);
+5. evaluate labels and state-reward declarations per reachable state
+   (multiple matching ``reward state`` declarations sum).
+
+The compiled artifact keeps the mapping between valuations and state
+indices so formulas/queries can be phrased over variable values.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.ctmc.chain import CTMC
+from repro.exceptions import ModelError, ParseError
+from repro.lang.expressions import (
+    evaluate_boolean,
+    evaluate_number,
+    free_names,
+)
+from repro.lang.parser import ModelAst, parse_model_source
+from repro.mrm.model import MRM
+
+__all__ = ["CompiledModel", "compile_model", "load_model"]
+
+_MAX_STATES_DEFAULT = 200_000
+
+Valuation = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CompiledModel:
+    """The result of compiling a model description.
+
+    Attributes
+    ----------
+    mrm:
+        The compiled Markov reward model.
+    variable_names:
+        Variable order used in the valuations.
+    states:
+        Valuation of each state index.
+    constants:
+        The resolved constant environment.
+    initial_state:
+        Index of the initial valuation.
+    formulas:
+        Named CSRL properties declared in the source (``formula "n" =
+        "..."``), syntax-checked at compile time.
+    """
+
+    mrm: MRM
+    variable_names: Tuple[str, ...]
+    states: Tuple[Valuation, ...]
+    constants: Mapping[str, float]
+    initial_state: int
+    formulas: Mapping[str, str] = None  # type: ignore[assignment]
+
+    def state_index(self, **assignment: int) -> int:
+        """Index of the state with the given variable values.
+
+        Unmentioned variables must be uniquely determined — i.e. all
+        variables must be given.
+        """
+        missing = set(self.variable_names) - set(assignment)
+        if missing:
+            raise ModelError(f"missing variable values: {sorted(missing)}")
+        unknown = set(assignment) - set(self.variable_names)
+        if unknown:
+            raise ModelError(f"unknown variables: {sorted(unknown)}")
+        valuation = tuple(int(assignment[name]) for name in self.variable_names)
+        try:
+            return self.states.index(valuation)
+        except ValueError:
+            raise ModelError(
+                f"valuation {dict(assignment)} is not reachable"
+            ) from None
+
+    def valuation_of(self, state: int) -> Dict[str, int]:
+        """The variable assignment of a state index."""
+        return dict(zip(self.variable_names, self.states[state]))
+
+
+def _resolve_constants(ast: ModelAst) -> Dict[str, float]:
+    environment: Dict[str, float] = {}
+    for declaration in ast.constants:
+        if declaration.name in environment:
+            raise ModelError(f"duplicate constant {declaration.name!r}")
+        unknown = free_names(declaration.value) - set(environment)
+        if unknown:
+            raise ModelError(
+                f"constant {declaration.name!r} references undefined names "
+                f"{sorted(unknown)} (constants resolve in declaration order)"
+            )
+        environment[declaration.name] = evaluate_number(
+            declaration.value, environment
+        )
+    return environment
+
+
+def _as_int(value: float, what: str) -> int:
+    if abs(value - round(value)) > 1e-9:
+        raise ModelError(f"{what} must be an integer, got {value!r}")
+    return int(round(value))
+
+
+def compile_model(
+    source: str,
+    constants: Optional[Mapping[str, float]] = None,
+    max_states: int = _MAX_STATES_DEFAULT,
+) -> CompiledModel:
+    """Compile model source text to an MRM.
+
+    Parameters
+    ----------
+    source:
+        The model description.
+    constants:
+        Optional overrides for ``const`` declarations (must exist in the
+        source) — the idiom for parametric studies
+        (``compile_model(src, {"N": 11})``).
+    max_states:
+        Safety bound on the reachable state-space size.
+    """
+    ast = parse_model_source(source)
+    if not ast.variables:
+        raise ModelError("a model needs at least one 'var' declaration")
+    if not ast.commands:
+        raise ModelError("a model needs at least one command")
+
+    environment = _resolve_constants(ast)
+    if constants:
+        unknown = set(constants) - set(environment)
+        if unknown:
+            raise ModelError(
+                f"constant overrides {sorted(unknown)} are not declared in "
+                "the model"
+            )
+        environment.update({k: float(v) for k, v in constants.items()})
+
+    variable_names: List[str] = []
+    bounds: Dict[str, Tuple[int, int]] = {}
+    initial: Dict[str, int] = {}
+    for declaration in ast.variables:
+        name = declaration.name
+        if name in bounds or name in environment:
+            raise ModelError(f"duplicate name {name!r}")
+        lower = _as_int(
+            evaluate_number(declaration.lower, environment), f"lower bound of {name}"
+        )
+        upper = _as_int(
+            evaluate_number(declaration.upper, environment), f"upper bound of {name}"
+        )
+        if upper < lower:
+            raise ModelError(f"variable {name!r} has an empty range")
+        start = _as_int(
+            evaluate_number(declaration.initial, environment),
+            f"initial value of {name}",
+        )
+        if not lower <= start <= upper:
+            raise ModelError(
+                f"initial value {start} of {name!r} outside [{lower}, {upper}]"
+            )
+        variable_names.append(name)
+        bounds[name] = (lower, upper)
+        initial[name] = start
+
+    # Validate that expressions reference only constants and variables.
+    known = set(environment) | set(variable_names)
+    for command in ast.commands:
+        for expression in (command.guard, command.rate):
+            unknown = free_names(expression) - known
+            if unknown:
+                raise ModelError(
+                    f"command references undefined names {sorted(unknown)}"
+                )
+        for target, expression in command.updates:
+            if target not in bounds:
+                raise ModelError(f"update assigns unknown variable {target!r}")
+            unknown = free_names(expression) - known
+            if unknown:
+                raise ModelError(
+                    f"update references undefined names {sorted(unknown)}"
+                )
+    impulse_by_action: Dict[str, object] = {}
+    for declaration in ast.impulse_rewards:
+        if declaration.action in impulse_by_action:
+            raise ModelError(
+                f"duplicate impulse reward for action {declaration.action!r}"
+            )
+        unknown = free_names(declaration.value) - known
+        if unknown:
+            raise ModelError(
+                f"impulse reward references undefined names {sorted(unknown)}"
+            )
+        impulse_by_action[declaration.action] = declaration.value
+    declared_actions = {c.action for c in ast.commands if c.action}
+    for action in impulse_by_action:
+        if action not in declared_actions:
+            raise ModelError(
+                f"impulse reward for unknown action {action!r}"
+            )
+
+    # Breadth-first reachability.
+    initial_valuation: Valuation = tuple(initial[name] for name in variable_names)
+    index: Dict[Valuation, int] = {initial_valuation: 0}
+    order: List[Valuation] = [initial_valuation]
+    # (source, target) -> [rate, impulse or None, action or None]
+    edges: Dict[Tuple[int, int], List[object]] = {}
+    queue = deque([initial_valuation])
+    while queue:
+        valuation = queue.popleft()
+        source = index[valuation]
+        state_env = dict(environment)
+        state_env.update(zip(variable_names, valuation))
+        for command in ast.commands:
+            if not evaluate_boolean(command.guard, state_env):
+                continue
+            rate = evaluate_number(command.rate, state_env)
+            if rate < 0:
+                raise ModelError(
+                    f"command [{command.action or ''}] produced a negative "
+                    f"rate {rate!r} in state {dict(zip(variable_names, valuation))}"
+                )
+            if rate == 0.0:
+                continue
+            updated = dict(zip(variable_names, valuation))
+            for target_name, expression in command.updates:
+                value = _as_int(
+                    evaluate_number(expression, state_env),
+                    f"update of {target_name}",
+                )
+                lower, upper = bounds[target_name]
+                if not lower <= value <= upper:
+                    raise ModelError(
+                        f"update drives {target_name!r} to {value}, outside "
+                        f"[{lower}, {upper}], in state "
+                        f"{dict(zip(variable_names, valuation))}"
+                    )
+                updated[target_name] = value
+            successor_valuation: Valuation = tuple(
+                updated[name] for name in variable_names
+            )
+            if successor_valuation not in index:
+                if len(index) >= max_states:
+                    raise ModelError(
+                        f"reachable state space exceeds {max_states} states"
+                    )
+                index[successor_valuation] = len(order)
+                order.append(successor_valuation)
+                queue.append(successor_valuation)
+            target = index[successor_valuation]
+            impulse_value: Optional[float] = None
+            if command.action and command.action in impulse_by_action:
+                impulse_value = evaluate_number(
+                    impulse_by_action[command.action], state_env
+                )
+                if impulse_value < 0:
+                    raise ModelError(
+                        f"impulse reward of action {command.action!r} is "
+                        f"negative in state "
+                        f"{dict(zip(variable_names, valuation))}"
+                    )
+                if source == target and impulse_value > 0:
+                    raise ModelError(
+                        f"action {command.action!r} yields a self-loop with "
+                        "a positive impulse reward (Definition 3.1 forbids "
+                        "impulse rewards on self-loops)"
+                    )
+            key = (source, target)
+            existing = edges.get(key)
+            if existing is None:
+                edges[key] = [rate, impulse_value, command.action]
+            else:
+                existing[0] += rate
+                previous = existing[1] or 0.0
+                current = impulse_value or 0.0
+                if previous != current:
+                    # An impulse-free command merging with an
+                    # impulse-carrying one is equally unrepresentable:
+                    # the merged transition would need to charge the
+                    # impulse only part of the time.
+                    raise ModelError(
+                        "two commands produce the same transition "
+                        f"{key} with different impulse rewards "
+                        f"({previous} vs {current}); the MRM formalism "
+                        "stores one impulse per state pair"
+                    )
+
+    # Assemble the MRM.
+    n = len(order)
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    impulses: Dict[Tuple[int, int], float] = {}
+    for (source, target), (rate, impulse_value, _action) in edges.items():
+        rows.append(source)
+        cols.append(target)
+        vals.append(float(rate))
+        if impulse_value:
+            impulses[(source, target)] = float(impulse_value)
+    import scipy.sparse as sp
+
+    rate_matrix = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+    labels: Dict[int, set] = {}
+    rewards = [0.0] * n
+    for state, valuation in enumerate(order):
+        state_env = dict(environment)
+        state_env.update(zip(variable_names, valuation))
+        label_set = set()
+        for declaration in ast.labels:
+            if evaluate_boolean(declaration.condition, state_env):
+                label_set.add(declaration.name)
+        if label_set:
+            labels[state] = label_set
+        total = 0.0
+        for declaration in ast.state_rewards:
+            if evaluate_boolean(declaration.condition, state_env):
+                value = evaluate_number(declaration.rate, state_env)
+                if value < 0:
+                    raise ModelError(
+                        "state reward expressions must be non-negative; got "
+                        f"{value!r} in state {dict(zip(variable_names, valuation))}"
+                    )
+                total += value
+        rewards[state] = total
+
+    names = [
+        ",".join(f"{name}={value}" for name, value in zip(variable_names, valuation))
+        for valuation in order
+    ]
+    chain = CTMC(rate_matrix, labels=labels, state_names=names)
+    mrm = MRM(chain, state_rewards=rewards, impulse_rewards=impulses)
+
+    # Named CSRL properties: syntax-check now so errors surface at
+    # compile time, not first use.
+    from repro.logic.parser import parse_formula as parse_csrl
+
+    formulas: Dict[str, str] = {}
+    for declaration in ast.formulas:
+        if declaration.name in formulas:
+            raise ModelError(f"duplicate formula {declaration.name!r}")
+        try:
+            parse_csrl(declaration.text)
+        except ParseError as error:
+            raise ModelError(
+                f"formula {declaration.name!r} is not valid CSRL: {error}"
+            ) from error
+        formulas[declaration.name] = declaration.text
+
+    return CompiledModel(
+        mrm=mrm,
+        variable_names=tuple(variable_names),
+        states=tuple(order),
+        constants=dict(environment),
+        initial_state=0,
+        formulas=formulas,
+    )
+
+
+def load_model(
+    path: str,
+    constants: Optional[Mapping[str, float]] = None,
+    max_states: int = _MAX_STATES_DEFAULT,
+) -> CompiledModel:
+    """Compile a model description from a file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return compile_model(handle.read(), constants=constants, max_states=max_states)

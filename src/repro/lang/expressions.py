@@ -1,0 +1,159 @@
+"""Expression AST and evaluator for the modeling language.
+
+Expressions are arithmetic (`+ - * /`, unary minus), comparisons
+(`= != < <= > >=`) and boolean connectives (`& | !`) over numeric
+literals, named constants and state variables.  Evaluation happens
+against an *environment* (a mapping from names to numbers); booleans
+are represented as Python ``bool``, numbers as ``float`` (with integer
+values kept exact where possible).
+
+The AST is deliberately tiny — evaluation is the only operation the
+compiler needs, plus free-variable collection for validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Union
+
+from repro.exceptions import FormulaError
+
+__all__ = [
+    "Expression",
+    "Number",
+    "Boolean",
+    "Name",
+    "Unary",
+    "Binary",
+    "evaluate",
+    "evaluate_number",
+    "evaluate_boolean",
+    "free_names",
+]
+
+Value = Union[float, bool]
+
+
+@dataclass(frozen=True)
+class Number:
+    value: float
+
+
+@dataclass(frozen=True)
+class Boolean:
+    value: bool
+
+
+@dataclass(frozen=True)
+class Name:
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary:
+    operator: str  # '-' or '!'
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class Binary:
+    operator: str  # + - * / = != < <= > >= & |
+    left: "Expression"
+    right: "Expression"
+
+
+Expression = Union[Number, Boolean, Name, Unary, Binary]
+
+_ARITHMETIC = {"+", "-", "*", "/"}
+_COMPARISON = {"=", "!=", "<", "<=", ">", ">="}
+_BOOLEAN = {"&", "|"}
+
+
+def evaluate(expression: Expression, environment: Mapping[str, float]) -> Value:
+    """Evaluate against the environment; raises on type confusion."""
+    if isinstance(expression, Number):
+        return expression.value
+    if isinstance(expression, Boolean):
+        return expression.value
+    if isinstance(expression, Name):
+        try:
+            return environment[expression.name]
+        except KeyError:
+            raise FormulaError(f"undefined name {expression.name!r}") from None
+    if isinstance(expression, Unary):
+        value = evaluate(expression.operand, environment)
+        if expression.operator == "-":
+            return -_as_number(value, "unary minus")
+        if expression.operator == "!":
+            return not _as_boolean(value, "negation")
+        raise FormulaError(f"unknown unary operator {expression.operator!r}")
+    if isinstance(expression, Binary):
+        operator = expression.operator
+        if operator in _BOOLEAN:
+            left = _as_boolean(evaluate(expression.left, environment), operator)
+            # no short-circuit needed, expressions are pure
+            right = _as_boolean(evaluate(expression.right, environment), operator)
+            return (left and right) if operator == "&" else (left or right)
+        left_value = evaluate(expression.left, environment)
+        right_value = evaluate(expression.right, environment)
+        if operator in _ARITHMETIC:
+            left_number = _as_number(left_value, operator)
+            right_number = _as_number(right_value, operator)
+            if operator == "+":
+                return left_number + right_number
+            if operator == "-":
+                return left_number - right_number
+            if operator == "*":
+                return left_number * right_number
+            if right_number == 0:
+                raise FormulaError("division by zero in model expression")
+            return left_number / right_number
+        if operator in _COMPARISON:
+            left_number = _as_number(left_value, operator)
+            right_number = _as_number(right_value, operator)
+            if operator == "=":
+                return left_number == right_number
+            if operator == "!=":
+                return left_number != right_number
+            if operator == "<":
+                return left_number < right_number
+            if operator == "<=":
+                return left_number <= right_number
+            if operator == ">":
+                return left_number > right_number
+            return left_number >= right_number
+        raise FormulaError(f"unknown operator {operator!r}")
+    raise FormulaError(f"unknown expression node {expression!r}")
+
+
+def _as_number(value: Value, context: str) -> float:
+    if isinstance(value, bool):
+        raise FormulaError(f"{context} expects a number, got a boolean")
+    return float(value)
+
+
+def _as_boolean(value: Value, context: str) -> bool:
+    if not isinstance(value, bool):
+        raise FormulaError(f"{context} expects a boolean, got {value!r}")
+    return value
+
+
+def evaluate_number(expression: Expression, environment: Mapping[str, float]) -> float:
+    """Evaluate, requiring a numeric result."""
+    return _as_number(evaluate(expression, environment), "expression")
+
+
+def evaluate_boolean(expression: Expression, environment: Mapping[str, float]) -> bool:
+    """Evaluate, requiring a boolean result."""
+    return _as_boolean(evaluate(expression, environment), "expression")
+
+
+def free_names(expression: Expression) -> FrozenSet[str]:
+    """All names referenced anywhere in the expression."""
+    if isinstance(expression, Name):
+        return frozenset({expression.name})
+    if isinstance(expression, Unary):
+        return free_names(expression.operand)
+    if isinstance(expression, Binary):
+        return free_names(expression.left) | free_names(expression.right)
+    return frozenset()

@@ -1,0 +1,147 @@
+"""Lexer for the guarded-command modeling language.
+
+Token kinds: keywords (``const var init label reward state impulse
+true false``), identifiers, numbers, strings (double-quoted label
+names), and punctuation/operators.  ``//`` starts a line comment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.exceptions import ParseError
+
+__all__ = ["LangToken", "tokenize_model"]
+
+KEYWORDS = {
+    "const",
+    "var",
+    "init",
+    "label",
+    "reward",
+    "state",
+    "impulse",
+    "formula",
+    "true",
+    "false",
+}
+
+# Longest first so '<=' wins over '<', '..' over '.'.
+SYMBOLS = (
+    "->",
+    "..",
+    "<=",
+    ">=",
+    "!=",
+    "&",
+    "|",
+    "!",
+    "<",
+    ">",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "(",
+    ")",
+    "[",
+    "]",
+    ":",
+    ";",
+    ",",
+    "'",
+)
+
+
+@dataclass(frozen=True)
+class LangToken:
+    kind: str  # 'keyword', 'ident', 'number', 'string', or the symbol
+    text: str
+    line: int
+    column: int
+
+    def location(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
+def tokenize_model(source: str) -> List[LangToken]:
+    """Tokenize model source text; raises :class:`ParseError` on junk."""
+    tokens: List[LangToken] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            column += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == '"':
+            end = source.find('"', i + 1)
+            if end < 0:
+                raise ParseError(f"unterminated string at line {line}")
+            text = source[i + 1 : end]
+            tokens.append(LangToken("string", text, line, column))
+            column += end - i + 1
+            i = end + 1
+            continue
+        matched = None
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, i):
+                matched = symbol
+                break
+        if matched is not None:
+            tokens.append(LangToken(matched, matched, line, column))
+            i += len(matched)
+            column += len(matched)
+            continue
+        if ch.isdigit() or ch == ".":
+            start = i
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                # '..' is a range operator, not part of a number.
+                if source.startswith("..", i):
+                    break
+                i += 1
+            if i < n and source[i] in "eE":
+                j = i + 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j < n and source[j].isdigit():
+                    i = j
+                    while i < n and source[i].isdigit():
+                        i += 1
+            text = source[start:i]
+            try:
+                float(text)
+            except ValueError as error:
+                raise ParseError(
+                    f"bad number {text!r} at line {line}"
+                ) from error
+            tokens.append(LangToken("number", text, line, column))
+            column += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(LangToken(kind, text, line, column))
+            column += i - start
+            continue
+        raise ParseError(
+            f"unexpected character {ch!r} at line {line}, column {column}"
+        )
+    return tokens

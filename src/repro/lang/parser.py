@@ -1,0 +1,334 @@
+"""Parser for the guarded-command modeling language.
+
+Grammar (``;``-terminated declarations, order-free except that names
+must be declared before use at *compile* time, not parse time)::
+
+    model        ::= declaration*
+    declaration  ::= const | variable | command | label | reward
+    const        ::= 'const' ident '=' expr ';'
+    variable     ::= 'var' ident ':' '[' expr '..' expr ']' 'init' expr ';'
+    command      ::= '[' ident? ']' expr '->' expr ':' updates ';'
+    updates      ::= update ('&' update)*
+    update       ::= ident "'" '=' expr
+    label        ::= 'label' string '=' expr ';'
+    reward       ::= 'reward' 'state' expr ':' expr ';'
+                   | 'reward' 'impulse' '[' ident ']' ':' expr ';'
+    formula      ::= 'formula' string '=' string ';'
+
+``formula`` declarations carry a CSRL property (in the quoted string,
+using the checker grammar of :mod:`repro.logic.parser`) alongside the
+model; they are parsed for well-formedness at compile time and exposed
+on the compiled artifact.
+
+Expression precedence, loosest first: ``|``, ``&``, comparisons
+(non-associative), ``+ -``, ``* /``, unary ``- !``, atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ParseError
+from repro.lang.expressions import Binary, Boolean, Expression, Name, Number, Unary
+from repro.lang.lexer import LangToken, tokenize_model
+
+__all__ = [
+    "ConstDecl",
+    "VarDecl",
+    "Command",
+    "LabelDecl",
+    "StateRewardDecl",
+    "ImpulseRewardDecl",
+    "FormulaDecl",
+    "ModelAst",
+    "parse_model_source",
+]
+
+
+@dataclass(frozen=True)
+class ConstDecl:
+    name: str
+    value: Expression
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    name: str
+    lower: Expression
+    upper: Expression
+    initial: Expression
+
+
+@dataclass(frozen=True)
+class Command:
+    action: Optional[str]
+    guard: Expression
+    rate: Expression
+    updates: Tuple[Tuple[str, Expression], ...]
+
+
+@dataclass(frozen=True)
+class LabelDecl:
+    name: str
+    condition: Expression
+
+
+@dataclass(frozen=True)
+class StateRewardDecl:
+    condition: Expression
+    rate: Expression
+
+
+@dataclass(frozen=True)
+class ImpulseRewardDecl:
+    action: str
+    value: Expression
+
+
+@dataclass(frozen=True)
+class FormulaDecl:
+    name: str
+    text: str
+
+
+@dataclass
+class ModelAst:
+    constants: List[ConstDecl] = field(default_factory=list)
+    variables: List[VarDecl] = field(default_factory=list)
+    commands: List[Command] = field(default_factory=list)
+    labels: List[LabelDecl] = field(default_factory=list)
+    state_rewards: List[StateRewardDecl] = field(default_factory=list)
+    impulse_rewards: List[ImpulseRewardDecl] = field(default_factory=list)
+    formulas: List[FormulaDecl] = field(default_factory=list)
+
+
+class _ModelParser:
+    def __init__(self, tokens: List[LangToken]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    def _peek(self) -> Optional[LangToken]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> LangToken:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of model source")
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, what: str) -> LangToken:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {what} but found {token.text!r} at {token.location()}"
+            )
+        return token
+
+    def _at(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        return (
+            token is not None
+            and token.kind == kind
+            and (text is None or token.text == text)
+        )
+
+    # ------------------------------------------------------------------
+    def parse(self) -> ModelAst:
+        ast = ModelAst()
+        while self._peek() is not None:
+            token = self._peek()
+            if token.kind == "keyword" and token.text == "const":
+                ast.constants.append(self._const())
+            elif token.kind == "keyword" and token.text == "var":
+                ast.variables.append(self._variable())
+            elif token.kind == "keyword" and token.text == "label":
+                ast.labels.append(self._label())
+            elif token.kind == "keyword" and token.text == "reward":
+                self._reward(ast)
+            elif token.kind == "keyword" and token.text == "formula":
+                ast.formulas.append(self._formula())
+            elif token.kind == "[":
+                ast.commands.append(self._command())
+            else:
+                raise ParseError(
+                    f"unexpected {token.text!r} at {token.location()} "
+                    "(expected const/var/label/reward or a '[' command)"
+                )
+        return ast
+
+    def _const(self) -> ConstDecl:
+        self._next()  # const
+        name = self._expect("ident", "a constant name").text
+        self._expect("=", "'='")
+        value = self._expression()
+        self._expect(";", "';'")
+        return ConstDecl(name, value)
+
+    def _variable(self) -> VarDecl:
+        self._next()  # var
+        name = self._expect("ident", "a variable name").text
+        self._expect(":", "':'")
+        self._expect("[", "'['")
+        lower = self._expression()
+        self._expect("..", "'..'")
+        upper = self._expression()
+        self._expect("]", "']'")
+        init_kw = self._next()
+        if init_kw.kind != "keyword" or init_kw.text != "init":
+            raise ParseError(
+                f"expected 'init' at {init_kw.location()}, found {init_kw.text!r}"
+            )
+        initial = self._expression()
+        self._expect(";", "';'")
+        return VarDecl(name, lower, upper, initial)
+
+    def _command(self) -> Command:
+        self._expect("[", "'['")
+        action: Optional[str] = None
+        if self._at("ident"):
+            action = self._next().text
+        self._expect("]", "']'")
+        guard = self._expression()
+        self._expect("->", "'->'")
+        rate = self._expression()
+        self._expect(":", "':'")
+        updates = [self._update()]
+        while self._at("&"):
+            self._next()
+            updates.append(self._update())
+        self._expect(";", "';'")
+        return Command(action, guard, rate, tuple(updates))
+
+    def _update(self) -> Tuple[str, Expression]:
+        name = self._expect("ident", "a variable name").text
+        self._expect("'", "a prime (') after the variable")
+        self._expect("=", "'='")
+        # The update's right-hand side stops below '&' so that
+        # ``x' = a & y' = b`` splits into two updates; parenthesize to
+        # assign a boolean-valued expression.
+        return name, self._comparison()
+
+    def _label(self) -> LabelDecl:
+        self._next()  # label
+        name = self._expect("string", "a quoted label name").text
+        if not name:
+            raise ParseError("label names must be non-empty")
+        self._expect("=", "'='")
+        condition = self._expression()
+        self._expect(";", "';'")
+        return LabelDecl(name, condition)
+
+    def _formula(self) -> FormulaDecl:
+        self._next()  # formula
+        name = self._expect("string", "a quoted formula name").text
+        if not name:
+            raise ParseError("formula names must be non-empty")
+        self._expect("=", "'='")
+        text = self._expect("string", "a quoted CSRL formula").text
+        self._expect(";", "';'")
+        return FormulaDecl(name, text)
+
+    def _reward(self, ast: ModelAst) -> None:
+        self._next()  # reward
+        kind = self._next()
+        if kind.kind == "keyword" and kind.text == "state":
+            condition = self._expression()
+            self._expect(":", "':'")
+            rate = self._expression()
+            self._expect(";", "';'")
+            ast.state_rewards.append(StateRewardDecl(condition, rate))
+            return
+        if kind.kind == "keyword" and kind.text == "impulse":
+            self._expect("[", "'['")
+            action = self._expect("ident", "an action name").text
+            self._expect("]", "']'")
+            self._expect(":", "':'")
+            value = self._expression()
+            self._expect(";", "';'")
+            ast.impulse_rewards.append(ImpulseRewardDecl(action, value))
+            return
+        raise ParseError(
+            f"expected 'state' or 'impulse' after 'reward' at {kind.location()}"
+        )
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _expression(self) -> Expression:
+        return self._or()
+
+    def _or(self) -> Expression:
+        left = self._and()
+        while self._at("|"):
+            self._next()
+            left = Binary("|", left, self._and())
+        return left
+
+    def _and(self) -> Expression:
+        left = self._comparison()
+        while self._at("&"):
+            self._next()
+            left = Binary("&", left, self._comparison())
+        return left
+
+    def _comparison(self) -> Expression:
+        left = self._additive()
+        for operator in ("<=", ">=", "!=", "<", ">", "="):
+            if self._at(operator):
+                self._next()
+                return Binary(operator, left, self._additive())
+        return left
+
+    def _additive(self) -> Expression:
+        left = self._multiplicative()
+        while self._at("+") or self._at("-"):
+            operator = self._next().kind
+            left = Binary(operator, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> Expression:
+        left = self._unary()
+        while self._at("*") or self._at("/"):
+            operator = self._next().kind
+            left = Binary(operator, left, self._unary())
+        return left
+
+    def _unary(self) -> Expression:
+        if self._at("-"):
+            self._next()
+            return Unary("-", self._unary())
+        if self._at("!"):
+            self._next()
+            return Unary("!", self._unary())
+        return self._atom()
+
+    def _atom(self) -> Expression:
+        token = self._next()
+        if token.kind == "number":
+            return Number(float(token.text))
+        if token.kind == "keyword" and token.text == "true":
+            return Boolean(True)
+        if token.kind == "keyword" and token.text == "false":
+            return Boolean(False)
+        if token.kind == "ident":
+            return Name(token.text)
+        if token.kind == "(":
+            inner = self._expression()
+            self._expect(")", "')'")
+            return inner
+        raise ParseError(
+            f"unexpected {token.text!r} in expression at {token.location()}"
+        )
+
+
+def parse_model_source(source: str) -> ModelAst:
+    """Parse model source text into a :class:`ModelAst`."""
+    tokens = tokenize_model(source)
+    if not tokens:
+        raise ParseError("empty model source")
+    return _ModelParser(tokens).parse()

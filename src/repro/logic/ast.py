@@ -1,0 +1,421 @@
+"""Abstract syntax of CSRL (Definition 3.5 of the paper).
+
+Two sorts of formulas are distinguished:
+
+* **state formulas**: ``tt``, atomic propositions, ``!``, ``||`` (with
+  ``&&`` and ``=>`` as the paper's derived operators, kept first-class
+  for convenience), the steady-state operator ``S_{op p}(Phi)`` and the
+  transient probability operator ``P_{op p}(phi)``;
+* **path formulas**: ``X^I_J Phi`` and ``Phi U^I_J Psi`` where ``I`` is a
+  time interval and ``J`` a reward interval.
+
+Nodes are immutable dataclasses with structural equality, a canonical
+CSRL rendering matching the tool grammar of the paper's appendix
+(``str(formula)`` re-parses to an equal formula), and small conveniences
+(``&``, ``|``, ``~`` operator overloads) for building formulas in Python.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator
+
+from repro.exceptions import FormulaError
+from repro.numerics.intervals import Interval
+
+__all__ = [
+    "Comparison",
+    "Formula",
+    "StateFormula",
+    "PathFormula",
+    "TrueFormula",
+    "FalseFormula",
+    "Atomic",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Steady",
+    "Prob",
+    "Next",
+    "Until",
+    "Eventually",
+    "tt",
+    "ff",
+    "ap",
+]
+
+
+class Comparison(enum.Enum):
+    """Binary comparison operators for probability bounds."""
+
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def holds(self, value: float, bound: float) -> bool:
+        """Whether ``value <op> bound`` holds."""
+        if self is Comparison.LT:
+            return value < bound
+        if self is Comparison.LE:
+            return value <= bound
+        if self is Comparison.GT:
+            return value > bound
+        return value >= bound
+
+    @staticmethod
+    def from_symbol(symbol: str) -> "Comparison":
+        for member in Comparison:
+            if member.value == symbol:
+                return member
+        raise FormulaError(f"unknown comparison operator {symbol!r}")
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Formula:
+    """Common base for state and path formulas."""
+
+    def subformulas(self) -> Iterator["Formula"]:
+        """Post-order traversal of the formula tree, self last.
+
+        This is the evaluation order of the model checker (Section 4.1):
+        the value of a formula depends only on earlier-yielded ones.
+        """
+        raise NotImplementedError
+
+    def atomic_propositions(self) -> FrozenSet[str]:
+        """All atomic propositions mentioned anywhere in the formula."""
+        return frozenset(
+            node.name for node in self.subformulas() if isinstance(node, Atomic)
+        )
+
+
+class StateFormula(Formula):
+    """A formula whose validity is judged in a state."""
+
+    # convenience operators for formula construction in Python code
+    def __and__(self, other: "StateFormula") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "StateFormula") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def implies(self, other: "StateFormula") -> "Implies":
+        return Implies(self, other)
+
+
+class PathFormula(Formula):
+    """A formula whose validity is judged over a path."""
+
+
+def _check_state(value, role: str) -> None:
+    if not isinstance(value, StateFormula):
+        raise FormulaError(f"{role} must be a state formula, got {type(value).__name__}")
+
+
+def _check_probability(value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise FormulaError(f"probability bound must be in [0, 1], got {value}")
+    return value
+
+
+def _check_interval(value, role: str) -> Interval:
+    if not isinstance(value, Interval):
+        raise FormulaError(f"{role} must be an Interval, got {type(value).__name__}")
+    if value.is_empty:
+        raise FormulaError(f"{role} must be non-empty")
+    return value
+
+
+@dataclass(frozen=True)
+class TrueFormula(StateFormula):
+    """The formula ``tt``, valid in every state."""
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+
+    def __str__(self) -> str:
+        return "TT"
+
+
+@dataclass(frozen=True)
+class FalseFormula(StateFormula):
+    """The formula ``ff`` (syntactic sugar for ``!tt``)."""
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+
+    def __str__(self) -> str:
+        return "FF"
+
+
+@dataclass(frozen=True)
+class Atomic(StateFormula):
+    """An atomic proposition ``a in AP``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or any(ch.isspace() for ch in self.name):
+            raise FormulaError(f"invalid atomic proposition name {self.name!r}")
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(StateFormula):
+    """Negation ``!Phi``."""
+
+    child: StateFormula
+
+    def __post_init__(self) -> None:
+        _check_state(self.child, "negation operand")
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.child.subformulas()
+        yield self
+
+    def __str__(self) -> str:
+        return f"!{_atom_or_parens(self.child)}"
+
+
+@dataclass(frozen=True)
+class Or(StateFormula):
+    """Disjunction ``Phi || Psi``."""
+
+    left: StateFormula
+    right: StateFormula
+
+    def __post_init__(self) -> None:
+        _check_state(self.left, "disjunction operand")
+        _check_state(self.right, "disjunction operand")
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.left.subformulas()
+        yield from self.right.subformulas()
+        yield self
+
+    def __str__(self) -> str:
+        return f"({self.left} || {self.right})"
+
+
+@dataclass(frozen=True)
+class And(StateFormula):
+    """Conjunction, the paper's derived ``Phi && Psi = !(!Phi || !Psi)``."""
+
+    left: StateFormula
+    right: StateFormula
+
+    def __post_init__(self) -> None:
+        _check_state(self.left, "conjunction operand")
+        _check_state(self.right, "conjunction operand")
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.left.subformulas()
+        yield from self.right.subformulas()
+        yield self
+
+    def __str__(self) -> str:
+        return f"({self.left} && {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(StateFormula):
+    """Implication, the paper's derived ``Phi => Psi = !Phi || Psi``."""
+
+    left: StateFormula
+    right: StateFormula
+
+    def __post_init__(self) -> None:
+        _check_state(self.left, "implication operand")
+        _check_state(self.right, "implication operand")
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.left.subformulas()
+        yield from self.right.subformulas()
+        yield self
+
+    def __str__(self) -> str:
+        return f"({self.left} => {self.right})"
+
+
+@dataclass(frozen=True)
+class Steady(StateFormula):
+    """The steady-state operator ``S_{op p}(Phi)``.
+
+    Asserts that the long-run probability of residing in ``Phi``-states
+    meets the bound.
+    """
+
+    comparison: Comparison
+    bound: float
+    child: StateFormula
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bound", _check_probability(self.bound))
+        if not isinstance(self.comparison, Comparison):
+            raise FormulaError("comparison must be a Comparison member")
+        _check_state(self.child, "steady-state operand")
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.child.subformulas()
+        yield self
+
+    def __str__(self) -> str:
+        return f"S({self.comparison}{self.bound:.12g}) {_atom_or_parens(self.child)}"
+
+
+@dataclass(frozen=True)
+class Prob(StateFormula):
+    """The transient probability operator ``P_{op p}(phi)``.
+
+    Asserts that the probability measure of paths satisfying the path
+    formula ``phi`` meets the bound.
+    """
+
+    comparison: Comparison
+    bound: float
+    path: PathFormula
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bound", _check_probability(self.bound))
+        if not isinstance(self.comparison, Comparison):
+            raise FormulaError("comparison must be a Comparison member")
+        if not isinstance(self.path, PathFormula):
+            raise FormulaError(
+                f"probability operand must be a path formula, got "
+                f"{type(self.path).__name__}"
+            )
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.path.subformulas()
+        yield self
+
+    def __str__(self) -> str:
+        return f"P({self.comparison}{self.bound:.12g}) [{self.path}]"
+
+
+@dataclass(frozen=True)
+class Next(PathFormula):
+    """The next operator ``X^I_J Phi``.
+
+    The first transition leads to a ``Phi``-state at a time in ``I`` with
+    accumulated reward in ``J``.
+    """
+
+    child: StateFormula
+    time_bound: Interval = field(default_factory=Interval.unbounded)
+    reward_bound: Interval = field(default_factory=Interval.unbounded)
+
+    def __post_init__(self) -> None:
+        _check_state(self.child, "next operand")
+        _check_interval(self.time_bound, "time bound")
+        _check_interval(self.reward_bound, "reward bound")
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.child.subformulas()
+        yield self
+
+    @property
+    def is_unbounded(self) -> bool:
+        """Whether both bounds are trivial (the plain CSL ``X``)."""
+        return self.time_bound.is_unbounded and self.reward_bound.is_unbounded
+
+    def __str__(self) -> str:
+        bounds = ""
+        if not self.is_unbounded:
+            bounds = f"{self.time_bound}{self.reward_bound}"
+        return f"X{bounds} {_atom_or_parens(self.child)}"
+
+
+@dataclass(frozen=True)
+class Until(PathFormula):
+    """The until operator ``Phi U^I_J Psi``.
+
+    ``Psi`` holds at some time in ``I`` with accumulated reward in ``J``,
+    and ``Phi`` holds at every earlier instant.
+    """
+
+    left: StateFormula
+    right: StateFormula
+    time_bound: Interval = field(default_factory=Interval.unbounded)
+    reward_bound: Interval = field(default_factory=Interval.unbounded)
+
+    def __post_init__(self) -> None:
+        _check_state(self.left, "until operand")
+        _check_state(self.right, "until operand")
+        _check_interval(self.time_bound, "time bound")
+        _check_interval(self.reward_bound, "reward bound")
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield from self.left.subformulas()
+        yield from self.right.subformulas()
+        yield self
+
+    @property
+    def is_unbounded(self) -> bool:
+        """Whether both bounds are trivial (property class P0)."""
+        return self.time_bound.is_unbounded and self.reward_bound.is_unbounded
+
+    @property
+    def is_time_bounded_only(self) -> bool:
+        """Time-bounded, reward-unbounded (property class P1)."""
+        return not self.time_bound.is_unbounded and self.reward_bound.is_unbounded
+
+    def __str__(self) -> str:
+        bounds = ""
+        if not self.is_unbounded:
+            bounds = f"{self.time_bound}{self.reward_bound}"
+        return (
+            f"{_atom_or_parens(self.left)} U{bounds} "
+            f"{_atom_or_parens(self.right)}"
+        )
+
+
+def Eventually(
+    child: StateFormula,
+    time_bound: "Interval | None" = None,
+    reward_bound: "Interval | None" = None,
+) -> Until:
+    """The derived ``<>^I_J Phi = tt U^I_J Phi`` (Section 3.6.1)."""
+    return Until(
+        TrueFormula(),
+        child,
+        time_bound=time_bound if time_bound is not None else Interval.unbounded(),
+        reward_bound=reward_bound if reward_bound is not None else Interval.unbounded(),
+    )
+
+
+def _atom_or_parens(formula: StateFormula) -> str:
+    """Render a subformula, adding parentheses unless it is atomic-like."""
+    text = str(formula)
+    if isinstance(formula, (TrueFormula, FalseFormula, Atomic)) or text.startswith("("):
+        return text
+    return f"({text})"
+
+
+def tt() -> TrueFormula:
+    """Shorthand constructor for ``tt``."""
+    return TrueFormula()
+
+
+def ff() -> FalseFormula:
+    """Shorthand constructor for ``ff``."""
+    return FalseFormula()
+
+
+def ap(name: str) -> Atomic:
+    """Shorthand constructor for an atomic proposition."""
+    return Atomic(name)

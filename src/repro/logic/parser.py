@@ -1,0 +1,355 @@
+"""Parser for the CSRL input grammar of the paper's appendix.
+
+The tool accepts formulas written as::
+
+    TT | FF                      truth constants
+    a                            atomic proposition (may contain digits, e.g. 3up)
+    !f                           negation
+    f && f | f || f | f => f     boolean connectives (&& binds tighter than ||)
+    S(op p) f                    steady-state operator
+    P(op p) [X[t1,t2][r1,r2] f]  probabilistic next
+    P(op p) [f U[t1,t2][r1,r2] f]  probabilistic until
+    ~                            infinity inside a bound, e.g. [0,~]
+
+``op`` is one of ``<``, ``<=``, ``>``, ``>=``; bounds may be omitted
+entirely (``X f``, ``f U f``) or given as a single time interval
+(``f U[0,10] f``).  Parentheses group state formulas.
+
+The grammar is LL(1) apart from the ``[ X ... ]`` / ``[ f U ... ]``
+distinction inside ``P(...)``, which a single token of lookahead after
+``[`` resolves (an ``X`` keyword starts a next formula).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import ParseError
+from repro.logic.ast import (
+    And,
+    Atomic,
+    Comparison,
+    FalseFormula,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Prob,
+    StateFormula,
+    Steady,
+    TrueFormula,
+    Until,
+)
+from repro.numerics.intervals import Interval
+
+__all__ = ["tokenize", "parse_formula"]
+
+_SYMBOLS = ("&&", "||", "=>", "<=", ">=", "(", ")", "[", "]", ",", "!", "~", "<", ">")
+_KEYWORDS = {"TT", "FF", "U", "X", "S", "P"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position (for error messages)."""
+
+    kind: str  # 'number', 'ident', 'keyword', or the symbol itself
+    text: str
+    position: int
+
+
+def _is_word_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split a CSRL formula string into tokens.
+
+    Atomic propositions are maximal runs of word characters that are not
+    pure numbers (so ``3up`` is an identifier while ``3`` and ``0.5`` are
+    numbers).  Keywords (``TT FF U X S P``) are case-sensitive.
+    """
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        matched_symbol = None
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, i):
+                matched_symbol = symbol
+                break
+        if matched_symbol is not None:
+            tokens.append(Token(matched_symbol, matched_symbol, i))
+            i += len(matched_symbol)
+            continue
+        if _is_word_char(ch) or ch == ".":
+            start = i
+            while i < n and (_is_word_char(text[i]) or text[i] == "."):
+                i += 1
+            # allow scientific notation: 1e-5, 2.5E+3
+            if (
+                i < n
+                and text[i] in "+-"
+                and text[i - 1] in "eE"
+                and _looks_numeric(text[start : i - 1])
+            ):
+                sign_pos = i
+                i += 1
+                while i < n and text[i].isdigit():
+                    i += 1
+                if i == sign_pos + 1:  # no digits followed the sign
+                    i = sign_pos
+            word = text[start:i]
+            if _looks_numeric_full(word):
+                tokens.append(Token("number", word, start))
+            elif word in _KEYWORDS:
+                tokens.append(Token("keyword", word, start))
+            else:
+                tokens.append(Token("ident", word, start))
+            continue
+        raise ParseError(f"unexpected character {ch!r}", position=i)
+    return tokens
+
+
+def _looks_numeric(word: str) -> bool:
+    """Whether the word is a plain decimal mantissa (digits with one dot)."""
+    if not word:
+        return False
+    stripped = word.replace(".", "", 1)
+    return stripped.isdigit()
+
+
+def _looks_numeric_full(word: str) -> bool:
+    """Whether the whole word parses as a float literal."""
+    if not word:
+        return False
+    if not (word[0].isdigit() or word[0] == "."):
+        return False
+    try:
+        float(word)
+    except ValueError:
+        return False
+    return True
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: List[Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    def _peek(self) -> Optional[Token]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of formula", position=len(self._source))
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind!r} but found {token.text!r}", position=token.position
+            )
+        return token
+
+    def _at(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token is None:
+            return False
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse(self) -> StateFormula:
+        formula = self._state_formula()
+        trailing = self._peek()
+        if trailing is not None:
+            raise ParseError(
+                f"unexpected trailing input {trailing.text!r}",
+                position=trailing.position,
+            )
+        return formula
+
+    def _state_formula(self) -> StateFormula:
+        return self._implication()
+
+    def _implication(self) -> StateFormula:
+        left = self._disjunction()
+        if self._at("=>"):
+            self._next()
+            right = self._implication()  # right-associative
+            return Implies(left, right)
+        return left
+
+    def _disjunction(self) -> StateFormula:
+        left = self._conjunction()
+        while self._at("||"):
+            self._next()
+            right = self._conjunction()
+            left = Or(left, right)
+        return left
+
+    def _conjunction(self) -> StateFormula:
+        left = self._unary()
+        while self._at("&&"):
+            self._next()
+            right = self._unary()
+            left = And(left, right)
+        return left
+
+    def _unary(self) -> StateFormula:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of formula", position=len(self._source))
+        if token.kind == "!":
+            self._next()
+            return Not(self._unary())
+        if token.kind == "(":
+            self._next()
+            inner = self._state_formula()
+            self._expect(")")
+            return inner
+        if token.kind == "keyword":
+            if token.text == "TT":
+                self._next()
+                return TrueFormula()
+            if token.text == "FF":
+                self._next()
+                return FalseFormula()
+            if token.text == "S":
+                return self._steady()
+            if token.text == "P":
+                return self._probability()
+            raise ParseError(
+                f"keyword {token.text!r} cannot start a state formula",
+                position=token.position,
+            )
+        if token.kind == "ident":
+            self._next()
+            return Atomic(token.text)
+        raise ParseError(
+            f"unexpected token {token.text!r}", position=token.position
+        )
+
+    def _comparison_and_bound(self) -> "tuple[Comparison, float]":
+        self._expect("(")
+        op_token = self._next()
+        if op_token.kind not in ("<", "<=", ">", ">="):
+            raise ParseError(
+                f"expected a comparison operator, found {op_token.text!r}",
+                position=op_token.position,
+            )
+        comparison = Comparison.from_symbol(op_token.kind)
+        number = self._expect("number")
+        bound = float(number.text)
+        self._expect(")")
+        return comparison, bound
+
+    def _steady(self) -> Steady:
+        self._next()  # consume S
+        comparison, bound = self._comparison_and_bound()
+        child = self._unary()
+        return Steady(comparison, bound, child)
+
+    def _probability(self) -> Prob:
+        self._next()  # consume P
+        comparison, bound = self._comparison_and_bound()
+        self._expect("[")
+        if self._at("keyword", "X"):
+            path = self._next_path()
+        else:
+            path = self._until_path()
+        self._expect("]")
+        return Prob(comparison, bound, path)
+
+    def _next_path(self) -> Next:
+        self._next()  # consume X
+        time_bound, reward_bound = self._optional_bounds()
+        child = self._unary()
+        return Next(child, time_bound=time_bound, reward_bound=reward_bound)
+
+    def _until_path(self) -> Until:
+        left = self._state_formula()
+        keyword = self._next()
+        if keyword.kind != "keyword" or keyword.text != "U":
+            raise ParseError(
+                f"expected 'U' in until formula, found {keyword.text!r}",
+                position=keyword.position,
+            )
+        time_bound, reward_bound = self._optional_bounds()
+        right = self._state_formula()
+        return Until(left, right, time_bound=time_bound, reward_bound=reward_bound)
+
+    def _optional_bounds(self) -> "tuple[Interval, Interval]":
+        time_bound = Interval.unbounded()
+        reward_bound = Interval.unbounded()
+        if self._at("["):
+            time_bound = self._interval()
+            if self._at("["):
+                reward_bound = self._interval()
+        return time_bound, reward_bound
+
+    def _interval(self) -> Interval:
+        self._expect("[")
+        lower = self._bound_value(allow_infinity=False)
+        self._expect(",")
+        upper = self._bound_value(allow_infinity=True)
+        close = self._expect("]")
+        if upper < lower:
+            raise ParseError(
+                f"interval upper bound {upper:g} below lower bound {lower:g}",
+                position=close.position,
+            )
+        return Interval(lower, upper)
+
+    def _bound_value(self, allow_infinity: bool) -> float:
+        token = self._next()
+        if token.kind == "~":
+            if not allow_infinity:
+                raise ParseError(
+                    "infinity is only allowed as an upper bound",
+                    position=token.position,
+                )
+            return math.inf
+        if token.kind != "number":
+            raise ParseError(
+                f"expected a number in interval bound, found {token.text!r}",
+                position=token.position,
+            )
+        return float(token.text)
+
+
+def parse_formula(text: str) -> StateFormula:
+    """Parse a CSRL state formula from the appendix grammar.
+
+    Examples
+    --------
+    >>> parse_formula("P(>=0.3) [a U[0,3][0,23] b]")
+    ... # doctest: +ELLIPSIS
+    Prob(...)
+    >>> str(parse_formula("S(>0.5) (busy || idle)"))
+    'S(>0.5) (busy || idle)'
+    """
+    tokens = tokenize(text)
+    if not tokens:
+        raise ParseError("empty formula")
+    return _Parser(tokens, text).parse()

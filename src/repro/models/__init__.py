@@ -1,0 +1,20 @@
+"""Ready-made models from the paper's examples and experiments."""
+
+from repro.models.wavelan import WAVELAN_RATES, build_wavelan_ctmc, build_wavelan_modem
+from repro.models.tmr import TMRParameters, TMRRewards, build_tmr
+from repro.models.phone import build_phone_model
+from repro.models.queue import build_mm1k_queue
+from repro.models.textbook import build_bscc_example, build_figure_2_1_dtmc
+
+__all__ = [
+    "build_wavelan_modem",
+    "build_wavelan_ctmc",
+    "WAVELAN_RATES",
+    "build_tmr",
+    "TMRParameters",
+    "TMRRewards",
+    "build_phone_model",
+    "build_mm1k_queue",
+    "build_figure_2_1_dtmc",
+    "build_bscc_example",
+]

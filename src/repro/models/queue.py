@@ -1,0 +1,98 @@
+"""An M/M/1/K queue as an MRM with impulse rewards (additional workload).
+
+A classical capacity-planning model exercising the library on a second
+domain (the paper's introduction motivates performability with service
+systems): jobs arrive at rate ``arrival_rate``, are served at rate
+``service_rate``, and at most ``capacity`` jobs fit in the system.
+
+Rewards model operating cost:
+
+* state reward ``holding_cost * n`` in the state with ``n`` jobs —
+  holding/energy cost accrues per queued job per time unit;
+* impulse reward ``loss_penalty`` on every arrival *rejected* at the
+  full queue.  Since a rejected arrival does not change the state, the
+  loss is modeled by an explicit overflow event: the full state carries
+  a self-loop at the arrival rate.  Definition 3.1 forbids impulse
+  rewards on self-loops, so the overflow is routed through a dedicated
+  instantaneous-recovery ``overflow`` state (entered with the
+  loss-penalty impulse, left at ``recovery_rate >> arrival_rate``),
+  a standard encoding of impulse-on-non-move events.
+
+Labels: ``empty`` (0 jobs), ``full`` (K jobs), ``congested`` (more than
+``ceil(2K/3)`` jobs), ``overflow`` on the overflow state, and ``qN`` per
+occupancy level ``N``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ModelError
+from repro.mrm.builder import MRMBuilder
+from repro.mrm.model import MRM
+
+__all__ = ["build_mm1k_queue"]
+
+
+def build_mm1k_queue(
+    capacity: int = 8,
+    arrival_rate: float = 0.8,
+    service_rate: float = 1.0,
+    holding_cost: float = 1.0,
+    loss_penalty: float = 10.0,
+    recovery_rate: float = 1000.0,
+) -> MRM:
+    """Build the M/M/1/K cost model described in the module docstring.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of jobs in the system, ``K >= 1``.
+    arrival_rate, service_rate:
+        The Poisson arrival and exponential service rates.
+    holding_cost:
+        Reward rate per job in the system.
+    loss_penalty:
+        Impulse reward charged per rejected arrival.
+    recovery_rate:
+        Rate of the instantaneous-recovery transition out of the
+        overflow state; must dominate the other rates for the encoding
+        to be faithful.
+    """
+    if capacity < 1:
+        raise ModelError("queue capacity must be at least 1")
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ModelError("arrival and service rates must be positive")
+    if recovery_rate < 10 * max(arrival_rate, service_rate):
+        raise ModelError(
+            "recovery rate must dominate the arrival/service rates for the "
+            "overflow encoding to be faithful"
+        )
+
+    builder = MRMBuilder()
+    congestion_threshold = math.ceil(2 * capacity / 3)
+    for jobs in range(capacity + 1):
+        labels = {f"q{jobs}"}
+        if jobs == 0:
+            labels.add("empty")
+        if jobs == capacity:
+            labels.add("full")
+        if jobs >= congestion_threshold:
+            labels.add("congested")
+        builder.state(f"{jobs}-jobs", labels=labels, reward=holding_cost * jobs)
+    builder.state(
+        "overflow",
+        labels={"overflow", "full", "congested"},
+        reward=holding_cost * capacity,
+    )
+
+    for jobs in range(capacity):
+        builder.transition(f"{jobs}-jobs", f"{jobs + 1}-jobs", rate=arrival_rate)
+        builder.transition(f"{jobs + 1}-jobs", f"{jobs}-jobs", rate=service_rate)
+    # Rejected arrival at the full queue: charged the loss penalty, then
+    # instantaneous recovery back to the full state.
+    builder.transition(
+        f"{capacity}-jobs", "overflow", rate=arrival_rate, impulse=loss_penalty
+    )
+    builder.transition("overflow", f"{capacity}-jobs", rate=recovery_rate)
+    return builder.build()

@@ -1,0 +1,61 @@
+"""Small textbook chains from Chapters 2 and 3 of the paper.
+
+* :func:`build_figure_2_1_dtmc` — the three-state DTMC of Figure 2.1,
+  used by Examples 2.1–2.3 (transient probabilities after 3/15/25 steps,
+  steady state ``[14/45, 16/45, 1/3]``).
+* :func:`build_bscc_example` — the five-state CTMC of Figure 3.2 with two
+  BSCCs ``{s3, s4}`` and ``{s5}``, used by Example 3.5
+  (``pi(s1, Sat(b)) = 8/21``).
+"""
+
+from __future__ import annotations
+
+from repro.ctmc.chain import CTMC
+from repro.dtmc.chain import DTMC
+from repro.mrm.model import MRM
+
+__all__ = ["build_figure_2_1_dtmc", "build_bscc_example"]
+
+
+def build_figure_2_1_dtmc() -> DTMC:
+    """The DTMC of Figure 2.1."""
+    return DTMC(
+        [
+            [0.5, 0.5, 0.0],
+            [0.25, 0.0, 0.75],
+            [0.2, 0.6, 0.2],
+        ],
+        state_names=["0", "1", "2"],
+    )
+
+
+def build_bscc_example() -> MRM:
+    """The CTMC of Figure 3.2, wrapped as a reward-free MRM.
+
+    States are indexed 0..4 for the paper's ``s1 .. s5``.  The rates are
+    chosen to match Example 3.5: the embedded jump probabilities from
+    ``s1`` and ``s2`` give ``P(s1, eventually B1) = 4/7``, and within
+    ``B1 = {s3, s4}`` the stationary distribution puts ``2/3`` on the
+    ``b``-labeled state ``s4``.
+    """
+    # s1 -> s2 (2), s1 -> s5 (1): embedded probabilities 2/3, 1/3.
+    # s2 -> s3 (2), s2 -> s1 (1): embedded probabilities 2/3, 1/3.
+    # B1: s3 <-> s4 with pi(s4) = 2/3 requires 2 * pi(s3) = pi(s4):
+    #     rates s3 -> s4 = 2, s4 -> s3 = 1.
+    # s5 is absorbing (B2).
+    rates = [
+        [0.0, 2.0, 0.0, 0.0, 1.0],
+        [1.0, 0.0, 2.0, 0.0, 0.0],
+        [0.0, 0.0, 0.0, 2.0, 0.0],
+        [0.0, 0.0, 1.0, 0.0, 0.0],
+        [0.0, 0.0, 0.0, 0.0, 0.0],
+    ]
+    labels = {
+        0: {"a"},
+        1: {"a"},
+        2: {"a"},
+        3: {"b"},
+        4: {"c"},
+    }
+    chain = CTMC(rates, labels=labels, state_names=["s1", "s2", "s3", "s4", "s5"])
+    return MRM(chain)

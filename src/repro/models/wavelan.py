@@ -1,0 +1,91 @@
+"""The WaveLAN modem MRM (Examples 2.4, 3.1 and 4.2 of the paper).
+
+Five operating modes — off, sleep, idle, receive, transmit — with the
+power-consumption reward structure of [Pau01]:
+
+* state rewards (mW): off 0, sleep 80, idle 1319, receive 1675,
+  transmit 1425;
+* impulse rewards (mJ) for the mode switches that take measurable time:
+  off->sleep 0.02, sleep->idle 0.32975, idle->receive 0.42545,
+  idle->transmit 0.36195.
+
+State indices: 0 = off, 1 = sleep, 2 = idle, 3 = receive, 4 = transmit.
+(The paper numbers them 1..5.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.ctmc.chain import CTMC
+from repro.mrm.model import MRM
+
+__all__ = ["WAVELAN_RATES", "build_wavelan_ctmc", "build_wavelan_modem"]
+
+OFF, SLEEP, IDLE, RECEIVE, TRANSMIT = range(5)
+
+#: Default transition rates (per hour) from Example 4.2.
+WAVELAN_RATES: Dict[str, float] = {
+    "lambda_os": 0.1,  # off -> sleep
+    "lambda_si": 5.0,  # sleep -> idle
+    "lambda_ir": 1.5,  # idle -> receive
+    "lambda_it": 0.75,  # idle -> transmit
+    "mu_so": 0.05,  # sleep -> off
+    "mu_is": 12.0,  # idle -> sleep
+    "mu_ri": 10.0,  # receive -> idle
+    "mu_ti": 15.0,  # transmit -> idle
+}
+
+#: State rewards in mW (power drawn in each mode), from [Pau01].
+_STATE_REWARDS = [0.0, 80.0, 1319.0, 1675.0, 1425.0]
+
+#: Impulse rewards in mJ (energy of the mode switches), from Example 3.1.
+_IMPULSE_REWARDS = {
+    (OFF, SLEEP): 80.0 * 250e-6,  # 0.02 mJ
+    (SLEEP, IDLE): 1319.0 * 250e-6,  # 0.32975 mJ
+    (IDLE, RECEIVE): 1675.0 * 254e-6,  # 0.42545 mJ
+    (IDLE, TRANSMIT): 1425.0 * 254e-6,  # 0.36195 mJ
+}
+
+
+def build_wavelan_ctmc(rates: "Mapping[str, float] | None" = None) -> CTMC:
+    """The labeled CTMC of Example 2.4 (no rewards).
+
+    Parameters
+    ----------
+    rates:
+        Optional overrides for any of the keys of :data:`WAVELAN_RATES`.
+    """
+    values = dict(WAVELAN_RATES)
+    if rates:
+        unknown = set(rates) - set(values)
+        if unknown:
+            raise KeyError(f"unknown WaveLAN rate parameters: {sorted(unknown)}")
+        values.update({key: float(rate) for key, rate in rates.items()})
+    matrix = [[0.0] * 5 for _ in range(5)]
+    matrix[OFF][SLEEP] = values["lambda_os"]
+    matrix[SLEEP][OFF] = values["mu_so"]
+    matrix[SLEEP][IDLE] = values["lambda_si"]
+    matrix[IDLE][SLEEP] = values["mu_is"]
+    matrix[IDLE][RECEIVE] = values["lambda_ir"]
+    matrix[IDLE][TRANSMIT] = values["lambda_it"]
+    matrix[RECEIVE][IDLE] = values["mu_ri"]
+    matrix[TRANSMIT][IDLE] = values["mu_ti"]
+    labels = {
+        OFF: {"off"},
+        SLEEP: {"sleep"},
+        IDLE: {"idle"},
+        RECEIVE: {"receive", "busy"},
+        TRANSMIT: {"transmit", "busy"},
+    }
+    names = ["off", "sleep", "idle", "receive", "transmit"]
+    return CTMC(matrix, labels=labels, state_names=names)
+
+
+def build_wavelan_modem(rates: "Mapping[str, float] | None" = None) -> MRM:
+    """The full WaveLAN MRM of Example 3.1 (energy rewards included)."""
+    return MRM(
+        build_wavelan_ctmc(rates),
+        state_rewards=_STATE_REWARDS,
+        impulse_rewards=_IMPULSE_REWARDS,
+    )

@@ -1,0 +1,16 @@
+"""Markov reward models: the paper's core model class and timed paths."""
+
+from repro.mrm.builder import MRMBuilder
+from repro.mrm.lumping import LumpingResult, lump
+from repro.mrm.model import MRM, UniformizedMRM
+from repro.mrm.paths import TimedPath, UniformizedPath
+
+__all__ = [
+    "MRM",
+    "MRMBuilder",
+    "UniformizedMRM",
+    "TimedPath",
+    "UniformizedPath",
+    "LumpingResult",
+    "lump",
+]

@@ -1,0 +1,133 @@
+"""Fluent construction of MRMs with named states.
+
+The core classes take index-based matrices; hand-written models read
+better with names.  :class:`MRMBuilder` collects states, transitions,
+labels and rewards incrementally, validates on :meth:`build`, and
+resolves names to indices in insertion order.
+
+Example
+-------
+>>> builder = MRMBuilder()
+>>> _ = builder.state("up", labels={"operational"}, reward=3.0)
+>>> _ = builder.state("down", labels={"failed"})
+>>> _ = builder.transition("up", "down", rate=0.1, impulse=5.0)
+>>> _ = builder.transition("down", "up", rate=1.0)
+>>> model = builder.build()
+>>> model.state_names
+['up', 'down']
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ctmc.chain import CTMC
+from repro.exceptions import ModelError
+from repro.mrm.model import MRM
+
+__all__ = ["MRMBuilder"]
+
+
+class MRMBuilder:
+    """Incremental builder for :class:`repro.mrm.MRM`."""
+
+    def __init__(self) -> None:
+        self._order: List[str] = []
+        self._labels: Dict[str, set] = {}
+        self._rewards: Dict[str, float] = {}
+        self._transitions: Dict[Tuple[str, str], float] = {}
+        self._impulses: Dict[Tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    def state(
+        self,
+        name: str,
+        labels: Optional[Iterable[str]] = None,
+        reward: float = 0.0,
+    ) -> "MRMBuilder":
+        """Declare a state (idempotent for repeated labels/reward updates).
+
+        Parameters
+        ----------
+        name:
+            Unique state name; insertion order defines the index.
+        labels:
+            Atomic propositions valid in the state.
+        reward:
+            State reward rate ``rho(name)``.
+        """
+        if not name:
+            raise ModelError("state name must be non-empty")
+        if name not in self._labels:
+            self._order.append(name)
+            self._labels[name] = set()
+            self._rewards[name] = 0.0
+        if labels:
+            self._labels[name].update(str(label) for label in labels)
+        if reward:
+            if reward < 0:
+                raise ModelError("state rewards must be non-negative")
+            self._rewards[name] = float(reward)
+        return self
+
+    def transition(
+        self,
+        source: str,
+        target: str,
+        rate: float,
+        impulse: float = 0.0,
+    ) -> "MRMBuilder":
+        """Add a transition; states are auto-declared if new.
+
+        Repeated calls for the same pair *accumulate* the rate (parallel
+        transitions merge, as in the rate-matrix formulation) and
+        overwrite the impulse.
+        """
+        if rate <= 0:
+            raise ModelError("transition rates must be positive")
+        if impulse < 0:
+            raise ModelError("impulse rewards must be non-negative")
+        if source == target and impulse > 0:
+            raise ModelError(
+                "impulse rewards on self-loops violate Definition 3.1"
+            )
+        self.state(source)
+        self.state(target)
+        key = (source, target)
+        self._transitions[key] = self._transitions.get(key, 0.0) + float(rate)
+        if impulse > 0:
+            self._impulses[key] = float(impulse)
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def state_names(self) -> List[str]:
+        """Declared states in index order."""
+        return list(self._order)
+
+    def index_of(self, name: str) -> int:
+        """Index a state name will receive in the built model."""
+        try:
+            return self._order.index(name)
+        except ValueError:
+            raise ModelError(f"unknown state {name!r}") from None
+
+    def build(self) -> MRM:
+        """Materialize the MRM (validates via the core constructors)."""
+        if not self._order:
+            raise ModelError("cannot build an MRM without states")
+        index = {name: i for i, name in enumerate(self._order)}
+        n = len(self._order)
+        rates = [[0.0] * n for _ in range(n)]
+        for (source, target), rate in self._transitions.items():
+            rates[index[source]][index[target]] = rate
+        labels = {
+            index[name]: props for name, props in self._labels.items() if props
+        }
+        rewards = [self._rewards[name] for name in self._order]
+        impulses = {
+            (index[source], index[target]): value
+            for (source, target), value in self._impulses.items()
+        }
+        chain = CTMC(rates, labels=labels, state_names=self._order)
+        return MRM(chain, state_rewards=rewards, impulse_rewards=impulses)

@@ -1,0 +1,174 @@
+"""Ordinary lumping (Markovian bisimulation) of MRMs.
+
+A partition of the state space is an *ordinary lumping* when all states
+in a block agree on
+
+* their label set (so CSRL formulas cannot distinguish them),
+* their state reward rate,
+* and, for every target block ``B`` and every impulse value ``v``, the
+  aggregate rate ``sum {R[s, s'] | s' in B, iota(s, s') = v}``.
+
+The quotient MRM then has the same transient, steady-state and
+accumulated-reward behaviour with respect to block-level measures, so
+model checking any CSRL formula over the preserved atomic propositions
+on the quotient gives the answer for the original (cf. Buchholz 1994;
+Derisavi, Hermanns & Sanders 2003 for the algorithmics).
+
+The implementation is the classic signature-based partition refinement:
+start from the (labels, reward) partition and split blocks by the
+signature ``{(target block, impulse value) -> aggregate rate}`` until a
+fixed point, then build the quotient.  The refinement loop runs at most
+``|S|`` times, each pass in ``O(M)`` signature work, which is ample for
+the model sizes this library targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.ctmc.chain import CTMC
+from repro.exceptions import ModelError
+from repro.mrm.model import MRM
+
+__all__ = ["LumpingResult", "lump"]
+
+
+@dataclass(frozen=True)
+class LumpingResult:
+    """The quotient MRM plus the block structure.
+
+    Attributes
+    ----------
+    quotient:
+        The lumped MRM; block ``i`` of ``blocks`` is its state ``i``.
+    blocks:
+        The partition, as tuples of original state indices (each sorted).
+    block_of:
+        Per original state, the index of its block.
+    """
+
+    quotient: MRM
+    blocks: Tuple[Tuple[int, ...], ...]
+    block_of: Tuple[int, ...]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def lift(self, block_values) -> List[float]:
+        """Expand per-block values back to per-original-state values."""
+        values = list(block_values)
+        if len(values) != len(self.blocks):
+            raise ModelError(
+                f"expected {len(self.blocks)} block values, got {len(values)}"
+            )
+        return [values[self.block_of[s]] for s in range(len(self.block_of))]
+
+
+def _signature(
+    model: MRM, state: int, block_of: List[int]
+) -> FrozenSet[Tuple[int, float, float]]:
+    """Aggregated outgoing behaviour of a state w.r.t. the partition.
+
+    The signature is the set of ``(target block, impulse value,
+    aggregate rate)`` triples; two states with equal label set, equal
+    state reward and equal signature are bisimilar w.r.t. the current
+    partition.
+    """
+    rates = model.rates
+    aggregate: Dict[Tuple[int, float], float] = {}
+    for pos in range(rates.indptr[state], rates.indptr[state + 1]):
+        target = int(rates.indices[pos])
+        rate = float(rates.data[pos])
+        if rate == 0.0:
+            continue
+        key = (block_of[target], model.impulse_reward(state, target))
+        aggregate[key] = aggregate.get(key, 0.0) + rate
+    return frozenset(
+        (block, impulse, rate) for (block, impulse), rate in aggregate.items()
+    )
+
+
+def lump(model: MRM) -> LumpingResult:
+    """Compute the coarsest ordinary lumping of the MRM.
+
+    Returns the quotient together with the partition.  If the model has
+    no lumpable symmetry the quotient is isomorphic to the input (one
+    block per state).
+    """
+    n = model.num_states
+    if n == 0:
+        raise ModelError("cannot lump an empty model")
+
+    # Initial partition: (labels, state reward).
+    keys = [(model.labels_of(s), model.state_reward(s)) for s in range(n)]
+    block_index: Dict[object, int] = {}
+    block_of: List[int] = [0] * n
+    for state, key in enumerate(keys):
+        if key not in block_index:
+            block_index[key] = len(block_index)
+        block_of[state] = block_index[key]
+
+    # Refinement to a fixed point.
+    while True:
+        refined_index: Dict[object, int] = {}
+        refined: List[int] = [0] * n
+        for state in range(n):
+            key = (block_of[state], _signature(model, state, block_of))
+            if key not in refined_index:
+                refined_index[key] = len(refined_index)
+            refined[state] = refined_index[key]
+        if len(refined_index) == len(set(block_of)):
+            break
+        block_of = refined
+
+    # Canonicalize block numbering by smallest member for determinism.
+    members: Dict[int, List[int]] = {}
+    for state, block in enumerate(block_of):
+        members.setdefault(block, []).append(state)
+    ordered = sorted(members.values(), key=lambda group: group[0])
+    renumber = {block_of[group[0]]: new for new, group in enumerate(ordered)}
+    block_of = [renumber[b] for b in block_of]
+    blocks = tuple(tuple(sorted(group)) for group in ordered)
+    k = len(blocks)
+
+    # Quotient structures: rates/impulses from a representative.
+    rates = [[0.0] * k for _ in range(k)]
+    impulses: Dict[Tuple[int, int], float] = {}
+    rewards = [0.0] * k
+    labels: Dict[int, FrozenSet[str]] = {}
+    names: List[str] = []
+    source_names = model.state_names
+    for block_id, group in enumerate(blocks):
+        representative = group[0]
+        rewards[block_id] = model.state_reward(representative)
+        labels[block_id] = model.labels_of(representative)
+        names.append("+".join(source_names[s] for s in group[:3]) + ("+..." if len(group) > 3 else ""))
+        for target_block, impulse, rate in _signature(model, representative, block_of):
+            rates[block_id][target_block] += rate
+            if impulse > 0.0:
+                existing = impulses.get((block_id, target_block))
+                if existing is not None and existing != impulse:
+                    # One state can reach two different states of the
+                    # same target block with *different* impulse values;
+                    # that is a legal MRM, but the quotient would need
+                    # two parallel transitions between one block pair,
+                    # which the rate-matrix formalism cannot express.
+                    raise ModelError(
+                        "cannot lump: a block has transitions with "
+                        "different impulse rewards into the same target "
+                        "block (not expressible as a single quotient "
+                        "transition)"
+                    )
+                impulses[(block_id, target_block)] = impulse
+    chain = CTMC(
+        rates,
+        labels=labels,
+        state_names=names,
+        atomic_propositions=model.atomic_propositions,
+    )
+    quotient = MRM(chain, state_rewards=rewards, impulse_rewards=impulses)
+    return LumpingResult(
+        quotient=quotient, blocks=blocks, block_of=tuple(block_of)
+    )

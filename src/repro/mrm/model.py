@@ -1,0 +1,361 @@
+"""Markov reward models (Definition 3.1 of the paper).
+
+An MRM is a labeled CTMC augmented with
+
+* a state reward structure ``rho: S -> R>=0`` — residing in ``s`` for
+  ``t`` time units earns ``rho(s) * t``;
+* an impulse reward structure ``iota: S x S -> R>=0`` — taking the
+  transition ``s -> s'`` earns ``iota(s, s')`` instantaneously.
+
+Definition 3.1 requires ``iota(s, s) = 0`` whenever the self-loop
+``R[s, s] > 0`` exists; the constructor enforces this.
+
+The module also provides the two transformations the model-checking
+algorithms rely on:
+
+* :meth:`MRM.make_absorbing` — Definition 4.1: given a set of states,
+  cut all their outgoing transitions and zero their rewards;
+* :meth:`MRM.uniformize` — Definition 4.2: the uniformized MRM
+  ``(S, P, Lambda, Label, rho, iota)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ctmc.chain import CTMC
+from repro.dtmc.chain import DTMC
+from repro.exceptions import ModelError, RewardError
+
+__all__ = ["MRM", "UniformizedMRM"]
+
+ImpulseMap = Mapping[Tuple[int, int], float]
+
+
+class MRM:
+    """A Markov reward model ``((S, R, Label), rho, iota)``.
+
+    Parameters
+    ----------
+    ctmc:
+        The underlying labeled CTMC.
+    state_rewards:
+        ``rho`` as a vector (length ``num_states``) of non-negative reals;
+        defaults to all zeros.
+    impulse_rewards:
+        ``iota`` as either a mapping ``{(s, s'): reward}`` or a matrix;
+        entries must be non-negative, may only sit on existing transitions,
+        and must be zero on self-loops (Definition 3.1).  Defaults to all
+        zeros.
+
+    Examples
+    --------
+    >>> chain = CTMC([[0.0, 2.0], [1.0, 0.0]], labels={0: {"up"}, 1: {"down"}})
+    >>> model = MRM(chain, state_rewards=[3.0, 0.0], impulse_rewards={(0, 1): 5.0})
+    >>> model.state_reward(0), model.impulse_reward(0, 1)
+    (3.0, 5.0)
+    """
+
+    def __init__(
+        self,
+        ctmc: CTMC,
+        state_rewards: Optional[Iterable[float]] = None,
+        impulse_rewards: "ImpulseMap | sp.spmatrix | np.ndarray | None" = None,
+    ) -> None:
+        if not isinstance(ctmc, CTMC):
+            raise ModelError("first argument must be a CTMC")
+        self._ctmc = ctmc
+        n = ctmc.num_states
+
+        if state_rewards is None:
+            rho = np.zeros(n, dtype=float)
+        else:
+            rho = np.asarray(list(state_rewards), dtype=float).ravel()
+            if rho.shape[0] != n:
+                raise RewardError(
+                    f"state reward vector has length {rho.shape[0]}, expected {n}"
+                )
+            if not np.all(np.isfinite(rho)):
+                raise RewardError("state rewards must be finite")
+            if rho.min() < 0.0:
+                raise RewardError("state rewards must be non-negative")
+        self._rho = rho
+
+        iota = self._build_impulse_matrix(impulse_rewards, n)
+        self._validate_impulses(iota)
+        self._iota = iota
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_impulse_matrix(impulse_rewards, n: int) -> sp.csr_matrix:
+        if impulse_rewards is None:
+            return sp.csr_matrix((n, n), dtype=float)
+        if isinstance(impulse_rewards, Mapping):
+            rows: List[int] = []
+            cols: List[int] = []
+            vals: List[float] = []
+            for (source, target), value in impulse_rewards.items():
+                source, target = int(source), int(target)
+                if not (0 <= source < n and 0 <= target < n):
+                    raise RewardError(
+                        f"impulse reward on out-of-range transition "
+                        f"({source}, {target})"
+                    )
+                value = float(value)
+                if not np.isfinite(value):
+                    raise RewardError("impulse rewards must be finite")
+                if value < 0.0:
+                    raise RewardError("impulse rewards must be non-negative")
+                if value > 0.0:
+                    rows.append(source)
+                    cols.append(target)
+                    vals.append(value)
+            return sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+        matrix = sp.csr_matrix(impulse_rewards, dtype=float)
+        if matrix.shape != (n, n):
+            raise RewardError(
+                f"impulse reward matrix has shape {matrix.shape}, expected "
+                f"({n}, {n})"
+            )
+        if matrix.nnz and not np.all(np.isfinite(matrix.data)):
+            raise RewardError("impulse rewards must be finite")
+        if matrix.nnz and matrix.data.min() < 0.0:
+            raise RewardError("impulse rewards must be non-negative")
+        matrix.eliminate_zeros()
+        return matrix
+
+    def _validate_impulses(self, iota: sp.csr_matrix) -> None:
+        rates = self._ctmc.rates
+        n = self._ctmc.num_states
+        coo = iota.tocoo()
+        for source, target, value in zip(coo.row, coo.col, coo.data):
+            if value == 0.0:
+                continue
+            if rates[source, target] <= 0.0:
+                raise RewardError(
+                    f"impulse reward on non-existent transition "
+                    f"({int(source)}, {int(target)})"
+                )
+            if source == target:
+                raise RewardError(
+                    f"impulse reward on self-loop of state {int(source)} "
+                    "violates Definition 3.1 (must be zero)"
+                )
+
+    # ------------------------------------------------------------------
+    # delegation to the underlying CTMC
+    # ------------------------------------------------------------------
+    @property
+    def ctmc(self) -> CTMC:
+        """The underlying labeled CTMC ``(S, R, Label)``."""
+        return self._ctmc
+
+    @property
+    def num_states(self) -> int:
+        return self._ctmc.num_states
+
+    @property
+    def rates(self) -> sp.csr_matrix:
+        return self._ctmc.rates
+
+    @property
+    def state_names(self) -> List[str]:
+        return self._ctmc.state_names
+
+    @property
+    def atomic_propositions(self) -> FrozenSet[str]:
+        return self._ctmc.atomic_propositions
+
+    def labels_of(self, state: int) -> FrozenSet[str]:
+        return self._ctmc.labels_of(state)
+
+    def states_with_label(self, proposition: str) -> Set[int]:
+        return self._ctmc.states_with_label(proposition)
+
+    def exit_rate(self, state: int) -> float:
+        return self._ctmc.exit_rate(state)
+
+    def is_absorbing(self, state: int) -> bool:
+        return self._ctmc.is_absorbing(state)
+
+    def successors(self, state: int) -> List[int]:
+        return self._ctmc.successors(state)
+
+    def transition_probability(self, source: int, target: int) -> float:
+        return self._ctmc.transition_probability(source, target)
+
+    # ------------------------------------------------------------------
+    # rewards
+    # ------------------------------------------------------------------
+    @property
+    def state_rewards(self) -> np.ndarray:
+        """``rho`` as a vector (copied)."""
+        return self._rho.copy()
+
+    @property
+    def impulse_rewards(self) -> sp.csr_matrix:
+        """``iota`` as a sparse matrix (do not mutate)."""
+        return self._iota
+
+    def state_reward(self, state: int) -> float:
+        """``rho(state)``."""
+        return float(self._rho[state])
+
+    def impulse_reward(self, source: int, target: int) -> float:
+        """``iota(source, target)``."""
+        return float(self._iota[source, target])
+
+    def distinct_state_rewards(self) -> List[float]:
+        """The distinct values of ``rho``, sorted strictly decreasing.
+
+        These are the reward levels ``r_1 > r_2 > ... > r_{K+1}`` that
+        index the ``k`` vector in the uniformization engine (Section
+        4.4.2).
+        """
+        return sorted(set(float(r) for r in self._rho), reverse=True)
+
+    def distinct_impulse_rewards(self) -> List[float]:
+        """The distinct impulse values present, sorted strictly decreasing.
+
+        Zero is always included (transitions without an explicit impulse
+        reward carry impulse 0), matching the paper's
+        ``i_1 > ... > i_J >= 0``.
+        """
+        values = {0.0}
+        if self._iota.nnz:
+            values |= {float(v) for v in self._iota.data}
+        return sorted(values, reverse=True)
+
+    def has_impulse_rewards(self) -> bool:
+        """Whether any transition carries a positive impulse reward."""
+        return bool(self._iota.nnz)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def make_absorbing(self, states: Iterable[int]) -> "MRM":
+        """Definition 4.1: make the given states absorbing with zero rewards.
+
+        Every outgoing transition of a state in ``states`` is removed,
+        its state reward is set to 0, and its outgoing impulse rewards are
+        set to 0.  Labels are preserved.  Applying the transformation for
+        ``Phi``-states and then ``Psi``-states equals applying it once for
+        the union (the paper's ``M[Phi][Psi] = M[Phi or Psi]``).
+        """
+        target_set = {int(s) for s in states}
+        n = self.num_states
+        for state in target_set:
+            if not 0 <= state < n:
+                raise ModelError(f"state {state} out of range for {n} states")
+        keep = np.ones(n, dtype=bool)
+        for state in target_set:
+            keep[state] = False
+
+        rates = self._ctmc.rates.tocoo()
+        mask = keep[rates.row]
+        new_rates = sp.csr_matrix(
+            (rates.data[mask], (rates.row[mask], rates.col[mask])), shape=(n, n)
+        )
+        new_ctmc = CTMC(
+            new_rates,
+            labels=self._ctmc.labeling(),
+            state_names=self._ctmc.state_names,
+            atomic_propositions=self._ctmc.atomic_propositions,
+        )
+        new_rho = np.where(keep, self._rho, 0.0)
+        iota = self._iota.tocoo()
+        imask = keep[iota.row]
+        new_iota = sp.csr_matrix(
+            (iota.data[imask], (iota.row[imask], iota.col[imask])), shape=(n, n)
+        )
+        return MRM(new_ctmc, state_rewards=new_rho, impulse_rewards=new_iota)
+
+    def scale_rewards(self, factor: float) -> "MRM":
+        """Multiply all state and impulse rewards by a positive factor.
+
+        Used to turn rational reward rates into integers for the
+        discretization engine (Section 4.4.1); the reward bound of the
+        formula must be scaled identically.
+        """
+        if factor <= 0:
+            raise RewardError("scale factor must be positive")
+        return MRM(
+            self._ctmc,
+            state_rewards=self._rho * factor,
+            impulse_rewards=self._iota * factor,
+        )
+
+    def uniformize(self, rate: Optional[float] = None) -> "UniformizedMRM":
+        """Definition 4.2: the uniformized MRM.
+
+        Parameters
+        ----------
+        rate:
+            Uniformization rate ``Lambda >= max_s E(s)``; defaults to the
+            maximum exit rate.
+        """
+        lam = (
+            self._ctmc.default_uniformization_rate() if rate is None else float(rate)
+        )
+        dtmc = self._ctmc.uniformized_dtmc(lam)
+        return UniformizedMRM(self, dtmc, lam)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MRM(num_states={self.num_states}, "
+            f"impulse_transitions={self._iota.nnz})"
+        )
+
+
+class UniformizedMRM:
+    """The uniformized MRM ``(S, P, Lambda, Label, rho, iota)`` (Def. 4.2).
+
+    Rewards and labels are shared with the source MRM; ``P`` is the
+    uniformized one-step matrix and ``Lambda`` the Poisson rate.
+    """
+
+    def __init__(self, source: MRM, dtmc: DTMC, rate: float) -> None:
+        self._source = source
+        self._dtmc = dtmc
+        self._rate = float(rate)
+
+    @property
+    def source(self) -> MRM:
+        """The MRM this process was derived from."""
+        return self._source
+
+    @property
+    def dtmc(self) -> DTMC:
+        """The uniformized one-step chain ``P = I + Q / Lambda``."""
+        return self._dtmc
+
+    @property
+    def rate(self) -> float:
+        """The Poisson rate ``Lambda``."""
+        return self._rate
+
+    @property
+    def num_states(self) -> int:
+        return self._source.num_states
+
+    def state_reward(self, state: int) -> float:
+        return self._source.state_reward(state)
+
+    def impulse_reward(self, source: int, target: int) -> float:
+        """Impulse of the uniformized step ``source -> target``.
+
+        Self-loops introduced by uniformization carry no impulse — they
+        correspond to the original process *not* moving.
+        """
+        if source == target:
+            return 0.0
+        return self._source.impulse_reward(source, target)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformizedMRM(num_states={self.num_states}, rate={self._rate:g})"

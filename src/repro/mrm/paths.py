@@ -1,0 +1,295 @@
+"""Timed paths in MRMs (Definitions 3.3–3.5 of the paper).
+
+A timed path is a sequence ``s_0 --t_0--> s_1 --t_1--> ...`` of states
+with positive sojourn times.  The two path functionals the CSRL semantics
+builds on are provided:
+
+* ``sigma @ t`` — the state occupied at time ``t``;
+* ``y_sigma(t)`` — the reward accumulated by time ``t``, combining state
+  reward earned during residences and impulse rewards earned at jumps.
+
+:class:`UniformizedPath` models the *untimed* paths of the uniformized
+MRM (Definition 4.3) together with their probability (Definitions
+4.4/4.5), which the path-generation engine enumerates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.exceptions import ModelError
+from repro.mrm.model import MRM, UniformizedMRM
+from repro.numerics.poisson import poisson_pmf
+
+__all__ = ["TimedPath", "UniformizedPath"]
+
+
+class TimedPath:
+    """A finite prefix of a path through an MRM, with sojourn times.
+
+    Parameters
+    ----------
+    model:
+        The MRM the path lives in.
+    states:
+        Visited states ``s_0, s_1, ..., s_n``.
+    sojourns:
+        Sojourn times ``t_0, ..., t_{n-1}`` for all but the last state
+        (each ``> 0``).  The last state's sojourn is open-ended: for an
+        absorbing last state this matches the paper's ``t_n = infinity``;
+        for a non-absorbing one the object represents the path's behaviour
+        up to any time before the next (unspecified) jump.
+    validate_transitions:
+        When True (default), every consecutive pair must be an actual
+        transition of the model (``R[s_i, s_{i+1}] > 0``).
+
+    Examples
+    --------
+    >>> # doctest-free illustration: see tests/test_paths.py
+    """
+
+    def __init__(
+        self,
+        model: MRM,
+        states: Sequence[int],
+        sojourns: Sequence[float],
+        validate_transitions: bool = True,
+    ) -> None:
+        if not states:
+            raise ModelError("a path must visit at least one state")
+        state_list = [int(s) for s in states]
+        n = model.num_states
+        for state in state_list:
+            if not 0 <= state < n:
+                raise ModelError(f"path state {state} out of range")
+        sojourn_list = [float(t) for t in sojourns]
+        if len(sojourn_list) != len(state_list) - 1:
+            raise ModelError(
+                f"need exactly {len(state_list) - 1} sojourn times for "
+                f"{len(state_list)} states, got {len(sojourn_list)}"
+            )
+        if any(t <= 0.0 for t in sojourn_list):
+            raise ModelError("sojourn times must be positive")
+        if validate_transitions:
+            for source, target in zip(state_list, state_list[1:]):
+                if model.rates[source, target] <= 0.0:
+                    raise ModelError(
+                        f"({source} -> {target}) is not a transition of the model"
+                    )
+        self._model = model
+        self._states = state_list
+        self._sojourns = sojourn_list
+
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> MRM:
+        return self._model
+
+    @property
+    def states(self) -> List[int]:
+        """The visited states (copied)."""
+        return list(self._states)
+
+    @property
+    def sojourns(self) -> List[float]:
+        """The sojourn times (copied)."""
+        return list(self._sojourns)
+
+    def __len__(self) -> int:
+        """Number of transitions on the path."""
+        return len(self._states) - 1
+
+    def __getitem__(self, index: int) -> int:
+        """``sigma[i]`` — the ``(i+1)``-st state on the path."""
+        return self._states[index]
+
+    @property
+    def last(self) -> int:
+        """``last(sigma)`` — the final state of the (finite) path."""
+        return self._states[-1]
+
+    @property
+    def duration(self) -> float:
+        """Total time covered by the specified sojourns."""
+        return sum(self._sojourns)
+
+    def is_finite_path(self) -> bool:
+        """Whether this is a *finite path* in the paper's sense.
+
+        A finite path ends in an absorbing state where the process remains
+        forever (Definition 3.3).
+        """
+        return self._model.is_absorbing(self._states[-1])
+
+    # ------------------------------------------------------------------
+    # the two CSRL path functionals
+    # ------------------------------------------------------------------
+    def state_at(self, time: float) -> int:
+        """``sigma @ t``: the state occupied at time ``t``.
+
+        Per Definition 3.3 the state at the exact jump instant is the
+        state being *left* (``sum_{j<=i} t_j >= t``), and at ``t = 0`` the
+        initial state.  The final residence is open-ended: beyond the
+        specified sojourns the path is still in its last state (forever,
+        when that state is absorbing; until the next — unspecified — jump
+        otherwise, matching Example 3.2's infinite-path prefix).
+        """
+        if time < 0.0:
+            raise ModelError("time must be non-negative")
+        if time == 0.0:
+            return self._states[0]
+        elapsed = 0.0
+        for state, sojourn in zip(self._states, self._sojourns):
+            if elapsed < time <= elapsed + sojourn:
+                return state
+            elapsed += sojourn
+        return self._states[-1]
+
+    def accumulated_reward(self, time: float) -> float:
+        """``y_sigma(t)``: reward accumulated by time ``t`` (Def. 3.3).
+
+        State rewards accrue at rate ``rho(s)`` during each residence;
+        impulse rewards accrue at each jump strictly before ``t``.
+        """
+        if time < 0.0:
+            raise ModelError("time must be non-negative")
+        model = self._model
+        total = 0.0
+        elapsed = 0.0
+        for index, state in enumerate(self._states):
+            open_ended = index >= len(self._sojourns)
+            sojourn = math.inf if open_ended else self._sojourns[index]
+            if open_ended or time <= elapsed + sojourn:
+                total += model.state_reward(state) * (time - elapsed)
+                return total
+            total += model.state_reward(state) * sojourn
+            total += model.impulse_reward(state, self._states[index + 1])
+            elapsed += sojourn
+        raise ModelError(  # pragma: no cover - unreachable
+            "path ended before the requested time"
+        )
+
+    def total_impulse_reward(self) -> float:
+        """Sum of impulse rewards over all transitions of the path."""
+        model = self._model
+        return sum(
+            model.impulse_reward(source, target)
+            for source, target in zip(self._states, self._states[1:])
+        )
+
+    def cylinder_probability(self, intervals: Sequence[Tuple[float, float]]) -> float:
+        """Probability of the cylinder set ``C(s_0, I_0, ..., I_{k-1}, s_k)``.
+
+        Per Section 3.3: the product over steps of
+        ``P(s_i, s_{i+1}) * (exp(-E(s_i) a_i) - exp(-E(s_i) b_i))`` where
+        ``[a_i, b_i]`` is the ``i``-th sojourn interval.  ``intervals``
+        must supply one ``(a, b)`` pair per transition.
+        """
+        if len(intervals) != len(self):
+            raise ModelError(
+                f"need {len(self)} sojourn intervals, got {len(intervals)}"
+            )
+        model = self._model
+        probability = 1.0
+        for (source, target), (a, b) in zip(
+            zip(self._states, self._states[1:]), intervals
+        ):
+            if a < 0 or b < a:
+                raise ModelError(f"invalid sojourn interval ({a}, {b})")
+            exit_rate = model.exit_rate(source)
+            jump = model.transition_probability(source, target)
+            upper = math.exp(-exit_rate * a)
+            lower = 0.0 if math.isinf(b) else math.exp(-exit_rate * b)
+            probability *= jump * (upper - lower)
+        return probability
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pieces = []
+        for state, sojourn in zip(self._states, self._sojourns):
+            pieces.append(f"{state} --{sojourn:g}--> ")
+        pieces.append(str(self._states[-1]))
+        return "TimedPath(" + "".join(pieces) + ")"
+
+
+class UniformizedPath:
+    """An untimed path in a uniformized MRM (Definitions 4.3–4.5).
+
+    Parameters
+    ----------
+    process:
+        The uniformized MRM the path lives in.
+    states:
+        The visited states ``s_0 -> s_1 -> ... -> s_n`` (every consecutive
+        pair must have positive one-step probability).
+    """
+
+    def __init__(self, process: UniformizedMRM, states: Sequence[int]) -> None:
+        if not states:
+            raise ModelError("a path must visit at least one state")
+        state_list = [int(s) for s in states]
+        matrix = process.dtmc.matrix
+        for source, target in zip(state_list, state_list[1:]):
+            if matrix[source, target] <= 0.0:
+                raise ModelError(
+                    f"({source} -> {target}) has zero probability in the "
+                    "uniformized chain"
+                )
+        self._process = process
+        self._states = state_list
+
+    @property
+    def states(self) -> List[int]:
+        return list(self._states)
+
+    def __len__(self) -> int:
+        """Path length ``n`` = number of transitions."""
+        return len(self._states) - 1
+
+    @property
+    def last(self) -> int:
+        """``last(sigma)``."""
+        return self._states[-1]
+
+    def probability(self, initial_probability: float = 1.0) -> float:
+        """``P(sigma)`` per Definition 4.4 (DTMC step product)."""
+        matrix = self._process.dtmc.matrix
+        probability = float(initial_probability)
+        for source, target in zip(self._states, self._states[1:]):
+            probability *= float(matrix[source, target])
+        return probability
+
+    def probability_at(self, time: float, initial_probability: float = 1.0) -> float:
+        """``P(sigma, t)`` per Definition 4.5: Poisson-weighted probability."""
+        n = len(self)
+        return poisson_pmf(self._process.rate * time, n) * self.probability(
+            initial_probability
+        )
+
+    def sojourn_counts(self, reward_levels: Sequence[float]) -> List[int]:
+        """The ``k``-vector: visits per distinct state-reward level.
+
+        ``reward_levels`` must list the distinct state rewards (strictly
+        decreasing, as produced by
+        :meth:`repro.mrm.MRM.distinct_state_rewards`).  Counts sum to
+        ``n + 1``.
+        """
+        index = {level: i for i, level in enumerate(reward_levels)}
+        counts = [0] * len(reward_levels)
+        for state in self._states:
+            counts[index[self._process.state_reward(state)]] += 1
+        return counts
+
+    def impulse_counts(self, impulse_levels: Sequence[float]) -> List[int]:
+        """The ``j``-vector: transitions per distinct impulse level.
+
+        Counts sum to ``n``; uniformization self-loops count as impulse 0.
+        """
+        index = {level: i for i, level in enumerate(impulse_levels)}
+        counts = [0] * len(impulse_levels)
+        for source, target in zip(self._states, self._states[1:]):
+            counts[index[self._process.impulse_reward(source, target)]] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "UniformizedPath(" + " -> ".join(map(str, self._states)) + ")"

@@ -1,0 +1,244 @@
+"""Closed intervals of non-negative reals, as used for CSRL time/reward bounds.
+
+CSRL path operators carry two intervals: a timing constraint ``I`` and a
+bound ``J`` on the accumulated reward (Definition 3.5 of the paper).  This
+module provides an immutable :class:`Interval` with the operations the
+model-checking algorithms need:
+
+* the shift operation ``L (-) y = {l - y | l in L, l >= y}`` used in the
+  fixed-point characterization of until (eq. 3.6);
+* the derived time windows ``K(s)`` and ``K(s, s')`` of Section 3.8, which
+  translate a reward bound into a residence-time window given a state
+  reward rate and an impulse reward.
+
+Intervals are closed on both ends; the upper bound may be ``math.inf``.
+The empty interval is represented by :data:`Interval.EMPTY`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.exceptions import FormulaError
+
+__all__ = ["Interval"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lower, upper]`` of non-negative reals.
+
+    Parameters
+    ----------
+    lower:
+        Lower endpoint, finite and ``>= 0``.
+    upper:
+        Upper endpoint, ``>= lower``; may be ``math.inf``.
+
+    Examples
+    --------
+    >>> Interval(0, 10).contains(3.5)
+    True
+    >>> Interval.unbounded().is_unbounded
+    True
+    >>> Interval(2, 8).shift_down(3)
+    Interval(0, 5)
+    """
+
+    lower: float
+    upper: float
+
+    #: Sentinel for the empty interval (lower > upper by construction).
+    EMPTY: ClassVar["Interval"]
+
+    def __post_init__(self) -> None:
+        lower = float(self.lower)
+        upper = float(self.upper)
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+        if math.isnan(lower) or math.isnan(upper):
+            raise FormulaError("interval endpoints must not be NaN")
+        if math.isinf(lower):
+            raise FormulaError("interval lower bound must be finite")
+        if lower < 0 and not self.is_empty:
+            raise FormulaError(
+                f"interval bounds must be non-negative, got [{lower}, {upper}]"
+            )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def unbounded() -> "Interval":
+        """Return ``[0, inf)``, the trivial (absent) bound."""
+        return Interval(0.0, math.inf)
+
+    @staticmethod
+    def upto(bound: float) -> "Interval":
+        """Return ``[0, bound]``."""
+        return Interval(0.0, bound)
+
+    @staticmethod
+    def point(value: float) -> "Interval":
+        """Return the degenerate interval ``[value, value]``."""
+        return Interval(value, value)
+
+    @staticmethod
+    def empty() -> "Interval":
+        """Return the canonical empty interval."""
+        return Interval.EMPTY
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """Whether the interval contains no points."""
+        return self.lower > self.upper
+
+    @property
+    def is_unbounded(self) -> bool:
+        """Whether the interval is exactly ``[0, inf)``."""
+        return self.lower == 0.0 and math.isinf(self.upper)
+
+    @property
+    def is_point(self) -> bool:
+        """Whether the interval is a single point ``[x, x]``."""
+        return self.lower == self.upper
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies in the closed interval."""
+        return self.lower <= value <= self.upper
+
+    @property
+    def width(self) -> float:
+        """Length of the interval (``inf`` for unbounded ones, 0 if empty)."""
+        if self.is_empty:
+            return 0.0
+        return self.upper - self.lower
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Interval") -> "Interval":
+        """Intersection of two intervals (possibly empty)."""
+        lower = max(self.lower, other.lower)
+        upper = min(self.upper, other.upper)
+        if lower > upper:
+            return Interval.EMPTY
+        return Interval(lower, upper)
+
+    def shift_down(self, amount: float) -> "Interval":
+        """The paper's ``L (-) y`` operation: ``{l - y | l in L, l >= y}``.
+
+        Shifting the interval down by ``amount`` and clipping at zero from
+        below.  Used when time/reward is consumed along a path prefix.
+        """
+        if amount < 0:
+            raise FormulaError("shift amount must be non-negative")
+        if self.is_empty:
+            return Interval.EMPTY
+        upper = self.upper - amount
+        if upper < 0:
+            return Interval.EMPTY
+        lower = max(self.lower - amount, 0.0)
+        return Interval(lower, upper)
+
+    def scale(self, factor: float) -> "Interval":
+        """Multiply both endpoints by a positive factor.
+
+        Used when reward structures are rescaled to integers for the
+        discretization engine; the reward bound in the formula must be
+        scaled identically (Section 4.4.1).
+        """
+        if factor <= 0:
+            raise FormulaError("scale factor must be positive")
+        if self.is_empty:
+            return Interval.EMPTY
+        return Interval(self.lower * factor, self.upper * factor)
+
+    # ------------------------------------------------------------------
+    # K(s) and K(s, s') of Section 3.8
+    # ------------------------------------------------------------------
+    def reward_window(self, rate: float) -> "Interval":
+        """``K(s) = {x in I | rate * x in J}`` with ``self`` playing ``I``.
+
+        Given the reward bound ``J`` (the argument convention below) the
+        result is the subset of residence times in this *time* interval for
+        which the reward accumulated at ``rate`` stays in ``J``.  This
+        method implements the pure ``J``-side: it returns
+        ``{x >= 0 | rate * x in self}``; callers intersect with ``I``.
+
+        A zero rate accumulates no reward, so the result is ``[0, inf)``
+        when ``0 in self`` and empty otherwise.
+        """
+        if self.is_empty:
+            return Interval.EMPTY
+        if rate == 0.0:
+            return Interval.unbounded() if self.contains(0.0) else Interval.EMPTY
+        lower = self.lower / rate
+        upper = self.upper / rate
+        return Interval(lower, upper)
+
+    @staticmethod
+    def k_state(time_bound: "Interval", reward_bound: "Interval", rate: float) -> "Interval":
+        """``K(s)`` of Section 3.8 for a state with reward rate ``rate``.
+
+        The set of residence times ``x in I`` such that ``rate * x in J``.
+        """
+        return time_bound.intersect(reward_bound.reward_window(rate))
+
+    @staticmethod
+    def k_transition(
+        time_bound: "Interval",
+        reward_bound: "Interval",
+        rate: float,
+        impulse: float,
+    ) -> "Interval":
+        """``K(s, s')`` of Section 3.8.
+
+        The set of residence times ``x in I`` such that
+        ``rate * x + impulse in J`` — the reward earned by residing in
+        ``s`` for ``x`` time units and then taking the transition with
+        impulse reward ``impulse``.
+        """
+        if impulse < 0:
+            raise FormulaError("impulse rewards must be non-negative")
+        shifted = reward_bound.shift_down(impulse)
+        return time_bound.intersect(shifted.reward_window(rate))
+
+    # ------------------------------------------------------------------
+    # dunder conveniences
+    # ------------------------------------------------------------------
+    def __contains__(self, value: float) -> bool:
+        return self.contains(float(value))
+
+    def __bool__(self) -> bool:
+        return not self.is_empty
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_empty:
+            return "Interval.EMPTY"
+        lower = int(self.lower) if self.lower == int(self.lower) else self.lower
+        if math.isinf(self.upper):
+            return f"Interval({lower}, inf)"
+        upper = int(self.upper) if self.upper == int(self.upper) else self.upper
+        return f"Interval({lower}, {upper})"
+
+    def __str__(self) -> str:
+        if self.is_empty:
+            return "[empty]"
+        upper = "~" if math.isinf(self.upper) else f"{self.upper:.12g}"
+        return f"[{self.lower:.12g},{upper}]"
+
+
+# The canonical empty interval: bypass validation by constructing a clearly
+# inverted pair directly (``__post_init__`` tolerates it because
+# ``is_empty`` is True for lower > upper).
+_empty = object.__new__(Interval)
+object.__setattr__(_empty, "lower", 1.0)
+object.__setattr__(_empty, "upper", 0.0)
+Interval.EMPTY = _empty
+del _empty

@@ -1,0 +1,208 @@
+"""Distribution of linear combinations of uniform order statistics.
+
+This implements Algorithm 4.8 of the paper — the numerically stable Omega
+recursion of Diniz, de Souza e Silva & Gail (INFORMS JoC 2002) — which the
+uniformization engine uses to evaluate the conditional probability
+
+    Pr{Y(t) <= r | n, k, j}
+
+of eq. (4.9): given ``n`` Poisson transitions, sojourn-count vector ``k``
+over the distinct state rewards and impulse-count vector ``j`` over the
+distinct impulse rewards, the accumulated reward is a linear combination
+of uniform order statistics plus a constant impulse contribution.
+
+The recursion is
+
+    Omega(r, k) = ((c_i - r) / (c_i - c_j)) * Omega(r, k - 1_j)
+                + ((r - c_j) / (c_i - c_j)) * Omega(r, k - 1_i)
+
+for any ``i`` with ``c_i > r`` and ``j`` with ``c_j <= r`` (both with
+positive count), with base cases Omega = 1 when no coefficient exceeds
+``r`` and Omega = 0 when all coefficients exceed ``r``.  All multipliers
+lie in ``[0, 1]``, which is the source of the method's stability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import NumericalError
+
+__all__ = ["OmegaCalculator", "omega", "conditional_reward_probability"]
+
+
+class OmegaCalculator:
+    """Evaluator for ``Omega(r, k)`` with memoization across calls.
+
+    Parameters
+    ----------
+    coefficients:
+        The distinct coefficients ``c_1 .. c_S`` of the sojourn groups
+        (``d``-values in the paper's notation).  They need not be sorted
+        but must be pairwise distinct.
+    threshold:
+        The level ``r`` at which the distribution is evaluated.  The
+        partition into ``G = {l | c_l > r}`` and ``L = {l | c_l <= r}`` is
+        fixed per calculator, hence one calculator per threshold.
+
+    Notes
+    -----
+    The memo table is keyed by the count vector ``k`` only (the threshold
+    is fixed), so repeated queries from many generated paths share work.
+    """
+
+    def __init__(self, coefficients: Sequence[float], threshold: float) -> None:
+        coeffs = [float(c) for c in coefficients]
+        if len(set(coeffs)) != len(coeffs):
+            raise NumericalError("Omega coefficients must be pairwise distinct")
+        self._coefficients = coeffs
+        self._threshold = float(threshold)
+        self._greater = [l for l, c in enumerate(coeffs) if c > threshold]
+        self._lesser = [l for l, c in enumerate(coeffs) if c <= threshold]
+        self._memo: Dict[Tuple[int, ...], float] = {}
+        self.evaluations = 0
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    @property
+    def coefficients(self) -> Tuple[float, ...]:
+        return tuple(self._coefficients)
+
+    def value(self, counts: Sequence[int]) -> float:
+        """``Omega(threshold, counts)`` = Pr{sum over groups <= threshold}.
+
+        ``counts[l]`` is the number of sojourn intervals carrying
+        coefficient ``coefficients[l]``.
+        """
+        key = tuple(int(c) for c in counts)
+        if len(key) != len(self._coefficients):
+            raise NumericalError(
+                f"count vector has length {len(key)}, expected "
+                f"{len(self._coefficients)}"
+            )
+        if any(c < 0 for c in key):
+            raise NumericalError("counts must be non-negative")
+        return self._value(key)
+
+    def _split(self, key: Tuple[int, ...]):
+        """Base-case value, or the two child keys with their weights.
+
+        Returns either ``(value, None)`` for a base case or
+        ``(None, (child_j, weight_j, child_i, weight_i))`` for a
+        recursion step.
+        """
+        mass_greater = sum(key[l] for l in self._greater)
+        if mass_greater == 0:
+            # Every interval's coefficient is <= r, so the combination is
+            # certainly bounded by r.
+            return 1.0, None
+        mass_lesser = sum(key[l] for l in self._lesser)
+        if mass_lesser == 0:
+            return 0.0, None
+        i = next(l for l in self._greater if key[l] > 0)
+        j = next(l for l in self._lesser if key[l] > 0)
+        c_i = self._coefficients[i]
+        c_j = self._coefficients[j]
+        r = self._threshold
+        without_j = list(key)
+        without_j[j] -= 1
+        without_i = list(key)
+        without_i[i] -= 1
+        weight_j = (c_i - r) / (c_i - c_j)
+        weight_i = (r - c_j) / (c_i - c_j)
+        return None, (tuple(without_j), weight_j, tuple(without_i), weight_i)
+
+    def _value(self, key: Tuple[int, ...]) -> float:
+        """Memoized evaluation with an explicit stack (no recursion limit)."""
+        memo = self._memo
+        if key in memo:
+            return memo[key]
+        stack = [key]
+        while stack:
+            current = stack[-1]
+            if current in memo:
+                stack.pop()
+                continue
+            self.evaluations += 1
+            base, children = self._split(current)
+            if children is None:
+                memo[current] = base
+                stack.pop()
+                continue
+            child_j, weight_j, child_i, weight_i = children
+            missing = [child for child in (child_j, child_i) if child not in memo]
+            if missing:
+                # Re-visit once the children are available; do not count
+                # the revisit as a fresh evaluation.
+                self.evaluations -= 1
+                stack.extend(missing)
+                continue
+            memo[current] = weight_j * memo[child_j] + weight_i * memo[child_i]
+            stack.pop()
+        return memo[key]
+
+
+def omega(coefficients: Sequence[float], counts: Sequence[int], threshold: float) -> float:
+    """One-shot ``Omega(threshold, counts)`` (see :class:`OmegaCalculator`)."""
+    return OmegaCalculator(coefficients, threshold).value(counts)
+
+
+def conditional_reward_probability(
+    state_rewards: Sequence[float],
+    sojourn_counts: Sequence[int],
+    impulse_rewards: Sequence[float],
+    impulse_counts: Sequence[int],
+    time_bound: float,
+    reward_bound: float,
+) -> float:
+    """``Pr{Y(t) <= r | n, k, j}`` per eqs. (4.7)–(4.10) of the paper.
+
+    Parameters
+    ----------
+    state_rewards:
+        The distinct state rewards ``r_1 > r_2 > ... > r_{K+1} >= 0``.
+    sojourn_counts:
+        ``k``-vector: ``k_l`` sojourn intervals in states of reward
+        ``state_rewards[l]``; must sum to ``n + 1``.
+    impulse_rewards:
+        The distinct impulse rewards ``i_1 > ... > i_J >= 0``.
+    impulse_counts:
+        ``j``-vector: occurrences of transitions carrying each impulse
+        reward; must sum to ``n``.
+    time_bound:
+        ``t > 0``.
+    reward_bound:
+        ``r >= 0``.
+
+    Notes
+    -----
+    With ``c_l = r_l - r_{K+1}`` (group coefficients, strictly decreasing
+    to 0) and impulse contribution ``imp = sum_i i_i * j_i``, eq. (4.9)
+    reduces the conditional probability to
+
+        Omega(r/t - r_{K+1} - imp/t, k).
+    """
+    rewards = [float(r) for r in state_rewards]
+    if any(rewards[i] <= rewards[i + 1] for i in range(len(rewards) - 1)):
+        raise NumericalError("state rewards must be strictly decreasing")
+    if rewards and rewards[-1] < 0:
+        raise NumericalError("state rewards must be non-negative")
+    if time_bound <= 0:
+        raise NumericalError("time bound must be positive")
+    counts = [int(c) for c in sojourn_counts]
+    if len(counts) != len(rewards):
+        raise NumericalError("sojourn count vector does not match reward levels")
+    imp_levels = [float(i) for i in impulse_rewards]
+    imp_counts = [int(c) for c in impulse_counts]
+    if len(imp_levels) != len(imp_counts):
+        raise NumericalError("impulse count vector does not match impulse levels")
+
+    impulse_total = sum(level * count for level, count in zip(imp_levels, imp_counts))
+    smallest = rewards[-1] if rewards else 0.0
+    threshold = reward_bound / time_bound - smallest - impulse_total / time_bound
+    if threshold < 0:
+        return 0.0
+    coefficients = [r - smallest for r in rewards]
+    return omega(coefficients, counts, threshold)

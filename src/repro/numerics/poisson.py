@@ -1,0 +1,233 @@
+"""Poisson probabilities for uniformization.
+
+Uniformization expresses CTMC transient probabilities as a Poisson mixture
+of DTMC step distributions (eq. 2.2 of the paper).  Two computations are
+provided:
+
+* :func:`poisson_pmf` / :func:`poisson_weights` — the straightforward
+  recursive scheme used by Algorithm 4.7 of the paper
+  (``P_0 = exp(-L t)``, ``P_i = (L t / i) * P_{i-1}``), adequate for the
+  moderate ``Lambda * t`` regime in which path-based uniformization is
+  applicable at all;
+* :func:`fox_glynn` — the Fox–Glynn algorithm, which computes a window
+  ``[left, right]`` of numerically significant weights without underflow,
+  for large ``Lambda * t`` (used by the CSL-style time-bounded until
+  engine and by the ablation benchmarks).
+
+All functions operate on ``lam_t = Lambda * t >= 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import NumericalError
+
+__all__ = [
+    "poisson_pmf",
+    "poisson_weights",
+    "poisson_tail_from",
+    "FoxGlynnWeights",
+    "fox_glynn",
+]
+
+
+def poisson_pmf(lam_t: float, n: int) -> float:
+    """Probability of exactly ``n`` Poisson events, ``e^{-lt} (lt)^n / n!``.
+
+    Computed in log space so large ``n`` does not overflow.
+    """
+    if lam_t < 0:
+        raise NumericalError("Poisson parameter must be non-negative")
+    if n < 0:
+        return 0.0
+    if lam_t == 0.0:
+        return 1.0 if n == 0 else 0.0
+    log_p = -lam_t + n * math.log(lam_t) - math.lgamma(n + 1)
+    return math.exp(log_p)
+
+
+def poisson_weights(lam_t: float, depth: int) -> np.ndarray:
+    """Weights ``P_0 .. P_depth`` by the recursive scheme of Algorithm 4.7.
+
+    ``P_0 = e^{-lt}``, ``P_i = (lt / i) P_{i-1}``.  For very large
+    ``lam_t`` the first term underflows to zero and every weight in the
+    window would be reported as zero; in that regime use
+    :func:`fox_glynn` instead.  A :class:`NumericalError` is raised when
+    underflow would silently destroy all mass.
+    """
+    if lam_t < 0:
+        raise NumericalError("Poisson parameter must be non-negative")
+    if depth < 0:
+        raise NumericalError("depth must be non-negative")
+    weights = np.zeros(depth + 1, dtype=float)
+    first = math.exp(-lam_t) if lam_t < 745.0 else 0.0
+    if first == 0.0 and lam_t > 0.0:
+        raise NumericalError(
+            f"recursive Poisson weights underflow at Lambda*t = {lam_t:g}; "
+            "use fox_glynn() for large Poisson parameters"
+        )
+    weights[0] = first
+    for i in range(1, depth + 1):
+        weights[i] = weights[i - 1] * (lam_t / i)
+    return weights
+
+
+def poisson_tail_from(lam_t: float, n: int) -> float:
+    """Upper tail ``Pr{N >= n} = 1 - sum_{i<n} pmf(i)``.
+
+    This is the factor ``1 - sum_{i=0}^{n-1} e^{-lt}(lt)^i / i!`` in the
+    truncation-error bound of Section 4.6.1.  Computed by summing the
+    complementary mass directly when that is the smaller sum, to avoid
+    catastrophic cancellation.
+    """
+    if lam_t < 0:
+        raise NumericalError("Poisson parameter must be non-negative")
+    if n <= 0:
+        return 1.0
+    if lam_t == 0.0:
+        return 0.0
+    # Sum whichever side is smaller.
+    if n <= lam_t:
+        # Head is the smaller mass only when n is well below the mean;
+        # otherwise summing the head then subtracting is accurate enough.
+        head = 0.0
+        term = math.exp(-lam_t) if lam_t < 745.0 else 0.0
+        if term == 0.0:
+            # Deep-underflow regime: fall back to log-space accumulation.
+            head = sum(poisson_pmf(lam_t, i) for i in range(n))
+            return max(0.0, 1.0 - head)
+        for i in range(n):
+            head += term
+            term *= lam_t / (i + 1)
+        return max(0.0, 1.0 - head)
+    # n > mean: sum the tail directly until terms vanish.
+    tail = 0.0
+    term = poisson_pmf(lam_t, n)
+    i = n
+    while term > 0.0:
+        tail += term
+        i += 1
+        term *= lam_t / i
+        if i > n + 10_000_000:  # pragma: no cover - defensive
+            raise NumericalError("Poisson tail sum failed to terminate")
+    return min(1.0, tail)
+
+
+@dataclass(frozen=True)
+class FoxGlynnWeights:
+    """Result of the Fox–Glynn computation.
+
+    Attributes
+    ----------
+    left, right:
+        The window of significant indices (inclusive).
+    weights:
+        Normalized weights ``w[i]`` for ``i in [left, right]``; entry ``k``
+        of the array corresponds to index ``left + k``.  They sum to the
+        retained probability mass (``~1`` up to the requested accuracy).
+    total:
+        The sum of the retained weights before normalization, kept for
+        diagnostics.
+    """
+
+    left: int
+    right: int
+    weights: np.ndarray
+    total: float
+
+    def weight(self, n: int) -> float:
+        """Normalized Poisson weight for index ``n`` (0 outside the window)."""
+        if n < self.left or n > self.right:
+            return 0.0
+        return float(self.weights[n - self.left])
+
+    def __len__(self) -> int:
+        return self.right - self.left + 1
+
+
+def _find_right(lam_t: float, epsilon: float) -> int:
+    """Smallest ``R`` with ``Pr{N > R} <= epsilon / 2`` (Chernoff-guided scan)."""
+    mean = lam_t
+    std = math.sqrt(lam_t)
+    # Start a few standard deviations out and extend until the tail bound holds.
+    n = int(mean + 4.0 * std + 5.0)
+    while poisson_tail_from(lam_t, n + 1) > epsilon / 2.0:
+        n = int(n * 1.1) + 5
+        if n > mean + 2000 * (std + 1):  # pragma: no cover - defensive
+            raise NumericalError("Fox-Glynn right bound search failed")
+    return n
+
+
+def _find_left(lam_t: float, epsilon: float) -> int:
+    """Largest ``L`` with ``Pr{N < L} <= epsilon / 2``."""
+    if lam_t < 25.0:
+        return 0
+    mean = lam_t
+    std = math.sqrt(lam_t)
+    n = max(0, int(mean - 4.0 * std - 5.0))
+    while n > 0:
+        head = 1.0 - poisson_tail_from(lam_t, n)
+        if head <= epsilon / 2.0:
+            return n
+        n = max(0, n - max(1, int(std)))
+    return 0
+
+
+def fox_glynn(lam_t: float, epsilon: float = 1e-12) -> FoxGlynnWeights:
+    """Fox–Glynn style computation of significant Poisson weights.
+
+    Finds the window ``[left, right]`` outside which the Poisson
+    probability mass is below ``epsilon``, and computes the weights inside
+    the window by the stable outward recurrence anchored at the mode (so
+    no intermediate value underflows), then normalizes.
+
+    Parameters
+    ----------
+    lam_t:
+        The Poisson parameter ``Lambda * t``.
+    epsilon:
+        Total truncated probability mass allowed outside the window.
+    """
+    if lam_t < 0:
+        raise NumericalError("Poisson parameter must be non-negative")
+    if not (0.0 < epsilon < 1.0):
+        raise NumericalError("epsilon must lie in (0, 1)")
+    if lam_t == 0.0:
+        return FoxGlynnWeights(left=0, right=0, weights=np.array([1.0]), total=1.0)
+
+    left = _find_left(lam_t, epsilon)
+    right = _find_right(lam_t, epsilon)
+    mode = int(lam_t)
+    mode = min(max(mode, left), right)
+
+    size = right - left + 1
+    raw: List[float] = [0.0] * size
+    # Anchor at the mode with an arbitrary scale and recur outwards; the
+    # ratios pmf(i+1)/pmf(i) = lam_t/(i+1) are well conditioned.
+    anchor = 1.0
+    raw[mode - left] = anchor
+    value = anchor
+    for i in range(mode, left, -1):
+        value = value * (i / lam_t)
+        raw[i - 1 - left] = value
+    value = anchor
+    for i in range(mode, right):
+        value = value * (lam_t / (i + 1))
+        raw[i + 1 - left] = value
+
+    arr = np.asarray(raw, dtype=float)
+    total = float(arr.sum())
+    if total <= 0.0 or not math.isfinite(total):  # pragma: no cover - defensive
+        raise NumericalError("Fox-Glynn normalization failed")
+    # Scale so the window carries exactly the retained mass (1 - truncated).
+    retained = 1.0 - poisson_tail_from(lam_t, right + 1)
+    if left > 0:
+        retained -= 1.0 - poisson_tail_from(lam_t, left)
+    retained = min(max(retained, 0.0), 1.0)
+    arr = arr * (retained / total)
+    return FoxGlynnWeights(left=left, right=right, weights=arr, total=retained)

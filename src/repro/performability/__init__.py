@@ -1,0 +1,21 @@
+"""Performability measures over MRMs (Sections 1.1, 3.5 of the paper)."""
+
+from repro.performability.distribution import (
+    accumulated_reward_cdf,
+    accumulated_reward_distribution,
+)
+from repro.performability.expected import (
+    expected_accumulated_reward,
+    expected_reward_rate,
+    long_run_reward_rate,
+    reward_rate_vector,
+)
+
+__all__ = [
+    "accumulated_reward_distribution",
+    "accumulated_reward_cdf",
+    "expected_accumulated_reward",
+    "expected_reward_rate",
+    "long_run_reward_rate",
+    "reward_rate_vector",
+]

@@ -1,0 +1,15 @@
+"""Discrete-event simulation of MRMs (statistical cross-validation)."""
+
+from repro.simulation.simulator import (
+    EstimateResult,
+    MRMSimulator,
+    estimate_joint_distribution,
+    estimate_until_probability,
+)
+
+__all__ = [
+    "MRMSimulator",
+    "EstimateResult",
+    "estimate_joint_distribution",
+    "estimate_until_probability",
+]

@@ -1,0 +1,249 @@
+"""Monte-Carlo simulation of Markov reward models.
+
+The numerical engines of :mod:`repro.check` are exact up to truncation
+and discretization error; this module provides the *independent* oracle
+the test suite uses to cross-validate them: a discrete-event simulator
+that samples timed paths of an MRM according to the race semantics of
+Section 2.4 (exponential sojourns, jump probabilities ``R[s,s']/E(s)``)
+and accumulates state and impulse rewards along the way.
+
+Estimators return the sample mean together with a normal-approximation
+confidence half-width so assertions can be made statistically sound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import AbstractSet, Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.mrm.model import MRM
+from repro.mrm.paths import TimedPath
+
+__all__ = [
+    "MRMSimulator",
+    "EstimateResult",
+    "estimate_joint_distribution",
+    "estimate_until_probability",
+]
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """A Monte-Carlo estimate with its precision.
+
+    Attributes
+    ----------
+    estimate:
+        The sample mean.
+    half_width:
+        Half-width of the (approximately) 99% confidence interval.
+    samples:
+        Number of simulated paths.
+    """
+
+    estimate: float
+    half_width: float
+    samples: int
+
+    def contains(self, value: float) -> bool:
+        """Whether the confidence interval covers ``value``."""
+        return abs(value - self.estimate) <= self.half_width
+
+
+class MRMSimulator:
+    """Samples timed trajectories of an MRM.
+
+    Parameters
+    ----------
+    model:
+        The MRM to simulate (used as-is; apply
+        :meth:`repro.mrm.MRM.make_absorbing` beforehand to simulate a
+        transformed model).
+    seed:
+        Seed for the underlying ``numpy`` generator; simulations are
+        reproducible given the seed.
+    """
+
+    def __init__(self, model: MRM, seed: Optional[int] = None) -> None:
+        self._model = model
+        self._rng = np.random.default_rng(seed)
+        # Pre-extract per-state jump tables.
+        n = model.num_states
+        rates = model.rates
+        self._exit = np.array([model.exit_rate(s) for s in range(n)])
+        self._targets: List[np.ndarray] = []
+        self._cumulative: List[np.ndarray] = []
+        for state in range(n):
+            start, stop = rates.indptr[state], rates.indptr[state + 1]
+            targets = rates.indices[start:stop].astype(np.int64)
+            weights = rates.data[start:stop].astype(float)
+            self._targets.append(targets)
+            total = weights.sum()
+            if total > 0:
+                cumulative = np.cumsum(weights / total)
+                cumulative[-1] = 1.0  # guard against rounding
+            else:
+                cumulative = weights
+            self._cumulative.append(cumulative)
+
+    @property
+    def model(self) -> MRM:
+        return self._model
+
+    def _draw_successor(self, state: int) -> int:
+        """Sample the jump target by inverse transform over the
+        cumulative jump distribution (much faster than ``rng.choice``)."""
+        position = np.searchsorted(self._cumulative[state], self._rng.random())
+        return int(self._targets[state][position])
+
+    def sample_run(
+        self, initial_state: int, horizon: float
+    ) -> Tuple[int, float]:
+        """One trajectory up to ``horizon``.
+
+        Returns
+        -------
+        (state, reward):
+            The state occupied at the horizon and the reward ``y(t)``
+            accumulated by then (state rewards plus impulse rewards of
+            the jumps strictly before the horizon).
+        """
+        if horizon < 0:
+            raise ModelError("horizon must be non-negative")
+        model = self._model
+        state = int(initial_state)
+        if not 0 <= state < model.num_states:
+            raise ModelError(f"initial state {state} out of range")
+        clock = 0.0
+        reward = 0.0
+        rng = self._rng
+        while True:
+            exit_rate = self._exit[state]
+            if exit_rate == 0.0:
+                reward += model.state_reward(state) * (horizon - clock)
+                return state, reward
+            sojourn = rng.exponential(1.0 / exit_rate)
+            if clock + sojourn >= horizon:
+                reward += model.state_reward(state) * (horizon - clock)
+                return state, reward
+            reward += model.state_reward(state) * sojourn
+            clock += sojourn
+            successor = self._draw_successor(state)
+            reward += model.impulse_reward(state, successor)
+            state = successor
+
+    def sample_timed_path(
+        self, initial_state: int, horizon: float, max_transitions: int = 100_000
+    ) -> TimedPath:
+        """A full :class:`TimedPath` prefix covering ``[0, horizon]``.
+
+        The path records every visited state and sojourn; the last
+        sojourn is truncated at the horizon.  Useful for inspecting and
+        re-evaluating the path functionals (``sigma@t``, ``y_sigma``).
+        """
+        model = self._model
+        state = int(initial_state)
+        states = [state]
+        sojourns: List[float] = []
+        clock = 0.0
+        rng = self._rng
+        for _ in range(max_transitions):
+            exit_rate = self._exit[state]
+            if exit_rate == 0.0:
+                break
+            sojourn = float(rng.exponential(1.0 / exit_rate))
+            if clock + sojourn >= horizon:
+                break
+            successor = self._draw_successor(state)
+            sojourns.append(sojourn)
+            states.append(successor)
+            state = successor
+            clock += sojourn
+        else:
+            raise ModelError(
+                f"trajectory exceeded {max_transitions} transitions before "
+                f"the horizon {horizon}"
+            )
+        # Transitions were sampled from the model itself.
+        return TimedPath(model, states, sojourns, validate_transitions=False)
+
+    def estimate(
+        self,
+        initial_state: int,
+        horizon: float,
+        predicate: Callable[[int, float], bool],
+        samples: int = 10_000,
+    ) -> EstimateResult:
+        """Estimate ``Pr{predicate(X(t), Y(t))}`` by simulation."""
+        if samples < 1:
+            raise ModelError("need at least one sample")
+        hits = 0
+        for _ in range(samples):
+            state, reward = self.sample_run(initial_state, horizon)
+            if predicate(state, reward):
+                hits += 1
+        mean = hits / samples
+        # Normal approximation, z = 2.576 for ~99%.
+        half_width = 2.576 * math.sqrt(max(mean * (1.0 - mean), 1e-12) / samples)
+        return EstimateResult(estimate=mean, half_width=half_width, samples=samples)
+
+
+def estimate_joint_distribution(
+    model: MRM,
+    initial_state: int,
+    psi_states: AbstractSet[int],
+    time_bound: float,
+    reward_bound: float,
+    samples: int = 10_000,
+    seed: Optional[int] = None,
+) -> EstimateResult:
+    """Monte-Carlo estimate of ``Pr{Y(t) <= r, X(t) in psi_states}``.
+
+    The direct statistical counterpart of
+    :func:`repro.check.paths_engine.joint_distribution`.
+    """
+    psi = frozenset(int(s) for s in psi_states)
+    simulator = MRMSimulator(model, seed=seed)
+    return simulator.estimate(
+        initial_state,
+        time_bound,
+        lambda state, reward: state in psi and reward <= reward_bound,
+        samples=samples,
+    )
+
+
+def estimate_until_probability(
+    model: MRM,
+    initial_state: int,
+    phi_states: AbstractSet[int],
+    psi_states: AbstractSet[int],
+    time_bound: float,
+    reward_bound: float,
+    samples: int = 10_000,
+    seed: Optional[int] = None,
+) -> EstimateResult:
+    """Monte-Carlo estimate of ``P(s, Phi U^{[0,t]}_{[0,r]} Psi)``.
+
+    Applies Theorems 4.1/4.3 (make ``(!Phi or Psi)``-states absorbing)
+    and then estimates the joint distribution — the same reduction the
+    numerical engines use, so any bug in the reduction itself would not
+    be caught here; the reduction is validated separately by the
+    semantics-level tests.
+    """
+    n = model.num_states
+    phi = {int(s) for s in phi_states}
+    psi = {int(s) for s in psi_states}
+    transformed = model.make_absorbing((set(range(n)) - phi) | psi)
+    return estimate_joint_distribution(
+        transformed,
+        initial_state,
+        psi,
+        time_bound,
+        reward_bound,
+        samples=samples,
+        seed=seed,
+    )

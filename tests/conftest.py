@@ -1,0 +1,36 @@
+"""Shared fixtures: the paper's models, built once per session."""
+
+import pytest
+
+from repro.models import (
+    build_bscc_example,
+    build_figure_2_1_dtmc,
+    build_phone_model,
+    build_tmr,
+    build_wavelan_modem,
+)
+
+
+@pytest.fixture(scope="session")
+def wavelan():
+    return build_wavelan_modem()
+
+
+@pytest.fixture(scope="session")
+def tmr3():
+    return build_tmr(3)
+
+
+@pytest.fixture(scope="session")
+def phone():
+    return build_phone_model()
+
+
+@pytest.fixture(scope="session")
+def bscc_example():
+    return build_bscc_example()
+
+
+@pytest.fixture(scope="session")
+def figure_2_1():
+    return build_figure_2_1_dtmc()

@@ -1,0 +1,172 @@
+"""Tests for the CSRL AST (Definition 3.5)."""
+
+import pytest
+
+from repro.exceptions import FormulaError
+from repro.logic.ast import (
+    And,
+    Atomic,
+    Comparison,
+    Eventually,
+    FalseFormula,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Prob,
+    Steady,
+    TrueFormula,
+    Until,
+    ap,
+    ff,
+    tt,
+)
+from repro.numerics.intervals import Interval
+
+
+class TestComparison:
+    def test_holds(self):
+        assert Comparison.LT.holds(0.4, 0.5)
+        assert not Comparison.LT.holds(0.5, 0.5)
+        assert Comparison.LE.holds(0.5, 0.5)
+        assert Comparison.GT.holds(0.6, 0.5)
+        assert Comparison.GE.holds(0.5, 0.5)
+        assert not Comparison.GE.holds(0.4, 0.5)
+
+    def test_from_symbol(self):
+        assert Comparison.from_symbol("<=") is Comparison.LE
+        with pytest.raises(FormulaError):
+            Comparison.from_symbol("==")
+
+    def test_str(self):
+        assert str(Comparison.GT) == ">"
+
+
+class TestConstruction:
+    def test_atomic_validation(self):
+        with pytest.raises(FormulaError):
+            Atomic("")
+        with pytest.raises(FormulaError):
+            Atomic("two words")
+
+    def test_structural_equality(self):
+        assert Atomic("a") == Atomic("a")
+        assert Atomic("a") != Atomic("b")
+        assert Or(tt(), ap("x")) == Or(TrueFormula(), Atomic("x"))
+
+    def test_hashable_for_caching(self):
+        cache = {Atomic("a"): 1, Not(Atomic("a")): 2}
+        assert cache[Atomic("a")] == 1
+
+    def test_operator_overloads(self):
+        formula = ap("a") & ap("b") | ~ap("c")
+        assert isinstance(formula, Or)
+        assert isinstance(formula.left, And)
+        assert isinstance(formula.right, Not)
+
+    def test_implies_helper(self):
+        formula = ap("a").implies(ap("b"))
+        assert isinstance(formula, Implies)
+
+    def test_boolean_operand_type_checked(self):
+        with pytest.raises(FormulaError):
+            Not("a")
+        with pytest.raises(FormulaError):
+            Or(ap("a"), Next(ap("b")))
+
+    def test_probability_bound_validated(self):
+        with pytest.raises(FormulaError):
+            Prob(Comparison.GE, 1.5, Next(ap("a")))
+        with pytest.raises(FormulaError):
+            Steady(Comparison.GE, -0.1, ap("a"))
+
+    def test_prob_needs_path_formula(self):
+        with pytest.raises(FormulaError):
+            Prob(Comparison.GE, 0.5, ap("a"))
+
+    def test_until_interval_types_checked(self):
+        with pytest.raises(FormulaError):
+            Until(ap("a"), ap("b"), time_bound=(0, 1))
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(FormulaError):
+            Next(ap("a"), time_bound=Interval.EMPTY)
+
+
+class TestDerivedForms:
+    def test_eventually_is_true_until(self):
+        formula = Eventually(ap("goal"), time_bound=Interval.upto(5))
+        assert isinstance(formula, Until)
+        assert formula.left == tt()
+        assert formula.right == ap("goal")
+        assert formula.time_bound == Interval.upto(5)
+        assert formula.reward_bound.is_unbounded
+
+    def test_until_classification(self):
+        p0 = Until(ap("a"), ap("b"))
+        p1 = Until(ap("a"), ap("b"), time_bound=Interval.upto(3))
+        p2 = Until(
+            ap("a"), ap("b"), time_bound=Interval.upto(3), reward_bound=Interval.upto(9)
+        )
+        assert p0.is_unbounded and not p0.is_time_bounded_only
+        assert p1.is_time_bounded_only
+        assert not p2.is_unbounded and not p2.is_time_bounded_only
+
+    def test_next_unbounded_flag(self):
+        assert Next(ap("a")).is_unbounded
+        assert not Next(ap("a"), time_bound=Interval.upto(2)).is_unbounded
+
+
+class TestTraversal:
+    def test_subformulas_postorder(self):
+        formula = Prob(Comparison.GE, 0.5, Until(ap("a"), Not(ap("b"))))
+        nodes = list(formula.subformulas())
+        assert nodes[-1] is formula
+        # Children appear before parents.
+        assert nodes.index(formula) > nodes.index(formula.path)
+        until = formula.path
+        assert nodes.index(until) > nodes.index(until.left)
+
+    def test_atomic_propositions_collected(self):
+        formula = Steady(Comparison.GE, 0.1, Or(ap("x"), And(ap("y"), Not(ap("x")))))
+        assert formula.atomic_propositions() == {"x", "y"}
+
+    def test_constants_have_no_propositions(self):
+        assert tt().atomic_propositions() == frozenset()
+        assert ff().atomic_propositions() == frozenset()
+
+
+class TestRendering:
+    def test_simple_forms(self):
+        assert str(tt()) == "TT"
+        assert str(ff()) == "FF"
+        assert str(ap("busy")) == "busy"
+        assert str(Not(ap("a"))) == "!a"
+        assert str(Or(ap("a"), ap("b"))) == "(a || b)"
+        assert str(And(ap("a"), ap("b"))) == "(a && b)"
+
+    def test_nested_negation_parenthesized(self):
+        assert str(Not(Not(ap("a")))) == "!(!a)"
+
+    def test_steady(self):
+        assert str(Steady(Comparison.GE, 0.3, ap("b"))) == "S(>=0.3) b"
+
+    def test_prob_until_with_bounds(self):
+        formula = Prob(
+            Comparison.GT,
+            0.5,
+            Until(
+                ap("a"),
+                ap("b"),
+                time_bound=Interval.upto(3),
+                reward_bound=Interval.upto(23),
+            ),
+        )
+        assert str(formula) == "P(>0.5) [a U[0,3][0,23] b]"
+
+    def test_prob_next_unbounded(self):
+        assert str(Prob(Comparison.LE, 0.1, Next(ap("a")))) == "P(<=0.1) [X a]"
+
+    def test_unbounded_reward_rendered_as_tilde(self):
+        formula = Until(ap("a"), ap("b"), time_bound=Interval.upto(3))
+        assert str(formula) == "a U[0,3][0,~] b"

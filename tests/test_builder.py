@@ -1,0 +1,102 @@
+"""Tests for the MRMBuilder fluent construction API."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.mrm.builder import MRMBuilder
+
+
+class TestConstruction:
+    def test_basic_build(self):
+        model = (
+            MRMBuilder()
+            .state("up", labels={"operational"}, reward=3.0)
+            .state("down", labels={"failed"})
+            .transition("up", "down", rate=0.1, impulse=5.0)
+            .transition("down", "up", rate=1.0)
+            .build()
+        )
+        assert model.state_names == ["up", "down"]
+        assert model.state_reward(0) == 3.0
+        assert model.rates[0, 1] == pytest.approx(0.1)
+        assert model.impulse_reward(0, 1) == 5.0
+        assert model.states_with_label("failed") == {1}
+
+    def test_insertion_order_defines_indices(self):
+        builder = MRMBuilder()
+        builder.state("c").state("a").state("b")
+        assert builder.state_names == ["c", "a", "b"]
+        assert builder.index_of("a") == 1
+
+    def test_auto_declared_states(self):
+        model = MRMBuilder().transition("x", "y", rate=2.0).build()
+        assert model.state_names == ["x", "y"]
+
+    def test_repeated_transition_accumulates_rate(self):
+        model = (
+            MRMBuilder()
+            .transition("a", "b", rate=1.0)
+            .transition("a", "b", rate=0.5)
+            .build()
+        )
+        assert model.rates[0, 1] == pytest.approx(1.5)
+
+    def test_labels_merge(self):
+        builder = MRMBuilder()
+        builder.state("s", labels={"x"})
+        builder.state("s", labels={"y"})
+        model = builder.transition("s", "s", rate=1.0).build()
+        assert model.labels_of(0) == {"x", "y"}
+
+    def test_self_loop_allowed_without_impulse(self):
+        model = MRMBuilder().transition("s", "s", rate=2.0).build()
+        assert model.rates[0, 0] == 2.0
+
+
+class TestValidation:
+    def test_empty_build_rejected(self):
+        with pytest.raises(ModelError):
+            MRMBuilder().build()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            MRMBuilder().state("")
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ModelError):
+            MRMBuilder().transition("a", "b", rate=0.0)
+
+    def test_negative_reward_rejected(self):
+        with pytest.raises(ModelError):
+            MRMBuilder().state("a", reward=-1.0)
+
+    def test_impulse_on_self_loop_rejected(self):
+        with pytest.raises(ModelError, match="Definition 3.1"):
+            MRMBuilder().transition("s", "s", rate=1.0, impulse=2.0)
+
+    def test_negative_impulse_rejected(self):
+        with pytest.raises(ModelError):
+            MRMBuilder().transition("a", "b", rate=1.0, impulse=-1.0)
+
+    def test_unknown_index_lookup(self):
+        with pytest.raises(ModelError):
+            MRMBuilder().index_of("ghost")
+
+
+class TestRoundTripWithChecker:
+    def test_checkable_model(self):
+        from repro.check.checker import ModelChecker
+
+        model = (
+            MRMBuilder()
+            .state("working", labels={"up"}, reward=1.0)
+            .state("broken", labels={"down"})
+            .transition("working", "broken", rate=0.5, impulse=2.0)
+            .transition("broken", "working", rate=2.0)
+            .build()
+        )
+        checker = ModelChecker(model)
+        result = checker.check("S(>0.5) up")
+        # Stationary: pi(working) = 2 / 2.5 = 0.8 > 0.5.
+        assert result.probability_of(0) == pytest.approx(0.8)
+        assert result.states == frozenset({0, 1})

@@ -1,0 +1,105 @@
+"""Tests for the next operator (Section 4.3.1, eqs. 3.4/3.5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.check.next_op import next_probabilities, satisfy_next
+from repro.logic.ast import Comparison
+from repro.numerics.intervals import Interval
+
+UNBOUNDED = Interval.unbounded()
+
+
+class TestUnboundedNext:
+    def test_reduces_to_jump_probabilities(self, wavelan):
+        """Eq. (3.5): P(s, X Phi) = sum_{s' |= Phi} P(s, s')."""
+        values = next_probabilities(wavelan, {3, 4}, UNBOUNDED, UNBOUNDED)
+        # From idle: (1.5 + 0.75) / 14.25.
+        assert values[2] == pytest.approx(2.25 / 14.25)
+        # Off/sleep cannot reach busy in one step.
+        assert values[0] == 0.0
+        assert values[1] == 0.0
+
+    def test_full_target_gives_one_for_non_absorbing(self, wavelan):
+        values = next_probabilities(wavelan, set(range(5)), UNBOUNDED, UNBOUNDED)
+        assert values == pytest.approx(np.ones(5))
+
+    def test_absorbing_state_has_no_next(self, tmr3):
+        transformed = tmr3.make_absorbing({4})
+        values = next_probabilities(
+            transformed, set(range(transformed.num_states)), UNBOUNDED, UNBOUNDED
+        )
+        assert values[4] == 0.0
+
+
+class TestTimeBoundedNext:
+    def test_matches_analytic_single_transition(self, wavelan):
+        # From off: only transition off -> sleep, E = 0.1.
+        # P(X^{[0,t]} sleep) = 1 - e^{-0.1 t}.
+        values = next_probabilities(wavelan, {1}, Interval.upto(5.0), UNBOUNDED)
+        assert values[0] == pytest.approx(1.0 - math.exp(-0.5))
+
+    def test_window_with_positive_lower_bound(self, wavelan):
+        # Jump in [2, 5]: e^{-0.1*2} - e^{-0.1*5}.
+        values = next_probabilities(wavelan, {1}, Interval(2.0, 5.0), UNBOUNDED)
+        assert values[0] == pytest.approx(math.exp(-0.2) - math.exp(-0.5))
+
+
+class TestRewardBoundedNext:
+    def test_reward_bound_translates_to_time_window(self, wavelan):
+        # From idle (rho = 1319), jump to sleep with no impulse: reward
+        # r = 1319 x <= 1319 <=> x <= 1.  P = P(2,1)(1 - e^{-E*1}).
+        values = next_probabilities(wavelan, {1}, UNBOUNDED, Interval.upto(1319.0))
+        expected = (12.0 / 14.25) * (1.0 - math.exp(-14.25))
+        assert values[2] == pytest.approx(expected)
+
+    def test_impulse_consumes_reward_budget(self, wavelan):
+        # idle -> receive carries impulse 0.42545; reward budget equal to
+        # the impulse gives a zero-length residence window [0, 0].
+        values = next_probabilities(wavelan, {3}, UNBOUNDED, Interval.upto(0.42545))
+        assert values[2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_impulse_above_budget_empty_window(self, wavelan):
+        values = next_probabilities(wavelan, {3}, UNBOUNDED, Interval.upto(0.4))
+        assert values[2] == 0.0
+
+    def test_impulse_within_budget(self, wavelan):
+        # Budget 0.42545 + 1319 * 1: one time unit of idle residence.
+        budget = 0.42545 + 1319.0
+        values = next_probabilities(wavelan, {3}, UNBOUNDED, Interval.upto(budget))
+        expected = (1.5 / 14.25) * (1.0 - math.exp(-14.25))
+        assert values[2] == pytest.approx(expected)
+
+    def test_zero_reward_state_unbounded_window(self, wavelan):
+        # From off (rho = 0) any residence accumulates nothing.
+        values = next_probabilities(wavelan, {1}, UNBOUNDED, Interval.upto(0.02))
+        assert values[0] == pytest.approx(1.0)
+
+    def test_zero_reward_state_budget_below_impulse(self, wavelan):
+        values = next_probabilities(wavelan, {1}, UNBOUNDED, Interval.upto(0.01))
+        assert values[0] == 0.0
+
+
+class TestSatisfyNext:
+    def test_example_3_3_nested_inner(self, wavelan):
+        """P(>0.5)(X^{[0,10]}_{[0,50]} sleep) from Example 3.3's nesting."""
+        result = satisfy_next(
+            wavelan,
+            Comparison.GT,
+            0.5,
+            {1},
+            Interval.upto(10.0),
+            Interval.upto(50.0),
+        )
+        # From off: 1 - e^{-1} ~ 0.63 > 0.5 (zero reward accumulates).
+        assert 0 in result.satisfying
+        # From idle: the jump must go to sleep before rho t > 50, i.e.
+        # within 50/1319 h: tiny probability.
+        assert 2 not in result.satisfying
+
+    def test_values_exposed(self, wavelan):
+        result = satisfy_next(wavelan, Comparison.GE, 0.0, {1}, UNBOUNDED, UNBOUNDED)
+        assert result.values.shape == (5,)
+        assert result.satisfying == frozenset(range(5))

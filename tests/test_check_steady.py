@@ -1,0 +1,56 @@
+"""Tests for the steady-state operator (Section 4.2, Example 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.check.steady import satisfy_steady, steady_state_values
+from repro.logic.ast import Comparison
+
+
+class TestSteadyValues:
+    def test_example_3_5(self, bscc_example):
+        """pi(s1, Sat(b)) = 8/21."""
+        values = steady_state_values(bscc_example, {3})
+        assert values[0] == pytest.approx(8 / 21, abs=1e-12)
+
+    def test_all_start_states(self, bscc_example):
+        values = steady_state_values(bscc_example, {3})
+        # From s2 (index 1): P(s2, eventually B1) = 6/7; times 2/3 = 4/7.
+        assert values[1] == pytest.approx(6 / 7 * 2 / 3, abs=1e-12)
+        # Inside B1 the chain stays: 2/3 exactly.
+        assert values[2] == pytest.approx(2 / 3, abs=1e-12)
+        assert values[3] == pytest.approx(2 / 3, abs=1e-12)
+        # From B2 the b-state is unreachable.
+        assert values[4] == 0.0
+
+    def test_empty_target_set(self, bscc_example):
+        values = steady_state_values(bscc_example, set())
+        assert values == pytest.approx(np.zeros(5))
+
+    def test_full_target_set_gives_one(self, bscc_example):
+        values = steady_state_values(bscc_example, set(range(5)))
+        assert values == pytest.approx(np.ones(5), abs=1e-10)
+
+    def test_strongly_connected_chain_uniform_over_starts(self, wavelan):
+        values = steady_state_values(wavelan, {3, 4})
+        assert np.ptp(values) == pytest.approx(0.0, abs=1e-10)
+
+
+class TestSatisfySteady:
+    def test_paper_bound(self, bscc_example):
+        """s1 |= S_{>=0.3}(b) since 8/21 ~ 0.381 >= 0.3."""
+        result = satisfy_steady(bscc_example, Comparison.GE, 0.3, {3})
+        assert 0 in result.satisfying
+        assert 4 not in result.satisfying
+
+    def test_tight_bound(self, bscc_example):
+        result = satisfy_steady(bscc_example, Comparison.GT, 8 / 21, {3})
+        assert 0 not in result.satisfying  # strict inequality fails
+        result = satisfy_steady(bscc_example, Comparison.GE, 8 / 21 - 1e-12, {3})
+        assert 0 in result.satisfying
+
+    def test_less_than_bounds(self, bscc_example):
+        result = satisfy_steady(bscc_example, Comparison.LT, 0.5, {3})
+        # Values: s1 = 8/21, s2 = 4/7, s3 = s4 = 2/3, s5 = 0; only s1 and
+        # s5 stay below 0.5.
+        assert result.satisfying == {0, 4}

@@ -1,0 +1,305 @@
+"""Tests for the until operator across property classes P0/P1/P2."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.check.until import (
+    satisfy_until,
+    time_bounded_until_probabilities,
+    unbounded_until_probabilities,
+    until_probability,
+)
+from repro.ctmc.chain import CTMC
+from repro.exceptions import CheckError
+from repro.logic.ast import Comparison
+from repro.mrm.model import MRM
+from repro.numerics.intervals import Interval
+
+
+class TestP0Unbounded:
+    def test_figure_3_2_reachability(self, bscc_example):
+        """P(s1, eventually B1) = 4/7 (the computation inside Example 3.5)."""
+        values = unbounded_until_probabilities(
+            bscc_example, set(range(5)), {2, 3}
+        )
+        assert values[0] == pytest.approx(4 / 7, abs=1e-10)
+        assert values[1] == pytest.approx(6 / 7, abs=1e-10)
+        assert values[2] == 1.0 and values[3] == 1.0
+        assert values[4] == 0.0
+
+    def test_phi_restriction_blocks_paths(self, bscc_example):
+        # Reaching s3 (index 2) while only passing through {s1} (index 0):
+        # s1's only route is via s2, which is not allowed.
+        values = unbounded_until_probabilities(bscc_example, {0}, {2})
+        assert values[0] == 0.0
+
+    def test_psi_state_is_one_regardless_of_phi(self, bscc_example):
+        values = unbounded_until_probabilities(bscc_example, set(), {4})
+        assert values[4] == 1.0
+        assert values[0] == 0.0
+
+    def test_direct_and_gauss_seidel_agree(self, bscc_example):
+        a = unbounded_until_probabilities(bscc_example, set(range(5)), {2, 3})
+        b = unbounded_until_probabilities(
+            bscc_example, set(range(5)), {2, 3}, solver="direct"
+        )
+        assert a == pytest.approx(b, abs=1e-9)
+
+    def test_wavelan_live_chain_reaches_everything(self, wavelan):
+        values = unbounded_until_probabilities(wavelan, set(range(5)), {4})
+        assert values == pytest.approx(np.ones(5), abs=1e-9)
+
+
+class TestP1TimeBounded:
+    def test_single_transition_analytic(self, wavelan):
+        # off --(0.1)--> sleep; P(off U^{<=t} sleep) = 1 - e^{-0.1 t}.
+        values = time_bounded_until_probabilities(wavelan, {0}, {1}, 10.0)
+        assert values[0] == pytest.approx(1.0 - math.exp(-1.0), abs=1e-9)
+
+    def test_time_zero_is_indicator(self, wavelan):
+        values = time_bounded_until_probabilities(wavelan, {0}, {1}, 0.0)
+        assert values[1] == 1.0
+        assert values[0] == 0.0
+
+    def test_monotone_in_time(self, wavelan):
+        phi = {0, 1, 2}
+        psi = {3, 4}
+        previous = np.zeros(5)
+        for t in (0.1, 0.5, 1.0, 5.0):
+            values = time_bounded_until_probabilities(wavelan, phi, psi, t)
+            assert np.all(values >= previous - 1e-12)
+            previous = values
+
+    def test_agrees_with_large_reward_bound_p2(self, wavelan):
+        phi = {2}
+        psi = {3, 4}
+        t = 0.5
+        p1 = time_bounded_until_probabilities(wavelan, phi, psi, t)
+        p2 = until_probability(
+            wavelan,
+            2,
+            phi,
+            psi,
+            Interval.upto(t),
+            Interval.upto(1e9),  # effectively unbounded reward
+            truncation_probability=1e-12,
+        )
+        assert p2.probability == pytest.approx(p1[2], abs=1e-7)
+
+
+class TestP2RewardBounded:
+    def test_example_3_6(self, wavelan):
+        """P(3, idle U^{[0,2]}_{[0,2000]} busy) = 0.15789 (Example 3.6)."""
+        result = until_probability(
+            wavelan,
+            2,
+            {2},
+            {3, 4},
+            Interval.upto(2.0),
+            Interval.upto(2000.0),
+            truncation_probability=1e-12,
+        )
+        assert result.probability == pytest.approx(0.15789, abs=2e-5)
+        assert result.error_bound < 1e-6
+
+    def test_psi_start_state_gets_probability_one(self, wavelan):
+        result = satisfy_until(
+            wavelan,
+            Comparison.GE,
+            0.0,
+            {2},
+            {3, 4},
+            Interval.upto(2.0),
+            Interval.upto(2000.0),
+        )
+        assert result.values[3] == 1.0
+        assert result.values[4] == 1.0
+
+    def test_dead_start_state_gets_zero(self, wavelan):
+        result = satisfy_until(
+            wavelan,
+            Comparison.GE,
+            0.0,
+            {2},
+            {3, 4},
+            Interval.upto(2.0),
+            Interval.upto(2000.0),
+        )
+        assert result.values[0] == 0.0  # off is neither idle nor busy
+        assert result.values[1] == 0.0
+
+    def test_uniformization_and_discretization_agree(self):
+        """The paper's own cross-validation argument (Section 5.3.3).
+
+        A compact model with small integer rewards and d-integral
+        impulses so the reward grid stays small: both engines must
+        produce the same value up to the discretization error O(d).
+        """
+        chain = CTMC(
+            [
+                [0.0, 2.0, 0.5, 0.0],
+                [1.0, 0.0, 0.0, 1.5],
+                [0.0, 0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0, 0.0],
+            ],
+            labels={0: {"work"}, 1: {"work"}, 2: {"dead"}, 3: {"goal"}},
+        )
+        model = MRM(
+            chain,
+            state_rewards=[2.0, 5.0, 0.0, 0.0],
+            impulse_rewards={(0, 1): 1.0, (1, 3): 2.0},
+        )
+        phi = {0, 1}
+        psi = {3}
+        t, r = 3.0, 10.0
+        uniform = until_probability(
+            model, 0, phi, psi, Interval.upto(t), Interval.upto(r),
+            truncation_probability=1e-12,
+        )
+        disc = until_probability(
+            model, 0, phi, psi, Interval.upto(t), Interval.upto(r),
+            engine="discretization", discretization_step=1 / 100,
+        )
+        assert uniform.error_bound < 1e-9
+        assert disc.probability == pytest.approx(uniform.probability, abs=5e-3)
+
+    def test_strategies_agree(self, tmr3):
+        sup = tmr3.states_with_label("Sup")
+        failed = tmr3.states_with_label("failed")
+        kwargs = dict(
+            time_bound=Interval.upto(100.0),
+            reward_bound=Interval.upto(3000.0),
+            truncation_probability=1e-10,
+        )
+        paths = until_probability(
+            tmr3, 3, sup, failed, strategy="paths", **kwargs
+        )
+        merged = until_probability(
+            tmr3, 3, sup, failed, strategy="merged", **kwargs
+        )
+        assert merged.probability == pytest.approx(paths.probability, abs=1e-7)
+        # Merged prunes no earlier than per-path truncation.
+        assert merged.error_bound <= paths.error_bound + 1e-12
+
+    def test_safe_truncation_dominates_paper_truncation(self, tmr3):
+        sup = tmr3.states_with_label("Sup")
+        failed = tmr3.states_with_label("failed")
+        kwargs = dict(
+            time_bound=Interval.upto(400.0),
+            reward_bound=Interval.upto(3000.0),
+            truncation_probability=1e-9,
+        )
+        paper = until_probability(tmr3, 3, sup, failed, truncation="paper", **kwargs)
+        safe = until_probability(tmr3, 3, sup, failed, truncation="safe", **kwargs)
+        assert safe.error_bound <= paper.error_bound + 1e-15
+        # The safe estimate plus its error covers the paper estimate.
+        assert safe.probability + safe.error_bound >= paper.probability - 1e-12
+
+    def test_reward_bound_monotone(self, tmr3):
+        sup = tmr3.states_with_label("Sup")
+        failed = tmr3.states_with_label("failed")
+        previous = 0.0
+        for r in (500.0, 1500.0, 3000.0, 10000.0):
+            result = until_probability(
+                tmr3, 3, sup, failed, Interval.upto(300.0), Interval.upto(r),
+                truncation_probability=1e-10,
+            )
+            assert result.probability >= previous - 1e-12
+            previous = result.probability
+
+    def test_statistics_populated(self, wavelan):
+        result = until_probability(
+            wavelan, 2, {2}, {3, 4}, Interval.upto(1.0), Interval.upto(2000.0),
+            truncation_probability=1e-10,
+        )
+        assert result.paths_generated > 0
+        assert result.paths_stored > 0
+        assert result.classes > 0
+        assert result.max_depth > 0
+        assert result.uniformization_rate == pytest.approx(14.25)
+
+
+class TestUnsupportedShapes:
+    def test_positive_lower_time_bound_rejected(self, wavelan):
+        with pytest.raises(CheckError, match="future work"):
+            until_probability(
+                wavelan, 2, {2}, {3}, Interval(1.0, 2.0), Interval.upto(10.0)
+            )
+
+    def test_positive_lower_reward_bound_rejected(self, wavelan):
+        with pytest.raises(CheckError, match="future work"):
+            until_probability(
+                wavelan, 2, {2}, {3}, Interval.upto(2.0), Interval(1.0, 10.0)
+            )
+
+    def test_reward_bounded_time_unbounded_rejected(self, wavelan):
+        with pytest.raises(CheckError):
+            until_probability(
+                wavelan, 2, {2}, {3}, Interval.unbounded(), Interval.upto(10.0)
+            )
+
+    def test_unknown_engine_rejected(self, wavelan):
+        with pytest.raises(CheckError):
+            until_probability(
+                wavelan, 2, {2}, {3}, Interval.upto(1.0), Interval.upto(1.0),
+                engine="quadrature",
+            )
+
+
+class TestSatisfyUntilDispatch:
+    def test_unbounded_uses_linear_system(self, bscc_example):
+        result = satisfy_until(
+            bscc_example,
+            Comparison.GE,
+            0.5,
+            set(range(5)),
+            {2, 3},
+            Interval.unbounded(),
+            Interval.unbounded(),
+        )
+        assert result.engine == "linear-system"
+        assert result.satisfying == {0, 1, 2, 3}
+
+    def test_time_bounded_uses_transient(self, wavelan):
+        result = satisfy_until(
+            wavelan,
+            Comparison.GE,
+            0.0,
+            {0},
+            {1},
+            Interval.upto(1.0),
+            Interval.unbounded(),
+        )
+        assert result.engine == "uniformization-transient"
+
+    def test_reward_bounded_uses_paths(self, wavelan):
+        result = satisfy_until(
+            wavelan,
+            Comparison.GE,
+            0.0,
+            {2},
+            {3, 4},
+            Interval.upto(1.0),
+            Interval.upto(2000.0),
+        )
+        assert result.engine == "paths-uniformization"
+        assert 2 in result.statistics
+        assert result.error_bounds is not None
+
+    def test_discretization_engine_name(self, phone):
+        phi = phone.states_with_label("Call_Idle") | phone.states_with_label("Doze")
+        psi = phone.states_with_label("Call_Initiated")
+        result = satisfy_until(
+            phone,
+            Comparison.GT,
+            0.5,
+            phi,
+            psi,
+            Interval.upto(4.0),
+            Interval.upto(600.0),
+            engine="discretization",
+            discretization_step=1 / 8,
+        )
+        assert result.engine == "discretization"

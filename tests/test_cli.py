@@ -1,0 +1,183 @@
+"""Tests for the mrmc-impulse command-line interface."""
+
+import pytest
+
+from repro.cli.main import main
+from repro.io.bundle import save_mrm
+
+
+@pytest.fixture
+def wavelan_files(tmp_path, wavelan):
+    return save_mrm(wavelan, str(tmp_path), "wavelan")
+
+
+def run_cli(capsys, wavelan_files, *extra, formulas=()):
+    argv = [
+        wavelan_files["tra"],
+        wavelan_files["lab"],
+        wavelan_files["rewr"],
+        wavelan_files["rewi"],
+        *extra,
+    ]
+    for formula in formulas:
+        argv += ["--formula", formula]
+    status = main(argv)
+    captured = capsys.readouterr()
+    return status, captured.out, captured.err
+
+
+class TestBasicRuns:
+    def test_boolean_formula(self, capsys, wavelan_files):
+        status, out, err = run_cli(capsys, wavelan_files, formulas=["busy || idle"])
+        assert status == 0
+        assert "satisfying states: 3, 4, 5" in out  # 1-based output
+
+    def test_probability_output(self, capsys, wavelan_files):
+        status, out, _ = run_cli(
+            capsys, wavelan_files, formulas=["P(>0.1) [idle U[0,2][0,2000] busy]"]
+        )
+        assert status == 0
+        assert "state 3: 0.157" in out
+
+    def test_np_flag_suppresses_probabilities(self, capsys, wavelan_files):
+        status, out, _ = run_cli(
+            capsys,
+            wavelan_files,
+            "NP",
+            formulas=["P(>0.1) [idle U[0,2][0,2000] busy]"],
+        )
+        assert status == 0
+        assert "state 3" not in out
+        assert "satisfying states" in out
+
+    def test_multiple_formulas(self, capsys, wavelan_files):
+        status, out, _ = run_cli(
+            capsys, wavelan_files, formulas=["busy", "idle"]
+        )
+        assert out.count("formula:") == 2
+
+    def test_no_satisfying_states(self, capsys, wavelan_files):
+        status, out, _ = run_cli(capsys, wavelan_files, formulas=["FF"])
+        assert "(none)" in out
+
+
+class TestEngineSelection:
+    def test_uniformization_with_w(self, capsys, wavelan_files):
+        status, out, _ = run_cli(
+            capsys,
+            wavelan_files,
+            "u=1e-10",
+            formulas=["P(>0.1) [idle U[0,2][0,2000] busy]"],
+        )
+        assert status == 0
+        assert "state 3: 0.157" in out
+
+    def test_discretization_with_step(self, capsys, wavelan_files, tmp_path, phone):
+        files = save_mrm(phone, str(tmp_path), "phone")
+        argv = [
+            files["tra"], files["lab"], files["rewr"], files["rewi"], "d=0.125",
+            "--formula",
+            "P(>0.2) [(Call_Idle || Doze) U[0,4][0,600] Call_Initiated]",
+        ]
+        status = main(argv)
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "formula:" in out
+
+    def test_bad_engine_argument(self, capsys, wavelan_files):
+        status, _, err = run_cli(capsys, wavelan_files, "x=1", formulas=["busy"])
+        assert status == 2
+        assert "error" in err
+
+    def test_bad_engine_value(self, capsys, wavelan_files):
+        status, _, err = run_cli(capsys, wavelan_files, "u=abc", formulas=["busy"])
+        assert status == 2
+
+
+class TestErrors:
+    def test_formula_error_reported_and_continues(self, capsys, wavelan_files):
+        status, out, err = run_cli(
+            capsys, wavelan_files, formulas=["((broken", "busy"]
+        )
+        assert status == 1
+        assert "error" in err
+        assert "satisfying states: 4, 5" in out
+
+    def test_missing_file(self, capsys, tmp_path):
+        status = main([str(tmp_path / "no.tra"), str(tmp_path / "no.lab")])
+        assert status == 2
+
+
+class TestStdin:
+    def test_reads_formulas_from_stdin(self, capsys, monkeypatch, wavelan_files):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("busy\n# comment\n\nidle\n"))
+        argv = [
+            wavelan_files["tra"],
+            wavelan_files["lab"],
+            wavelan_files["rewr"],
+            wavelan_files["rewi"],
+        ]
+        status = main(argv)
+        out = capsys.readouterr().out
+        assert status == 0
+        assert out.count("formula:") == 2
+
+
+class TestLanguageModels:
+    @pytest.fixture
+    def tmr_mrm_file(self, tmp_path):
+        import os
+        import shutil
+
+        source = os.path.join(
+            os.path.dirname(__file__), "..", "examples", "models", "tmr.mrm"
+        )
+        destination = tmp_path / "tmr.mrm"
+        shutil.copy(source, destination)
+        return str(destination)
+
+    def test_mrm_model_checked(self, capsys, tmr_mrm_file):
+        status = main([tmr_mrm_file, "--formula", "S(>=0) Sup"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "satisfying states" in out
+
+    def test_mrm_with_engine_and_np(self, capsys, tmr_mrm_file):
+        status = main(
+            [tmr_mrm_file, "u=1e-9", "NP", "--formula",
+             "P(>0.1) [Sup U[0,100][0,3000] failed]"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "state 1:" not in out
+
+    def test_mrm_const_override(self, capsys, tmr_mrm_file):
+        status = main(
+            [tmr_mrm_file, "-c", "N=5", "--formula", "allUp"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "formula: allUp" in out
+
+    def test_mrm_bad_const(self, capsys, tmr_mrm_file):
+        status = main([tmr_mrm_file, "-c", "N", "--formula", "allUp"])
+        assert status == 2
+
+    def test_mrm_too_many_positionals(self, capsys, tmr_mrm_file):
+        status = main([tmr_mrm_file, "a", "b", "c", "--formula", "allUp"])
+        assert status == 2
+
+    def test_tra_without_lab_rejected(self, capsys, tmp_path):
+        tra = tmp_path / "m.tra"
+        tra.write_text("STATES 1\nTRANSITIONS 0\n")
+        status = main([str(tra), "--formula", "TT"])
+        assert status == 2
+
+    def test_mrm_declared_formulas_checked_by_default(self, capsys, tmr_mrm_file):
+        status = main([tmr_mrm_file, "u=1e-9", "NP"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "formula 'table_5_3'" in out
+        assert "formula 'long_run_operational'" in out

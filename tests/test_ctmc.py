@@ -1,0 +1,129 @@
+"""Tests for the labeled CTMC substrate (Chapter 2 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc.chain import CTMC
+from repro.exceptions import LabelingError, ModelError
+from repro.models.wavelan import WAVELAN_RATES, build_wavelan_ctmc
+
+
+class TestConstruction:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC([[0.0, -1.0], [1.0, 0.0]])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC([[0.0, 1.0, 2.0]])
+
+    def test_self_loops_allowed(self):
+        chain = CTMC([[1.0, 1.0], [0.0, 0.0]])
+        assert chain.rate(0, 0) == 1.0
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(LabelingError):
+            CTMC([[0.0]], labels={3: {"a"}})
+
+    def test_label_with_whitespace_rejected(self):
+        with pytest.raises(LabelingError):
+            CTMC([[0.0]], labels={0: {"a b"}})
+
+    def test_undeclared_proposition_rejected(self):
+        with pytest.raises(LabelingError):
+            CTMC([[0.0]], labels={0: {"a"}}, atomic_propositions={"b"})
+
+    def test_declared_universe_accepted(self):
+        chain = CTMC([[0.0]], labels={0: {"a"}}, atomic_propositions={"a", "b"})
+        assert chain.atomic_propositions == {"a", "b"}
+
+
+class TestWavelanStructure:
+    """Example 2.4: the labeled WaveLAN CTMC."""
+
+    def test_exit_rates(self):
+        chain = build_wavelan_ctmc()
+        r = WAVELAN_RATES
+        assert chain.exit_rate(0) == pytest.approx(r["lambda_os"])
+        assert chain.exit_rate(1) == pytest.approx(r["lambda_si"] + r["mu_so"])
+        assert chain.exit_rate(2) == pytest.approx(
+            r["lambda_ir"] + r["lambda_it"] + r["mu_is"]
+        )
+        assert chain.exit_rate(3) == pytest.approx(r["mu_ri"])
+        assert chain.exit_rate(4) == pytest.approx(r["mu_ti"])
+
+    def test_labels(self):
+        chain = build_wavelan_ctmc()
+        assert chain.labels_of(0) == {"off"}
+        assert chain.labels_of(3) == {"receive", "busy"}
+        assert chain.states_with_label("busy") == {3, 4}
+        assert chain.states_with_label("nonexistent") == set()
+
+    def test_successors(self):
+        chain = build_wavelan_ctmc()
+        assert set(chain.successors(2)) == {1, 3, 4}
+
+    def test_transition_probability(self):
+        chain = build_wavelan_ctmc()
+        # From idle: to receive with 1.5 / 14.25.
+        assert chain.transition_probability(2, 3) == pytest.approx(1.5 / 14.25)
+
+    def test_rate_overrides(self):
+        chain = build_wavelan_ctmc({"lambda_os": 0.7})
+        assert chain.rate(0, 1) == pytest.approx(0.7)
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(KeyError):
+            build_wavelan_ctmc({"lambda_xx": 1.0})
+
+
+class TestDerivedProcesses:
+    def test_generator_rows_sum_to_zero(self):
+        chain = build_wavelan_ctmc()
+        generator = chain.generator()
+        sums = np.asarray(generator.sum(axis=1)).ravel()
+        assert sums == pytest.approx(np.zeros(5), abs=1e-12)
+
+    def test_embedded_dtmc_jump_probabilities(self):
+        chain = build_wavelan_ctmc()
+        embedded = chain.embedded_dtmc()
+        assert embedded.probability(2, 1) == pytest.approx(12.0 / 14.25)
+
+    def test_embedded_dtmc_absorbing_self_loop(self):
+        chain = CTMC([[0.0, 1.0], [0.0, 0.0]])
+        embedded = chain.embedded_dtmc()
+        assert embedded.probability(1, 1) == 1.0
+
+    def test_uniformized_matches_example_4_2(self):
+        """The uniformized matrix P of Example 4.2, entry by entry."""
+        chain = build_wavelan_ctmc()
+        uniformized = chain.uniformized_dtmc()
+        expected = np.array(
+            [
+                [149 / 150, 1 / 150, 0, 0, 0],
+                [5 / 1500, 995 / 1500, 500 / 1500, 0, 0],
+                [0, 1200 / 1500, 75 / 1500, 150 / 1500, 75 / 1500],
+                [0, 0, 2 / 3, 1 / 3, 0],
+                [0, 0, 1, 0, 0],
+            ]
+        )
+        assert uniformized.matrix.toarray() == pytest.approx(expected, abs=1e-12)
+
+    def test_default_uniformization_rate(self):
+        chain = build_wavelan_ctmc()
+        assert chain.default_uniformization_rate() == pytest.approx(15.0)
+
+    def test_larger_uniformization_rate_accepted(self):
+        chain = build_wavelan_ctmc()
+        uniformized = chain.uniformized_dtmc(30.0)
+        assert uniformized.probability(0, 0) == pytest.approx(1.0 - 0.1 / 30.0)
+
+    def test_too_small_uniformization_rate_rejected(self):
+        chain = build_wavelan_ctmc()
+        with pytest.raises(ModelError):
+            chain.uniformized_dtmc(1.0)
+
+    def test_rateless_chain_uniformizes_to_identity(self):
+        chain = CTMC([[0.0, 0.0], [0.0, 0.0]])
+        uniformized = chain.uniformized_dtmc()
+        assert uniformized.matrix.toarray() == pytest.approx(np.eye(2))

@@ -1,0 +1,108 @@
+"""Tests for CTMC transient and steady-state analyses."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ctmc.chain import CTMC
+from repro.ctmc.steady import steady_state_distribution, steady_state_matrix
+from repro.ctmc.transient import transient_distribution
+from repro.exceptions import ModelError
+
+
+def two_state(lam=2.0, mu=3.0):
+    return CTMC([[0.0, lam], [mu, 0.0]])
+
+
+class TestTransient:
+    def test_matches_analytic_two_state(self):
+        # p_0(t) = mu/(lam+mu) + lam/(lam+mu) exp(-(lam+mu) t) from state 0.
+        lam, mu = 2.0, 3.0
+        chain = two_state(lam, mu)
+        for t in (0.05, 0.3, 1.0, 4.0):
+            result = transient_distribution(chain, [1.0, 0.0], t)
+            expected = mu / (lam + mu) + lam / (lam + mu) * math.exp(-(lam + mu) * t)
+            assert result[0] == pytest.approx(expected, abs=1e-10)
+            assert result.sum() == pytest.approx(1.0, abs=1e-10)
+
+    def test_time_zero_returns_initial(self):
+        chain = two_state()
+        assert transient_distribution(chain, [0.3, 0.7], 0.0) == pytest.approx(
+            [0.3, 0.7]
+        )
+
+    def test_converges_to_steady_state(self):
+        chain = two_state(2.0, 3.0)
+        result = transient_distribution(chain, [1.0, 0.0], 100.0)
+        assert result == pytest.approx([0.6, 0.4], abs=1e-9)
+
+    def test_large_lambda_t_stable(self):
+        chain = two_state(200.0, 300.0)
+        result = transient_distribution(chain, [1.0, 0.0], 10.0)
+        assert result == pytest.approx([0.6, 0.4], abs=1e-8)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ModelError):
+            transient_distribution(two_state(), [1.0, 0.0], -1.0)
+
+    def test_bad_distribution_rejected(self):
+        with pytest.raises(ModelError):
+            transient_distribution(two_state(), [0.5, 0.2], 1.0)
+        with pytest.raises(ModelError):
+            transient_distribution(two_state(), [1.0], 1.0)
+
+    @given(
+        t=st.floats(min_value=0.0, max_value=20.0),
+        p0=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_result_is_distribution(self, t, p0):
+        chain = two_state()
+        result = transient_distribution(chain, [p0, 1.0 - p0], t)
+        assert result.sum() == pytest.approx(1.0, abs=1e-9)
+        assert result.min() >= -1e-12
+
+
+class TestSteadyState:
+    def test_two_state_balance(self):
+        assert steady_state_distribution(two_state(2.0, 3.0)) == pytest.approx(
+            [0.6, 0.4]
+        )
+
+    def test_wavelan_steady_sums_to_one(self, wavelan):
+        steady = steady_state_distribution(wavelan.ctmc)
+        assert steady.sum() == pytest.approx(1.0, abs=1e-10)
+        # Global balance: pi Q = 0.
+        residual = steady.dot(wavelan.ctmc.generator().toarray())
+        assert residual == pytest.approx(np.zeros(5), abs=1e-10)
+
+    def test_reducible_needs_initial(self, bscc_example):
+        with pytest.raises(ModelError):
+            steady_state_distribution(bscc_example.ctmc)
+
+    def test_paper_example_3_5(self, bscc_example):
+        """pi(s1, Sat(b)) = 8/21 with b valid only in s4 (index 3)."""
+        initial = [1.0, 0.0, 0.0, 0.0, 0.0]
+        steady = steady_state_distribution(bscc_example.ctmc, initial)
+        assert steady[3] == pytest.approx(8 / 21, abs=1e-12)
+        # The complementary mass: s3 gets (4/7)(1/3), s5 gets 3/7.
+        assert steady[2] == pytest.approx(4 / 21, abs=1e-12)
+        assert steady[4] == pytest.approx(3 / 7, abs=1e-12)
+
+    def test_steady_state_matrix_rows_are_distributions(self, bscc_example):
+        matrix = steady_state_matrix(bscc_example.ctmc)
+        assert matrix.sum(axis=1) == pytest.approx(np.ones(5), abs=1e-10)
+
+    def test_steady_state_matrix_bscc_rows_are_stationary(self, bscc_example):
+        matrix = steady_state_matrix(bscc_example.ctmc)
+        # Starting inside B1 = {2, 3}: stationary (1/3, 2/3) on B1.
+        assert matrix[2] == pytest.approx([0, 0, 1 / 3, 2 / 3, 0], abs=1e-12)
+        assert matrix[4] == pytest.approx([0, 0, 0, 0, 1.0])
+
+    def test_bad_initial_rejected(self, bscc_example):
+        with pytest.raises(ModelError):
+            steady_state_distribution(bscc_example.ctmc, [1.0, 0.0])
+        with pytest.raises(ModelError):
+            steady_state_distribution(bscc_example.ctmc, [0.5, 0.1, 0.1, 0.1, 0.1])

@@ -1,0 +1,124 @@
+"""Tests for the discretization engine (Algorithm 4.6)."""
+
+import math
+
+import pytest
+
+from repro.check.discretization import discretized_joint_distribution
+from repro.ctmc.chain import CTMC
+from repro.exceptions import CheckError, NumericalError
+from repro.mrm.model import MRM
+from repro.numerics.intervals import Interval
+
+
+def two_state_model(rho0=2.0, impulse=0.0, lam=1.0):
+    chain = CTMC([[0.0, lam], [0.0, 0.0]], labels={0: {"a"}, 1: {"b"}})
+    impulses = {(0, 1): impulse} if impulse else None
+    return MRM(chain, state_rewards=[rho0, 0.0], impulse_rewards=impulses)
+
+
+class TestValidation:
+    def test_non_integer_state_reward_rejected(self):
+        model = two_state_model(rho0=1.5)
+        with pytest.raises(NumericalError, match="integral"):
+            discretized_joint_distribution(model, 0, {1}, 1.0, 10.0, step=0.25)
+
+    def test_non_d_integral_impulse_rejected(self):
+        model = two_state_model(impulse=0.3)
+        with pytest.raises(NumericalError):
+            discretized_joint_distribution(model, 0, {1}, 1.0, 10.0, step=0.25)
+
+    def test_d_integral_impulse_accepted(self):
+        model = two_state_model(impulse=0.5)
+        result = discretized_joint_distribution(model, 0, {1}, 1.0, 10.0, step=0.25)
+        assert 0.0 <= result.probability <= 1.0
+
+    def test_step_too_coarse_rejected(self):
+        model = two_state_model(lam=10.0)
+        with pytest.raises(NumericalError, match="too coarse"):
+            discretized_joint_distribution(model, 0, {1}, 1.0, 10.0, step=0.25)
+
+    def test_non_integral_grid_rejected(self):
+        model = two_state_model()
+        with pytest.raises(NumericalError):
+            discretized_joint_distribution(model, 0, {1}, 1.1, 10.0, step=0.25)
+
+    def test_nonpositive_step_rejected(self):
+        model = two_state_model()
+        with pytest.raises(CheckError):
+            discretized_joint_distribution(model, 0, {1}, 1.0, 10.0, step=0.0)
+
+    def test_bad_initial_state(self):
+        model = two_state_model()
+        with pytest.raises(CheckError):
+            discretized_joint_distribution(model, 5, {1}, 1.0, 10.0, step=0.25)
+
+
+class TestAccuracy:
+    def test_converges_to_analytic_jump_probability(self):
+        # Pr{X(t) = 1} = 1 - e^{-t} with unbounded reward budget.
+        model = two_state_model(rho0=2.0)
+        t = 1.0
+        expected = 1.0 - math.exp(-t)
+        errors = []
+        for step in (1 / 8, 1 / 16, 1 / 32, 1 / 64):
+            result = discretized_joint_distribution(
+                model, 0, {1}, t, 1000.0, step=step
+            )
+            errors.append(abs(result.probability - expected))
+        # First-order convergence: error shrinks with d.
+        assert errors[-1] < errors[0]
+        assert errors[-1] < 0.01
+
+    def test_reward_bound_enforced(self):
+        # Jump must happen before rho * x > r, i.e. x <= r / rho = 1.5.
+        model = two_state_model(rho0=2.0)
+        result = discretized_joint_distribution(
+            model, 0, {1}, 4.0, 3.0, step=1 / 64
+        )
+        expected = 1.0 - math.exp(-1.5)
+        assert result.probability == pytest.approx(expected, abs=0.02)
+
+    def test_impulse_consumes_cells(self):
+        # Impulse 2 with budget 3 leaves residence budget 1/rho = 0.5.
+        model = two_state_model(rho0=2.0, impulse=2.0)
+        result = discretized_joint_distribution(
+            model, 0, {1}, 4.0, 3.0, step=1 / 64
+        )
+        expected = 1.0 - math.exp(-0.5)
+        assert result.probability == pytest.approx(expected, abs=0.02)
+
+    def test_matches_paths_engine_on_tmr(self, tmr3):
+        from repro.check.until import until_probability
+
+        sup = tmr3.states_with_label("Sup")
+        failed = tmr3.states_with_label("failed")
+        bounds = dict(time_bound=Interval.upto(100.0), reward_bound=Interval.upto(3000.0))
+        uniform = until_probability(
+            tmr3, 3, sup, failed, truncation_probability=1e-11, **bounds
+        )
+        disc = until_probability(
+            tmr3, 3, sup, failed, engine="discretization",
+            discretization_step=0.25, **bounds
+        )
+        assert disc.probability == pytest.approx(uniform.probability, abs=5e-5)
+
+    def test_initial_state_in_psi(self):
+        model = two_state_model()
+        result = discretized_joint_distribution(model, 1, {1}, 1.0, 10.0, step=0.25)
+        assert result.probability == pytest.approx(1.0, abs=1e-9)
+
+    def test_result_metadata(self):
+        model = two_state_model()
+        result = discretized_joint_distribution(model, 0, {1}, 2.0, 10.0, step=0.25)
+        assert result.time_steps == 8
+        assert result.reward_cells == 40
+        assert result.step == 0.25
+
+    def test_mass_conserved_without_bounds(self):
+        # Summing over ALL states with a huge budget: total mass 1.
+        model = two_state_model()
+        result = discretized_joint_distribution(
+            model, 0, {0, 1}, 2.0, 1000.0, step=1 / 16
+        )
+        assert result.probability == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,149 @@
+"""Tests for the DTMC substrate against the paper's Chapter 2 examples."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dtmc.chain import DTMC
+from repro.exceptions import ModelError, NumericalError
+
+
+class TestConstruction:
+    def test_row_sums_validated(self):
+        with pytest.raises(ModelError, match="sum"):
+            DTMC([[0.5, 0.4], [0.0, 1.0]])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ModelError):
+            DTMC([[1.5, -0.5], [0.0, 1.0]])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ModelError):
+            DTMC([[0.5, 0.5]])
+
+    def test_state_names_length_checked(self):
+        with pytest.raises(ModelError):
+            DTMC([[1.0]], state_names=["a", "b"])
+
+    def test_accessors(self, figure_2_1):
+        assert figure_2_1.num_states == 3
+        assert figure_2_1.probability(0, 1) == 0.5
+        assert figure_2_1.successors(1) == [0, 2]
+        assert figure_2_1.state_names == ["0", "1", "2"]
+
+    def test_is_absorbing(self):
+        chain = DTMC([[1.0, 0.0], [0.5, 0.5]])
+        assert chain.is_absorbing(0)
+        assert not chain.is_absorbing(1)
+
+
+class TestTransient:
+    """Example 2.2 of the paper."""
+
+    def test_three_steps(self, figure_2_1):
+        assert figure_2_1.transient([1, 0, 0], 3) == pytest.approx(
+            [0.325, 0.4125, 0.2625]
+        )
+
+    def test_fifteen_steps(self, figure_2_1):
+        assert figure_2_1.transient([1, 0, 0], 15) == pytest.approx(
+            [0.3111, 0.35567, 0.33323], abs=5e-5
+        )
+
+    def test_twenty_five_steps(self, figure_2_1):
+        assert figure_2_1.transient([1, 0, 0], 25) == pytest.approx(
+            [0.31111, 0.35556, 0.33333], abs=5e-6
+        )
+
+    def test_zero_steps_is_initial(self, figure_2_1):
+        assert figure_2_1.transient([0, 1, 0], 0) == pytest.approx([0, 1, 0])
+
+    def test_distribution_validated(self, figure_2_1):
+        with pytest.raises(ModelError):
+            figure_2_1.transient([0.5, 0.2, 0.1], 1)
+        with pytest.raises(ModelError):
+            figure_2_1.transient([1, 0], 1)
+        with pytest.raises(ModelError):
+            figure_2_1.transient([1, 0, 0], -1)
+
+    @given(steps=st.integers(0, 60), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_remains_distribution(self, figure_2_1, steps, seed):
+        rng = np.random.default_rng(seed)
+        initial = rng.dirichlet([1.0, 1.0, 1.0])
+        result = figure_2_1.transient(initial, steps)
+        assert result.sum() == pytest.approx(1.0, abs=1e-12)
+        assert result.min() >= -1e-15
+
+
+class TestSteadyState:
+    """Example 2.3 of the paper."""
+
+    def test_irreducible_chain_exact_values(self, figure_2_1):
+        steady = figure_2_1.steady_state()
+        assert steady == pytest.approx([14 / 45, 16 / 45, 1 / 3], abs=1e-12)
+
+    def test_initial_distribution_irrelevant_when_irreducible(self, figure_2_1):
+        a = figure_2_1.steady_state()
+        b = figure_2_1.steady_state([0.0, 0.0, 1.0])
+        assert a == pytest.approx(b)
+
+    def test_reducible_requires_initial(self):
+        chain = DTMC([[1.0, 0.0], [0.5, 0.5]])
+        with pytest.raises(NumericalError):
+            chain.steady_state()
+
+    def test_reducible_with_initial(self):
+        # From state 1 the chain is absorbed in state 0 almost surely.
+        chain = DTMC([[1.0, 0.0], [0.5, 0.5]])
+        assert chain.steady_state([0.0, 1.0]) == pytest.approx([1.0, 0.0])
+
+    def test_two_absorbing_states_split(self):
+        # 1 -> 0 w.p. 0.3, 1 -> 2 w.p. 0.2, stays otherwise.
+        chain = DTMC([[1.0, 0.0, 0.0], [0.3, 0.5, 0.2], [0.0, 0.0, 1.0]])
+        steady = chain.steady_state([0.0, 1.0, 0.0])
+        assert steady == pytest.approx([0.6, 0.0, 0.4])
+
+    def test_fixed_point_property(self, figure_2_1):
+        steady = figure_2_1.steady_state()
+        assert figure_2_1.matrix.T.dot(steady) == pytest.approx(steady)
+
+
+class TestAbsorption:
+    def test_gambler_ruin(self):
+        # 0 and 3 absorbing; fair coin between.
+        chain = DTMC(
+            [
+                [1.0, 0.0, 0.0, 0.0],
+                [0.5, 0.0, 0.5, 0.0],
+                [0.0, 0.5, 0.0, 0.5],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        reach = chain.absorption_probabilities([3])
+        assert reach == pytest.approx([0.0, 1 / 3, 2 / 3, 1.0])
+
+    def test_unreachable_target(self):
+        chain = DTMC([[1.0, 0.0], [0.0, 1.0]])
+        assert chain.absorption_probabilities([1]) == pytest.approx([0.0, 1.0])
+
+    def test_target_out_of_range(self, figure_2_1):
+        with pytest.raises(ModelError):
+            figure_2_1.absorption_probabilities([7])
+
+    def test_irreducible_chain_reaches_everything(self, figure_2_1):
+        assert figure_2_1.absorption_probabilities([2]) == pytest.approx(
+            [1.0, 1.0, 1.0]
+        )
+
+    def test_with_gauss_seidel(self):
+        chain = DTMC(
+            [
+                [1.0, 0.0, 0.0],
+                [0.25, 0.5, 0.25],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        direct = chain.absorption_probabilities([2], method="direct")
+        iterative = chain.absorption_probabilities([2], method="gauss-seidel")
+        assert direct == pytest.approx(iterative, abs=1e-9)

@@ -1,0 +1,118 @@
+"""Tests for the expected-reward measures (extension module)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc.chain import CTMC
+from repro.exceptions import ModelError
+from repro.mrm.model import MRM
+from repro.performability.expected import (
+    expected_accumulated_reward,
+    expected_reward_rate,
+    long_run_reward_rate,
+    reward_rate_vector,
+)
+
+
+def absorbing_pair(lam=1.0, rho=2.0, impulse=0.0):
+    chain = CTMC([[0.0, lam], [0.0, 0.0]])
+    impulses = {(0, 1): impulse} if impulse else None
+    return MRM(chain, state_rewards=[rho, 0.0], impulse_rewards=impulses)
+
+
+class TestRewardRateVector:
+    def test_state_rewards_only(self):
+        model = absorbing_pair(rho=2.0)
+        assert reward_rate_vector(model) == pytest.approx([2.0, 0.0])
+
+    def test_impulse_flow_added(self):
+        model = absorbing_pair(lam=3.0, rho=2.0, impulse=5.0)
+        # Flow out of state 0: rate 3 * impulse 5 = 15.
+        assert reward_rate_vector(model) == pytest.approx([17.0, 0.0])
+
+    def test_wavelan_flow(self, wavelan):
+        vector = reward_rate_vector(wavelan)
+        # idle: rho + lambda_ir * i(2,3) + lambda_it * i(2,4)
+        expected = 1319.0 + 1.5 * 0.42545 + 0.75 * 0.36195
+        assert vector[2] == pytest.approx(expected)
+
+
+class TestExpectedAccumulatedReward:
+    def test_closed_form_exponential_absorption(self):
+        """rho * E[min(T, t)] with T ~ Exp(lam):
+        E[Y(t)] = rho * (1 - e^{-lam t}) / lam."""
+        lam, rho, t = 1.5, 2.0, 3.0
+        model = absorbing_pair(lam, rho)
+        value = expected_accumulated_reward(model, [1.0, 0.0], t)
+        expected = rho * (1.0 - math.exp(-lam * t)) / lam
+        assert value == pytest.approx(expected, abs=1e-9)
+
+    def test_impulse_contribution(self):
+        """Impulse i earned iff the jump happens before t:
+        E[Y(t)] = rho (1 - e^{-lam t}) / lam + i (1 - e^{-lam t})."""
+        lam, rho, impulse, t = 1.0, 2.0, 5.0, 2.0
+        model = absorbing_pair(lam, rho, impulse)
+        value = expected_accumulated_reward(model, [1.0, 0.0], t)
+        jump = 1.0 - math.exp(-lam * t)
+        expected = rho * jump / lam + impulse * jump
+        assert value == pytest.approx(expected, abs=1e-9)
+
+    def test_time_zero(self, wavelan):
+        assert expected_accumulated_reward(wavelan, [1, 0, 0, 0, 0], 0.0) == 0.0
+
+    def test_monotone_in_time(self, wavelan):
+        initial = [0, 0, 1, 0, 0]
+        values = [
+            expected_accumulated_reward(wavelan, initial, t)
+            for t in (0.1, 0.5, 1.0, 2.0)
+        ]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_matches_simulation(self, tmr3):
+        from repro.simulation.simulator import MRMSimulator
+
+        initial = np.zeros(tmr3.num_states)
+        initial[3] = 1.0
+        exact = expected_accumulated_reward(tmr3, initial, 100.0)
+        simulator = MRMSimulator(tmr3, seed=23)
+        samples = [simulator.sample_run(3, 100.0)[1] for _ in range(4000)]
+        mean = float(np.mean(samples))
+        stderr = float(np.std(samples) / math.sqrt(len(samples)))
+        assert abs(mean - exact) < 4 * stderr + 1e-9
+
+    def test_bad_inputs(self, wavelan):
+        with pytest.raises(ModelError):
+            expected_accumulated_reward(wavelan, [1, 0, 0, 0, 0], -1.0)
+        with pytest.raises(ModelError):
+            expected_accumulated_reward(wavelan, [1, 0], 1.0)
+
+
+class TestRates:
+    def test_instantaneous_rate_at_zero_is_initial_rate(self, wavelan):
+        rate = expected_reward_rate(wavelan, [0, 0, 1, 0, 0], 0.0)
+        assert rate == pytest.approx(reward_rate_vector(wavelan)[2])
+
+    def test_long_run_rate_is_limit_slope(self, wavelan):
+        long_run = long_run_reward_rate(wavelan)
+        # Slope of E[Y(t)] between two large times approaches it.
+        initial = [1, 0, 0, 0, 0]
+        y1 = expected_accumulated_reward(wavelan, initial, 400.0)
+        y2 = expected_accumulated_reward(wavelan, initial, 500.0)
+        assert (y2 - y1) / 100.0 == pytest.approx(long_run, rel=1e-3)
+
+    def test_long_run_rate_reducible_needs_initial(self, bscc_example):
+        with pytest.raises(ModelError):
+            long_run_reward_rate(bscc_example)
+
+    def test_derivative_consistency(self, wavelan):
+        """d/dt E[Y(t)] = expected_reward_rate(t) (finite differences)."""
+        initial = [0, 1, 0, 0, 0]
+        t, h = 0.8, 1e-4
+        slope = (
+            expected_accumulated_reward(wavelan, initial, t + h)
+            - expected_accumulated_reward(wavelan, initial, t - h)
+        ) / (2 * h)
+        rate = expected_reward_rate(wavelan, initial, t)
+        assert slope == pytest.approx(rate, rel=1e-4)

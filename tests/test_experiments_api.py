@@ -1,0 +1,57 @@
+"""Smoke tests for the programmatic experiment sweeps (scaled down)."""
+
+import pytest
+
+from repro.experiments import (
+    table_5_1,
+    table_5_3,
+    table_5_4,
+    table_5_5,
+    table_5_7,
+    table_5_8,
+)
+
+
+class TestSweeps:
+    def test_table_5_1_scaled(self):
+        rows = table_5_1(steps=(1 / 8, 1 / 16))
+        assert len(rows) == 2
+        assert rows[0].step == 1 / 8
+        # Finer steps move toward the reference ~0.49507.
+        assert abs(rows[1].probability - 0.49507) < abs(
+            rows[0].probability - 0.49507
+        )
+
+    def test_table_5_3_scaled(self):
+        rows = table_5_3(times=(50, 100), truncation_probability=1e-9)
+        assert [r.time_bound for r in rows] == [50, 100]
+        assert rows[0].probability == pytest.approx(0.0050874, abs=1e-5)
+        assert rows[0].probability < rows[1].probability
+        assert all(r.paths_generated > 0 for r in rows)
+
+    def test_table_5_4_schedule(self):
+        rows = table_5_4(times=(50, 200))
+        assert rows[0].truncation_probability == 1e-6
+        assert rows[1].truncation_probability == 1e-8
+        assert all(r.error_bound < 1e-3 for r in rows)
+
+    def test_table_5_4_interpolated_schedule(self):
+        rows = table_5_4(times=(120,))
+        assert 0 < rows[0].truncation_probability < 1e-6
+
+    def test_table_5_5_scaled(self):
+        rows = table_5_5(starts=(8, 10))
+        assert rows[0].probability < rows[1].probability
+        assert rows[1].probability > 0.95
+
+    def test_table_5_7_below_5_5(self):
+        constant = table_5_5(starts=(9,))[0]
+        variable = table_5_7(starts=(9,))[0]
+        assert variable.probability < constant.probability
+
+    def test_table_5_8_matches_paper_digits(self):
+        rows = table_5_8(times=(50,))
+        t, probability, seconds = rows[0]
+        assert t == 50
+        assert probability == pytest.approx(0.005061779, abs=1e-7)
+        assert seconds > 0

@@ -1,0 +1,157 @@
+"""Failure-injection tests: malformed inputs must fail loudly and typed.
+
+Errors should never pass silently — every constructor and engine is fed
+hostile inputs (NaN/inf, wrong shapes, inconsistent structures) and must
+raise the documented exception type, never produce numbers.
+"""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ctmc.chain import CTMC
+from repro.dtmc.chain import DTMC
+from repro.exceptions import (
+    CheckError,
+    FormulaError,
+    LabelingError,
+    ModelError,
+    NumericalError,
+    ReproError,
+    RewardError,
+)
+from repro.mrm.model import MRM
+from repro.numerics.intervals import Interval
+
+NAN = float("nan")
+INF = float("inf")
+
+
+class TestNonFiniteInputs:
+    def test_nan_probability_rejected(self):
+        with pytest.raises(ModelError, match="finite"):
+            DTMC([[NAN, 1.0], [0.0, 1.0]])
+
+    def test_inf_probability_rejected(self):
+        with pytest.raises(ModelError):
+            DTMC([[INF, 0.0], [0.0, 1.0]])
+
+    def test_nan_rate_rejected(self):
+        with pytest.raises(ModelError, match="finite"):
+            CTMC([[0.0, NAN], [1.0, 0.0]])
+
+    def test_inf_rate_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC([[0.0, INF], [1.0, 0.0]])
+
+    def test_nan_state_reward_rejected(self):
+        chain = CTMC([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(RewardError, match="finite"):
+            MRM(chain, state_rewards=[NAN, 0.0])
+
+    def test_inf_impulse_rejected(self):
+        chain = CTMC([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(RewardError):
+            MRM(chain, impulse_rewards={(0, 1): INF})
+
+    def test_nan_impulse_matrix_rejected(self):
+        chain = CTMC([[0.0, 1.0], [1.0, 0.0]])
+        impulses = sp.csr_matrix(np.array([[0.0, NAN], [0.0, 0.0]]))
+        with pytest.raises(RewardError):
+            MRM(chain, impulse_rewards=impulses)
+
+
+class TestStructuralMismatches:
+    def test_rewards_wrong_length(self):
+        chain = CTMC([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(RewardError):
+            MRM(chain, state_rewards=[1.0])
+
+    def test_labels_on_ghost_states(self):
+        with pytest.raises(LabelingError):
+            CTMC([[0.0]], labels={1: {"a"}})
+
+    def test_ragged_matrix(self):
+        with pytest.raises(Exception):
+            CTMC([[0.0, 1.0], [1.0]])
+
+    def test_empty_state_space(self):
+        # A 0x0 chain is degenerate; scipy may allow the matrix but any
+        # downstream use must not crash with an unintelligible error.
+        matrix = sp.csr_matrix((0, 0))
+        chain = CTMC(matrix)
+        assert chain.num_states == 0
+
+
+class TestEngineGuards:
+    def test_until_rejects_all_bad_bounds(self, wavelan):
+        from repro.check.until import until_probability
+
+        cases = [
+            dict(time_bound=Interval(1.0, 2.0), reward_bound=Interval.upto(1.0)),
+            dict(time_bound=Interval.upto(1.0), reward_bound=Interval(1.0, 2.0)),
+            dict(time_bound=Interval.unbounded(), reward_bound=Interval.upto(1.0)),
+        ]
+        for bounds in cases:
+            with pytest.raises(CheckError):
+                until_probability(wavelan, 2, {2}, {3}, **bounds)
+
+    def test_discretization_guards(self, wavelan):
+        from repro.check.discretization import discretized_joint_distribution
+
+        # WaveLAN rewards are integers but the impulses are not
+        # d-integral at d = 0.0625 -- must be detected, not silently
+        # rounded.
+        with pytest.raises(NumericalError):
+            discretized_joint_distribution(
+                wavelan, 2, {3}, 1.0, 100.0, step=0.0625
+            )
+
+    def test_paths_engine_rejects_empty_truncation(self, wavelan):
+        from repro.check.paths_engine import joint_distribution
+
+        with pytest.raises(CheckError):
+            joint_distribution(
+                wavelan, 2, {3}, 1.0, 10.0, truncation_probability=0.0
+            )
+
+    def test_checker_surfaces_formula_errors(self, wavelan):
+        from repro.check.checker import ModelChecker
+
+        checker = ModelChecker(wavelan)
+        with pytest.raises(FormulaError):
+            checker.check("P(>0.5) [busy U[5,1] idle]")
+
+    def test_every_error_is_a_repro_error(self):
+        for exc in (ModelError, RewardError, LabelingError, CheckError,
+                    NumericalError, FormulaError):
+            assert issubclass(exc, ReproError)
+
+
+class TestNumericalEdges:
+    def test_omega_with_extreme_threshold(self):
+        from repro.numerics.orderstat import omega
+
+        assert omega([1.0, 0.0], [5, 5], threshold=1e308) == 1.0
+        assert omega([1.0, 0.5], [5, 5], threshold=0.0) == 0.0
+
+    def test_interval_huge_values(self):
+        window = Interval.k_transition(
+            Interval.upto(1e300), Interval.upto(1e300), rate=1.0, impulse=0.0
+        )
+        assert window.upper == 1e300
+
+    def test_poisson_zero_everything(self):
+        from repro.numerics.poisson import poisson_pmf, poisson_tail_from
+
+        assert poisson_pmf(0.0, 0) == 1.0
+        assert poisson_tail_from(0.0, 5) == 0.0
+
+    def test_transient_of_absorbing_only_chain(self):
+        from repro.ctmc.transient import transient_distribution
+
+        chain = CTMC([[0.0, 0.0], [0.0, 0.0]])
+        result = transient_distribution(chain, [0.5, 0.5], 10.0)
+        assert result == pytest.approx([0.5, 0.5])

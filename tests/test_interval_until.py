@@ -1,0 +1,181 @@
+"""Tests for the general-time-interval until extension (future work of
+the paper's Chapter 6, reward-unbounded case)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.check.until import (
+    interval_until_probabilities,
+    satisfy_until,
+    time_bounded_until_probabilities,
+)
+from repro.ctmc.chain import CTMC
+from repro.exceptions import CheckError
+from repro.logic.ast import Comparison
+from repro.mrm.model import MRM
+from repro.numerics.intervals import Interval
+
+
+def absorbing_pair(lam=1.0):
+    chain = CTMC([[0.0, lam], [0.0, 0.0]], labels={0: {"a"}, 1: {"b"}})
+    return MRM(chain)
+
+
+class TestAnalyticCases:
+    def test_jump_within_window(self):
+        """0 -> 1 at rate lam, Phi = {0}, Psi = {1}: the jump must land
+        in [t1, t2]: P = e^{-lam t1} - e^{-lam t2}."""
+        lam = 1.3
+        model = absorbing_pair(lam)
+        for t1, t2 in ((0.5, 2.0), (1.0, 1.5), (2.0, 4.0)):
+            values = interval_until_probabilities(
+                model, {0}, {1}, Interval(t1, t2)
+            )
+            expected = math.exp(-lam * t1) - math.exp(-lam * t2)
+            assert values[0] == pytest.approx(expected, abs=1e-9)
+
+    def test_point_interval_requires_phi_at_target(self):
+        """[t, t] with Psi outside Phi is unsatisfiable: once the path
+        enters the Psi-state before t, Phi is violated strictly before
+        t (cf. the Psi => Phi hypothesis of Theorem 4.2)."""
+        model = absorbing_pair(1.0)
+        values = interval_until_probabilities(model, {0}, {1}, Interval.point(1.2))
+        assert values[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_point_interval_with_phi_target(self):
+        """[t, t] with Psi a subset of Phi: Pr{X(t) |= Psi} over M[!Phi]
+        (the Theorem 4.2 reduction)."""
+        lam, t = 1.0, 1.2
+        chain = CTMC(
+            [[0.0, lam], [0.0, 0.0]], labels={0: {"a"}, 1: {"a", "b"}}
+        )
+        model = MRM(chain)
+        values = interval_until_probabilities(
+            model, {0, 1}, {1}, Interval.point(t)
+        )
+        assert values[0] == pytest.approx(1.0 - math.exp(-lam * t), abs=1e-9)
+
+    def test_psi_state_not_trivially_one(self):
+        """Starting in Psi with t1 > 0: Psi must still hold at some
+        t >= t1 with Phi before — for an absorbing Psi state this is 1,
+        for a Psi state that exits into !Phi it is smaller."""
+        # 0 (Psi, also Phi) -> 2 (neither), so after leaving, the formula
+        # can no longer be satisfied.
+        chain = CTMC(
+            [[0.0, 0.0, 1.0], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]],
+            labels={0: {"a", "b"}, 1: {"b"}, 2: {"c"}},
+        )
+        model = MRM(chain)
+        values = interval_until_probabilities(model, {0}, {0}, Interval(1.0, 1.0))
+        # Must still be in state 0 at time 1: e^{-1}.
+        assert values[0] == pytest.approx(math.exp(-1.0), abs=1e-9)
+
+    def test_phi_violated_before_t1_kills_path(self, wavelan):
+        """From off with Phi = {off}: once the modem leaves off the
+        formula is dead, so P(off U^{[t1,t2]} sleep) needs the single
+        jump inside the window."""
+        values = interval_until_probabilities(
+            wavelan, {0}, {1}, Interval(5.0, 10.0)
+        )
+        expected = math.exp(-0.1 * 5.0) - math.exp(-0.1 * 10.0)
+        assert values[0] == pytest.approx(expected, abs=1e-9)
+
+
+class TestConsistency:
+    def test_zero_lower_matches_p1(self, wavelan):
+        phi = {0, 1, 2}
+        psi = {3, 4}
+        a = interval_until_probabilities(wavelan, phi, psi, Interval(0.0, 2.0))
+        b = time_bounded_until_probabilities(wavelan, phi, psi, 2.0)
+        assert a == pytest.approx(b)
+
+    def test_window_additivity_bound(self, wavelan):
+        """P(U^{[0,t2]}) >= P(U^{[t1,t2]}) for any t1."""
+        phi = {0, 1, 2}
+        psi = {3, 4}
+        full = interval_until_probabilities(wavelan, phi, psi, Interval(0.0, 2.0))
+        window = interval_until_probabilities(wavelan, phi, psi, Interval(1.0, 2.0))
+        assert np.all(window <= full + 1e-12)
+
+    def test_shrinking_window_monotone(self, wavelan):
+        phi = {0, 1, 2}
+        psi = {3, 4}
+        wide = interval_until_probabilities(wavelan, phi, psi, Interval(0.5, 3.0))
+        narrow = interval_until_probabilities(wavelan, phi, psi, Interval(1.0, 2.0))
+        assert np.all(narrow <= wide + 1e-12)
+
+    def test_against_simulation(self, wavelan):
+        from repro.simulation.simulator import MRMSimulator
+
+        phi = {0, 1, 2}
+        psi = {3, 4}
+        t1, t2 = 0.5, 1.5
+        exact = interval_until_probabilities(wavelan, phi, psi, Interval(t1, t2))
+        # Simulate the semantics directly: the first busy entry must fall
+        # in [t1, t2] and the path must stay in Phi before it.
+        transformed = wavelan.make_absorbing(psi | (set(range(5)) - phi))
+        simulator = MRMSimulator(transformed, seed=29)
+        hits = 0
+        samples = 20_000
+        for _ in range(samples):
+            path = simulator.sample_timed_path(2, t2 + 1.0)
+            entered = None
+            clock = 0.0
+            ok = True
+            for state, sojourn in zip(path.states, path.sojourns + [None]):
+                if state in psi:
+                    entered = clock
+                    break
+                if state not in phi:
+                    ok = False
+                    break
+                if sojourn is None:
+                    break
+                clock += sojourn
+            if ok and entered is not None and t1 <= entered <= t2:
+                hits += 1
+        estimate = hits / samples
+        sigma = math.sqrt(estimate * (1 - estimate) / samples)
+        assert abs(estimate - exact[2]) < 4 * sigma + 1e-3
+
+    def test_satisfy_until_dispatch(self, wavelan):
+        result = satisfy_until(
+            wavelan,
+            Comparison.GE,
+            0.0,
+            {0, 1, 2},
+            {3, 4},
+            Interval(0.5, 1.0),
+            Interval.unbounded(),
+        )
+        assert result.engine == "uniformization-interval"
+
+    def test_reward_bounded_interval_still_rejected(self, wavelan):
+        with pytest.raises(CheckError):
+            satisfy_until(
+                wavelan,
+                Comparison.GE,
+                0.0,
+                {0, 1, 2},
+                {3, 4},
+                Interval(0.5, 1.0),
+                Interval.upto(100.0),
+            )
+
+    def test_unbounded_upper_rejected(self, wavelan):
+        with pytest.raises(CheckError):
+            interval_until_probabilities(
+                wavelan, {0}, {1}, Interval(1.0, math.inf)
+            )
+
+    def test_parser_integration(self, wavelan):
+        from repro.check.checker import ModelChecker
+
+        checker = ModelChecker(wavelan)
+        values = checker.path_probabilities("(off || sleep || idle) U[1,2] busy")
+        direct = interval_until_probabilities(
+            wavelan, {0, 1, 2}, {3, 4}, Interval(1.0, 2.0)
+        )
+        assert values == pytest.approx(direct)

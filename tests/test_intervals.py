@@ -1,0 +1,219 @@
+"""Unit and property tests for the Interval substrate."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import FormulaError
+from repro.numerics.intervals import Interval
+
+finite = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+class TestConstruction:
+    def test_basic(self):
+        interval = Interval(1.0, 2.5)
+        assert interval.lower == 1.0
+        assert interval.upper == 2.5
+
+    def test_unbounded(self):
+        interval = Interval.unbounded()
+        assert interval.lower == 0.0
+        assert math.isinf(interval.upper)
+        assert interval.is_unbounded
+
+    def test_upto(self):
+        assert Interval.upto(5.0) == Interval(0.0, 5.0)
+
+    def test_point(self):
+        interval = Interval.point(3.0)
+        assert interval.is_point
+        assert interval.contains(3.0)
+
+    def test_negative_lower_rejected(self):
+        with pytest.raises(FormulaError):
+            Interval(-1.0, 2.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(FormulaError):
+            Interval(float("nan"), 1.0)
+
+    def test_infinite_lower_rejected(self):
+        with pytest.raises(FormulaError):
+            Interval(math.inf, math.inf)
+
+    def test_empty_is_singleton_like(self):
+        assert Interval.empty().is_empty
+        assert Interval.EMPTY.is_empty
+
+    def test_integers_coerced_to_float(self):
+        interval = Interval(1, 2)
+        assert isinstance(interval.lower, float)
+        assert isinstance(interval.upper, float)
+
+
+class TestPredicates:
+    def test_contains_endpoints(self):
+        interval = Interval(1.0, 2.0)
+        assert interval.contains(1.0)
+        assert interval.contains(2.0)
+        assert not interval.contains(0.999)
+        assert not interval.contains(2.001)
+
+    def test_contains_infinity_in_unbounded(self):
+        assert Interval.unbounded().contains(1e300)
+
+    def test_dunder_contains(self):
+        assert 1.5 in Interval(1.0, 2.0)
+
+    def test_bool(self):
+        assert Interval(0.0, 1.0)
+        assert not Interval.EMPTY
+
+    def test_width(self):
+        assert Interval(1.0, 4.0).width == 3.0
+        assert Interval.EMPTY.width == 0.0
+        assert math.isinf(Interval.unbounded().width)
+
+
+class TestAlgebra:
+    def test_intersect_overlap(self):
+        assert Interval(0, 5).intersect(Interval(3, 8)) == Interval(3, 5)
+
+    def test_intersect_disjoint_is_empty(self):
+        assert Interval(0, 1).intersect(Interval(2, 3)).is_empty
+
+    def test_intersect_touching(self):
+        assert Interval(0, 2).intersect(Interval(2, 3)) == Interval(2, 2)
+
+    def test_shift_down_interior(self):
+        assert Interval(2, 8).shift_down(3) == Interval(0, 5)
+
+    def test_shift_down_clips_lower_at_zero(self):
+        assert Interval(1, 8).shift_down(3) == Interval(0, 5)
+
+    def test_shift_down_past_upper_is_empty(self):
+        assert Interval(0, 2).shift_down(3).is_empty
+
+    def test_shift_down_exactly_to_zero(self):
+        result = Interval(0, 3).shift_down(3)
+        assert result == Interval(0, 0)
+
+    def test_shift_down_negative_rejected(self):
+        with pytest.raises(FormulaError):
+            Interval(0, 1).shift_down(-0.5)
+
+    def test_shift_down_empty_stays_empty(self):
+        assert Interval.EMPTY.shift_down(1.0).is_empty
+
+    def test_scale(self):
+        assert Interval(1, 2).scale(10) == Interval(10, 20)
+
+    def test_scale_nonpositive_rejected(self):
+        with pytest.raises(FormulaError):
+            Interval(0, 1).scale(0)
+
+    def test_reward_window_positive_rate(self):
+        # rate * x in [2, 6] with rate 2 => x in [1, 3]
+        assert Interval(2, 6).reward_window(2.0) == Interval(1, 3)
+
+    def test_reward_window_zero_rate_containing_zero(self):
+        assert Interval(0, 6).reward_window(0.0).is_unbounded
+
+    def test_reward_window_zero_rate_excluding_zero(self):
+        assert Interval(2, 6).reward_window(0.0).is_empty
+
+
+class TestKWindows:
+    """K(s) and K(s, s') of Section 3.8."""
+
+    def test_k_state_binds_by_reward(self):
+        # I = [0, 10], J = [0, 6], rho = 2 -> K = [0, 3]
+        window = Interval.k_state(Interval.upto(10), Interval.upto(6), rate=2.0)
+        assert window == Interval(0, 3)
+
+    def test_k_state_binds_by_time(self):
+        window = Interval.k_state(Interval.upto(2), Interval.upto(100), rate=2.0)
+        assert window == Interval(0, 2)
+
+    def test_k_transition_impulse_shrinks_window(self):
+        # rho * x + iota in [0, 6] with rho=2, iota=2 -> x in [0, 2]
+        window = Interval.k_transition(
+            Interval.upto(10), Interval.upto(6), rate=2.0, impulse=2.0
+        )
+        assert window == Interval(0, 2)
+
+    def test_k_transition_impulse_exceeding_bound_is_empty(self):
+        window = Interval.k_transition(
+            Interval.upto(10), Interval.upto(6), rate=2.0, impulse=7.0
+        )
+        assert window.is_empty
+
+    def test_k_transition_never_larger_than_k_state(self):
+        time_bound = Interval.upto(10)
+        reward_bound = Interval.upto(6)
+        k_state = Interval.k_state(time_bound, reward_bound, rate=2.0)
+        k_trans = Interval.k_transition(time_bound, reward_bound, rate=2.0, impulse=1.0)
+        # Paper: inf K(s, s') <= inf K(s) is claimed with zero lower reward
+        # bound; with J = [0, r] both start at 0 and the transition window
+        # ends earlier.
+        assert k_trans.upper <= k_state.upper
+
+    def test_k_transition_negative_impulse_rejected(self):
+        with pytest.raises(FormulaError):
+            Interval.k_transition(
+                Interval.upto(1), Interval.upto(1), rate=1.0, impulse=-1.0
+            )
+
+
+class TestRendering:
+    def test_str_finite(self):
+        assert str(Interval(0, 3)) == "[0,3]"
+
+    def test_str_unbounded(self):
+        assert str(Interval.unbounded()) == "[0,~]"
+
+    def test_str_empty(self):
+        assert str(Interval.EMPTY) == "[empty]"
+
+
+class TestProperties:
+    @given(a=finite, b=finite, c=finite, d=finite)
+    def test_intersection_commutes(self, a, b, c, d):
+        first = Interval(min(a, b), max(a, b))
+        second = Interval(min(c, d), max(c, d))
+        assert first.intersect(second) == second.intersect(first)
+
+    @given(a=finite, b=finite, shift=finite)
+    def test_shift_preserves_membership(self, a, b, shift):
+        interval = Interval(min(a, b), max(a, b))
+        shifted = interval.shift_down(shift)
+        if not shifted.is_empty:
+            # Every x in the shifted interval corresponds to x + shift in
+            # the original (up to the zero clip and float rounding).
+            reconstructed = shifted.upper + shift
+            tolerance = 1e-9 * max(1.0, abs(reconstructed))
+            assert interval.lower - tolerance <= reconstructed <= interval.upper + tolerance
+
+    @given(a=finite, b=finite)
+    def test_intersect_with_self_is_identity(self, a, b):
+        interval = Interval(min(a, b), max(a, b))
+        assert interval.intersect(interval) == interval
+
+    # Subnormal endpoints (5e-324 and friends) make `rate * (x / rate)`
+    # land outside the interval purely through denormal rounding; the
+    # membership property is only meaningful over normal floats.
+    @given(
+        a=st.floats(min_value=1e-9, max_value=1e6),
+        b=st.floats(min_value=1e-9, max_value=1e6),
+        rate=st.floats(min_value=1e-3, max_value=1e3),
+    )
+    def test_reward_window_membership(self, a, b, rate):
+        bound = Interval(min(a, b), max(a, b))
+        window = bound.reward_window(rate)
+        if not window.is_empty:
+            midpoint = (window.lower + window.upper) / 2
+            assert bound.contains(rate * midpoint) or math.isclose(
+                rate * midpoint, bound.lower, rel_tol=1e-9
+            ) or math.isclose(rate * midpoint, bound.upper, rel_tol=1e-9)

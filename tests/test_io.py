@@ -1,0 +1,185 @@
+"""Tests for the .tra/.lab/.rewr/.rewi file formats (paper appendix)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import FileFormatError
+from repro.io.bundle import load_mrm, save_mrm
+from repro.io.lab import read_lab, write_lab
+from repro.io.rew import read_rewi, read_rewr, write_rewi, write_rewr
+from repro.io.tra import read_tra, write_tra
+
+
+class TestTra:
+    def test_round_trip(self, tmp_path, wavelan):
+        path = str(tmp_path / "model.tra")
+        write_tra(path, wavelan.rates)
+        matrix = read_tra(path)
+        assert (matrix - wavelan.rates).nnz == 0
+
+    def test_file_contents_one_based(self, tmp_path):
+        path = str(tmp_path / "m.tra")
+        write_tra(path, sp.csr_matrix(np.array([[0.0, 2.5], [0.0, 0.0]])))
+        text = open(path).read().splitlines()
+        assert text[0] == "STATES 2"
+        assert text[1] == "TRANSITIONS 1"
+        assert text[2].startswith("1 2 2.5")
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "m.tra"
+        path.write_text("STATES 2\nTRANSITIONS 1\n% comment\n\n1 2 3.0\n")
+        matrix = read_tra(str(path))
+        assert matrix[0, 1] == 3.0
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "m.tra"
+        path.write_text("1 2 3.0\n")
+        with pytest.raises(FileFormatError):
+            read_tra(str(path))
+
+    def test_wrong_transition_count(self, tmp_path):
+        path = tmp_path / "m.tra"
+        path.write_text("STATES 2\nTRANSITIONS 2\n1 2 3.0\n")
+        with pytest.raises(FileFormatError, match="declares 2"):
+            read_tra(str(path))
+
+    def test_state_out_of_range(self, tmp_path):
+        path = tmp_path / "m.tra"
+        path.write_text("STATES 2\nTRANSITIONS 1\n1 5 3.0\n")
+        with pytest.raises(FileFormatError, match="out of range"):
+            read_tra(str(path))
+
+    def test_negative_rate(self, tmp_path):
+        path = tmp_path / "m.tra"
+        path.write_text("STATES 2\nTRANSITIONS 1\n1 2 -3.0\n")
+        with pytest.raises(FileFormatError):
+            read_tra(str(path))
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "m.tra"
+        path.write_text("STATES 2\nTRANSITIONS 1\n1 2\n")
+        with pytest.raises(FileFormatError) as info:
+            read_tra(str(path))
+        assert info.value.line == 3
+
+
+class TestLab:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "m.lab")
+        labels = {0: {"off"}, 3: {"receive", "busy"}}
+        write_lab(path, labels, declared=["busy", "off", "receive"])
+        declared, parsed = read_lab(path)
+        assert declared == ["busy", "off", "receive"]
+        assert parsed == {0: {"off"}, 3: {"receive", "busy"}}
+
+    def test_default_declaration_is_sorted_union(self, tmp_path):
+        path = str(tmp_path / "m.lab")
+        write_lab(path, {0: {"b", "a"}})
+        declared, _ = read_lab(path)
+        assert declared == ["a", "b"]
+
+    def test_undeclared_label_in_file_rejected(self, tmp_path):
+        path = tmp_path / "m.lab"
+        path.write_text("#DECLARATION\na\n#END\n1 b\n")
+        with pytest.raises(FileFormatError, match="not declared"):
+            read_lab(str(path))
+
+    def test_missing_end_rejected(self, tmp_path):
+        path = tmp_path / "m.lab"
+        path.write_text("#DECLARATION\na\n1 a\n")
+        with pytest.raises(FileFormatError):
+            read_lab(str(path))
+
+    def test_duplicate_declaration_rejected(self, tmp_path):
+        path = tmp_path / "m.lab"
+        path.write_text("#DECLARATION\na a\n#END\n")
+        with pytest.raises(FileFormatError, match="duplicate"):
+            read_lab(str(path))
+
+    def test_comma_separated_with_spaces(self, tmp_path):
+        path = tmp_path / "m.lab"
+        path.write_text("#DECLARATION\na b\n#END\n2 a, b\n")
+        _, labels = read_lab(str(path))
+        assert labels == {1: {"a", "b"}}
+
+    def test_writer_rejects_missing_declared(self, tmp_path):
+        with pytest.raises(FileFormatError):
+            write_lab(str(tmp_path / "m.lab"), {0: {"a"}}, declared=["b"])
+
+
+class TestRew:
+    def test_rewr_round_trip(self, tmp_path):
+        path = str(tmp_path / "m.rewr")
+        write_rewr(path, [0.0, 7.0, 2.5])
+        rewards = read_rewr(path, 3)
+        assert rewards == pytest.approx([0.0, 7.0, 2.5])
+
+    def test_rewr_zero_entries_omitted(self, tmp_path):
+        path = str(tmp_path / "m.rewr")
+        write_rewr(path, [0.0, 7.0])
+        assert open(path).read() == "2 7\n"
+
+    def test_rewr_out_of_range(self, tmp_path):
+        path = tmp_path / "m.rewr"
+        path.write_text("5 1.0\n")
+        with pytest.raises(FileFormatError):
+            read_rewr(str(path), 3)
+
+    def test_rewi_round_trip(self, tmp_path):
+        path = str(tmp_path / "m.rewi")
+        write_rewi(path, {(0, 1): 4.0, (2, 0): 8.0})
+        impulses = read_rewi(path, 3)
+        assert impulses == {(0, 1): 4.0, (2, 0): 8.0}
+
+    def test_rewi_header_checked(self, tmp_path):
+        path = tmp_path / "m.rewi"
+        path.write_text("1 2 4.0\n")
+        with pytest.raises(FileFormatError, match="TRANSITIONS"):
+            read_rewi(str(path), 3)
+
+    def test_rewi_count_checked(self, tmp_path):
+        path = tmp_path / "m.rewi"
+        path.write_text("TRANSITIONS 2\n1 2 4.0\n")
+        with pytest.raises(FileFormatError):
+            read_rewi(str(path), 3)
+
+    def test_rewi_empty_file(self, tmp_path):
+        path = tmp_path / "m.rewi"
+        path.write_text("")
+        assert read_rewi(str(path), 3) == {}
+
+
+class TestBundle:
+    def test_save_load_round_trip(self, tmp_path, wavelan):
+        paths = save_mrm(wavelan, str(tmp_path), "wavelan")
+        assert set(paths) == {"tra", "lab", "rewr", "rewi"}
+        loaded = load_mrm(paths["tra"], paths["lab"], paths["rewr"], paths["rewi"])
+        assert loaded.num_states == 5
+        assert (loaded.rates - wavelan.rates).nnz == 0
+        assert loaded.state_rewards == pytest.approx(wavelan.state_rewards)
+        assert (loaded.impulse_rewards - wavelan.impulse_rewards).nnz == 0
+        assert loaded.labels_of(3) == {"receive", "busy"}
+        assert loaded.atomic_propositions == wavelan.atomic_propositions
+
+    def test_reward_files_optional(self, tmp_path, wavelan):
+        paths = save_mrm(wavelan, str(tmp_path), "wavelan")
+        loaded = load_mrm(paths["tra"], paths["lab"])
+        assert loaded.state_rewards == pytest.approx([0.0] * 5)
+        assert loaded.impulse_rewards.nnz == 0
+
+    def test_loaded_model_checks_identically(self, tmp_path, wavelan):
+        from repro.check.checker import ModelChecker
+
+        paths = save_mrm(wavelan, str(tmp_path), "wavelan")
+        loaded = load_mrm(paths["tra"], paths["lab"], paths["rewr"], paths["rewi"])
+        original = ModelChecker(wavelan).check("P(>0.1) [idle U[0,2][0,2000] busy]")
+        reloaded = ModelChecker(loaded).check("P(>0.1) [idle U[0,2][0,2000] busy]")
+        assert original.states == reloaded.states
+        assert original.probabilities == pytest.approx(reloaded.probabilities)
+
+    def test_tmr_round_trip(self, tmp_path, tmr3):
+        paths = save_mrm(tmr3, str(tmp_path), "tmr")
+        loaded = load_mrm(paths["tra"], paths["lab"], paths["rewr"], paths["rewi"])
+        assert loaded.states_with_label("Sup") == tmr3.states_with_label("Sup")
+        assert loaded.impulse_reward(3, 2) == tmr3.impulse_reward(3, 2)

@@ -1,0 +1,401 @@
+"""Tests for the guarded-command modeling language."""
+
+import pytest
+
+from repro.exceptions import FormulaError, ModelError, ParseError
+from repro.lang.compiler import compile_model, load_model
+from repro.lang.expressions import (
+    Binary,
+    Boolean,
+    Name,
+    Number,
+    Unary,
+    evaluate,
+    evaluate_boolean,
+    evaluate_number,
+    free_names,
+)
+from repro.lang.lexer import tokenize_model
+from repro.lang.parser import parse_model_source
+
+TMR_SOURCE = """
+const N = 3;
+const lambda = 0.0004;
+
+var modules : [0 .. N] init N;
+var voter   : [0 .. 1] init 1;
+
+[fail]        modules > 0 & voter = 1 -> lambda : modules' = modules - 1;
+[repair]      modules < N & voter = 1 -> 0.05 : modules' = modules + 1;
+[voter_fail]  voter = 1 -> 0.0001 : voter' = 0;
+[voter_fix]   voter = 0 -> 0.06 : voter' = 1 & modules' = N;
+
+label "Sup"    = modules >= 2 & voter = 1;
+label "failed" = modules < 2 | voter = 0;
+label "allUp"  = modules = N & voter = 1;
+
+reward state  voter = 1 : 7 + 2 * (N - modules);
+reward state  voter = 0 : 15;
+reward impulse [fail]       : 4;
+reward impulse [voter_fail] : 8;
+reward impulse [voter_fix]  : 12;
+"""
+
+
+class TestLexer:
+    def test_symbols_and_keywords(self):
+        tokens = tokenize_model("const x = 1; [go] x > 0 -> 2.5 : x' = x - 1;")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "keyword"
+        assert "->" in kinds
+        assert "'" in kinds
+
+    def test_comments_skipped(self):
+        tokens = tokenize_model("const a = 1; // trailing\n// full line\nconst b = 2;")
+        assert sum(1 for t in tokens if t.kind == "keyword") == 2
+
+    def test_range_operator_not_in_numbers(self):
+        tokens = tokenize_model("[0 .. 5]")
+        assert [t.kind for t in tokens] == ["[", "number", "..", "number", "]"]
+
+    def test_range_without_spaces(self):
+        tokens = tokenize_model("[0..5]")
+        assert [t.kind for t in tokens] == ["[", "number", "..", "number", "]"]
+
+    def test_scientific_numbers(self):
+        tokens = tokenize_model("const a = 1e-5;")
+        assert any(t.kind == "number" and t.text == "1e-5" for t in tokens)
+
+    def test_strings(self):
+        tokens = tokenize_model('label "Sup" = true;')
+        assert any(t.kind == "string" and t.text == "Sup" for t in tokens)
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize_model('label "oops = true;')
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize_model("const a = $;")
+
+    def test_locations_tracked(self):
+        tokens = tokenize_model("const a = 1;\nconst b = 2;")
+        assert tokens[0].line == 1
+        second_const = [t for t in tokens if t.text == "b"][0]
+        assert second_const.line == 2
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        expr = Binary("+", Number(2.0), Binary("*", Number(3.0), Name("x")))
+        assert evaluate_number(expr, {"x": 4.0}) == 14.0
+
+    def test_division_by_zero(self):
+        with pytest.raises(FormulaError, match="division by zero"):
+            evaluate(Binary("/", Number(1.0), Number(0.0)), {})
+
+    def test_comparisons(self):
+        env = {"x": 3.0}
+        assert evaluate_boolean(Binary("<=", Name("x"), Number(3.0)), env)
+        assert not evaluate_boolean(Binary("<", Name("x"), Number(3.0)), env)
+        assert evaluate_boolean(Binary("!=", Name("x"), Number(2.0)), env)
+
+    def test_boolean_connectives(self):
+        expr = Binary("|", Boolean(False), Unary("!", Boolean(False)))
+        assert evaluate_boolean(expr, {})
+
+    def test_type_errors(self):
+        with pytest.raises(FormulaError):
+            evaluate(Binary("+", Boolean(True), Number(1.0)), {})
+        with pytest.raises(FormulaError):
+            evaluate(Binary("&", Number(1.0), Boolean(True)), {})
+        with pytest.raises(FormulaError):
+            evaluate(Unary("!", Number(1.0)), {})
+
+    def test_undefined_name(self):
+        with pytest.raises(FormulaError, match="undefined"):
+            evaluate(Name("ghost"), {})
+
+    def test_free_names(self):
+        expr = Binary("+", Name("a"), Unary("-", Name("b")))
+        assert free_names(expr) == {"a", "b"}
+
+
+class TestParser:
+    def test_full_model_parses(self):
+        ast = parse_model_source(TMR_SOURCE)
+        assert len(ast.constants) == 2
+        assert len(ast.variables) == 2
+        assert len(ast.commands) == 4
+        assert len(ast.labels) == 3
+        assert len(ast.state_rewards) == 2
+        assert len(ast.impulse_rewards) == 3
+
+    def test_anonymous_command(self):
+        ast = parse_model_source(
+            "var x : [0..1] init 0; [] x = 0 -> 1 : x' = 1;"
+        )
+        assert ast.commands[0].action is None
+
+    def test_multi_update(self):
+        ast = parse_model_source(
+            "var x : [0..1] init 0; var y : [0..1] init 0;"
+            "[go] x = 0 -> 1 : x' = 1 & y' = 1;"
+        )
+        assert len(ast.commands[0].updates) == 2
+
+    def test_operator_precedence(self):
+        ast = parse_model_source(
+            'var x : [0..9] init 0; [a] x < 2 + 3 * 2 -> 1 : x\' = 0; label "l" = x = 0 | x = 1 & x < 9;'
+        )
+        guard = ast.commands[0].guard
+        # x < (2 + (3 * 2))
+        assert isinstance(guard, Binary) and guard.operator == "<"
+        condition = ast.labels[0].condition
+        # | at top with & below
+        assert condition.operator == "|"
+        assert condition.right.operator == "&"
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",
+            "const = 1;",
+            "const a 1;",
+            "var x [0..1] init 0;",
+            "var x : [0..1];",
+            "[go] -> 1 : x' = 1;",
+            "var x : [0..1] init 0; [go] x = 0 -> : x' = 1;",
+            "var x : [0..1] init 0; [go] x = 0 -> 1 : x = 1;",
+            "var x : [0..1] init 0; [go] x = 0 -> 1 : x' = 1",
+            'label Sup = true;',
+            "reward stat x = 0 : 1;",
+            "bogus;",
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(ParseError):
+            parse_model_source(source)
+
+
+class TestCompiler:
+    def test_tmr_structure(self):
+        compiled = compile_model(TMR_SOURCE)
+        assert compiled.mrm.num_states == 8  # 4 voter-up + 4 voter-down
+        assert compiled.variable_names == ("modules", "voter")
+        assert compiled.initial_state == 0
+        assert compiled.states[0] == (3, 1)
+
+    def test_state_lookup(self):
+        compiled = compile_model(TMR_SOURCE)
+        index = compiled.state_index(modules=2, voter=1)
+        assert compiled.valuation_of(index) == {"modules": 2, "voter": 1}
+        with pytest.raises(ModelError):
+            compiled.state_index(modules=2)
+        with pytest.raises(ModelError):
+            compiled.state_index(modules=2, voter=1, ghost=0)
+
+    def test_labels_and_rewards(self):
+        compiled = compile_model(TMR_SOURCE)
+        model = compiled.mrm
+        all_up = compiled.state_index(modules=3, voter=1)
+        assert model.labels_of(all_up) == {"Sup", "allUp"}
+        assert model.state_reward(all_up) == 7.0
+        degraded = compiled.state_index(modules=1, voter=1)
+        assert "failed" in model.labels_of(degraded)
+        assert model.state_reward(degraded) == 11.0
+        down = compiled.state_index(modules=3, voter=0)
+        assert model.state_reward(down) == 15.0
+
+    def test_impulses_attached(self):
+        compiled = compile_model(TMR_SOURCE)
+        model = compiled.mrm
+        source = compiled.state_index(modules=3, voter=1)
+        target = compiled.state_index(modules=2, voter=1)
+        assert model.impulse_reward(source, target) == 4.0
+
+    def test_matches_handcoded_tmr(self):
+        from repro.check.until import until_probability
+        from repro.models import build_tmr
+        from repro.numerics.intervals import Interval
+
+        compiled = compile_model(TMR_SOURCE)
+        handcoded = build_tmr(3)
+        kwargs = dict(
+            time_bound=Interval.upto(100),
+            reward_bound=Interval.upto(3000),
+            truncation_probability=1e-11,
+        )
+        ours = until_probability(
+            compiled.mrm,
+            compiled.state_index(modules=3, voter=1),
+            compiled.mrm.states_with_label("Sup"),
+            compiled.mrm.states_with_label("failed"),
+            **kwargs,
+        )
+        reference = until_probability(
+            handcoded,
+            3,
+            handcoded.states_with_label("Sup"),
+            handcoded.states_with_label("failed"),
+            **kwargs,
+        )
+        assert ours.probability == pytest.approx(reference.probability, abs=1e-9)
+
+    def test_constant_overrides(self):
+        compiled = compile_model(TMR_SOURCE, constants={"N": 5})
+        assert compiled.mrm.num_states == 12  # 6 voter-up + 6 voter-down
+        assert compiled.constants["N"] == 5
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ModelError):
+            compile_model(TMR_SOURCE, constants={"M": 5})
+
+    def test_constants_resolve_in_order(self):
+        compiled = compile_model(
+            "const a = 2; const b = a * 3;"
+            "var x : [0..b] init 0; [up] x < b -> 1 : x' = x + 1;"
+        )
+        assert compiled.mrm.num_states == 7
+
+    def test_forward_constant_reference_rejected(self):
+        with pytest.raises(ModelError, match="declaration order"):
+            compile_model(
+                "const b = a; const a = 1;"
+                "var x : [0..1] init 0; [t] true -> 1 : x' = 1;"
+            )
+
+    def test_out_of_range_update_rejected(self):
+        with pytest.raises(ModelError, match="outside"):
+            compile_model(
+                "var x : [0..1] init 0; [t] true -> 1 : x' = x + 2;"
+            )
+
+    def test_unreachable_states_not_built(self):
+        compiled = compile_model(
+            "var x : [0..100] init 0; [up] x < 2 -> 1 : x' = x + 1;"
+        )
+        assert compiled.mrm.num_states == 3
+
+    def test_parallel_commands_merge_rates(self):
+        compiled = compile_model(
+            "var x : [0..1] init 0;"
+            "[a] x = 0 -> 1 : x' = 1;"
+            "[b] x = 0 -> 2 : x' = 1;"
+        )
+        assert compiled.mrm.rates[0, 1] == pytest.approx(3.0)
+
+    def test_conflicting_impulses_on_merged_edge_rejected(self):
+        with pytest.raises(ModelError, match="different impulse"):
+            compile_model(
+                "var x : [0..1] init 0;"
+                "[a] x = 0 -> 1 : x' = 1;"
+                "[b] x = 0 -> 2 : x' = 1;"
+                "reward impulse [a] : 1;"
+                "reward impulse [b] : 2;"
+            )
+
+    def test_impulse_free_and_impulse_edge_conflict_rejected(self):
+        with pytest.raises(ModelError, match="different impulse"):
+            compile_model(
+                "var x : [0..1] init 0;"
+                "[a] x = 0 -> 1 : x' = 1;"
+                "[b] x = 0 -> 2 : x' = 1;"
+                "reward impulse [a] : 1;"
+            )
+
+    def test_impulse_on_self_loop_rejected(self):
+        with pytest.raises(ModelError, match="self-loop"):
+            compile_model(
+                "var x : [0..1] init 0;"
+                "[spin] x = 0 -> 1 : x' = 0;"
+                "reward impulse [spin] : 2;"
+            )
+
+    def test_self_loop_without_impulse_allowed(self):
+        compiled = compile_model(
+            "var x : [0..1] init 0; [spin] x = 0 -> 1 : x' = 0;"
+        )
+        assert compiled.mrm.rates[0, 0] == 1.0
+
+    def test_impulse_for_unknown_action_rejected(self):
+        with pytest.raises(ModelError, match="unknown action"):
+            compile_model(
+                "var x : [0..1] init 0;"
+                "[a] x = 0 -> 1 : x' = 1;"
+                "reward impulse [ghost] : 1;"
+            )
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ModelError, match="negative"):
+            compile_model(
+                "var x : [0..1] init 0; [t] x = 0 -> 0 - 1 : x' = 1;"
+            )
+
+    def test_state_space_bound_enforced(self):
+        with pytest.raises(ModelError, match="exceeds"):
+            compile_model(
+                "var x : [0..100000] init 0; [up] true -> 1 : x' = x + 1;",
+                max_states=50,
+            )
+
+    def test_state_rewards_sum_over_matching_declarations(self):
+        compiled = compile_model(
+            "var x : [0..1] init 0;"
+            "[t] x = 0 -> 1 : x' = 1;"
+            "reward state true : 1;"
+            "reward state x = 0 : 2;"
+        )
+        assert compiled.mrm.state_reward(0) == 3.0
+        assert compiled.mrm.state_reward(1) == 1.0
+
+    def test_needs_variables_and_commands(self):
+        with pytest.raises(ModelError):
+            compile_model("const a = 1; [t] true -> 1 : x' = 1;")
+        with pytest.raises(ModelError):
+            compile_model("var x : [0..1] init 0;")
+
+    def test_load_model_from_file(self, tmp_path):
+        path = tmp_path / "tmr.mrm"
+        path.write_text(TMR_SOURCE)
+        compiled = load_model(str(path))
+        assert compiled.mrm.num_states == 8
+
+
+class TestFormulaDeclarations:
+    def test_formulas_exposed_and_checkable(self):
+        from repro.check.checker import ModelChecker
+
+        compiled = compile_model(
+            'var x : [0..1] init 0;'
+            "[go] x = 0 -> 1 : x' = 1;"
+            'label "done" = x = 1;'
+            'formula "reach" = "P(>0.5) [TT U[0,2] done]";'
+        )
+        assert set(compiled.formulas) == {"reach"}
+        checker = ModelChecker(compiled.mrm)
+        result = checker.check(compiled.formulas["reach"])
+        assert 0 in result.states
+
+    def test_invalid_csrl_rejected_at_compile_time(self):
+        with pytest.raises(ModelError, match="not valid CSRL"):
+            compile_model(
+                'var x : [0..1] init 0;'
+                "[go] x = 0 -> 1 : x' = 1;"
+                'formula "broken" = "P(>0.5 [oops";'
+            )
+
+    def test_duplicate_formula_rejected(self):
+        with pytest.raises(ModelError, match="duplicate formula"):
+            compile_model(
+                'var x : [0..1] init 0;'
+                "[go] x = 0 -> 1 : x' = 1;"
+                'formula "f" = "TT";'
+                'formula "f" = "FF";'
+            )
+
+    def test_model_without_formulas_has_empty_mapping(self):
+        compiled = compile_model(
+            "var x : [0..1] init 0; [go] x = 0 -> 1 : x' = 1;"
+        )
+        assert compiled.formulas == {}

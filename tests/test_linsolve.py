@@ -1,0 +1,125 @@
+"""Tests for the sparse linear solvers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConvergenceError, NumericalError
+from repro.numerics.linsolve import (
+    gauss_seidel,
+    jacobi,
+    solve_direct,
+    solve_linear_system,
+    sor,
+)
+
+
+def diagonally_dominant(n, rng):
+    """A random strictly diagonally dominant system (all solvers converge)."""
+    matrix = rng.uniform(-1.0, 1.0, size=(n, n))
+    for i in range(n):
+        matrix[i, i] = np.abs(matrix[i]).sum() + rng.uniform(0.5, 2.0)
+    return sp.csr_matrix(matrix)
+
+
+SYSTEM = sp.csr_matrix(np.array([[4.0, 1.0], [2.0, 5.0]]))
+RHS = np.array([9.0, 19.0])
+EXPECTED = np.linalg.solve(SYSTEM.toarray(), RHS)
+
+
+class TestGaussSeidel:
+    def test_solves_2x2(self):
+        solution, stats = gauss_seidel(SYSTEM, RHS)
+        assert solution == pytest.approx(EXPECTED, abs=1e-10)
+        assert stats.converged
+        assert stats.method == "gauss-seidel"
+
+    def test_respects_initial_guess(self):
+        solution, stats_cold = gauss_seidel(SYSTEM, RHS)
+        _, stats_warm = gauss_seidel(SYSTEM, RHS, x0=solution)
+        assert stats_warm.iterations <= stats_cold.iterations
+
+    def test_convergence_error(self):
+        # A rotation-like non-dominant system where GS diverges.
+        bad = sp.csr_matrix(np.array([[1.0, 3.0], [4.0, 1.0]]))
+        with pytest.raises(ConvergenceError) as info:
+            gauss_seidel(bad, np.array([1.0, 1.0]), max_iterations=50)
+        assert info.value.iterations == 50
+
+    def test_zero_diagonal_rejected(self):
+        singular = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(NumericalError):
+            gauss_seidel(singular, np.array([1.0, 1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(NumericalError):
+            gauss_seidel(SYSTEM, np.array([1.0, 2.0, 3.0]))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(NumericalError):
+            gauss_seidel(sp.csr_matrix(np.ones((2, 3))), np.ones(2))
+
+
+class TestJacobi:
+    def test_solves_2x2(self):
+        solution, stats = jacobi(SYSTEM, RHS)
+        assert solution == pytest.approx(EXPECTED, abs=1e-9)
+        assert stats.method == "jacobi"
+
+    def test_slower_than_gauss_seidel(self):
+        _, gs = gauss_seidel(SYSTEM, RHS)
+        _, jc = jacobi(SYSTEM, RHS)
+        assert jc.iterations >= gs.iterations
+
+
+class TestSor:
+    def test_omega_one_is_gauss_seidel(self):
+        sor_solution, sor_stats = sor(SYSTEM, RHS, omega_factor=1.0)
+        gs_solution, gs_stats = gauss_seidel(SYSTEM, RHS)
+        assert sor_solution == pytest.approx(gs_solution)
+        assert sor_stats.iterations == gs_stats.iterations
+
+    def test_overrelaxation_solves(self):
+        solution, stats = sor(SYSTEM, RHS, omega_factor=1.1)
+        assert solution == pytest.approx(EXPECTED, abs=1e-9)
+        assert "sor" in stats.method
+
+    def test_invalid_relaxation_rejected(self):
+        for factor in (0.0, 2.0, -1.0):
+            with pytest.raises(NumericalError):
+                sor(SYSTEM, RHS, omega_factor=factor)
+
+
+class TestDirect:
+    def test_solves_2x2(self):
+        assert solve_direct(SYSTEM, RHS) == pytest.approx(EXPECTED, abs=1e-12)
+
+    def test_solves_1x1(self):
+        assert solve_direct(sp.csr_matrix([[2.0]]), np.array([6.0])) == pytest.approx(
+            [3.0]
+        )
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("method", ["gauss-seidel", "jacobi", "sor", "direct"])
+    def test_all_methods_agree(self, method):
+        solution = solve_linear_system(SYSTEM, RHS, method=method)
+        assert solution == pytest.approx(EXPECTED, abs=1e-8)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(NumericalError):
+            solve_linear_system(SYSTEM, RHS, method="cholesky")
+
+
+class TestRandomSystems:
+    @given(seed=st.integers(min_value=0, max_value=10_000), n=st.integers(2, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_iterative_matches_direct(self, seed, n):
+        rng = np.random.default_rng(seed)
+        matrix = diagonally_dominant(n, rng)
+        rhs = rng.uniform(-5.0, 5.0, size=n)
+        reference = solve_direct(matrix, rhs)
+        for method in ("gauss-seidel", "jacobi"):
+            solution = solve_linear_system(matrix, rhs, method=method)
+            assert solution == pytest.approx(reference, abs=1e-7)

@@ -1,0 +1,257 @@
+"""Tests for ordinary lumping of MRMs."""
+
+import numpy as np
+import pytest
+
+from repro.check.checker import ModelChecker
+from repro.ctmc.chain import CTMC
+from repro.exceptions import ModelError
+from repro.mrm.builder import MRMBuilder
+from repro.mrm.lumping import lump
+from repro.mrm.model import MRM
+
+
+def symmetric_pair_model():
+    """Two interchangeable 'worker' states feeding one sink.
+
+    States: 0 = source, 1/2 = symmetric workers, 3 = done.
+    """
+    return (
+        MRMBuilder()
+        .state("source", labels={"start"}, reward=1.0)
+        .state("worker_a", labels={"busy"}, reward=2.0)
+        .state("worker_b", labels={"busy"}, reward=2.0)
+        .state("done", labels={"finished"})
+        .transition("source", "worker_a", rate=0.5, impulse=1.0)
+        .transition("source", "worker_b", rate=0.5, impulse=1.0)
+        .transition("worker_a", "done", rate=2.0, impulse=3.0)
+        .transition("worker_b", "done", rate=2.0, impulse=3.0)
+        .build()
+    )
+
+
+class TestPartition:
+    def test_symmetric_states_merge(self):
+        result = lump(symmetric_pair_model())
+        assert result.num_blocks == 3
+        assert (1, 2) in result.blocks
+
+    def test_block_of_consistent_with_blocks(self):
+        result = lump(symmetric_pair_model())
+        for block_id, group in enumerate(result.blocks):
+            for state in group:
+                assert result.block_of[state] == block_id
+
+    def test_different_labels_never_merge(self):
+        model = (
+            MRMBuilder()
+            .state("a", labels={"x"})
+            .state("b", labels={"y"})
+            .transition("a", "b", rate=1.0)
+            .transition("b", "a", rate=1.0)
+            .build()
+        )
+        assert lump(model).num_blocks == 2
+
+    def test_different_rewards_never_merge(self):
+        chain = CTMC([[0.0, 1.0], [1.0, 0.0]], labels={0: {"x"}, 1: {"x"}})
+        model = MRM(chain, state_rewards=[1.0, 2.0])
+        assert lump(model).num_blocks == 2
+
+    def test_different_impulses_never_merge(self):
+        model = (
+            MRMBuilder()
+            .state("a", labels={"w"})
+            .state("b", labels={"w"})
+            .state("t", labels={"goal"})
+            .transition("a", "t", rate=1.0, impulse=1.0)
+            .transition("b", "t", rate=1.0, impulse=2.0)
+            .build()
+        )
+        result = lump(model)
+        # a and b have equal labels/rewards/rates but different impulses.
+        assert result.num_blocks == 3
+
+    def test_rate_aggregation(self):
+        result = lump(symmetric_pair_model())
+        quotient = result.quotient
+        source_block = result.block_of[0]
+        worker_block = result.block_of[1]
+        assert quotient.rates[source_block, worker_block] == pytest.approx(1.0)
+        assert quotient.impulse_reward(source_block, worker_block) == 1.0
+
+    def test_asymmetric_chain_is_rigid(self):
+        """A chain with no symmetry lumps to itself."""
+        model = (
+            MRMBuilder()
+            .state("a", labels={"p"}, reward=1.0)
+            .state("b", labels={"p"}, reward=1.0)
+            .transition("a", "b", rate=1.0)
+            .transition("b", "a", rate=2.0)
+            .build()
+        )
+        assert lump(model).num_blocks == 2
+
+    def test_mixed_impulse_to_same_block_rejected(self):
+        # s reaches both symmetric workers with different impulses: the
+        # workers themselves are bisimilar, but the quotient would need
+        # parallel transitions.
+        model = (
+            MRMBuilder()
+            .state("s", labels={"start"})
+            .state("w1", labels={"busy"})
+            .state("w2", labels={"busy"})
+            .transition("s", "w1", rate=1.0, impulse=1.0)
+            .transition("s", "w2", rate=1.0, impulse=2.0)
+            .transition("w1", "s", rate=3.0)
+            .transition("w2", "s", rate=3.0)
+            .build()
+        )
+        with pytest.raises(ModelError, match="cannot lump"):
+            lump(model)
+
+
+class TestPreservation:
+    def test_steady_state_preserved(self):
+        model = symmetric_pair_model()
+        # Make it ergodic: done -> source.
+        model = (
+            MRMBuilder()
+            .state("source", labels={"start"}, reward=1.0)
+            .state("worker_a", labels={"busy"}, reward=2.0)
+            .state("worker_b", labels={"busy"}, reward=2.0)
+            .state("done", labels={"finished"})
+            .transition("source", "worker_a", rate=0.5)
+            .transition("source", "worker_b", rate=0.5)
+            .transition("worker_a", "done", rate=2.0)
+            .transition("worker_b", "done", rate=2.0)
+            .transition("done", "source", rate=1.0)
+            .build()
+        )
+        result = lump(model)
+        original = ModelChecker(model).check("S(>=0) busy")
+        quotient = ModelChecker(result.quotient).check("S(>=0) busy")
+        lifted = result.lift(quotient.probabilities)
+        assert lifted == pytest.approx(list(original.probabilities), abs=1e-9)
+
+    def test_until_probability_preserved(self):
+        model = symmetric_pair_model()
+        result = lump(model)
+        formula = "P(>=0) [TT U[0,2][0,10] finished]"
+        original = ModelChecker(model).check(formula)
+        quotient = ModelChecker(result.quotient).check(formula)
+        lifted = result.lift(quotient.probabilities)
+        assert lifted == pytest.approx(list(original.probabilities), abs=1e-7)
+
+    def test_expected_reward_preserved(self):
+        from repro.performability.expected import expected_accumulated_reward
+
+        model = symmetric_pair_model()
+        result = lump(model)
+        initial = np.zeros(model.num_states)
+        initial[0] = 1.0
+        quotient_initial = np.zeros(result.num_blocks)
+        quotient_initial[result.block_of[0]] = 1.0
+        a = expected_accumulated_reward(model, initial, 2.0)
+        b = expected_accumulated_reward(result.quotient, quotient_initial, 2.0)
+        assert a == pytest.approx(b, abs=1e-9)
+
+    def test_tmr_has_no_nontrivial_lumping(self, tmr3):
+        """The TMR chain is a birth-death line: every state is
+        distinguishable (different labels), so lumping is the identity."""
+        result = lump(tmr3)
+        assert result.num_blocks == tmr3.num_states
+
+    def test_lift_validates_length(self):
+        result = lump(symmetric_pair_model())
+        with pytest.raises(ModelError):
+            result.lift([1.0])
+
+
+class TestLargerSymmetry:
+    def test_star_of_identical_leaves(self):
+        builder = MRMBuilder()
+        builder.state("hub", labels={"hub"}, reward=1.0)
+        for i in range(6):
+            leaf = f"leaf{i}"
+            builder.state(leaf, labels={"leaf"}, reward=3.0)
+            builder.transition("hub", leaf, rate=0.5, impulse=2.0)
+            builder.transition(leaf, "hub", rate=1.5)
+        result = lump(builder.build())
+        assert result.num_blocks == 2
+        hub_block = result.block_of[0]
+        leaf_block = 1 - hub_block
+        # Aggregate rate hub -> leaves: 6 * 0.5.
+        assert result.quotient.rates[hub_block, leaf_block] == pytest.approx(3.0)
+
+
+class TestLumpingProperties:
+    """Hypothesis: on arbitrary models the quotient preserves measures."""
+
+    from hypothesis import given, settings, strategies as st
+
+    @staticmethod
+    def random_model(seed: int, n: int):
+        import numpy as np
+
+        from repro.ctmc.chain import CTMC
+        from repro.mrm.model import MRM
+
+        rng = np.random.default_rng(seed)
+        rates = np.zeros((n, n))
+        for i in range(n):
+            for j in range(n):
+                if i != j and rng.random() < 0.5:
+                    rates[i][j] = float(rng.integers(1, 4)) / 2.0
+        labels = {
+            i: {f"g{rng.integers(0, 2)}"} for i in range(n)
+        }
+        rewards = [float(rng.integers(0, 3)) for _ in range(n)]
+        chain = CTMC(rates, labels=labels)
+        return MRM(chain, state_rewards=rewards)
+
+    @given(seed=st.integers(0, 3000), n=st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_quotient_preserves_transient_label_mass(self, seed, n):
+        import numpy as np
+
+        from repro.ctmc.transient import transient_distribution
+        from repro.exceptions import ModelError
+        from repro.mrm.lumping import lump
+
+        model = self.random_model(seed, n)
+        try:
+            result = lump(model)
+        except ModelError:
+            return  # unrepresentable impulse mix; rejection is the contract
+        t = 0.7
+        original = transient_distribution(
+            model.ctmc, np.eye(n)[0], t
+        )
+        quotient_initial = np.zeros(result.num_blocks)
+        quotient_initial[result.block_of[0]] = 1.0
+        reduced = transient_distribution(
+            result.quotient.ctmc, quotient_initial, t
+        )
+        # Per-block mass of the original equals the quotient's mass.
+        for block_id, group in enumerate(result.blocks):
+            assert original[list(group)].sum() == pytest.approx(
+                reduced[block_id], abs=1e-9
+            )
+
+    @given(seed=st.integers(0, 3000), n=st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_blocks_share_labels_and_rewards(self, seed, n):
+        from repro.exceptions import ModelError
+        from repro.mrm.lumping import lump
+
+        model = self.random_model(seed, n)
+        try:
+            result = lump(model)
+        except ModelError:
+            return
+        for group in result.blocks:
+            labels = {model.labels_of(s) for s in group}
+            rewards = {model.state_reward(s) for s in group}
+            assert len(labels) == 1
+            assert len(rewards) == 1

@@ -1,0 +1,128 @@
+"""Tests for the model zoo (WaveLAN, TMR, phone, textbook chains)."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.models import (
+    TMRParameters,
+    TMRRewards,
+    build_phone_model,
+    build_tmr,
+    build_wavelan_modem,
+)
+from repro.models.tmr import TMR11_REWARDS
+
+
+class TestWavelan:
+    def test_shape(self, wavelan):
+        assert wavelan.num_states == 5
+        assert wavelan.rates.nnz == 8
+
+    def test_atomic_propositions(self, wavelan):
+        assert wavelan.atomic_propositions == {
+            "off",
+            "sleep",
+            "idle",
+            "receive",
+            "transmit",
+            "busy",
+        }
+
+    def test_example_4_2_exit_rates(self, wavelan):
+        expected = [0.1, 5.05, 14.25, 10.0, 15.0]
+        for state, rate in enumerate(expected):
+            assert wavelan.exit_rate(state) == pytest.approx(rate)
+
+
+class TestTmr:
+    def test_default_shape(self, tmr3):
+        # States 0..3 (working modules) plus the voter-down state.
+        assert tmr3.num_states == 5
+        assert tmr3.state_names[-1] == "voter-down"
+
+    def test_labels(self, tmr3):
+        assert tmr3.states_with_label("Sup") == {2, 3}
+        assert tmr3.states_with_label("failed") == {0, 1, 4}
+        assert tmr3.states_with_label("allUp") == {3}
+        assert tmr3.states_with_label("vdown") == {4}
+        assert tmr3.states_with_label("2up") == {2}
+
+    def test_table_5_2_rates(self, tmr3):
+        assert tmr3.rates[3, 2] == pytest.approx(0.0004)  # module failure
+        assert tmr3.rates[2, 3] == pytest.approx(0.05)  # module repair
+        assert tmr3.rates[3, 4] == pytest.approx(0.0001)  # voter failure
+        assert tmr3.rates[4, 3] == pytest.approx(0.06)  # voter repair
+
+    def test_variable_rates_table_5_6(self):
+        model = build_tmr(3, TMRParameters(variable_failure_rates=True))
+        assert model.rates[3, 2] == pytest.approx(3 * 0.0004)
+        assert model.rates[2, 1] == pytest.approx(2 * 0.0004)
+        assert model.rates[1, 0] == pytest.approx(1 * 0.0004)
+
+    def test_impulse_rewards_on_failures(self, tmr3):
+        assert tmr3.impulse_reward(3, 2) == 4.0
+        assert tmr3.impulse_reward(3, 4) == 8.0
+        assert tmr3.impulse_reward(4, 3) == 12.0
+        assert tmr3.impulse_reward(2, 3) == 0.0  # repairs carry none
+
+    def test_state_rewards_increase_with_failures(self, tmr3):
+        rewards = [tmr3.state_reward(i) for i in range(4)]
+        assert rewards == sorted(rewards, reverse=True)
+        assert tmr3.state_reward(3) == 7.0
+
+    def test_majority_threshold(self):
+        model = build_tmr(11)
+        # Majority of 11 is 6.
+        assert model.states_with_label("Sup") == set(range(6, 12))
+        assert 5 in model.states_with_label("failed")
+
+    def test_eleven_module_rewards_constant(self):
+        model = build_tmr(11, rewards=TMR11_REWARDS)
+        assert model.state_reward(11) == 10.0
+        assert model.state_reward(0) == 10.0 + 4.0 * 11
+
+    def test_single_module_system(self):
+        model = build_tmr(1)
+        assert model.num_states == 3
+        assert model.states_with_label("Sup") == {1}
+
+    def test_zero_modules_rejected(self):
+        with pytest.raises(ModelError):
+            build_tmr(0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ModelError):
+            TMRParameters(module_failure_rate=-1.0)
+
+    def test_negative_reward_rejected(self):
+        with pytest.raises(ModelError):
+            TMRRewards(base_rate=-1.0)
+
+    def test_rewards_are_discretization_friendly(self, tmr3):
+        # Integer state rewards, d = 0.25 divides every impulse.
+        for state in range(tmr3.num_states):
+            assert tmr3.state_reward(state) == int(tmr3.state_reward(state))
+        coo = tmr3.impulse_rewards.tocoo()
+        for value in coo.data:
+            assert (value / 0.25) == int(value / 0.25)
+
+
+class TestPhone:
+    def test_structure_matches_hav02_constraints(self, phone):
+        """Three transient + two absorbing states after the transform."""
+        phi = phone.states_with_label("Call_Idle") | phone.states_with_label("Doze")
+        psi = phone.states_with_label("Call_Initiated")
+        assert len(phi) == 3
+        absorbing_set = (set(range(5)) - phi) | psi
+        transformed = phone.make_absorbing(absorbing_set)
+        transient = [s for s in range(5) if not transformed.is_absorbing(s)]
+        assert len(transient) == 3
+        assert len(absorbing_set) == 2
+
+    def test_no_impulse_rewards(self, phone):
+        """Table 5.1 is the *without impulse rewards* experiment."""
+        assert not phone.has_impulse_rewards()
+
+    def test_integer_rewards_for_discretization(self, phone):
+        for state in range(5):
+            assert phone.state_reward(state) == int(phone.state_reward(state))

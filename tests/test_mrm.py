@@ -1,0 +1,176 @@
+"""Tests for the MRM model class (Definitions 3.1, 4.1, 4.2)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ctmc.chain import CTMC
+from repro.exceptions import ModelError, RewardError
+from repro.mrm.model import MRM
+
+
+def simple_chain():
+    return CTMC(
+        [[0.0, 2.0, 0.0], [1.0, 0.0, 1.0], [0.0, 0.0, 0.0]],
+        labels={0: {"up"}, 1: {"mid"}, 2: {"down"}},
+    )
+
+
+class TestConstruction:
+    def test_defaults_are_zero_rewards(self):
+        model = MRM(simple_chain())
+        assert model.state_rewards == pytest.approx([0.0, 0.0, 0.0])
+        assert model.impulse_rewards.nnz == 0
+        assert not model.has_impulse_rewards()
+
+    def test_state_reward_length_checked(self):
+        with pytest.raises(RewardError):
+            MRM(simple_chain(), state_rewards=[1.0, 2.0])
+
+    def test_negative_state_reward_rejected(self):
+        with pytest.raises(RewardError):
+            MRM(simple_chain(), state_rewards=[1.0, -2.0, 0.0])
+
+    def test_impulse_on_missing_transition_rejected(self):
+        with pytest.raises(RewardError, match="non-existent"):
+            MRM(simple_chain(), impulse_rewards={(0, 2): 1.0})
+
+    def test_impulse_on_self_loop_rejected(self):
+        """Definition 3.1: R[s, s] > 0 requires iota(s, s) = 0."""
+        chain = CTMC([[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(RewardError, match="Definition 3.1"):
+            MRM(chain, impulse_rewards={(0, 0): 1.0})
+
+    def test_zero_impulse_on_self_loop_allowed(self):
+        chain = CTMC([[1.0, 1.0], [1.0, 0.0]])
+        model = MRM(chain, impulse_rewards={(0, 0): 0.0, (0, 1): 2.0})
+        assert model.impulse_reward(0, 1) == 2.0
+
+    def test_negative_impulse_rejected(self):
+        with pytest.raises(RewardError):
+            MRM(simple_chain(), impulse_rewards={(0, 1): -1.0})
+
+    def test_impulse_out_of_range_rejected(self):
+        with pytest.raises(RewardError):
+            MRM(simple_chain(), impulse_rewards={(0, 9): 1.0})
+
+    def test_impulse_matrix_input(self):
+        matrix = sp.lil_matrix((3, 3))
+        matrix[0, 1] = 5.0
+        model = MRM(simple_chain(), impulse_rewards=matrix.tocsr())
+        assert model.impulse_reward(0, 1) == 5.0
+
+    def test_impulse_matrix_shape_checked(self):
+        with pytest.raises(RewardError):
+            MRM(simple_chain(), impulse_rewards=sp.csr_matrix((2, 2)))
+
+    def test_requires_ctmc(self):
+        with pytest.raises(ModelError):
+            MRM("not a chain")
+
+
+class TestAccessors:
+    def test_wavelan_rewards(self, wavelan):
+        """Example 3.1: the exact reward structure."""
+        assert wavelan.state_reward(0) == 0.0
+        assert wavelan.state_reward(1) == 80.0
+        assert wavelan.state_reward(2) == 1319.0
+        assert wavelan.state_reward(3) == 1675.0
+        assert wavelan.state_reward(4) == 1425.0
+        assert wavelan.impulse_reward(0, 1) == pytest.approx(0.02)
+        assert wavelan.impulse_reward(1, 2) == pytest.approx(0.32975)
+        assert wavelan.impulse_reward(2, 3) == pytest.approx(0.42545)
+        assert wavelan.impulse_reward(2, 4) == pytest.approx(0.36195)
+        assert wavelan.impulse_reward(3, 2) == 0.0
+
+    def test_distinct_state_rewards_sorted_decreasing(self, wavelan):
+        assert wavelan.distinct_state_rewards() == [1675.0, 1425.0, 1319.0, 80.0, 0.0]
+
+    def test_distinct_impulse_rewards_include_zero(self, wavelan):
+        impulses = wavelan.distinct_impulse_rewards()
+        assert impulses[-1] == 0.0
+        assert impulses == sorted(impulses, reverse=True)
+        assert 0.42545 in impulses
+
+    def test_delegation(self, wavelan):
+        assert wavelan.num_states == 5
+        assert wavelan.exit_rate(2) == pytest.approx(14.25)
+        assert wavelan.labels_of(3) == {"receive", "busy"}
+        assert wavelan.states_with_label("busy") == {3, 4}
+        assert not wavelan.is_absorbing(0)
+
+
+class TestMakeAbsorbing:
+    """Definition 4.1."""
+
+    def test_cuts_outgoing_transitions(self, wavelan):
+        transformed = wavelan.make_absorbing({3, 4})
+        assert transformed.is_absorbing(3)
+        assert transformed.is_absorbing(4)
+        assert transformed.exit_rate(2) == pytest.approx(14.25)  # untouched
+
+    def test_zeroes_rewards(self, wavelan):
+        transformed = wavelan.make_absorbing({2})
+        assert transformed.state_reward(2) == 0.0
+        assert transformed.impulse_reward(2, 3) == 0.0
+        # Impulses *into* the absorbed state survive.
+        assert transformed.impulse_reward(1, 2) == pytest.approx(0.32975)
+
+    def test_preserves_labels(self, wavelan):
+        transformed = wavelan.make_absorbing({3})
+        assert transformed.labels_of(3) == {"receive", "busy"}
+
+    def test_composition_equals_union(self, wavelan):
+        """M[Phi][Psi] = M[Phi or Psi]."""
+        sequential = wavelan.make_absorbing({1}).make_absorbing({3})
+        union = wavelan.make_absorbing({1, 3})
+        assert (sequential.rates - union.rates).nnz == 0
+        assert sequential.state_rewards == pytest.approx(union.state_rewards)
+        assert (sequential.impulse_rewards - union.impulse_rewards).nnz == 0
+
+    def test_idempotent(self, wavelan):
+        once = wavelan.make_absorbing({4})
+        twice = once.make_absorbing({4})
+        assert (once.rates - twice.rates).nnz == 0
+
+    def test_out_of_range_rejected(self, wavelan):
+        with pytest.raises(ModelError):
+            wavelan.make_absorbing({99})
+
+    def test_original_untouched(self, wavelan):
+        wavelan.make_absorbing({0, 1, 2, 3, 4})
+        assert wavelan.exit_rate(2) == pytest.approx(14.25)
+
+
+class TestScaleRewards:
+    def test_scales_both_structures(self, wavelan):
+        scaled = wavelan.scale_rewards(10.0)
+        assert scaled.state_reward(1) == pytest.approx(800.0)
+        assert scaled.impulse_reward(0, 1) == pytest.approx(0.2)
+
+    def test_nonpositive_factor_rejected(self, wavelan):
+        with pytest.raises(RewardError):
+            wavelan.scale_rewards(0.0)
+
+
+class TestUniformize:
+    def test_default_rate_is_max_exit(self, wavelan):
+        process = wavelan.uniformize()
+        assert process.rate == pytest.approx(15.0)
+
+    def test_rewards_shared(self, wavelan):
+        process = wavelan.uniformize()
+        assert process.state_reward(2) == 1319.0
+        assert process.impulse_reward(2, 3) == pytest.approx(0.42545)
+
+    def test_uniformization_self_loop_has_no_impulse(self, wavelan):
+        process = wavelan.uniformize()
+        # State 0 has a uniformization self-loop with probability 149/150
+        # but the non-move carries no impulse reward.
+        assert process.dtmc.probability(0, 0) == pytest.approx(149 / 150)
+        assert process.impulse_reward(0, 0) == 0.0
+
+    def test_explicit_rate(self, wavelan):
+        process = wavelan.uniformize(20.0)
+        assert process.rate == 20.0
+        assert process.num_states == 5

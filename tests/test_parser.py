@@ -1,0 +1,291 @@
+"""Tests for the CSRL concrete-syntax parser (paper appendix grammar)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import FormulaError, ParseError
+from repro.logic.ast import (
+    And,
+    Atomic,
+    Comparison,
+    FalseFormula,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Prob,
+    Steady,
+    TrueFormula,
+    Until,
+)
+from repro.logic.parser import parse_formula, tokenize
+from repro.numerics.intervals import Interval
+
+
+class TestTokenizer:
+    def test_symbols(self):
+        kinds = [t.kind for t in tokenize("( ) [ ] , ! ~ && || => <= >= < >")]
+        assert kinds == [
+            "(", ")", "[", "]", ",", "!", "~", "&&", "||", "=>", "<=", ">=", "<", ">",
+        ]
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("TT FF U X S P up")
+        assert [t.kind for t in tokens] == ["keyword"] * 6 + ["ident"]
+
+    def test_digit_leading_identifier(self):
+        """Labels like 3up (the TMR atomic propositions) are identifiers."""
+        tokens = tokenize("3up")
+        assert tokens[0].kind == "ident"
+        assert tokens[0].text == "3up"
+
+    def test_numbers(self):
+        tokens = tokenize("3 0.5 1e-5 2.5E+3 .25")
+        assert all(t.kind == "number" for t in tokens)
+        assert [float(t.text) for t in tokens] == [3.0, 0.5, 1e-5, 2500.0, 0.25]
+
+    def test_number_followed_by_identifier(self):
+        tokens = tokenize("0.5 busy")
+        assert tokens[0].kind == "number"
+        assert tokens[1].kind == "ident"
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a && b")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 2
+        assert tokens[2].position == 5
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("a $ b")
+
+
+class TestBasicFormulas:
+    def test_constants(self):
+        assert parse_formula("TT") == TrueFormula()
+        assert parse_formula("FF") == FalseFormula()
+
+    def test_atomic(self):
+        assert parse_formula("busy") == Atomic("busy")
+        assert parse_formula("Call_Idle") == Atomic("Call_Idle")
+        assert parse_formula("3up") == Atomic("3up")
+
+    def test_negation(self):
+        assert parse_formula("!a") == Not(Atomic("a"))
+        assert parse_formula("!!a") == Not(Not(Atomic("a")))
+
+    def test_conjunction_binds_tighter_than_disjunction(self):
+        formula = parse_formula("a || b && c")
+        assert formula == Or(Atomic("a"), And(Atomic("b"), Atomic("c")))
+
+    def test_left_associativity(self):
+        assert parse_formula("a || b || c") == Or(
+            Or(Atomic("a"), Atomic("b")), Atomic("c")
+        )
+
+    def test_implication_right_associative(self):
+        formula = parse_formula("a => b => c")
+        assert formula == Implies(Atomic("a"), Implies(Atomic("b"), Atomic("c")))
+
+    def test_parentheses(self):
+        formula = parse_formula("(a || b) && c")
+        assert formula == And(Or(Atomic("a"), Atomic("b")), Atomic("c"))
+
+    def test_negation_binds_tightest(self):
+        assert parse_formula("!a && b") == And(Not(Atomic("a")), Atomic("b"))
+
+
+class TestQuantitativeFormulas:
+    def test_steady(self):
+        formula = parse_formula("S(>=0.3) b")
+        assert formula == Steady(Comparison.GE, 0.3, Atomic("b"))
+
+    def test_steady_with_complex_operand(self):
+        formula = parse_formula("S(<0.9) (busy || idle)")
+        assert isinstance(formula, Steady)
+        assert isinstance(formula.child, Or)
+
+    def test_prob_until_full_bounds(self):
+        """The appendix's worked example."""
+        formula = parse_formula("P(>=0.3) [a U[0,3][0,23] b]")
+        assert formula == Prob(
+            Comparison.GE,
+            0.3,
+            Until(
+                Atomic("a"),
+                Atomic("b"),
+                time_bound=Interval(0, 3),
+                reward_bound=Interval(0, 23),
+            ),
+        )
+
+    def test_prob_until_unbounded(self):
+        formula = parse_formula("P(<0.1) [a U b]")
+        assert isinstance(formula.path, Until)
+        assert formula.path.is_unbounded
+
+    def test_prob_until_time_only(self):
+        formula = parse_formula("P(>0.5) [a U[0,10] b]")
+        assert formula.path.time_bound == Interval(0, 10)
+        assert formula.path.reward_bound.is_unbounded
+
+    def test_infinity_bound(self):
+        formula = parse_formula("P(>0.5) [a U[0,~][0,50] b]")
+        assert math.isinf(formula.path.time_bound.upper)
+        assert formula.path.reward_bound == Interval(0, 50)
+
+    def test_prob_next(self):
+        formula = parse_formula("P(>0.8) [X[0,10][0,50] sleep]")
+        assert formula == Prob(
+            Comparison.GT,
+            0.8,
+            Next(
+                Atomic("sleep"),
+                time_bound=Interval(0, 10),
+                reward_bound=Interval(0, 50),
+            ),
+        )
+
+    def test_prob_next_unbounded(self):
+        formula = parse_formula("P(<=0.2) [X a]")
+        assert formula.path == Next(Atomic("a"))
+
+    def test_until_of_compound_formulas(self):
+        formula = parse_formula("P(>0.8) [(busy || idle) U[0,10][0,50] sleep]")
+        assert isinstance(formula.path.left, Or)
+
+    def test_nested_probability(self):
+        formula = parse_formula("P(>0.8) [X (P(>0.5) [X[0,10][0,50] sleep])]")
+        inner = formula.path.child
+        assert isinstance(inner, Prob)
+        assert isinstance(inner.path, Next)
+
+    def test_paper_table_5_1_formula(self):
+        formula = parse_formula(
+            "P(>0.5) [(Call_Idle || Doze) U[0,24][0,600] Call_Initiated]"
+        )
+        assert formula.path.time_bound == Interval(0, 24)
+        assert formula.path.reward_bound == Interval(0, 600)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "a &&",
+            "a || ",
+            "(a",
+            "a)",
+            "P(>0.5)",
+            "P(>0.5) [a U",
+            "P(>0.5) [a]",
+            "P(0.5) [X a]",
+            "P(>) [X a]",
+            "S(>=0.3)",
+            "P(>=2) [X a]",
+            "P(>=0.5) [a U[3,0] b]",
+            "P(>=0.5) [a U[~,3] b]",
+            "P(>=0.5) [a U[0,3 b]",
+            "a b",
+            "U",
+        ],
+    )
+    def test_rejects(self, text):
+        # ParseError for syntax problems; FormulaError (its superclass)
+        # for structurally invalid bounds like probabilities above 1.
+        with pytest.raises(FormulaError):
+            parse_formula(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_formula("a && $")
+        assert info.value.position is not None
+
+
+formula_strategy = st.deferred(
+    lambda: st.one_of(
+        st.just(TrueFormula()),
+        st.just(FalseFormula()),
+        st.sampled_from(["a", "b", "busy", "Call_Idle", "3up"]).map(Atomic),
+        formula_strategy.map(Not),
+        st.tuples(formula_strategy, formula_strategy).map(lambda p: Or(*p)),
+        st.tuples(formula_strategy, formula_strategy).map(lambda p: And(*p)),
+        st.tuples(
+            st.sampled_from(list(Comparison)),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32),
+            formula_strategy,
+        ).map(lambda t: Steady(*t)),
+        st.tuples(
+            st.sampled_from(list(Comparison)),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32),
+            formula_strategy,
+            formula_strategy,
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False, width=16),
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False, width=16),
+        ).map(
+            lambda t: Prob(
+                t[0],
+                t[1],
+                Until(
+                    t[2],
+                    t[3],
+                    time_bound=Interval.upto(float(t[4])),
+                    reward_bound=Interval.upto(float(t[5])),
+                ),
+            )
+        ),
+    )
+)
+
+
+class TestRoundTrip:
+    @given(formula=formula_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_str_reparses_to_equal_formula(self, formula):
+        rendered = str(formula)
+        reparsed = parse_formula(rendered)
+        assert _structurally_close(reparsed, formula), rendered
+
+
+def _structurally_close(a, b):
+    """Equality up to float rendering of the probability bound."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (Steady, Prob)):
+        if a.comparison is not b.comparison:
+            return False
+        if abs(a.bound - b.bound) > 1e-6 * max(1.0, abs(b.bound)):
+            return False
+        child_a = a.child if isinstance(a, Steady) else a.path
+        child_b = b.child if isinstance(b, Steady) else b.path
+        return _structurally_close(child_a, child_b)
+    if isinstance(a, Until):
+        return (
+            _structurally_close(a.left, b.left)
+            and _structurally_close(a.right, b.right)
+            and _close_interval(a.time_bound, b.time_bound)
+            and _close_interval(a.reward_bound, b.reward_bound)
+        )
+    if isinstance(a, Next):
+        return _structurally_close(a.child, b.child) and _close_interval(
+            a.time_bound, b.time_bound
+        )
+    if isinstance(a, Not):
+        return _structurally_close(a.child, b.child)
+    if isinstance(a, (Or, And, Implies)):
+        return _structurally_close(a.left, b.left) and _structurally_close(
+            a.right, b.right
+        )
+    return a == b
+
+
+def _close_interval(a, b):
+    def close(x, y):
+        if math.isinf(x) or math.isinf(y):
+            return x == y
+        return abs(x - y) <= 1e-6 * max(1.0, abs(y))
+
+    return close(a.lower, b.lower) and close(a.upper, b.upper)

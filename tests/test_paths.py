@@ -1,0 +1,208 @@
+"""Tests for timed and uniformized paths (Definitions 3.3-3.5, 4.3-4.5)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.mrm.paths import TimedPath, UniformizedPath
+from repro.numerics.poisson import poisson_pmf
+
+
+@pytest.fixture
+def example_3_2_path(wavelan):
+    """sigma = 1 --10--> 2 --4--> 3 --2--> 4 --3.75--> 3 --1--> 5 (0-based)."""
+    return TimedPath(
+        wavelan,
+        states=[0, 1, 2, 3, 2, 4],
+        sojourns=[10.0, 4.0, 2.0, 3.75, 1.0],
+        validate_transitions=True,
+    )
+
+
+class TestConstruction:
+    def test_empty_path_rejected(self, wavelan):
+        with pytest.raises(ModelError):
+            TimedPath(wavelan, [], [])
+
+    def test_sojourn_count_checked(self, wavelan):
+        with pytest.raises(ModelError):
+            TimedPath(wavelan, [0, 1], [1.0, 2.0])
+
+    def test_nonpositive_sojourn_rejected(self, wavelan):
+        with pytest.raises(ModelError):
+            TimedPath(wavelan, [0, 1], [0.0])
+
+    def test_invalid_transition_rejected(self, wavelan):
+        # off -> idle is not a transition of the WaveLAN model.
+        with pytest.raises(ModelError):
+            TimedPath(wavelan, [0, 2], [1.0])
+
+    def test_validation_can_be_disabled(self, wavelan):
+        path = TimedPath(wavelan, [0, 2], [1.0], validate_transitions=False)
+        assert path.states == [0, 2]
+
+    def test_state_out_of_range_rejected(self, wavelan):
+        with pytest.raises(ModelError):
+            TimedPath(wavelan, [7], [])
+
+
+class TestIndexing:
+    def test_getitem(self, example_3_2_path):
+        assert example_3_2_path[0] == 0
+        assert example_3_2_path[5] == 4
+
+    def test_len_is_transition_count(self, example_3_2_path):
+        assert len(example_3_2_path) == 5
+
+    def test_last(self, example_3_2_path):
+        assert example_3_2_path.last == 4
+
+    def test_duration(self, example_3_2_path):
+        assert example_3_2_path.duration == pytest.approx(20.75)
+
+
+class TestStateAt:
+    def test_example_3_2(self, example_3_2_path):
+        """sigma @ 21.75 = state 5 (0-based: 4)."""
+        assert example_3_2_path.state_at(21.75) == 4
+
+    def test_time_zero(self, example_3_2_path):
+        assert example_3_2_path.state_at(0.0) == 0
+
+    def test_jump_instant_belongs_to_left_state(self, example_3_2_path):
+        # At exactly t = 10 the path still occupies the first state
+        # (Definition 3.3 uses sum t_j >= t).
+        assert example_3_2_path.state_at(10.0) == 0
+        assert example_3_2_path.state_at(10.0001) == 1
+
+    def test_beyond_duration_returns_open_ended_last_state(self, example_3_2_path):
+        # The final residence is open-ended (Example 3.2's path is an
+        # infinite-path prefix ending in the transmit state).
+        assert example_3_2_path.state_at(1000.0) == 4
+
+    def test_beyond_duration_on_finite_path(self, tmr3):
+        # State 4 (voter down) is absorbing once made so.
+        transformed = tmr3.make_absorbing({4})
+        path = TimedPath(transformed, [3, 4], [2.0])
+        assert path.state_at(50.0) == 4
+        assert path.is_finite_path()
+
+    def test_negative_time_rejected(self, example_3_2_path):
+        with pytest.raises(ModelError):
+            example_3_2_path.state_at(-0.1)
+
+
+class TestAccumulatedReward:
+    def test_example_3_2_value(self, example_3_2_path):
+        """y_sigma(21.75) = 11984.38715 mJ (paper, Example 3.2)."""
+        assert example_3_2_path.accumulated_reward(21.75) == pytest.approx(
+            11984.38715, abs=1e-6
+        )
+
+    def test_zero_time(self, example_3_2_path):
+        assert example_3_2_path.accumulated_reward(0.0) == 0.0
+
+    def test_within_first_state(self, example_3_2_path):
+        # First state is "off" with reward 0.
+        assert example_3_2_path.accumulated_reward(5.0) == 0.0
+
+    def test_impulse_included_after_jump(self, example_3_2_path):
+        # Just after the first jump (off -> sleep, impulse 0.02).
+        just_after = example_3_2_path.accumulated_reward(10.0 + 1e-9)
+        assert just_after == pytest.approx(0.02, abs=1e-6)
+
+    def test_example_3_4_value(self, wavelan):
+        """y_sigma(160) = 29.581 J on the path of Example 3.4 (in mJ:
+        29581; the paper reports 29.581 with rewards read in W)."""
+        path = TimedPath(
+            wavelan,
+            states=[0, 1, 2, 3, 2, 4, 2],
+            sojourns=[100.0, 40.0, 20.0, 37.5, 10.0, 25.0],
+        )
+        value_mj = path.accumulated_reward(160.0)
+        assert value_mj / 1000.0 == pytest.approx(29.581, abs=0.1)
+
+    def test_total_impulse_reward(self, example_3_2_path):
+        expected = 0.02 + 0.32975 + 0.42545 + 0.0 + 0.36195
+        assert example_3_2_path.total_impulse_reward() == pytest.approx(expected)
+
+    def test_monotone_in_time(self, example_3_2_path):
+        times = [0.0, 1.0, 5.0, 10.0, 10.5, 14.0, 16.0, 19.9, 20.75]
+        values = [example_3_2_path.accumulated_reward(t) for t in times]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestCylinderProbability:
+    def test_single_step(self, wavelan):
+        # off --[0, t]--> sleep: P(0,1) * (1 - e^{-E(0) t}); P(0,1) = 1.
+        path = TimedPath(wavelan, [0, 1], [1.0])
+        probability = path.cylinder_probability([(0.0, 10.0)])
+        assert probability == pytest.approx(1.0 - math.exp(-0.1 * 10.0))
+
+    def test_unbounded_interval(self, wavelan):
+        path = TimedPath(wavelan, [0, 1], [1.0])
+        assert path.cylinder_probability([(0.0, math.inf)]) == pytest.approx(1.0)
+
+    def test_two_steps_multiply(self, wavelan):
+        path = TimedPath(wavelan, [0, 1, 2], [1.0, 1.0])
+        p = path.cylinder_probability([(0.0, math.inf), (0.0, math.inf)])
+        # Second jump: sleep -> idle with probability 5 / 5.05.
+        assert p == pytest.approx(5.0 / 5.05)
+
+    def test_interval_count_checked(self, wavelan):
+        path = TimedPath(wavelan, [0, 1], [1.0])
+        with pytest.raises(ModelError):
+            path.cylinder_probability([])
+
+    def test_invalid_interval_rejected(self, wavelan):
+        path = TimedPath(wavelan, [0, 1], [1.0])
+        with pytest.raises(ModelError):
+            path.cylinder_probability([(2.0, 1.0)])
+
+
+class TestUniformizedPath:
+    def test_probability_is_step_product(self, wavelan):
+        process = wavelan.uniformize()
+        path = UniformizedPath(process, [2, 1, 2])
+        expected = (1200 / 1500) * (500 / 1500)
+        assert path.probability() == pytest.approx(expected)
+
+    def test_probability_at_time(self, wavelan):
+        process = wavelan.uniformize()
+        path = UniformizedPath(process, [2, 1, 2])
+        t = 0.5
+        expected = poisson_pmf(15.0 * t, 2) * path.probability()
+        assert path.probability_at(t) == pytest.approx(expected)
+
+    def test_zero_probability_step_rejected(self, wavelan):
+        process = wavelan.uniformize()
+        with pytest.raises(ModelError):
+            UniformizedPath(process, [0, 3])
+
+    def test_sojourn_counts(self, wavelan):
+        process = wavelan.uniformize()
+        levels = wavelan.distinct_state_rewards()
+        path = UniformizedPath(process, [2, 1, 2, 3])
+        counts = path.sojourn_counts(levels)
+        assert sum(counts) == 4  # n + 1
+        assert counts[levels.index(1319.0)] == 2
+        assert counts[levels.index(80.0)] == 1
+        assert counts[levels.index(1675.0)] == 1
+
+    def test_impulse_counts(self, wavelan):
+        process = wavelan.uniformize()
+        levels = wavelan.distinct_impulse_rewards()
+        path = UniformizedPath(process, [2, 1, 2, 3])
+        counts = path.impulse_counts(levels)
+        assert sum(counts) == 3  # n
+        assert counts[levels.index(0.32975)] == 1
+        assert counts[levels.index(0.42545)] == 1
+        assert counts[levels.index(0.0)] == 1  # idle -> sleep carries none
+
+    def test_self_loop_counts_as_zero_impulse(self, wavelan):
+        process = wavelan.uniformize()
+        levels = wavelan.distinct_impulse_rewards()
+        path = UniformizedPath(process, [0, 0])
+        counts = path.impulse_counts(levels)
+        assert counts[levels.index(0.0)] == 1

@@ -1,0 +1,234 @@
+"""Tests for the DFPG path engine internals (Sections 4.4.2/4.6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.check.paths_engine import (
+    _max_useful_depth,
+    _poisson_heads,
+    _poisson_max_from,
+    joint_distribution,
+)
+from repro.ctmc.chain import CTMC
+from repro.exceptions import CheckError
+from repro.mrm.model import MRM
+from repro.numerics.poisson import poisson_pmf
+
+
+def reward_free_two_state(lam=1.0, mu=2.0):
+    chain = CTMC([[0.0, lam], [mu, 0.0]], labels={0: {"a"}, 1: {"b"}})
+    return MRM(chain, state_rewards=[0.0, 0.0])
+
+
+class TestPoissonTables:
+    def test_heads_are_cumulative(self):
+        heads = _poisson_heads(3.0, 10)
+        for n in range(11):
+            expected = sum(poisson_pmf(3.0, i) for i in range(n))
+            assert heads[n] == pytest.approx(expected, rel=1e-12)
+
+    def test_maxpois_is_suffix_max(self):
+        table = _poisson_max_from(5.0, 20)
+        pmf = [poisson_pmf(5.0, n) for n in range(40)]
+        for n in range(20):
+            assert table[n] == pytest.approx(max(pmf[n:]), rel=1e-9)
+
+    def test_maxpois_covers_mode_beyond_depth(self):
+        # Depth below the mode: the max must still be the mode value.
+        table = _poisson_max_from(30.0, 3)
+        assert table[0] == pytest.approx(poisson_pmf(30.0, 30), rel=1e-9)
+
+    def test_max_useful_depth_bounds_weight(self):
+        for lam_t, w in ((2.0, 1e-8), (25.0, 1e-11), (0.5, 1e-4)):
+            depth = _max_useful_depth(lam_t, w)
+            assert poisson_pmf(lam_t, depth) < w
+            # The bound is not absurdly loose: some earlier index passes.
+            assert any(poisson_pmf(lam_t, n) >= w for n in range(depth))
+
+
+class TestJointDistributionBasics:
+    def test_transient_probability_recovered_with_big_reward(self):
+        """With r effectively unbounded the engine computes Pr{X(t) |= Psi}.
+
+        Both states of this chain are live, so the per-path DFS grows as
+        2^depth — the merged DP collapses it to two classes per depth
+        and allows a tight truncation cheaply.
+        """
+        lam, mu, t = 1.0, 2.0, 0.8
+        model = reward_free_two_state(lam, mu)
+        result = joint_distribution(
+            model, 0, {1}, time_bound=t, reward_bound=1e12,
+            truncation_probability=1e-13, strategy="merged",
+        )
+        expected = lam / (lam + mu) * (1.0 - math.exp(-(lam + mu) * t))
+        assert result.probability == pytest.approx(expected, abs=1e-9)
+
+    def test_zero_reward_bound_with_zero_rewards_is_transient(self):
+        model = reward_free_two_state()
+        a = joint_distribution(
+            model, 0, {1}, 0.5, 0.0,
+            truncation_probability=1e-12, strategy="merged",
+        )
+        b = joint_distribution(
+            model, 0, {1}, 0.5, 1e9,
+            truncation_probability=1e-12, strategy="merged",
+        )
+        assert a.probability == pytest.approx(b.probability, abs=1e-10)
+
+    def test_reward_bound_zero_with_positive_rewards(self):
+        chain = CTMC([[0.0, 1.0], [0.0, 0.0]], labels={0: {"a"}, 1: {"b"}})
+        model = MRM(chain, state_rewards=[5.0, 0.0])
+        result = joint_distribution(model, 0, {1}, 1.0, 0.0, truncation_probability=1e-12)
+        # Any sojourn in state 0 accumulates reward > 0 almost surely.
+        assert result.probability == pytest.approx(0.0, abs=1e-12)
+
+    def test_psi_start_state_total_probability(self):
+        model = reward_free_two_state()
+        result = joint_distribution(
+            model, 0, {0, 1}, 1.0, 1e9,
+            truncation_probability=1e-12, strategy="merged",
+        )
+        assert result.probability == pytest.approx(1.0, abs=1e-9)
+
+    def test_dead_initial_state(self):
+        model = reward_free_two_state()
+        result = joint_distribution(
+            model, 0, {1}, 1.0, 1e9, truncation_probability=1e-10,
+            dead_states={0},
+        )
+        assert result.probability == 0.0
+        assert result.paths_generated == 0
+
+    def test_impulse_rewards_consume_budget(self):
+        chain = CTMC([[0.0, 1.0], [0.0, 0.0]], labels={0: {"a"}, 1: {"b"}})
+        with_impulse = MRM(chain, impulse_rewards={(0, 1): 3.0})
+        free = MRM(chain)
+        t = 1.0
+        jump = 1.0 - math.exp(-t)
+        # Budget below the impulse: the jump is never allowed.
+        blocked = joint_distribution(
+            with_impulse, 0, {1}, t, 2.9, truncation_probability=1e-10
+        )
+        assert blocked.probability == pytest.approx(0.0, abs=1e-12)
+        # Budget above: same as no impulse at all.
+        allowed = joint_distribution(
+            with_impulse, 0, {1}, t, 3.1, truncation_probability=1e-10
+        )
+        unconstrained = joint_distribution(
+            free, 0, {1}, t, 1e9, truncation_probability=1e-10
+        )
+        assert allowed.probability == pytest.approx(
+            unconstrained.probability, abs=1e-9
+        )
+        assert unconstrained.probability == pytest.approx(jump, abs=1e-9)
+
+
+class TestTruncationModes:
+    def test_paper_mode_degenerates_when_root_below_w(self, wavelan):
+        """exp(-Lambda t) < w discards everything under Algorithm 4.7."""
+        transformed = wavelan.make_absorbing({0, 1, 3, 4})
+        result = joint_distribution(
+            transformed, 2, {3, 4}, time_bound=2.0, reward_bound=2000.0,
+            truncation_probability=1e-8, dead_states={0, 1},
+            truncation="paper",
+        )
+        assert result.probability == 0.0
+        assert result.error_bound == 1.0
+
+    def test_safe_mode_survives_same_setup(self, wavelan):
+        transformed = wavelan.make_absorbing({0, 1, 3, 4})
+        result = joint_distribution(
+            transformed, 2, {3, 4}, time_bound=2.0, reward_bound=2000.0,
+            truncation_probability=1e-8, dead_states={0, 1},
+            truncation="safe",
+        )
+        assert result.probability == pytest.approx(0.15789, abs=1e-3)
+
+    def test_error_bound_shrinks_with_w(self):
+        model = reward_free_two_state()
+        errors = []
+        for w in (1e-3, 1e-5, 1e-7):
+            result = joint_distribution(
+                model, 0, {1}, 1.0, 1e9, truncation_probability=w
+            )
+            errors.append(result.error_bound)
+        assert all(a >= b - 1e-15 for a, b in zip(errors, errors[1:]))
+
+    def test_estimate_plus_error_brackets_truth(self):
+        lam, mu, t = 1.0, 2.0, 2.0
+        model = reward_free_two_state(lam, mu)
+        expected = lam / (lam + mu) * (1.0 - math.exp(-(lam + mu) * t))
+        for w in (1e-3, 1e-5, 1e-6):
+            result = joint_distribution(
+                model, 0, {1}, t, 1e9, truncation_probability=w
+            )
+            assert result.probability <= expected + 1e-12
+            assert result.probability + result.error_bound >= expected - 1e-9
+
+
+class TestDepthTruncation:
+    def test_depth_limit_caps_paths(self):
+        model = reward_free_two_state()
+        limited = joint_distribution(
+            model, 0, {1}, 1.0, 1e9,
+            truncation_probability=0.0, depth_limit=3,
+        )
+        assert limited.max_depth <= 3
+        # Depth-3 expansion of eq. (4.3) by hand: sum over n <= 3 of
+        # poisson(n) * Pr{step-n state is 1}.
+        process = model.uniformize()
+        matrix = process.dtmc.matrix.toarray()
+        distribution = np.array([1.0, 0.0])
+        expected = 0.0
+        for n in range(4):
+            expected += poisson_pmf(process.rate * 1.0, n) * distribution[1]
+            distribution = distribution @ matrix
+        assert limited.probability == pytest.approx(expected, abs=1e-12)
+
+    def test_depth_truncation_converges_to_path_truncation(self):
+        # Pure depth truncation enumerates every path up to N — pair it
+        # with the merged DP so the class count stays linear in N.
+        model = reward_free_two_state()
+        reference = joint_distribution(
+            model, 0, {1}, 1.0, 1e9,
+            truncation_probability=1e-12, strategy="merged",
+        )
+        deep = joint_distribution(
+            model, 0, {1}, 1.0, 1e9,
+            truncation_probability=0.0, depth_limit=40, strategy="merged",
+        )
+        assert deep.probability == pytest.approx(reference.probability, abs=1e-10)
+
+    def test_zero_w_without_depth_limit_rejected(self):
+        model = reward_free_two_state()
+        with pytest.raises(CheckError):
+            joint_distribution(model, 0, {1}, 1.0, 1.0, truncation_probability=0.0)
+
+
+class TestValidation:
+    def test_bad_time_bound(self):
+        model = reward_free_two_state()
+        with pytest.raises(CheckError):
+            joint_distribution(model, 0, {1}, 0.0, 1.0)
+
+    def test_bad_reward_bound(self):
+        model = reward_free_two_state()
+        with pytest.raises(CheckError):
+            joint_distribution(model, 0, {1}, 1.0, -1.0)
+
+    def test_bad_initial_state(self):
+        model = reward_free_two_state()
+        with pytest.raises(CheckError):
+            joint_distribution(model, 9, {1}, 1.0, 1.0)
+
+    def test_bad_strategy(self):
+        model = reward_free_two_state()
+        with pytest.raises(CheckError):
+            joint_distribution(model, 0, {1}, 1.0, 1.0, strategy="bfs")
+
+    def test_bad_truncation_mode(self):
+        model = reward_free_two_state()
+        with pytest.raises(CheckError):
+            joint_distribution(model, 0, {1}, 1.0, 1.0, truncation="loose")

@@ -1,0 +1,88 @@
+"""Tests for the performability distribution Pr{Y(t) <= r} (Section 3.5)."""
+
+import math
+
+import pytest
+
+from repro.ctmc.chain import CTMC
+from repro.mrm.model import MRM
+from repro.performability.distribution import (
+    accumulated_reward_cdf,
+    accumulated_reward_distribution,
+)
+
+
+def single_state_model(rate=3.0):
+    chain = CTMC([[0.0]], labels={0: {"only"}})
+    return MRM(chain, state_rewards=[rate])
+
+
+class TestDeterministicCases:
+    def test_single_state_reward_is_deterministic(self):
+        """One absorbing state earning rate rho: Y(t) = rho t exactly."""
+        model = single_state_model(3.0)
+        above = accumulated_reward_distribution(model, 0, 2.0, 6.1)
+        below = accumulated_reward_distribution(model, 0, 2.0, 5.9)
+        at = accumulated_reward_distribution(model, 0, 2.0, 6.0)
+        assert above.probability == pytest.approx(1.0)
+        assert below.probability == pytest.approx(0.0)
+        assert at.probability == pytest.approx(1.0)  # closed bound
+
+    def test_zero_rewards_always_within_budget(self, bscc_example):
+        result = accumulated_reward_distribution(
+            bscc_example, 0, 5.0, 0.0,
+            truncation_probability=1e-10, strategy="merged",
+        )
+        # The estimate undershoots only by the (reported) truncated mass.
+        assert result.probability <= 1.0 + 1e-12
+        assert result.probability + result.error_bound >= 1.0 - 1e-9
+        assert result.probability == pytest.approx(1.0, abs=1e-6)
+
+
+class TestTwoStateMixture:
+    def test_analytic_mixture(self):
+        """0 -> 1 (absorbing), rho = (c, 0): Y(t) = c * min(T, t) with
+        T ~ Exp(lam).  Pr{Y(t) <= r} = 1 - e^{-lam r / c} for r < c t."""
+        lam, c, t = 1.0, 2.0, 3.0
+        chain = CTMC([[0.0, lam], [0.0, 0.0]], labels={0: {"a"}, 1: {"b"}})
+        model = MRM(chain, state_rewards=[c, 0.0])
+        for r in (0.5, 2.0, 4.0):
+            result = accumulated_reward_distribution(
+                model, 0, t, r, truncation_probability=1e-12
+            )
+            expected = 1.0 - math.exp(-lam * r / c)
+            assert result.probability == pytest.approx(expected, abs=1e-6)
+
+    def test_bound_above_maximum_is_certain(self):
+        chain = CTMC([[0.0, 1.0], [0.0, 0.0]])
+        model = MRM(chain, state_rewards=[2.0, 0.0])
+        result = accumulated_reward_distribution(
+            model, 0, 3.0, 6.5, truncation_probability=1e-12
+        )
+        assert result.probability == pytest.approx(1.0, abs=1e-9)
+
+
+class TestCdf:
+    # WaveLAN has five distinct state-reward levels and five impulse
+    # levels, so the (k, j) class lattice grows steeply with Lambda*t;
+    # keep the horizon short so the tests stay fast.
+    def test_monotone_nondecreasing(self, wavelan):
+        levels = [0.0, 100.0, 400.0, 1000.0, 5000.0]
+        cdf = accumulated_reward_cdf(
+            wavelan, 0, 0.25, levels, truncation_probability=1e-7
+        )
+        assert all(a <= b + 1e-9 for a, b in zip(cdf, cdf[1:]))
+        assert all(0.0 <= v <= 1.0 + 1e-12 for v in cdf)
+
+    def test_impulses_shift_cdf_left(self, wavelan):
+        """With impulse rewards stripped, less reward accumulates."""
+        stripped = MRM(wavelan.ctmc, state_rewards=wavelan.state_rewards)
+        levels = [50.0, 150.0, 400.0]
+        with_impulses = accumulated_reward_cdf(
+            wavelan, 0, 0.25, levels, truncation_probability=1e-7
+        )
+        without = accumulated_reward_cdf(
+            stripped, 0, 0.25, levels, truncation_probability=1e-7
+        )
+        for a, b in zip(with_impulses, without):
+            assert a <= b + 1e-9

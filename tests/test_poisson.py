@@ -1,0 +1,141 @@
+"""Tests for Poisson weight computations (recursive scheme and Fox-Glynn)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import NumericalError
+from repro.numerics.poisson import (
+    fox_glynn,
+    poisson_pmf,
+    poisson_tail_from,
+    poisson_weights,
+)
+
+lam_values = st.floats(min_value=1e-3, max_value=200.0, allow_nan=False)
+
+
+class TestPmf:
+    def test_zero_parameter(self):
+        assert poisson_pmf(0.0, 0) == 1.0
+        assert poisson_pmf(0.0, 3) == 0.0
+
+    def test_negative_index(self):
+        assert poisson_pmf(2.0, -1) == 0.0
+
+    def test_matches_direct_formula(self):
+        lam = 3.7
+        for n in range(10):
+            expected = math.exp(-lam) * lam**n / math.factorial(n)
+            assert poisson_pmf(lam, n) == pytest.approx(expected, rel=1e-12)
+
+    def test_large_n_no_overflow(self):
+        value = poisson_pmf(10.0, 500)
+        assert 0.0 <= value < 1e-300 or value == 0.0
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(NumericalError):
+            poisson_pmf(-1.0, 0)
+
+    @given(lam=lam_values)
+    @settings(max_examples=50)
+    def test_sums_to_one(self, lam):
+        total = sum(poisson_pmf(lam, n) for n in range(int(lam + 30 * math.sqrt(lam) + 40)))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestRecursiveWeights:
+    def test_matches_pmf(self):
+        weights = poisson_weights(4.2, 20)
+        for n in range(21):
+            assert weights[n] == pytest.approx(poisson_pmf(4.2, n), rel=1e-10)
+
+    def test_zero_parameter(self):
+        weights = poisson_weights(0.0, 5)
+        assert weights[0] == 1.0
+        assert np.all(weights[1:] == 0.0)
+
+    def test_underflow_detected(self):
+        with pytest.raises(NumericalError, match="fox_glynn"):
+            poisson_weights(800.0, 10)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(NumericalError):
+            poisson_weights(1.0, -1)
+
+
+class TestTail:
+    def test_tail_from_zero_is_one(self):
+        assert poisson_tail_from(5.0, 0) == 1.0
+
+    def test_zero_parameter(self):
+        assert poisson_tail_from(0.0, 1) == 0.0
+
+    def test_complements_head(self):
+        lam = 7.3
+        for n in (1, 3, 7, 12, 30):
+            head = sum(poisson_pmf(lam, i) for i in range(n))
+            assert poisson_tail_from(lam, n) == pytest.approx(1.0 - head, abs=1e-12)
+
+    def test_monotone_decreasing(self):
+        lam = 12.0
+        values = [poisson_tail_from(lam, n) for n in range(40)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_large_parameter(self):
+        # Deep-underflow regime exercises the log-space fallback.
+        tail = poisson_tail_from(900.0, 800)
+        assert 0.99 < tail <= 1.0
+
+
+class TestFoxGlynn:
+    def test_zero_parameter(self):
+        result = fox_glynn(0.0)
+        assert result.left == 0 and result.right == 0
+        assert result.weights[0] == 1.0
+
+    def test_weights_match_pmf_small(self):
+        result = fox_glynn(3.0, 1e-12)
+        for n in range(result.left, result.right + 1):
+            assert result.weight(n) == pytest.approx(poisson_pmf(3.0, n), rel=1e-8)
+
+    def test_window_mass(self):
+        result = fox_glynn(50.0, 1e-10)
+        assert result.weights.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_weight_outside_window_is_zero(self):
+        result = fox_glynn(50.0, 1e-10)
+        assert result.weight(result.left - 1) == 0.0
+        assert result.weight(result.right + 1) == 0.0
+
+    def test_large_parameter_no_underflow(self):
+        # The recursive scheme underflows here; Fox-Glynn must not.
+        result = fox_glynn(2000.0, 1e-10)
+        assert result.left > 0
+        assert result.weights.max() > 0.0
+        assert result.weights.sum() == pytest.approx(1.0, abs=1e-8)
+        mode_weight = result.weight(2000)
+        assert mode_weight == pytest.approx(poisson_pmf(2000.0, 2000), rel=1e-6)
+
+    def test_len(self):
+        result = fox_glynn(10.0, 1e-10)
+        assert len(result) == result.right - result.left + 1
+
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(NumericalError):
+            fox_glynn(1.0, 0.0)
+        with pytest.raises(NumericalError):
+            fox_glynn(1.0, 1.5)
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(NumericalError):
+            fox_glynn(-1.0)
+
+    @given(lam=st.floats(min_value=0.1, max_value=500.0))
+    @settings(max_examples=30, deadline=None)
+    def test_window_covers_mode(self, lam):
+        result = fox_glynn(lam, 1e-9)
+        mode = int(lam)
+        assert result.left <= mode <= result.right

@@ -1,0 +1,122 @@
+"""Tests for the M/M/1/K queueing workload."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.check.checker import ModelChecker
+from repro.exceptions import ModelError
+from repro.models.queue import build_mm1k_queue
+from repro.performability.expected import long_run_reward_rate
+
+
+class TestStructure:
+    def test_state_count(self):
+        model = build_mm1k_queue(capacity=5)
+        assert model.num_states == 7  # 0..5 jobs + overflow
+
+    def test_labels(self):
+        model = build_mm1k_queue(capacity=6)
+        assert model.states_with_label("empty") == {0}
+        assert 6 in model.states_with_label("full")
+        assert model.states_with_label("overflow") == {7}
+        # congestion threshold ceil(12/3) wait: ceil(2*6/3) = 4.
+        assert model.states_with_label("congested") >= {4, 5, 6, 7}
+
+    def test_loss_penalty_on_overflow_edge(self):
+        model = build_mm1k_queue(capacity=3, loss_penalty=9.0)
+        full = 3
+        overflow = 4
+        assert model.impulse_reward(full, overflow) == 9.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            build_mm1k_queue(capacity=0)
+        with pytest.raises(ModelError):
+            build_mm1k_queue(arrival_rate=0.0)
+        with pytest.raises(ModelError):
+            build_mm1k_queue(recovery_rate=1.0)
+
+
+class TestAgainstQueueingTheory:
+    def test_steady_state_matches_mm1k_formula(self):
+        """pi_n = rho^n (1 - rho) / (1 - rho^{K+1}) up to the tiny
+        overflow-state mass."""
+        lam, mu, k = 0.8, 1.0, 6
+        model = build_mm1k_queue(capacity=k, arrival_rate=lam, service_rate=mu)
+        from repro.ctmc.steady import steady_state_distribution
+
+        steady = steady_state_distribution(model.ctmc)
+        rho = lam / mu
+        expected = np.array(
+            [rho**n * (1 - rho) / (1 - rho ** (k + 1)) for n in range(k + 1)]
+        )
+        assert steady[: k + 1] == pytest.approx(expected, abs=1e-3)
+        assert steady[-1] < 1e-3  # overflow state is nearly instantaneous
+
+    def test_loss_rate_matches_erlang_formula(self):
+        """Long-run loss cost = loss_penalty * lam * pi_K."""
+        lam, mu, k, penalty = 0.8, 1.0, 5, 10.0
+        model = build_mm1k_queue(
+            capacity=k,
+            arrival_rate=lam,
+            service_rate=mu,
+            holding_cost=0.0,
+            loss_penalty=penalty,
+        )
+        rho = lam / mu
+        pi_full = rho**k * (1 - rho) / (1 - rho ** (k + 1))
+        expected = penalty * lam * pi_full
+        assert long_run_reward_rate(model) == pytest.approx(expected, rel=2e-3)
+
+    def test_holding_cost_rate(self):
+        """Long-run holding cost = holding_cost * E[N] (loss disabled)."""
+        lam, mu, k = 0.5, 1.0, 8
+        model = build_mm1k_queue(
+            capacity=k,
+            arrival_rate=lam,
+            service_rate=mu,
+            holding_cost=2.0,
+            loss_penalty=0.0,
+        )
+        rho = lam / mu
+        weights = np.array([rho**n for n in range(k + 1)])
+        expected_jobs = float((np.arange(k + 1) * weights).sum() / weights.sum())
+        assert long_run_reward_rate(model) == pytest.approx(
+            2.0 * expected_jobs, rel=2e-3
+        )
+
+
+class TestCSRLProperties:
+    def test_congestion_steady_state(self):
+        model = build_mm1k_queue(capacity=6, arrival_rate=0.5)
+        checker = ModelChecker(model)
+        result = checker.check("S(<0.2) congested")
+        # Light load: congestion is rare, every state satisfies the bound.
+        assert result.states == frozenset(range(model.num_states))
+
+    def test_fill_up_probability(self):
+        """P(!full U[0,t] full) from empty: a transient quantity that
+        must grow with t."""
+        model = build_mm1k_queue(capacity=4, arrival_rate=0.9)
+        checker = ModelChecker(model)
+        small = checker.path_probabilities("!full U[0,5] full")[0]
+        large = checker.path_probabilities("!full U[0,50] full")[0]
+        assert 0.0 < small < large <= 1.0
+
+    def test_cost_bounded_fill_up(self):
+        """Reward-bounded until with the impulse-carrying model.
+
+        The queue's uniformized chain is dense, so use the merged DP
+        strategy (the per-path DFS takes ~17 s here; merged is
+        milliseconds at identical accuracy).
+        """
+        from repro.check.checker import CheckOptions
+
+        model = build_mm1k_queue(capacity=3, arrival_rate=0.9)
+        checker = ModelChecker(model, CheckOptions(path_strategy="merged"))
+        unbounded = checker.path_probabilities("TT U[0,10] full")[0]
+        bounded = checker.path_probabilities("TT U[0,10][0,15] full")[0]
+        assert bounded <= unbounded + 1e-9
+        assert bounded > 0.0

@@ -1,0 +1,116 @@
+"""Property tests on random chains against independent linear algebra.
+
+The CTMC analyses are validated against ``scipy.linalg.expm`` (matrix
+exponential — a completely different algorithm than uniformization) and
+against the defining balance equations, over hypothesis-generated
+random chains.
+"""
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings, strategies as st
+
+from repro.ctmc.chain import CTMC
+from repro.ctmc.steady import steady_state_distribution, steady_state_matrix
+from repro.ctmc.transient import transient_distribution
+from repro.dtmc.chain import DTMC
+
+
+def random_ctmc(seed: int, n: int, density: float, max_rate: float) -> CTMC:
+    rng = np.random.default_rng(seed)
+    rates = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < density:
+                rates[i][j] = float(rng.uniform(0.05, max_rate))
+    return CTMC(rates)
+
+
+class TestTransientAgainstExpm:
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(2, 6),
+        t=st.floats(min_value=0.01, max_value=5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_matrix_exponential(self, seed, n, t):
+        chain = random_ctmc(seed, n, density=0.5, max_rate=3.0)
+        initial = np.zeros(n)
+        initial[0] = 1.0
+        ours = transient_distribution(chain, initial, t)
+        expm = initial @ scipy.linalg.expm(chain.generator().toarray() * t)
+        assert ours == pytest.approx(expm, abs=1e-9)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_chapman_kolmogorov(self, seed):
+        """p(s + t) = p(s) then evolve t more."""
+        chain = random_ctmc(seed, 4, density=0.6, max_rate=2.0)
+        initial = np.full(4, 0.25)
+        via_midpoint = transient_distribution(
+            chain, transient_distribution(chain, initial, 0.7), 0.5
+        )
+        direct = transient_distribution(chain, initial, 1.2)
+        assert via_midpoint == pytest.approx(direct, abs=1e-9)
+
+
+class TestSteadyStateProperties:
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_global_balance(self, seed, n):
+        chain = random_ctmc(seed, n, density=0.7, max_rate=3.0)
+        initial = np.zeros(n)
+        initial[0] = 1.0
+        steady = steady_state_distribution(chain, initial)
+        assert steady.sum() == pytest.approx(1.0, abs=1e-9)
+        # pi is invariant under further evolution.
+        evolved = transient_distribution(chain, steady, 3.0)
+        assert evolved == pytest.approx(steady, abs=1e-8)
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_matrix_rows_match_per_start_limits(self, seed, n):
+        chain = random_ctmc(seed, n, density=0.5, max_rate=2.0)
+        matrix = steady_state_matrix(chain)
+        for start in range(n):
+            initial = np.zeros(n)
+            initial[start] = 1.0
+            long_run = transient_distribution(chain, initial, 500.0)
+            assert matrix[start] == pytest.approx(long_run, abs=1e-5)
+
+
+class TestEmbeddedAndUniformized:
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_derived_chains_are_stochastic(self, seed, n):
+        chain = random_ctmc(seed, n, density=0.5, max_rate=3.0)
+        for derived in (chain.embedded_dtmc(), chain.uniformized_dtmc()):
+            sums = np.asarray(derived.matrix.sum(axis=1)).ravel()
+            assert sums == pytest.approx(np.ones(n), abs=1e-9)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_uniformization_rate_invariance(self, seed):
+        """Transient results must not depend on the chosen Lambda."""
+        chain = random_ctmc(seed, 4, density=0.6, max_rate=2.0)
+        initial = np.array([1.0, 0.0, 0.0, 0.0])
+        base = transient_distribution(chain, initial, 1.0)
+        inflated = transient_distribution(
+            chain, initial, 1.0, uniformization_rate=25.0
+        )
+        assert inflated == pytest.approx(base, abs=1e-9)
+
+
+class TestParserFuzz:
+    @given(text=st.text(min_size=0, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_never_crashes_with_foreign_exception(self, text):
+        """Arbitrary input either parses or raises a library error."""
+        from repro.exceptions import ReproError
+        from repro.logic.parser import parse_formula
+
+        try:
+            parse_formula(text)
+        except ReproError:
+            pass  # expected for almost all random strings

@@ -1,0 +1,57 @@
+"""Tests for forward/backward reachability."""
+
+from repro.graphs.reachability import backward_reachable, forward_reachable
+
+
+CHAIN = [[1], [2], [3], []]  # 0 -> 1 -> 2 -> 3
+DIAMOND = [[1, 2], [3], [3], []]
+
+
+class TestForward:
+    def test_chain(self):
+        assert forward_reachable(CHAIN, [0]) == {0, 1, 2, 3}
+        assert forward_reachable(CHAIN, [2]) == {2, 3}
+
+    def test_multiple_sources(self):
+        assert forward_reachable(DIAMOND, [1, 2]) == {1, 2, 3}
+
+    def test_allowed_blocks_expansion(self):
+        # May only pass through {0, 1}: 2 unreachable via 1's successor 3?
+        # 0 -> 1 (allowed) -> 3 recorded but not expanded; 0 -> 2 recorded
+        # but not expanded.
+        reached = forward_reachable(DIAMOND, [0], allowed={0, 1})
+        assert reached == {0, 1, 2, 3}
+
+    def test_allowed_stops_at_frontier(self):
+        # 0 -> 1 -> 2 -> 3 with only state 0 allowed: 1 is recorded, its
+        # successors are not.
+        reached = forward_reachable(CHAIN, [0], allowed={0})
+        assert reached == {0, 1}
+
+    def test_empty_sources(self):
+        assert forward_reachable(CHAIN, []) == set()
+
+
+class TestBackward:
+    def test_chain(self):
+        assert backward_reachable(CHAIN, [3]) == {0, 1, 2, 3}
+        assert backward_reachable(CHAIN, [1]) == {0, 1}
+
+    def test_diamond(self):
+        assert backward_reachable(DIAMOND, [3]) == {0, 1, 2, 3}
+
+    def test_allowed_restricts_intermediates(self):
+        # Reaching 3 while only passing through allowed {1}: 0 can still
+        # be found through 1? 0 -> 1 -> 3: predecessor of 3 are 1, 2 (2
+        # not allowed); predecessor of 1 is 0 (not allowed -> excluded).
+        reached = backward_reachable(DIAMOND, [3], allowed={1})
+        assert reached == {1, 3}
+
+    def test_allowed_includes_targets_implicitly(self):
+        reached = backward_reachable(CHAIN, [3], allowed={0, 1, 2})
+        assert reached == {0, 1, 2, 3}
+
+    def test_unreachable_component(self):
+        graph = [[1], [], [1]]  # 2 -> 1 as well
+        assert backward_reachable(graph, [1]) == {0, 1, 2}
+        assert backward_reachable(graph, [0]) == {0}

@@ -1,0 +1,51 @@
+"""Tests for the result objects returned by the checking layer."""
+
+import numpy as np
+import pytest
+
+from repro.check.results import NextResult, SatResult, SteadyResult, UntilResult
+
+
+class TestSatResult:
+    def test_contains(self):
+        result = SatResult(formula="busy", states=frozenset({1, 3}))
+        assert 1 in result
+        assert 2 not in result
+
+    def test_probability_of_without_values(self):
+        result = SatResult(formula="busy", states=frozenset())
+        assert result.probability_of(0) is None
+
+    def test_probability_of_with_values(self):
+        result = SatResult(
+            formula="P(>0) [X a]",
+            states=frozenset({0}),
+            probabilities=(0.25, 0.75),
+        )
+        assert result.probability_of(1) == 0.75
+
+    def test_frozen(self):
+        result = SatResult(formula="busy", states=frozenset())
+        with pytest.raises(AttributeError):
+            result.formula = "other"
+
+
+class TestQuantitativeResults:
+    def test_steady_result_fields(self):
+        result = SteadyResult(values=np.array([0.1, 0.9]), satisfying=frozenset({1}))
+        assert result.values[1] == 0.9
+        assert result.satisfying == {1}
+
+    def test_next_result_fields(self):
+        result = NextResult(values=np.zeros(3), satisfying=frozenset())
+        assert result.values.shape == (3,)
+
+    def test_until_result_defaults(self):
+        result = UntilResult(
+            values=np.ones(2),
+            satisfying=frozenset({0, 1}),
+            engine="linear-system",
+        )
+        assert result.error_bounds is None
+        assert result.statistics == {}
+        assert result.engine == "linear-system"

@@ -1,0 +1,148 @@
+"""Tests for Tarjan SCC and BSCC detection (Algorithm 4.2)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ModelError
+from repro.graphs.scc import (
+    bottom_strongly_connected_components,
+    strongly_connected_components,
+)
+
+
+def as_sets(components):
+    return {frozenset(c) for c in components}
+
+
+class TestSCC:
+    def test_single_node_no_edges(self):
+        assert as_sets(strongly_connected_components([[]])) == {frozenset({0})}
+
+    def test_two_cycles_and_bridge(self):
+        # 0 <-> 1 -> 2 <-> 3
+        adjacency = [[1], [0, 2], [3], [2]]
+        assert as_sets(strongly_connected_components(adjacency)) == {
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+        }
+
+    def test_dag_gives_singletons(self):
+        adjacency = [[1, 2], [3], [3], []]
+        assert as_sets(strongly_connected_components(adjacency)) == {
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({2}),
+            frozenset({3}),
+        }
+
+    def test_full_cycle(self):
+        n = 6
+        adjacency = [[(i + 1) % n] for i in range(n)]
+        assert as_sets(strongly_connected_components(adjacency)) == {
+            frozenset(range(n))
+        }
+
+    def test_self_loop_is_its_own_scc(self):
+        adjacency = [[0, 1], []]
+        assert as_sets(strongly_connected_components(adjacency)) == {
+            frozenset({0}),
+            frozenset({1}),
+        }
+
+    def test_sparse_matrix_input(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 1.0], [2.0, 0.0]]))
+        assert as_sets(strongly_connected_components(matrix)) == {frozenset({0, 1})}
+
+    def test_zero_entries_are_not_edges(self):
+        matrix = sp.csr_matrix((2, 2))
+        assert len(strongly_connected_components(matrix)) == 2
+
+    def test_deep_chain_no_recursion_limit(self):
+        n = 50_000
+        adjacency = [[i + 1] for i in range(n - 1)] + [[]]
+        components = strongly_connected_components(adjacency)
+        assert len(components) == n
+
+    def test_out_of_range_successor_rejected(self):
+        with pytest.raises(ModelError):
+            strongly_connected_components([[5]])
+
+    def test_non_square_matrix_rejected(self):
+        with pytest.raises(ModelError):
+            strongly_connected_components(sp.csr_matrix((2, 3)))
+
+
+class TestBSCC:
+    def test_paper_figure_3_2(self, bscc_example):
+        # Two BSCCs: B1 = {s3, s4} = indices {2, 3}, B2 = {s5} = {4}.
+        bsccs = as_sets(bottom_strongly_connected_components(bscc_example.rates))
+        assert bsccs == {frozenset({2, 3}), frozenset({4})}
+
+    def test_strongly_connected_chain_is_single_bscc(self):
+        adjacency = [[1], [2], [0]]
+        bsccs = bottom_strongly_connected_components(adjacency)
+        assert as_sets(bsccs) == {frozenset({0, 1, 2})}
+
+    def test_transient_scc_is_not_bottom(self):
+        # 0 <-> 1 can escape to 2 (absorbing).
+        adjacency = [[1], [0, 2], [2]]
+        bsccs = as_sets(bottom_strongly_connected_components(adjacency))
+        assert bsccs == {frozenset({2})}
+
+    def test_absorbing_state_without_self_loop(self):
+        adjacency = [[1], []]
+        bsccs = as_sets(bottom_strongly_connected_components(adjacency))
+        assert bsccs == {frozenset({1})}
+
+    def test_every_state_reaches_some_bscc(self):
+        # Structural sanity on a random-ish fixed graph.
+        adjacency = [[1, 3], [2], [0], [4], [3]]
+        bsccs = bottom_strongly_connected_components(adjacency)
+        bottom_states = {s for b in bsccs for s in b}
+        assert bottom_states  # at least one must exist in any finite graph
+
+
+class TestBSCCProperties:
+    @staticmethod
+    def random_adjacency(seed, n, density):
+        rng = np.random.default_rng(seed)
+        return [
+            [j for j in range(n) if rng.random() < density] for i in range(n)
+        ]
+
+    @given(
+        seed=st.integers(0, 5_000),
+        n=st.integers(1, 15),
+        density=st.floats(0.0, 0.4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_components_partition_states(self, seed, n, density):
+        adjacency = self.random_adjacency(seed, n, density)
+        components = strongly_connected_components(adjacency)
+        flat = [s for c in components for s in c]
+        assert sorted(flat) == list(range(n))
+
+    @given(
+        seed=st.integers(0, 5_000),
+        n=st.integers(1, 15),
+        density=st.floats(0.0, 0.4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bsccs_are_closed(self, seed, n, density):
+        adjacency = self.random_adjacency(seed, n, density)
+        for bscc in bottom_strongly_connected_components(adjacency):
+            members = set(bscc)
+            for state in members:
+                assert set(adjacency[state]) <= members
+
+    @given(
+        seed=st.integers(0, 5_000),
+        n=st.integers(1, 15),
+        density=st.floats(0.0, 0.4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bsccs_exist(self, seed, n, density):
+        adjacency = self.random_adjacency(seed, n, density)
+        assert bottom_strongly_connected_components(adjacency)

@@ -1,0 +1,117 @@
+"""Tests for the Monte-Carlo simulator and its agreement with the
+numerical engines (statistical cross-validation)."""
+
+import math
+
+import pytest
+
+from repro.ctmc.chain import CTMC
+from repro.exceptions import ModelError
+from repro.mrm.model import MRM
+from repro.check.until import until_probability
+from repro.numerics.intervals import Interval
+from repro.simulation.simulator import (
+    MRMSimulator,
+    estimate_joint_distribution,
+    estimate_until_probability,
+)
+
+
+def two_state(lam=1.0, mu=2.0, rho=(3.0, 0.0), impulse=0.0):
+    chain = CTMC([[0.0, lam], [mu, 0.0]], labels={0: {"a"}, 1: {"b"}})
+    impulses = {(0, 1): impulse} if impulse else None
+    return MRM(chain, state_rewards=list(rho), impulse_rewards=impulses)
+
+
+class TestSampler:
+    def test_reproducible_with_seed(self):
+        model = two_state()
+        a = MRMSimulator(model, seed=1).sample_run(0, 5.0)
+        b = MRMSimulator(model, seed=1).sample_run(0, 5.0)
+        assert a == b
+
+    def test_absorbing_state_never_leaves(self):
+        chain = CTMC([[0.0, 1.0], [0.0, 0.0]])
+        model = MRM(chain, state_rewards=[0.0, 2.0])
+        simulator = MRMSimulator(model, seed=3)
+        for _ in range(20):
+            state, reward = simulator.sample_run(1, 4.0)
+            assert state == 1
+            assert reward == pytest.approx(8.0)
+
+    def test_reward_accumulates_impulses(self):
+        # Deterministic-ish: huge rate forces an almost-immediate jump.
+        chain = CTMC([[0.0, 1e6], [0.0, 0.0]])
+        model = MRM(chain, state_rewards=[0.0, 0.0], impulse_rewards={(0, 1): 7.0})
+        simulator = MRMSimulator(model, seed=5)
+        state, reward = simulator.sample_run(0, 1.0)
+        assert state == 1
+        assert reward == pytest.approx(7.0, abs=1e-3)
+
+    def test_horizon_zero(self):
+        model = two_state()
+        state, reward = MRMSimulator(model, seed=0).sample_run(0, 0.0)
+        assert state == 0
+        assert reward == 0.0
+
+    def test_invalid_inputs(self):
+        model = two_state()
+        simulator = MRMSimulator(model, seed=0)
+        with pytest.raises(ModelError):
+            simulator.sample_run(5, 1.0)
+        with pytest.raises(ModelError):
+            simulator.sample_run(0, -1.0)
+        with pytest.raises(ModelError):
+            simulator.estimate(0, 1.0, lambda s, y: True, samples=0)
+
+    def test_sample_timed_path_consistency(self):
+        """The sampled TimedPath re-evaluates to the run's reward."""
+        model = two_state(rho=(3.0, 1.0), impulse=2.0)
+        simulator = MRMSimulator(model, seed=11)
+        path = simulator.sample_timed_path(0, 20.0)
+        assert path[0] == 0
+        # The accumulated reward at the path duration is consistent with
+        # the model's reward structure.
+        midpoint = path.duration / 2 if path.duration > 0 else 0.0
+        value = path.accumulated_reward(midpoint)
+        assert value >= 0.0
+
+
+class TestStatisticalAgreement:
+    def test_jump_probability(self):
+        lam, t = 1.0, 1.5
+        chain = CTMC([[0.0, lam], [0.0, 0.0]], labels={0: {"a"}, 1: {"b"}})
+        model = MRM(chain)
+        estimate = estimate_joint_distribution(
+            model, 0, {1}, t, 1e9, samples=20_000, seed=7
+        )
+        assert estimate.contains(1.0 - math.exp(-lam * t))
+
+    def test_joint_distribution_vs_path_engine(self):
+        model = two_state(rho=(3.0, 0.0), impulse=2.0)
+        exact = until_probability(
+            model, 0, {0}, {1}, Interval.upto(1.5), Interval.upto(4.0),
+            truncation_probability=1e-12,
+        ).probability
+        estimate = estimate_until_probability(
+            model, 0, {0}, {1}, 1.5, 4.0, samples=20_000, seed=13
+        )
+        assert estimate.contains(exact), (estimate, exact)
+
+    def test_tmr_until_vs_simulation(self, tmr3):
+        sup = tmr3.states_with_label("Sup")
+        failed = tmr3.states_with_label("failed")
+        exact = until_probability(
+            tmr3, 3, sup, failed, Interval.upto(200), Interval.upto(3000),
+            truncation_probability=1e-11,
+        ).probability
+        estimate = estimate_until_probability(
+            tmr3, 3, sup, failed, 200.0, 3000.0, samples=30_000, seed=17
+        )
+        assert estimate.contains(exact), (estimate, exact)
+
+    def test_wavelan_example_3_6_vs_simulation(self, wavelan):
+        estimate = estimate_until_probability(
+            wavelan, 2, {2}, {3, 4}, 2.0, 2000.0, samples=20_000, seed=19
+        )
+        assert estimate.contains(0.157895), estimate
