@@ -9,10 +9,22 @@ from repro.check.until import (
     satisfy_until,
     unbounded_until_probabilities,
     time_bounded_until_probabilities,
+    until_probabilities,
     until_probability,
 )
-from repro.check.paths_engine import PathEngineResult, joint_distribution
-from repro.check.discretization import discretized_joint_distribution
+from repro.check.paths_engine import (
+    PathEngineContext,
+    PathEngineResult,
+    joint_distribution,
+    joint_distribution_all,
+    joint_distribution_from_context,
+    prepare_path_engine,
+)
+from repro.check.discretization import (
+    BatchedDiscretizationResult,
+    discretized_joint_distribution,
+    discretized_joint_distributions,
+)
 
 __all__ = [
     "ModelChecker",
@@ -27,10 +39,17 @@ __all__ = [
     "next_probabilities",
     "satisfy_until",
     "until_probability",
+    "until_probabilities",
     "unbounded_until_probabilities",
     "interval_until_probabilities",
     "time_bounded_until_probabilities",
     "joint_distribution",
+    "joint_distribution_all",
+    "joint_distribution_from_context",
+    "prepare_path_engine",
+    "PathEngineContext",
     "PathEngineResult",
     "discretized_joint_distribution",
+    "discretized_joint_distributions",
+    "BatchedDiscretizationResult",
 ]

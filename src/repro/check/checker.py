@@ -8,12 +8,12 @@ set of every sub-formula, exactly as ``SatisfyStateFormula`` does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.check.next_op import satisfy_next
+from repro.check.next_op import next_probabilities
 from repro.check.results import SatResult
 from repro.check.steady import satisfy_steady
 from repro.check.until import satisfy_until
@@ -94,6 +94,11 @@ class ModelChecker:
         self._options = options or CheckOptions()
         self._cache: Dict[Formula, FrozenSet[int]] = {}
         self._value_cache: Dict[Formula, Tuple[float, ...]] = {}
+        # Quantitative values keyed by the *path* operator (including its
+        # time/reward intervals), not the enclosing Prob formula: two P
+        # formulas that differ only in comparison/bound share one engine
+        # run, the second check being a pure threshold test.
+        self._path_value_cache: Dict[PathFormula, np.ndarray] = {}
 
     @property
     def model(self) -> MRM:
@@ -146,17 +151,26 @@ class ModelChecker:
             raise FormulaError(
                 f"expected a path formula, got {type(formula).__name__}"
             )
+        return self._path_values(path).copy()
+
+    def _path_values(self, path: PathFormula) -> np.ndarray:
+        """``P(s, phi)`` for every state, cached per path operator.
+
+        The cache key is the path formula itself (structural equality,
+        intervals included), so every probability bound wrapped around
+        the same path operator reuses one quantitative engine run.
+        """
+        cached = self._path_value_cache.get(path)
+        if cached is not None:
+            return cached
         if isinstance(path, Next):
-            result = satisfy_next(
+            values = next_probabilities(
                 self._model,
-                comparison=Comparison.GE,
-                bound=0.0,
                 phi_states=self._sat(path.child),
                 time_bound=path.time_bound,
                 reward_bound=path.reward_bound,
             )
-            return result.values
-        if isinstance(path, Until):
+        elif isinstance(path, Until):
             result = satisfy_until(
                 self._model,
                 comparison=Comparison.GE,
@@ -172,8 +186,11 @@ class ModelChecker:
                 truncation=self._options.truncation_mode,
                 solver=self._options.linear_solver,
             )
-            return result.values
-        raise FormulaError(f"unsupported path formula {path!r}")
+            values = result.values
+        else:
+            raise FormulaError(f"unsupported path formula {path!r}")
+        self._path_value_cache[path] = values
+        return values
 
     # ------------------------------------------------------------------
     # recursion (Algorithm 4.1)
@@ -235,36 +252,10 @@ class ModelChecker:
         raise FormulaError(f"unsupported formula {formula!r}")
 
     def _sat_probability(self, formula: Prob) -> FrozenSet[int]:
-        model = self._model
-        options = self._options
-        path = formula.path
-        if isinstance(path, Next):
-            result = satisfy_next(
-                model,
-                comparison=formula.comparison,
-                bound=formula.bound,
-                phi_states=self._sat(path.child),
-                time_bound=path.time_bound,
-                reward_bound=path.reward_bound,
-            )
-            self._value_cache[formula] = tuple(float(v) for v in result.values)
-            return result.satisfying
-        if isinstance(path, Until):
-            result = satisfy_until(
-                model,
-                comparison=formula.comparison,
-                bound=formula.bound,
-                phi_states=self._sat(path.left),
-                psi_states=self._sat(path.right),
-                time_bound=path.time_bound,
-                reward_bound=path.reward_bound,
-                engine=options.until_engine,
-                truncation_probability=options.truncation_probability,
-                discretization_step=options.discretization_step,
-                strategy=options.path_strategy,
-                truncation=options.truncation_mode,
-                solver=options.linear_solver,
-            )
-            self._value_cache[formula] = tuple(float(v) for v in result.values)
-            return result.satisfying
-        raise FormulaError(f"unsupported path formula {path!r}")
+        values = self._path_values(formula.path)
+        self._value_cache[formula] = tuple(float(v) for v in values)
+        return frozenset(
+            state
+            for state in range(self._model.num_states)
+            if formula.comparison.holds(float(values[state]), formula.bound)
+        )

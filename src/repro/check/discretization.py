@@ -20,19 +20,40 @@ Preconditions (Section 4.4.1):
 We store probability *mass* per cell rather than the paper's density
 ``F`` (they differ by the constant factor ``d``, which cancels between
 the initialization ``1/d`` and the final summation ``* d``).
+
+Two evaluation directions are provided over one shared grid
+(:class:`_DiscretizationGrid`, which groups transitions by their
+reward-cell offset so each step is a handful of vectorized column
+shifts and sparse matrix products instead of a per-transition Python
+loop):
+
+* :func:`discretized_joint_distribution` — the forward recursion of
+  Algorithm 4.6 from one initial state;
+* :func:`discretized_joint_distributions` — the *adjoint* (backward)
+  recursion.  The forward update is linear in the mass array, so
+  running its transpose once from the target functional (indicator of
+  the ``Psi``-states over all reward cells) yields
+  ``Pr{Y(t) <= r, X(t) |= Psi}`` for **every** initial state in a
+  single sweep — the all-states cost equals the one-state cost.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet, List, Optional, Tuple
+from typing import AbstractSet, Dict, List, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.exceptions import CheckError, NumericalError
 from repro.mrm.model import MRM
 
-__all__ = ["DiscretizationResult", "discretized_joint_distribution"]
+__all__ = [
+    "DiscretizationResult",
+    "BatchedDiscretizationResult",
+    "discretized_joint_distribution",
+    "discretized_joint_distributions",
+]
 
 _INTEGRALITY_TOLERANCE = 1e-9
 
@@ -59,6 +80,34 @@ class DiscretizationResult:
     step: float
 
 
+@dataclass(frozen=True)
+class BatchedDiscretizationResult:
+    """Outcome of one backward (all-states) discretization sweep.
+
+    Attributes
+    ----------
+    probabilities:
+        ``Pr{Y(t) <= r, X(t) |= Psi}`` per initial state (length
+        ``num_states``).
+    time_steps, reward_cells, step:
+        Grid parameters, as in :class:`DiscretizationResult`.
+    """
+
+    probabilities: np.ndarray
+    time_steps: int
+    reward_cells: int
+    step: float
+
+    def result_for(self, state: int) -> DiscretizationResult:
+        """Per-state diagnostics view, shaped like a single-state run."""
+        return DiscretizationResult(
+            probability=float(self.probabilities[int(state)]),
+            time_steps=self.time_steps,
+            reward_cells=self.reward_cells,
+            step=self.step,
+        )
+
+
 def _as_integer(value: float, what: str) -> int:
     rounded = round(value)
     if abs(value - rounded) > _INTEGRALITY_TOLERANCE * max(1.0, abs(value)):
@@ -66,6 +115,141 @@ def _as_integer(value: float, what: str) -> int:
             f"{what} must be integral for discretization, got {value!r}"
         )
     return int(rounded)
+
+
+class _DiscretizationGrid:
+    """Validated grid data plus the vectorized one-step operators.
+
+    The step operator of Algorithm 4.6 decomposes into (a) per-state
+    self-residence, shifting mass up by ``rho(s)`` cells with weight
+    ``1 - E(s) d``, and (b) per-transition moves, shifting by
+    ``rho(source) + iota/d`` cells with weight ``rate * d``.  Both are
+    grouped by their cell offset: residence as state groups of equal
+    ``rho``, transitions as one sparse ``n x n`` weight matrix per
+    distinct offset.  A forward or backward step is then one shifted
+    (sparse matrix) x (dense block) product per group — no Python loop
+    over transitions.
+    """
+
+    def __init__(
+        self,
+        model: MRM,
+        time_bound: float,
+        reward_bound: float,
+        step: float,
+    ) -> None:
+        if step <= 0:
+            raise CheckError("discretization factor must be positive")
+        if time_bound <= 0:
+            raise CheckError("time bound must be positive")
+        if reward_bound < 0:
+            raise CheckError("reward bound must be non-negative")
+        n = model.num_states
+        self.num_states = n
+        self.step = float(step)
+        self.time_steps = _as_integer(time_bound / step, "t / d")
+        self.reward_cells = _as_integer(reward_bound / step, "r / d")
+        if self.time_steps < 1:
+            raise CheckError("time bound must span at least one step")
+        self.width = self.reward_cells + 1  # cells 0..R
+
+        self.rho_cells = np.array(
+            [
+                _as_integer(model.state_reward(s), f"state reward of state {s}")
+                for s in range(n)
+            ],
+            dtype=np.int64,
+        )
+        exit_rates = np.array([model.exit_rate(s) for s in range(n)], dtype=float)
+        worst = float(exit_rates.max()) if n else 0.0
+        if worst * step > 1.0 + _INTEGRALITY_TOLERANCE:
+            raise NumericalError(
+                f"discretization factor d = {step:g} is too coarse: the "
+                f"fastest state has E(s) * d = {worst * step:g} > 1, which "
+                "would make its self-residence probability negative; choose "
+                f"d <= {1.0 / worst:g} (or lump/rescale the model first)"
+            )
+        # Within the 1e-9 acceptance tolerance E(s) * d may still exceed 1
+        # by a hair; clamp so no negative probability mass is ever injected.
+        self.stay = np.clip(1.0 - exit_rates * step, 0.0, None)
+
+        # Residence groups: distinct rho value -> states carrying it.
+        self.shift_groups: List[Tuple[int, np.ndarray]] = [
+            (int(shift), np.flatnonzero(self.rho_cells == shift))
+            for shift in np.unique(self.rho_cells)
+        ]
+
+        # Transition groups: offset -> sparse weight matrix W with
+        # W[source, target] = rate * d.
+        rates = model.rates
+        by_offset: Dict[int, Tuple[List[int], List[int], List[float]]] = {}
+        for source in range(n):
+            source_shift = int(self.rho_cells[source])
+            for pos in range(rates.indptr[source], rates.indptr[source + 1]):
+                target = int(rates.indices[pos])
+                rate = float(rates.data[pos])
+                if rate <= 0.0:
+                    continue
+                impulse_cells = _as_integer(
+                    model.impulse_reward(source, target) / step,
+                    f"iota({source}, {target}) / d",
+                )
+                offset = source_shift + impulse_cells
+                rows, cols, vals = by_offset.setdefault(offset, ([], [], []))
+                rows.append(source)
+                cols.append(target)
+                vals.append(rate * step)
+        # Per offset: (forward operator W^T for target-accumulation,
+        # backward operator W for source-accumulation).
+        self.offset_ops: List[Tuple[int, sp.csr_matrix, sp.csr_matrix]] = []
+        for offset in sorted(by_offset):
+            rows, cols, vals = by_offset[offset]
+            backward = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+            forward = backward.T.tocsr()
+            self.offset_ops.append((offset, forward, backward))
+
+    # ------------------------------------------------------------------
+    def forward_step(self, mass: np.ndarray) -> np.ndarray:
+        """One slice of Algorithm 4.6: advance mass by ``d`` time units."""
+        width = self.width
+        updated = np.zeros_like(mass)
+        for shift, states in self.shift_groups:
+            if shift >= width or states.size == 0:
+                continue
+            block = mass[states] * self.stay[states, None]
+            if shift:
+                updated[states, shift:] += block[:, :-shift]
+            else:
+                updated[states] += block
+        for offset, forward, _ in self.offset_ops:
+            if offset >= width:
+                continue
+            if offset:
+                updated[:, offset:] += forward @ mass[:, : width - offset]
+            else:
+                updated += forward @ mass
+        return updated
+
+    def backward_step(self, value: np.ndarray) -> np.ndarray:
+        """The adjoint of :meth:`forward_step` (one backward slice)."""
+        width = self.width
+        previous = np.zeros_like(value)
+        for shift, states in self.shift_groups:
+            if shift >= width or states.size == 0:
+                continue
+            if shift:
+                block = value[states, shift:] * self.stay[states, None]
+                previous[states, : width - shift] += block
+            else:
+                previous[states] += value[states] * self.stay[states, None]
+        for offset, _, backward in self.offset_ops:
+            if offset >= width:
+                continue
+            if offset:
+                previous[:, : width - offset] += backward @ value[:, offset:]
+            else:
+                previous += backward @ value
+        return previous
 
 
 def discretized_joint_distribution(
@@ -80,6 +264,9 @@ def discretized_joint_distribution(
 
     The model is used as given — callers evaluating an until formula
     must apply the make-absorbing transformation first (Theorems 4.1/4.3).
+    For all initial states at once, use
+    :func:`discretized_joint_distributions` (one backward sweep instead
+    of one forward sweep per state).
 
     Parameters
     ----------
@@ -96,82 +283,71 @@ def discretized_joint_distribution(
         The discretization factor ``d``; both ``t / d`` and ``r / d``
         must be integral.
     """
-    if step <= 0:
-        raise CheckError("discretization factor must be positive")
-    if time_bound <= 0:
-        raise CheckError("time bound must be positive")
-    if reward_bound < 0:
-        raise CheckError("reward bound must be non-negative")
     n = model.num_states
     initial_state = int(initial_state)
     if not 0 <= initial_state < n:
         raise CheckError(f"initial state {initial_state} out of range")
+    grid = _DiscretizationGrid(model, time_bound, reward_bound, step)
     psi = {int(s) for s in psi_states}
 
-    time_steps = _as_integer(time_bound / step, "t / d")
-    reward_cells = _as_integer(reward_bound / step, "r / d")
-    if time_steps < 1:
-        raise CheckError("time bound must span at least one step")
-
-    rho_cells = [
-        _as_integer(model.state_reward(s), f"state reward of state {s}") for s in range(n)
-    ]
-    exit_rates = [model.exit_rate(s) for s in range(n)]
-    worst = max(exit_rates) if n else 0.0
-    if worst * step > 1.0 + _INTEGRALITY_TOLERANCE:
-        raise NumericalError(
-            f"discretization factor {step:g} is too coarse: E(s) * d = "
-            f"{worst * step:g} > 1 makes self-residence probabilities negative"
-        )
-
-    # Transitions as (source, target, rate * d, reward-cell offset).
-    rates = model.rates
-    transitions: List[Tuple[int, int, float, int]] = []
-    for source in range(n):
-        for pos in range(rates.indptr[source], rates.indptr[source + 1]):
-            target = int(rates.indices[pos])
-            rate = float(rates.data[pos])
-            if rate <= 0.0:
-                continue
-            impulse_cells = _as_integer(
-                model.impulse_reward(source, target) / step,
-                f"iota({source}, {target}) / d",
-            )
-            offset = rho_cells[source] + impulse_cells
-            transitions.append((source, target, rate * step, offset))
-
-    width = reward_cells + 1  # cells 0..R
-    mass = np.zeros((n, width), dtype=float)
-    start_cell = rho_cells[initial_state]
-    if start_cell < width:
+    mass = np.zeros((n, grid.width), dtype=float)
+    start_cell = int(grid.rho_cells[initial_state])
+    if start_cell < grid.width:
         mass[initial_state, start_cell] = 1.0
     # else: the very first slice already exceeds the reward bound.
 
-    stay = np.array([1.0 - rate * step for rate in exit_rates], dtype=float)
-
-    for _ in range(time_steps - 1):
-        updated = np.zeros_like(mass)
-        for state in range(n):
-            shift = rho_cells[state]
-            if shift < width:
-                if shift == 0:
-                    updated[state, :] += mass[state, :] * stay[state]
-                else:
-                    updated[state, shift:] += mass[state, :-shift] * stay[state]
-        for source, target, weight, offset in transitions:
-            if offset >= width:
-                continue
-            if offset == 0:
-                updated[target, :] += mass[source, :] * weight
-            else:
-                updated[target, offset:] += mass[source, :-offset] * weight
-        mass = updated
+    for _ in range(grid.time_steps - 1):
+        mass = grid.forward_step(mass)
 
     members = sorted(s for s in psi if 0 <= s < n)
     probability = float(mass[members, :].sum()) if members else 0.0
     return DiscretizationResult(
         probability=probability,
-        time_steps=time_steps,
-        reward_cells=reward_cells,
-        step=step,
+        time_steps=grid.time_steps,
+        reward_cells=grid.reward_cells,
+        step=grid.step,
+    )
+
+
+def discretized_joint_distributions(
+    model: MRM,
+    psi_states: AbstractSet[int],
+    time_bound: float,
+    reward_bound: float,
+    step: float,
+) -> BatchedDiscretizationResult:
+    """Batched Algorithm 4.6: the joint probability for **all** states.
+
+    The forward recursion is linear in the mass array, so the value from
+    initial state ``s`` is the inner product of the final mass with the
+    target functional ``g`` (1 on ``(psi, cell)`` pairs, 0 elsewhere):
+    ``v(s) = <e_{s, rho(s)}, (A^T)^{T-1} g>`` with ``A`` the one-step
+    operator.  One backward sweep applying the adjoint ``A^T`` therefore
+    serves every initial state at once, at the cost of a single forward
+    run — this is what makes all-states P2 until checking one pass
+    instead of ``n`` passes.
+
+    Parameters are those of :func:`discretized_joint_distribution` minus
+    the initial state.
+    """
+    n = model.num_states
+    grid = _DiscretizationGrid(model, time_bound, reward_bound, step)
+    psi = sorted({int(s) for s in psi_states if 0 <= int(s) < n})
+
+    value = np.zeros((n, grid.width), dtype=float)
+    if psi:
+        value[psi, :] = 1.0
+    for _ in range(grid.time_steps - 1):
+        value = grid.backward_step(value)
+
+    probabilities = np.zeros(n, dtype=float)
+    reachable = grid.rho_cells < grid.width
+    states = np.flatnonzero(reachable)
+    probabilities[states] = value[states, grid.rho_cells[states]]
+    # States whose first slice already exceeds the reward bound keep 0.
+    return BatchedDiscretizationResult(
+        probabilities=probabilities,
+        time_steps=grid.time_steps,
+        reward_cells=grid.reward_cells,
+        step=grid.step,
     )

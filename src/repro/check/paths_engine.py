@@ -22,21 +22,52 @@ over an MRM whose ``(!Phi or Psi)``-states have been made absorbing, by
 
 The module also implements *depth truncation* (eq. 4.3) as an alternative
 strategy for the ablation benchmarks.
+
+Batched evaluation
+------------------
+All inputs except the initial state — the uniformized process, the
+successor tables, the Poisson pmf/head/max tables and the Omega memo
+tables — depend only on the formula, not on where the search starts.
+:func:`prepare_path_engine` factors that precomputation into a reusable
+:class:`PathEngineContext`; :func:`joint_distribution_from_context` then
+runs the search for one initial state, and
+:func:`joint_distribution_all` evaluates every requested initial state
+against a single shared context.  Sharing the context turns the
+``O(n)``-pass all-states evaluation of a P2 until formula into one
+precomputation plus ``n`` searches, and lets the Omega memoization work
+across initial states (classes recur between starts).
+
+All Poisson tables are evaluated in log space
+(:func:`repro.numerics.poisson.poisson_pmf_table`), so the engine stays
+exact-to-rounding for ``Lambda * t`` beyond ~745 where the recursive
+scheme's seed ``exp(-Lambda t)`` underflows to zero — previously the
+engine silently reported probability 0 with error bound 1 in that
+regime.  A :class:`NumericalError` is raised only when every Poisson
+weight within the explored depth range is genuinely unrepresentable in
+double precision.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import AbstractSet, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import AbstractSet, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import CheckError, NumericalError
 from repro.mrm.model import MRM
 from repro.numerics.orderstat import OmegaCalculator
+from repro.numerics.poisson import poisson_pmf_table
 
-__all__ = ["PathEngineResult", "joint_distribution"]
+__all__ = [
+    "PathEngineResult",
+    "PathEngineContext",
+    "prepare_path_engine",
+    "joint_distribution",
+    "joint_distribution_from_context",
+    "joint_distribution_all",
+]
 
 
 @dataclass(frozen=True)
@@ -64,7 +95,10 @@ class PathEngineResult:
     uniformization_rate:
         The Poisson rate ``Lambda`` used.
     omega_evaluations:
-        Total Omega recursion nodes evaluated across all classes.
+        Omega recursion nodes newly evaluated for this run.  Under a
+        shared :class:`PathEngineContext` the memo tables persist across
+        initial states, so later runs report fewer evaluations for the
+        same classes.
     """
 
     probability: float
@@ -79,38 +113,34 @@ class PathEngineResult:
 
 def _poisson_heads(lam_t: float, depth: int) -> np.ndarray:
     """``head[n] = sum_{i < n} poisson(i; lam_t)`` for ``n = 0..depth``."""
+    pmf = poisson_pmf_table(lam_t, depth)
     heads = np.empty(depth + 1, dtype=float)
-    term = math.exp(-lam_t)
-    acc = 0.0
-    for n in range(depth + 1):
-        heads[n] = acc
-        acc += term
-        term *= lam_t / (n + 1)
+    heads[0] = 0.0
+    np.cumsum(pmf[:-1], out=heads[1:])
     return heads
 
 
 def _poisson_max_from(lam_t: float, depth: int) -> np.ndarray:
-    """``maxpois[n] = max_{m >= n} poisson(m; lam_t)`` for ``n = 0..depth``.
+    """``maxpois[n] = max_{m >= n} poisson(m; lam_t)`` for ``n = 0..depth + 1``.
 
     Used by the ``"safe"`` truncation mode: since the DTMC path
     probability can only shrink, ``p_dtmc * maxpois[n]`` bounds
     ``P(sigma', t)`` for every extension ``sigma'`` of the current path.
-    The maximum sits at the Poisson mode ``floor(lam_t)`` and the pmf
-    decreases beyond it.
+    The pmf rises up to the Poisson mode ``floor(lam_t)`` and decreases
+    beyond it, so the suffix maximum is the mode value for ``n`` at or
+    below the mode and the pmf itself past it — no table beyond
+    ``depth`` is ever materialized, even when the mode lies far past it.
     """
+    values = poisson_pmf_table(lam_t, depth + 1)
     mode = int(lam_t)
-    table_length = max(depth + 2, mode + 2)
-    term = math.exp(-lam_t)
-    pmf = np.empty(table_length, dtype=float)
-    for n in range(table_length):
-        pmf[n] = term
-        term *= lam_t / (n + 1)
-    values = np.empty(table_length, dtype=float)
-    running = 0.0
-    for n in range(table_length - 1, -1, -1):
-        running = max(running, pmf[n])
-        values[n] = running
-    return values[: depth + 2]
+    if mode <= depth + 1:
+        peak = float(values[mode])
+    else:
+        log_peak = -lam_t + mode * math.log(lam_t) - math.lgamma(mode + 1)
+        peak = math.exp(log_peak)
+    cutoff = min(mode, depth + 1)
+    values[: cutoff + 1] = peak
+    return values
 
 
 def _max_useful_depth(lam_t: float, w: float, start: float = 1.0) -> int:
@@ -118,19 +148,211 @@ def _max_useful_depth(lam_t: float, w: float, start: float = 1.0) -> int:
 
     Since the DTMC path probability only shrinks, no path can survive the
     truncation test past this depth.  Used to pre-size the Poisson tables.
+    The scan runs in log space so it remains exact for ``lam_t`` far past
+    the ``exp(-lam_t)`` underflow point.
     """
-    term = math.exp(-lam_t)
+    if w <= 0.0 or start <= 0.0:
+        raise NumericalError("depth search requires positive w and start")
+    if lam_t == 0.0:
+        return 1
+    log_limit = math.log(w) - math.log(start)
+    log_lam_t = math.log(lam_t)
+    log_term = -lam_t
     n = 0
     best_exceeded = 0
     while True:
-        if term * start >= w:
+        if log_term >= log_limit:
             best_exceeded = n
         n += 1
-        term *= lam_t / n
-        if n > lam_t and term * start < w:
+        log_term += log_lam_t - math.log(n)
+        if n > lam_t and log_term < log_limit:
             return max(best_exceeded + 1, n)
         if n > 10_000_000:  # pragma: no cover - defensive
             raise NumericalError("Poisson depth search failed to terminate")
+
+
+@dataclass
+class PathEngineContext:
+    """Initial-state-independent precomputation for one P2 formula.
+
+    Built once by :func:`prepare_path_engine` and reused by every
+    :func:`joint_distribution_from_context` call: the uniformized
+    process, successor tables, reward-level indexing, Poisson
+    pmf/head/max tables and the Omega calculators (whose memo tables are
+    keyed by threshold and grow monotonically across runs).
+    """
+
+    psi: frozenset
+    dead: frozenset
+    successors: List[List[Tuple[int, float, int]]]
+    state_level: List[int]
+    reward_levels: List[float]
+    impulse_levels: List[float]
+    time_bound: float
+    reward_bound: float
+    rate: float
+    lam_t: float
+    w: float
+    depth_limit: Optional[int]
+    strategy: str
+    truncation: str
+    pmf: np.ndarray
+    heads: np.ndarray
+    maxpois: Optional[np.ndarray]
+    num_states: int
+    calculators: Dict[float, OmegaCalculator] = field(default_factory=dict)
+
+
+def prepare_path_engine(
+    model: MRM,
+    psi_states: AbstractSet[int],
+    time_bound: float,
+    reward_bound: float,
+    truncation_probability: float = 1e-8,
+    dead_states: Optional[AbstractSet[int]] = None,
+    depth_limit: Optional[int] = None,
+    strategy: str = "paths",
+    truncation: str = "safe",
+    uniformization_rate: Optional[float] = None,
+) -> PathEngineContext:
+    """Validate the query and build the shared :class:`PathEngineContext`.
+
+    Parameters are those of :func:`joint_distribution` minus the initial
+    state; see there for their meaning.  The model is used as given —
+    callers evaluating an until formula must apply
+    :meth:`repro.mrm.MRM.make_absorbing` first (Theorems 4.1/4.3).
+    """
+    if time_bound <= 0:
+        raise CheckError("time bound must be positive")
+    if reward_bound < 0:
+        raise CheckError("reward bound must be non-negative")
+    if truncation_probability < 0:
+        raise CheckError("truncation probability must be non-negative")
+    if truncation_probability == 0.0 and depth_limit is None:
+        raise CheckError(
+            "either a positive truncation probability or a depth limit is "
+            "required for the search to terminate"
+        )
+    if strategy not in ("paths", "merged"):
+        raise CheckError(f"unknown path-engine strategy {strategy!r}")
+    if truncation not in ("paper", "safe"):
+        raise CheckError(f"unknown truncation mode {truncation!r}")
+    n_states = model.num_states
+    psi = frozenset(int(s) for s in psi_states)
+    dead = frozenset(int(s) for s in dead_states) if dead_states else frozenset()
+
+    process = model.uniformize(uniformization_rate)
+    lam = process.rate
+    lam_t = lam * time_bound
+
+    reward_levels = model.distinct_state_rewards()
+    impulse_levels = model.distinct_impulse_rewards()
+    level_index = {level: i for i, level in enumerate(reward_levels)}
+    impulse_index = {level: i for i, level in enumerate(impulse_levels)}
+    state_level = [level_index[model.state_reward(s)] for s in range(n_states)]
+
+    # Successor tables for the uniformized DTMC: per state, a list of
+    # (successor, probability, impulse-level index).
+    matrix = process.dtmc.matrix
+    successors: List[List[Tuple[int, float, int]]] = []
+    for state in range(n_states):
+        entries: List[Tuple[int, float, int]] = []
+        for pos in range(matrix.indptr[state], matrix.indptr[state + 1]):
+            target = int(matrix.indices[pos])
+            probability = float(matrix.data[pos])
+            if probability <= 0.0:
+                continue
+            impulse = process.impulse_reward(state, target)
+            entries.append((target, probability, impulse_index[impulse]))
+        successors.append(entries)
+
+    w = float(truncation_probability)
+    max_depth_cap = (
+        depth_limit if depth_limit is not None else _max_useful_depth(lam_t, w)
+    )
+    pmf = poisson_pmf_table(lam_t, max_depth_cap + 1)
+    if lam_t > 0.0 and float(pmf.max()) == 0.0:
+        raise NumericalError(
+            f"every Poisson weight up to depth {max_depth_cap + 1} underflows "
+            f"at Lambda*t = {lam_t:g}; the result is not representable in "
+            "double precision (raise the depth limit past the Poisson mode "
+            f"~{int(lam_t)})"
+        )
+    heads = np.empty(max_depth_cap + 2, dtype=float)
+    heads[0] = 0.0
+    np.cumsum(pmf[:-1], out=heads[1:])
+    maxpois = (
+        _poisson_max_from(lam_t, max_depth_cap + 1) if truncation == "safe" else None
+    )
+    return PathEngineContext(
+        psi=psi,
+        dead=dead,
+        successors=successors,
+        state_level=state_level,
+        reward_levels=reward_levels,
+        impulse_levels=impulse_levels,
+        time_bound=float(time_bound),
+        reward_bound=float(reward_bound),
+        rate=lam,
+        lam_t=lam_t,
+        w=w,
+        depth_limit=depth_limit,
+        strategy=strategy,
+        truncation=truncation,
+        pmf=pmf,
+        heads=heads,
+        maxpois=maxpois,
+        num_states=n_states,
+    )
+
+
+def joint_distribution_from_context(
+    context: PathEngineContext, initial_state: int
+) -> PathEngineResult:
+    """Run the configured search from one initial state against a context.
+
+    The heavy per-formula precomputation lives in the context; this call
+    performs only the DFPG/DP search and the Omega combination.  Omega
+    memo tables persist inside the context, so evaluating many initial
+    states shares their work.
+    """
+    if not 0 <= int(initial_state) < context.num_states:
+        raise CheckError(f"initial state {initial_state} out of range")
+    runner = _run_paths_dfs if context.strategy == "paths" else _run_merged_dp
+    stats = runner(
+        initial_state=int(initial_state),
+        psi=context.psi,
+        dead=context.dead,
+        successors=context.successors,
+        state_level=context.state_level,
+        num_levels=len(context.reward_levels),
+        num_impulses=len(context.impulse_levels),
+        w=context.w,
+        depth_limit=context.depth_limit,
+        pmf=context.pmf,
+        heads=context.heads,
+        maxpois=context.maxpois,
+    )
+    aggregated, error_bound, generated, stored, max_depth = stats
+
+    probability, classes, omega_evals = _combine_with_omega(
+        aggregated,
+        context.reward_levels,
+        context.impulse_levels,
+        context.time_bound,
+        context.reward_bound,
+        calculators=context.calculators,
+    )
+    return PathEngineResult(
+        probability=probability,
+        error_bound=error_bound,
+        paths_generated=generated,
+        paths_stored=stored,
+        classes=classes,
+        max_depth=max_depth,
+        uniformization_rate=context.rate,
+        omega_evaluations=omega_evals,
+    )
 
 
 def joint_distribution(
@@ -150,7 +372,11 @@ def joint_distribution(
 
     The model is used as given — callers that evaluate an until formula
     must apply :meth:`repro.mrm.MRM.make_absorbing` first (Theorems
-    4.1/4.3); see :func:`repro.check.until.until_probability`.
+    4.1/4.3); see :func:`repro.check.until.until_probability`.  To
+    evaluate many initial states of the same formula, prefer
+    :func:`joint_distribution_all` (or an explicit
+    :func:`prepare_path_engine` context), which shares the
+    precomputation.
 
     Parameters
     ----------
@@ -201,101 +427,57 @@ def joint_distribution(
     -------
     PathEngineResult
     """
-    if time_bound <= 0:
-        raise CheckError("time bound must be positive")
-    if reward_bound < 0:
-        raise CheckError("reward bound must be non-negative")
-    if truncation_probability < 0:
-        raise CheckError("truncation probability must be non-negative")
-    if truncation_probability == 0.0 and depth_limit is None:
-        raise CheckError(
-            "either a positive truncation probability or a depth limit is "
-            "required for the search to terminate"
-        )
-    if strategy not in ("paths", "merged"):
-        raise CheckError(f"unknown path-engine strategy {strategy!r}")
-    if truncation not in ("paper", "safe"):
-        raise CheckError(f"unknown truncation mode {truncation!r}")
-    n_states = model.num_states
-    if not 0 <= int(initial_state) < n_states:
-        raise CheckError(f"initial state {initial_state} out of range")
-    psi = frozenset(int(s) for s in psi_states)
-    dead = frozenset(int(s) for s in dead_states) if dead_states else frozenset()
-
-    process = model.uniformize(uniformization_rate)
-    lam = process.rate
-    lam_t = lam * time_bound
-
-    reward_levels = model.distinct_state_rewards()
-    impulse_levels = model.distinct_impulse_rewards()
-    level_index = {level: i for i, level in enumerate(reward_levels)}
-    impulse_index = {level: i for i, level in enumerate(impulse_levels)}
-    state_level = [level_index[model.state_reward(s)] for s in range(n_states)]
-
-    # Successor tables for the uniformized DTMC: per state, a list of
-    # (successor, probability, impulse-level index).
-    matrix = process.dtmc.matrix
-    successors: List[List[Tuple[int, float, int]]] = []
-    for state in range(n_states):
-        entries: List[Tuple[int, float, int]] = []
-        for pos in range(matrix.indptr[state], matrix.indptr[state + 1]):
-            target = int(matrix.indices[pos])
-            probability = float(matrix.data[pos])
-            if probability <= 0.0:
-                continue
-            impulse = process.impulse_reward(state, target)
-            entries.append((target, probability, impulse_index[impulse]))
-        successors.append(entries)
-
-    w = float(truncation_probability)
-    max_depth_cap = (
-        depth_limit
-        if depth_limit is not None
-        else _max_useful_depth(lam_t, w)
-    )
-    heads = _poisson_heads(lam_t, max_depth_cap + 1)
-    maxpois = (
-        _poisson_max_from(lam_t, max_depth_cap + 1)
-        if truncation == "safe"
-        else None
-    )
-    poisson0 = math.exp(-lam_t)
-
-    runner = _run_paths_dfs if strategy == "paths" else _run_merged_dp
-    stats = runner(
-        initial_state=int(initial_state),
-        psi=psi,
-        dead=dead,
-        successors=successors,
-        state_level=state_level,
-        num_levels=len(reward_levels),
-        num_impulses=len(impulse_levels),
-        lam_t=lam_t,
-        w=w,
-        depth_limit=depth_limit,
-        heads=heads,
-        maxpois=maxpois,
-        poisson0=poisson0,
-    )
-    aggregated, error_bound, generated, stored, max_depth = stats
-
-    probability, classes, omega_evals = _combine_with_omega(
-        aggregated,
-        reward_levels,
-        impulse_levels,
+    context = prepare_path_engine(
+        model,
+        psi_states,
         time_bound,
         reward_bound,
+        truncation_probability=truncation_probability,
+        dead_states=dead_states,
+        depth_limit=depth_limit,
+        strategy=strategy,
+        truncation=truncation,
+        uniformization_rate=uniformization_rate,
     )
-    return PathEngineResult(
-        probability=probability,
-        error_bound=error_bound,
-        paths_generated=generated,
-        paths_stored=stored,
-        classes=classes,
-        max_depth=max_depth,
-        uniformization_rate=lam,
-        omega_evaluations=omega_evals,
+    return joint_distribution_from_context(context, initial_state)
+
+
+def joint_distribution_all(
+    model: MRM,
+    initial_states: Iterable[int],
+    psi_states: AbstractSet[int],
+    time_bound: float,
+    reward_bound: float,
+    truncation_probability: float = 1e-8,
+    dead_states: Optional[AbstractSet[int]] = None,
+    depth_limit: Optional[int] = None,
+    strategy: str = "paths",
+    truncation: str = "safe",
+    uniformization_rate: Optional[float] = None,
+) -> Dict[int, PathEngineResult]:
+    """Batched evaluation: one shared context, one search per initial state.
+
+    Returns ``{initial_state: PathEngineResult}`` with per-state
+    diagnostics intact.  Values are bitwise identical to running
+    :func:`joint_distribution` per state (the searches are independent;
+    the shared Omega memo tables return the same memoized values).
+    """
+    context = prepare_path_engine(
+        model,
+        psi_states,
+        time_bound,
+        reward_bound,
+        truncation_probability=truncation_probability,
+        dead_states=dead_states,
+        depth_limit=depth_limit,
+        strategy=strategy,
+        truncation=truncation,
+        uniformization_rate=uniformization_rate,
     )
+    return {
+        int(state): joint_distribution_from_context(context, int(state))
+        for state in initial_states
+    }
 
 
 def _run_paths_dfs(
@@ -306,18 +488,19 @@ def _run_paths_dfs(
     state_level: List[int],
     num_levels: int,
     num_impulses: int,
-    lam_t: float,
     w: float,
     depth_limit: Optional[int],
+    pmf: np.ndarray,
     heads: np.ndarray,
     maxpois: Optional[np.ndarray],
-    poisson0: float,
 ) -> Tuple[Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], float], float, int, int, int]:
     """Algorithm 4.7 with an explicit stack.
 
-    Stack frames carry ``(state, n, k, j, p_t, p_dtmc)`` where ``p_t`` is
-    the Poisson-weighted probability ``P(sigma, t)`` and ``p_dtmc`` the
-    bare DTMC path probability ``P(sigma)`` needed by the error bound.
+    Stack frames carry ``(state, n, k, j, p_dtmc)`` with the bare DTMC
+    path probability ``P(sigma)``; the Poisson-weighted probability
+    ``P(sigma, t) = pmf[n] * P(sigma)`` is looked up from the log-space
+    table on demand, so a deep underflow of the table head (large
+    ``Lambda t``) affects only the entries that are genuinely zero.
     ``maxpois`` switches the truncation test to the safe variant (see
     :func:`joint_distribution`).
     """
@@ -329,7 +512,7 @@ def _run_paths_dfs(
 
     if initial_state in dead:
         return aggregated, 0.0, 0, 0, 0
-    root_score = poisson0 if maxpois is None else float(maxpois[0])
+    root_score = float(pmf[0]) if maxpois is None else float(maxpois[0])
     if root_score < w:
         # Even the empty path is truncated (Algorithm 4.7 line 1): all
         # probability mass is discarded and the error bound is total.
@@ -339,30 +522,31 @@ def _run_paths_dfs(
         1 if i == state_level[initial_state] else 0 for i in range(num_levels)
     )
     root_j = (0,) * num_impulses
-    stack: List[Tuple[int, int, Tuple[int, ...], Tuple[int, ...], float, float]] = [
-        (initial_state, 0, root_k, root_j, poisson0, 1.0)
+    stack: List[Tuple[int, int, Tuple[int, ...], Tuple[int, ...], float]] = [
+        (initial_state, 0, root_k, root_j, 1.0)
     ]
     head_count = len(heads)
     while stack:
-        state, depth, k, j, p_t, p_dtmc = stack.pop()
+        state, depth, k, j, p_dtmc = stack.pop()
         generated += 1
         if depth > max_depth:
             max_depth = depth
         if state in psi:
             key = (k, j)
-            aggregated[key] = aggregated.get(key, 0.0) + p_t
+            aggregated[key] = aggregated.get(key, 0.0) + float(pmf[depth]) * p_dtmc
             stored += 1
         if depth_limit is not None and depth >= depth_limit:
             continue
         next_depth = depth + 1
-        factor = lam_t / next_depth
+        poisson_next = float(pmf[next_depth]) if next_depth < len(pmf) else 0.0
         for target, probability, impulse_idx in successors[state]:
             child_dtmc = p_dtmc * probability
-            child_t = p_t * factor * probability
             if target in dead:
                 continue
             child_score = (
-                child_t if maxpois is None else child_dtmc * maxpois[next_depth]
+                poisson_next * child_dtmc
+                if maxpois is None
+                else child_dtmc * float(maxpois[next_depth])
             )
             if child_score < w:
                 # eq. (4.6): the discarded path and all its suffixes; the
@@ -379,7 +563,7 @@ def _run_paths_dfs(
             child_j = (
                 j[:impulse_idx] + (j[impulse_idx] + 1,) + j[impulse_idx + 1 :]
             )
-            stack.append((target, next_depth, child_k, child_j, child_t, child_dtmc))
+            stack.append((target, next_depth, child_k, child_j, child_dtmc))
     return aggregated, error_bound, generated, stored, max_depth
 
 
@@ -391,19 +575,19 @@ def _run_merged_dp(
     state_level: List[int],
     num_levels: int,
     num_impulses: int,
-    lam_t: float,
     w: float,
     depth_limit: Optional[int],
+    pmf: np.ndarray,
     heads: np.ndarray,
     maxpois: Optional[np.ndarray],
-    poisson0: float,
 ) -> Tuple[Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], float], float, int, int, int]:
     """Breadth-first dynamic programming over ``(state, k, j)`` classes.
 
     Paths with equal state and equal reward characterization are merged
     *before* the truncation test, so at equal ``w`` this prunes strictly
     less than the per-path DFS and yields a tighter error bound.  The
-    frontier at depth ``n`` maps ``(state, k, j) -> (p_t, p_dtmc)``.
+    frontier at depth ``n`` maps ``(state, k, j)`` to the merged DTMC
+    probability; the Poisson weight ``pmf[n]`` is applied on storage.
     """
     aggregated: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], float] = {}
     error_bound = 0.0
@@ -413,7 +597,7 @@ def _run_merged_dp(
 
     if initial_state in dead:
         return aggregated, 0.0, 0, 0, 0
-    root_score = poisson0 if maxpois is None else float(maxpois[0])
+    root_score = float(pmf[0]) if maxpois is None else float(maxpois[0])
     if root_score < w:
         return aggregated, 1.0, 0, 0, 0
 
@@ -421,31 +605,29 @@ def _run_merged_dp(
         1 if i == state_level[initial_state] else 0 for i in range(num_levels)
     )
     root_j = (0,) * num_impulses
-    frontier: Dict[Tuple[int, Tuple[int, ...], Tuple[int, ...]], Tuple[float, float]] = {
-        (initial_state, root_k, root_j): (poisson0, 1.0)
+    frontier: Dict[Tuple[int, Tuple[int, ...], Tuple[int, ...]], float] = {
+        (initial_state, root_k, root_j): 1.0
     }
     depth = 0
     head_count = len(heads)
+    pmf_count = len(pmf)
     while frontier:
         max_depth = depth
-        for (state, k, j), (p_t, _) in frontier.items():
+        poisson_here = float(pmf[depth]) if depth < pmf_count else 0.0
+        for (state, k, j), p_dtmc in frontier.items():
             generated += 1
             if state in psi:
                 key = (k, j)
-                aggregated[key] = aggregated.get(key, 0.0) + p_t
+                aggregated[key] = aggregated.get(key, 0.0) + poisson_here * p_dtmc
                 stored += 1
         if depth_limit is not None and depth >= depth_limit:
             break
         next_depth = depth + 1
-        factor = lam_t / next_depth
-        next_frontier: Dict[
-            Tuple[int, Tuple[int, ...], Tuple[int, ...]], Tuple[float, float]
-        ] = {}
-        for (state, k, j), (p_t, p_dtmc) in frontier.items():
+        next_frontier: Dict[Tuple[int, Tuple[int, ...], Tuple[int, ...]], float] = {}
+        for (state, k, j), p_dtmc in frontier.items():
             for target, probability, impulse_idx in successors[state]:
                 if target in dead:
                     continue
-                child_t = p_t * factor * probability
                 child_dtmc = p_dtmc * probability
                 level = state_level[target]
                 child_k = k[:level] + (k[level] + 1,) + k[level + 1 :]
@@ -453,27 +635,22 @@ def _run_merged_dp(
                     j[:impulse_idx] + (j[impulse_idx] + 1,) + j[impulse_idx + 1 :]
                 )
                 key = (target, child_k, child_j)
-                old = next_frontier.get(key)
-                if old is None:
-                    next_frontier[key] = (child_t, child_dtmc)
-                else:
-                    next_frontier[key] = (old[0] + child_t, old[1] + child_dtmc)
+                next_frontier[key] = next_frontier.get(key, 0.0) + child_dtmc
         # Truncation test on the merged classes.
-        surviving: Dict[
-            Tuple[int, Tuple[int, ...], Tuple[int, ...]], Tuple[float, float]
-        ] = {}
+        surviving: Dict[Tuple[int, Tuple[int, ...], Tuple[int, ...]], float] = {}
         tail = 1.0 - heads[next_depth] if next_depth < head_count else 1.0
+        poisson_next = float(pmf[min(next_depth, pmf_count - 1)])
         ceiling = (
             None
             if maxpois is None
             else float(maxpois[min(next_depth, len(maxpois) - 1)])
         )
-        for key, (p_t, p_dtmc) in next_frontier.items():
-            score = p_t if ceiling is None else p_dtmc * ceiling
+        for key, p_dtmc in next_frontier.items():
+            score = poisson_next * p_dtmc if ceiling is None else p_dtmc * ceiling
             if score < w:
                 error_bound += p_dtmc * tail
             else:
-                surviving[key] = (p_t, p_dtmc)
+                surviving[key] = p_dtmc
         frontier = surviving
         depth = next_depth
     return aggregated, error_bound, generated, stored, max_depth
@@ -485,6 +662,7 @@ def _combine_with_omega(
     impulse_levels: List[float],
     time_bound: float,
     reward_bound: float,
+    calculators: Optional[Dict[float, OmegaCalculator]] = None,
 ) -> Tuple[float, int, int]:
     """Combine class probabilities with ``Pr{Y(t) <= r | n, k, j}``.
 
@@ -493,13 +671,18 @@ def _combine_with_omega(
     and impulse contribution ``imp = sum_l i_l j_l``, the conditional
     probability is ``Omega(r/t - r_{K+1} - imp/t, k)``.  One
     :class:`OmegaCalculator` is shared per distinct threshold so the memo
-    tables are reused across classes.
+    tables are reused across classes; when a ``calculators`` mapping is
+    passed in (the batched path), they are additionally reused across
+    initial states, and the returned evaluation count covers only the
+    nodes newly evaluated by this call.
     """
+    if calculators is None:
+        calculators = {}
+    evaluations_before = sum(c.evaluations for c in calculators.values())
     if not aggregated:
         return 0.0, 0, 0
     smallest = reward_levels[-1]
     coefficients = [level - smallest for level in reward_levels]
-    calculators: Dict[float, OmegaCalculator] = {}
     probability = 0.0
     for (k, j), mass in aggregated.items():
         impulse_total = sum(
@@ -513,5 +696,7 @@ def _combine_with_omega(
             calculator = OmegaCalculator(coefficients, threshold)
             calculators[threshold] = calculator
         probability += mass * calculator.value(k)
-    omega_evals = sum(c.evaluations for c in calculators.values())
+    omega_evals = (
+        sum(c.evaluations for c in calculators.values()) - evaluations_before
+    )
     return probability, len(aggregated), omega_evals

@@ -78,7 +78,12 @@ class UntilResult:
         Per-state truncation error bounds (paths engine only; zeros for
         the other engines, whose errors are solver tolerances).
     statistics:
-        Per-state engine statistics, e.g. paths generated/stored.
+        Per-state engine statistics.  For the P2 engines every pending
+        state maps to its engine result object
+        (:class:`repro.check.paths_engine.PathEngineResult` or
+        :class:`repro.check.discretization.DiscretizationResult`), even
+        when the batched all-states evaluation produced them from one
+        shared precomputation.
     """
 
     values: np.ndarray
@@ -86,3 +91,17 @@ class UntilResult:
     engine: str
     error_bounds: Optional[np.ndarray] = None
     statistics: Dict[int, "object"] = field(default_factory=dict)
+
+    def probability_of(self, state: int) -> float:
+        """The computed probability for one state."""
+        return float(self.values[int(state)])
+
+    def error_bound_of(self, state: int) -> float:
+        """The truncation error bound for one state (0.0 if exact)."""
+        if self.error_bounds is None:
+            return 0.0
+        return float(self.error_bounds[int(state)])
+
+    def statistics_for(self, state: int) -> Optional[object]:
+        """Engine diagnostics for one state (None for trivial states)."""
+        return self.statistics.get(int(state))

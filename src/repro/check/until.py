@@ -29,8 +29,14 @@ from typing import AbstractSet, Dict, FrozenSet, List, Optional
 import numpy as np
 import scipy.sparse as sp
 
-from repro.check.discretization import discretized_joint_distribution
-from repro.check.paths_engine import joint_distribution
+from repro.check.discretization import (
+    discretized_joint_distribution,
+    discretized_joint_distributions,
+)
+from repro.check.paths_engine import (
+    joint_distribution_from_context,
+    prepare_path_engine,
+)
 from repro.check.results import UntilResult
 from repro.exceptions import CheckError
 from repro.graphs.reachability import backward_reachable
@@ -45,6 +51,7 @@ __all__ = [
     "time_bounded_until_probabilities",
     "interval_until_probabilities",
     "until_probability",
+    "until_probabilities",
     "satisfy_until",
 ]
 
@@ -248,8 +255,40 @@ def until_probability(
 
     Implements Theorems 4.1/4.3: ``(!Phi or Psi)``-states are made
     absorbing with zero rewards, then the joint distribution
-    ``Pr{Y(t) <= r, X(t) |= Psi}`` is evaluated.
+    ``Pr{Y(t) <= r, X(t) |= Psi}`` is evaluated.  To evaluate many
+    initial states of the same formula, use :func:`until_probabilities`,
+    which runs the make-absorbing transform and the engine
+    precomputation once for all of them.
     """
+    transformed, psi, dead = _p2_setup(model, phi_states, psi_states,
+                                       time_bound, reward_bound)
+    if engine == "uniformization":
+        context = prepare_path_engine(
+            transformed,
+            psi_states=psi,
+            time_bound=time_bound.upper,
+            reward_bound=reward_bound.upper,
+            truncation_probability=truncation_probability,
+            dead_states=dead,
+            depth_limit=depth_limit,
+            strategy=strategy,
+            truncation=truncation,
+        )
+        return joint_distribution_from_context(context, initial_state)
+    if engine == "discretization":
+        return discretized_joint_distribution(
+            transformed,
+            initial_state=initial_state,
+            psi_states=psi,
+            time_bound=time_bound.upper,
+            reward_bound=reward_bound.upper,
+            step=discretization_step,
+        )
+    raise CheckError(f"unknown until engine {engine!r}")
+
+
+def _p2_setup(model, phi_states, psi_states, time_bound, reward_bound):
+    """Shared P2 validation plus the Theorem 4.1/4.3 transformation."""
     _require_zero_lower(time_bound, "time")
     _require_zero_lower(reward_bound, "reward")
     if math.isinf(time_bound.upper):
@@ -262,11 +301,63 @@ def until_probability(
     absorbing = (set(range(n)) - phi) | psi
     transformed = model.make_absorbing(absorbing)
     dead = set(range(n)) - phi - psi
+    return transformed, psi, dead
+
+
+def until_probabilities(
+    model: MRM,
+    phi_states: AbstractSet[int],
+    psi_states: AbstractSet[int],
+    time_bound: Interval,
+    reward_bound: Interval,
+    engine: str = "uniformization",
+    truncation_probability: float = 1e-8,
+    discretization_step: float = 1 / 32,
+    strategy: str = "paths",
+    truncation: str = "safe",
+    depth_limit: Optional[int] = None,
+):
+    """Batched P2: ``P(s, Phi U^I_J Psi)`` for **all** states at once.
+
+    One make-absorbing transform and one engine precomputation serve
+    every initial state:
+
+    * ``engine="uniformization"`` builds a single
+      :class:`repro.check.paths_engine.PathEngineContext` (uniformized
+      process, successor tables, Poisson tables, Omega memos) and runs
+      one search per pending state against it;
+    * ``engine="discretization"`` exploits the linearity of the forward
+      recursion: a single backward (adjoint) sweep over
+      ``(state, reward-cell)`` yields the value for every initial state
+      (:func:`repro.check.discretization.discretized_joint_distributions`).
+
+    ``Psi``-states get probability exactly 1 and ``(!Phi and !Psi)``
+    states exactly 0; the engines run only on the remaining pending
+    ``Phi``-states.
+
+    Returns
+    -------
+    (values, error_bounds, statistics):
+        Per-state probabilities, per-state truncation error bounds
+        (zeros for the discretization engine) and a dict mapping each
+        pending state to its engine-specific result object.
+    """
+    transformed, psi, dead = _p2_setup(model, phi_states, psi_states,
+                                       time_bound, reward_bound)
+    n = model.num_states
+    phi = {int(s) for s in phi_states}
+    values = np.zeros(n, dtype=float)
+    error_bounds = np.zeros(n, dtype=float)
+    statistics: Dict[int, object] = {}
+    for state in psi:
+        values[state] = 1.0
+    pending = sorted(phi - psi)
+    if not pending:
+        return values, error_bounds, statistics
 
     if engine == "uniformization":
-        return joint_distribution(
+        context = prepare_path_engine(
             transformed,
-            initial_state=initial_state,
             psi_states=psi,
             time_bound=time_bound.upper,
             reward_bound=reward_bound.upper,
@@ -276,16 +367,26 @@ def until_probability(
             strategy=strategy,
             truncation=truncation,
         )
-    if engine == "discretization":
-        return discretized_joint_distribution(
+        for state in pending:
+            result = joint_distribution_from_context(context, state)
+            values[state] = result.probability
+            error_bounds[state] = result.error_bound
+            statistics[state] = result
+    elif engine == "discretization":
+        batched = discretized_joint_distributions(
             transformed,
-            initial_state=initial_state,
             psi_states=psi,
             time_bound=time_bound.upper,
             reward_bound=reward_bound.upper,
             step=discretization_step,
         )
-    raise CheckError(f"unknown until engine {engine!r}")
+        for state in pending:
+            result = batched.result_for(state)
+            values[state] = result.probability
+            statistics[state] = result
+    else:
+        raise CheckError(f"unknown until engine {engine!r}")
+    return values, error_bounds, statistics
 
 
 def satisfy_until(
@@ -309,9 +410,12 @@ def satisfy_until(
     the bound.  ``Psi``-states trivially get probability 1 and
     ``(!Phi and !Psi)``-states 0 (for the supported ``[0, ...]``
     intervals), so the quantitative engines run only on the remaining
-    ``Phi``-states.  Reward-unbounded formulas additionally support
-    general time intervals ``[t1, t2]`` (the paper's future-work case)
-    via :func:`interval_until_probabilities`.
+    ``Phi``-states — via the batched :func:`until_probabilities`, which
+    runs the make-absorbing transform and the engine precomputation once
+    for all of them instead of once per state.  Reward-unbounded
+    formulas additionally support general time intervals ``[t1, t2]``
+    (the paper's future-work case) via
+    :func:`interval_until_probabilities`.
     """
     _require_zero_lower(reward_bound, "reward")
     n = model.num_states
@@ -333,29 +437,18 @@ def satisfy_until(
         )
         engine_name = "uniformization-transient"
     else:
-        _require_zero_lower(time_bound, "time")
-        values = np.zeros(n, dtype=float)
-        for state in psi:
-            values[state] = 1.0
-        pending = sorted(phi - psi)
-        for state in pending:
-            result = until_probability(
-                model,
-                initial_state=state,
-                phi_states=phi,
-                psi_states=psi,
-                time_bound=time_bound,
-                reward_bound=reward_bound,
-                engine=engine,
-                truncation_probability=truncation_probability,
-                discretization_step=discretization_step,
-                strategy=strategy,
-                truncation=truncation,
-            )
-            values[state] = result.probability
-            statistics[state] = result
-            if hasattr(result, "error_bound"):
-                error_bounds[state] = result.error_bound
+        values, error_bounds, statistics = until_probabilities(
+            model,
+            phi_states=phi,
+            psi_states=psi,
+            time_bound=time_bound,
+            reward_bound=reward_bound,
+            engine=engine,
+            truncation_probability=truncation_probability,
+            discretization_step=discretization_step,
+            strategy=strategy,
+            truncation=truncation,
+        )
         engine_name = (
             "paths-uniformization" if engine == "uniformization" else "discretization"
         )

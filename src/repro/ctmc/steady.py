@@ -10,10 +10,9 @@ probability of reaching the BSCC (eq. 3.2).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, Optional
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.ctmc.chain import CTMC
 from repro.exceptions import ModelError

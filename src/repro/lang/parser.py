@@ -27,7 +27,7 @@ Expression precedence, loosest first: ``|``, ``&``, comparisons
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.exceptions import ParseError
 from repro.lang.expressions import Binary, Boolean, Expression, Name, Number, Unary

@@ -21,7 +21,7 @@ algorithms rely on:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -131,7 +131,6 @@ class MRM:
 
     def _validate_impulses(self, iota: sp.csr_matrix) -> None:
         rates = self._ctmc.rates
-        n = self._ctmc.num_states
         coo = iota.tocoo()
         for source, target, value in zip(coo.row, coo.col, coo.data):
             if value == 0.0:

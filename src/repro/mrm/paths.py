@@ -16,7 +16,7 @@ MRM (Definition 4.3) together with their probability (Definitions
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.exceptions import ModelError
 from repro.mrm.model import MRM, UniformizedMRM

@@ -24,7 +24,7 @@ lie in ``[0, 1]``, which is the source of the method's stability.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.exceptions import NumericalError
 

@@ -9,6 +9,11 @@ provided:
   (``P_0 = exp(-L t)``, ``P_i = (L t / i) * P_{i-1}``), adequate for the
   moderate ``Lambda * t`` regime in which path-based uniformization is
   applicable at all;
+* :func:`poisson_pmf_table` — the same probabilities evaluated entry-wise
+  in log space (vectorized), which stays exact-to-rounding for large
+  ``Lambda * t`` where the recursive scheme's seed ``exp(-L t)``
+  underflows to zero and silently destroys the whole table (used by the
+  path engine's truncation tables);
 * :func:`fox_glynn` — the Fox–Glynn algorithm, which computes a window
   ``[left, right]`` of numerically significant weights without underflow,
   for large ``Lambda * t`` (used by the CSL-style time-bounded until
@@ -24,11 +29,13 @@ from dataclasses import dataclass
 from typing import List
 
 import numpy as np
+import scipy.special
 
 from repro.exceptions import NumericalError
 
 __all__ = [
     "poisson_pmf",
+    "poisson_pmf_table",
     "poisson_weights",
     "poisson_tail_from",
     "FoxGlynnWeights",
@@ -49,6 +56,32 @@ def poisson_pmf(lam_t: float, n: int) -> float:
         return 1.0 if n == 0 else 0.0
     log_p = -lam_t + n * math.log(lam_t) - math.lgamma(n + 1)
     return math.exp(log_p)
+
+
+def poisson_pmf_table(lam_t: float, depth: int) -> np.ndarray:
+    """Vectorized ``pmf(0..depth; lam_t)`` evaluated in log space.
+
+    Unlike :func:`poisson_weights` (the recursive scheme seeded at
+    ``e^{-lt}``), each entry is exponentiated from its own log value
+    ``-lt + n log(lt) - lgamma(n+1)``, so a single underflowing entry —
+    typically the head of the distribution for ``lam_t >~ 745`` — never
+    poisons the rest of the table.  Entries whose true value lies below
+    the smallest positive double round to 0.0, which is the correctly
+    rounded result.
+    """
+    if lam_t < 0:
+        raise NumericalError("Poisson parameter must be non-negative")
+    if depth < 0:
+        raise NumericalError("depth must be non-negative")
+    if not math.isfinite(lam_t):
+        raise NumericalError("Poisson parameter must be finite")
+    table = np.zeros(depth + 1, dtype=float)
+    if lam_t == 0.0:
+        table[0] = 1.0
+        return table
+    indices = np.arange(depth + 1, dtype=float)
+    log_pmf = -lam_t + indices * math.log(lam_t) - scipy.special.gammaln(indices + 1.0)
+    return np.exp(log_pmf)
 
 
 def poisson_weights(lam_t: float, depth: int) -> np.ndarray:

@@ -13,7 +13,7 @@ states made absorbing and the target set being the whole state space.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from repro.check.paths_engine import PathEngineResult, joint_distribution
 from repro.mrm.model import MRM

@@ -94,6 +94,42 @@ class TestCaching:
         second = checker.check(formula)
         assert first.states == second.states
 
+    def test_prob_formulas_share_path_engine_run(self, wavelan, monkeypatch):
+        """Two P formulas differing only in comparison/bound run the
+        engine once: the value cache is keyed by the path operator."""
+        import repro.check.checker as checker_mod
+
+        calls = []
+        real = checker_mod.satisfy_until
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(checker_mod, "satisfy_until", counting)
+        checker = ModelChecker(wavelan)
+        low = checker.check("P(>0.1) [idle U[0,2][0,2000] busy]")
+        high = checker.check("P(<=0.9) [idle U[0,2][0,2000] busy]")
+        assert len(calls) == 1
+        assert len(checker._path_value_cache) == 1
+        assert low.probability_of(2) == pytest.approx(high.probability_of(2))
+
+    def test_different_intervals_do_not_share(self, wavelan, monkeypatch):
+        import repro.check.checker as checker_mod
+
+        calls = []
+        real = checker_mod.satisfy_until
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(checker_mod, "satisfy_until", counting)
+        checker = ModelChecker(wavelan)
+        checker.check("P(>0.1) [idle U[0,2][0,2000] busy]")
+        checker.check("P(>0.1) [idle U[0,1][0,2000] busy]")
+        assert len(calls) == 2
+
 
 class TestPathProbabilities:
     def test_until_string(self, checker):

@@ -122,3 +122,57 @@ class TestAccuracy:
             model, 0, {0, 1}, 2.0, 1000.0, step=1 / 16
         )
         assert result.probability == pytest.approx(1.0, abs=1e-9)
+
+
+class TestBatchedSweep:
+    """The adjoint (backward) sweep must equal the forward recursion."""
+
+    def test_batched_matches_forward_on_tmr(self, tmr3):
+        from repro.check.discretization import discretized_joint_distributions
+
+        failed = tmr3.states_with_label("failed")
+        batched = discretized_joint_distributions(
+            tmr3, failed, 20.0, 500.0, step=0.25
+        )
+        for state in range(tmr3.num_states):
+            single = discretized_joint_distribution(
+                tmr3, state, failed, 20.0, 500.0, step=0.25
+            )
+            assert batched.probabilities[state] == pytest.approx(
+                single.probability, abs=1e-12
+            )
+
+    def test_result_for_views(self):
+        from repro.check.discretization import discretized_joint_distributions
+
+        model = two_state_model()
+        batched = discretized_joint_distributions(model, {1}, 2.0, 10.0, step=0.25)
+        view = batched.result_for(0)
+        assert view.time_steps == 8
+        assert view.reward_cells == 40
+        assert view.step == 0.25
+        single = discretized_joint_distribution(model, 0, {1}, 2.0, 10.0, step=0.25)
+        assert view.probability == pytest.approx(single.probability, abs=1e-12)
+
+    def test_psi_states_are_one(self):
+        from repro.check.discretization import discretized_joint_distributions
+
+        model = two_state_model()
+        batched = discretized_joint_distributions(model, {1}, 1.0, 10.0, step=0.25)
+        assert batched.probabilities[1] == pytest.approx(1.0, abs=1e-12)
+
+
+class TestStayClamp:
+    def test_exact_boundary_step_has_no_negative_mass(self):
+        """E(s) * d == 1 exactly: stay probability must clamp to 0, and
+        the result stays a probability."""
+        model = two_state_model(lam=4.0)
+        result = discretized_joint_distribution(
+            model, 0, {1}, 1.0, 10.0, step=0.25
+        )
+        assert 0.0 <= result.probability <= 1.0 + 1e-12
+
+    def test_coarse_message_names_remedy(self):
+        model = two_state_model(lam=10.0)
+        with pytest.raises(NumericalError, match="choose d <="):
+            discretized_joint_distribution(model, 0, {1}, 1.0, 10.0, step=0.25)

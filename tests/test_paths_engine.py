@@ -232,3 +232,66 @@ class TestValidation:
         model = reward_free_two_state()
         with pytest.raises(CheckError):
             joint_distribution(model, 0, {1}, 1.0, 1.0, truncation="loose")
+
+
+class TestLargeLambdaT:
+    """Regression tests for the exp(-lam_t) underflow (lam_t > ~745).
+
+    The tables are now built in log space, so Lambda * t in the
+    hundreds must yield finite, non-degenerate results instead of a
+    silent probability 0 with error bound 1.
+    """
+
+    def test_heads_finite_and_nondegenerate_at_800(self):
+        heads = _poisson_heads(800.0, 900)
+        assert np.all(np.isfinite(heads))
+        # Mass below the mode is about one half, not zero.
+        assert 0.3 < heads[800] < 0.7
+        assert heads[900] > 0.99
+
+    def test_maxpois_peak_at_distant_mode(self):
+        table = _poisson_max_from(800.0, 10)
+        # Max over n >= 0 is the mode value ~ 1/sqrt(2*pi*lam_t).
+        expected = 1.0 / math.sqrt(2.0 * math.pi * 800.0)
+        assert table[0] == pytest.approx(expected, rel=1e-2)
+        assert table[0] > 0.0
+
+    def test_max_useful_depth_large_lambda(self):
+        depth = _max_useful_depth(800.0, 1e-8)
+        assert 800 < depth < 1200
+
+    def test_joint_distribution_nondegenerate_above_800(self):
+        """lam_t = 801: the engine must return ~P(X(t)=1) = 0.5 with a
+        small error bound, not (0, 1)."""
+        chain = CTMC([[0.0, 1.0], [1.0, 0.0]], labels={1: {"b"}})
+        model = MRM(chain, state_rewards=[1.0, 1.0])
+        t = 801.0
+        result = joint_distribution(
+            model,
+            0,
+            {1},
+            time_bound=t,
+            reward_bound=2.0 * t,
+            truncation_probability=1e-10,
+            strategy="merged",
+            truncation="safe",
+        )
+        exact = (1.0 - math.exp(-2.0 * t)) / 2.0
+        assert result.error_bound < 1e-6
+        assert result.probability == pytest.approx(exact, abs=1e-6)
+
+    def test_unrepresentable_raises_numerical_error(self):
+        """A depth limit that caps the table below any representable
+        Poisson weight must fail loudly, not return zeros."""
+        from repro.exceptions import NumericalError
+
+        model = reward_free_two_state()
+        with pytest.raises(NumericalError):
+            joint_distribution(
+                model,
+                0,
+                {1},
+                time_bound=5000.0,
+                reward_bound=1e9,
+                depth_limit=10,
+            )

@@ -73,10 +73,18 @@ class TestSteadyStateProperties:
     def test_matrix_rows_match_per_start_limits(self, seed, n):
         chain = random_ctmc(seed, n, density=0.5, max_rate=2.0)
         matrix = steady_state_matrix(chain)
+        # Mixing slows down with the slowest transition; stretch the
+        # horizon accordingly so slow chains are converged at comparison
+        # time (regression: seed 117 mixes on a ~1/0.05 time scale).
+        rates = chain.rates
+        slowest = min(
+            (float(r) for r in rates.data if r > 0.0), default=1.0
+        )
+        horizon = 500.0 / min(1.0, slowest)
         for start in range(n):
             initial = np.zeros(n)
             initial[start] = 1.0
-            long_run = transient_distribution(chain, initial, 500.0)
+            long_run = transient_distribution(chain, initial, horizon)
             assert matrix[start] == pytest.approx(long_run, abs=1e-5)
 
 
@@ -100,6 +108,121 @@ class TestEmbeddedAndUniformized:
             chain, initial, 1.0, uniformization_rate=25.0
         )
         assert inflated == pytest.approx(base, abs=1e-9)
+
+
+@st.composite
+def small_reward_mrm(draw):
+    """A random MRM with <= 4 states, moderate rates, integer rewards."""
+    from repro.mrm.model import MRM
+
+    n = draw(st.integers(min_value=2, max_value=4))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    rates = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < 0.6:
+                rates[i][j] = float(rng.integers(1, 4)) / 4.0
+    if rates[0].sum() == 0.0:
+        rates[0][1 % n] = 1.0
+    rewards = [float(rng.integers(0, 4)) for _ in range(n)]
+    impulses = {}
+    for i in range(n):
+        for j in range(n):
+            if i != j and rates[i][j] > 0 and rng.random() < 0.4:
+                impulses[(i, j)] = float(rng.integers(1, 3))
+    return MRM(CTMC(rates), state_rewards=rewards, impulse_rewards=impulses)
+
+
+class TestBatchedEnginesMatchPerStateLoop:
+    """The batched all-states P2 evaluation must reproduce the per-state
+    loop bit-for-bit (well within 1e-10) for both engines: the batched
+    paths engine runs the same searches against one shared context, and
+    the batched discretization engine runs the adjoint of the forward
+    recursion."""
+
+    @given(model=small_reward_mrm(), data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_paths_engine_batched_equals_loop(self, model, data):
+        from repro.check.paths_engine import (
+            joint_distribution,
+            joint_distribution_all,
+        )
+
+        n = model.num_states
+        psi = {data.draw(st.integers(0, n - 1))}
+        t = data.draw(st.sampled_from([0.5, 1.0]))
+        r = data.draw(st.sampled_from([1.0, 3.0, 8.0]))
+        strategy = data.draw(st.sampled_from(["paths", "merged"]))
+        kwargs = dict(
+            psi_states=psi,
+            time_bound=t,
+            reward_bound=r,
+            truncation_probability=1e-8,
+            strategy=strategy,
+        )
+        batched = joint_distribution_all(model, range(n), **kwargs)
+        for state in range(n):
+            single = joint_distribution(model, state, **kwargs)
+            assert batched[state].probability == pytest.approx(
+                single.probability, abs=1e-10
+            )
+            assert batched[state].error_bound == pytest.approx(
+                single.error_bound, abs=1e-10
+            )
+            assert batched[state].paths_generated == single.paths_generated
+            assert batched[state].paths_stored == single.paths_stored
+
+    @given(model=small_reward_mrm(), data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_discretization_batched_equals_loop(self, model, data):
+        from repro.check.discretization import (
+            discretized_joint_distribution,
+            discretized_joint_distributions,
+        )
+
+        n = model.num_states
+        psi = {data.draw(st.integers(0, n - 1))}
+        t = data.draw(st.sampled_from([0.5, 1.0]))
+        r = data.draw(st.sampled_from([2.0, 6.0]))
+        batched = discretized_joint_distributions(model, psi, t, r, step=1 / 32)
+        for state in range(n):
+            single = discretized_joint_distribution(
+                model, state, psi, t, r, step=1 / 32
+            )
+            assert batched.probabilities[state] == pytest.approx(
+                single.probability, abs=1e-10
+            )
+            view = batched.result_for(state)
+            assert view.time_steps == single.time_steps
+            assert view.reward_cells == single.reward_cells
+
+    @given(model=small_reward_mrm(), data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_satisfy_until_matches_manual_loop(self, model, data):
+        """End to end: the batched satisfy_until equals per-state
+        until_probability for the pending states."""
+        from repro.check.until import satisfy_until, until_probability
+        from repro.logic.ast import Comparison
+        from repro.numerics.intervals import Interval
+
+        n = model.num_states
+        psi = {data.draw(st.integers(0, n - 1))}
+        phi = set(range(n)) - {data.draw(st.integers(0, n - 1))}
+        time_bound = Interval.upto(0.5)
+        reward_bound = Interval.upto(4.0)
+        result = satisfy_until(
+            model, Comparison.GE, 0.5, phi, psi, time_bound, reward_bound
+        )
+        for state in sorted(phi - psi):
+            single = until_probability(
+                model, state, phi, psi, time_bound, reward_bound
+            )
+            assert result.values[state] == pytest.approx(
+                single.probability, abs=1e-10
+            )
+            assert result.error_bound_of(state) == pytest.approx(
+                single.error_bound, abs=1e-10
+            )
 
 
 class TestParserFuzz:
