@@ -1,8 +1,14 @@
-"""Table-rendering helper shared by the reproduction benchmarks."""
+"""Table-rendering and result-recording helpers shared by the benchmarks."""
 
-from typing import Iterable, Sequence
+import json
+import os
+from typing import Any, Dict, Iterable, Sequence
 
-__all__ = ["print_table"]
+__all__ = ["print_table", "update_bench_json", "BENCH_JSON"]
+
+# Machine-readable perf trajectory at the repo root; successive PRs
+# append/overwrite their entries so regressions are visible in history.
+BENCH_JSON = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_2.json")
 
 
 def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[str]]) -> None:
@@ -19,3 +25,27 @@ def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[str]]
     print("-" * len(line))
     for row in rows:
         print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def update_bench_json(entry: str, payload: Dict[str, Any], path: str = BENCH_JSON) -> None:
+    """Merge one benchmark's results into the JSON perf trajectory.
+
+    ``entry`` names the benchmark (one key in the top-level object);
+    ``payload`` holds its measurements — by convention wall times in
+    seconds, ``paths_per_sec`` throughputs, and ``speedup`` ratios
+    against the serial/legacy baseline.  Existing entries for other
+    benchmarks are preserved, so any subset of the suite can be re-run.
+    """
+    results: Dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                results = json.load(handle)
+        except (OSError, ValueError):
+            results = {}
+    if not isinstance(results, dict):
+        results = {}
+    results[entry] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")

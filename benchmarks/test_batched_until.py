@@ -1,4 +1,4 @@
-"""Batched all-states until vs. the per-state loop.
+"""Batched all-states until vs. the per-state loop, and engine shoot-outs.
 
 The batched entry point (:func:`repro.check.until.until_probabilities`)
 answers ``P(s, Phi U^I_J Psi)`` for every pending state from one shared
@@ -7,20 +7,38 @@ precomputation: the discretization engine runs a single adjoint
 and the uniformization engine reuses one prepared context (uniformized
 process, Poisson tables, Omega memos) across all starts.
 
-The benchmark checks both engines agree with the per-state loop to
-1e-10 and that the batched discretization sweep is at least 3x faster
-on a multi-state formula (TMR with five pending ``Sup`` states).
+Three benchmarks:
+
+* ``test_batched_until`` — both engines agree with the per-state loop
+  to 1e-10 and the batched discretization sweep is at least 3x faster
+  on a multi-state formula (TMR with five pending ``Sup`` states).
+* ``test_columnar_vs_legacy`` — the vectorized columnar merged engine
+  (``strategy="merged"``) against the dict-frontier dynamic program it
+  replaced (``"merged-legacy"``) on TMR-9; asserts a >= 3x speedup on
+  the frontier-dominated workload.
+* ``test_parallel_fanout`` — ``workers=4`` multiprocess fan-out against
+  the serial loop on the same multi-state workload; results must be
+  bitwise identical, and on machines with >= 4 cores the parallel run
+  must also be faster.
+
+Results land in ``BENCH_2.json`` at the repo root.  Set ``BENCH_QUICK=1``
+for a seconds-scale smoke run (used by CI); assertions on agreement are
+kept, wall-clock assertions are retained only where still meaningful.
 """
 
+import os
 import time
 
-import pytest
+import numpy as np
 
+from repro.check.paths_engine import joint_distribution_all
 from repro.check.until import until_probabilities, until_probability
 from repro.models import build_tmr, build_wavelan_modem
 from repro.numerics.intervals import Interval
 
-from _bench_utils import print_table
+from _bench_utils import print_table, update_bench_json
+
+BENCH_QUICK = os.environ.get("BENCH_QUICK", "").strip() not in ("", "0")
 
 
 def _loop(model, pending, phi, psi, tb, rb, **kwargs):
@@ -92,3 +110,213 @@ def test_batched_until(benchmark):
     starts, batched_time, loop_time, _ = results["tmr disc"]
     assert starts >= 4
     assert loop_time >= 3.0 * batched_time
+
+
+def _engine_sweep(model, states, reward_bound, strategy):
+    """All-states joint distribution under one engine strategy."""
+    start = time.perf_counter()
+    results = joint_distribution_all(
+        model,
+        states,
+        psi_states=frozenset(range(model.num_states)),
+        time_bound=600.0,
+        reward_bound=reward_bound,
+        truncation_probability=1e-9,
+        strategy=strategy,
+        truncation="safe",
+    )
+    elapsed = time.perf_counter() - start
+    paths = sum(r.paths_generated for r in results.values())
+    return results, elapsed, paths
+
+
+def test_columnar_vs_legacy(benchmark):
+    """Vectorized columnar merged engine vs. the PR-1 dict frontier.
+
+    Two TMR-9 workloads: a frontier-dominated one (reward bound below
+    every reachable accumulation, so Omega never fires and the sweep
+    cost is pure frontier algebra) and an Omega-heavy one (positive
+    thresholds, nonzero probabilities).  The columnar engine must agree
+    with the legacy dynamic program to 1e-12 on probabilities and error
+    bounds and match its path/class counts exactly; the >= 3x
+    acceptance bar is asserted on the frontier-dominated workload,
+    where the frontier rebuild is the whole story.
+    """
+    tmr = build_tmr(9)
+    states = list(range(7, 11)) if BENCH_QUICK else list(range(4, 11))
+    workloads = [("frontier rb=3000", 3000.0)]
+    if not BENCH_QUICK:
+        workloads.append(("omega rb=5000", 5000.0))
+
+    rows = []
+
+    def run():
+        measured = {}
+        for label, reward_bound in workloads:
+            legacy, legacy_time, legacy_paths = _engine_sweep(
+                tmr, states, reward_bound, "merged-legacy"
+            )
+            columnar, columnar_time, columnar_paths = _engine_sweep(
+                tmr, states, reward_bound, "merged"
+            )
+            assert columnar_paths == legacy_paths
+            for state in states:
+                assert (
+                    abs(legacy[state].probability - columnar[state].probability)
+                    <= 1e-12
+                )
+                assert (
+                    abs(legacy[state].error_bound - columnar[state].error_bound)
+                    <= 1e-12
+                )
+                assert legacy[state].classes == columnar[state].classes
+                assert legacy[state].max_depth == columnar[state].max_depth
+            measured[label] = (legacy_time, columnar_time, columnar_paths)
+            rows.append(
+                (
+                    label,
+                    len(states),
+                    f"{legacy_time:.3f}",
+                    f"{columnar_time:.3f}",
+                    f"{legacy_time / columnar_time:.1f}x",
+                    f"{columnar_paths / columnar_time:,.0f}",
+                )
+            )
+        return measured
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Columnar merged engine vs legacy dict frontier (TMR-9)",
+        ["workload", "starts", "legacy s", "columnar s", "speedup", "paths/s"],
+        rows,
+    )
+    update_bench_json(
+        "columnar_vs_legacy",
+        {
+            "model": "tmr-9",
+            "initial_states": states,
+            "quick": BENCH_QUICK,
+            "workloads": {
+                label: {
+                    "legacy_seconds": legacy_time,
+                    "columnar_seconds": columnar_time,
+                    "speedup": legacy_time / columnar_time,
+                    "paths_per_sec_legacy": paths / legacy_time,
+                    "paths_per_sec_columnar": paths / columnar_time,
+                }
+                for label, (legacy_time, columnar_time, paths) in measured.items()
+            },
+        },
+    )
+    legacy_time, columnar_time, _ = measured["frontier rb=3000"]
+    assert legacy_time >= 3.0 * columnar_time
+
+
+def test_parallel_fanout(benchmark):
+    """``workers=4`` fan-out vs. the serial all-states loop.
+
+    The probabilities, error bounds and path counts must be bitwise
+    identical (the per-state search is deterministic and independent of
+    the shared memo state).  The wall-clock assertion only applies on
+    machines with at least four cores and in full mode — the quick CI
+    smoke run keeps the equality check but its per-state work is too
+    small to amortize the fork.
+    """
+    tmr = build_tmr(9)
+    sup = tmr.states_with_label("Sup")
+    failed = tmr.states_with_label("failed")
+    time_bound, reward_bound = Interval.upto(40.0), Interval.upto(1000.0)
+    states = list(range(7, 11)) if BENCH_QUICK else list(range(4, 11))
+    workers = 4
+
+    def run():
+        serial_start = time.perf_counter()
+        serial, _, _ = until_probabilities(
+            tmr,
+            sup | failed,
+            failed,
+            time_bound,
+            reward_bound,
+            engine="uniformization",
+            truncation_probability=1e-9,
+            strategy="merged",
+        )
+        serial_time = time.perf_counter() - serial_start
+        parallel_start = time.perf_counter()
+        parallel, _, _ = until_probabilities(
+            tmr,
+            sup | failed,
+            failed,
+            time_bound,
+            reward_bound,
+            engine="uniformization",
+            truncation_probability=1e-9,
+            strategy="merged",
+            workers=workers,
+        )
+        parallel_time = time.perf_counter() - parallel_start
+        assert np.array_equal(np.asarray(serial), np.asarray(parallel))
+        all_results, sweep_time, sweep_paths = _engine_sweep(
+            tmr, states, 3000.0, "merged"
+        )
+        parallel_sweep_start = time.perf_counter()
+        parallel_results = joint_distribution_all(
+            tmr,
+            states,
+            psi_states=frozenset(range(tmr.num_states)),
+            time_bound=600.0,
+            reward_bound=3000.0,
+            truncation_probability=1e-9,
+            strategy="merged",
+            truncation="safe",
+            workers=workers,
+        )
+        parallel_sweep_time = time.perf_counter() - parallel_sweep_start
+        for state in states:
+            assert parallel_results[state].probability == all_results[state].probability
+            assert parallel_results[state].error_bound == all_results[state].error_bound
+            assert (
+                parallel_results[state].paths_generated
+                == all_results[state].paths_generated
+            )
+        return serial_time, parallel_time, sweep_time, parallel_sweep_time, sweep_paths
+
+    serial_time, parallel_time, sweep_time, parallel_sweep_time, sweep_paths = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    print_table(
+        f"Serial vs workers={workers} fan-out (TMR-9, {os.cpu_count()} cores)",
+        ["workload", "serial s", "parallel s", "speedup"],
+        [
+            (
+                "until formula",
+                f"{serial_time:.3f}",
+                f"{parallel_time:.3f}",
+                f"{serial_time / parallel_time:.2f}x",
+            ),
+            (
+                "all-states sweep",
+                f"{sweep_time:.3f}",
+                f"{parallel_sweep_time:.3f}",
+                f"{sweep_time / parallel_sweep_time:.2f}x",
+            ),
+        ],
+    )
+    update_bench_json(
+        "parallel_fanout",
+        {
+            "model": "tmr-9",
+            "workers": workers,
+            "cpu_count": os.cpu_count(),
+            "quick": BENCH_QUICK,
+            "until_serial_seconds": serial_time,
+            "until_parallel_seconds": parallel_time,
+            "sweep_serial_seconds": sweep_time,
+            "sweep_parallel_seconds": parallel_sweep_time,
+            "sweep_paths_per_sec_serial": sweep_paths / sweep_time,
+            "sweep_paths_per_sec_parallel": sweep_paths / parallel_sweep_time,
+            "sweep_speedup": sweep_time / parallel_sweep_time,
+        },
+    )
+    if not BENCH_QUICK and (os.cpu_count() or 1) >= workers:
+        assert parallel_sweep_time < sweep_time

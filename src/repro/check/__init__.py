@@ -12,12 +12,15 @@ from repro.check.until import (
     until_probabilities,
     until_probability,
 )
+from repro.check.engine_cache import CacheStats, EngineCache, default_engine_cache
 from repro.check.paths_engine import (
+    ClassTable,
     PathEngineContext,
     PathEngineResult,
     joint_distribution,
     joint_distribution_all,
     joint_distribution_from_context,
+    joint_distribution_many,
     prepare_path_engine,
 )
 from repro.check.discretization import (
@@ -46,9 +49,14 @@ __all__ = [
     "joint_distribution",
     "joint_distribution_all",
     "joint_distribution_from_context",
+    "joint_distribution_many",
     "prepare_path_engine",
+    "ClassTable",
     "PathEngineContext",
     "PathEngineResult",
+    "EngineCache",
+    "CacheStats",
+    "default_engine_cache",
     "discretized_joint_distribution",
     "discretized_joint_distributions",
     "BatchedDiscretizationResult",

@@ -13,6 +13,7 @@ from typing import Dict, FrozenSet, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.check.engine_cache import EngineCache, default_engine_cache
 from repro.check.next_op import next_probabilities
 from repro.check.results import SatResult
 from repro.check.steady import satisfy_steady
@@ -67,6 +68,11 @@ class CheckOptions:
     linear_solver:
         Solver for steady-state/unbounded-until linear systems
         (``"gauss-seidel"``, ``"jacobi"``, ``"sor"``, ``"direct"``).
+    workers:
+        Number of worker processes for the uniformization engine's
+        per-initial-state fan-out (``0``/``1`` = serial; results are
+        bitwise identical either way, see
+        :func:`repro.check.paths_engine.joint_distribution_many`).
     """
 
     until_engine: str = "uniformization"
@@ -75,6 +81,7 @@ class CheckOptions:
     path_strategy: str = "paths"
     truncation_mode: str = "safe"
     linear_solver: str = "gauss-seidel"
+    workers: int = 0
 
 
 class ModelChecker:
@@ -89,9 +96,22 @@ class ModelChecker:
     True
     """
 
-    def __init__(self, model: MRM, options: Optional[CheckOptions] = None) -> None:
+    def __init__(
+        self,
+        model: MRM,
+        options: Optional[CheckOptions] = None,
+        engine_cache: Optional[EngineCache] = None,
+    ) -> None:
         self._model = model
         self._options = options or CheckOptions()
+        # Cross-formula engine precomputation (Poisson tables, successor
+        # structures, discretization grids, Omega memos), keyed by model
+        # fingerprint so repeated checkers over equal models share it.
+        # An explicit (possibly empty, hence falsy) cache must win over
+        # the process-wide default.
+        self._engine_cache = (
+            engine_cache if engine_cache is not None else default_engine_cache()
+        )
         self._cache: Dict[Formula, FrozenSet[int]] = {}
         self._value_cache: Dict[Formula, Tuple[float, ...]] = {}
         # Quantitative values keyed by the *path* operator (including its
@@ -107,6 +127,11 @@ class ModelChecker:
     @property
     def options(self) -> CheckOptions:
         return self._options
+
+    @property
+    def engine_cache(self) -> EngineCache:
+        """The cache sharing engine precomputation across formulas."""
+        return self._engine_cache
 
     # ------------------------------------------------------------------
     # public API
@@ -185,6 +210,8 @@ class ModelChecker:
                 strategy=self._options.path_strategy,
                 truncation=self._options.truncation_mode,
                 solver=self._options.linear_solver,
+                workers=self._options.workers,
+                cache=self._engine_cache,
             )
             values = result.values
         else:

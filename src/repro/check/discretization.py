@@ -40,11 +40,12 @@ loop):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet, Dict, List, Tuple
+from typing import AbstractSet, Dict, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.check.engine_cache import EngineCache
 from repro.exceptions import CheckError, NumericalError
 from repro.mrm.model import MRM
 
@@ -252,6 +253,36 @@ class _DiscretizationGrid:
         return previous
 
 
+def _grid_for(
+    model: MRM,
+    time_bound: float,
+    reward_bound: float,
+    step: float,
+    cache: Optional[EngineCache],
+) -> "_DiscretizationGrid":
+    """The step operators for one formula, shared through ``cache``.
+
+    The grid is a pure function of the model content and the three
+    numeric parameters, and it is never mutated after construction, so
+    an :class:`~repro.check.engine_cache.EngineCache` entry keyed by
+    :meth:`~repro.mrm.MRM.fingerprint` can serve every formula with the
+    same bounds — including across distinct (but content-identical)
+    transformed model objects.
+    """
+    if cache is None:
+        return _DiscretizationGrid(model, time_bound, reward_bound, step)
+    key = (
+        "disc-grid",
+        model.fingerprint(),
+        float(time_bound),
+        float(reward_bound),
+        float(step),
+    )
+    return cache.get_or_build(
+        key, lambda: _DiscretizationGrid(model, time_bound, reward_bound, step)
+    )
+
+
 def discretized_joint_distribution(
     model: MRM,
     initial_state: int,
@@ -259,6 +290,7 @@ def discretized_joint_distribution(
     time_bound: float,
     reward_bound: float,
     step: float,
+    cache: Optional[EngineCache] = None,
 ) -> DiscretizationResult:
     """Algorithm 4.6: ``Pr{Y(t) <= r, X(t) in psi_states}``.
 
@@ -282,12 +314,16 @@ def discretized_joint_distribution(
     step:
         The discretization factor ``d``; both ``t / d`` and ``r / d``
         must be integral.
+    cache:
+        Optional :class:`~repro.check.engine_cache.EngineCache`; when
+        given, the grid operators are reused across calls and formulas
+        with the same model fingerprint and bounds.
     """
     n = model.num_states
     initial_state = int(initial_state)
     if not 0 <= initial_state < n:
         raise CheckError(f"initial state {initial_state} out of range")
-    grid = _DiscretizationGrid(model, time_bound, reward_bound, step)
+    grid = _grid_for(model, time_bound, reward_bound, step, cache)
     psi = {int(s) for s in psi_states}
 
     mass = np.zeros((n, grid.width), dtype=float)
@@ -315,6 +351,7 @@ def discretized_joint_distributions(
     time_bound: float,
     reward_bound: float,
     step: float,
+    cache: Optional[EngineCache] = None,
 ) -> BatchedDiscretizationResult:
     """Batched Algorithm 4.6: the joint probability for **all** states.
 
@@ -331,7 +368,7 @@ def discretized_joint_distributions(
     the initial state.
     """
     n = model.num_states
-    grid = _DiscretizationGrid(model, time_bound, reward_bound, step)
+    grid = _grid_for(model, time_bound, reward_bound, step, cache)
     psi = sorted({int(s) for s in psi_states if 0 <= int(s) < n})
 
     value = np.zeros((n, grid.width), dtype=float)

@@ -37,6 +37,37 @@ against a single shared context.  Sharing the context turns the
 precomputation plus ``n`` searches, and lets the Omega memoization work
 across initial states (classes recur between starts).
 
+Columnar merged engine
+----------------------
+The ``"merged"`` strategy runs as a vectorized columnar sweep: reward
+characterizations ``(k, j)`` are interned to dense integer ids by a
+:class:`ClassTable` (child classes derive from parent classes in O(1)
+via a memoized ``(parent, move)`` table), the frontier at each depth is
+three parallel NumPy arrays (state, class id, merged DTMC mass), one
+depth step expands every frontier entry through a flat CSR successor
+structure, merges duplicates with a lexsort + ``reduceat`` reduction
+and applies the truncation test as one vectorized comparison.  The
+final Omega combination groups classes by threshold and evaluates each
+group through :meth:`repro.numerics.orderstat.OmegaCalculator.value_many`
+— one shared memo traversal and a dot product per threshold instead of
+one memoized recursion per class.  The previous dict-of-tuples
+implementation remains available as strategy ``"merged-legacy"`` for
+ablation and equivalence testing; both compute the same aggregation
+(class ids are in bijection with the ``(k, j)`` tuples), so they agree
+to summation-order rounding.
+
+Multiprocess fan-out
+--------------------
+:func:`joint_distribution_many` (and the ``workers=`` parameter of
+:func:`joint_distribution_all` / :func:`repro.check.until_probabilities`)
+shards the initial states over a ``fork``-based process pool.  Each
+worker inherits the shared read-only :class:`PathEngineContext` by
+copy-on-write and runs the same deterministic per-state search, so the
+merged result dict is bitwise identical to the serial evaluation; only
+the per-state ``omega_evaluations`` diagnostics reflect each worker's
+own memo locality.  On platforms without ``fork`` the fan-out falls
+back to the serial loop.
+
 All Poisson tables are evaluated in log space
 (:func:`repro.numerics.poisson.poisson_pmf_table`), so the engine stays
 exact-to-rounding for ``Lambda * t`` beyond ~745 where the recursive
@@ -50,24 +81,30 @@ double precision.
 from __future__ import annotations
 
 import math
+import multiprocessing
 from dataclasses import dataclass, field
 from typing import AbstractSet, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.check.engine_cache import EngineCache
 from repro.exceptions import CheckError, NumericalError
 from repro.mrm.model import MRM
 from repro.numerics.orderstat import OmegaCalculator
 from repro.numerics.poisson import poisson_pmf_table
 
 __all__ = [
+    "ClassTable",
     "PathEngineResult",
     "PathEngineContext",
     "prepare_path_engine",
     "joint_distribution",
     "joint_distribution_from_context",
     "joint_distribution_all",
+    "joint_distribution_many",
 ]
+
+_STRATEGIES = ("paths", "merged", "merged-legacy")
 
 
 @dataclass(frozen=True)
@@ -171,6 +208,157 @@ def _max_useful_depth(lam_t: float, w: float, start: float = 1.0) -> int:
             raise NumericalError("Poisson depth search failed to terminate")
 
 
+class ClassTable:
+    """Integer interning of ``(k, j)`` reward characterizations.
+
+    Every distinct pair of sojourn-count vector ``k`` and impulse-count
+    vector ``j`` (the equivalence classes of eq. 4.9 — paths with equal
+    characterization have equal conditional probability) is assigned a
+    dense id ``0, 1, 2, ...`` in first-seen order.  The count vectors
+    live in two growing row-major int64 matrices, so whole frontiers of
+    classes can be gathered with one fancy-indexing call.
+
+    Child classes derive incrementally: extending a path by a transition
+    into a state of reward level ``l`` carrying impulse level ``i``
+    increments ``k[l]`` and ``j[i]`` — a *move* ``m = l * J + i``.  The
+    table memoizes ``children[class, move]``, so deriving the child of
+    an already-seen ``(class, move)`` pair is a single O(1) array
+    lookup, and :meth:`children` resolves a whole expansion batch with
+    one gather plus a Python loop over only the never-seen pairs.
+    """
+
+    def __init__(self, num_levels: int, num_impulses: int) -> None:
+        if num_levels < 1 or num_impulses < 1:
+            raise CheckError(
+                "a class table needs at least one reward and one impulse level"
+            )
+        self.num_levels = int(num_levels)
+        self.num_impulses = int(num_impulses)
+        self.num_moves = self.num_levels * self.num_impulses
+        capacity = 64
+        self._k = np.zeros((capacity, self.num_levels), dtype=np.int64)
+        self._j = np.zeros((capacity, self.num_impulses), dtype=np.int64)
+        self._children = np.full((capacity, self.num_moves), -1, dtype=np.int64)
+        # Content index: raw little-endian bytes of the concatenated
+        # (k, j) int64 row -> class id.  Bytes keys make bulk interning
+        # one ``tobytes`` per row instead of two tuple conversions.
+        self._index: Dict[bytes, int] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _ensure_capacity(self, needed: int) -> None:
+        capacity = self._k.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, 2 * capacity)
+        for name, fill in (("_k", 0), ("_j", 0), ("_children", -1)):
+            old = getattr(self, name)
+            fresh = np.full((new_capacity, old.shape[1]), fill, dtype=np.int64)
+            fresh[: self._size] = old[: self._size]
+            setattr(self, name, fresh)
+
+    def intern(self, k, j) -> int:
+        """Id of the class ``(k, j)``, assigning a fresh one if unseen."""
+        k_row = np.asarray(k, dtype=np.int64)
+        j_row = np.asarray(j, dtype=np.int64)
+        if k_row.shape != (self.num_levels,) or j_row.shape != (self.num_impulses,):
+            raise CheckError("class characterization has the wrong shape")
+        key = k_row.tobytes() + j_row.tobytes()
+        class_id = self._index.get(key)
+        if class_id is not None:
+            return class_id
+        class_id = self._size
+        self._ensure_capacity(class_id + 1)
+        self._k[class_id] = k_row
+        self._j[class_id] = j_row
+        self._index[key] = class_id
+        self._size += 1
+        return class_id
+
+    def root(self, level: int) -> int:
+        """Id of the empty-path class starting at reward level ``level``."""
+        k = [0] * self.num_levels
+        k[int(level)] = 1
+        return self.intern(k, [0] * self.num_impulses)
+
+    def children(self, parents: np.ndarray, moves: np.ndarray) -> np.ndarray:
+        """Vectorized child-class derivation for a batch of expansions.
+
+        ``parents[i]`` is a class id and ``moves[i] = level * J + impulse``
+        encodes the transition taken; returns the child class ids.  Only
+        the distinct never-seen ``(parent, move)`` pairs fall back to
+        interning — everything else is one array gather.
+        """
+        out = self._children[parents, moves]
+        missing = out < 0
+        if missing.any():
+            pairs = np.unique(
+                parents[missing] * np.int64(self.num_moves) + moves[missing]
+            )
+            miss_parents, miss_moves = np.divmod(pairs, np.int64(self.num_moves))
+            levels, impulses = np.divmod(miss_moves, np.int64(self.num_impulses))
+            rows = np.arange(pairs.size)
+            child_k = self._k[miss_parents]
+            child_k[rows, levels] += 1
+            child_j = self._j[miss_parents]
+            child_j[rows, impulses] += 1
+            self._children[miss_parents, miss_moves] = self._intern_rows(
+                child_k, child_j
+            )
+            out = self._children[parents, moves]
+        return out
+
+    def _intern_rows(self, k_rows: np.ndarray, j_rows: np.ndarray) -> np.ndarray:
+        """Bulk :meth:`intern`: one id per row pair, appending unseen rows.
+
+        The only per-row Python work is a ``tobytes`` + dict probe on the
+        concatenated characterization; fresh rows are appended to the
+        backing arrays in one slice assignment.
+        """
+        combined = np.ascontiguousarray(
+            np.concatenate((k_rows, j_rows), axis=1), dtype=np.int64
+        )
+        index = self._index
+        ids = np.empty(combined.shape[0], dtype=np.int64)
+        fresh_rows = []
+        next_id = self._size
+        for pos, row in enumerate(combined):
+            key = row.tobytes()
+            class_id = index.get(key)
+            if class_id is None:
+                class_id = next_id
+                index[key] = class_id
+                fresh_rows.append(pos)
+                next_id += 1
+            ids[pos] = class_id
+        if fresh_rows:
+            self._ensure_capacity(next_id)
+            block = combined[fresh_rows]
+            self._k[self._size : next_id] = block[:, : self.num_levels]
+            self._j[self._size : next_id] = block[:, self.num_levels :]
+            self._size = next_id
+        return ids
+
+    def k_rows(self, class_ids: np.ndarray) -> np.ndarray:
+        """Sojourn-count vectors of the given classes (one row each)."""
+        return self._k[class_ids]
+
+    def j_rows(self, class_ids: np.ndarray) -> np.ndarray:
+        """Impulse-count vectors of the given classes (one row each)."""
+        return self._j[class_ids]
+
+    def key_of(self, class_id: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """The ``(k, j)`` tuple pair a class id stands for."""
+        if not 0 <= int(class_id) < self._size:
+            raise CheckError(f"class id {class_id} out of range")
+        return (
+            tuple(int(v) for v in self._k[int(class_id)]),
+            tuple(int(v) for v in self._j[int(class_id)]),
+        )
+
+
 @dataclass
 class PathEngineContext:
     """Initial-state-independent precomputation for one P2 formula.
@@ -180,6 +368,14 @@ class PathEngineContext:
     process, successor tables, reward-level indexing, Poisson
     pmf/head/max tables and the Omega calculators (whose memo tables are
     keyed by threshold and grow monotonically across runs).
+
+    For the columnar ``"merged"`` engine the successor structure is
+    additionally flattened to CSR arrays (``succ_indptr[s] ..
+    succ_indptr[s + 1]`` index the out-edges of ``s``; dead targets are
+    dropped, matching the search's pruning) with per-edge *move* codes,
+    and a :class:`ClassTable` interns the reward classes — both persist
+    across initial states, so classes recurring between starts keep
+    their ids and child derivations.
     """
 
     psi: frozenset
@@ -201,6 +397,12 @@ class PathEngineContext:
     maxpois: Optional[np.ndarray]
     num_states: int
     calculators: Dict[float, OmegaCalculator] = field(default_factory=dict)
+    succ_indptr: Optional[np.ndarray] = None
+    succ_targets: Optional[np.ndarray] = None
+    succ_probs: Optional[np.ndarray] = None
+    succ_moves: Optional[np.ndarray] = None
+    psi_mask: Optional[np.ndarray] = None
+    class_table: Optional[ClassTable] = None
 
 
 def prepare_path_engine(
@@ -214,6 +416,7 @@ def prepare_path_engine(
     strategy: str = "paths",
     truncation: str = "safe",
     uniformization_rate: Optional[float] = None,
+    cache: Optional[EngineCache] = None,
 ) -> PathEngineContext:
     """Validate the query and build the shared :class:`PathEngineContext`.
 
@@ -221,6 +424,14 @@ def prepare_path_engine(
     state; see there for their meaning.  The model is used as given —
     callers evaluating an until formula must apply
     :meth:`repro.mrm.MRM.make_absorbing` first (Theorems 4.1/4.3).
+
+    When an :class:`~repro.check.engine_cache.EngineCache` is supplied
+    the whole context is cached under the model fingerprint plus the
+    formula-relevant parameters, the Poisson tables are shared across
+    contexts with equal ``Lambda * t``, and the Omega memo tables are
+    shared across every formula with the same distinct-reward levels —
+    so repeated checks against the same (transformed) model skip the
+    precomputation and start from warm memos.
     """
     if time_bound <= 0:
         raise CheckError("time bound must be positive")
@@ -233,14 +444,61 @@ def prepare_path_engine(
             "either a positive truncation probability or a depth limit is "
             "required for the search to terminate"
         )
-    if strategy not in ("paths", "merged"):
+    if strategy not in _STRATEGIES:
         raise CheckError(f"unknown path-engine strategy {strategy!r}")
     if truncation not in ("paper", "safe"):
         raise CheckError(f"unknown truncation mode {truncation!r}")
-    n_states = model.num_states
     psi = frozenset(int(s) for s in psi_states)
     dead = frozenset(int(s) for s in dead_states) if dead_states else frozenset()
 
+    def build() -> PathEngineContext:
+        return _build_context(
+            model,
+            psi,
+            dead,
+            float(time_bound),
+            float(reward_bound),
+            float(truncation_probability),
+            depth_limit,
+            strategy,
+            truncation,
+            uniformization_rate,
+            cache,
+        )
+
+    if cache is None:
+        return build()
+    key = (
+        "path-context",
+        model.fingerprint(),
+        psi,
+        dead,
+        float(time_bound),
+        float(reward_bound),
+        float(truncation_probability),
+        depth_limit,
+        strategy,
+        truncation,
+        uniformization_rate,
+    )
+    return cache.get_or_build(key, build)
+
+
+def _build_context(
+    model: MRM,
+    psi: frozenset,
+    dead: frozenset,
+    time_bound: float,
+    reward_bound: float,
+    w: float,
+    depth_limit: Optional[int],
+    strategy: str,
+    truncation: str,
+    uniformization_rate: Optional[float],
+    cache: Optional[EngineCache],
+) -> PathEngineContext:
+    """The actual context construction behind :func:`prepare_path_engine`."""
+    n_states = model.num_states
     process = model.uniformize(uniformization_rate)
     lam = process.rate
     lam_t = lam * time_bound
@@ -266,11 +524,16 @@ def prepare_path_engine(
             entries.append((target, probability, impulse_index[impulse]))
         successors.append(entries)
 
-    w = float(truncation_probability)
     max_depth_cap = (
         depth_limit if depth_limit is not None else _max_useful_depth(lam_t, w)
     )
-    pmf = poisson_pmf_table(lam_t, max_depth_cap + 1)
+    if cache is None:
+        pmf = poisson_pmf_table(lam_t, max_depth_cap + 1)
+    else:
+        pmf = cache.get_or_build(
+            ("poisson-pmf", lam_t, max_depth_cap + 1),
+            lambda: poisson_pmf_table(lam_t, max_depth_cap + 1),
+        )
     if lam_t > 0.0 and float(pmf.max()) == 0.0:
         raise NumericalError(
             f"every Poisson weight up to depth {max_depth_cap + 1} underflows "
@@ -281,9 +544,42 @@ def prepare_path_engine(
     heads = np.empty(max_depth_cap + 2, dtype=float)
     heads[0] = 0.0
     np.cumsum(pmf[:-1], out=heads[1:])
-    maxpois = (
-        _poisson_max_from(lam_t, max_depth_cap + 1) if truncation == "safe" else None
-    )
+    if truncation != "safe":
+        maxpois = None
+    elif cache is None:
+        maxpois = _poisson_max_from(lam_t, max_depth_cap + 1)
+    else:
+        maxpois = cache.get_or_build(
+            ("poisson-max", lam_t, max_depth_cap + 1),
+            lambda: _poisson_max_from(lam_t, max_depth_cap + 1),
+        )
+
+    # Flat CSR successor structure for the columnar engine, with dead
+    # targets dropped (the searches never enter them) and per-edge move
+    # codes (target reward level x impulse level).
+    num_impulses = len(impulse_levels)
+    indptr = np.zeros(n_states + 1, dtype=np.int64)
+    flat_targets: List[int] = []
+    flat_probs: List[float] = []
+    flat_moves: List[int] = []
+    for state in range(n_states):
+        for target, probability, impulse_idx in successors[state]:
+            if target in dead:
+                continue
+            flat_targets.append(target)
+            flat_probs.append(probability)
+            flat_moves.append(state_level[target] * num_impulses + impulse_idx)
+        indptr[state + 1] = len(flat_targets)
+    psi_mask = np.zeros(n_states, dtype=bool)
+    for state in psi:
+        psi_mask[state] = True
+
+    calculators: Dict[float, OmegaCalculator]
+    if cache is None:
+        calculators = {}
+    else:
+        calculators = cache.calculators_for(reward_levels)
+
     return PathEngineContext(
         psi=psi,
         dead=dead,
@@ -291,8 +587,8 @@ def prepare_path_engine(
         state_level=state_level,
         reward_levels=reward_levels,
         impulse_levels=impulse_levels,
-        time_bound=float(time_bound),
-        reward_bound=float(reward_bound),
+        time_bound=time_bound,
+        reward_bound=reward_bound,
         rate=lam,
         lam_t=lam_t,
         w=w,
@@ -303,6 +599,13 @@ def prepare_path_engine(
         heads=heads,
         maxpois=maxpois,
         num_states=n_states,
+        calculators=calculators,
+        succ_indptr=indptr,
+        succ_targets=np.asarray(flat_targets, dtype=np.int64),
+        succ_probs=np.asarray(flat_probs, dtype=float),
+        succ_moves=np.asarray(flat_moves, dtype=np.int64),
+        psi_mask=psi_mask,
+        class_table=ClassTable(len(reward_levels), num_impulses),
     )
 
 
@@ -318,31 +621,47 @@ def joint_distribution_from_context(
     """
     if not 0 <= int(initial_state) < context.num_states:
         raise CheckError(f"initial state {initial_state} out of range")
-    runner = _run_paths_dfs if context.strategy == "paths" else _run_merged_dp
-    stats = runner(
-        initial_state=int(initial_state),
-        psi=context.psi,
-        dead=context.dead,
-        successors=context.successors,
-        state_level=context.state_level,
-        num_levels=len(context.reward_levels),
-        num_impulses=len(context.impulse_levels),
-        w=context.w,
-        depth_limit=context.depth_limit,
-        pmf=context.pmf,
-        heads=context.heads,
-        maxpois=context.maxpois,
-    )
-    aggregated, error_bound, generated, stored, max_depth = stats
-
-    probability, classes, omega_evals = _combine_with_omega(
-        aggregated,
-        context.reward_levels,
-        context.impulse_levels,
-        context.time_bound,
-        context.reward_bound,
-        calculators=context.calculators,
-    )
+    if context.strategy == "merged":
+        k_rows, j_rows, agg_mass, error_bound, generated, stored, max_depth = (
+            _run_merged_columnar(int(initial_state), context)
+        )
+        probability, classes, omega_evals = _combine_with_omega_matrix(
+            k_rows,
+            j_rows,
+            agg_mass,
+            context.reward_levels,
+            context.impulse_levels,
+            context.time_bound,
+            context.reward_bound,
+            calculators=context.calculators,
+        )
+    else:
+        runner = (
+            _run_paths_dfs if context.strategy == "paths" else _run_merged_dp
+        )
+        stats = runner(
+            initial_state=int(initial_state),
+            psi=context.psi,
+            dead=context.dead,
+            successors=context.successors,
+            state_level=context.state_level,
+            num_levels=len(context.reward_levels),
+            num_impulses=len(context.impulse_levels),
+            w=context.w,
+            depth_limit=context.depth_limit,
+            pmf=context.pmf,
+            heads=context.heads,
+            maxpois=context.maxpois,
+        )
+        aggregated, error_bound, generated, stored, max_depth = stats
+        probability, classes, omega_evals = _combine_with_omega(
+            aggregated,
+            context.reward_levels,
+            context.impulse_levels,
+            context.time_bound,
+            context.reward_bound,
+            calculators=context.calculators,
+        )
     return PathEngineResult(
         probability=probability,
         error_bound=error_bound,
@@ -403,7 +722,11 @@ def joint_distribution(
         ``"merged"`` — a dynamic-programming variant that aggregates
         probability mass per ``(state, k, j)`` before applying the
         truncation test, which prunes strictly less at equal ``w`` (its
-        error bound still covers exactly what was discarded).
+        error bound still covers exactly what was discarded).  It runs
+        as the vectorized columnar sweep over a :class:`ClassTable`
+        (see the module docstring); ``"merged-legacy"`` selects the
+        dict-of-tuples implementation of the same recursion, kept for
+        ablation and equivalence testing.
     truncation:
         How the test ``p < w`` of Algorithm 4.7 is applied.
 
@@ -454,6 +777,8 @@ def joint_distribution_all(
     strategy: str = "paths",
     truncation: str = "safe",
     uniformization_rate: Optional[float] = None,
+    workers: int = 0,
+    cache: Optional[EngineCache] = None,
 ) -> Dict[int, PathEngineResult]:
     """Batched evaluation: one shared context, one search per initial state.
 
@@ -461,6 +786,10 @@ def joint_distribution_all(
     diagnostics intact.  Values are bitwise identical to running
     :func:`joint_distribution` per state (the searches are independent;
     the shared Omega memo tables return the same memoized values).
+
+    ``workers > 1`` shards the initial states over a process pool (see
+    :func:`joint_distribution_many`); ``cache`` reuses/persists the
+    precomputation across calls (see :func:`prepare_path_engine`).
     """
     context = prepare_path_engine(
         model,
@@ -473,11 +802,76 @@ def joint_distribution_all(
         strategy=strategy,
         truncation=truncation,
         uniformization_rate=uniformization_rate,
+        cache=cache,
     )
-    return {
-        int(state): joint_distribution_from_context(context, int(state))
-        for state in initial_states
-    }
+    return joint_distribution_many(context, initial_states, workers=workers)
+
+
+# The shared read-only context of a fan-out pool, inherited by each
+# worker through fork copy-on-write (never pickled).
+_WORKER_CONTEXT: Optional[PathEngineContext] = None
+
+
+def _fan_out_initializer(context: PathEngineContext) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _fan_out_shard(states: List[int]) -> List[Tuple[int, PathEngineResult]]:
+    context = _WORKER_CONTEXT
+    return [
+        (state, joint_distribution_from_context(context, state))
+        for state in states
+    ]
+
+
+def joint_distribution_many(
+    context: PathEngineContext,
+    initial_states: Iterable[int],
+    workers: int = 0,
+) -> Dict[int, PathEngineResult]:
+    """Run the search for many initial states against one shared context.
+
+    With ``workers <= 1`` this is the serial loop of
+    :func:`joint_distribution_all`.  With ``workers > 1`` the states are
+    split into ``workers`` contiguous shards evaluated by a
+    ``fork``-based process pool: each worker inherits the read-only
+    context by copy-on-write, runs the same deterministic searches, and
+    ships back its ``(state, PathEngineResult)`` pairs.  The merged dict
+    (probabilities, error bounds, path counts) is bitwise identical to
+    the serial evaluation — the per-state search does not depend on the
+    memo state, which only shortcuts work.  Only the per-state
+    ``omega_evaluations`` diagnostics differ: serially they reflect one
+    memo warmed left-to-right, in parallel each shard warms its own.
+    Platforms without the ``fork`` start method fall back to the serial
+    loop.
+    """
+    states = [int(state) for state in initial_states]
+    workers = int(workers or 0)
+    use_pool = (
+        workers > 1
+        and len(states) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if not use_pool:
+        return {
+            state: joint_distribution_from_context(context, state)
+            for state in states
+        }
+    workers = min(workers, len(states))
+    shards = [
+        [int(state) for state in shard]
+        for shard in np.array_split(np.asarray(states, dtype=np.int64), workers)
+        if shard.size
+    ]
+    fork = multiprocessing.get_context("fork")
+    with fork.Pool(
+        processes=len(shards),
+        initializer=_fan_out_initializer,
+        initargs=(context,),
+    ) as pool:
+        parts = pool.map(_fan_out_shard, shards)
+    return {state: result for part in parts for state, result in part}
 
 
 def _run_paths_dfs(
@@ -588,6 +982,11 @@ def _run_merged_dp(
     less than the per-path DFS and yields a tighter error bound.  The
     frontier at depth ``n`` maps ``(state, k, j)`` to the merged DTMC
     probability; the Poisson weight ``pmf[n]`` is applied on storage.
+
+    This is the legacy dict-of-tuples implementation (strategy
+    ``"merged-legacy"``), kept as the reference for the vectorized
+    :func:`_run_merged_columnar`, which computes the same recursion over
+    interned class ids and columnar frontiers.
     """
     aggregated: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], float] = {}
     error_bound = 0.0
@@ -636,10 +1035,15 @@ def _run_merged_dp(
                 )
                 key = (target, child_k, child_j)
                 next_frontier[key] = next_frontier.get(key, 0.0) + child_dtmc
-        # Truncation test on the merged classes.
+        # Truncation test on the merged classes.  Past the end of the
+        # pmf table the Poisson weight is genuinely below every
+        # representable threshold, so frontiers there score 0.0 — the
+        # same convention as the DFS (a stale last-entry lookup would
+        # keep deep frontiers alive in "paper" mode and leak their mass
+        # out of the error bound).
         surviving: Dict[Tuple[int, Tuple[int, ...], Tuple[int, ...]], float] = {}
         tail = 1.0 - heads[next_depth] if next_depth < head_count else 1.0
-        poisson_next = float(pmf[min(next_depth, pmf_count - 1)])
+        poisson_next = float(pmf[next_depth]) if next_depth < pmf_count else 0.0
         ceiling = (
             None
             if maxpois is None
@@ -654,6 +1058,345 @@ def _run_merged_dp(
         frontier = surviving
         depth = next_depth
     return aggregated, error_bound, generated, stored, max_depth
+
+
+def _class_packing(context: PathEngineContext) -> Optional[Tuple[int, int]]:
+    """Bit-field layout for packing ``(k, j)`` into at most two int64s.
+
+    The search depth is hard-bounded by the Poisson table length: in
+    ``"paper"`` mode every weight past the table is 0.0, in ``"safe"``
+    mode the final suffix maximum is (by construction of the table
+    sizing in ``_max_useful_depth``) already below ``w``, and an explicit
+    ``depth_limit`` shortens the table to match.  Every count entry is
+    therefore at most ``len(pmf) + 1``, so each field needs a fixed known
+    number of bits.  Returns ``(bits, fields_per_word)`` when all
+    ``num_levels + num_impulses`` fields fit into two 63-bit words, or
+    ``None`` (caller falls back to :class:`ClassTable` interning).
+    """
+    bits = (len(context.pmf) + 2).bit_length()
+    fields = len(context.reward_levels) + len(context.impulse_levels)
+    fields_per_word = 63 // bits
+    if fields > 2 * fields_per_word:
+        return None
+    return bits, fields_per_word
+
+
+def _run_merged_columnar(
+    initial_state: int, context: PathEngineContext
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float, int, int, int]:
+    """The merged-DP recursion as a vectorized columnar sweep.
+
+    Semantically identical to :func:`_run_merged_dp` — same frontier,
+    same merge, same truncation test, same error bound — but the
+    frontier at each depth is parallel arrays (state, class, merged DTMC
+    mass) and every step is an array operation:
+
+    * expansion gathers all out-edges of the frontier states through the
+      context's flat CSR successor arrays (``np.repeat`` over the
+      per-state degree, no per-node Python tuples);
+    * class characterizations are bit-packed count vectors (two int64
+      words, see :func:`_class_packing`), so deriving a child class is a
+      vectorized add of the per-move field increment — no hashing or
+      interning anywhere in the sweep; models whose counts do not fit
+      two words fall back to :class:`ClassTable` interning;
+    * duplicates merge with one ``lexsort`` over (class words, state)
+      plus ``np.add.reduceat``;
+    * per-depth storage appends the Poisson-weighted psi rows to a
+      column buffer; one final sort-merge aggregates them per class.
+
+    Returns ``(k_rows, j_rows, masses)`` — one row per distinct stored
+    class with its Poisson-weighted mass (combine with
+    :func:`_combine_with_omega_matrix`) — plus the same statistics tuple
+    as the other runners.
+    """
+    packing = _class_packing(context)
+    if packing is None:
+        return _sweep_interned(initial_state, context)
+    return _sweep_packed(initial_state, context, *packing)
+
+
+def _no_classes(context: PathEngineContext) -> Tuple[np.ndarray, np.ndarray]:
+    k_rows = np.empty((0, len(context.reward_levels)), dtype=np.int64)
+    j_rows = np.empty((0, len(context.impulse_levels)), dtype=np.int64)
+    return k_rows, j_rows
+
+
+def _sweep_packed(
+    initial_state: int, context: PathEngineContext, bits: int, fields_per_word: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float, int, int, int]:
+    """Columnar sweep over bit-packed class words (see caller)."""
+    pmf = context.pmf
+    heads = context.heads
+    maxpois = context.maxpois
+    w = context.w
+    depth_limit = context.depth_limit
+    psi_mask = context.psi_mask
+    indptr = context.succ_indptr
+    succ_targets = context.succ_targets
+    succ_probs = context.succ_probs
+    succ_moves = context.succ_moves
+    num_levels = len(context.reward_levels)
+    num_impulses = len(context.impulse_levels)
+
+    empty_k, empty_j = _no_classes(context)
+    no_mass = np.empty(0, dtype=float)
+    if initial_state in context.dead:
+        return empty_k, empty_j, no_mass, 0.0, 0, 0, 0
+    root_score = float(pmf[0]) if maxpois is None else float(maxpois[0])
+    if root_score < w:
+        return empty_k, empty_j, no_mass, 1.0, 0, 0, 0
+
+    # Field ``f`` (k fields first, then j fields) lives in word
+    # ``f // fields_per_word`` at bit offset ``(f % fields_per_word) * bits``.
+    def field_increment(field: int) -> Tuple[int, int]:
+        word, slot = divmod(field, fields_per_word)
+        value = 1 << (slot * bits)
+        return (value, 0) if word == 0 else (0, value)
+
+    move_lo = np.zeros(num_levels * num_impulses, dtype=np.int64)
+    move_hi = np.zeros(num_levels * num_impulses, dtype=np.int64)
+    for level in range(num_levels):
+        k_lo, k_hi = field_increment(level)
+        for impulse in range(num_impulses):
+            j_lo, j_hi = field_increment(num_levels + impulse)
+            move = level * num_impulses + impulse
+            move_lo[move] = k_lo + j_lo
+            move_hi[move] = k_hi + j_hi
+
+    root_lo, root_hi = field_increment(context.state_level[initial_state])
+    states = np.array([initial_state], dtype=np.int64)
+    class_lo = np.array([root_lo], dtype=np.int64)
+    class_hi = np.array([root_hi], dtype=np.int64)
+    mass = np.array([1.0], dtype=float)
+    stored_lo: List[np.ndarray] = []
+    stored_hi: List[np.ndarray] = []
+    stored_mass: List[np.ndarray] = []
+
+    error_bound = 0.0
+    generated = 0
+    stored = 0
+    max_depth = 0
+    depth = 0
+    pmf_count = len(pmf)
+    head_count = len(heads)
+    maxpois_count = 0 if maxpois is None else len(maxpois)
+    while states.size:
+        max_depth = depth
+        generated += int(states.size)
+        poisson_here = float(pmf[depth]) if depth < pmf_count else 0.0
+        storing = psi_mask[states]
+        if storing.any():
+            stored_lo.append(class_lo[storing])
+            stored_hi.append(class_hi[storing])
+            stored_mass.append(mass[storing] * poisson_here)
+            stored += int(storing.sum())
+        if depth_limit is not None and depth >= depth_limit:
+            break
+        next_depth = depth + 1
+        degrees = indptr[states + 1] - indptr[states]
+        total = int(degrees.sum())
+        if total == 0:
+            break
+        parent = np.repeat(np.arange(states.size), degrees)
+        offsets = np.arange(total) - np.repeat(
+            np.cumsum(degrees) - degrees, degrees
+        )
+        edges = np.repeat(indptr[states], degrees) + offsets
+        moves = succ_moves[edges]
+        child_states = succ_targets[edges]
+        child_mass = mass[parent] * succ_probs[edges]
+        child_lo = class_lo[parent] + move_lo[moves]
+        child_hi = class_hi[parent] + move_hi[moves]
+        # Merge equal (state, class) pairs: one lexsort groups them,
+        # reduceat sums their masses.
+        order = np.lexsort((child_states, child_lo, child_hi))
+        sorted_states = child_states[order]
+        sorted_lo = child_lo[order]
+        sorted_hi = child_hi[order]
+        boundaries = np.empty(total, dtype=bool)
+        boundaries[0] = True
+        np.not_equal(sorted_hi[1:], sorted_hi[:-1], out=boundaries[1:])
+        boundaries[1:] |= sorted_lo[1:] != sorted_lo[:-1]
+        boundaries[1:] |= sorted_states[1:] != sorted_states[:-1]
+        group_starts = np.flatnonzero(boundaries)
+        merged_mass = np.add.reduceat(child_mass[order], group_starts)
+        merged_states = sorted_states[group_starts]
+        merged_lo = sorted_lo[group_starts]
+        merged_hi = sorted_hi[group_starts]
+        # Truncation test on the merged classes (same conventions as the
+        # legacy runner: pmf scores 0.0 past the table, maxpois clamps
+        # to its final suffix-maximum entry).
+        tail = 1.0 - float(heads[next_depth]) if next_depth < head_count else 1.0
+        if maxpois is None:
+            ceiling = float(pmf[next_depth]) if next_depth < pmf_count else 0.0
+        else:
+            ceiling = float(maxpois[min(next_depth, maxpois_count - 1)])
+        keep = merged_mass * ceiling >= w
+        if not keep.all():
+            error_bound += float(merged_mass[~keep].sum()) * tail
+            merged_states = merged_states[keep]
+            merged_lo = merged_lo[keep]
+            merged_hi = merged_hi[keep]
+            merged_mass = merged_mass[keep]
+        states = merged_states
+        class_lo = merged_lo
+        class_hi = merged_hi
+        mass = merged_mass
+        depth = next_depth
+
+    if not stored_lo:
+        return empty_k, empty_j, no_mass, error_bound, generated, stored, max_depth
+    all_lo = np.concatenate(stored_lo)
+    all_hi = np.concatenate(stored_hi)
+    all_mass = np.concatenate(stored_mass)
+    order = np.lexsort((all_lo, all_hi))
+    sorted_lo = all_lo[order]
+    sorted_hi = all_hi[order]
+    boundaries = np.empty(all_lo.size, dtype=bool)
+    boundaries[0] = True
+    np.not_equal(sorted_hi[1:], sorted_hi[:-1], out=boundaries[1:])
+    boundaries[1:] |= sorted_lo[1:] != sorted_lo[:-1]
+    group_starts = np.flatnonzero(boundaries)
+    masses = np.add.reduceat(all_mass[order], group_starts)
+    class_lo = sorted_lo[group_starts]
+    class_hi = sorted_hi[group_starts]
+    # Unpack the merged class words back into count matrices.
+    field_mask = np.int64((1 << bits) - 1)
+    k_rows = np.empty((class_lo.size, num_levels), dtype=np.int64)
+    j_rows = np.empty((class_lo.size, num_impulses), dtype=np.int64)
+    for field in range(num_levels + num_impulses):
+        word, slot = divmod(field, fields_per_word)
+        source = class_lo if word == 0 else class_hi
+        column = (source >> np.int64(slot * bits)) & field_mask
+        if field < num_levels:
+            k_rows[:, field] = column
+        else:
+            j_rows[:, field - num_levels] = column
+    return k_rows, j_rows, masses, error_bound, generated, stored, max_depth
+
+
+def _sweep_interned(
+    initial_state: int, context: PathEngineContext
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float, int, int, int]:
+    """Columnar sweep over :class:`ClassTable`-interned dense class ids.
+
+    The fallback for models whose count vectors exceed two packed words
+    (see :func:`_class_packing`): same frontier/merge/truncation as
+    :func:`_sweep_packed`, but class identity is a dense interned id and
+    child derivation goes through :meth:`ClassTable.children` (one array
+    gather per already-seen ``(class, move)`` pair).
+    """
+    table = context.class_table
+    pmf = context.pmf
+    heads = context.heads
+    maxpois = context.maxpois
+    w = context.w
+    depth_limit = context.depth_limit
+    psi_mask = context.psi_mask
+    indptr = context.succ_indptr
+    succ_targets = context.succ_targets
+    succ_probs = context.succ_probs
+    succ_moves = context.succ_moves
+    num_states = np.int64(indptr.shape[0] - 1)
+
+    empty_k, empty_j = _no_classes(context)
+    no_mass = np.empty(0, dtype=float)
+    error_bound = 0.0
+    generated = 0
+    stored = 0
+    max_depth = 0
+
+    if initial_state in context.dead:
+        return empty_k, empty_j, no_mass, 0.0, 0, 0, 0
+    root_score = float(pmf[0]) if maxpois is None else float(maxpois[0])
+    if root_score < w:
+        return empty_k, empty_j, no_mass, 1.0, 0, 0, 0
+
+    states = np.array([initial_state], dtype=np.int64)
+    class_ids = np.array(
+        [table.root(context.state_level[initial_state])], dtype=np.int64
+    )
+    mass = np.array([1.0], dtype=float)
+    stored_ids: List[np.ndarray] = []
+    stored_mass: List[np.ndarray] = []
+    depth = 0
+    pmf_count = len(pmf)
+    head_count = len(heads)
+    maxpois_count = 0 if maxpois is None else len(maxpois)
+    while states.size:
+        max_depth = depth
+        generated += int(states.size)
+        poisson_here = float(pmf[depth]) if depth < pmf_count else 0.0
+        storing = psi_mask[states]
+        if storing.any():
+            stored_ids.append(class_ids[storing])
+            stored_mass.append(mass[storing] * poisson_here)
+            stored += int(storing.sum())
+        if depth_limit is not None and depth >= depth_limit:
+            break
+        next_depth = depth + 1
+        degrees = indptr[states + 1] - indptr[states]
+        total = int(degrees.sum())
+        if total == 0:
+            break
+        parent = np.repeat(np.arange(states.size), degrees)
+        offsets = np.arange(total) - np.repeat(
+            np.cumsum(degrees) - degrees, degrees
+        )
+        edges = np.repeat(indptr[states], degrees) + offsets
+        child_states = succ_targets[edges]
+        child_mass = mass[parent] * succ_probs[edges]
+        child_ids = table.children(class_ids[parent], succ_moves[edges])
+        # Merge equal (state, class) pairs: one stable sort on the fused
+        # key groups them, reduceat sums their masses.
+        fused = child_ids * num_states + child_states
+        order = np.argsort(fused, kind="stable")
+        sorted_key = fused[order]
+        boundaries = np.empty(total, dtype=bool)
+        boundaries[0] = True
+        np.not_equal(sorted_key[1:], sorted_key[:-1], out=boundaries[1:])
+        group_starts = np.flatnonzero(boundaries)
+        merged_mass = np.add.reduceat(child_mass[order], group_starts)
+        leaders = order[group_starts]
+        merged_states = child_states[leaders]
+        merged_ids = child_ids[leaders]
+        tail = 1.0 - float(heads[next_depth]) if next_depth < head_count else 1.0
+        if maxpois is None:
+            ceiling = float(pmf[next_depth]) if next_depth < pmf_count else 0.0
+        else:
+            ceiling = float(maxpois[min(next_depth, maxpois_count - 1)])
+        keep = merged_mass * ceiling >= w
+        if not keep.all():
+            error_bound += float(merged_mass[~keep].sum()) * tail
+            merged_states = merged_states[keep]
+            merged_ids = merged_ids[keep]
+            merged_mass = merged_mass[keep]
+        states = merged_states
+        class_ids = merged_ids
+        mass = merged_mass
+        depth = next_depth
+
+    if not stored_ids:
+        return empty_k, empty_j, no_mass, error_bound, generated, stored, max_depth
+    all_ids = np.concatenate(stored_ids)
+    all_mass = np.concatenate(stored_mass)
+    order = np.argsort(all_ids, kind="stable")
+    sorted_ids = all_ids[order]
+    boundaries = np.empty(all_ids.size, dtype=bool)
+    boundaries[0] = True
+    np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=boundaries[1:])
+    group_starts = np.flatnonzero(boundaries)
+    masses = np.add.reduceat(all_mass[order], group_starts)
+    unique_ids = sorted_ids[group_starts]
+    return (
+        table.k_rows(unique_ids),
+        table.j_rows(unique_ids),
+        masses,
+        error_bound,
+        generated,
+        stored,
+        max_depth,
+    )
 
 
 def _combine_with_omega(
@@ -700,3 +1443,56 @@ def _combine_with_omega(
         sum(c.evaluations for c in calculators.values()) - evaluations_before
     )
     return probability, len(aggregated), omega_evals
+
+
+def _combine_with_omega_matrix(
+    k_rows: np.ndarray,
+    j_rows: np.ndarray,
+    masses: np.ndarray,
+    reward_levels: List[float],
+    impulse_levels: List[float],
+    time_bound: float,
+    reward_bound: float,
+    calculators: Dict[float, OmegaCalculator],
+) -> Tuple[float, int, int]:
+    """Vectorized Omega combination over columnar class matrices.
+
+    The columnar counterpart of :func:`_combine_with_omega`: the
+    per-class thresholds are one vector expression over the count
+    matrices, and each group of classes sharing a threshold is evaluated
+    through :meth:`~repro.numerics.orderstat.OmegaCalculator.value_many`
+    — a single shared memo traversal — and folded into the probability
+    with one dot product.
+    """
+    evaluations_before = sum(c.evaluations for c in calculators.values())
+    classes = int(masses.size)
+    if classes == 0:
+        return 0.0, 0, 0
+    smallest = reward_levels[-1]
+    coefficients = [level - smallest for level in reward_levels]
+    impulse_totals = j_rows @ np.asarray(impulse_levels, dtype=float)
+    thresholds = (
+        reward_bound / time_bound - smallest - impulse_totals / time_bound
+    )
+    probability = 0.0
+    order = np.argsort(thresholds, kind="stable")
+    sorted_thresholds = thresholds[order]
+    starts = np.flatnonzero(
+        np.r_[True, sorted_thresholds[1:] != sorted_thresholds[:-1]]
+    )
+    ends = np.r_[starts[1:], np.int64(order.size)]
+    for start, end in zip(starts.tolist(), ends.tolist()):
+        threshold = float(sorted_thresholds[start])
+        if threshold < 0.0:
+            continue  # reward bound already violated by impulses alone
+        rows = order[start:end]
+        calculator = calculators.get(threshold)
+        if calculator is None:
+            calculator = OmegaCalculator(coefficients, threshold)
+            calculators[threshold] = calculator
+        values = calculator.value_many(k_rows[rows])
+        probability += float(masses[rows] @ values)
+    omega_evals = (
+        sum(c.evaluations for c in calculators.values()) - evaluations_before
+    )
+    return probability, classes, omega_evals

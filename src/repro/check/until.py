@@ -33,8 +33,10 @@ from repro.check.discretization import (
     discretized_joint_distribution,
     discretized_joint_distributions,
 )
+from repro.check.engine_cache import EngineCache
 from repro.check.paths_engine import (
     joint_distribution_from_context,
+    joint_distribution_many,
     prepare_path_engine,
 )
 from repro.check.results import UntilResult
@@ -246,6 +248,7 @@ def until_probability(
     strategy: str = "paths",
     truncation: str = "safe",
     depth_limit: Optional[int] = None,
+    cache: Optional[EngineCache] = None,
 ):
     """P2 for one initial state: the quantitative value plus diagnostics.
 
@@ -273,6 +276,7 @@ def until_probability(
             depth_limit=depth_limit,
             strategy=strategy,
             truncation=truncation,
+            cache=cache,
         )
         return joint_distribution_from_context(context, initial_state)
     if engine == "discretization":
@@ -283,6 +287,7 @@ def until_probability(
             time_bound=time_bound.upper,
             reward_bound=reward_bound.upper,
             step=discretization_step,
+            cache=cache,
         )
     raise CheckError(f"unknown until engine {engine!r}")
 
@@ -316,6 +321,8 @@ def until_probabilities(
     strategy: str = "paths",
     truncation: str = "safe",
     depth_limit: Optional[int] = None,
+    workers: int = 0,
+    cache: Optional[EngineCache] = None,
 ):
     """Batched P2: ``P(s, Phi U^I_J Psi)`` for **all** states at once.
 
@@ -334,6 +341,15 @@ def until_probabilities(
     ``Psi``-states get probability exactly 1 and ``(!Phi and !Psi)``
     states exactly 0; the engines run only on the remaining pending
     ``Phi``-states.
+
+    ``workers > 1`` shards the pending states of the uniformization
+    engine across a process pool over the shared read-only context (see
+    :func:`repro.check.paths_engine.joint_distribution_many`); the
+    probabilities and error bounds are bitwise-identical to the serial
+    run.  The discretization engine is a single batched sweep, so the
+    parameter is accepted but has no effect there.  ``cache`` shares
+    engine precomputation (Poisson tables, successor structures,
+    discretization grids, Omega memos) across formulas and calls.
 
     Returns
     -------
@@ -366,9 +382,11 @@ def until_probabilities(
             depth_limit=depth_limit,
             strategy=strategy,
             truncation=truncation,
+            cache=cache,
         )
+        results = joint_distribution_many(context, pending, workers=workers)
         for state in pending:
-            result = joint_distribution_from_context(context, state)
+            result = results[state]
             values[state] = result.probability
             error_bounds[state] = result.error_bound
             statistics[state] = result
@@ -379,6 +397,7 @@ def until_probabilities(
             time_bound=time_bound.upper,
             reward_bound=reward_bound.upper,
             step=discretization_step,
+            cache=cache,
         )
         for state in pending:
             result = batched.result_for(state)
@@ -403,6 +422,8 @@ def satisfy_until(
     strategy: str = "paths",
     truncation: str = "safe",
     solver: str = "gauss-seidel",
+    workers: int = 0,
+    cache: Optional[EngineCache] = None,
 ) -> UntilResult:
     """Algorithm 4.5 generalized over the three property classes.
 
@@ -448,6 +469,8 @@ def satisfy_until(
             discretization_step=discretization_step,
             strategy=strategy,
             truncation=truncation,
+            workers=workers,
+            cache=cache,
         )
         engine_name = (
             "paths-uniformization" if engine == "uniformization" else "discretization"

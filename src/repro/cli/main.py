@@ -16,6 +16,9 @@ or, with a guarded-command model description::
   are printed.
 * ``-c/--const NAME=VALUE`` overrides a ``const`` declaration of a
   ``.mrm`` model (repeatable).
+* ``-j/--workers N`` fans the uniformization engine's per-initial-state
+  searches out over ``N`` worker processes (results are identical to a
+  serial run).
 
 Formulas are read one per line, either from ``--formula/-f`` arguments
 or from standard input.  Empty lines and lines starting with ``#`` are
@@ -25,6 +28,7 @@ skipped.  States in the output are 1-based, matching the file formats.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -74,6 +78,15 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="NAME=VALUE",
         help="override a const declaration of a .mrm model (repeatable)",
+    )
+    parser.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for the uniformization engine's "
+        "per-initial-state fan-out (default: serial)",
     )
     return parser
 
@@ -149,6 +162,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         options = _parse_method(method_argument)
+        if args.workers:
+            if args.workers < 0:
+                raise ReproError(f"bad --workers {args.workers}: must be >= 0")
+            options = dataclasses.replace(options, workers=args.workers)
         if args.tra.endswith(".mrm"):
             overrides = {}
             for item in args.const:

@@ -21,6 +21,7 @@ algorithms rely on:
 
 from __future__ import annotations
 
+import hashlib
 from typing import FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
@@ -87,6 +88,7 @@ class MRM:
         iota = self._build_impulse_matrix(impulse_rewards, n)
         self._validate_impulses(iota)
         self._iota = iota
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -233,6 +235,41 @@ class MRM:
     def has_impulse_rewards(self) -> bool:
         """Whether any transition carries a positive impulse reward."""
         return bool(self._iota.nnz)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the model (rates, labels, rewards).
+
+        Two MRMs with identical state spaces, transition rates, labels,
+        state rewards and impulse rewards share a fingerprint; any
+        difference in those ingredients changes it.  The digest is
+        computed once and cached (the model is immutable by design).
+
+        The fingerprint keys the :class:`repro.check.EngineCache`:
+        engine precomputation (path-engine contexts, discretization
+        grids, Poisson tables, Omega memo tables) built for one formula
+        can be reused for a different formula, a repeated
+        :class:`~repro.check.ModelChecker`, or a later CLI invocation
+        whenever the (transformed) model and the formula-relevant
+        parameters coincide.
+        """
+        if self._fingerprint is not None:
+            return self._fingerprint
+        digest = hashlib.sha256()
+        digest.update(b"mrm-v1")
+        digest.update(np.int64(self.num_states).tobytes())
+        rates = self._ctmc.rates.tocsr()
+        iota = self._iota.tocsr()
+        for matrix in (rates, iota):
+            digest.update(np.asarray(matrix.indptr, dtype=np.int64).tobytes())
+            digest.update(np.asarray(matrix.indices, dtype=np.int64).tobytes())
+            digest.update(np.asarray(matrix.data, dtype=np.float64).tobytes())
+        digest.update(np.asarray(self._rho, dtype=np.float64).tobytes())
+        for state in range(self.num_states):
+            line = ",".join(sorted(self._ctmc.labels_of(state)))
+            digest.update(line.encode("utf-8"))
+            digest.update(b"\n")
+        self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # transformations

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Dict, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import NumericalError
 
 __all__ = ["OmegaCalculator", "omega", "conditional_reward_probability"]
@@ -86,6 +88,37 @@ class OmegaCalculator:
             raise NumericalError("counts must be non-negative")
         return self._value(key)
 
+    def value_many(self, counts) -> np.ndarray:
+        """Batch ``Omega(threshold, k)`` for every row of ``counts``.
+
+        ``counts`` is a 2-D array-like of non-negative integers, one
+        count vector per row.  All rows are evaluated through a *single*
+        traversal of the shared memo table: every distinct unmemoized key
+        is pushed onto one work stack, so common sub-problems between the
+        rows (which dominate — the recursion only ever decrements
+        entries) are expanded exactly once.  This is what turns the
+        per-class Omega combination of the path engine into one batched
+        lookup per depth instead of one memoized recursion per class.
+
+        Returns the values as a float array aligned with the input rows.
+        """
+        matrix = np.asarray(counts, dtype=np.int64)
+        if matrix.ndim != 2:
+            raise NumericalError("value_many expects a 2-D array of counts")
+        if matrix.shape[1] != len(self._coefficients):
+            raise NumericalError(
+                f"count vectors have length {matrix.shape[1]}, expected "
+                f"{len(self._coefficients)}"
+            )
+        if matrix.size and int(matrix.min()) < 0:
+            raise NumericalError("counts must be non-negative")
+        memo = self._memo
+        keys = list(map(tuple, matrix.tolist()))
+        missing = [key for key in dict.fromkeys(keys) if key not in memo]
+        if missing:
+            self._evaluate_batch(missing)
+        return np.array([memo[key] for key in keys], dtype=float)
+
     def _split(self, key: Tuple[int, ...]):
         """Base-case value, or the two child keys with their weights.
 
@@ -114,12 +147,149 @@ class OmegaCalculator:
         weight_i = (r - c_j) / (c_i - c_j)
         return None, (tuple(without_j), weight_j, tuple(without_i), weight_i)
 
+    def _evaluate_batch(self, roots) -> None:
+        """Evaluate all ``roots`` through one generation-synchronous sweep.
+
+        The recursion of :meth:`_split` always decrements exactly one
+        entry, so every child of a count vector with sum ``n`` has sum
+        ``n - 1``: the dependency DAG is layered by row sum.  This walks
+        the layers top-down, resolving each layer's base cases, child
+        selections and recursion weights with vectorized array
+        operations, then propagates values bottom-up.  Each distinct
+        sub-problem is expanded exactly once and the arithmetic per node
+        (two multiplies and an add on the same operands, in the same
+        order) is bitwise identical to the scalar stack of
+        :meth:`_evaluate`, so the memo contents agree between the two
+        paths.
+        """
+        memo = self._memo
+        coeffs = self._coefficients
+        num_groups = len(coeffs)
+        greater = self._greater
+        lesser = self._lesser
+        threshold = self._threshold
+
+        # Per-(i, j) recursion weights, built with the exact scalar
+        # arithmetic of _split so both evaluation paths agree bitwise.
+        if greater and lesser:
+            greater_idx = np.array(greater, dtype=np.int64)
+            lesser_idx = np.array(lesser, dtype=np.int64)
+            weight_j_table = np.zeros((num_groups, num_groups), dtype=float)
+            weight_i_table = np.zeros((num_groups, num_groups), dtype=float)
+            for i in greater:
+                for j in lesser:
+                    c_i = coeffs[i]
+                    c_j = coeffs[j]
+                    weight_j_table[i, j] = (c_i - threshold) / (c_i - c_j)
+                    weight_i_table[i, j] = (threshold - c_j) / (c_i - c_j)
+
+        # Bucket the roots by layer (row sum); positions within a layer
+        # follow insertion order, which the value arrays mirror.
+        pending_layers: Dict[int, Dict[Tuple[int, ...], int]] = {}
+        for key in roots:
+            index = pending_layers.setdefault(sum(key), {})
+            if key not in index:
+                index[key] = len(index)
+
+        layers = []
+        layer_sum = max(pending_layers)
+        index = pending_layers.pop(layer_sum)
+        while True:
+            keys = list(index)
+            rows = np.array(keys, dtype=np.int64).reshape(len(keys), num_groups)
+            self.evaluations += len(keys)
+            mass_greater = rows[:, greater].sum(axis=1)
+            mass_lesser = rows[:, lesser].sum(axis=1)
+            # Base cases exactly as _split orders them: certainly bounded
+            # when no above-threshold coefficient has mass, certainly
+            # unbounded when only above-threshold coefficients have mass.
+            values = np.where(mass_greater == 0, 1.0, 0.0)
+            recursing = np.flatnonzero((mass_greater > 0) & (mass_lesser > 0))
+            record = (keys, values, recursing, None)
+            next_index: Dict[Tuple[int, ...], int] = {}
+            if recursing.size:
+                sub = rows[recursing]
+                # First positive-count group above/below the threshold —
+                # the same (i, j) choice the scalar _split makes.
+                i_sel = greater_idx[np.argmax(sub[:, greater_idx] > 0, axis=1)]
+                j_sel = lesser_idx[np.argmax(sub[:, lesser_idx] > 0, axis=1)]
+                arange = np.arange(recursing.size)
+                child_j = sub.copy()
+                child_j[arange, j_sel] -= 1
+                child_i = sub.copy()
+                child_i[arange, i_sel] -= 1
+
+                def resolve(children: np.ndarray):
+                    """Split children into memo hits and next-layer slots."""
+                    position = np.empty(children.shape[0], dtype=np.int64)
+                    known = np.zeros(children.shape[0], dtype=float)
+                    for row, child in enumerate(map(tuple, children.tolist())):
+                        value = memo.get(child)
+                        if value is not None:
+                            position[row] = -1
+                            known[row] = value
+                        else:
+                            position[row] = next_index.setdefault(
+                                child, len(next_index)
+                            )
+                    return position, known
+
+                pos_j, val_j = resolve(child_j)
+                pos_i, val_i = resolve(child_i)
+                record = (
+                    keys,
+                    values,
+                    recursing,
+                    (
+                        weight_j_table[i_sel, j_sel],
+                        weight_i_table[i_sel, j_sel],
+                        pos_j,
+                        val_j,
+                        pos_i,
+                        val_i,
+                    ),
+                )
+            layers.append(record)
+            # Merge roots that start at the next layer down.
+            layer_sum -= 1
+            for key in pending_layers.pop(layer_sum, {}):
+                next_index.setdefault(key, len(next_index))
+            if next_index:
+                index = next_index
+            elif pending_layers:
+                layer_sum = max(pending_layers)
+                index = pending_layers.pop(layer_sum)
+            else:
+                break
+
+        # Bottom-up value propagation: children live one layer below, so
+        # the previous iteration's value array resolves every reference.
+        child_values = np.zeros(1)
+        for keys, values, recursing, recursion in reversed(layers):
+            if recursion is not None:
+                weight_j, weight_i, pos_j, val_j, pos_i, val_i = recursion
+                resolved_j = np.where(
+                    pos_j >= 0, child_values[np.maximum(pos_j, 0)], val_j
+                )
+                resolved_i = np.where(
+                    pos_i >= 0, child_values[np.maximum(pos_i, 0)], val_i
+                )
+                values[recursing] = weight_j * resolved_j + weight_i * resolved_i
+            for key, value in zip(keys, values.tolist()):
+                memo[key] = value
+            child_values = values if values.size else np.zeros(1)
+
     def _value(self, key: Tuple[int, ...]) -> float:
         """Memoized evaluation with an explicit stack (no recursion limit)."""
         memo = self._memo
-        if key in memo:
-            return memo[key]
-        stack = [key]
+        if key not in memo:
+            self._evaluate([key])
+        return memo[key]
+
+    def _evaluate(self, roots) -> None:
+        """Evaluate all ``roots`` through one shared stack traversal."""
+        memo = self._memo
+        stack = list(roots)
         while stack:
             current = stack[-1]
             if current in memo:
@@ -141,7 +311,6 @@ class OmegaCalculator:
                 continue
             memo[current] = weight_j * memo[child_j] + weight_i * memo[child_i]
             stack.pop()
-        return memo[key]
 
 
 def omega(coefficients: Sequence[float], counts: Sequence[int], threshold: float) -> float:

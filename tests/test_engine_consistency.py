@@ -78,6 +78,35 @@ class TestEngineAgreement:
         assert abs(uniform.probability - disc.probability) <= slack
 
     @given(model=small_mrm(), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_columnar_matches_legacy_merged(self, model, data):
+        """The vectorized columnar sweep is the same recursion as the
+        legacy dict-frontier DP, so agreement is near-exact (1e-12, the
+        slack covering merge-order-dependent float summation) and the
+        search statistics must match exactly."""
+        n = model.num_states
+        psi = {data.draw(st.integers(0, n - 1))}
+        t = data.draw(st.sampled_from([0.5, 1.0]))
+        r = data.draw(st.sampled_from([1.0, 3.0, 8.0]))
+        mode = data.draw(st.sampled_from(["safe", "paper"]))
+        kwargs = dict(
+            initial_state=0,
+            psi_states=psi,
+            time_bound=t,
+            reward_bound=r,
+            truncation_probability=1e-8,
+            truncation=mode,
+        )
+        legacy = joint_distribution(model, strategy="merged-legacy", **kwargs)
+        columnar = joint_distribution(model, strategy="merged", **kwargs)
+        assert abs(columnar.probability - legacy.probability) <= 1e-12
+        assert abs(columnar.error_bound - legacy.error_bound) <= 1e-12
+        assert columnar.paths_generated == legacy.paths_generated
+        assert columnar.paths_stored == legacy.paths_stored
+        assert columnar.classes == legacy.classes
+        assert columnar.max_depth == legacy.max_depth
+
+    @given(model=small_mrm(), data=st.data())
     @settings(max_examples=15, deadline=None)
     def test_probability_bounds(self, model, data):
         n = model.num_states

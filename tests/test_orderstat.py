@@ -135,6 +135,71 @@ class TestCalculatorBehaviour:
             assert 0.0 <= calculator.value(counts) <= 1.0
 
 
+class TestValueMany:
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_matches_scalar_bitwise(self, data):
+        size = data.draw(st.integers(1, 4))
+        coeffs = sorted(
+            data.draw(
+                st.lists(
+                    st.floats(0.0, 10.0, allow_nan=False),
+                    min_size=size,
+                    max_size=size,
+                    unique=True,
+                )
+            ),
+            reverse=True,
+        )
+        threshold = data.draw(st.floats(-1.0, 11.0, allow_nan=False))
+        matrix = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.integers(0, 12), min_size=size, max_size=size),
+                    min_size=1,
+                    max_size=12,
+                )
+            ),
+            dtype=np.int64,
+        )
+        scalar = OmegaCalculator(coeffs, threshold)
+        batched = OmegaCalculator(coeffs, threshold)
+        expected = np.array([scalar.value(row) for row in matrix])
+        actual = batched.value_many(matrix)
+        # The generation-synchronous batch sweep performs the identical
+        # arithmetic per node, so agreement is exact, not approximate.
+        assert np.array_equal(expected, actual)
+        assert scalar.evaluations == batched.evaluations
+
+    def test_batch_then_scalar_share_memo(self):
+        calculator = OmegaCalculator([3.0, 1.0, 0.0], threshold=1.5)
+        calculator.value_many([[3, 2, 2], [1, 4, 0]])
+        first = calculator.evaluations
+        assert calculator.value([3, 2, 2]) == calculator.value_many(
+            [[3, 2, 2]]
+        )[0]
+        assert calculator.evaluations == first  # fully cached either way
+
+    def test_duplicate_rows_collapse(self):
+        calculator = OmegaCalculator([2.0, 0.0], threshold=1.0)
+        values = calculator.value_many([[2, 3]] * 5)
+        assert len(set(values.tolist())) == 1
+
+    def test_deep_batch_does_not_recurse(self):
+        calculator = OmegaCalculator([2.0, 0.0], threshold=1.0)
+        values = calculator.value_many([[1500, 1500], [1000, 2000]])
+        assert np.all((0.0 <= values) & (values <= 1.0))
+
+    def test_validation(self):
+        calculator = OmegaCalculator([2.0, 0.0], threshold=1.0)
+        with pytest.raises(NumericalError):
+            calculator.value_many([1, 2])  # not 2-D
+        with pytest.raises(NumericalError):
+            calculator.value_many([[1, 2, 3]])  # wrong width
+        with pytest.raises(NumericalError):
+            calculator.value_many([[1, -2]])  # negative count
+
+
 class TestConditionalProbability:
     def test_impulses_alone_exceed_bound(self):
         value = conditional_reward_probability(

@@ -295,3 +295,201 @@ class TestLargeLambdaT:
                 reward_bound=1e9,
                 depth_limit=10,
             )
+
+
+class TestClassTable:
+    def test_interning_is_idempotent(self):
+        from repro.check.paths_engine import ClassTable
+
+        table = ClassTable(num_levels=2, num_impulses=1)
+        first = table.intern([1, 0], [0])
+        second = table.intern([1, 0], [0])
+        other = table.intern([0, 1], [0])
+        assert first == second
+        assert first != other
+        assert len(table) == 2
+        assert table.k_rows(np.array([first, other])).tolist() == [[1, 0], [0, 1]]
+
+    def test_root_class(self):
+        from repro.check.paths_engine import ClassTable
+
+        table = ClassTable(num_levels=3, num_impulses=2)
+        root = table.root(1)
+        assert table.k_rows(np.array([root])).tolist() == [[0, 1, 0]]
+        assert table.j_rows(np.array([root])).tolist() == [[0, 0]]
+
+    def test_children_increment_counts(self):
+        from repro.check.paths_engine import ClassTable
+
+        table = ClassTable(num_levels=2, num_impulses=2)
+        root = table.root(0)
+        # move = level * J + impulse
+        moves = np.array([0 * 2 + 1, 1 * 2 + 0])
+        parents = np.array([root, root])
+        children = table.children(parents, moves)
+        assert table.k_rows(children).tolist() == [[2, 0], [1, 1]]
+        assert table.j_rows(children).tolist() == [[0, 1], [1, 0]]
+        # Memoized second derivation returns the same ids.
+        assert np.array_equal(table.children(parents, moves), children)
+
+    def test_shape_validation(self):
+        from repro.check.paths_engine import ClassTable
+
+        table = ClassTable(num_levels=2, num_impulses=1)
+        with pytest.raises(CheckError):
+            table.intern([1, 0, 0], [0])
+
+
+class TestMergedOutOfTableTruncation:
+    def test_mass_beyond_poisson_table_is_truncated(self):
+        """Regression: frontiers past the pmf table must be truncated
+        (weight 0.0, like the DFS), not kept alive with the stale last
+        table entry — that leaked their mass out of the error bound."""
+        from repro.check.paths_engine import _run_merged_dp
+
+        successors = [[(1, 1.0, 0)], [(0, 1.0, 0)]]
+        pmf = np.array([0.5, 0.3, 0.1])
+        heads = np.array([0.0, 0.5, 0.8, 0.9])
+        aggregated, error_bound, generated, stored, max_depth = _run_merged_dp(
+            initial_state=0,
+            psi=frozenset({0, 1}),
+            dead=frozenset(),
+            successors=successors,
+            state_level=[0, 0],
+            num_levels=1,
+            num_impulses=1,
+            w=1e-30,
+            depth_limit=None,
+            pmf=pmf,
+            heads=heads,
+            maxpois=None,
+        )
+        # The ping-pong chain never dies on its own; only the
+        # out-of-table truncation can stop it.
+        assert max_depth == 2
+        assert generated == 3
+        assert stored == 3
+        assert aggregated == {
+            ((1,), (0,)): 0.5,
+            ((2,), (1,)): 0.3,
+            ((3,), (2,)): 0.1,
+        }
+        assert error_bound == pytest.approx(1.0 - 0.9)
+
+
+class TestColumnarEngine:
+    def small_model(self):
+        chain = CTMC(
+            [[0.0, 1.0, 0.5], [0.25, 0.0, 1.0], [0.5, 0.5, 0.0]],
+            labels={0: {"a"}, 1: {"b"}, 2: {"c"}},
+        )
+        return MRM(
+            chain,
+            state_rewards=[2.0, 1.0, 0.0],
+            impulse_rewards={(0, 1): 1.0, (2, 0): 0.5},
+        )
+
+    def test_columnar_matches_legacy_dict(self):
+        model = self.small_model()
+        kwargs = dict(
+            initial_state=0,
+            psi_states={2},
+            time_bound=2.0,
+            reward_bound=3.0,
+            truncation_probability=1e-9,
+        )
+        legacy = joint_distribution(model, strategy="merged-legacy", **kwargs)
+        columnar = joint_distribution(model, strategy="merged", **kwargs)
+        assert columnar.probability == pytest.approx(
+            legacy.probability, abs=1e-12
+        )
+        assert columnar.error_bound == pytest.approx(
+            legacy.error_bound, abs=1e-12
+        )
+        assert columnar.paths_generated == legacy.paths_generated
+        assert columnar.paths_stored == legacy.paths_stored
+        assert columnar.classes == legacy.classes
+        assert columnar.max_depth == legacy.max_depth
+
+    def test_interned_fallback_matches_packed(self, monkeypatch):
+        """When the (k, j) fields do not fit two packed words the sweep
+        falls back to ClassTable interning; force that path and check it
+        agrees with both the packed sweep and the legacy engine."""
+        from repro.check import paths_engine
+
+        model = self.small_model()
+        kwargs = dict(
+            initial_state=1,
+            psi_states={0, 2},
+            time_bound=2.0,
+            reward_bound=4.0,
+            truncation_probability=1e-9,
+        )
+        packed = joint_distribution(model, strategy="merged", **kwargs)
+        monkeypatch.setattr(paths_engine, "_class_packing", lambda context: None)
+        interned = joint_distribution(model, strategy="merged", **kwargs)
+        legacy = joint_distribution(model, strategy="merged-legacy", **kwargs)
+        assert interned.probability == pytest.approx(
+            packed.probability, abs=1e-12
+        )
+        assert interned.probability == pytest.approx(
+            legacy.probability, abs=1e-12
+        )
+        assert interned.error_bound == pytest.approx(packed.error_bound, abs=1e-12)
+        assert interned.paths_generated == packed.paths_generated
+        assert interned.classes == packed.classes
+
+
+class TestParallelFanOut:
+    def test_workers_match_serial_bitwise(self):
+        from repro.check.paths_engine import joint_distribution_all
+        from repro.models import build_tmr
+
+        model = build_tmr(3)
+        states = list(range(model.num_states - 1))
+        for strategy in ("paths", "merged"):
+            kwargs = dict(
+                psi_states={model.num_states - 1},
+                time_bound=4.0,
+                reward_bound=20.0,
+                truncation_probability=1e-7,
+                strategy=strategy,
+            )
+            serial = joint_distribution_all(model, states, **kwargs)
+            parallel = joint_distribution_all(model, states, workers=2, **kwargs)
+            assert set(serial) == set(parallel)
+            for state in serial:
+                assert parallel[state].probability == serial[state].probability
+                assert parallel[state].error_bound == serial[state].error_bound
+                assert (
+                    parallel[state].paths_generated
+                    == serial[state].paths_generated
+                )
+                assert parallel[state].max_depth == serial[state].max_depth
+
+    def test_workers_match_serial_until_probabilities(self):
+        from repro.check.until import until_probabilities
+        from repro.models import build_tmr
+        from repro.numerics.intervals import Interval
+
+        model = build_tmr(3)
+        sup = model.states_with_label("Sup")
+        failed = model.states_with_label("failed")
+        bounds = (Interval.upto(4.0), Interval.upto(30.0))
+        for engine, opts in (
+            ("uniformization", dict(truncation_probability=1e-7)),
+            ("discretization", dict(discretization_step=0.25)),
+        ):
+            serial, _, _ = until_probabilities(
+                model, sup | failed, failed, *bounds, engine=engine, **opts
+            )
+            parallel, _, _ = until_probabilities(
+                model,
+                sup | failed,
+                failed,
+                *bounds,
+                engine=engine,
+                workers=2,
+                **opts,
+            )
+            assert np.array_equal(np.asarray(serial), np.asarray(parallel))
