@@ -8,7 +8,7 @@ __all__ = ["print_table", "update_bench_json", "BENCH_JSON"]
 
 # Machine-readable perf trajectory at the repo root; successive PRs
 # append/overwrite their entries so regressions are visible in history.
-BENCH_JSON = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_2.json")
+BENCH_JSON = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_3.json")
 
 
 def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[str]]) -> None:

@@ -1,0 +1,122 @@
+"""Instrumentation overhead: ``observe=True`` vs ``observe=False``.
+
+Every ``ModelChecker.check()`` call records a run report by default
+(per-phase spans, engine counters, the error budget).  The collector is
+deliberately coarse — a handful of dict operations per *phase*, never
+per path or per matrix element — so the overhead must stay in the
+noise.  This benchmark checks exactly that on the CI smoke workload:
+the same formula set is checked with observation on and off (fresh
+checker and engine cache per run, so the work is identical), and the
+relative overhead of the instrumented runs must stay under 5%.
+
+Measurement notes: single ~10 ms runs on a shared CI box swing by more
+than the effect being measured, so each *round* repeats the workload a
+few times, instrumented and plain rounds alternate back to back (pairs
+share scheduler/thermal state), the GC is paused with an explicit
+collect between rounds (as ``timeit`` does), and the reported overhead
+is the **median of the per-pair ratios** — robust to the occasional
+round that lands on a noisy neighbour.
+
+Results land in ``BENCH_3.json`` at the repo root.  ``BENCH_QUICK=1``
+(the CI setting) shrinks the model; the overhead assertion is kept in
+both modes.
+"""
+
+import gc
+import os
+import statistics
+import time
+
+from repro.check import CheckOptions, ModelChecker
+from repro.check.engine_cache import EngineCache
+from repro.models import build_tmr
+
+from _bench_utils import print_table, update_bench_json
+
+BENCH_QUICK = os.environ.get("BENCH_QUICK", "").strip() not in ("", "0")
+
+#: Relative overhead budget for the default-on instrumentation.
+OVERHEAD_BUDGET = 0.05
+
+FORMULAS = (
+    "P(>=0.1) [Sup U[0,40][0,1000] failed]",
+    "S(>=0.5) Sup",
+    "P(>=0) [X failed]",
+)
+
+
+def _run_workload(model, observe):
+    """One full check of the formula set.
+
+    A fresh checker and engine cache per run keep the work identical
+    between the instrumented and plain configurations (no cross-run
+    cache hits, no warm path-value caches).
+    """
+    options = CheckOptions(truncation_probability=1e-9, observe=observe)
+    checker = ModelChecker(model, options, engine_cache=EngineCache())
+    for formula in FORMULAS:
+        checker.check(formula)
+
+
+def _round_seconds(model, observe, reps):
+    start = time.perf_counter()
+    for _ in range(reps):
+        _run_workload(model, observe)
+    return time.perf_counter() - start
+
+
+def test_obs_overhead():
+    model = build_tmr(5 if BENCH_QUICK else 9)
+    rounds = 7 if BENCH_QUICK else 9
+    reps = 3 if BENCH_QUICK else 5
+
+    # Warm both configurations (imports, Poisson tables, cache-cold
+    # numpy paths) before measuring.
+    _run_workload(model, observe=False)
+    _run_workload(model, observe=True)
+    pairs = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            gc.collect()
+            plain = _round_seconds(model, observe=False, reps=reps)
+            gc.collect()
+            observed = _round_seconds(model, observe=True, reps=reps)
+            pairs.append((plain, observed))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    overhead = statistics.median(o / p for p, o in pairs) - 1.0
+    best_plain = min(p for p, _ in pairs)
+    best_observed = min(o for _, o in pairs)
+
+    print_table(
+        "Instrumentation overhead (observe=True vs observe=False)",
+        ["configuration", f"best round of {rounds} [ms]"],
+        [
+            ["observe=False", f"{best_plain * 1e3:.3f}"],
+            ["observe=True", f"{best_observed * 1e3:.3f}"],
+            ["overhead (median of pair ratios)", f"{overhead * 100:+.2f}%"],
+        ],
+    )
+    update_bench_json(
+        "obs_overhead",
+        {
+            "plain_seconds": best_plain,
+            "observed_seconds": best_observed,
+            "overhead_fraction": overhead,
+            "budget_fraction": OVERHEAD_BUDGET,
+            "rounds": rounds,
+            "reps_per_round": reps,
+            "formulas": list(FORMULAS),
+            "quick": BENCH_QUICK,
+        },
+    )
+
+    assert overhead < OVERHEAD_BUDGET, (
+        f"instrumentation overhead {overhead:.1%} exceeds the "
+        f"{OVERHEAD_BUDGET:.0%} budget "
+        f"(best plain round {best_plain * 1e3:.3f} ms, "
+        f"best observed round {best_observed * 1e3:.3f} ms)"
+    )

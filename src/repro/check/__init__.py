@@ -3,7 +3,11 @@
 from repro.check.checker import CheckOptions, ModelChecker
 from repro.check.results import NextResult, SatResult, SteadyResult, UntilResult
 from repro.check.steady import satisfy_steady, steady_state_values
-from repro.check.next_op import next_probabilities, satisfy_next
+from repro.check.next_op import (
+    next_probabilities,
+    next_probabilities_reference,
+    satisfy_next,
+)
 from repro.check.until import (
     interval_until_probabilities,
     satisfy_until,
@@ -40,6 +44,7 @@ __all__ = [
     "steady_state_values",
     "satisfy_next",
     "next_probabilities",
+    "next_probabilities_reference",
     "satisfy_until",
     "until_probability",
     "until_probabilities",

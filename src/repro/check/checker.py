@@ -8,6 +8,7 @@ set of every sub-formula, exactly as ``SatisfyStateFormula`` does.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Tuple, Union
 
@@ -38,6 +39,7 @@ from repro.logic.ast import (
 )
 from repro.logic.parser import parse_formula
 from repro.mrm.model import MRM
+from repro.obs import Collector, RunReport, get_collector, use_collector
 
 __all__ = ["CheckOptions", "ModelChecker"]
 
@@ -73,6 +75,12 @@ class CheckOptions:
         per-initial-state fan-out (``0``/``1`` = serial; results are
         bitwise identical either way, see
         :func:`repro.check.paths_engine.joint_distribution_many`).
+    observe:
+        Whether ``check()`` records a :class:`repro.obs.RunReport`
+        (per-phase timings, cache activity, error budget).  On by
+        default; the instrumentation is a handful of dict operations per
+        phase (overhead is tracked in ``BENCH_3.json``), but it can be
+        switched off for micro-benchmarking the bare engines.
     """
 
     until_engine: str = "uniformization"
@@ -82,6 +90,7 @@ class CheckOptions:
     truncation_mode: str = "safe"
     linear_solver: str = "gauss-seidel"
     workers: int = 0
+    observe: bool = True
 
 
 class ModelChecker:
@@ -114,6 +123,7 @@ class ModelChecker:
         )
         self._cache: Dict[Formula, FrozenSet[int]] = {}
         self._value_cache: Dict[Formula, Tuple[float, ...]] = {}
+        self._last_report: Optional[RunReport] = None
         # Quantitative values keyed by the *path* operator (including its
         # time/reward intervals), not the enclosing Prob formula: two P
         # formulas that differ only in comparison/bound share one engine
@@ -133,6 +143,11 @@ class ModelChecker:
         """The cache sharing engine precomputation across formulas."""
         return self._engine_cache
 
+    @property
+    def last_report(self) -> Optional[RunReport]:
+        """The :class:`repro.obs.RunReport` of the most recent ``check()``."""
+        return self._last_report
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
@@ -140,13 +155,46 @@ class ModelChecker:
         """Evaluate a state formula; returns its satisfying set.
 
         Accepts either an AST or concrete syntax (parsed with
-        :func:`repro.logic.parse_formula`).
+        :func:`repro.logic.parse_formula`).  Unless observation is
+        disabled (``CheckOptions(observe=False)``), the evaluation runs
+        under a fresh :class:`repro.obs.Collector` and the returned
+        :class:`SatResult` carries a :class:`repro.obs.RunReport` with
+        per-phase timings, engine-cache activity, and the formula's
+        error budget; the same report is available as
+        :attr:`last_report`.
         """
         parsed = self._coerce(formula)
-        states = self.satisfying_states(parsed)
+        if not self._options.observe:
+            states = self.satisfying_states(parsed)
+            probabilities = self._value_cache.get(parsed)
+            return SatResult(
+                formula=str(parsed), states=states, probabilities=probabilities
+            )
+        collector = Collector()
+        before = self._engine_cache.stats
+        start = time.perf_counter()
+        with use_collector(collector):
+            states = self._sat(parsed)
+        wall_seconds = time.perf_counter() - start
+        after = self._engine_cache.stats
+        report = RunReport.from_collector(
+            str(parsed),
+            collector,
+            wall_seconds,
+            cache={
+                "hits": after.hits - before.hits,
+                "misses": after.misses - before.misses,
+                "evictions": after.evictions - before.evictions,
+                "entries": after.entries,
+            },
+        )
+        self._last_report = report
         probabilities = self._value_cache.get(parsed)
         return SatResult(
-            formula=str(parsed), states=states, probabilities=probabilities
+            formula=str(parsed),
+            states=states,
+            probabilities=probabilities,
+            report=report,
         )
 
     def holds_in(self, formula: Union[str, StateFormula], state: int) -> bool:
@@ -187,32 +235,39 @@ class ModelChecker:
         """
         cached = self._path_value_cache.get(path)
         if cached is not None:
+            get_collector().counter_add("path-values.cache-hits")
             return cached
         if isinstance(path, Next):
-            values = next_probabilities(
-                self._model,
-                phi_states=self._sat(path.child),
-                time_bound=path.time_bound,
-                reward_bound=path.reward_bound,
-            )
+            with get_collector().span("next"):
+                values = next_probabilities(
+                    self._model,
+                    phi_states=self._sat(path.child),
+                    time_bound=path.time_bound,
+                    reward_bound=path.reward_bound,
+                )
         elif isinstance(path, Until):
-            result = satisfy_until(
-                self._model,
-                comparison=Comparison.GE,
-                bound=0.0,
-                phi_states=self._sat(path.left),
-                psi_states=self._sat(path.right),
-                time_bound=path.time_bound,
-                reward_bound=path.reward_bound,
-                engine=self._options.until_engine,
-                truncation_probability=self._options.truncation_probability,
-                discretization_step=self._options.discretization_step,
-                strategy=self._options.path_strategy,
-                truncation=self._options.truncation_mode,
-                solver=self._options.linear_solver,
-                workers=self._options.workers,
-                cache=self._engine_cache,
-            )
+            # Resolve the operand sub-formulas before opening the span so
+            # "until" times only the quantitative engine work.
+            phi_states = self._sat(path.left)
+            psi_states = self._sat(path.right)
+            with get_collector().span("until"):
+                result = satisfy_until(
+                    self._model,
+                    comparison=Comparison.GE,
+                    bound=0.0,
+                    phi_states=phi_states,
+                    psi_states=psi_states,
+                    time_bound=path.time_bound,
+                    reward_bound=path.reward_bound,
+                    engine=self._options.until_engine,
+                    truncation_probability=self._options.truncation_probability,
+                    discretization_step=self._options.discretization_step,
+                    strategy=self._options.path_strategy,
+                    truncation=self._options.truncation_mode,
+                    solver=self._options.linear_solver,
+                    workers=self._options.workers,
+                    cache=self._engine_cache,
+                )
             values = result.values
         else:
             raise FormulaError(f"unsupported path formula {path!r}")
@@ -266,12 +321,14 @@ class ModelChecker:
         if isinstance(formula, Implies):
             return (all_states - self._sat(formula.left)) | self._sat(formula.right)
         if isinstance(formula, Steady):
-            result = satisfy_steady(
-                model,
-                comparison=formula.comparison,
-                bound=formula.bound,
-                phi_states=self._sat(formula.child),
-            )
+            with get_collector().span("steady"):
+                result = satisfy_steady(
+                    model,
+                    comparison=formula.comparison,
+                    bound=formula.bound,
+                    phi_states=self._sat(formula.child),
+                    cache=self._engine_cache,
+                )
             self._value_cache[formula] = tuple(float(v) for v in result.values)
             return result.satisfying
         if isinstance(formula, Prob):

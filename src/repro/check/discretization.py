@@ -48,6 +48,8 @@ import scipy.sparse as sp
 from repro.check.engine_cache import EngineCache
 from repro.exceptions import CheckError, NumericalError
 from repro.mrm.model import MRM
+from repro.obs import get_collector
+from repro.obs.report import DEFECT_COUNTER
 
 __all__ = [
     "DiscretizationResult",
@@ -73,12 +75,22 @@ class DiscretizationResult:
         Number of reward cells ``R = r / d`` (plus the zero cell).
     step:
         The discretization factor ``d``.
+    defect_per_step:
+        Upper bound on the probability mass the first-order scheme
+        mishandles in one ``d``-slice: the worst-state probability of
+        two or more transitions within the slice,
+        ``max_s (1 - e^{-E(s) d} (1 + E(s) d))``.
+    defect_bound:
+        ``time_steps * defect_per_step`` (capped at 1) — the total
+        mass-defect bound entering the run's error budget.
     """
 
     probability: float
     time_steps: int
     reward_cells: int
     step: float
+    defect_per_step: float = 0.0
+    defect_bound: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -92,12 +104,16 @@ class BatchedDiscretizationResult:
         ``num_states``).
     time_steps, reward_cells, step:
         Grid parameters, as in :class:`DiscretizationResult`.
+    defect_per_step, defect_bound:
+        Mass-defect bounds, as in :class:`DiscretizationResult`.
     """
 
     probabilities: np.ndarray
     time_steps: int
     reward_cells: int
     step: float
+    defect_per_step: float = 0.0
+    defect_bound: float = 0.0
 
     def result_for(self, state: int) -> DiscretizationResult:
         """Per-state diagnostics view, shaped like a single-state run."""
@@ -106,6 +122,8 @@ class BatchedDiscretizationResult:
             time_steps=self.time_steps,
             reward_cells=self.reward_cells,
             step=self.step,
+            defect_per_step=self.defect_per_step,
+            defect_bound=self.defect_bound,
         )
 
 
@@ -173,6 +191,18 @@ class _DiscretizationGrid:
         # Within the 1e-9 acceptance tolerance E(s) * d may still exceed 1
         # by a hair; clamp so no negative probability mass is ever injected.
         self.stay = np.clip(1.0 - exit_rates * step, 0.0, None)
+
+        # Per-step mass defect of the first-order scheme: the probability
+        # of >= 2 transitions inside one slice, which Algorithm 4.6
+        # cannot represent.  Tijms & Veldman track exactly this quantity
+        # alongside the result; it feeds the run's error budget.
+        slice_load = exit_rates * step
+        self.defect_per_step = (
+            float(np.max(1.0 - np.exp(-slice_load) * (1.0 + slice_load)))
+            if n
+            else 0.0
+        )
+        self.defect_bound = min(1.0, self.time_steps * self.defect_per_step)
 
         # Residence groups: distinct rho value -> states carrying it.
         self.shift_groups: List[Tuple[int, np.ndarray]] = [
@@ -337,11 +367,26 @@ def discretized_joint_distribution(
 
     members = sorted(s for s in psi if 0 <= s < n)
     probability = float(mass[members, :].sum()) if members else 0.0
+    obs = get_collector()
+    if obs.enabled:
+        obs.counter_add(DEFECT_COUNTER, grid.defect_bound)
+        obs.event(
+            "discretization",
+            mode="forward",
+            time_steps=grid.time_steps,
+            reward_cells=grid.reward_cells,
+            step=grid.step,
+            defect_per_step=grid.defect_per_step,
+            defect_bound=grid.defect_bound,
+            retained_mass=float(mass.sum()),
+        )
     return DiscretizationResult(
         probability=probability,
         time_steps=grid.time_steps,
         reward_cells=grid.reward_cells,
         step=grid.step,
+        defect_per_step=grid.defect_per_step,
+        defect_bound=grid.defect_bound,
     )
 
 
@@ -382,9 +427,23 @@ def discretized_joint_distributions(
     states = np.flatnonzero(reachable)
     probabilities[states] = value[states, grid.rho_cells[states]]
     # States whose first slice already exceeds the reward bound keep 0.
+    obs = get_collector()
+    if obs.enabled:
+        obs.counter_add(DEFECT_COUNTER, grid.defect_bound)
+        obs.event(
+            "discretization",
+            mode="adjoint",
+            time_steps=grid.time_steps,
+            reward_cells=grid.reward_cells,
+            step=grid.step,
+            defect_per_step=grid.defect_per_step,
+            defect_bound=grid.defect_bound,
+        )
     return BatchedDiscretizationResult(
         probabilities=probabilities,
         time_steps=grid.time_steps,
         reward_cells=grid.reward_cells,
         step=grid.step,
+        defect_per_step=grid.defect_per_step,
+        defect_bound=grid.defect_bound,
     )

@@ -34,6 +34,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Sequence
 
+from repro.obs import get_collector
+
 __all__ = ["CacheStats", "EngineCache", "default_engine_cache"]
 
 
@@ -78,12 +80,15 @@ class EngineCache:
     # ------------------------------------------------------------------
     def get_or_build(self, key: Hashable, builder: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, building it on first use."""
+        obs = get_collector()
         with self._lock:
             if key in self._entries:
                 self._hits += 1
                 self._entries.move_to_end(key)
+                obs.counter_add("engine-cache.hits")
                 return self._entries[key]
             self._misses += 1
+        obs.counter_add("engine-cache.misses")
         value = builder()
         with self._lock:
             if key in self._entries:
@@ -95,6 +100,7 @@ class EngineCache:
             while len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                obs.counter_add("engine-cache.evictions")
         return value
 
     def calculators_for(self, reward_levels: Sequence[float]) -> Dict[float, Any]:

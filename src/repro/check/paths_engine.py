@@ -90,6 +90,7 @@ import numpy as np
 from repro.check.engine_cache import EngineCache
 from repro.exceptions import CheckError, NumericalError
 from repro.mrm.model import MRM
+from repro.obs import get_collector
 from repro.numerics.orderstat import OmegaCalculator
 from repro.numerics.poisson import poisson_pmf_table
 
@@ -498,6 +499,35 @@ def _build_context(
     cache: Optional[EngineCache],
 ) -> PathEngineContext:
     """The actual context construction behind :func:`prepare_path_engine`."""
+    with get_collector().span("until.prepare"):
+        return _build_context_timed(
+            model,
+            psi,
+            dead,
+            time_bound,
+            reward_bound,
+            w,
+            depth_limit,
+            strategy,
+            truncation,
+            uniformization_rate,
+            cache,
+        )
+
+
+def _build_context_timed(
+    model: MRM,
+    psi: frozenset,
+    dead: frozenset,
+    time_bound: float,
+    reward_bound: float,
+    w: float,
+    depth_limit: Optional[int],
+    strategy: str,
+    truncation: str,
+    uniformization_rate: Optional[float],
+    cache: Optional[EngineCache],
+) -> PathEngineContext:
     n_states = model.num_states
     process = model.uniformize(uniformization_rate)
     lam = process.rate

@@ -29,11 +29,18 @@ class SatResult:
     probabilities:
         Per-state probabilities, when the top operator was quantitative
         (``S`` or ``P``); ``None`` for purely boolean formulas.
+    report:
+        The :class:`repro.obs.RunReport` of the producing ``check()``
+        call — per-phase timings, engine-cache activity and the
+        formula's error budget.  ``None`` when observation was disabled
+        (``CheckOptions(observe=False)``) or the result was built
+        outside :meth:`repro.check.ModelChecker.check`.
     """
 
     formula: str
     states: FrozenSet[int]
     probabilities: Optional[Tuple[float, ...]] = None
+    report: Optional[object] = None
 
     def __contains__(self, state: int) -> bool:
         return int(state) in self.states

@@ -8,23 +8,52 @@ For every state ``s`` the long-run probability of residing in
 over the bottom strongly connected components ``B`` (eq. 3.2), which
 collapses to a single standard steady-state analysis when the chain is
 strongly connected (eq. 3.1).
+
+The BSCC decomposition, the per-BSCC stationary distributions and the
+reachability probabilities depend only on the model — not on ``Phi`` —
+so they are computed once per model and shared through the
+:class:`~repro.check.engine_cache.EngineCache` (keyed by
+:meth:`repro.mrm.MRM.fingerprint`).  Each ``S`` formula then costs one
+``O(n * #BSCC)`` accumulation instead of a dense ``n x n`` solve; no
+dense steady-state matrix is ever materialized.
 """
 
 from __future__ import annotations
 
-from typing import AbstractSet, FrozenSet
+from typing import AbstractSet, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
+from repro.check.engine_cache import EngineCache
 from repro.check.results import SteadyResult
-from repro.ctmc.steady import steady_state_matrix
+from repro.ctmc.steady import bscc_steady_structure
 from repro.logic.ast import Comparison
 from repro.mrm.model import MRM
+from repro.obs import get_collector
 
 __all__ = ["steady_state_values", "satisfy_steady"]
 
+_Structure = List[Tuple[np.ndarray, np.ndarray, np.ndarray]]
 
-def steady_state_values(model: MRM, phi_states: AbstractSet[int]) -> np.ndarray:
+
+def _steady_structure(model: MRM, cache: Optional[EngineCache]) -> _Structure:
+    """The per-BSCC ``(members, reach, stationary)`` factors, cached.
+
+    The structure is immutable after construction, so one
+    :class:`EngineCache` entry per model fingerprint serves every ``S``
+    formula, repeated checkers, and CLI runs over equal models.
+    """
+    if cache is None:
+        return bscc_steady_structure(model.ctmc)
+    key = ("steady-structure", model.fingerprint())
+    return cache.get_or_build(key, lambda: bscc_steady_structure(model.ctmc))
+
+
+def steady_state_values(
+    model: MRM,
+    phi_states: AbstractSet[int],
+    cache: Optional[EngineCache] = None,
+) -> np.ndarray:
     """``pi(s, Sat(Phi))`` for every starting state ``s``.
 
     Parameters
@@ -34,12 +63,27 @@ def steady_state_values(model: MRM, phi_states: AbstractSet[int]) -> np.ndarray:
         underlying CTMC is analyzed).
     phi_states:
         The satisfying set of the operand formula.
+    cache:
+        Optional :class:`~repro.check.engine_cache.EngineCache`; when
+        given, the BSCC steady-state structure is computed once per model
+        fingerprint and shared across formulas and checker instances.
     """
-    matrix = steady_state_matrix(model.ctmc)
+    n = model.num_states
+    values = np.zeros(n, dtype=float)
     if not phi_states:
-        return np.zeros(model.num_states, dtype=float)
-    columns = sorted(int(s) for s in phi_states)
-    return matrix[:, columns].sum(axis=1)
+        return values
+    phi_mask = np.zeros(n, dtype=bool)
+    phi_mask[[int(s) for s in phi_states]] = True
+    structure = _steady_structure(model, cache)
+    obs = get_collector()
+    if obs.enabled:
+        obs.counter_add("steady.evaluations")
+        obs.event("steady", bsccs=len(structure), phi_states=int(phi_mask.sum()))
+    for members, reach, stationary in structure:
+        weight = float(stationary[phi_mask[members]].sum())
+        if weight > 0.0:
+            values += weight * reach
+    return values
 
 
 def satisfy_steady(
@@ -47,9 +91,10 @@ def satisfy_steady(
     comparison: Comparison,
     bound: float,
     phi_states: AbstractSet[int],
+    cache: Optional[EngineCache] = None,
 ) -> SteadyResult:
     """Algorithm 4.3: the states satisfying ``S_{op p}(Phi)``."""
-    values = steady_state_values(model, phi_states)
+    values = steady_state_values(model, phi_states, cache=cache)
     satisfying: FrozenSet[int] = frozenset(
         state for state in range(model.num_states) if comparison.holds(values[state], bound)
     )

@@ -47,6 +47,8 @@ from repro.mrm.model import MRM
 from repro.numerics.intervals import Interval
 from repro.numerics.linsolve import solve_linear_system
 from repro.numerics.poisson import fox_glynn
+from repro.obs import get_collector
+from repro.obs.report import TRUNCATION_COUNTER
 
 __all__ = [
     "unbounded_until_probabilities",
@@ -156,6 +158,17 @@ def time_bounded_until_probabilities(
             result += weights.weight(step) * current
         if step < weights.right:
             current = matrix.dot(current)
+    obs = get_collector()
+    if obs.enabled:
+        # The Fox-Glynn window discards at most epsilon Poisson mass.
+        obs.counter_add(TRUNCATION_COUNTER, float(epsilon))
+        obs.event(
+            "until.transient",
+            lambda_t=float(process.rate * time_bound),
+            left=int(weights.left),
+            right=int(weights.right),
+            epsilon=float(epsilon),
+        )
     return np.clip(result, 0.0, 1.0)
 
 
@@ -221,6 +234,7 @@ def interval_until_probabilities(
             values += weights.weight(step) * current
         if step < weights.right:
             current = matrix.dot(current)
+    get_collector().counter_add(TRUNCATION_COUNTER, float(epsilon))
     # Non-Phi start states were absorbed immediately with value 0 unless
     # they are Phi themselves (handled), so just clip.
     return np.clip(values, 0.0, 1.0)
@@ -371,6 +385,7 @@ def until_probabilities(
     if not pending:
         return values, error_bounds, statistics
 
+    obs = get_collector()
     if engine == "uniformization":
         context = prepare_path_engine(
             transformed,
@@ -384,21 +399,49 @@ def until_probabilities(
             truncation=truncation,
             cache=cache,
         )
-        results = joint_distribution_many(context, pending, workers=workers)
+        with obs.span("until.search"):
+            results = joint_distribution_many(context, pending, workers=workers)
         for state in pending:
             result = results[state]
             values[state] = result.probability
             error_bounds[state] = result.error_bound
             statistics[state] = result
+        if obs.enabled:
+            # Aggregate the per-state search statistics: they feed the
+            # run report's counters and the truncation side of the error
+            # budget (eq. 4.6's bound, worst pending state).
+            obs.counter_add(
+                "paths.generated",
+                float(sum(r.paths_generated for r in results.values())),
+            )
+            obs.counter_add(
+                "paths.stored",
+                float(sum(r.paths_stored for r in results.values())),
+            )
+            obs.counter_add(
+                "omega.evaluations",
+                float(sum(r.omega_evaluations for r in results.values())),
+            )
+            worst = float(error_bounds[pending].max()) if pending else 0.0
+            obs.counter_add(TRUNCATION_COUNTER, worst)
+            obs.event(
+                "until.paths",
+                pending_states=len(pending),
+                truncation_mass=worst,
+                max_depth=max((r.max_depth for r in results.values()), default=0),
+                uniformization_rate=context.rate,
+                strategy=strategy,
+            )
     elif engine == "discretization":
-        batched = discretized_joint_distributions(
-            transformed,
-            psi_states=psi,
-            time_bound=time_bound.upper,
-            reward_bound=reward_bound.upper,
-            step=discretization_step,
-            cache=cache,
-        )
+        with obs.span("until.discretize"):
+            batched = discretized_joint_distributions(
+                transformed,
+                psi_states=psi,
+                time_bound=time_bound.upper,
+                reward_bound=reward_bound.upper,
+                step=discretization_step,
+                cache=cache,
+            )
         for state in pending:
             result = batched.result_for(state)
             values[state] = result.probability
@@ -446,16 +489,20 @@ def satisfy_until(
     error_bounds = np.zeros(n, dtype=float)
     statistics: Dict[int, object] = {}
 
+    obs = get_collector()
     if time_bound.is_unbounded and reward_bound.is_unbounded:
-        values = unbounded_until_probabilities(model, phi, psi, solver=solver)
+        with obs.span("until.linear-system"):
+            values = unbounded_until_probabilities(model, phi, psi, solver=solver)
         engine_name = "linear-system"
     elif reward_bound.is_unbounded and time_bound.lower > 0.0:
-        values = interval_until_probabilities(model, phi, psi, time_bound)
+        with obs.span("until.transient"):
+            values = interval_until_probabilities(model, phi, psi, time_bound)
         engine_name = "uniformization-interval"
     elif reward_bound.is_unbounded:
-        values = time_bounded_until_probabilities(
-            model, phi, psi, time_bound=time_bound.upper
-        )
+        with obs.span("until.transient"):
+            values = time_bounded_until_probabilities(
+                model, phi, psi, time_bound=time_bound.upper
+            )
         engine_name = "uniformization-transient"
     else:
         values, error_bounds, statistics = until_probabilities(

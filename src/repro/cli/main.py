@@ -19,6 +19,10 @@ or, with a guarded-command model description::
 * ``-j/--workers N`` fans the uniformization engine's per-initial-state
   searches out over ``N`` worker processes (results are identical to a
   serial run).
+* ``--verbose/-v`` prints a per-phase timing table, engine-cache
+  activity, and the error budget of each formula after its result.
+* ``--report FILE`` writes the structured run reports of all checked
+  formulas to ``FILE`` as JSON (schema ``repro.run-report/1``).
 
 Formulas are read one per line, either from ``--formula/-f`` arguments
 or from standard input.  Empty lines and lines starting with ``#`` are
@@ -29,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 from typing import List, Optional
 
@@ -36,6 +41,7 @@ from repro.check.checker import CheckOptions, ModelChecker
 from repro.exceptions import ReproError
 from repro.io.bundle import load_mrm
 from repro.lang.compiler import load_model
+from repro.obs import REPORT_SCHEMA, RunReport
 
 __all__ = ["main"]
 
@@ -88,7 +94,48 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         help="worker processes for the uniformization engine's "
         "per-initial-state fan-out (default: serial)",
     )
+    parser.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="print per-phase timings, cache activity and the error "
+        "budget after each formula",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        default=None,
+        help="write structured run reports for all formulas to FILE as JSON",
+    )
     return parser
+
+
+def _print_report(report: RunReport) -> None:
+    """Render one run report as the --verbose per-phase table."""
+    print(f"  wall time: {report.wall_seconds * 1e3:.3f} ms")
+    if report.phases:
+        width = max(len(p.name) for p in report.phases)
+        print("  phase timings:")
+        for timing in report.phases:
+            print(
+                f"    {timing.name:<{width}}  "
+                f"{timing.seconds * 1e3:10.3f} ms  x{timing.count}"
+            )
+    cache = report.cache
+    print(
+        "  engine cache: "
+        f"{cache.get('hits', 0)} hits, {cache.get('misses', 0)} misses, "
+        f"{cache.get('evictions', 0)} evictions, "
+        f"{cache.get('entries', 0)} entries"
+    )
+    budget = report.error_budget
+    print(
+        "  error budget: "
+        f"truncation {budget.truncation_mass:.3g} + "
+        f"discretization {budget.discretization_defect:.3g} + "
+        f"solver residual {budget.solver_residual:.3g} "
+        f"= {budget.total:.3g}"
+    )
 
 
 def _parse_method(argument: Optional[str]) -> CheckOptions:
@@ -189,6 +236,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     checker = ModelChecker(model, options)
     status = 0
+    reports = []
     for name, formula in _iter_formulas(args, declared_formulas):
         try:
             result = checker.check(formula)
@@ -204,6 +252,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         if print_probabilities and result.probabilities is not None:
             for state, value in enumerate(result.probabilities):
                 print(f"  state {state + 1}: {value:.12g}")
+        if result.report is not None:
+            reports.append(result.report)
+            if args.verbose:
+                _print_report(result.report)
+    if args.report is not None:
+        payload = {
+            "schema": REPORT_SCHEMA,
+            "reports": [report.to_dict() for report in reports],
+        }
+        try:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as error:
+            print(f"error: cannot write report: {error}", file=sys.stderr)
+            return 2
     return status
 
 

@@ -10,15 +10,20 @@ probability of reaching the BSCC (eq. 3.2).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.ctmc.chain import CTMC
 from repro.exceptions import ModelError
 from repro.graphs.scc import bottom_strongly_connected_components
+from repro.obs import get_collector
 
-__all__ = ["steady_state_distribution", "steady_state_matrix"]
+__all__ = [
+    "bscc_steady_structure",
+    "steady_state_distribution",
+    "steady_state_matrix",
+]
 
 
 def _bscc_stationary(chain: CTMC, members: np.ndarray) -> np.ndarray:
@@ -37,6 +42,17 @@ def _bscc_stationary(chain: CTMC, members: np.ndarray) -> np.ndarray:
     rhs = np.zeros(k, dtype=float)
     rhs[-1] = 1.0
     local = np.linalg.solve(system, rhs)
+    obs = get_collector()
+    if obs.enabled:
+        residual = float(np.abs(system.dot(local) - rhs).max())
+        obs.event(
+            "linsolve",
+            method="dense-direct",
+            iterations=0,
+            residual=residual,
+            converged=True,
+            size=k,
+        )
     local = np.clip(local, 0.0, None)
     total = local.sum()
     if total <= 0.0:
@@ -46,22 +62,46 @@ def _bscc_stationary(chain: CTMC, members: np.ndarray) -> np.ndarray:
     return result
 
 
+def bscc_steady_structure(
+    chain: CTMC,
+) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Per-BSCC steady-state data: ``(members, reach, stationary)``.
+
+    For every bottom strongly connected component ``B`` of the chain this
+    returns the sorted member states, the reachability probabilities
+    ``P(s, eventually B)`` for every start state ``s`` (length ``n``),
+    and the conditional stationary distribution ``pi^B`` restricted to
+    the members (length ``|B|``).  These are exactly the factors of
+    eq. (3.2) — computing them once lets callers evaluate
+    ``pi(s, Sat(Phi))`` for any ``Phi`` in ``O(n * #BSCC)`` without ever
+    materializing the dense ``n x n`` matrix of
+    :func:`steady_state_matrix`.
+    """
+    embedded = chain.embedded_dtmc()
+    structure: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for bscc in bottom_strongly_connected_components(chain.rates):
+        members = np.asarray(sorted(bscc), dtype=np.int64)
+        reach = embedded.absorption_probabilities(members)
+        stationary = _bscc_stationary(chain, members)[members]
+        structure.append((members, reach, stationary))
+    return structure
+
+
 def steady_state_matrix(chain: CTMC) -> np.ndarray:
     """Matrix ``pi(s, s')`` of steady-state probabilities for all starts.
 
     Row ``s`` is the limiting distribution when starting in state ``s``
     (eq. 3.2): the per-BSCC stationary distributions weighted with the
-    reachability probabilities ``P(s, eventually B)``.
+    reachability probabilities ``P(s, eventually B)``.  Prefer
+    :func:`bscc_steady_structure` when the full dense matrix is not
+    needed.
     """
     n = chain.num_states
-    bsccs = bottom_strongly_connected_components(chain.rates)
-    embedded = chain.embedded_dtmc()
     result = np.zeros((n, n), dtype=float)
-    for bscc in bsccs:
-        members = np.asarray(sorted(bscc), dtype=np.int64)
-        reach = embedded.absorption_probabilities(members)
-        stationary = _bscc_stationary(chain, members)
-        result += np.outer(reach, stationary)
+    for members, reach, stationary in bscc_steady_structure(chain):
+        embedded_stationary = np.zeros(n, dtype=float)
+        embedded_stationary[members] = stationary
+        result += np.outer(reach, embedded_stationary)
     return result
 
 

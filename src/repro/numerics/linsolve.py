@@ -7,7 +7,22 @@ solver plus Jacobi, SOR and a direct sparse solve so the ablation
 benchmarks can compare them.
 
 All iterative solvers work on ``scipy.sparse`` matrices in CSR format and
-report iteration counts/residuals via :class:`SolverStats`.
+report diagnostics via :class:`SolverStats`.  Convergence is gated on the
+**true residual** ``‖b − A x‖∞``: the successive-iterate delta
+``‖x_{k+1} − x_k‖∞`` is only a cheap *progress* indicator and can be
+arbitrarily smaller than the residual (for Jacobi it equals
+``‖D⁻¹ r‖∞``, so a large diagonal — or a slowly contracting iteration on
+a near-singular BSCC system — shrinks the delta long before the system
+is actually solved).  The delta is still reported separately as
+:attr:`SolverStats.delta`, and the residual check only runs once the
+delta falls below the tolerance, so well-conditioned solves pay a single
+extra sparse matrix–vector product.
+
+:func:`solve_linear_system` additionally degrades gracefully: when the
+chosen iterative method raises :class:`~repro.exceptions.ConvergenceError`,
+it falls back to the direct sparse LU solve instead of aborting the whole
+``Sat()`` recursion, and records the fallback through the ambient
+:mod:`repro.obs` collector.
 """
 
 from __future__ import annotations
@@ -20,6 +35,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.exceptions import ConvergenceError, NumericalError
+from repro.obs import get_collector
 
 __all__ = [
     "SolverStats",
@@ -36,12 +52,31 @@ DEFAULT_MAX_ITERATIONS = 100_000
 
 @dataclass(frozen=True)
 class SolverStats:
-    """Diagnostics for an iterative solve."""
+    """Diagnostics for one linear solve.
+
+    Attributes
+    ----------
+    method:
+        Solver name (``"jacobi"``, ``"gauss-seidel"``, ``"sor(w)"``,
+        ``"direct"``).
+    iterations:
+        Iterations performed (0 for the direct solver).
+    residual:
+        The **true residual** ``‖b − A x‖∞`` of the returned solution.
+    converged:
+        Whether the residual met the tolerance (always ``True`` for
+        results returned normally; kept for fallback reporting).
+    delta:
+        The last successive-iterate change ``‖x_{k+1} − x_k‖∞`` — a
+        progress indicator, *not* the convergence criterion (0.0 for the
+        direct solver).
+    """
 
     method: str
     iterations: int
     residual: float
     converged: bool
+    delta: float = 0.0
 
 
 def _as_csr(matrix: sp.spmatrix) -> sp.csr_matrix:
@@ -70,6 +105,11 @@ def _extract_diagonal(matrix: sp.csr_matrix) -> np.ndarray:
     return diagonal
 
 
+def _true_residual(csr: sp.csr_matrix, x: np.ndarray, b: np.ndarray) -> float:
+    """``‖b − A x‖∞`` — the honest convergence measure."""
+    return float(np.max(np.abs(b - csr.dot(x)))) if b.size else 0.0
+
+
 def jacobi(
     matrix: sp.spmatrix,
     rhs: np.ndarray,
@@ -81,20 +121,33 @@ def jacobi(
 
     ``x_{k+1} = D^{-1} (b - (A - D) x_k)``.  Converges for strictly
     diagonally dominant systems, which covers the absorbing-chain systems
-    produced by the model checker.
+    produced by the model checker.  Convergence is declared only when the
+    true residual ``‖b − A x‖∞`` meets the tolerance; the iterate delta
+    alone is not trusted (it is ``‖D⁻¹ r‖∞``, which understates the
+    residual whenever the diagonal is large).
     """
     csr = _as_csr(matrix)
     b = _check_rhs(csr, rhs)
     diagonal = _extract_diagonal(csr)
     off = csr - sp.diags(diagonal)
     x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=float).copy()
+    delta = float("inf")
     residual = float("inf")
     for iteration in range(1, max_iterations + 1):
         x_next = (b - off.dot(x)) / diagonal
-        residual = float(np.max(np.abs(x_next - x)))
+        delta = float(np.max(np.abs(x_next - x))) if b.size else 0.0
+        stalled = delta == 0.0
         x = x_next
-        if residual <= tolerance:
-            return x, SolverStats("jacobi", iteration, residual, True)
+        if delta <= tolerance:
+            residual = _true_residual(csr, x, b)
+            if residual <= tolerance:
+                return x, SolverStats("jacobi", iteration, residual, True, delta)
+            if stalled:
+                # The iteration is a fixed point that does not solve the
+                # system to tolerance; more sweeps cannot help.
+                break
+    if not np.isfinite(residual) or residual == float("inf"):
+        residual = _true_residual(csr, x, b)
     raise ConvergenceError("jacobi", max_iterations, residual)
 
 
@@ -110,7 +163,9 @@ def sor(
 
     With ``omega_factor = 1`` this is exactly the Gauss–Seidel method the
     paper's implementation uses.  The sweep walks CSR rows in place so no
-    dense matrix is formed.
+    dense matrix is formed.  As with :func:`jacobi`, the per-sweep iterate
+    delta only *triggers* the convergence test; the decision is made on
+    the true residual ``‖b − A x‖∞``.
     """
     if not (0.0 < omega_factor < 2.0):
         raise NumericalError("SOR relaxation factor must lie in (0, 2)")
@@ -128,9 +183,10 @@ def sor(
                 diagonal[row] = data[pos]
 
     method = "gauss-seidel" if omega_factor == 1.0 else f"sor({omega_factor:g})"
+    delta = float("inf")
     residual = float("inf")
     for iteration in range(1, max_iterations + 1):
-        residual = 0.0
+        delta = 0.0
         for row in range(n):
             acc = 0.0
             for pos in range(indptr[row], indptr[row + 1]):
@@ -139,12 +195,18 @@ def sor(
                     acc += data[pos] * x[col]
             new_value = (b[row] - acc) / diagonal[row]
             new_value = x[row] + omega_factor * (new_value - x[row])
-            delta = abs(new_value - x[row])
-            if delta > residual:
-                residual = delta
+            change = abs(new_value - x[row])
+            if change > delta:
+                delta = change
             x[row] = new_value
-        if residual <= tolerance:
-            return x, SolverStats(method, iteration, residual, True)
+        if delta <= tolerance:
+            residual = _true_residual(csr, x, b)
+            if residual <= tolerance:
+                return x, SolverStats(method, iteration, residual, True, delta)
+            if delta == 0.0:
+                break  # stalled at a fixed point short of the tolerance
+    if not np.isfinite(residual) or residual == float("inf"):
+        residual = _true_residual(csr, x, b)
     raise ConvergenceError(method, max_iterations, residual)
 
 
@@ -178,6 +240,7 @@ def solve_linear_system(
     matrix: sp.spmatrix,
     rhs: np.ndarray,
     method: str = "gauss-seidel",
+    fallback: bool = True,
     **kwargs,
 ) -> np.ndarray:
     """Solve ``A x = b`` with a named method.
@@ -186,19 +249,71 @@ def solve_linear_system(
     ----------
     method:
         One of ``"gauss-seidel"``, ``"jacobi"``, ``"sor"``, ``"direct"``.
+    fallback:
+        When an iterative method raises
+        :class:`~repro.exceptions.ConvergenceError`, retry with the
+        direct sparse solve instead of propagating the error (default).
+        The fallback is recorded as a ``linsolve.fallback`` event on the
+        ambient :mod:`repro.obs` collector, and the direct solve's true
+        residual still feeds the run's error budget.
     kwargs:
         Forwarded to the chosen solver (``tolerance``, ``max_iterations``,
         ``omega_factor`` for SOR).
     """
+    obs = get_collector()
     if method == "direct":
-        return solve_direct(matrix, rhs)
+        solution = solve_direct(matrix, rhs)
+        if obs.enabled:
+            csr = _as_csr(matrix)
+            residual = _true_residual(csr, solution, _check_rhs(csr, rhs))
+            obs.event(
+                "linsolve",
+                method="direct",
+                iterations=0,
+                residual=float(residual),
+                converged=True,
+            )
+        return solution
     if method == "gauss-seidel":
-        solution, _ = gauss_seidel(matrix, rhs, **kwargs)
+        solver = gauss_seidel
+    elif method == "jacobi":
+        solver = jacobi
+    elif method == "sor":
+        solver = sor
+    else:
+        raise NumericalError(f"unknown linear solver {method!r}")
+    try:
+        solution, stats = solver(matrix, rhs, **kwargs)
+    except ConvergenceError as error:
+        if not fallback:
+            raise
+        if obs.enabled:
+            obs.event(
+                "linsolve.fallback",
+                method=error.method,
+                iterations=int(error.iterations),
+                residual=float(error.residual),
+            )
+        obs.counter_add("linsolve.fallbacks")
+        solution = solve_direct(matrix, rhs)
+        if obs.enabled:
+            csr = _as_csr(matrix)
+            residual = _true_residual(csr, solution, _check_rhs(csr, rhs))
+            obs.event(
+                "linsolve",
+                method="direct",
+                iterations=0,
+                residual=float(residual),
+                converged=True,
+            )
         return solution
-    if method == "jacobi":
-        solution, _ = jacobi(matrix, rhs, **kwargs)
-        return solution
-    if method == "sor":
-        solution, _ = sor(matrix, rhs, **kwargs)
-        return solution
-    raise NumericalError(f"unknown linear solver {method!r}")
+    if obs.enabled:
+        obs.event(
+            "linsolve",
+            method=stats.method,
+            iterations=int(stats.iterations),
+            residual=float(stats.residual),
+            converged=bool(stats.converged),
+            delta=float(stats.delta),
+        )
+    return solution

@@ -1,0 +1,30 @@
+"""Run observability: counters, timers, span events, and run reports.
+
+See :mod:`repro.obs.collector` for the collection primitives and
+:mod:`repro.obs.report` for the structured :class:`RunReport` every
+:meth:`repro.check.ModelChecker.check` call produces.
+"""
+
+from repro.obs.collector import (
+    Collector,
+    NullCollector,
+    get_collector,
+    use_collector,
+)
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    ErrorBudget,
+    PhaseTiming,
+    RunReport,
+)
+
+__all__ = [
+    "Collector",
+    "NullCollector",
+    "get_collector",
+    "use_collector",
+    "RunReport",
+    "ErrorBudget",
+    "PhaseTiming",
+    "REPORT_SCHEMA",
+]

@@ -1,0 +1,144 @@
+"""Lightweight instrumentation primitives: counters, spans, events.
+
+The model-checking engines are numerical black boxes unless they report
+what they did — truncation mass discarded, solver residuals reached,
+cache entries hit, seconds spent per phase.  This module provides the
+collection side of that story:
+
+* :class:`Collector` — a recording sink with three primitives:
+  monotonically increasing **counters** (``counter_add``), wall-clock
+  **spans** grouped by name (``span``, a context manager), and free-form
+  **events** (``event``, an append-only list of dicts);
+* :class:`NullCollector` — the no-op default.  Every method is a stub
+  and ``enabled`` is ``False`` so hot loops can skip even the argument
+  construction;
+* an ambient *current collector* (:func:`get_collector`,
+  :func:`use_collector`) so deep call chains (checker → until engine →
+  linear solver) need no extra plumbing parameter.
+
+The ambient collector is thread-local: concurrent checkers on separate
+threads record into their own sinks.  Worker *processes* (the ``workers=``
+fan-out) do not propagate events back to the parent; the batched engines
+therefore record their aggregate statistics from the parent side.
+
+Instrumentation cost is a handful of dict operations per *phase* (not
+per path or per matrix element), which keeps the measured overhead well
+under the 5% budget tracked in ``BENCH_3.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Collector",
+    "NullCollector",
+    "get_collector",
+    "use_collector",
+]
+
+
+class NullCollector:
+    """The do-nothing sink installed by default.
+
+    ``enabled`` is ``False`` so instrumentation sites can guard any
+    non-trivial payload construction::
+
+        obs = get_collector()
+        if obs.enabled:
+            obs.event("until.paths", generated=total_generated)
+    """
+
+    enabled = False
+
+    def counter_add(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        yield
+
+
+class Collector(NullCollector):
+    """A recording sink for one run (typically one ``check()`` call).
+
+    Attributes
+    ----------
+    counters:
+        Name → accumulated value.
+    events:
+        Append-only list of dicts; each carries its ``"event"`` name.
+    phases:
+        Span name → ``[total_seconds, count]``; repeated spans with the
+        same name aggregate.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.events: List[Dict[str, Any]] = []
+        self.phases: Dict[str, List[float]] = {}
+
+    def counter_add(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def event(self, name: str, **fields: Any) -> None:
+        record: Dict[str, Any] = {"event": name}
+        record.update(fields)
+        self.events.append(record)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            entry = self.phases.get(name)
+            if entry is None:
+                self.phases[name] = [elapsed, 1]
+            else:
+                entry[0] += elapsed
+                entry[1] += 1
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, default: float = 0.0) -> float:
+        """The accumulated value of one counter."""
+        return self.counters.get(name, default)
+
+    def events_named(self, name: str) -> List[Dict[str, Any]]:
+        """All recorded events with the given name, in order."""
+        return [e for e in self.events if e.get("event") == name]
+
+
+_NULL = NullCollector()
+_state = threading.local()
+
+
+def get_collector() -> NullCollector:
+    """The ambient collector of the current thread (no-op by default)."""
+    return getattr(_state, "current", _NULL)
+
+
+@contextmanager
+def use_collector(collector: Optional[NullCollector]) -> Iterator[NullCollector]:
+    """Install ``collector`` as the ambient sink for the ``with`` body.
+
+    ``None`` installs the shared no-op collector (useful to *silence*
+    instrumentation inside an outer recording scope).  The previous
+    collector is restored on exit, so scopes nest naturally.
+    """
+    installed = _NULL if collector is None else collector
+    previous = getattr(_state, "current", _NULL)
+    _state.current = installed
+    try:
+        yield installed
+    finally:
+        _state.current = previous

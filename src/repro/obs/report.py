@@ -1,0 +1,211 @@
+"""Structured run reports: what a ``check()`` did and how trustworthy it is.
+
+A :class:`RunReport` condenses one :class:`~repro.obs.Collector` into a
+JSON-serializable record with three audiences:
+
+* **perf tracking** — per-phase wall-clock timings and engine-cache
+  hit/miss deltas, so regressions in any engine phase show up run over
+  run (``BENCH_3.json`` stores the instrumentation overhead itself);
+* **numerical trust** — the :class:`ErrorBudget`: the Poisson/path
+  truncation mass given up by the uniformization engine, the
+  discretization scheme's mass-defect bound, and the *true* linear-solver
+  residual ``‖b − Ax‖∞`` (PAPER.md Ch. 5 reports exactly these
+  alongside every probability);
+* **debugging** — the raw counters and events, including solver
+  fallbacks and cache activity.
+
+The report schema (``repro.run-report/1``) is documented in
+``docs/api.md``; :meth:`RunReport.to_dict` emits it and
+:meth:`RunReport.from_dict` round-trips it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs.collector import Collector
+
+__all__ = ["ErrorBudget", "PhaseTiming", "RunReport", "REPORT_SCHEMA"]
+
+#: Schema identifier embedded in every serialized report.
+REPORT_SCHEMA = "repro.run-report/1"
+
+#: Counter names the engines use to feed the error budget.
+TRUNCATION_COUNTER = "error.truncation_mass"
+DEFECT_COUNTER = "error.discretization_defect"
+#: Event name carrying linear-solver diagnostics (field ``residual``).
+LINSOLVE_EVENT = "linsolve"
+
+
+@dataclass(frozen=True)
+class ErrorBudget:
+    """Per-formula numerical error decomposition.
+
+    Attributes
+    ----------
+    truncation_mass:
+        Total probability mass discarded by path/Poisson truncation
+        (eq. 4.6 bounds plus the Fox–Glynn tail mass of transient
+        analysis), summed over the quantitative sub-evaluations.
+    discretization_defect:
+        Total mass-defect bound of the discretization engine (per-step
+        multi-jump probability times the number of steps), summed over
+        sub-evaluations; 0 for uniformization-only formulas.
+    solver_residual:
+        Worst true residual ``‖b − Ax‖∞`` over all linear solves
+        (steady-state and unbounded-until systems); 0 when no linear
+        system was solved.
+    """
+
+    truncation_mass: float = 0.0
+    discretization_defect: float = 0.0
+    solver_residual: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """The summed budget — a single *indicative* error magnitude."""
+        return self.truncation_mass + self.discretization_defect + self.solver_residual
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "truncation_mass": self.truncation_mass,
+            "discretization_defect": self.discretization_defect,
+            "solver_residual": self.solver_residual,
+            "total": self.total,
+        }
+
+    @staticmethod
+    def from_collector(collector: Collector) -> "ErrorBudget":
+        """Aggregate the budget from a collector's counters and events.
+
+        Truncation mass and discretization defect accumulate additively
+        in their counters; the solver residual is the *maximum* over all
+        recorded ``linsolve`` events (residuals of separate systems do
+        not add — the worst one dominates the trust statement).
+        """
+        residual = 0.0
+        for event in collector.events_named(LINSOLVE_EVENT):
+            value = event.get("residual")
+            if value is not None:
+                residual = max(residual, float(value))
+        return ErrorBudget(
+            truncation_mass=float(collector.counter(TRUNCATION_COUNTER)),
+            discretization_defect=float(collector.counter(DEFECT_COUNTER)),
+            solver_residual=residual,
+        )
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Aggregated wall-clock time of one named phase."""
+
+    name: str
+    seconds: float
+    count: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "seconds": self.seconds, "count": self.count}
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """The observable outcome of one ``ModelChecker.check()`` call.
+
+    Attributes
+    ----------
+    formula:
+        Rendered formula text.
+    wall_seconds:
+        End-to-end duration of the check (parse excluded — it happens
+        before the collector is installed — and report assembly
+        excluded).
+    phases:
+        Per-phase timings, insertion-ordered (outer phases first).
+    counters:
+        Raw counters (search statistics, cache activity, budget feeds).
+    events:
+        Raw event dicts (solver diagnostics, fallbacks, grid shapes).
+    cache:
+        Engine-cache activity *during this check* (hit/miss/eviction
+        deltas plus the absolute entry count afterwards).
+    error_budget:
+        The aggregated numerical trust statement.
+    """
+
+    formula: str
+    wall_seconds: float
+    phases: List[PhaseTiming] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    cache: Dict[str, int] = field(default_factory=dict)
+    error_budget: ErrorBudget = field(default_factory=ErrorBudget)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_collector(
+        formula: str,
+        collector: Collector,
+        wall_seconds: float,
+        cache: Optional[Mapping[str, int]] = None,
+    ) -> "RunReport":
+        """Condense a collector (plus cache deltas) into a report."""
+        phases = [
+            PhaseTiming(name=name, seconds=float(total), count=int(count))
+            for name, (total, count) in collector.phases.items()
+        ]
+        return RunReport(
+            formula=formula,
+            wall_seconds=float(wall_seconds),
+            phases=phases,
+            counters=dict(collector.counters),
+            events=[dict(e) for e in collector.events],
+            cache=dict(cache or {}),
+            error_budget=ErrorBudget.from_collector(collector),
+        )
+
+    # ------------------------------------------------------------------
+    def phase(self, name: str) -> Optional[PhaseTiming]:
+        """The timing entry for one phase name (None if absent)."""
+        for entry in self.phases:
+            if entry.name == name:
+                return entry
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-ready representation (schema ``repro.run-report/1``)."""
+        return {
+            "schema": REPORT_SCHEMA,
+            "formula": self.formula,
+            "wall_seconds": self.wall_seconds,
+            "phases": [p.to_dict() for p in self.phases],
+            "counters": dict(self.counters),
+            "events": [dict(e) for e in self.events],
+            "cache": dict(self.cache),
+            "error_budget": self.error_budget.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "RunReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        budget = payload.get("error_budget", {})
+        return RunReport(
+            formula=str(payload.get("formula", "")),
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            phases=[
+                PhaseTiming(
+                    name=str(p["name"]),
+                    seconds=float(p["seconds"]),
+                    count=int(p["count"]),
+                )
+                for p in payload.get("phases", [])
+            ],
+            counters={str(k): float(v) for k, v in payload.get("counters", {}).items()},
+            events=[dict(e) for e in payload.get("events", [])],
+            cache={str(k): int(v) for k, v in payload.get("cache", {}).items()},
+            error_budget=ErrorBudget(
+                truncation_mass=float(budget.get("truncation_mass", 0.0)),
+                discretization_defect=float(budget.get("discretization_defect", 0.0)),
+                solver_residual=float(budget.get("solver_residual", 0.0)),
+            ),
+        )

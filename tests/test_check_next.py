@@ -103,3 +103,72 @@ class TestSatisfyNext:
         result = satisfy_next(wavelan, Comparison.GE, 0.0, {1}, UNBOUNDED, UNBOUNDED)
         assert result.values.shape == (5,)
         assert result.satisfying == frozenset(range(5))
+
+
+# ----------------------------------------------------------------------
+# Vectorized implementation vs the literal Algorithm 4.4 loop
+# ----------------------------------------------------------------------
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.check.next_op import next_probabilities_reference  # noqa: E402
+
+
+@st.composite
+def random_mrm(draw):
+    """A random MRM with up to 6 states, float rewards and impulses."""
+    from repro.ctmc.chain import CTMC
+    from repro.mrm.model import MRM
+
+    n = draw(st.integers(min_value=2, max_value=6))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    rates = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < 0.5:
+                rates[i][j] = float(rng.uniform(0.25, 3.0))
+    rewards = [float(rng.uniform(0.0, 3.0)) for _ in range(n)]
+    impulses = {
+        (i, j): float(rng.uniform(0.0, 2.0))
+        for i in range(n)
+        for j in range(n)
+        if i != j and rates[i][j] > 0 and rng.random() < 0.5
+    }
+    return MRM(CTMC(rates), state_rewards=rewards, impulse_rewards=impulses)
+
+
+@st.composite
+def random_interval(draw):
+    lower = draw(st.sampled_from([0.0, 0.5, 1.0, 2.0]))
+    width = draw(st.sampled_from([0.0, 0.5, 2.0, math.inf]))
+    return Interval(lower, lower + width)
+
+
+class TestVectorizedMatchesLoop:
+    @given(
+        model=random_mrm(),
+        time_bound=random_interval(),
+        reward_bound=random_interval(),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_agreement_on_random_mrms(self, model, time_bound, reward_bound, data):
+        n = model.num_states
+        phi = {
+            s for s in range(n) if data.draw(st.booleans(), label=f"phi_{s}")
+        }
+        vectorized = next_probabilities(model, phi, time_bound, reward_bound)
+        loop = next_probabilities_reference(model, phi, time_bound, reward_bound)
+        assert vectorized == pytest.approx(loop, abs=1e-14)
+
+    def test_agreement_on_paper_models(self, wavelan, tmr3):
+        for model in (wavelan, tmr3):
+            n = model.num_states
+            for phi in ({0}, {1, 2}, set(range(n))):
+                for tb in (UNBOUNDED, Interval.upto(2.0), Interval(1.0, 4.0)):
+                    for rb in (UNBOUNDED, Interval.upto(30.0)):
+                        assert next_probabilities(
+                            model, phi, tb, rb
+                        ) == pytest.approx(
+                            next_probabilities_reference(model, phi, tb, rb),
+                            abs=1e-14,
+                        )

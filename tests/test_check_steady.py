@@ -54,3 +54,64 @@ class TestSatisfySteady:
         # Values: s1 = 8/21, s2 = 4/7, s3 = s4 = 2/3, s5 = 0; only s1 and
         # s5 stay below 0.5.
         assert result.satisfying == {0, 4}
+
+
+class TestMultiBsccTransientChain:
+    """A chain with two transient states and three BSCCs (a 2-cycle and
+    two absorbing states): the BSCC-wise evaluation must weight each
+    component's conditional stationary distribution with the reachability
+    probability from every start state (eq. 3.2) — without ever building
+    the dense steady-state matrix."""
+
+    @pytest.fixture(scope="class")
+    def chain(self):
+        from repro.ctmc.chain import CTMC
+        from repro.mrm.model import MRM
+
+        rates = np.zeros((6, 6))
+        rates[0, 1] = 1.0  # transient 0 -> transient 1
+        rates[0, 2] = 1.0  # transient 0 -> BSCC1
+        rates[1, 4] = 2.0  # transient 1 -> BSCC2 (absorbing)
+        rates[1, 5] = 1.0  # transient 1 -> BSCC3 (absorbing)
+        rates[2, 3] = 1.0  # BSCC1 = {2, 3} cycle
+        rates[3, 2] = 2.0
+        return MRM(CTMC(rates))
+
+    def test_hand_computed_values(self, chain):
+        # pi^{B1} = (2/3, 1/3) on {2, 3}; P(0 -> B1) = 1/2;
+        # P(0 -> B2) = 1/2 * 2/3 = 1/3; P(1 -> B2) = 2/3.
+        values = steady_state_values(chain, {2, 4})
+        assert values[0] == pytest.approx(0.5 * 2 / 3 + 1 / 3, abs=1e-12)
+        assert values[1] == pytest.approx(2 / 3, abs=1e-12)
+        assert values[2] == pytest.approx(2 / 3, abs=1e-12)
+        assert values[3] == pytest.approx(2 / 3, abs=1e-12)
+        assert values[4] == pytest.approx(1.0, abs=1e-12)
+        assert values[5] == 0.0
+
+    def test_matches_dense_reference(self, chain):
+        from repro.ctmc.steady import steady_state_matrix
+
+        matrix = steady_state_matrix(chain.ctmc)
+        for phi in ({2}, {3, 5}, {2, 4}, {0, 1}, set(range(6))):
+            values = steady_state_values(chain, phi)
+            reference = matrix[:, sorted(phi)].sum(axis=1)
+            assert values == pytest.approx(reference, abs=1e-12)
+
+    def test_structure_cached_per_fingerprint(self, chain):
+        from repro.check.engine_cache import EngineCache
+
+        cache = EngineCache()
+        steady_state_values(chain, {2}, cache=cache)
+        before = cache.stats
+        steady_state_values(chain, {4, 5}, cache=cache)
+        steady_state_values(chain, {0, 3}, cache=cache)
+        after = cache.stats
+        assert before.misses == after.misses  # structure built exactly once
+        assert after.hits >= before.hits + 2
+
+    def test_satisfy_steady_multi_bscc(self, chain):
+        result = satisfy_steady(chain, Comparison.GE, 0.9, {2, 4})
+        assert result.satisfying == {4}
+        result = satisfy_steady(chain, Comparison.GT, 0.0, {5})
+        # Only states that can reach BSCC3: the transients.
+        assert result.satisfying == {0, 1, 5}

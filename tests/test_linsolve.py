@@ -123,3 +123,110 @@ class TestRandomSystems:
         for method in ("gauss-seidel", "jacobi"):
             solution = solve_linear_system(matrix, rhs, method=method)
             assert solution == pytest.approx(reference, abs=1e-7)
+
+
+def near_singular_system(scale=1e6, a=0.999):
+    """A scaled, nearly singular 2x2 system.
+
+    The Jacobi delta equals ``|D^-1 r|``, so with diagonal entries of
+    size ``scale`` the iterate delta is ``scale`` times smaller than the
+    true residual: the old delta-based gate declares convergence while
+    ``|b - Ax|`` is still ``~scale * tol``.
+    """
+    matrix = sp.csr_matrix(scale * np.array([[1.0, -a], [-a, 1.0]]))
+    rhs = scale * np.array([1.0, 1.0])
+    return matrix, rhs
+
+
+class TestTrueResidualGate:
+    """Regression: convergence must be decided on ``|b - Ax|_inf``, not on
+    the successive-iterate delta (which mislabels slowly converging or
+    badly scaled systems as converged)."""
+
+    def test_old_delta_gate_mislabels_nonconverged_solve(self):
+        # Replicate the old convergence test (delta <= tol) verbatim and
+        # show the "converged" iterate it returns is nowhere near solved.
+        matrix, rhs = near_singular_system()
+        tolerance = 1e-12
+        diagonal = matrix.diagonal()
+        off = matrix - sp.diags(diagonal)
+        x = np.zeros_like(rhs)
+        delta = np.inf
+        for _ in range(100_000):
+            x_next = (rhs - off.dot(x)) / diagonal
+            delta = float(np.max(np.abs(x_next - x)))
+            x = x_next
+            if delta <= tolerance:
+                break
+        assert delta <= tolerance  # the old gate would stop here ...
+        true_residual = float(np.max(np.abs(rhs - matrix.dot(x))))
+        assert true_residual > 1e4 * tolerance  # ... with the system unsolved
+
+    def test_fixed_gate_refuses_premature_convergence(self):
+        matrix, rhs = near_singular_system()
+        with pytest.raises(ConvergenceError) as info:
+            jacobi(matrix, rhs, tolerance=1e-12, max_iterations=5000)
+        assert info.value.residual > 1e-12  # honest residual in the error
+
+    def test_fixed_gate_converges_to_true_residual(self):
+        # At an achievable tolerance the solver now iterates past the
+        # delta gate until the *residual* meets it.
+        matrix, rhs = near_singular_system()
+        solution, stats = jacobi(matrix, rhs, tolerance=1e-6)
+        assert stats.converged
+        true_residual = float(np.max(np.abs(rhs - matrix.dot(solution))))
+        assert true_residual <= 1e-6
+        assert stats.residual == pytest.approx(true_residual)
+        # The delta is reported separately and is much smaller.
+        assert stats.delta < stats.residual
+        reference = solve_direct(matrix, rhs)
+        assert solution == pytest.approx(reference, rel=1e-8)
+
+    def test_gauss_seidel_reports_true_residual(self):
+        solution, stats = gauss_seidel(SYSTEM, RHS)
+        true_residual = float(np.max(np.abs(RHS - SYSTEM.dot(solution))))
+        assert stats.residual == pytest.approx(true_residual, abs=1e-15)
+        assert stats.residual <= 1e-12
+
+
+class TestDirectFallback:
+    """solve_linear_system degrades to the direct solver on
+    ConvergenceError instead of aborting the caller."""
+
+    BAD = sp.csr_matrix(np.array([[1.0, 3.0], [4.0, 1.0]]))  # GS diverges
+    B = np.array([1.0, 1.0])
+
+    def test_falls_back_to_direct(self):
+        solution = solve_linear_system(
+            self.BAD, self.B, method="gauss-seidel", max_iterations=50
+        )
+        assert solution == pytest.approx(
+            np.linalg.solve(self.BAD.toarray(), self.B), abs=1e-10
+        )
+
+    def test_fallback_can_be_disabled(self):
+        with pytest.raises(ConvergenceError):
+            solve_linear_system(
+                self.BAD,
+                self.B,
+                method="gauss-seidel",
+                fallback=False,
+                max_iterations=50,
+            )
+
+    def test_fallback_records_obs_event(self):
+        from repro.obs import Collector, use_collector
+
+        with use_collector(Collector()) as obs:
+            solve_linear_system(
+                self.BAD, self.B, method="jacobi", max_iterations=50
+            )
+        fallbacks = obs.events_named("linsolve.fallback")
+        assert len(fallbacks) == 1
+        assert fallbacks[0]["method"] == "jacobi"
+        # The direct solve that served the result is recorded too, with
+        # its true residual feeding the error budget.
+        solves = obs.events_named("linsolve")
+        assert solves and solves[-1]["method"] == "direct"
+        assert solves[-1]["residual"] <= 1e-9
+        assert obs.counter("linsolve.fallbacks") == 1

@@ -1,0 +1,309 @@
+"""Tests for the repro.obs instrumentation subsystem.
+
+Covers the collector primitives, the run-report round-trip, the
+error-budget aggregation rules (truncation and defect add, solver
+residuals take the max), report production by ``ModelChecker.check``,
+and the ``--report``/``--verbose`` CLI surface.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.check import CheckOptions, EngineCache, ModelChecker
+from repro.cli.main import main
+from repro.io.bundle import save_mrm
+from repro.obs import (
+    Collector,
+    ErrorBudget,
+    NullCollector,
+    PhaseTiming,
+    REPORT_SCHEMA,
+    RunReport,
+    get_collector,
+    use_collector,
+)
+from repro.obs.report import DEFECT_COUNTER, TRUNCATION_COUNTER
+
+
+class TestCollector:
+    def test_default_is_noop(self):
+        obs = get_collector()
+        assert isinstance(obs, NullCollector)
+        assert obs.enabled is False
+        # The no-op sink swallows everything without error.
+        obs.counter_add("x", 2.0)
+        obs.event("e", value=1)
+        with obs.span("phase"):
+            pass
+
+    def test_counters_accumulate(self):
+        collector = Collector()
+        collector.counter_add("paths.generated", 3)
+        collector.counter_add("paths.generated", 4)
+        assert collector.counter("paths.generated") == 7.0
+        assert collector.counter("missing") == 0.0
+        assert collector.counter("missing", default=-1.0) == -1.0
+
+    def test_events_keep_order_and_name(self):
+        collector = Collector()
+        collector.event("linsolve", residual=1e-9)
+        collector.event("other", detail="x")
+        collector.event("linsolve", residual=2e-9)
+        named = collector.events_named("linsolve")
+        assert [e["residual"] for e in named] == [1e-9, 2e-9]
+        assert all(e["event"] == "linsolve" for e in named)
+
+    def test_spans_aggregate_by_name(self):
+        collector = Collector()
+        for _ in range(3):
+            with collector.span("until.search"):
+                pass
+        total, count = collector.phases["until.search"]
+        assert count == 3
+        assert total >= 0.0
+
+    def test_use_collector_installs_and_restores(self):
+        collector = Collector()
+        assert get_collector() is not collector
+        with use_collector(collector):
+            assert get_collector() is collector
+            get_collector().counter_add("inner")
+        assert get_collector() is not collector
+        assert collector.counter("inner") == 1.0
+
+    def test_use_collector_nests_and_silences(self):
+        outer = Collector()
+        with use_collector(outer):
+            with use_collector(None):
+                # Silenced scope: records go nowhere.
+                assert get_collector().enabled is False
+                get_collector().counter_add("lost")
+            assert get_collector() is outer
+        assert outer.counters == {}
+
+    def test_collector_is_thread_local(self):
+        main_collector = Collector()
+        seen = {}
+
+        def worker():
+            seen["collector"] = get_collector()
+
+        with use_collector(main_collector):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["collector"] is not main_collector
+        assert seen["collector"].enabled is False
+
+
+class TestErrorBudget:
+    def test_truncation_and_defect_add(self):
+        collector = Collector()
+        collector.counter_add(TRUNCATION_COUNTER, 1e-8)
+        collector.counter_add(TRUNCATION_COUNTER, 3e-8)
+        collector.counter_add(DEFECT_COUNTER, 1e-4)
+        budget = ErrorBudget.from_collector(collector)
+        assert budget.truncation_mass == pytest.approx(4e-8)
+        assert budget.discretization_defect == pytest.approx(1e-4)
+
+    def test_solver_residual_takes_max(self):
+        collector = Collector()
+        collector.event("linsolve", residual=1e-12)
+        collector.event("linsolve", residual=5e-9)
+        collector.event("linsolve", residual=1e-10)
+        # Events without a residual field are ignored, not errors.
+        collector.event("linsolve", method="direct")
+        budget = ErrorBudget.from_collector(collector)
+        assert budget.solver_residual == pytest.approx(5e-9)
+
+    def test_total_sums_components(self):
+        budget = ErrorBudget(
+            truncation_mass=1e-8,
+            discretization_defect=2e-8,
+            solver_residual=3e-8,
+        )
+        assert budget.total == pytest.approx(6e-8)
+
+    def test_empty_collector_gives_zero_budget(self):
+        budget = ErrorBudget.from_collector(Collector())
+        assert budget.total == 0.0
+
+
+class TestRunReportRoundTrip:
+    def make_report(self):
+        collector = Collector()
+        collector.counter_add(TRUNCATION_COUNTER, 2.5e-9)
+        collector.counter_add("paths.generated", 17)
+        collector.event("linsolve", method="jacobi", residual=1e-11)
+        with collector.span("until"):
+            pass
+        return RunReport.from_collector(
+            "P(>=0.5) [a U b]",
+            collector,
+            wall_seconds=0.125,
+            cache={"hits": 2, "misses": 1, "evictions": 0, "entries": 3},
+        )
+
+    def test_from_collector(self):
+        report = self.make_report()
+        assert report.formula == "P(>=0.5) [a U b]"
+        assert report.wall_seconds == 0.125
+        assert report.counters["paths.generated"] == 17
+        assert report.phase("until").count == 1
+        assert report.phase("absent") is None
+        assert report.cache["hits"] == 2
+        assert report.error_budget.truncation_mass == pytest.approx(2.5e-9)
+        assert report.error_budget.solver_residual == pytest.approx(1e-11)
+
+    def test_dict_round_trip(self):
+        report = self.make_report()
+        payload = report.to_dict()
+        assert payload["schema"] == REPORT_SCHEMA
+        # The payload is genuinely JSON-serializable.
+        rebuilt = RunReport.from_dict(json.loads(json.dumps(payload)))
+        assert rebuilt.formula == report.formula
+        assert rebuilt.wall_seconds == report.wall_seconds
+        assert rebuilt.counters == report.counters
+        assert rebuilt.cache == report.cache
+        assert rebuilt.error_budget == report.error_budget
+        assert rebuilt.phases == report.phases
+
+    def test_phase_timing_to_dict(self):
+        timing = PhaseTiming(name="steady", seconds=0.5, count=2)
+        assert timing.to_dict() == {"name": "steady", "seconds": 0.5, "count": 2}
+
+
+class TestCheckerReports:
+    def test_check_produces_report(self, wavelan):
+        # A private engine cache: the process-wide default may already be
+        # warm from other tests, which would zero the miss delta.
+        checker = ModelChecker(wavelan, engine_cache=EngineCache())
+        result = checker.check("P(>0.1) [idle U[0,2][0,2000] busy]")
+        report = result.report
+        assert report is not None
+        assert checker.last_report is report
+        assert report.formula == result.formula
+        assert report.wall_seconds > 0.0
+        assert report.phase("until") is not None
+        # The paths engine ran: search statistics and truncation mass.
+        assert report.counters.get("paths.generated", 0) > 0
+        assert report.error_budget.truncation_mass > 0.0
+        assert report.cache["misses"] > 0
+
+    def test_observe_false_skips_report(self, wavelan):
+        checker = ModelChecker(wavelan, CheckOptions(observe=False))
+        result = checker.check("busy")
+        assert result.report is None
+        assert checker.last_report is None
+
+    def test_steady_report_has_residual(self, bscc_example):
+        # Fresh cache: a warm steady-structure entry would skip the
+        # stationary solves (and their linsolve events) entirely.
+        checker = ModelChecker(bscc_example, engine_cache=EngineCache())
+        result = checker.check("S(>=0) a")
+        report = result.report
+        assert report.phase("steady") is not None
+        # The BSCC stationary solves report their true residuals.
+        assert any(e["event"] == "linsolve" for e in report.events)
+
+    def test_discretization_report_has_defect(self, tmr3):
+        checker = ModelChecker(
+            tmr3,
+            CheckOptions(until_engine="discretization", discretization_step=0.25),
+            engine_cache=EngineCache(),
+        )
+        result = checker.check("P(>0) [Sup U[0,10][0,300] failed]")
+        budget = result.report.error_budget
+        assert budget.discretization_defect > 0.0
+
+    def test_reports_do_not_leak_between_checks(self, wavelan):
+        checker = ModelChecker(wavelan)
+        first = checker.check("P(>0.1) [idle U[0,2][0,2000] busy]").report
+        second = checker.check("busy").report
+        assert second is not first
+        # The boolean formula did no quantitative work.
+        assert second.counters.get("paths.generated", 0) == 0
+        # Engine-cache deltas are per-check, not cumulative.
+        assert second.cache["misses"] == 0
+
+    def test_report_is_json_serializable(self, wavelan):
+        checker = ModelChecker(wavelan)
+        report = checker.check("P(>0.1) [idle U[0,2][0,2000] busy]").report
+        text = json.dumps(report.to_dict())
+        assert REPORT_SCHEMA in text
+
+
+class TestCliReport:
+    @pytest.fixture
+    def wavelan_files(self, tmp_path, wavelan):
+        return save_mrm(wavelan, str(tmp_path), "wavelan")
+
+    def run(self, capsys, files, *extra, formulas=()):
+        argv = [files["tra"], files["lab"], files["rewr"], files["rewi"], *extra]
+        for formula in formulas:
+            argv += ["--formula", formula]
+        status = main(argv)
+        captured = capsys.readouterr()
+        return status, captured.out, captured.err
+
+    def test_report_flag_writes_schema(self, capsys, tmp_path, wavelan_files):
+        out_file = tmp_path / "report.json"
+        status, _, _ = self.run(
+            capsys,
+            wavelan_files,
+            "--report",
+            str(out_file),
+            formulas=["P(>0.1) [idle U[0,2][0,2000] busy]", "busy"],
+        )
+        assert status == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["schema"] == REPORT_SCHEMA
+        assert len(payload["reports"]) == 2
+        first = payload["reports"][0]
+        assert first["schema"] == REPORT_SCHEMA
+        for key in (
+            "formula",
+            "wall_seconds",
+            "phases",
+            "counters",
+            "events",
+            "cache",
+            "error_budget",
+        ):
+            assert key in first
+        budget = first["error_budget"]
+        assert set(budget) == {
+            "truncation_mass",
+            "discretization_defect",
+            "solver_residual",
+            "total",
+        }
+        # Reports round-trip through the dataclasses.
+        rebuilt = RunReport.from_dict(first)
+        assert rebuilt.formula == first["formula"]
+
+    def test_verbose_prints_phase_table(self, capsys, wavelan_files):
+        status, out, _ = self.run(
+            capsys,
+            wavelan_files,
+            "--verbose",
+            formulas=["P(>0.1) [idle U[0,2][0,2000] busy]"],
+        )
+        assert status == 0
+        assert "phase timings:" in out
+        assert "until" in out
+        assert "error budget:" in out
+        assert "engine cache:" in out
+
+    def test_report_write_failure_is_reported(self, capsys, tmp_path, wavelan_files):
+        status, _, err = self.run(
+            capsys,
+            wavelan_files,
+            "--report",
+            str(tmp_path / "missing-dir" / "report.json"),
+            formulas=["busy"],
+        )
+        assert status == 2
+        assert "cannot write report" in err
