@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Tuple, Union
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -19,7 +19,21 @@ from repro.check.next_op import next_probabilities
 from repro.check.results import SatResult
 from repro.check.steady import satisfy_steady
 from repro.check.until import satisfy_until
-from repro.exceptions import CheckError, FormulaError
+from repro.exceptions import (
+    CheckError,
+    ConvergenceError,
+    FormulaError,
+    GuardExceeded,
+    NumericalError,
+)
+from repro.guard import (
+    Guard,
+    NullGuard,
+    degradation_record,
+    get_guard,
+    until_tiers,
+    use_guard,
+)
 from repro.logic.ast import (
     And,
     Atomic,
@@ -39,9 +53,19 @@ from repro.logic.ast import (
 )
 from repro.logic.parser import parse_formula
 from repro.mrm.model import MRM
-from repro.obs import Collector, RunReport, get_collector, use_collector
+from repro.obs import Collector, ErrorBudget, RunReport, get_collector, use_collector
+from repro.obs.report import (
+    DEGRADATION_EVENT,
+    PARTIAL_EVENT,
+    SOLVER_FALLBACK_EVENT,
+)
 
 __all__ = ["CheckOptions", "ModelChecker"]
+
+_UNTIL_ENGINES = ("uniformization", "discretization")
+_PATH_STRATEGIES = ("paths", "merged", "merged-legacy")
+_TRUNCATION_MODES = ("safe", "paper")
+_LINEAR_SOLVERS = ("gauss-seidel", "jacobi", "sor", "direct")
 
 
 @dataclass(frozen=True)
@@ -81,6 +105,29 @@ class CheckOptions:
         default; the instrumentation is a handful of dict operations per
         phase (overhead is tracked in ``BENCH_3.json``), but it can be
         switched off for micro-benchmarking the bare engines.
+    deadline_s:
+        Wall-clock budget per ``check()`` call in seconds; ``None``
+        (default) leaves time unbounded.  Enforced cooperatively by a
+        :class:`repro.guard.Guard` at the engines' checkpoint sites.
+    mem_budget_bytes:
+        Memory budget per ``check()`` call in bytes; ``None`` (default)
+        leaves memory unbounded.
+    error_tolerance:
+        Acceptable total :class:`~repro.obs.ErrorBudget` for a check's
+        answer; when set and exceeded, the result's ``trust`` is
+        downgraded to ``"degraded"`` (requires ``observe=True`` — the
+        budget is assembled from the run's collector).
+    degrade:
+        Whether budget trips, out-of-memory conditions and convergence
+        failures step down through cheaper engine tiers
+        (:func:`repro.guard.until_tiers`) instead of propagating.  On by
+        default; with ``False`` the first such failure raises.
+
+    All fields are validated at construction: unknown engine, strategy,
+    truncation-mode or solver names, negative worker counts, a
+    non-positive discretization step, or a truncation probability
+    outside ``(0, 1)`` raise :class:`~repro.exceptions.CheckError`
+    immediately instead of failing deep inside an engine.
     """
 
     until_engine: str = "uniformization"
@@ -91,6 +138,69 @@ class CheckOptions:
     linear_solver: str = "gauss-seidel"
     workers: int = 0
     observe: bool = True
+    deadline_s: Optional[float] = None
+    mem_budget_bytes: Optional[int] = None
+    error_tolerance: Optional[float] = None
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.until_engine not in _UNTIL_ENGINES:
+            raise CheckError(
+                f"unknown until engine {self.until_engine!r} "
+                f"(expected one of {_UNTIL_ENGINES})"
+            )
+        if self.path_strategy not in _PATH_STRATEGIES:
+            raise CheckError(
+                f"unknown path strategy {self.path_strategy!r} "
+                f"(expected one of {_PATH_STRATEGIES})"
+            )
+        if self.truncation_mode not in _TRUNCATION_MODES:
+            raise CheckError(
+                f"unknown truncation mode {self.truncation_mode!r} "
+                f"(expected one of {_TRUNCATION_MODES})"
+            )
+        if self.linear_solver not in _LINEAR_SOLVERS:
+            raise CheckError(
+                f"unknown linear solver {self.linear_solver!r} "
+                f"(expected one of {_LINEAR_SOLVERS})"
+            )
+        if not isinstance(self.workers, int) or self.workers < 0:
+            raise CheckError(
+                f"workers must be a non-negative integer, got {self.workers!r}"
+            )
+        if not 0.0 < self.truncation_probability < 1.0:
+            raise CheckError(
+                "truncation probability must lie in (0, 1), got "
+                f"{self.truncation_probability!r}"
+            )
+        if self.discretization_step <= 0.0:
+            raise CheckError(
+                f"discretization step must be positive, got "
+                f"{self.discretization_step!r}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise CheckError(
+                f"deadline_s must be positive or None, got {self.deadline_s!r}"
+            )
+        if self.mem_budget_bytes is not None and self.mem_budget_bytes < 1:
+            raise CheckError(
+                "mem_budget_bytes must be at least 1 or None, got "
+                f"{self.mem_budget_bytes!r}"
+            )
+        if self.error_tolerance is not None and self.error_tolerance < 0:
+            raise CheckError(
+                "error_tolerance must be non-negative or None, got "
+                f"{self.error_tolerance!r}"
+            )
+
+    @property
+    def guarded(self) -> bool:
+        """Whether any guard budget is configured."""
+        return (
+            self.deadline_s is not None
+            or self.mem_budget_bytes is not None
+            or self.error_tolerance is not None
+        )
 
 
 class ModelChecker:
@@ -110,6 +220,7 @@ class ModelChecker:
         model: MRM,
         options: Optional[CheckOptions] = None,
         engine_cache: Optional[EngineCache] = None,
+        guard: Optional[NullGuard] = None,
     ) -> None:
         self._model = model
         self._options = options or CheckOptions()
@@ -121,14 +232,28 @@ class ModelChecker:
         self._engine_cache = (
             engine_cache if engine_cache is not None else default_engine_cache()
         )
+        # An explicit guard is shared across every check() of this
+        # checker (one budget for a whole analysis); without one, each
+        # check() builds a fresh per-call guard from the options.
+        self._guard = guard
         self._cache: Dict[Formula, FrozenSet[int]] = {}
         self._value_cache: Dict[Formula, Tuple[float, ...]] = {}
         self._last_report: Optional[RunReport] = None
         # Quantitative values keyed by the *path* operator (including its
         # time/reward intervals), not the enclosing Prob formula: two P
         # formulas that differ only in comparison/bound share one engine
-        # run, the second check being a pure threshold test.
-        self._path_value_cache: Dict[PathFormula, np.ndarray] = {}
+        # run, the second check being a pure threshold test.  Each entry
+        # stores the values together with the degradation records of the
+        # run that produced them, so cache hits replay the degradations
+        # (marked ``cached``) into the requesting check's report instead
+        # of silently laundering a degraded answer into an "exact" one.
+        # Partial results are never cached.
+        self._path_value_cache: Dict[
+            PathFormula, Tuple[np.ndarray, Tuple[Dict[str, Any], ...]]
+        ] = {}
+        # Per-check degradation state, reset by check().
+        self._partial = False
+        self._degradations: List[Dict[str, Any]] = []
 
     @property
     def model(self) -> MRM:
@@ -162,21 +287,37 @@ class ModelChecker:
         per-phase timings, engine-cache activity, and the formula's
         error budget; the same report is available as
         :attr:`last_report`.
+
+        When the options (or an explicit constructor guard) configure
+        budgets, the evaluation additionally runs under a
+        :class:`repro.guard.Guard` and never raises on a tripped budget
+        while ``options.degrade`` holds: failed sub-problems are re-run
+        on cheaper engine tiers, the result's :attr:`SatResult.trust`
+        reports ``"degraded"``/``"partial"``, and every step is listed
+        in the report's ``degradations`` section.
         """
         parsed = self._coerce(formula)
+        guard = self._make_guard()
+        self._partial = False
+        self._degradations = []
         if not self._options.observe:
-            states = self.satisfying_states(parsed)
+            with use_guard(guard if guard.enabled else None):
+                states = self._sat(parsed)
             probabilities = self._value_cache.get(parsed)
             return SatResult(
-                formula=str(parsed), states=states, probabilities=probabilities
+                formula=str(parsed),
+                states=states,
+                probabilities=probabilities,
+                trust=self._trust(guard, None),
             )
         collector = Collector()
         before = self._engine_cache.stats
         start = time.perf_counter()
-        with use_collector(collector):
+        with use_collector(collector), use_guard(guard if guard.enabled else None):
             states = self._sat(parsed)
         wall_seconds = time.perf_counter() - start
         after = self._engine_cache.stats
+        trust = self._trust(guard, collector)
         report = RunReport.from_collector(
             str(parsed),
             collector,
@@ -187,6 +328,7 @@ class ModelChecker:
                 "evictions": after.evictions - before.evictions,
                 "entries": after.entries,
             },
+            trust=trust,
         )
         self._last_report = report
         probabilities = self._value_cache.get(parsed)
@@ -195,7 +337,60 @@ class ModelChecker:
             states=states,
             probabilities=probabilities,
             report=report,
+            trust=trust,
         )
+
+    # ------------------------------------------------------------------
+    # guarded execution
+    # ------------------------------------------------------------------
+    def _make_guard(self) -> NullGuard:
+        """The guard for one ``check()`` call.
+
+        An explicit constructor guard wins (its deadline keeps ticking
+        across calls — a whole-analysis budget); otherwise a fresh
+        per-call :class:`Guard` is built whenever the options configure
+        any budget, and the shared no-op guard when they do not.
+        """
+        if self._guard is not None:
+            return self._guard
+        opts = self._options
+        if opts.guarded:
+            return Guard(
+                deadline_s=opts.deadline_s,
+                mem_budget_bytes=opts.mem_budget_bytes,
+                error_tolerance=opts.error_tolerance,
+            )
+        return NullGuard()
+
+    def _trust(self, guard: NullGuard, collector: Optional[Collector]) -> str:
+        """The trust qualification of the check that just finished."""
+        if self._partial:
+            return "partial"
+        if self._degradations:
+            return "degraded"
+        if collector is not None:
+            if collector.events_named(SOLVER_FALLBACK_EVENT):
+                # An iterative solve silently fell back to the direct
+                # solver inside solve_linear_system: the answer is
+                # complete but not what the configuration asked for.
+                return "degraded"
+            tolerance = guard.error_tolerance
+            if tolerance is not None:
+                budget = ErrorBudget.from_collector(collector)
+                if budget.total > tolerance:
+                    return "degraded"
+        return "exact"
+
+    def _note_degradation(self, record: Dict[str, Any]) -> None:
+        """Track one degradation and mirror it into the collector."""
+        self._degradations.append(record)
+        name = PARTIAL_EVENT if record.get("kind") == "partial" else DEGRADATION_EVENT
+        get_collector().event(name, **record)
+
+    @property
+    def degradations(self) -> List[Dict[str, Any]]:
+        """Engine-level degradation records of the most recent check."""
+        return list(self._degradations)
 
     def holds_in(self, formula: Union[str, StateFormula], state: int) -> bool:
         """Whether ``state |= formula``."""
@@ -231,48 +426,166 @@ class ModelChecker:
 
         The cache key is the path formula itself (structural equality,
         intervals included), so every probability bound wrapped around
-        the same path operator reuses one quantitative engine run.
+        the same path operator reuses one quantitative engine run.  A
+        cache hit replays the producing run's degradation records
+        (marked ``cached``) so the current check's trust stays honest;
+        partial results are recomputed every time.
         """
         cached = self._path_value_cache.get(path)
         if cached is not None:
+            values, records = cached
             get_collector().counter_add("path-values.cache-hits")
-            return cached
+            for record in records:
+                self._note_degradation({**record, "cached": True})
+            return values
         if isinstance(path, Next):
+            values, records, partial = self._next_values_guarded(path)
+        elif isinstance(path, Until):
+            values, records, partial = self._until_values_guarded(path)
+        else:
+            raise FormulaError(f"unsupported path formula {path!r}")
+        if partial:
+            self._partial = True
+        else:
+            self._path_value_cache[path] = (values, tuple(records))
+        return values
+
+    def _next_values_guarded(
+        self, path: Next
+    ) -> Tuple[np.ndarray, List[Dict[str, Any]], bool]:
+        """The next operator under the ambient guard.
+
+        Next has no cheaper tier (one matrix-vector product); a budget
+        trip makes the sub-problem partial immediately.
+        """
+        phi_states = self._sat(path.child)
+        guard = get_guard()
+        records: List[Dict[str, Any]] = []
+        try:
             with get_collector().span("next"):
                 values = next_probabilities(
                     self._model,
-                    phi_states=self._sat(path.child),
-                    time_bound=path.time_bound,
-                    reward_bound=path.reward_bound,
-                )
-        elif isinstance(path, Until):
-            # Resolve the operand sub-formulas before opening the span so
-            # "until" times only the quantitative engine work.
-            phi_states = self._sat(path.left)
-            psi_states = self._sat(path.right)
-            with get_collector().span("until"):
-                result = satisfy_until(
-                    self._model,
-                    comparison=Comparison.GE,
-                    bound=0.0,
                     phi_states=phi_states,
-                    psi_states=psi_states,
                     time_bound=path.time_bound,
                     reward_bound=path.reward_bound,
-                    engine=self._options.until_engine,
-                    truncation_probability=self._options.truncation_probability,
-                    discretization_step=self._options.discretization_step,
-                    strategy=self._options.path_strategy,
-                    truncation=self._options.truncation_mode,
-                    solver=self._options.linear_solver,
-                    workers=self._options.workers,
-                    cache=self._engine_cache,
                 )
-            values = result.values
-        else:
-            raise FormulaError(f"unsupported path formula {path!r}")
-        self._path_value_cache[path] = values
-        return values
+            return values, records, False
+        except (GuardExceeded, MemoryError, ConvergenceError) as exc:
+            if not self._options.degrade:
+                raise
+            record = degradation_record(
+                "next",
+                "next",
+                None,
+                exc,
+                kind="partial",
+                elapsed_s=guard.elapsed() if guard.enabled else None,
+            )
+            self._note_degradation(record)
+            records.append(record)
+            values = np.zeros(self._model.num_states, dtype=float)
+            for state in phi_states:
+                values[state] = 1.0
+            return values, records, True
+
+    def _until_values_guarded(
+        self, path: Until
+    ) -> Tuple[np.ndarray, List[Dict[str, Any]], bool]:
+        """The until operator under the ambient guard, with the cascade.
+
+        Runs the configured tier first; on a budget trip, out-of-memory
+        condition or convergence failure it steps down through
+        :func:`repro.guard.until_tiers`, re-running only this
+        sub-problem.  When every tier fails (or the deadline leaves no
+        time for a retry) the values are the conservative fill-in —
+        ``Psi``-states 1, everything else 0 — and the result is partial.
+        """
+        opts = self._options
+        # Resolve the operand sub-formulas before opening the span so
+        # "until" times only the quantitative engine work.
+        phi_states = self._sat(path.left)
+        psi_states = self._sat(path.right)
+        guard = get_guard()
+        tiers = until_tiers(opts.until_engine, opts.path_strategy)
+        if path.reward_bound.is_unbounded:
+            # P0/P1 formulas ignore the engine/strategy configuration
+            # entirely (linear system / transient uniformization), so a
+            # "cheaper tier" would repeat the identical computation.
+            tiers = tiers[:1]
+        records: List[Dict[str, Any]] = []
+        for index, tier in enumerate(tiers):
+            try:
+                with get_collector().span("until"):
+                    result = satisfy_until(
+                        self._model,
+                        comparison=Comparison.GE,
+                        bound=0.0,
+                        phi_states=phi_states,
+                        psi_states=psi_states,
+                        time_bound=path.time_bound,
+                        reward_bound=path.reward_bound,
+                        engine=tier.engine,
+                        truncation_probability=opts.truncation_probability,
+                        discretization_step=opts.discretization_step,
+                        strategy=tier.strategy,
+                        truncation=opts.truncation_mode,
+                        solver=opts.linear_solver,
+                        workers=opts.workers,
+                        cache=self._engine_cache,
+                    )
+                return result.values, records, False
+            except (GuardExceeded, MemoryError, ConvergenceError) as exc:
+                if not opts.degrade:
+                    raise
+                elapsed = guard.elapsed() if guard.enabled else None
+                # A passed deadline dooms every retry at its first
+                # checkpoint — go partial instead of burning tiers.
+                retry = index + 1 < len(tiers) and not guard.time_exhausted()
+                if retry:
+                    record = degradation_record(
+                        "until",
+                        tier.label,
+                        tiers[index + 1].label,
+                        exc,
+                        kind="engine",
+                        elapsed_s=elapsed,
+                    )
+                    self._note_degradation(record)
+                    records.append(record)
+                    continue
+                record = degradation_record(
+                    "until", tier.label, None, exc, kind="partial", elapsed_s=elapsed
+                )
+                self._note_degradation(record)
+                records.append(record)
+                break
+            except (CheckError, NumericalError) as exc:
+                # Configuration/precondition errors.  From the
+                # *configured* tier they are the caller's problem and
+                # propagate; a fallback tier whose preconditions the
+                # model violates (e.g. discretization over non-integral
+                # rewards) is simply skipped.
+                if index == 0 or not opts.degrade:
+                    raise
+                elapsed = guard.elapsed() if guard.enabled else None
+                retry = index + 1 < len(tiers)
+                record = degradation_record(
+                    "until",
+                    tier.label,
+                    tiers[index + 1].label if retry else None,
+                    exc,
+                    kind="engine" if retry else "partial",
+                    elapsed_s=elapsed,
+                )
+                self._note_degradation(record)
+                records.append(record)
+                if retry:
+                    continue
+                break
+        values = np.zeros(self._model.num_states, dtype=float)
+        for state in psi_states:
+            values[state] = 1.0
+        return values, records, True
 
     # ------------------------------------------------------------------
     # recursion (Algorithm 4.1)
@@ -291,7 +604,11 @@ class ModelChecker:
         if cached is not None:
             return cached
         result = self._compute_sat(formula)
-        self._cache[formula] = result
+        # Partial fill-ins must not poison the cross-check satisfying-set
+        # cache: once this check has gone partial, nothing computed from
+        # here on is known to be exact, so stop caching entirely.
+        if not self._partial:
+            self._cache[formula] = result
         return result
 
     def _compute_sat(self, formula: StateFormula) -> FrozenSet[int]:
@@ -321,19 +638,51 @@ class ModelChecker:
         if isinstance(formula, Implies):
             return (all_states - self._sat(formula.left)) | self._sat(formula.right)
         if isinstance(formula, Steady):
-            with get_collector().span("steady"):
-                result = satisfy_steady(
-                    model,
-                    comparison=formula.comparison,
-                    bound=formula.bound,
-                    phi_states=self._sat(formula.child),
-                    cache=self._engine_cache,
-                )
-            self._value_cache[formula] = tuple(float(v) for v in result.values)
-            return result.satisfying
+            return self._sat_steady(formula)
         if isinstance(formula, Prob):
             return self._sat_probability(formula)
         raise FormulaError(f"unsupported formula {formula!r}")
+
+    def _sat_steady(self, formula: Steady) -> FrozenSet[int]:
+        """The steady-state operator under the ambient guard.
+
+        The solver already degrades iterative → direct internally
+        (:func:`repro.numerics.linsolve.solve_linear_system`), so a
+        failure escaping here means even the direct solve (or the BSCC
+        analysis) could not finish within the budgets: the sub-problem
+        goes partial with the conservative empty satisfying set.
+        """
+        phi_states = self._sat(formula.child)
+        guard = get_guard()
+        try:
+            with get_collector().span("steady"):
+                result = satisfy_steady(
+                    self._model,
+                    comparison=formula.comparison,
+                    bound=formula.bound,
+                    phi_states=phi_states,
+                    cache=self._engine_cache,
+                )
+        except (GuardExceeded, MemoryError, ConvergenceError) as exc:
+            if not self._options.degrade:
+                raise
+            self._partial = True
+            self._note_degradation(
+                degradation_record(
+                    "steady",
+                    "steady",
+                    None,
+                    exc,
+                    kind="partial",
+                    elapsed_s=guard.elapsed() if guard.enabled else None,
+                )
+            )
+            self._value_cache[formula] = tuple(
+                0.0 for _ in range(self._model.num_states)
+            )
+            return frozenset()
+        self._value_cache[formula] = tuple(float(v) for v in result.values)
+        return result.satisfying
 
     def _sat_probability(self, formula: Prob) -> FrozenSet[int]:
         values = self._path_values(formula.path)

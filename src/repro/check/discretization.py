@@ -47,6 +47,7 @@ import scipy.sparse as sp
 
 from repro.check.engine_cache import EngineCache
 from repro.exceptions import CheckError, NumericalError
+from repro.guard import get_guard
 from repro.mrm.model import MRM
 from repro.obs import get_collector
 from repro.obs.report import DEFECT_COUNTER
@@ -356,6 +357,12 @@ def discretized_joint_distribution(
     grid = _grid_for(model, time_bound, reward_bound, step, cache)
     psi = {int(s) for s in psi_states}
 
+    guard = get_guard()
+    # Two live (n x width) float64 panels: the mass array plus the one
+    # forward_step builds before the old panel is released.
+    mem_estimate = int(2 * n * grid.width * 8) if guard.enabled else None
+    if guard.enabled:
+        guard.checkpoint("discretization.alloc", mem_bytes=mem_estimate)
     mass = np.zeros((n, grid.width), dtype=float)
     start_cell = int(grid.rho_cells[initial_state])
     if start_cell < grid.width:
@@ -363,6 +370,8 @@ def discretized_joint_distribution(
     # else: the very first slice already exceeds the reward bound.
 
     for _ in range(grid.time_steps - 1):
+        if guard.enabled:
+            guard.checkpoint("discretization.forward", mem_bytes=mem_estimate)
         mass = grid.forward_step(mass)
 
     members = sorted(s for s in psi if 0 <= s < n)
@@ -416,10 +425,16 @@ def discretized_joint_distributions(
     grid = _grid_for(model, time_bound, reward_bound, step, cache)
     psi = sorted({int(s) for s in psi_states if 0 <= int(s) < n})
 
+    guard = get_guard()
+    mem_estimate = int(2 * n * grid.width * 8) if guard.enabled else None
+    if guard.enabled:
+        guard.checkpoint("discretization.alloc", mem_bytes=mem_estimate)
     value = np.zeros((n, grid.width), dtype=float)
     if psi:
         value[psi, :] = 1.0
     for _ in range(grid.time_steps - 1):
+        if guard.enabled:
+            guard.checkpoint("discretization.adjoint", mem_bytes=mem_estimate)
         value = grid.backward_step(value)
 
     probabilities = np.zeros(n, dtype=float)

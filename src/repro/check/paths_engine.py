@@ -80,15 +80,23 @@ double precision.
 
 from __future__ import annotations
 
+import concurrent.futures
 import math
 import multiprocessing
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import AbstractSet, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.check.engine_cache import EngineCache
-from repro.exceptions import CheckError, NumericalError
+from repro.exceptions import (
+    CheckError,
+    GuardExceeded,
+    NumericalError,
+    WorkerError,
+)
+from repro.guard import get_guard
 from repro.mrm.model import MRM
 from repro.obs import get_collector
 from repro.numerics.orderstat import OmegaCalculator
@@ -841,6 +849,15 @@ def joint_distribution_all(
 # worker through fork copy-on-write (never pickled).
 _WORKER_CONTEXT: Optional[PathEngineContext] = None
 
+#: Wall-clock watchdog per shard.  Generous — it exists to catch a hung
+#: worker (deadlocked fork, stuck allocator), not a slow one; genuinely
+#: slow shards are the ambient guard's business.
+DEFAULT_SHARD_TIMEOUT_S = 600.0
+
+#: Pool submissions per shard before it is re-executed serially: the
+#: first attempt plus this many re-submissions to a fresh pool.
+POOL_RETRIES = 1
+
 
 def _fan_out_initializer(context: PathEngineContext) -> None:
     global _WORKER_CONTEXT
@@ -855,10 +872,90 @@ def _fan_out_shard(states: List[int]) -> List[Tuple[int, PathEngineResult]]:
     ]
 
 
+def _terminate_workers(executor: "concurrent.futures.ProcessPoolExecutor") -> None:
+    """Best-effort kill of a pool's worker processes.
+
+    Needed on the timeout path: a hung worker would otherwise survive
+    ``shutdown(wait=False)`` and block interpreter exit at the atexit
+    join.  Reaches into executor internals deliberately — there is no
+    public kill switch — and tolerates their absence.
+    """
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-dead workers
+            pass
+
+
+def _run_shard_pool(
+    context: PathEngineContext,
+    shards: List[List[int]],
+    timeout_s: float,
+) -> Tuple[Dict[int, PathEngineResult], List[Tuple[List[int], WorkerError]]]:
+    """One pool attempt over ``shards``.
+
+    Returns the merged results of the shards that completed plus a
+    ``(shard, WorkerError)`` list for the ones that did not — a dead
+    worker (OOM-kill, nonzero exit, crashing initializer: all surface as
+    ``BrokenProcessPool``) or a per-shard watchdog timeout.  Guard trips
+    and out-of-memory conditions raised *by the engine code in a worker*
+    are not worker failures; they propagate so the caller's degradation
+    cascade handles them exactly as in a serial run.
+    """
+    fork = multiprocessing.get_context("fork")
+    results: Dict[int, PathEngineResult] = {}
+    failures: List[Tuple[List[int], WorkerError]] = []
+    executor = concurrent.futures.ProcessPoolExecutor(
+        max_workers=len(shards),
+        mp_context=fork,
+        initializer=_fan_out_initializer,
+        initargs=(context,),
+    )
+    timed_out = False
+    try:
+        futures = [
+            (executor.submit(_fan_out_shard, shard), shard) for shard in shards
+        ]
+        for future, shard in futures:
+            try:
+                part = future.result(timeout=timeout_s)
+            except BrokenProcessPool as error:
+                failures.append(
+                    (shard, WorkerError(f"worker died: {error}", shard=shard))
+                )
+            except concurrent.futures.TimeoutError:
+                timed_out = True
+                future.cancel()
+                failures.append(
+                    (
+                        shard,
+                        WorkerError(
+                            f"shard timed out after {timeout_s:g}s", shard=shard
+                        ),
+                    )
+                )
+            except (GuardExceeded, MemoryError):
+                # A budget tripped inside the worker's engine code — the
+                # run is over for every shard; surface it to the cascade.
+                _terminate_workers(executor)
+                executor.shutdown(wait=False, cancel_futures=True)
+                raise
+            else:
+                for state, result in part:
+                    results[state] = result
+    finally:
+        if timed_out:
+            _terminate_workers(executor)
+        executor.shutdown(wait=not timed_out, cancel_futures=True)
+    return results, failures
+
+
 def joint_distribution_many(
     context: PathEngineContext,
     initial_states: Iterable[int],
     workers: int = 0,
+    shard_timeout_s: Optional[float] = None,
 ) -> Dict[int, PathEngineResult]:
     """Run the search for many initial states against one shared context.
 
@@ -875,6 +972,20 @@ def joint_distribution_many(
     memo warmed left-to-right, in parallel each shard warms its own.
     Platforms without the ``fork`` start method fall back to the serial
     loop.
+
+    The pool is fault tolerant.  Each shard runs under a watchdog
+    timeout (``shard_timeout_s``, default
+    :data:`DEFAULT_SHARD_TIMEOUT_S`, clipped to the ambient guard's
+    remaining deadline); a worker that dies mid-shard — OOM-kill,
+    nonzero exit, crashing initializer — is detected instead of hanging
+    the parent.  Failed shards are re-submitted to a fresh pool up to
+    :data:`POOL_RETRIES` times and finally re-executed serially in the
+    parent, so the merged result is still bitwise identical to the
+    all-serial run.  Every recovery is recorded as a
+    ``pool.worker-failure`` event on the ambient collector; only a
+    failure of the serial re-execution itself can raise, and guard trips
+    inside workers propagate unchanged (they belong to the degradation
+    cascade, not to pool recovery).
     """
     states = [int(state) for state in initial_states]
     workers = int(workers or 0)
@@ -894,14 +1005,44 @@ def joint_distribution_many(
         for shard in np.array_split(np.asarray(states, dtype=np.int64), workers)
         if shard.size
     ]
-    fork = multiprocessing.get_context("fork")
-    with fork.Pool(
-        processes=len(shards),
-        initializer=_fan_out_initializer,
-        initargs=(context,),
-    ) as pool:
-        parts = pool.map(_fan_out_shard, shards)
-    return {state: result for part in parts for state, result in part}
+    timeout_s = (
+        DEFAULT_SHARD_TIMEOUT_S if shard_timeout_s is None else float(shard_timeout_s)
+    )
+    guard = get_guard()
+    remaining = guard.remaining_time()
+    if remaining is not None:
+        # A shard has no business outliving the run's deadline; the
+        # slack lets workers trip their own checkpoints (and report a
+        # proper GuardExceeded) before the watchdog fires.
+        timeout_s = min(timeout_s, remaining + 5.0)
+
+    obs = get_collector()
+    results: Dict[int, PathEngineResult] = {}
+    pending = shards
+    for attempt in range(1 + POOL_RETRIES):
+        parts, failures = _run_shard_pool(context, pending, timeout_s)
+        results.update(parts)
+        if not failures:
+            return results
+        retrying = attempt < POOL_RETRIES
+        if obs.enabled:
+            for shard, error in failures:
+                obs.counter_add("pool.worker-failures")
+                obs.event(
+                    "pool.worker-failure",
+                    reason=str(error),
+                    shard=list(shard),
+                    recovery="pool-retry" if retrying else "serial",
+                )
+        pending = [shard for shard, _ in failures]
+        if not retrying:
+            break
+    # Serial re-execution of the still-failing shards: deterministic,
+    # identical numbers, no pool machinery left to fail.
+    for shard in pending:
+        for state in shard:
+            results[state] = joint_distribution_from_context(context, state)
+    return results
 
 
 def _run_paths_dfs(
@@ -950,7 +1091,13 @@ def _run_paths_dfs(
         (initial_state, 0, root_k, root_j, 1.0)
     ]
     head_count = len(heads)
+    guard = get_guard()
+    frame_bytes = 120 + 16 * (num_levels + num_impulses)
     while stack:
+        if guard.enabled and (generated & 1023) == 0:
+            # Every 1024th node: the DFS pops millions of frames, so the
+            # checkpoint itself must stay off the critical path.
+            guard.checkpoint("until.paths", mem_bytes=len(stack) * frame_bytes)
         state, depth, k, j, p_dtmc = stack.pop()
         generated += 1
         if depth > max_depth:
@@ -1040,7 +1187,15 @@ def _run_merged_dp(
     depth = 0
     head_count = len(heads)
     pmf_count = len(pmf)
+    guard = get_guard()
+    entry_bytes = 120 + 16 * (num_levels + num_impulses)
     while frontier:
+        if guard.enabled:
+            # Dict-of-tuples frontier: a rough per-entry footprint (key
+            # tuple, count tuples, hash slots) keeps the estimate cheap.
+            guard.checkpoint(
+                "until.merged", mem_bytes=len(frontier) * entry_bytes
+            )
         max_depth = depth
         poisson_here = float(pmf[depth]) if depth < pmf_count else 0.0
         for (state, k, j), p_dtmc in frontier.items():
@@ -1210,7 +1365,18 @@ def _sweep_packed(
     pmf_count = len(pmf)
     head_count = len(heads)
     maxpois_count = 0 if maxpois is None else len(maxpois)
+    guard = get_guard()
+    stored_bytes = 0
     while states.size:
+        if guard.enabled:
+            # Frontier columns plus the psi column buffers accumulated
+            # so far — the sweep's live working set at this depth.
+            frontier_bytes = (
+                states.nbytes + class_lo.nbytes + class_hi.nbytes + mass.nbytes
+            )
+            guard.checkpoint(
+                "until.columnar", mem_bytes=frontier_bytes + stored_bytes
+            )
         max_depth = depth
         generated += int(states.size)
         poisson_here = float(pmf[depth]) if depth < pmf_count else 0.0
@@ -1220,6 +1386,12 @@ def _sweep_packed(
             stored_hi.append(class_hi[storing])
             stored_mass.append(mass[storing] * poisson_here)
             stored += int(storing.sum())
+            if guard.enabled:
+                stored_bytes += (
+                    stored_lo[-1].nbytes
+                    + stored_hi[-1].nbytes
+                    + stored_mass[-1].nbytes
+                )
         if depth_limit is not None and depth >= depth_limit:
             break
         next_depth = depth + 1
@@ -1227,6 +1399,13 @@ def _sweep_packed(
         total = int(degrees.sum())
         if total == 0:
             break
+        if guard.enabled:
+            # The expansion materializes ~7 length-``total`` int64/float
+            # columns (parent, offsets, edges, moves, states, mass, and
+            # the two class words) before the merge shrinks them.
+            guard.checkpoint(
+                "until.columnar.expand", mem_bytes=stored_bytes + total * 8 * 7
+            )
         parent = np.repeat(np.arange(states.size), degrees)
         offsets = np.arange(total) - np.repeat(
             np.cumsum(degrees) - degrees, degrees
@@ -1353,7 +1532,14 @@ def _sweep_interned(
     pmf_count = len(pmf)
     head_count = len(heads)
     maxpois_count = 0 if maxpois is None else len(maxpois)
+    guard = get_guard()
+    stored_bytes = 0
     while states.size:
+        if guard.enabled:
+            frontier_bytes = states.nbytes + class_ids.nbytes + mass.nbytes
+            guard.checkpoint(
+                "until.columnar", mem_bytes=frontier_bytes + stored_bytes
+            )
         max_depth = depth
         generated += int(states.size)
         poisson_here = float(pmf[depth]) if depth < pmf_count else 0.0
@@ -1362,6 +1548,8 @@ def _sweep_interned(
             stored_ids.append(class_ids[storing])
             stored_mass.append(mass[storing] * poisson_here)
             stored += int(storing.sum())
+            if guard.enabled:
+                stored_bytes += stored_ids[-1].nbytes + stored_mass[-1].nbytes
         if depth_limit is not None and depth >= depth_limit:
             break
         next_depth = depth + 1
@@ -1369,6 +1557,10 @@ def _sweep_interned(
         total = int(degrees.sum())
         if total == 0:
             break
+        if guard.enabled:
+            guard.checkpoint(
+                "until.columnar.expand", mem_bytes=stored_bytes + total * 8 * 6
+            )
         parent = np.repeat(np.arange(states.size), degrees)
         offsets = np.arange(total) - np.repeat(
             np.cumsum(degrees) - degrees, degrees

@@ -35,12 +35,30 @@ class SatResult:
         formula's error budget.  ``None`` when observation was disabled
         (``CheckOptions(observe=False)``) or the result was built
         outside :meth:`repro.check.ModelChecker.check`.
+    trust:
+        How the answer was produced:
+
+        * ``"exact"`` — every quantitative sub-evaluation ran with the
+          configured engine configuration (and within the guard's error
+          tolerance, when one was set);
+        * ``"degraded"`` — at least one sub-problem was re-run on a
+          cheaper engine tier (or a linear solve fell back to the direct
+          solver) after a budget trip, out-of-memory condition or
+          convergence failure, or the finished run's error budget
+          exceeds the guard's ``error_tolerance``.  The answer is still
+          complete;
+        * ``"partial"`` — some sub-problem could not be completed at any
+          tier within the budgets; the affected probabilities are
+          conservative fill-ins (``Psi``-states 1, everything else 0)
+          and the satisfying set must be treated as a lower-confidence
+          answer.
     """
 
     formula: str
     states: FrozenSet[int]
     probabilities: Optional[Tuple[float, ...]] = None
     report: Optional[object] = None
+    trust: str = "exact"
 
     def __contains__(self, state: int) -> bool:
         return int(state) in self.states

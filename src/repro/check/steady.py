@@ -27,6 +27,7 @@ import numpy as np
 from repro.check.engine_cache import EngineCache
 from repro.check.results import SteadyResult
 from repro.ctmc.steady import bscc_steady_structure
+from repro.guard import get_guard
 from repro.logic.ast import Comparison
 from repro.mrm.model import MRM
 from repro.obs import get_collector
@@ -79,7 +80,10 @@ def steady_state_values(
     if obs.enabled:
         obs.counter_add("steady.evaluations")
         obs.event("steady", bsccs=len(structure), phi_states=int(phi_mask.sum()))
+    guard = get_guard()
     for members, reach, stationary in structure:
+        if guard.enabled:
+            guard.checkpoint("steady.accumulate", mem_bytes=int(3 * values.nbytes))
         weight = float(stationary[phi_mask[members]].sum())
         if weight > 0.0:
             values += weight * reach

@@ -42,6 +42,7 @@ from repro.check.paths_engine import (
 from repro.check.results import UntilResult
 from repro.exceptions import CheckError
 from repro.graphs.reachability import backward_reachable
+from repro.guard import get_guard
 from repro.logic.ast import Comparison
 from repro.mrm.model import MRM
 from repro.numerics.intervals import Interval
@@ -153,7 +154,13 @@ def time_bounded_until_probabilities(
 
     current = indicator.copy()
     result = np.zeros(n, dtype=float)
+    guard = get_guard()
+    mem_estimate = (
+        int(matrix.data.nbytes + 3 * current.nbytes) if guard.enabled else None
+    )
     for step in range(weights.right + 1):
+        if guard.enabled:
+            guard.checkpoint("until.transient", mem_bytes=mem_estimate)
         if step >= weights.left:
             result += weights.weight(step) * current
         if step < weights.right:
@@ -229,7 +236,13 @@ def interval_until_probabilities(
     matrix = process.dtmc.matrix
     current = phase_two.copy()
     values = np.zeros(n, dtype=float)
+    guard = get_guard()
+    mem_estimate = (
+        int(matrix.data.nbytes + 3 * current.nbytes) if guard.enabled else None
+    )
     for step in range(weights.right + 1):
+        if guard.enabled:
+            guard.checkpoint("until.interval", mem_bytes=mem_estimate)
         if step >= weights.left:
             values += weights.weight(step) * current
         if step < weights.right:

@@ -19,10 +19,16 @@ or, with a guarded-command model description::
 * ``-j/--workers N`` fans the uniformization engine's per-initial-state
   searches out over ``N`` worker processes (results are identical to a
   serial run).
+* ``--timeout SECONDS`` and ``--mem-budget BYTES`` (``K``/``M``/``G``
+  suffixes accepted) bound each formula's evaluation; on a tripped
+  budget the checker degrades through cheaper engine tiers instead of
+  aborting, and the printed ``trust`` line says how the answer was
+  produced (``exact``, ``degraded`` or ``partial``).  ``--no-degrade``
+  turns the cascade off: a tripped budget then fails the formula.
 * ``--verbose/-v`` prints a per-phase timing table, engine-cache
   activity, and the error budget of each formula after its result.
 * ``--report FILE`` writes the structured run reports of all checked
-  formulas to ``FILE`` as JSON (schema ``repro.run-report/1``).
+  formulas to ``FILE`` as JSON (schema ``repro.run-report/2``).
 
 Formulas are read one per line, either from ``--formula/-f`` arguments
 or from standard input.  Empty lines and lines starting with ``#`` are
@@ -95,6 +101,27 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         "per-initial-state fan-out (default: serial)",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per formula; on exhaustion the checker "
+        "degrades to cheaper engines instead of aborting",
+    )
+    parser.add_argument(
+        "--mem-budget",
+        default=None,
+        metavar="BYTES",
+        help="memory budget per formula (K/M/G suffixes accepted, "
+        "e.g. 512M); enforced at the engines' checkpoints",
+    )
+    parser.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="fail a formula when a budget trips instead of stepping "
+        "down through cheaper engine tiers",
+    )
+    parser.add_argument(
         "--verbose",
         "-v",
         action="store_true",
@@ -136,6 +163,35 @@ def _print_report(report: RunReport) -> None:
         f"solver residual {budget.solver_residual:.3g} "
         f"= {budget.total:.3g}"
     )
+    if report.degradations:
+        print("  degradations:")
+        for record in report.degradations:
+            target = record.get("to") or "partial result"
+            print(
+                f"    [{record.get('kind', 'engine')}] "
+                f"{record.get('from')} -> {target}: {record.get('reason')}"
+            )
+
+
+_SIZE_SUFFIXES = {"K": 1024, "M": 1024**2, "G": 1024**3}
+
+
+def _parse_size(text: str) -> int:
+    """A byte count like ``"2048"``, ``"512M"`` or ``"2G"``."""
+    cleaned = text.strip().upper()
+    factor = 1
+    if cleaned and cleaned[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[cleaned[-1]]
+        cleaned = cleaned[:-1]
+    try:
+        value = float(cleaned)
+    except ValueError as error:
+        raise ReproError(
+            f"bad size {text!r}: expected BYTES with optional K/M/G suffix"
+        ) from error
+    if value <= 0:
+        raise ReproError(f"bad size {text!r}: must be positive")
+    return int(value * factor)
 
 
 def _parse_method(argument: Optional[str]) -> CheckOptions:
@@ -213,6 +269,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.workers < 0:
                 raise ReproError(f"bad --workers {args.workers}: must be >= 0")
             options = dataclasses.replace(options, workers=args.workers)
+        if args.timeout is not None:
+            if args.timeout <= 0:
+                raise ReproError(f"bad --timeout {args.timeout}: must be > 0")
+            options = dataclasses.replace(options, deadline_s=args.timeout)
+        if args.mem_budget is not None:
+            options = dataclasses.replace(
+                options, mem_budget_bytes=_parse_size(args.mem_budget)
+            )
+        if args.no_degrade:
+            options = dataclasses.replace(options, degrade=False)
         if args.tra.endswith(".mrm"):
             overrides = {}
             for item in args.const:
@@ -249,6 +315,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         title = f"formula {name!r}: " if name else "formula: "
         print(f"{title}{result.formula}")
         print(f"satisfying states: {rendered}")
+        if options.guarded or result.trust != "exact":
+            print(f"trust: {result.trust}")
         if print_probabilities and result.probabilities is not None:
             for state, value in enumerate(result.probabilities):
                 print(f"  state {state + 1}: {value:.12g}")

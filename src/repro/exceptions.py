@@ -70,6 +70,64 @@ class NumericalError(ReproError):
     """
 
 
+class GuardExceeded(ReproError):
+    """A :class:`repro.guard.Guard` budget was exhausted at a checkpoint.
+
+    Raised cooperatively by the engines' hot loops, never asynchronously:
+    computation is abandoned at a well-defined point (a Poisson epoch, a
+    frontier merge, a discretization column, a solver sweep), so the
+    degradation cascade can re-run the failed sub-problem with a cheaper
+    engine tier.
+
+    Attributes
+    ----------
+    phase:
+        The checkpoint label at which the budget tripped (e.g.
+        ``"until.columnar"``), or ``None``.
+    """
+
+    def __init__(self, message: str, phase: "str | None" = None) -> None:
+        super().__init__(message)
+        self.phase = phase
+
+    def __reduce__(self):
+        # Keep worker-to-parent pickling exact (fan-out pool workers may
+        # trip a guard and ship the exception back).
+        return (type(self), (self.args[0], self.phase))
+
+
+class DeadlineExceeded(GuardExceeded):
+    """The guard's wall-clock deadline passed before the work finished."""
+
+
+class MemoryBudgetExceeded(GuardExceeded):
+    """The guard's memory budget was exceeded by the working set."""
+
+
+class WorkerError(ReproError):
+    """A fan-out pool worker failed outside the library's control.
+
+    Wraps worker deaths the OS inflicts (OOM kill, signals, a crashing
+    initializer) and per-shard timeouts in a typed error, so callers see
+    one library exception instead of a raw ``multiprocessing`` internals
+    traceback — or, worse, a hang.  The pool recovers by re-running the
+    failed shards serially; this error only propagates when even the
+    serial re-execution fails.
+
+    Attributes
+    ----------
+    shard:
+        The initial states of the failed shard, if known.
+    """
+
+    def __init__(self, message: str, shard: "tuple | None" = None) -> None:
+        super().__init__(message)
+        self.shard = tuple(shard) if shard is not None else None
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.shard))
+
+
 class ConvergenceError(NumericalError):
     """An iterative method exhausted its iteration budget before converging."""
 

@@ -1,0 +1,38 @@
+"""Guarded execution: deadlines, memory budgets, degradation cascade.
+
+See :mod:`repro.guard.guard` for the cooperative :class:`Guard` and the
+ambient-guard plumbing, and :mod:`repro.guard.cascade` for the engine
+degradation tiers the checker steps through when a budget trips.  The
+typed exceptions live in :mod:`repro.exceptions` with the rest of the
+hierarchy and are re-exported here for convenience.
+"""
+
+from repro.exceptions import (
+    DeadlineExceeded,
+    GuardExceeded,
+    MemoryBudgetExceeded,
+    WorkerError,
+)
+from repro.guard.cascade import EngineTier, degradation_record, until_tiers
+from repro.guard.guard import (
+    Guard,
+    NullGuard,
+    current_rss_bytes,
+    get_guard,
+    use_guard,
+)
+
+__all__ = [
+    "Guard",
+    "NullGuard",
+    "get_guard",
+    "use_guard",
+    "current_rss_bytes",
+    "EngineTier",
+    "until_tiers",
+    "degradation_record",
+    "GuardExceeded",
+    "DeadlineExceeded",
+    "MemoryBudgetExceeded",
+    "WorkerError",
+]

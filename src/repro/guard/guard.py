@@ -1,0 +1,238 @@
+"""Execution guards: deadlines, memory budgets, cooperative checkpoints.
+
+A :class:`Guard` bounds one model-checking run.  The engines cannot be
+preempted safely mid-sweep (their invariants span whole frontier
+merges), so the guard is *cooperative*: hot loops call
+:meth:`Guard.checkpoint` at natural boundaries — one Poisson epoch, one
+frontier merge, one discretization column, one solver sweep — and the
+checkpoint raises a typed :class:`~repro.exceptions.GuardExceeded`
+subclass the moment a budget is exhausted.  Because the raise happens at
+a loop boundary, the degradation cascade
+(:mod:`repro.guard.cascade`) can abandon exactly the failed sub-problem
+and re-run it with a cheaper engine tier.
+
+Three budgets are supported:
+
+* ``deadline_s`` — wall-clock seconds from guard construction.  Checked
+  against ``time.monotonic()`` on every checkpoint.
+* ``mem_budget_bytes`` — a bound on memory use.  Engines that know their
+  working set (the columnar sweep's frontier arrays, the discretization
+  mass array) pass an explicit ``mem_bytes`` estimate; as a backstop the
+  guard also samples the process RSS from ``/proc/self/statm`` every
+  ``rss_check_interval`` checkpoints (where available), so runaway
+  allocations outside the estimates still trip.
+* ``error_tolerance`` — not enforced at checkpoints; the checker
+  compares the finished run's error budget against it and downgrades the
+  result's ``trust`` when exceeded.
+
+Like the :mod:`repro.obs` collector, the *ambient* guard is thread-local
+(:func:`get_guard` / :func:`use_guard`) so deep call chains need no
+extra parameter, and fan-out worker processes inherit it through fork —
+the deadline is an absolute monotonic instant, so parent and workers
+agree on it.  The default :class:`NullGuard` is a no-op whose
+``enabled`` is ``False``, letting hot loops skip even the argument
+construction.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.exceptions import (
+    CheckError,
+    DeadlineExceeded,
+    MemoryBudgetExceeded,
+)
+
+__all__ = [
+    "Guard",
+    "NullGuard",
+    "get_guard",
+    "use_guard",
+    "current_rss_bytes",
+]
+
+try:  # one syscall at import; 4096 is the near-universal fallback
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, ValueError, OSError):  # pragma: no cover
+    _PAGE_SIZE = 4096
+
+
+def current_rss_bytes() -> Optional[int]:
+    """The process's resident set size, or ``None`` off procfs platforms."""
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        return None
+
+
+class NullGuard:
+    """The do-nothing guard installed by default.
+
+    ``enabled`` is ``False`` so checkpoint sites can skip estimate
+    construction::
+
+        guard = get_guard()
+        ...
+        if guard.enabled:
+            guard.checkpoint("until.columnar", mem_bytes=frontier_bytes)
+    """
+
+    enabled = False
+    deadline_s: Optional[float] = None
+    mem_budget_bytes: Optional[int] = None
+    error_tolerance: Optional[float] = None
+
+    def checkpoint(
+        self, phase: Optional[str] = None, mem_bytes: Optional[int] = None
+    ) -> None:
+        pass
+
+    def elapsed(self) -> float:
+        return 0.0
+
+    def remaining_time(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` when unbounded)."""
+        return None
+
+    def time_exhausted(self) -> bool:
+        """Whether the deadline has already passed."""
+        return False
+
+
+class Guard(NullGuard):
+    """Budgets for one run, enforced at cooperative checkpoints.
+
+    Parameters
+    ----------
+    deadline_s:
+        Wall-clock budget in seconds, measured from construction;
+        ``None`` leaves time unbounded.
+    mem_budget_bytes:
+        Memory budget in bytes; ``None`` leaves memory unbounded.
+    error_tolerance:
+        Acceptable total error budget for the final answer; consumed by
+        the checker's trust qualification, not by checkpoints.
+    rss_check_interval:
+        Sample the process RSS every this many checkpoints when a memory
+        budget is set (the backstop for allocations the engines do not
+        estimate).  ``0`` disables RSS sampling.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        deadline_s: Optional[float] = None,
+        mem_budget_bytes: Optional[int] = None,
+        error_tolerance: Optional[float] = None,
+        rss_check_interval: int = 64,
+    ) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise CheckError("guard deadline must be positive (or None)")
+        if mem_budget_bytes is not None and mem_budget_bytes < 1:
+            raise CheckError("guard memory budget must be at least 1 byte (or None)")
+        if error_tolerance is not None and error_tolerance < 0:
+            raise CheckError("guard error tolerance must be non-negative (or None)")
+        if rss_check_interval < 0:
+            raise CheckError("rss_check_interval must be non-negative")
+        self.deadline_s = None if deadline_s is None else float(deadline_s)
+        self.mem_budget_bytes = (
+            None if mem_budget_bytes is None else int(mem_budget_bytes)
+        )
+        self.error_tolerance = (
+            None if error_tolerance is None else float(error_tolerance)
+        )
+        self._start = time.monotonic()
+        self._deadline = (
+            None if self.deadline_s is None else self._start + self.deadline_s
+        )
+        self._rss_interval = int(rss_check_interval)
+        self._checkpoints = 0
+
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        """Seconds since the guard was constructed."""
+        return time.monotonic() - self._start
+
+    def remaining_time(self) -> Optional[float]:
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.monotonic())
+
+    def time_exhausted(self) -> bool:
+        return self._deadline is not None and time.monotonic() >= self._deadline
+
+    # ------------------------------------------------------------------
+    def checkpoint(
+        self, phase: Optional[str] = None, mem_bytes: Optional[int] = None
+    ) -> None:
+        """Raise when a budget is exhausted; otherwise return fast.
+
+        Parameters
+        ----------
+        phase:
+            Checkpoint label (carried by the raised exception so the
+            degradation record names where the budget tripped).
+        mem_bytes:
+            The caller's working-set estimate, when it has one.  Passing
+            it makes memory trips deterministic; without it the throttled
+            RSS sample is the only memory check.
+        """
+        self._checkpoints += 1
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise DeadlineExceeded(
+                f"deadline of {self.deadline_s:g}s exhausted"
+                + (f" during {phase}" if phase else ""),
+                phase=phase,
+            )
+        budget = self.mem_budget_bytes
+        if budget is None:
+            return
+        if mem_bytes is not None and mem_bytes > budget:
+            raise MemoryBudgetExceeded(
+                f"working set estimate {int(mem_bytes)} bytes exceeds the "
+                f"memory budget of {budget} bytes"
+                + (f" during {phase}" if phase else ""),
+                phase=phase,
+            )
+        if self._rss_interval and self._checkpoints % self._rss_interval == 0:
+            rss = current_rss_bytes()
+            if rss is not None and rss > budget:
+                raise MemoryBudgetExceeded(
+                    f"process RSS {rss} bytes exceeds the memory budget of "
+                    f"{budget} bytes" + (f" during {phase}" if phase else ""),
+                    phase=phase,
+                )
+
+
+_NULL = NullGuard()
+_state = threading.local()
+
+
+def get_guard() -> NullGuard:
+    """The ambient guard of the current thread (no-op by default)."""
+    return getattr(_state, "current", _NULL)
+
+
+@contextmanager
+def use_guard(guard: Optional[NullGuard]) -> Iterator[NullGuard]:
+    """Install ``guard`` as the ambient guard for the ``with`` body.
+
+    ``None`` installs the shared no-op guard (useful to *suspend*
+    guarding inside an outer guarded scope).  The previous guard is
+    restored on exit, so scopes nest naturally.
+    """
+    installed = _NULL if guard is None else guard
+    previous = getattr(_state, "current", _NULL)
+    _state.current = installed
+    try:
+        yield installed
+    finally:
+        _state.current = previous

@@ -35,6 +35,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.exceptions import ConvergenceError, NumericalError
+from repro.guard import get_guard
 from repro.obs import get_collector
 
 __all__ = [
@@ -133,7 +134,15 @@ def jacobi(
     x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=float).copy()
     delta = float("inf")
     residual = float("inf")
+    guard = get_guard()
+    mem_estimate = (
+        int(csr.data.nbytes + off.data.nbytes + 4 * b.nbytes)
+        if guard.enabled
+        else None
+    )
     for iteration in range(1, max_iterations + 1):
+        if guard.enabled:
+            guard.checkpoint("linsolve.jacobi", mem_bytes=mem_estimate)
         x_next = (b - off.dot(x)) / diagonal
         delta = float(np.max(np.abs(x_next - x))) if b.size else 0.0
         stalled = delta == 0.0
@@ -185,7 +194,13 @@ def sor(
     method = "gauss-seidel" if omega_factor == 1.0 else f"sor({omega_factor:g})"
     delta = float("inf")
     residual = float("inf")
+    guard = get_guard()
+    mem_estimate = (
+        int(csr.data.nbytes + 3 * x.nbytes) if guard.enabled else None
+    )
     for iteration in range(1, max_iterations + 1):
+        if guard.enabled:
+            guard.checkpoint("linsolve.sweep", mem_bytes=mem_estimate)
         delta = 0.0
         for row in range(n):
             acc = 0.0

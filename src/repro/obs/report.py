@@ -14,9 +14,11 @@ JSON-serializable record with three audiences:
 * **debugging** — the raw counters and events, including solver
   fallbacks and cache activity.
 
-The report schema (``repro.run-report/1``) is documented in
+The report schema (``repro.run-report/2``) is documented in
 ``docs/api.md``; :meth:`RunReport.to_dict` emits it and
-:meth:`RunReport.from_dict` round-trips it.
+:meth:`RunReport.from_dict` round-trips it (and still accepts the
+schema-1 payloads of earlier releases, which simply had no
+``degradations`` section and no ``trust`` field).
 """
 
 from __future__ import annotations
@@ -29,13 +31,18 @@ from repro.obs.collector import Collector
 __all__ = ["ErrorBudget", "PhaseTiming", "RunReport", "REPORT_SCHEMA"]
 
 #: Schema identifier embedded in every serialized report.
-REPORT_SCHEMA = "repro.run-report/1"
+REPORT_SCHEMA = "repro.run-report/2"
 
 #: Counter names the engines use to feed the error budget.
 TRUNCATION_COUNTER = "error.truncation_mass"
 DEFECT_COUNTER = "error.discretization_defect"
 #: Event name carrying linear-solver diagnostics (field ``residual``).
 LINSOLVE_EVENT = "linsolve"
+#: Event names feeding the ``degradations`` report section.
+DEGRADATION_EVENT = "guard.degradation"
+PARTIAL_EVENT = "guard.partial"
+POOL_FAILURE_EVENT = "pool.worker-failure"
+SOLVER_FALLBACK_EVENT = "linsolve.fallback"
 
 
 @dataclass(frozen=True)
@@ -131,6 +138,15 @@ class RunReport:
         deltas plus the absolute entry count afterwards).
     error_budget:
         The aggregated numerical trust statement.
+    trust:
+        The run's trust qualification (``"exact"``, ``"degraded"`` or
+        ``"partial"`` — see :class:`repro.check.SatResult`).
+    degradations:
+        Every degradation, fallback, budget trip and worker failure the
+        run survived, in order: engine tier step-downs and partial
+        fill-ins (``kind: "engine"``/``"partial"``), linear-solver
+        direct fallbacks (``kind: "solver"``) and fan-out pool worker
+        recoveries (``kind: "pool"``).
     """
 
     formula: str
@@ -140,14 +156,62 @@ class RunReport:
     events: List[Dict[str, Any]] = field(default_factory=list)
     cache: Dict[str, int] = field(default_factory=dict)
     error_budget: ErrorBudget = field(default_factory=ErrorBudget)
+    trust: str = "exact"
+    degradations: List[Dict[str, Any]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def degradations_from_collector(collector: Collector) -> List[Dict[str, Any]]:
+        """The ``degradations`` section assembled from a collector's events.
+
+        Engine/partial records are emitted by the checker's cascade as
+        ``guard.degradation``/``guard.partial`` events and pass through
+        unchanged (minus the event name); solver fallbacks and pool
+        worker failures are normalized into the same shape.
+        """
+        records: List[Dict[str, Any]] = []
+        for event in collector.events:
+            name = event.get("event")
+            if name in (DEGRADATION_EVENT, PARTIAL_EVENT):
+                record = {k: v for k, v in event.items() if k != "event"}
+                record.setdefault(
+                    "kind", "partial" if name == PARTIAL_EVENT else "engine"
+                )
+                records.append(record)
+            elif name == SOLVER_FALLBACK_EVENT:
+                records.append(
+                    {
+                        "kind": "solver",
+                        "operator": "linsolve",
+                        "from": str(event.get("method", "iterative")),
+                        "to": "direct",
+                        "reason": (
+                            f"ConvergenceError: no convergence within "
+                            f"{event.get('iterations')} iterations "
+                            f"(residual {event.get('residual')})"
+                        ),
+                    }
+                )
+            elif name == POOL_FAILURE_EVENT:
+                record = {
+                    "kind": "pool",
+                    "operator": "until",
+                    "from": "fork-pool",
+                    "to": str(event.get("recovery", "serial")),
+                    "reason": str(event.get("reason", "worker failure")),
+                }
+                if "shard" in event:
+                    record["shard"] = list(event["shard"])
+                records.append(record)
+        return records
+
     @staticmethod
     def from_collector(
         formula: str,
         collector: Collector,
         wall_seconds: float,
         cache: Optional[Mapping[str, int]] = None,
+        trust: str = "exact",
     ) -> "RunReport":
         """Condense a collector (plus cache deltas) into a report."""
         phases = [
@@ -162,6 +226,8 @@ class RunReport:
             events=[dict(e) for e in collector.events],
             cache=dict(cache or {}),
             error_budget=ErrorBudget.from_collector(collector),
+            trust=str(trust),
+            degradations=RunReport.degradations_from_collector(collector),
         )
 
     # ------------------------------------------------------------------
@@ -173,7 +239,7 @@ class RunReport:
         return None
 
     def to_dict(self) -> Dict[str, Any]:
-        """The JSON-ready representation (schema ``repro.run-report/1``)."""
+        """The JSON-ready representation (schema ``repro.run-report/2``)."""
         return {
             "schema": REPORT_SCHEMA,
             "formula": self.formula,
@@ -183,11 +249,19 @@ class RunReport:
             "events": [dict(e) for e in self.events],
             "cache": dict(self.cache),
             "error_budget": self.error_budget.to_dict(),
+            "trust": self.trust,
+            "degradations": [dict(d) for d in self.degradations],
         }
 
     @staticmethod
     def from_dict(payload: Mapping[str, Any]) -> "RunReport":
-        """Rebuild a report from :meth:`to_dict` output."""
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Accepts schema-1 payloads too: they carry no ``trust`` or
+        ``degradations`` keys, which default to ``"exact"`` and an empty
+        list (schema 1 had no way to degrade, so those defaults are the
+        truth, not a guess).
+        """
         budget = payload.get("error_budget", {})
         return RunReport(
             formula=str(payload.get("formula", "")),
@@ -208,4 +282,6 @@ class RunReport:
                 discretization_defect=float(budget.get("discretization_defect", 0.0)),
                 solver_residual=float(budget.get("solver_residual", 0.0)),
             ),
+            trust=str(payload.get("trust", "exact")),
+            degradations=[dict(d) for d in payload.get("degradations", [])],
         )

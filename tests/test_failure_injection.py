@@ -3,14 +3,28 @@
 Errors should never pass silently — every constructor and engine is fed
 hostile inputs (NaN/inf, wrong shapes, inconsistent structures) and must
 raise the documented exception type, never produce numbers.
+
+The second half injects *runtime* faults — engines stubbed to raise
+``MemoryError``, stubbed to outlive a deadline, pool workers killed
+mid-shard — and asserts the guarded checker survives them exactly as
+documented: the cascade steps through its tiers in order, the answer's
+``trust`` says ``"degraded"``, the numbers match the surviving engine's
+direct run, and a dying fork worker is recovered serially with bitwise
+identical results instead of hanging the parent.
 """
 
 import math
+import os
+import time
 
 import numpy as np
 import pytest
 import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.check import paths_engine
+from repro.check.checker import CheckOptions, ModelChecker
 from repro.ctmc.chain import CTMC
 from repro.dtmc.chain import DTMC
 from repro.exceptions import (
@@ -21,6 +35,7 @@ from repro.exceptions import (
     NumericalError,
     ReproError,
     RewardError,
+    WorkerError,
 )
 from repro.mrm.model import MRM
 from repro.numerics.intervals import Interval
@@ -155,3 +170,274 @@ class TestNumericalEdges:
         chain = CTMC([[0.0, 0.0], [0.0, 0.0]])
         result = transient_distribution(chain, [0.5, 0.5], 10.0)
         assert result == pytest.approx([0.5, 0.5])
+
+
+# ----------------------------------------------------------------------
+# Runtime fault injection: the degradation cascade and the fork pool.
+# ----------------------------------------------------------------------
+
+WAVELAN_P2 = "P(>0.5) [TT U[0,0.5][0,50] busy]"
+
+_STRATEGY_RUNNERS = {
+    "merged": "_run_merged_columnar",
+    "merged-legacy": "_run_merged_dp",
+    "paths": "_run_paths_dfs",
+}
+
+
+class _inject_engine_faults:
+    """Replace selected path-engine runners with raising stubs.
+
+    A context manager rather than the ``monkeypatch`` fixture so
+    hypothesis can enter/exit it once per drawn example.
+    """
+
+    def __init__(self, failing, error=MemoryError):
+        self._failing = list(failing)
+        self._error = error
+        self._saved = {}
+
+    def __enter__(self):
+        for strategy in self._failing:
+            name = _STRATEGY_RUNNERS[strategy]
+            self._saved[name] = getattr(paths_engine, name)
+            error = self._error
+
+            def stub(*args, _strategy=strategy, **kwargs):
+                raise error(f"injected fault in {_strategy}")
+
+            setattr(paths_engine, name, stub)
+        return self
+
+    def __exit__(self, *exc_info):
+        for name, original in self._saved.items():
+            setattr(paths_engine, name, original)
+        return False
+
+
+class TestDegradationCascade:
+    def test_injected_oom_steps_down_one_tier(self, wavelan):
+        with _inject_engine_faults(["merged"]):
+            checker = ModelChecker(wavelan, CheckOptions(path_strategy="merged"))
+            result = checker.check(WAVELAN_P2)
+        assert result.trust == "degraded"
+        records = result.report.degradations
+        assert [r["kind"] for r in records] == ["engine"]
+        assert records[0]["from"] == "uniformization/merged"
+        assert records[0]["to"] == "uniformization/merged-legacy"
+        assert "MemoryError" in records[0]["reason"]
+        # The surviving tier's numbers are exactly a direct run of it.
+        exact = ModelChecker(
+            wavelan, CheckOptions(path_strategy="merged-legacy")
+        ).check(WAVELAN_P2)
+        assert result.probabilities == exact.probabilities
+        assert result.states == exact.states
+
+    def test_documented_cascade_order(self, wavelan):
+        # All three uniformization strategies fail; WaveLAN's impulses
+        # are not d-integral, so the final discretization tier is
+        # skipped as unavailable and the result is partial.
+        with _inject_engine_faults(["merged", "merged-legacy", "paths"]):
+            checker = ModelChecker(wavelan, CheckOptions(path_strategy="merged"))
+            result = checker.check(WAVELAN_P2)
+        assert result.trust == "partial"
+        hops = [(r["from"], r["to"]) for r in result.report.degradations]
+        assert hops == [
+            ("uniformization/merged", "uniformization/merged-legacy"),
+            ("uniformization/merged-legacy", "uniformization/paths"),
+            ("uniformization/paths", "discretization"),
+            ("discretization", None),
+        ]
+
+    def test_slow_engine_stub_trips_deadline(self, wavelan):
+        original = paths_engine._run_merged_columnar
+
+        def slow(*args, **kwargs):
+            time.sleep(0.2)
+            return original(*args, **kwargs)
+
+        paths_engine._run_merged_columnar = slow
+        try:
+            checker = ModelChecker(
+                wavelan,
+                CheckOptions(path_strategy="merged", deadline_s=0.05),
+            )
+            result = checker.check(WAVELAN_P2)
+        finally:
+            paths_engine._run_merged_columnar = original
+        # The deadline passed inside the slow tier; retrying a cheaper
+        # tier cannot beat an absolute deadline, so the cascade goes
+        # straight to the conservative partial answer.
+        assert result.trust == "partial"
+        assert any(
+            "DeadlineExceeded" in r["reason"] for r in result.report.degradations
+        )
+
+    def test_primary_tier_config_errors_still_raise(self, wavelan):
+        # Precondition failures of the *configured* engine are the
+        # caller's problem even with degrade on: WaveLAN impulses are
+        # not d-integral at the default step.
+        checker = ModelChecker(
+            wavelan, CheckOptions(until_engine="discretization")
+        )
+        with pytest.raises(NumericalError):
+            checker.check(WAVELAN_P2)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        fail_merged=st.booleans(),
+        fail_legacy=st.booleans(),
+        fail_paths=st.booleans(),
+    )
+    def test_degraded_numbers_match_surviving_tier(
+        self, fail_merged, fail_legacy, fail_paths
+    ):
+        from repro.models import build_wavelan_modem
+
+        model = build_wavelan_modem()
+        ladder = ["merged", "merged-legacy", "paths"]
+        failing = [
+            strategy
+            for strategy, fails in zip(
+                ladder, (fail_merged, fail_legacy, fail_paths)
+            )
+            if fails
+        ]
+        surviving = next((s for s in ladder if s not in failing), None)
+        with _inject_engine_faults(failing):
+            checker = ModelChecker(model, CheckOptions(path_strategy="merged"))
+            result = checker.check(WAVELAN_P2)
+        if surviving is None:
+            # Discretization cannot serve WaveLAN either: partial, with
+            # the documented conservative fill-in.
+            assert result.trust == "partial"
+            psi = model.states_with_label("busy")
+            for state, value in enumerate(result.probabilities):
+                assert value == (1.0 if state in psi else 0.0)
+        else:
+            expected_trust = "exact" if surviving == "merged" else "degraded"
+            assert result.trust == expected_trust
+            exact = ModelChecker(
+                model, CheckOptions(path_strategy=surviving)
+            ).check(WAVELAN_P2)
+            assert result.probabilities == exact.probabilities
+
+    def test_cache_hit_replays_degradations(self, wavelan):
+        with _inject_engine_faults(["merged"]):
+            checker = ModelChecker(wavelan, CheckOptions(path_strategy="merged"))
+            first = checker.check(WAVELAN_P2)
+            # Same path operator, different bound: served from the
+            # path-value cache, degradation records replayed as cached.
+            second = checker.check("P(>0.9) [TT U[0,0.5][0,50] busy]")
+        assert first.trust == "degraded"
+        assert second.trust == "degraded"
+        assert all(r.get("cached") for r in second.report.degradations)
+
+
+def _exit_hard(states):
+    os._exit(3)
+
+
+def _sleep_forever(states):
+    time.sleep(600.0)
+
+
+def _crash_initializer(context):
+    raise RuntimeError("injected initializer crash")
+
+
+class TestFaultTolerantPool:
+    FANOUT = dict(
+        psi_states={3},
+        time_bound=1.0,
+        reward_bound=10.0,
+        truncation_probability=1e-7,
+        strategy="paths",
+    )
+
+    def _serial(self, model):
+        states = list(range(model.num_states))
+        return paths_engine.joint_distribution_all(model, states, **self.FANOUT)
+
+    def test_dead_worker_recovers_serially_bitwise(self, wavelan):
+        serial = self._serial(wavelan)
+        states = list(range(wavelan.num_states))
+        original = paths_engine._fan_out_shard
+        paths_engine._fan_out_shard = _exit_hard
+        try:
+            recovered = paths_engine.joint_distribution_all(
+                wavelan, states, workers=2, **self.FANOUT
+            )
+        finally:
+            paths_engine._fan_out_shard = original
+        assert set(recovered) == set(serial)
+        for state in serial:
+            assert recovered[state].probability == serial[state].probability
+            assert recovered[state].error_bound == serial[state].error_bound
+
+    def test_crashing_initializer_recovers_serially(self, wavelan):
+        serial = self._serial(wavelan)
+        states = list(range(wavelan.num_states))
+        original = paths_engine._fan_out_initializer
+        paths_engine._fan_out_initializer = _crash_initializer
+        try:
+            recovered = paths_engine.joint_distribution_all(
+                wavelan, states, workers=2, **self.FANOUT
+            )
+        finally:
+            paths_engine._fan_out_initializer = original
+        for state in serial:
+            assert recovered[state].probability == serial[state].probability
+
+    def test_hung_worker_times_out_not_hangs(self, wavelan):
+        serial = self._serial(wavelan)
+        states = list(range(wavelan.num_states))
+        context = paths_engine.prepare_path_engine(
+            wavelan,
+            psi_states=self.FANOUT["psi_states"],
+            time_bound=self.FANOUT["time_bound"],
+            reward_bound=self.FANOUT["reward_bound"],
+            truncation_probability=self.FANOUT["truncation_probability"],
+            strategy=self.FANOUT["strategy"],
+        )
+        original = paths_engine._fan_out_shard
+        paths_engine._fan_out_shard = _sleep_forever
+        start = time.monotonic()
+        try:
+            recovered = paths_engine.joint_distribution_many(
+                context, states, workers=2, shard_timeout_s=0.5
+            )
+        finally:
+            paths_engine._fan_out_shard = original
+        elapsed = time.monotonic() - start
+        assert elapsed < 30.0  # watchdog + retries, nowhere near 600 s
+        for state in serial:
+            assert recovered[state].probability == serial[state].probability
+
+    def test_pool_failures_recorded_on_collector(self, wavelan):
+        from repro.obs import Collector, use_collector
+        from repro.obs.report import RunReport
+
+        states = list(range(wavelan.num_states))
+        collector = Collector()
+        original = paths_engine._fan_out_shard
+        paths_engine._fan_out_shard = _exit_hard
+        try:
+            with use_collector(collector):
+                paths_engine.joint_distribution_all(
+                    wavelan, states, workers=2, **self.FANOUT
+                )
+        finally:
+            paths_engine._fan_out_shard = original
+        events = collector.events_named("pool.worker-failure")
+        assert events
+        assert collector.counter("pool.worker-failures") == len(events)
+        # Failures normalize into the report's degradations section.
+        records = RunReport.degradations_from_collector(collector)
+        assert all(r["kind"] == "pool" for r in records)
+        assert records[-1]["to"] == "serial"
+
+    def test_worker_error_is_typed(self):
+        error = WorkerError("shard 2 died", shard=(4, 5))
+        assert isinstance(error, ReproError)
+        assert error.shard == (4, 5)
