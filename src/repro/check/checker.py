@@ -314,10 +314,12 @@ class ModelChecker:
         before = self._engine_cache.stats
         start = time.perf_counter()
         with use_collector(collector), use_guard(guard if guard.enabled else None):
-            states = self._sat(parsed)
+            with collector.span("check", formula=str(parsed)) as root:
+                states = self._sat(parsed)
         wall_seconds = time.perf_counter() - start
         after = self._engine_cache.stats
         trust = self._trust(guard, collector)
+        root.attributes["trust"] = trust
         report = RunReport.from_collector(
             str(parsed),
             collector,
@@ -434,7 +436,9 @@ class ModelChecker:
         cached = self._path_value_cache.get(path)
         if cached is not None:
             values, records = cached
-            get_collector().counter_add("path-values.cache-hits")
+            obs = get_collector()
+            obs.counter_add("path-values.cache-hits")
+            obs.annotate(cached=True)
             for record in records:
                 self._note_degradation({**record, "cached": True})
             return values
@@ -512,10 +516,11 @@ class ModelChecker:
             # entirely (linear system / transient uniformization), so a
             # "cheaper tier" would repeat the identical computation.
             tiers = tiers[:1]
+        obs = get_collector()
         records: List[Dict[str, Any]] = []
         for index, tier in enumerate(tiers):
             try:
-                with get_collector().span("until"):
+                with obs.span("until", tier=tier.label) as span:
                     result = satisfy_until(
                         self._model,
                         comparison=Comparison.GE,
@@ -533,6 +538,11 @@ class ModelChecker:
                         workers=opts.workers,
                         cache=self._engine_cache,
                     )
+                if span is not None:
+                    span.attributes["engine"] = result.engine
+                # The enclosing sat.prob span records which engine
+                # finally answered (after any cascade step-downs).
+                obs.annotate(engine=result.engine, tier=tier.label)
                 return result.values, records, False
             except (GuardExceeded, MemoryError, ConvergenceError) as exc:
                 if not opts.degrade:
@@ -600,16 +610,35 @@ class ModelChecker:
         )
 
     def _sat(self, formula: StateFormula) -> FrozenSet[int]:
-        cached = self._cache.get(formula)
-        if cached is not None:
-            return cached
-        result = self._compute_sat(formula)
-        # Partial fill-ins must not poison the cross-check satisfying-set
-        # cache: once this check has gone partial, nothing computed from
-        # here on is known to be exact, so stop caching entirely.
-        if not self._partial:
-            self._cache[formula] = result
-        return result
+        obs = get_collector()
+        if not obs.enabled:
+            cached = self._cache.get(formula)
+            if cached is not None:
+                return cached
+            result = self._compute_sat(formula)
+            # Partial fill-ins must not poison the cross-check
+            # satisfying-set cache: once this check has gone partial,
+            # nothing computed from here on is known to be exact, so
+            # stop caching entirely.
+            if not self._partial:
+                self._cache[formula] = result
+            return result
+        # One span per parse-tree node, so the trace renders the
+        # Sat(Phi) recursion of Algorithm 4.1 as a tree.  Cache hits
+        # still open a (marked) span: the tree mirrors the parse *tree*,
+        # not the memoized DAG.  The root ``check`` span already carries
+        # the full formula text; rendering every subformula here would
+        # cost more than the span itself.
+        with obs.span(f"sat.{type(formula).__name__.lower()}"):
+            cached = self._cache.get(formula)
+            if cached is not None:
+                obs.annotate(cached=True, states=len(cached))
+                return cached
+            result = self._compute_sat(formula)
+            obs.annotate(states=len(result))
+            if not self._partial:
+                self._cache[formula] = result
+            return result
 
     def _compute_sat(self, formula: StateFormula) -> FrozenSet[int]:
         model = self._model
@@ -652,10 +681,16 @@ class ModelChecker:
         analysis) could not finish within the budgets: the sub-problem
         goes partial with the conservative empty satisfying set.
         """
+        obs = get_collector()
+        obs.annotate(
+            operator="S",
+            comparison=str(formula.comparison),
+            bound=float(formula.bound),
+        )
         phi_states = self._sat(formula.child)
         guard = get_guard()
         try:
-            with get_collector().span("steady"):
+            with obs.span("steady"):
                 result = satisfy_steady(
                     self._model,
                     comparison=formula.comparison,
@@ -685,6 +720,13 @@ class ModelChecker:
         return result.satisfying
 
     def _sat_probability(self, formula: Prob) -> FrozenSet[int]:
+        get_collector().annotate(
+            operator="P",
+            comparison=str(formula.comparison),
+            bound=float(formula.bound),
+            time_bound=str(formula.path.time_bound),
+            reward_bound=str(formula.path.reward_bound),
+        )
         values = self._path_values(formula.path)
         self._value_cache[formula] = tuple(float(v) for v in values)
         return frozenset(

@@ -83,6 +83,7 @@ from __future__ import annotations
 import concurrent.futures
 import math
 import multiprocessing
+import os
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import AbstractSet, Dict, Iterable, List, Optional, Tuple
@@ -98,7 +99,7 @@ from repro.exceptions import (
 )
 from repro.guard import get_guard
 from repro.mrm.model import MRM
-from repro.obs import get_collector
+from repro.obs import Collector, get_collector, use_collector
 from repro.numerics.orderstat import OmegaCalculator
 from repro.numerics.poisson import poisson_pmf_table
 
@@ -864,12 +865,34 @@ def _fan_out_initializer(context: PathEngineContext) -> None:
     _WORKER_CONTEXT = context
 
 
-def _fan_out_shard(states: List[int]) -> List[Tuple[int, PathEngineResult]]:
+def _fan_out_shard(states: List[int]):
+    """Evaluate one shard in a worker; returns ``(pairs, snapshot)``.
+
+    Telemetry propagation: the worker inherits the parent's thread-local
+    ambient collector through fork (the pool is created on the checking
+    thread, so the fork snapshot carries it).  When that inherited
+    collector is recording, the worker installs its *own* fresh
+    :class:`~repro.obs.Collector` — recording into the inherited copy
+    would be lost with the process — and ships its picklable snapshot
+    back alongside the results; the parent merges it with per-worker
+    clock-offset normalization.  ``snapshot`` is ``None`` when the
+    parent was not observing.
+    """
     context = _WORKER_CONTEXT
-    return [
-        (state, joint_distribution_from_context(context, state))
-        for state in states
-    ]
+    if not get_collector().enabled:
+        pairs = [
+            (state, joint_distribution_from_context(context, state))
+            for state in states
+        ]
+        return pairs, None
+    collector = Collector()
+    with use_collector(collector):
+        with collector.span("pool.shard", states=len(states), pid=os.getpid()):
+            pairs = [
+                (state, joint_distribution_from_context(context, state))
+                for state in states
+            ]
+    return pairs, collector.snapshot()
 
 
 def _terminate_workers(executor: "concurrent.futures.ProcessPoolExecutor") -> None:
@@ -888,24 +911,50 @@ def _terminate_workers(executor: "concurrent.futures.ProcessPoolExecutor") -> No
             pass
 
 
+def _unpack_shard_part(part):
+    """Split a worker return into ``(pairs, snapshot)``.
+
+    Tolerates bare ``(state, result)`` pair lists (pre-telemetry shard
+    functions, fault-injection stubs) by treating them as having no
+    snapshot.
+    """
+    if (
+        isinstance(part, tuple)
+        and len(part) == 2
+        and (part[1] is None or isinstance(part[1], dict))
+    ):
+        return part[0], part[1]
+    return part, None
+
+
 def _run_shard_pool(
     context: PathEngineContext,
-    shards: List[List[int]],
+    shards: List[Tuple[int, List[int]]],
     timeout_s: float,
-) -> Tuple[Dict[int, PathEngineResult], List[Tuple[List[int], WorkerError]]]:
-    """One pool attempt over ``shards``.
+) -> Tuple[
+    Dict[int, PathEngineResult],
+    List[Dict],
+    List[Tuple[int, List[int], WorkerError]],
+    List[int],
+]:
+    """One pool attempt over ``(shard_index, states)`` shards.
 
-    Returns the merged results of the shards that completed plus a
-    ``(shard, WorkerError)`` list for the ones that did not — a dead
-    worker (OOM-kill, nonzero exit, crashing initializer: all surface as
-    ``BrokenProcessPool``) or a per-shard watchdog timeout.  Guard trips
-    and out-of-memory conditions raised *by the engine code in a worker*
-    are not worker failures; they propagate so the caller's degradation
-    cascade handles them exactly as in a serial run.
+    Returns the merged results of the shards that completed, the
+    telemetry snapshots workers shipped back with them, an
+    ``(shard_index, shard, WorkerError)`` list for the shards that did
+    not — a dead worker (OOM-kill, nonzero exit, crashing initializer:
+    all surface as ``BrokenProcessPool``) or a per-shard watchdog
+    timeout — and the pids of the pool's worker processes.  A failed
+    shard contributes *neither* results nor a snapshot: its partial
+    trace dies with the worker, so nothing half-recorded can merge.
+    Guard trips and out-of-memory conditions raised *by the engine code
+    in a worker* are not worker failures; they propagate so the caller's
+    degradation cascade handles them exactly as in a serial run.
     """
     fork = multiprocessing.get_context("fork")
     results: Dict[int, PathEngineResult] = {}
-    failures: List[Tuple[List[int], WorkerError]] = []
+    snapshots: List[Dict] = []
+    failures: List[Tuple[int, List[int], WorkerError]] = []
     executor = concurrent.futures.ProcessPoolExecutor(
         max_workers=len(shards),
         mp_context=fork,
@@ -915,20 +964,23 @@ def _run_shard_pool(
     timed_out = False
     try:
         futures = [
-            (executor.submit(_fan_out_shard, shard), shard) for shard in shards
+            (executor.submit(_fan_out_shard, shard), index, shard)
+            for index, shard in shards
         ]
-        for future, shard in futures:
+        worker_pids = sorted((getattr(executor, "_processes", None) or {}).keys())
+        for future, index, shard in futures:
             try:
                 part = future.result(timeout=timeout_s)
             except BrokenProcessPool as error:
                 failures.append(
-                    (shard, WorkerError(f"worker died: {error}", shard=shard))
+                    (index, shard, WorkerError(f"worker died: {error}", shard=shard))
                 )
             except concurrent.futures.TimeoutError:
                 timed_out = True
                 future.cancel()
                 failures.append(
                     (
+                        index,
                         shard,
                         WorkerError(
                             f"shard timed out after {timeout_s:g}s", shard=shard
@@ -942,13 +994,16 @@ def _run_shard_pool(
                 executor.shutdown(wait=False, cancel_futures=True)
                 raise
             else:
-                for state, result in part:
+                pairs, snapshot = _unpack_shard_part(part)
+                for state, result in pairs:
                     results[state] = result
+                if snapshot is not None:
+                    snapshots.append(snapshot)
     finally:
         if timed_out:
             _terminate_workers(executor)
         executor.shutdown(wait=not timed_out, cancel_futures=True)
-    return results, failures
+    return results, snapshots, failures, worker_pids
 
 
 def joint_distribution_many(
@@ -982,10 +1037,18 @@ def joint_distribution_many(
     :data:`POOL_RETRIES` times and finally re-executed serially in the
     parent, so the merged result is still bitwise identical to the
     all-serial run.  Every recovery is recorded as a
-    ``pool.worker-failure`` event on the ambient collector; only a
-    failure of the serial re-execution itself can raise, and guard trips
-    inside workers propagate unchanged (they belong to the degradation
+    ``pool.worker-failure`` event on the ambient collector (with the
+    shard index and the pool's worker pids); only a failure of the
+    serial re-execution itself can raise, and guard trips inside
+    workers propagate unchanged (they belong to the degradation
     cascade, not to pool recovery).
+
+    When the ambient collector is recording, each worker records its
+    shard under its own collector and ships the snapshot back with the
+    results; the parent merges them (clock-offset normalized, worker
+    pids preserved) so the run yields one trace spanning every process.
+    A killed worker ships nothing — its shard is *flagged* through the
+    failure event instead of a partial trace being merged.
     """
     states = [int(state) for state in initial_states]
     workers = int(workers or 0)
@@ -1018,30 +1081,53 @@ def joint_distribution_many(
 
     obs = get_collector()
     results: Dict[int, PathEngineResult] = {}
-    pending = shards
+    pending = list(enumerate(shards))
+    total_failures = 0
     for attempt in range(1 + POOL_RETRIES):
-        parts, failures = _run_shard_pool(context, pending, timeout_s)
+        parts, snapshots, failures, pool_pids = _run_shard_pool(
+            context, pending, timeout_s
+        )
         results.update(parts)
+        if obs.enabled:
+            # Fold each surviving worker's telemetry into the parent
+            # trace (clock-offset normalized; worker spans keep their
+            # pid).  Failed shards shipped nothing — their partial
+            # traces are flagged below, never merged.
+            for snapshot in snapshots:
+                obs.merge_snapshot(snapshot)
         if not failures:
+            if obs.enabled and total_failures:
+                obs.annotate(pool_failures=total_failures)
             return results
+        total_failures += len(failures)
         retrying = attempt < POOL_RETRIES
         if obs.enabled:
-            for shard, error in failures:
+            for index, shard, error in failures:
                 obs.counter_add("pool.worker-failures")
                 obs.event(
                     "pool.worker-failure",
                     reason=str(error),
                     shard=list(shard),
+                    shard_index=int(index),
+                    worker_pids=[int(pid) for pid in pool_pids],
                     recovery="pool-retry" if retrying else "serial",
                 )
-        pending = [shard for shard, _ in failures]
+        pending = [(index, shard) for index, shard, _ in failures]
         if not retrying:
             break
     # Serial re-execution of the still-failing shards: deterministic,
     # identical numbers, no pool machinery left to fail.
-    for shard in pending:
+    for index, shard in pending:
+        if obs.enabled:
+            obs.event(
+                "pool.serial-reexecution",
+                shard=list(shard),
+                shard_index=int(index),
+            )
         for state in shard:
             results[state] = joint_distribution_from_context(context, state)
+    if obs.enabled and total_failures:
+        obs.annotate(pool_failures=total_failures)
     return results
 
 
@@ -1092,12 +1178,19 @@ def _run_paths_dfs(
     ]
     head_count = len(heads)
     guard = get_guard()
+    obs = get_collector()
+    mass_series = obs.series("until.truncation-mass") if obs.enabled else None
     frame_bytes = 120 + 16 * (num_levels + num_impulses)
     while stack:
-        if guard.enabled and (generated & 1023) == 0:
-            # Every 1024th node: the DFS pops millions of frames, so the
-            # checkpoint itself must stay off the critical path.
-            guard.checkpoint("until.paths", mem_bytes=len(stack) * frame_bytes)
+        if (generated & 1023) == 0:
+            # Every 1024th node: the DFS pops millions of frames, so
+            # both the checkpoint and the series sample must stay off
+            # the critical path (the series is subsampled further — the
+            # trajectory does not need checkpoint resolution).
+            if guard.enabled:
+                guard.checkpoint("until.paths", mem_bytes=len(stack) * frame_bytes)
+            if mass_series is not None and (generated & 4095) == 0:
+                mass_series.append(float(generated), float(error_bound))
         state, depth, k, j, p_dtmc = stack.pop()
         generated += 1
         if depth > max_depth:
@@ -1188,6 +1281,9 @@ def _run_merged_dp(
     head_count = len(heads)
     pmf_count = len(pmf)
     guard = get_guard()
+    obs = get_collector()
+    frontier_series = obs.series("until.frontier") if obs.enabled else None
+    mass_series = obs.series("until.truncation-mass") if obs.enabled else None
     entry_bytes = 120 + 16 * (num_levels + num_impulses)
     while frontier:
         if guard.enabled:
@@ -1196,6 +1292,8 @@ def _run_merged_dp(
             guard.checkpoint(
                 "until.merged", mem_bytes=len(frontier) * entry_bytes
             )
+        if frontier_series is not None:
+            frontier_series.append(float(depth), float(len(frontier)))
         max_depth = depth
         poisson_here = float(pmf[depth]) if depth < pmf_count else 0.0
         for (state, k, j), p_dtmc in frontier.items():
@@ -1240,6 +1338,8 @@ def _run_merged_dp(
                 error_bound += p_dtmc * tail
             else:
                 surviving[key] = p_dtmc
+        if mass_series is not None:
+            mass_series.append(float(next_depth), float(error_bound))
         frontier = surviving
         depth = next_depth
     return aggregated, error_bound, generated, stored, max_depth
@@ -1366,6 +1466,9 @@ def _sweep_packed(
     head_count = len(heads)
     maxpois_count = 0 if maxpois is None else len(maxpois)
     guard = get_guard()
+    obs = get_collector()
+    frontier_series = obs.series("until.frontier") if obs.enabled else None
+    mass_series = obs.series("until.truncation-mass") if obs.enabled else None
     stored_bytes = 0
     while states.size:
         if guard.enabled:
@@ -1377,6 +1480,8 @@ def _sweep_packed(
             guard.checkpoint(
                 "until.columnar", mem_bytes=frontier_bytes + stored_bytes
             )
+        if frontier_series is not None:
+            frontier_series.append(float(depth), float(states.size))
         max_depth = depth
         generated += int(states.size)
         poisson_here = float(pmf[depth]) if depth < pmf_count else 0.0
@@ -1447,6 +1552,8 @@ def _sweep_packed(
             merged_lo = merged_lo[keep]
             merged_hi = merged_hi[keep]
             merged_mass = merged_mass[keep]
+        if mass_series is not None:
+            mass_series.append(float(next_depth), float(error_bound))
         states = merged_states
         class_lo = merged_lo
         class_hi = merged_hi
@@ -1533,6 +1640,9 @@ def _sweep_interned(
     head_count = len(heads)
     maxpois_count = 0 if maxpois is None else len(maxpois)
     guard = get_guard()
+    obs = get_collector()
+    frontier_series = obs.series("until.frontier") if obs.enabled else None
+    mass_series = obs.series("until.truncation-mass") if obs.enabled else None
     stored_bytes = 0
     while states.size:
         if guard.enabled:
@@ -1540,6 +1650,8 @@ def _sweep_interned(
             guard.checkpoint(
                 "until.columnar", mem_bytes=frontier_bytes + stored_bytes
             )
+        if frontier_series is not None:
+            frontier_series.append(float(depth), float(states.size))
         max_depth = depth
         generated += int(states.size)
         poisson_here = float(pmf[depth]) if depth < pmf_count else 0.0
@@ -1593,6 +1705,8 @@ def _sweep_interned(
             merged_states = merged_states[keep]
             merged_ids = merged_ids[keep]
             merged_mass = merged_mass[keep]
+        if mass_series is not None:
+            mass_series.append(float(next_depth), float(error_bound))
         states = merged_states
         class_ids = merged_ids
         mass = merged_mass

@@ -158,14 +158,22 @@ def time_bounded_until_probabilities(
     mem_estimate = (
         int(matrix.data.nbytes + 3 * current.nbytes) if guard.enabled else None
     )
+    obs = get_collector()
+    mass_series = obs.series("until.truncation-mass") if obs.enabled else None
+    covered = 0.0
     for step in range(weights.right + 1):
         if guard.enabled:
             guard.checkpoint("until.transient", mem_bytes=mem_estimate)
         if step >= weights.left:
-            result += weights.weight(step) * current
+            w_step = weights.weight(step)
+            if mass_series is not None:
+                # Poisson mass not yet accumulated at this epoch — the
+                # remaining truncation if the sum stopped here.
+                covered += w_step
+                mass_series.append(float(step), max(0.0, 1.0 - covered))
+            result += w_step * current
         if step < weights.right:
             current = matrix.dot(current)
-    obs = get_collector()
     if obs.enabled:
         # The Fox-Glynn window discards at most epsilon Poisson mass.
         obs.counter_add(TRUNCATION_COUNTER, float(epsilon))
@@ -412,7 +420,12 @@ def until_probabilities(
             truncation=truncation,
             cache=cache,
         )
-        with obs.span("until.search"):
+        with obs.span(
+            "until.search",
+            strategy=strategy,
+            workers=int(workers),
+            pending=len(pending),
+        ):
             results = joint_distribution_many(context, pending, workers=workers)
         for state in pending:
             result = results[state]

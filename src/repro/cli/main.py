@@ -28,7 +28,20 @@ or, with a guarded-command model description::
 * ``--verbose/-v`` prints a per-phase timing table, engine-cache
   activity, and the error budget of each formula after its result.
 * ``--report FILE`` writes the structured run reports of all checked
-  formulas to ``FILE`` as JSON (schema ``repro.run-report/2``).
+  formulas to ``FILE`` as JSON (schema ``repro.run-report/3``).
+* ``--trace FILE`` writes a Chrome trace-event JSON file covering every
+  checked formula — the span tree of the ``Sat()`` recursion, worker
+  shard spans, and instant events — loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.
+* ``--metrics FILE`` writes a Prometheus text-exposition snapshot of
+  the same runs (phase timings, counters, error-budget gauges).
+
+A ``report`` subcommand compares two saved report files::
+
+    mrmc-impulse report diff OLD.json NEW.json
+
+printing wall-clock, phase, error-budget and trust deltas for the
+formulas the two runs share.
 
 Formulas are read one per line, either from ``--formula/-f`` arguments
 or from standard input.  Empty lines and lines starting with ``#`` are
@@ -47,7 +60,14 @@ from repro.check.checker import CheckOptions, ModelChecker
 from repro.exceptions import ReproError
 from repro.io.bundle import load_mrm
 from repro.lang.compiler import load_model
-from repro.obs import REPORT_SCHEMA, RunReport
+from repro.obs import (
+    REPORT_SCHEMA,
+    RunReport,
+    chrome_trace,
+    diff_reports,
+    load_report_file,
+    prometheus_exposition,
+)
 
 __all__ = ["main"]
 
@@ -134,7 +154,36 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         default=None,
         help="write structured run reports for all formulas to FILE as JSON",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event JSON file (Perfetto-loadable) "
+        "covering all checked formulas",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write a Prometheus text-exposition metrics snapshot "
+        "covering all checked formulas",
+    )
     return parser
+
+
+def _report_main(argv: List[str]) -> int:
+    """The ``report`` subcommand (currently: ``diff OLD NEW``)."""
+    if len(argv) != 3 or argv[0] != "diff":
+        print("usage: mrmc-impulse report diff OLD.json NEW.json", file=sys.stderr)
+        return 2
+    try:
+        old_reports = load_report_file(argv[1])
+        new_reports = load_report_file(argv[2])
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    sys.stdout.write(diff_reports(old_reports, new_reports))
+    return 0
 
 
 def _print_report(report: RunReport) -> None:
@@ -234,6 +283,10 @@ def _iter_formulas(args: argparse.Namespace, declared):
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
     parser = _build_argument_parser()
     args = parser.parse_args(argv)
 
@@ -335,6 +388,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                 handle.write("\n")
         except OSError as error:
             print(f"error: cannot write report: {error}", file=sys.stderr)
+            return 2
+    if args.trace is not None:
+        try:
+            with open(args.trace, "w", encoding="utf-8") as handle:
+                json.dump(chrome_trace(reports), handle)
+                handle.write("\n")
+        except OSError as error:
+            print(f"error: cannot write trace: {error}", file=sys.stderr)
+            return 2
+    if args.metrics is not None:
+        try:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(prometheus_exposition(reports))
+        except OSError as error:
+            print(f"error: cannot write metrics: {error}", file=sys.stderr)
             return 2
     return status
 

@@ -94,6 +94,9 @@ class NullGuard:
     ) -> None:
         pass
 
+    def reserve(self, mem_bytes: int, phase: Optional[str] = None) -> None:
+        pass
+
     def elapsed(self) -> float:
         return 0.0
 
@@ -155,6 +158,7 @@ class Guard(NullGuard):
         )
         self._rss_interval = int(rss_check_interval)
         self._checkpoints = 0
+        self._reserved = 0
 
     # ------------------------------------------------------------------
     def elapsed(self) -> float:
@@ -195,10 +199,13 @@ class Guard(NullGuard):
         budget = self.mem_budget_bytes
         if budget is None:
             return
-        if mem_bytes is not None and mem_bytes > budget:
+        if mem_bytes is not None and mem_bytes + self._reserved > budget:
             raise MemoryBudgetExceeded(
-                f"working set estimate {int(mem_bytes)} bytes exceeds the "
-                f"memory budget of {budget} bytes"
+                f"working set estimate {int(mem_bytes)} bytes"
+                + (
+                    f" (plus {self._reserved} reserved)" if self._reserved else ""
+                )
+                + f" exceeds the memory budget of {budget} bytes"
                 + (f" during {phase}" if phase else ""),
                 phase=phase,
             )
@@ -210,6 +217,26 @@ class Guard(NullGuard):
                     f"{budget} bytes" + (f" during {phase}" if phase else ""),
                     phase=phase,
                 )
+
+    def reserve(self, mem_bytes: int, phase: Optional[str] = None) -> None:
+        """Account a long-lived allocation against the memory budget.
+
+        For buffers that persist across checkpoints (the obs layer's
+        series channels, pre-allocated tables): the reservation is added
+        to every subsequent checkpoint's working-set estimate, and the
+        reservation itself trips the budget if it alone exceeds it.
+        Reservations are never released — the buffers they describe live
+        for the run.
+        """
+        self._reserved += max(0, int(mem_bytes))
+        budget = self.mem_budget_bytes
+        if budget is not None and self._reserved > budget:
+            raise MemoryBudgetExceeded(
+                f"reserved instrumentation/table memory {self._reserved} bytes "
+                f"exceeds the memory budget of {budget} bytes"
+                + (f" during {phase}" if phase else ""),
+                phase=phase,
+            )
 
 
 _NULL = NullGuard()

@@ -16,7 +16,13 @@ a near-singular BSCC system — shrinks the delta long before the system
 is actually solved).  The delta is still reported separately as
 :attr:`SolverStats.delta`, and the residual check only runs once the
 delta falls below the tolerance, so well-conditioned solves pay a single
-extra sparse matrix–vector product.
+extra sparse matrix–vector product.  When a recording
+:mod:`repro.obs` collector is ambient, the true residual is additionally
+sampled every few sweeps (every :data:`_SERIES_SWEEP_STRIDE`-th, plus
+every convergence-candidate sweep) to feed the ``linsolve.residual``
+time-series channel — the convergence gate itself is unchanged, so
+iterates (and iteration counts) are bitwise-identical with or without
+observation.
 
 :func:`solve_linear_system` additionally degrades gracefully: when the
 chosen iterative method raises :class:`~repro.exceptions.ConvergenceError`,
@@ -111,6 +117,14 @@ def _true_residual(csr: sp.csr_matrix, x: np.ndarray, b: np.ndarray) -> float:
     return float(np.max(np.abs(b - csr.dot(x)))) if b.size else 0.0
 
 
+#: Sweeps between ``linsolve.residual`` trajectory samples.  Sampling
+#: every sweep would double the per-sweep matvec count for Jacobi; every
+#: 8th sweep (plus every convergence-candidate sweep, which computes the
+#: residual anyway) keeps the trajectory dense enough to read while
+#: staying inside the instrumentation overhead budget.
+_SERIES_SWEEP_STRIDE = 8
+
+
 def jacobi(
     matrix: sp.spmatrix,
     rhs: np.ndarray,
@@ -140,6 +154,8 @@ def jacobi(
         if guard.enabled
         else None
     )
+    obs = get_collector()
+    series = obs.series("linsolve.residual") if obs.enabled else None
     for iteration in range(1, max_iterations + 1):
         if guard.enabled:
             guard.checkpoint("linsolve.jacobi", mem_bytes=mem_estimate)
@@ -147,14 +163,23 @@ def jacobi(
         delta = float(np.max(np.abs(x_next - x))) if b.size else 0.0
         stalled = delta == 0.0
         x = x_next
-        if delta <= tolerance:
+        record = series is not None and (
+            delta <= tolerance or iteration % _SERIES_SWEEP_STRIDE == 0
+        )
+        if delta <= tolerance or record:
+            # Recording the residual trajectory never changes the
+            # convergence decision: the gate below is identical with or
+            # without an observer, so iterates stay bitwise-equal.
             residual = _true_residual(csr, x, b)
-            if residual <= tolerance:
-                return x, SolverStats("jacobi", iteration, residual, True, delta)
-            if stalled:
-                # The iteration is a fixed point that does not solve the
-                # system to tolerance; more sweeps cannot help.
-                break
+            if record:
+                series.append(float(iteration), residual)
+            if delta <= tolerance:
+                if residual <= tolerance:
+                    return x, SolverStats("jacobi", iteration, residual, True, delta)
+                if stalled:
+                    # The iteration is a fixed point that does not solve
+                    # the system to tolerance; more sweeps cannot help.
+                    break
     if not np.isfinite(residual) or residual == float("inf"):
         residual = _true_residual(csr, x, b)
     raise ConvergenceError("jacobi", max_iterations, residual)
@@ -198,6 +223,8 @@ def sor(
     mem_estimate = (
         int(csr.data.nbytes + 3 * x.nbytes) if guard.enabled else None
     )
+    obs = get_collector()
+    series = obs.series("linsolve.residual") if obs.enabled else None
     for iteration in range(1, max_iterations + 1):
         if guard.enabled:
             guard.checkpoint("linsolve.sweep", mem_bytes=mem_estimate)
@@ -214,12 +241,20 @@ def sor(
             if change > delta:
                 delta = change
             x[row] = new_value
-        if delta <= tolerance:
+        record = series is not None and (
+            delta <= tolerance or iteration % _SERIES_SWEEP_STRIDE == 0
+        )
+        if delta <= tolerance or record:
+            # Trajectory recording must not perturb convergence: the
+            # decision below is gated exactly as without an observer.
             residual = _true_residual(csr, x, b)
-            if residual <= tolerance:
-                return x, SolverStats(method, iteration, residual, True, delta)
-            if delta == 0.0:
-                break  # stalled at a fixed point short of the tolerance
+            if record:
+                series.append(float(iteration), residual)
+            if delta <= tolerance:
+                if residual <= tolerance:
+                    return x, SolverStats(method, iteration, residual, True, delta)
+                if delta == 0.0:
+                    break  # stalled at a fixed point short of the tolerance
     if not np.isfinite(residual) or residual == float("inf"):
         residual = _true_residual(csr, x, b)
     raise ConvergenceError(method, max_iterations, residual)

@@ -1,15 +1,29 @@
-"""Run observability: counters, timers, span events, and run reports.
+"""Run observability: counters, spans, events, series, and run reports.
 
-See :mod:`repro.obs.collector` for the collection primitives and
-:mod:`repro.obs.report` for the structured :class:`RunReport` every
-:meth:`repro.check.ModelChecker.check` call produces.
+See :mod:`repro.obs.collector` for the collection primitives,
+:mod:`repro.obs.trace` / :mod:`repro.obs.series` for the span and
+time-series records, :mod:`repro.obs.report` for the structured
+:class:`RunReport` every :meth:`repro.check.ModelChecker.check` call
+produces, and :mod:`repro.obs.export` for the Chrome trace-event and
+Prometheus text-exposition exporters.
 """
 
 from repro.obs.collector import (
+    DEFAULT_EVENT_CAPACITY,
+    EVENTS_DROPPED_COUNTER,
     Collector,
     NullCollector,
     get_collector,
     use_collector,
+)
+from repro.obs.export import (
+    CHROME_REQUIRED_KEYS,
+    chrome_trace,
+    diff_reports,
+    load_report_file,
+    prometheus_exposition,
+    validate_chrome_trace,
+    validate_prometheus_text,
 )
 from repro.obs.report import (
     REPORT_SCHEMA,
@@ -17,14 +31,29 @@ from repro.obs.report import (
     PhaseTiming,
     RunReport,
 )
+from repro.obs.series import DEFAULT_SERIES_CAPACITY, NullSeries, SeriesChannel
+from repro.obs.trace import SpanRecord
 
 __all__ = [
     "Collector",
     "NullCollector",
     "get_collector",
     "use_collector",
+    "DEFAULT_EVENT_CAPACITY",
+    "EVENTS_DROPPED_COUNTER",
+    "SpanRecord",
+    "SeriesChannel",
+    "NullSeries",
+    "DEFAULT_SERIES_CAPACITY",
     "RunReport",
     "ErrorBudget",
     "PhaseTiming",
     "REPORT_SCHEMA",
+    "chrome_trace",
+    "prometheus_exposition",
+    "validate_chrome_trace",
+    "validate_prometheus_text",
+    "diff_reports",
+    "load_report_file",
+    "CHROME_REQUIRED_KEYS",
 ]

@@ -1,14 +1,17 @@
-"""Lightweight instrumentation primitives: counters, spans, events.
+"""Lightweight instrumentation primitives: counters, spans, events, series.
 
 The model-checking engines are numerical black boxes unless they report
 what they did — truncation mass discarded, solver residuals reached,
 cache entries hit, seconds spent per phase.  This module provides the
 collection side of that story:
 
-* :class:`Collector` — a recording sink with three primitives:
-  monotonically increasing **counters** (``counter_add``), wall-clock
-  **spans** grouped by name (``span``, a context manager), and free-form
-  **events** (``event``, an append-only list of dicts);
+* :class:`Collector` — a recording sink with four primitives:
+  monotonically increasing **counters** (``counter_add``), hierarchical
+  wall-clock **spans** (``span``, a context manager; parent/child
+  structure plus free-form attributes, see
+  :class:`repro.obs.trace.SpanRecord`), free-form **events** (``event``,
+  a capped ring buffer of dicts), and bounded time-series
+  **channels** (``series``, see :class:`repro.obs.series.SeriesChannel`);
 * :class:`NullCollector` — the no-op default.  Every method is a stub
   and ``enabled`` is ``False`` so hot loops can skip even the argument
   construction;
@@ -17,9 +20,19 @@ collection side of that story:
   linear solver) need no extra plumbing parameter.
 
 The ambient collector is thread-local: concurrent checkers on separate
-threads record into their own sinks.  Worker *processes* (the ``workers=``
-fan-out) do not propagate events back to the parent; the batched engines
-therefore record their aggregate statistics from the parent side.
+threads record into their own sinks.  Worker *processes* (the
+``workers=`` fan-out) install a fresh recording collector per shard and
+ship its :meth:`Collector.snapshot` back alongside the shard results;
+the parent folds it in with :meth:`Collector.merge_snapshot`, re-basing
+worker timestamps by the per-worker clock offset, so a fan-out run
+yields one merged trace.
+
+Events are bounded: the ring keeps the most recent
+:data:`DEFAULT_EVENT_CAPACITY` records and counts overwrites in the
+:data:`EVENTS_DROPPED_COUNTER` counter, so a long guarded run cannot
+blow its own memory budget through instrumentation.  A per-name index
+maintained on append keeps :meth:`Collector.events_named` O(matches)
+instead of O(all events).
 
 Instrumentation cost is a handful of dict operations per *phase* (not
 per path or per matrix element), which keeps the measured overhead well
@@ -28,17 +41,101 @@ under the 5% budget tracked in ``BENCH_3.json``.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Mapping, Optional
+
+from repro.obs.series import NULL_SERIES, DEFAULT_SERIES_CAPACITY, SeriesChannel
+from repro.obs.trace import SpanRecord
 
 __all__ = [
     "Collector",
     "NullCollector",
     "get_collector",
     "use_collector",
+    "DEFAULT_EVENT_CAPACITY",
+    "EVENTS_DROPPED_COUNTER",
 ]
+
+#: Ring-buffer capacity of ``Collector.events``.
+DEFAULT_EVENT_CAPACITY = 4096
+
+#: Counter incremented once per event evicted from the full ring.
+EVENTS_DROPPED_COUNTER = "obs.events-dropped"
+
+
+class _NullSpanHandle:
+    """Reusable no-op context manager returned by ``NullCollector.span``.
+
+    A plain object instead of a ``@contextmanager`` generator: span sites
+    sit on engine hot paths, and the disabled case must cost no more
+    than an attribute lookup and a method call.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> Optional[SpanRecord]:
+        return None
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class _SpanHandle:
+    """Context manager for one recording span (see ``Collector.span``).
+
+    Hand-rolled (no generator machinery): the record is created on
+    ``__enter__`` and finalized on ``__exit__``, exception or not.
+    """
+
+    __slots__ = ("_collector", "_name", "_attributes", "record")
+
+    def __init__(
+        self, collector: "Collector", name: str, attributes: Dict[str, Any]
+    ) -> None:
+        self._collector = collector
+        self._name = name
+        self._attributes = attributes
+        self.record: Optional[SpanRecord] = None
+
+    def __enter__(self) -> SpanRecord:
+        collector = self._collector
+        stack = collector._span_stack
+        record = SpanRecord(
+            span_id=collector._next_span_id,
+            parent_id=stack[-1].span_id if stack else None,
+            name=self._name,
+            start=time.perf_counter() - collector.epoch,
+            end=0.0,
+            pid=collector.pid,
+            tid=threading.get_ident(),
+            attributes=self._attributes,
+        )
+        collector._next_span_id += 1
+        stack.append(record)
+        self.record = record
+        return record
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        collector = self._collector
+        record = self.record
+        record.end = time.perf_counter() - collector.epoch
+        collector._span_stack.pop()
+        collector.spans.append(record)
+        elapsed = record.end - record.start
+        entry = collector.phases.get(record.name)
+        if entry is None:
+            collector.phases[record.name] = [elapsed, 1]
+        else:
+            entry[0] += elapsed
+            entry[1] += 1
+        return False
 
 
 class NullCollector:
@@ -60,9 +157,14 @@ class NullCollector:
     def event(self, name: str, **fields: Any) -> None:
         pass
 
-    @contextmanager
-    def span(self, name: str) -> Iterator[None]:
-        yield
+    def span(self, name: str, **attributes: Any) -> _NullSpanHandle:
+        return _NULL_SPAN
+
+    def annotate(self, **attributes: Any) -> None:
+        pass
+
+    def series(self, name: str, capacity: Optional[int] = None):
+        return NULL_SERIES
 
 
 class Collector(NullCollector):
@@ -73,49 +175,207 @@ class Collector(NullCollector):
     counters:
         Name → accumulated value.
     events:
-        Append-only list of dicts; each carries its ``"event"`` name.
+        Ring buffer of event dicts (newest ``event_capacity`` records);
+        each carries its ``"event"`` name and a ``"ts"`` timestamp in
+        seconds since :attr:`epoch`.  Evictions are counted in the
+        ``obs.events-dropped`` counter and :attr:`events_dropped`.
     phases:
         Span name → ``[total_seconds, count]``; repeated spans with the
-        same name aggregate.
+        same name aggregate (the flat view the report's timing table
+        uses).
+    spans:
+        Completed :class:`~repro.obs.trace.SpanRecord` instances in
+        completion order (children before parents; sort by ``start``
+        for the tree view).
+    series_channels:
+        Name → :class:`~repro.obs.series.SeriesChannel`.
+    epoch:
+        ``time.perf_counter()`` at construction; all span/event
+        timestamps are relative to it.
     """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, event_capacity: int = DEFAULT_EVENT_CAPACITY) -> None:
         self.counters: Dict[str, float] = {}
-        self.events: List[Dict[str, Any]] = []
+        self.events: Deque[Dict[str, Any]] = deque(maxlen=max(1, int(event_capacity)))
         self.phases: Dict[str, List[float]] = {}
+        self.spans: List[SpanRecord] = []
+        self.series_channels: Dict[str, SeriesChannel] = {}
+        self.events_dropped = 0
+        self.pid = os.getpid()
+        self.epoch = time.perf_counter()
+        self._events_by_name: Dict[str, Deque[Dict[str, Any]]] = {}
+        self._span_stack: List[SpanRecord] = []
+        self._next_span_id = 1
 
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
     def counter_add(self, name: str, value: float = 1.0) -> None:
         self.counters[name] = self.counters.get(name, 0.0) + value
 
     def event(self, name: str, **fields: Any) -> None:
-        record: Dict[str, Any] = {"event": name}
+        record: Dict[str, Any] = {
+            "event": name,
+            "ts": time.perf_counter() - self.epoch,
+        }
         record.update(fields)
-        self.events.append(record)
+        self._append_event(record)
 
-    @contextmanager
-    def span(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            entry = self.phases.get(name)
-            if entry is None:
-                self.phases[name] = [elapsed, 1]
-            else:
-                entry[0] += elapsed
-                entry[1] += 1
+    def _append_event(self, record: Dict[str, Any]) -> None:
+        """Append to the ring, evicting (and de-indexing) the oldest."""
+        events = self.events
+        if len(events) == events.maxlen:
+            dropped = events[0]  # evicted by the append below
+            self.events_dropped += 1
+            self.counters[EVENTS_DROPPED_COUNTER] = (
+                self.counters.get(EVENTS_DROPPED_COUNTER, 0.0) + 1.0
+            )
+            bucket = self._events_by_name.get(dropped.get("event"))
+            if bucket and bucket[0] is dropped:
+                # Ring eviction is FIFO and the index preserves insertion
+                # order, so the victim is always its bucket's head.
+                bucket.popleft()
+        events.append(record)
+        self._events_by_name.setdefault(record.get("event"), deque()).append(record)
 
+    def span(self, name: str, **attributes: Any) -> _SpanHandle:
+        """A context manager recording one hierarchical wall-clock span.
+
+        Entering creates the :class:`SpanRecord` (parented to the
+        innermost open span) and yields it; exiting — normally or with
+        an exception — closes it, appends it to :attr:`spans` and
+        aggregates its duration into :attr:`phases`.
+        """
+        return _SpanHandle(self, name, attributes)
+
+    def annotate(self, **attributes: Any) -> None:
+        """Attach attributes to the innermost open span (no-op outside)."""
+        if self._span_stack:
+            self._span_stack[-1].attributes.update(attributes)
+
+    def series(self, name: str, capacity: Optional[int] = None) -> SeriesChannel:
+        """Get or create the named bounded series channel.
+
+        Creation charges the channel's fixed buffer footprint to the
+        ambient :class:`repro.guard.Guard` (``reserve``), so a memory
+        budget bounds instrumentation and engine allocations alike.
+        """
+        channel = self.series_channels.get(name)
+        if channel is None:
+            channel = SeriesChannel(
+                name, capacity=DEFAULT_SERIES_CAPACITY if capacity is None else capacity
+            )
+            self.series_channels[name] = channel
+            from repro.guard.guard import get_guard  # local: avoids import cycle
+
+            guard = get_guard()
+            if guard.enabled:
+                guard.reserve(channel.nbytes, phase="obs.series")
+        return channel
+
+    # ------------------------------------------------------------------
+    # queries
     # ------------------------------------------------------------------
     def counter(self, name: str, default: float = 0.0) -> float:
         """The accumulated value of one counter."""
         return self.counters.get(name, default)
 
     def events_named(self, name: str) -> List[Dict[str, Any]]:
-        """All recorded events with the given name, in order."""
-        return [e for e in self.events if e.get("event") == name]
+        """All recorded events with the given name, in order.
+
+        Served from the per-name index maintained on append — O(matches),
+        not a scan of the whole ring.
+        """
+        bucket = self._events_by_name.get(name)
+        return list(bucket) if bucket else []
+
+    # ------------------------------------------------------------------
+    # cross-process propagation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A picklable dump of everything recorded so far.
+
+        This is what a fan-out worker ships back alongside its shard
+        results; the parent folds it in with :meth:`merge_snapshot`.
+        """
+        return {
+            "pid": int(self.pid),
+            "epoch": float(self.epoch),
+            "counters": dict(self.counters),
+            "phases": {name: list(entry) for name, entry in self.phases.items()},
+            "events": [dict(e) for e in self.events],
+            "events_dropped": int(self.events_dropped),
+            "spans": [span.to_dict() for span in self.spans],
+            "series": {
+                name: channel.to_dict()
+                for name, channel in self.series_channels.items()
+            },
+        }
+
+    def merge_snapshot(
+        self, snapshot: Mapping[str, Any], clock_offset: Optional[float] = None
+    ) -> None:
+        """Fold a worker collector snapshot into this collector.
+
+        Counters and phase aggregates add; events append (re-based and
+        stamped with the worker pid); series channels merge point-wise;
+        spans are re-identified into this collector's id space with
+        their tree structure intact, and the worker's root spans are
+        hung off the span currently open *here* (the merge site — e.g.
+        ``until.search``), so the merged trace shows the fan-out as a
+        subtree.
+
+        ``clock_offset`` defaults to ``snapshot epoch − this epoch``:
+        under the ``fork`` start method both processes read the same
+        ``CLOCK_MONOTONIC`` timeline, so this places worker spans at
+        their true wall-clock position on the parent timeline.
+        """
+        if clock_offset is None:
+            offset = float(snapshot.get("epoch", self.epoch)) - self.epoch
+        else:
+            offset = float(clock_offset)
+        worker_pid = int(snapshot.get("pid", 0))
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0.0) + float(value)
+        for name, entry in snapshot.get("phases", {}).items():
+            total, count = float(entry[0]), int(entry[1])
+            mine = self.phases.get(name)
+            if mine is None:
+                self.phases[name] = [total, count]
+            else:
+                mine[0] += total
+                mine[1] += count
+        for record in snapshot.get("events", []):
+            merged = dict(record)
+            if "ts" in merged:
+                try:
+                    merged["ts"] = float(merged["ts"]) + offset
+                except (TypeError, ValueError):
+                    pass
+            merged.setdefault("pid", worker_pid)
+            self._append_event(merged)
+        parent_here = self._span_stack[-1].span_id if self._span_stack else None
+        id_map: Dict[int, int] = {}
+        remapped: List[SpanRecord] = []
+        for payload in snapshot.get("spans", []):
+            span = SpanRecord.from_dict(payload)
+            new_id = self._next_span_id
+            self._next_span_id += 1
+            id_map[span.span_id] = new_id
+            span.span_id = new_id
+            span.start += offset
+            span.end += offset
+            remapped.append(span)
+        for span in remapped:
+            if span.parent_id is None:
+                span.parent_id = parent_here
+            else:
+                span.parent_id = id_map.get(span.parent_id, parent_here)
+            self.spans.append(span)
+        for name, payload in snapshot.get("series", {}).items():
+            self.series(name).merge(payload)
 
 
 _NULL = NullCollector()

@@ -1,0 +1,473 @@
+"""Trace and metrics exporters: run reports in industry-standard formats.
+
+The schema-v3 :class:`~repro.obs.report.RunReport` carries the full span
+tree (``trace``) and the convergence time-series (``series``); this
+module renders one-or-more reports into formats external tooling already
+understands:
+
+* :func:`chrome_trace` — Chrome trace-event JSON (the ``--trace FILE``
+  CLI option).  Loadable in Perfetto (https://ui.perfetto.dev) and
+  ``chrome://tracing``: spans become complete events (``ph: "X"``),
+  collector events become instant events (``ph: "i"``), and the
+  pid/tid recorded on each span keep worker-process activity on its own
+  track, so a ``workers=N`` run renders as one timeline per process.
+* :func:`prometheus_exposition` — a Prometheus text-exposition snapshot
+  (the ``--metrics FILE`` CLI option): counters, phase timings and the
+  error-budget gauges, suitable for a textfile collector or a one-shot
+  scrape.
+* :func:`diff_reports` — cross-run regression comparison backing the
+  ``report diff OLD NEW`` CLI subcommand: wall-clock, phase and
+  error-budget deltas for formulas present in both runs.
+
+The validators (:func:`validate_chrome_trace`,
+:func:`validate_prometheus_text`) are intentionally strict about the
+keys/grammar the consumers require — CI runs them against the sample
+artifacts so a malformed export fails the build, not the user's
+Perfetto session.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+from repro.obs.report import RunReport
+
+__all__ = [
+    "chrome_trace",
+    "validate_chrome_trace",
+    "prometheus_exposition",
+    "validate_prometheus_text",
+    "diff_reports",
+    "load_report_file",
+    "CHROME_REQUIRED_KEYS",
+]
+
+#: Keys every emitted trace event must carry (the Chrome trace-event
+#: format's required set for ``X``/``i`` phases).
+CHROME_REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+#: Event-record keys that are envelope, not payload, when exporting.
+_EVENT_ENVELOPE_KEYS = ("event", "ts", "pid")
+
+
+def _as_report(report: Union[RunReport, Mapping[str, Any]]) -> RunReport:
+    if isinstance(report, RunReport):
+        return report
+    return RunReport.from_dict(report)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def chrome_trace(
+    reports: Union[RunReport, Mapping[str, Any], Sequence[Any]],
+) -> Dict[str, Any]:
+    """Render report(s) as a Chrome trace-event JSON object.
+
+    Accepts a single report (``RunReport`` or its dict form) or a
+    sequence of them.  Reports are laid out back-to-back on the time
+    axis (each shifted past the previous one's extent), so a multi
+    formula CLI run produces one continuous timeline.
+
+    Timestamps convert from the reports' relative seconds to the
+    microseconds the format requires.  Span attributes and event fields
+    ride along in ``args``.
+    """
+    if isinstance(reports, (RunReport, Mapping)):
+        report_list = [_as_report(reports)]
+    else:
+        report_list = [_as_report(r) for r in reports]
+
+    trace_events: List[Dict[str, Any]] = []
+    time_offset = 0.0  # seconds, cumulative across reports
+    for report in report_list:
+        extent = float(report.wall_seconds)
+        for span in report.trace:
+            start = float(span.get("start", 0.0))
+            end = float(span.get("end", start))
+            extent = max(extent, end)
+            args = dict(span.get("attributes", {}))
+            args["formula"] = report.formula
+            trace_events.append(
+                {
+                    "name": str(span.get("name", "span")),
+                    "ph": "X",
+                    "ts": (time_offset + start) * 1e6,
+                    "dur": max(0.0, end - start) * 1e6,
+                    "pid": int(span.get("pid", 0)),
+                    "tid": int(span.get("tid", 0)),
+                    "cat": "repro",
+                    "args": args,
+                }
+            )
+        for event in report.events:
+            ts = event.get("ts")
+            if ts is None:
+                continue  # pre-v3 events carried no timestamp
+            extent = max(extent, float(ts))
+            args = {
+                k: v for k, v in event.items() if k not in _EVENT_ENVELOPE_KEYS
+            }
+            trace_events.append(
+                {
+                    "name": str(event.get("event", "event")),
+                    "ph": "i",
+                    "s": "t",
+                    "ts": (time_offset + float(ts)) * 1e6,
+                    "pid": int(event.get("pid", 0)),
+                    "tid": 0,
+                    "cat": "repro",
+                    "args": args,
+                }
+            )
+        time_offset += extent
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(payload: Union[str, Mapping[str, Any]]) -> int:
+    """Check a trace against the Chrome trace-event required keys.
+
+    Accepts the JSON text or the decoded object.  Raises
+    :class:`ValueError` on the first violation; returns the number of
+    validated events otherwise.
+    """
+    if isinstance(payload, str):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace is not valid JSON: {exc}") from exc
+    if not isinstance(payload, Mapping):
+        raise ValueError("trace payload must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace payload has no 'traceEvents' array")
+    for index, event in enumerate(events):
+        if not isinstance(event, Mapping):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        for key in CHROME_REQUIRED_KEYS:
+            if key not in event:
+                raise ValueError(f"traceEvents[{index}] missing required key {key!r}")
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or not math.isfinite(ts):
+            raise ValueError(f"traceEvents[{index}] has non-finite ts {ts!r}")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"traceEvents[{index}] complete event has bad dur {dur!r}"
+                )
+    return len(events)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+_METRIC_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_EXPOSITION_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})?\s+[^\s]+(\s+[0-9]+)?$"
+)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value == math.floor(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_exposition(
+    reports: Union[RunReport, Mapping[str, Any], Sequence[Any]],
+) -> str:
+    """Render report(s) as Prometheus text exposition (version 0.0.4).
+
+    Emits one time-series family per measured quantity, labelled by
+    formula (and phase/counter name where applicable):
+
+    * ``repro_checks_total`` / ``repro_check_wall_seconds``
+    * ``repro_phase_seconds`` / ``repro_phase_count`` (label ``phase``)
+    * ``repro_counter`` (label ``counter``) — raw engine counters
+    * ``repro_error_*`` gauges — the error-budget decomposition
+    * ``repro_check_trust`` (label ``trust``) — 1 for the run's level
+    """
+    if isinstance(reports, (RunReport, Mapping)):
+        report_list = [_as_report(reports)]
+    else:
+        report_list = [_as_report(r) for r in reports]
+
+    lines: List[str] = []
+
+    def family(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    def sample(name: str, labels: Dict[str, str], value: float) -> None:
+        if labels:
+            rendered = ",".join(
+                f'{k}="{_escape_label(str(v))}"' for k, v in labels.items()
+            )
+            lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
+        else:
+            lines.append(f"{name} {_format_value(value)}")
+
+    family("repro_checks_total", "counter", "Number of check() runs in this snapshot.")
+    sample("repro_checks_total", {}, float(len(report_list)))
+
+    family(
+        "repro_check_wall_seconds",
+        "gauge",
+        "End-to-end wall-clock seconds of one check() run.",
+    )
+    for report in report_list:
+        sample(
+            "repro_check_wall_seconds",
+            {"formula": report.formula},
+            report.wall_seconds,
+        )
+
+    family("repro_phase_seconds", "gauge", "Accumulated seconds per engine phase.")
+    family_count_deferred: List[Tuple[Dict[str, str], float]] = []
+    for report in report_list:
+        for phase in report.phases:
+            labels = {"formula": report.formula, "phase": phase.name}
+            sample("repro_phase_seconds", labels, phase.seconds)
+            family_count_deferred.append((labels, float(phase.count)))
+    family("repro_phase_count", "counter", "Completed spans per engine phase.")
+    for labels, count in family_count_deferred:
+        sample("repro_phase_count", labels, count)
+
+    family("repro_counter", "counter", "Raw engine counters.")
+    for report in report_list:
+        for name, value in sorted(report.counters.items()):
+            sample(
+                "repro_counter",
+                {"formula": report.formula, "counter": name},
+                float(value),
+            )
+
+    # One family at a time: the exposition format requires all samples
+    # of a metric to form one contiguous group under its TYPE line.
+    budget_rows = [
+        (
+            "repro_error_truncation_mass",
+            "truncation_mass",
+            "Probability mass discarded by Poisson/path truncation.",
+        ),
+        (
+            "repro_error_discretization_defect",
+            "discretization_defect",
+            "Mass-defect bound of the discretization engine.",
+        ),
+        (
+            "repro_error_solver_residual",
+            "solver_residual",
+            "Worst true linear-solver residual over the run.",
+        ),
+        ("repro_error_total", "total", "Summed indicative error magnitude."),
+    ]
+    for metric, key, help_text in budget_rows:
+        family(metric, "gauge", help_text)
+        for report in report_list:
+            sample(
+                metric,
+                {"formula": report.formula},
+                float(report.error_budget.to_dict()[key]),
+            )
+
+    family("repro_check_trust", "gauge", "1 for the trust level of each run.")
+    for report in report_list:
+        sample(
+            "repro_check_trust",
+            {"formula": report.formula, "trust": report.trust},
+            1.0,
+        )
+
+    family(
+        "repro_degradations_total",
+        "counter",
+        "Degradations, fallbacks and worker failures survived.",
+    )
+    for report in report_list:
+        sample(
+            "repro_degradations_total",
+            {"formula": report.formula},
+            float(len(report.degradations)),
+        )
+
+    return "\n".join(lines) + "\n"
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Check a snapshot against the text-exposition grammar.
+
+    Validates metric/label naming, HELP/TYPE comment structure, and
+    sample-line shape.  Raises :class:`ValueError` on the first
+    violation; returns the number of sample lines otherwise.
+    """
+    samples = 0
+    typed: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                # Other comments are legal; HELP/TYPE must be well-formed.
+                if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                    raise ValueError(f"line {lineno}: malformed {parts[1]} comment")
+                continue
+            metric = parts[2]
+            if not _METRIC_NAME_OK.match(metric):
+                raise ValueError(f"line {lineno}: bad metric name {metric!r}")
+            if parts[1] == "TYPE":
+                if metric in typed:
+                    raise ValueError(f"line {lineno}: duplicate TYPE for {metric!r}")
+                if len(parts) < 4 or parts[3] not in (
+                    "counter",
+                    "gauge",
+                    "histogram",
+                    "summary",
+                    "untyped",
+                ):
+                    raise ValueError(f"line {lineno}: bad TYPE for {metric!r}")
+                typed[metric] = parts[3]
+            continue
+        if not _EXPOSITION_LINE.match(line):
+            raise ValueError(f"line {lineno}: malformed sample line {line!r}")
+        name = re.split(r"[{\s]", line, maxsplit=1)[0]
+        if not _METRIC_NAME_OK.match(name):
+            raise ValueError(f"line {lineno}: bad metric name {name!r}")
+        brace = line.find("{")
+        if brace >= 0:
+            label_blob = line[brace + 1 : line.rfind("}")]
+            for pair in filter(None, _split_labels(label_blob)):
+                key = pair.split("=", 1)[0]
+                if not _LABEL_NAME_OK.match(key):
+                    raise ValueError(f"line {lineno}: bad label name {key!r}")
+        value_text = line[line.rfind("}") + 1 :] if brace >= 0 else line[len(name) :]
+        try:
+            float(value_text.split()[0])
+        except (ValueError, IndexError):
+            raise ValueError(f"line {lineno}: bad sample value in {line!r}") from None
+        samples += 1
+    if samples == 0:
+        raise ValueError("no sample lines found")
+    return samples
+
+
+def _split_labels(blob: str) -> Iterable[str]:
+    """Split a label blob on commas outside quoted values."""
+    out: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    escaped = False
+    for ch in blob:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\":
+            current.append(ch)
+            escaped = True
+        elif ch == '"':
+            current.append(ch)
+            in_quotes = not in_quotes
+        elif ch == "," and not in_quotes:
+            out.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        out.append("".join(current))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Cross-run diff
+# ----------------------------------------------------------------------
+def _percent(old: float, new: float) -> str:
+    if old == 0.0:
+        return "n/a" if new == 0.0 else "+inf%"
+    delta = (new - old) / old * 100.0
+    return f"{delta:+.1f}%"
+
+
+def diff_reports(
+    old: Sequence[Union[RunReport, Mapping[str, Any]]],
+    new: Sequence[Union[RunReport, Mapping[str, Any]]],
+) -> str:
+    """A human-readable regression comparison of two report sets.
+
+    Reports are matched by formula text.  For each match: wall-clock
+    delta, per-phase deltas, error-budget movement, and trust changes;
+    formulas present on only one side are listed as added/removed.
+    """
+    old_reports = {r.formula: r for r in (_as_report(x) for x in old)}
+    new_reports = {r.formula: r for r in (_as_report(x) for x in new)}
+    lines: List[str] = []
+    for formula, new_report in new_reports.items():
+        old_report = old_reports.get(formula)
+        if old_report is None:
+            lines.append(f"+ {formula}  (new formula)")
+            continue
+        lines.append(f"= {formula}")
+        lines.append(
+            f"    wall: {old_report.wall_seconds:.6f}s -> "
+            f"{new_report.wall_seconds:.6f}s "
+            f"({_percent(old_report.wall_seconds, new_report.wall_seconds)})"
+        )
+        if old_report.trust != new_report.trust:
+            lines.append(f"    trust: {old_report.trust} -> {new_report.trust}  [!]")
+        old_phases = {p.name: p for p in old_report.phases}
+        for phase in new_report.phases:
+            before = old_phases.get(phase.name)
+            if before is None:
+                lines.append(f"    phase {phase.name}: (new) {phase.seconds:.6f}s")
+            elif before.seconds or phase.seconds:
+                lines.append(
+                    f"    phase {phase.name}: {before.seconds:.6f}s -> "
+                    f"{phase.seconds:.6f}s "
+                    f"({_percent(before.seconds, phase.seconds)})"
+                )
+        old_budget = old_report.error_budget.to_dict()
+        new_budget = new_report.error_budget.to_dict()
+        for key in ("truncation_mass", "discretization_defect", "solver_residual"):
+            if old_budget[key] != new_budget[key]:
+                lines.append(
+                    f"    {key}: {old_budget[key]:.3e} -> {new_budget[key]:.3e}"
+                )
+        old_deg = len(old_report.degradations)
+        new_deg = len(new_report.degradations)
+        if old_deg != new_deg:
+            lines.append(f"    degradations: {old_deg} -> {new_deg}  [!]")
+    for formula in old_reports:
+        if formula not in new_reports:
+            lines.append(f"- {formula}  (removed)")
+    if not lines:
+        return "no reports to compare\n"
+    return "\n".join(lines) + "\n"
+
+
+def load_report_file(path: str) -> List[RunReport]:
+    """Load reports from a ``--report`` output file (or a bare report).
+
+    Accepts both the CLI's ``{"schema": ..., "reports": [...]}``
+    envelope and a single serialized report object.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, Mapping) and "reports" in payload:
+        entries: Iterable[Mapping[str, Any]] = payload["reports"]
+    elif isinstance(payload, Mapping):
+        entries = [payload]
+    elif isinstance(payload, list):
+        entries = payload
+    else:
+        raise ValueError(f"{path}: not a run-report payload")
+    return [RunReport.from_dict(entry) for entry in entries]

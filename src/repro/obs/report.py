@@ -14,11 +14,12 @@ JSON-serializable record with three audiences:
 * **debugging** — the raw counters and events, including solver
   fallbacks and cache activity.
 
-The report schema (``repro.run-report/2``) is documented in
+The report schema (``repro.run-report/3``) is documented in
 ``docs/api.md``; :meth:`RunReport.to_dict` emits it and
-:meth:`RunReport.from_dict` round-trips it (and still accepts the
-schema-1 payloads of earlier releases, which simply had no
-``degradations`` section and no ``trust`` field).
+:meth:`RunReport.from_dict` round-trips it.  Earlier payloads still
+load: schema 1 had no ``degradations``/``trust`` (defaults apply) and
+schema 2 had no ``trace``/``series`` sections (they default to empty —
+those runs simply recorded no span tree or time-series).
 """
 
 from __future__ import annotations
@@ -31,7 +32,7 @@ from repro.obs.collector import Collector
 __all__ = ["ErrorBudget", "PhaseTiming", "RunReport", "REPORT_SCHEMA"]
 
 #: Schema identifier embedded in every serialized report.
-REPORT_SCHEMA = "repro.run-report/2"
+REPORT_SCHEMA = "repro.run-report/3"
 
 #: Counter names the engines use to feed the error budget.
 TRUNCATION_COUNTER = "error.truncation_mass"
@@ -146,7 +147,18 @@ class RunReport:
         run survived, in order: engine tier step-downs and partial
         fill-ins (``kind: "engine"``/``"partial"``), linear-solver
         direct fallbacks (``kind: "solver"``) and fan-out pool worker
-        recoveries (``kind: "pool"``).
+        recoveries (``kind: "pool"``, carrying the shard index and the
+        pool's worker pids).
+    trace:
+        Serialized :class:`~repro.obs.trace.SpanRecord` dicts — the
+        hierarchical span tree of the run (one ``sat.*`` span per CSRL
+        parse-tree node, engine phases beneath, worker shards merged in
+        with their own pids).  Schema 3+; empty for older payloads.
+    series:
+        Serialized :class:`~repro.obs.series.SeriesChannel` dicts by
+        name — bounded convergence time-series (solver residual per
+        sweep, truncation mass per epoch, frontier sizes per merge).
+        Schema 3+; empty for older payloads.
     """
 
     formula: str
@@ -158,6 +170,8 @@ class RunReport:
     error_budget: ErrorBudget = field(default_factory=ErrorBudget)
     trust: str = "exact"
     degradations: List[Dict[str, Any]] = field(default_factory=list)
+    trace: List[Dict[str, Any]] = field(default_factory=list)
+    series: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -173,7 +187,10 @@ class RunReport:
         for event in collector.events:
             name = event.get("event")
             if name in (DEGRADATION_EVENT, PARTIAL_EVENT):
-                record = {k: v for k, v in event.items() if k != "event"}
+                # "ts"/"pid" are trace envelope, not degradation payload.
+                record = {
+                    k: v for k, v in event.items() if k not in ("event", "ts", "pid")
+                }
                 record.setdefault(
                     "kind", "partial" if name == PARTIAL_EVENT else "engine"
                 )
@@ -202,6 +219,10 @@ class RunReport:
                 }
                 if "shard" in event:
                     record["shard"] = list(event["shard"])
+                if "shard_index" in event:
+                    record["shard_index"] = int(event["shard_index"])
+                if "worker_pids" in event:
+                    record["worker_pids"] = list(event["worker_pids"])
                 records.append(record)
         return records
 
@@ -228,6 +249,11 @@ class RunReport:
             error_budget=ErrorBudget.from_collector(collector),
             trust=str(trust),
             degradations=RunReport.degradations_from_collector(collector),
+            trace=[span.to_dict() for span in getattr(collector, "spans", [])],
+            series={
+                name: channel.to_dict()
+                for name, channel in getattr(collector, "series_channels", {}).items()
+            },
         )
 
     # ------------------------------------------------------------------
@@ -239,7 +265,7 @@ class RunReport:
         return None
 
     def to_dict(self) -> Dict[str, Any]:
-        """The JSON-ready representation (schema ``repro.run-report/2``)."""
+        """The JSON-ready representation (schema ``repro.run-report/3``)."""
         return {
             "schema": REPORT_SCHEMA,
             "formula": self.formula,
@@ -251,16 +277,20 @@ class RunReport:
             "error_budget": self.error_budget.to_dict(),
             "trust": self.trust,
             "degradations": [dict(d) for d in self.degradations],
+            "trace": [dict(s) for s in self.trace],
+            "series": {name: dict(ch) for name, ch in self.series.items()},
         }
 
     @staticmethod
     def from_dict(payload: Mapping[str, Any]) -> "RunReport":
         """Rebuild a report from :meth:`to_dict` output.
 
-        Accepts schema-1 payloads too: they carry no ``trust`` or
+        Accepts older payloads too.  Schema 1 carried no ``trust`` or
         ``degradations`` keys, which default to ``"exact"`` and an empty
         list (schema 1 had no way to degrade, so those defaults are the
-        truth, not a guess).
+        truth, not a guess); schema 2 additionally carried no ``trace``
+        or ``series`` sections, which default to empty (those runs
+        recorded no span tree or time-series).
         """
         budget = payload.get("error_budget", {})
         return RunReport(
@@ -284,4 +314,9 @@ class RunReport:
             ),
             trust=str(payload.get("trust", "exact")),
             degradations=[dict(d) for d in payload.get("degradations", [])],
+            trace=[dict(s) for s in payload.get("trace", [])],
+            series={
+                str(name): dict(ch)
+                for name, ch in payload.get("series", {}).items()
+            },
         )

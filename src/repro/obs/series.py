@@ -1,0 +1,157 @@
+"""Bounded time-series channels: convergence trajectories, not just sums.
+
+The iterative engines drive an error term down over thousands of steps —
+the solvers' true residual per sweep, the Poisson/path truncation mass
+per epoch, the columnar engine's frontier size per merge.  The run
+report previously kept only the final aggregate; a
+:class:`SeriesChannel` records the *trajectory* under a hard memory
+bound so instrumentation can never blow a guarded run's budget:
+
+* storage is a pair of fixed-capacity float arrays (``capacity``
+  points, ~16 bytes each), allocated once;
+* when the buffer fills, every other retained sample is dropped and the
+  sampling ``stride`` doubles (uniform reservoir downsampling): a
+  channel fed ``N`` points keeps an evenly spaced subset of at most
+  ``capacity`` of them, whatever ``N`` is;
+* ``observed`` counts every offered point, so consumers can tell how
+  much was downsampled away.
+
+Channels are created through :meth:`repro.obs.Collector.series`, which
+accounts the fixed buffer footprint to the ambient
+:class:`repro.guard.Guard` (``Guard.reserve``) — instrumentation memory
+is charged against the same budget as engine memory.  The no-op
+:data:`NULL_SERIES` mirrors the ``NullCollector`` pattern: hot loops
+hold a channel reference and skip the call when disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+import numpy as np
+
+__all__ = ["SeriesChannel", "NullSeries", "NULL_SERIES", "DEFAULT_SERIES_CAPACITY"]
+
+#: Default points retained per channel (16 bytes each: ~8 KiB).
+DEFAULT_SERIES_CAPACITY = 512
+
+
+class NullSeries:
+    """The do-nothing channel returned by ``NullCollector.series``."""
+
+    enabled = False
+    name = ""
+    capacity = 0
+    stride = 1
+    observed = 0
+    nbytes = 0
+
+    def append(self, step: float, value: float) -> None:
+        pass
+
+    def merge(self, payload: Mapping[str, Any]) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": "", "capacity": 0, "stride": 1, "observed": 0, "points": []}
+
+
+class SeriesChannel(NullSeries):
+    """A bounded ``(step, value)`` series with stride-doubling downsampling.
+
+    The retained samples are exactly the offered points whose index is a
+    multiple of the current ``stride`` — deterministic, uniform in the
+    step axis for regular producers, and stable under replay.
+    """
+
+    enabled = True
+
+    def __init__(self, name: str, capacity: int = DEFAULT_SERIES_CAPACITY) -> None:
+        capacity = max(8, int(capacity))
+        if capacity % 2:
+            capacity += 1
+        self.name = str(name)
+        self.capacity = capacity
+        self.stride = 1
+        self.observed = 0
+        self._count = 0
+        self._steps = np.zeros(capacity, dtype=float)
+        self._values = np.zeros(capacity, dtype=float)
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Fixed buffer footprint (what ``Guard.reserve`` is charged)."""
+        return int(self._steps.nbytes + self._values.nbytes)
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def steps(self) -> np.ndarray:
+        """The retained step coordinates (a copy)."""
+        return self._steps[: self._count].copy()
+
+    @property
+    def values(self) -> np.ndarray:
+        """The retained values (a copy)."""
+        return self._values[: self._count].copy()
+
+    # ------------------------------------------------------------------
+    def append(self, step: float, value: float) -> None:
+        """Offer one point; it is retained iff it lands on the stride."""
+        index = self.observed
+        self.observed += 1
+        if index % self.stride:
+            return
+        if self._count == self.capacity:
+            # Decimate: keep every other retained sample.  Retained
+            # sample i held offered index i*stride, so keeping the even
+            # positions preserves the all-multiples-of-stride invariant
+            # under the doubled stride.
+            half = self.capacity // 2
+            self._steps[:half] = self._steps[0 : self.capacity : 2]
+            self._values[:half] = self._values[0 : self.capacity : 2]
+            self._count = half
+            self.stride *= 2
+            if index % self.stride:
+                return
+        self._steps[self._count] = step
+        self._values[self._count] = value
+        self._count += 1
+
+    def merge(self, payload: Mapping[str, Any]) -> None:
+        """Fold a serialized channel (e.g. a worker's) into this one.
+
+        The already-downsampled points are offered through
+        :meth:`append` (they may be thinned further if this channel is
+        fuller than the source); the source's unsampled observations
+        still count toward ``observed``.
+        """
+        points = payload.get("points", [])
+        for step, value in points:
+            self.append(float(step), float(value))
+        extra = int(payload.get("observed", len(points))) - len(points)
+        if extra > 0:
+            self.observed += extra
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-ready representation (the report's ``series`` entries)."""
+        points: List[List[float]] = [
+            [float(s), float(v)]
+            for s, v in zip(self._steps[: self._count], self._values[: self._count])
+        ]
+        return {
+            "name": self.name,
+            "capacity": int(self.capacity),
+            "stride": int(self.stride),
+            "observed": int(self.observed),
+            "points": points,
+        }
+
+
+#: Shared no-op channel (one instance is enough — it holds no state).
+NULL_SERIES = NullSeries()

@@ -1,0 +1,93 @@
+"""Hierarchical span records: the trace side of the obs layer.
+
+A :class:`SpanRecord` is one timed region of a run — a CSRL parse-tree
+node being evaluated, an engine phase, a worker shard — with a parent
+pointer, so the records of one :class:`~repro.obs.Collector` form a
+forest that mirrors the ``Sat(Phi)`` recursion of Algorithm 4.1.  The
+collector keeps a stack of *open* spans: entering ``span()`` pushes a
+record whose parent is the stack top, leaving pops it and appends the
+completed record to ``Collector.spans`` (children therefore precede
+their parents in completion order; consumers sort by ``start``).
+
+Timestamps are seconds relative to the owning collector's ``epoch``
+(a ``time.perf_counter()`` reading taken at construction).  Worker
+processes ship their spans back as part of a collector snapshot; the
+parent-side merge re-bases them with the per-worker clock offset
+``worker_epoch - parent_epoch`` — exact under the ``fork`` start method,
+where both processes read the same ``CLOCK_MONOTONIC`` timeline.
+
+Span ids are only unique within one collector; merging remaps them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["SpanRecord"]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span.
+
+    Attributes
+    ----------
+    span_id:
+        Identifier unique within the owning collector.
+    parent_id:
+        ``span_id`` of the enclosing span, or ``None`` for a root.
+    name:
+        Span name; equal names aggregate into one ``phases`` entry.
+    start, end:
+        Seconds relative to the owning collector's epoch.
+    pid, tid:
+        Process id and thread id that recorded the span (worker spans
+        keep their worker pid through the merge, which is what lets a
+        merged trace show the fan-out).
+    attributes:
+        Free-form JSON-ready annotations (operator, bounds, chosen
+        engine, trust, ...), mutable until the report is assembled.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: float
+    pid: int
+    tid: int
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (never negative)."""
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-ready representation (the report's ``trace`` entries)."""
+        return {
+            "span_id": int(self.span_id),
+            "parent_id": None if self.parent_id is None else int(self.parent_id),
+            "name": self.name,
+            "start": float(self.start),
+            "end": float(self.end),
+            "pid": int(self.pid),
+            "tid": int(self.tid),
+            "attributes": dict(self.attributes),
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "SpanRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        parent = payload.get("parent_id")
+        return SpanRecord(
+            span_id=int(payload["span_id"]),
+            parent_id=None if parent is None else int(parent),
+            name=str(payload.get("name", "")),
+            start=float(payload.get("start", 0.0)),
+            end=float(payload.get("end", 0.0)),
+            pid=int(payload.get("pid", 0)),
+            tid=int(payload.get("tid", 0)),
+            attributes=dict(payload.get("attributes", {})),
+        )

@@ -16,6 +16,8 @@ from repro.cli.main import main
 from repro.io.bundle import save_mrm
 from repro.obs import (
     Collector,
+    DEFAULT_EVENT_CAPACITY,
+    EVENTS_DROPPED_COUNTER,
     ErrorBudget,
     NullCollector,
     PhaseTiming,
@@ -96,6 +98,43 @@ class TestCollector:
             thread.join()
         assert seen["collector"] is not main_collector
         assert seen["collector"].enabled is False
+
+
+class TestEventRing:
+    def test_ring_caps_and_counts_drops(self):
+        collector = Collector(event_capacity=8)
+        for index in range(20):
+            collector.event("tick", index=index)
+        assert len(collector.events) == 8
+        # The survivors are the 8 most recent events, in order.
+        assert [e["index"] for e in collector.events] == list(range(12, 20))
+        assert collector.events_dropped == 12
+        assert collector.counter(EVENTS_DROPPED_COUNTER) == 12.0
+
+    def test_default_capacity(self):
+        collector = Collector()
+        assert collector.events.maxlen == DEFAULT_EVENT_CAPACITY
+
+    def test_named_index_survives_wraparound(self):
+        collector = Collector(event_capacity=8)
+        for index in range(30):
+            collector.event("even" if index % 2 == 0 else "odd", index=index)
+        evens = collector.events_named("even")
+        odds = collector.events_named("odd")
+        # Only indexed events still inside the ring are returned.
+        assert [e["index"] for e in evens] == [22, 24, 26, 28]
+        assert [e["index"] for e in odds] == [23, 25, 27, 29]
+        assert collector.events_named("missing") == []
+        # The index agrees exactly with a linear scan of the ring.
+        for name in ("even", "odd"):
+            scan = [e for e in collector.events if e["event"] == name]
+            assert collector.events_named(name) == scan
+
+    def test_named_index_with_single_name_wrap(self):
+        collector = Collector(event_capacity=8)
+        for index in range(11):
+            collector.event("only", index=index)
+        assert [e["index"] for e in collector.events_named("only")] == list(range(3, 11))
 
 
 class TestErrorBudget:
