@@ -4,11 +4,15 @@ import json
 import os
 from typing import Any, Dict, Iterable, Sequence
 
-__all__ = ["print_table", "update_bench_json", "BENCH_JSON"]
+__all__ = ["print_table", "update_bench_json", "BENCH_JSON", "BENCH_2_JSON"]
 
-# Machine-readable perf trajectory at the repo root; successive PRs
+# Machine-readable perf trajectories at the repo root; successive PRs
 # append/overwrite their entries so regressions are visible in history.
-BENCH_JSON = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_3.json")
+# The engine benchmarks (columnar, parallel fan-out) record into
+# BENCH_2.json; the instrumentation benchmarks into BENCH_3.json.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(_REPO_ROOT, "BENCH_3.json")
+BENCH_2_JSON = os.path.join(_REPO_ROOT, "BENCH_2.json")
 
 
 def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[str]]) -> None:

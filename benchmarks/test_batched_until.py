@@ -16,14 +16,18 @@ Three benchmarks:
   (``strategy="merged"``) against the dict-frontier dynamic program it
   replaced (``"merged-legacy"``) on TMR-9; asserts a >= 3x speedup on
   the frontier-dominated workload.
-* ``test_parallel_fanout`` — ``workers=4`` multiprocess fan-out against
-  the serial loop on the same multi-state workload; results must be
-  bitwise identical, and on machines with >= 4 cores the parallel run
-  must also be faster.
+* ``test_parallel_fanout`` — ``workers=4`` fan-out through the
+  persistent shared-memory pool (warmed before timing) against the
+  serial loop; results must be bitwise identical.  Parallel timings are
+  only *recorded* as honest on machines with >= ``workers`` cores,
+  where the sweep must reach a 2x speedup; on smaller machines the
+  clamp runs the sweep serially and the entry is marked
+  ``recorded: false``.
 
-Results land in ``BENCH_2.json`` at the repo root.  Set ``BENCH_QUICK=1``
-for a seconds-scale smoke run (used by CI); assertions on agreement are
-kept, wall-clock assertions are retained only where still meaningful.
+The engine benchmarks here land in ``BENCH_2.json`` at the repo root.
+Set ``BENCH_QUICK=1`` for a seconds-scale smoke run (used by CI);
+assertions on agreement are kept, wall-clock assertions are retained
+only where still meaningful.
 """
 
 import os
@@ -36,7 +40,7 @@ from repro.check.until import until_probabilities, until_probability
 from repro.models import build_tmr, build_wavelan_modem
 from repro.numerics.intervals import Interval
 
-from _bench_utils import print_table, update_bench_json
+from _bench_utils import BENCH_2_JSON, print_table, update_bench_json
 
 BENCH_QUICK = os.environ.get("BENCH_QUICK", "").strip() not in ("", "0")
 
@@ -207,6 +211,7 @@ def test_columnar_vs_legacy(benchmark):
                 for label, (legacy_time, columnar_time, paths) in measured.items()
             },
         },
+        path=BENCH_2_JSON,
     )
     legacy_time, columnar_time, _ = measured["frontier rb=3000"]
     assert legacy_time >= 3.0 * columnar_time
@@ -217,10 +222,19 @@ def test_parallel_fanout(benchmark):
 
     The probabilities, error bounds and path counts must be bitwise
     identical (the per-state search is deterministic and independent of
-    the shared memo state).  The wall-clock assertion only applies on
-    machines with at least four cores and in full mode — the quick CI
-    smoke run keeps the equality check but its per-state work is too
-    small to amortize the fork.
+    the shared memo state).  The persistent pool is warmed before the
+    timed region, so the measurement covers the steady state the pool
+    provides — not the one-time fork.
+
+    Honesty rule: this benchmark only *records* parallel timings into
+    ``BENCH_2.json`` when the machine actually has ``workers`` cores.
+    On a smaller box the worker clamp turns the parallel run into the
+    serial path, so a "speedup" measured there would say nothing about
+    the fan-out — the entry is marked ``recorded: false`` with the
+    clamped timings kept for reference.  On a qualifying machine in
+    full mode the sweep speedup must reach 2x; on a clamped machine the
+    parallel run must stay within 5% of serial (the clamp's whole
+    point).
     """
     tmr = build_tmr(9)
     sup = tmr.states_with_label("Sup")
@@ -228,6 +242,13 @@ def test_parallel_fanout(benchmark):
     time_bound, reward_bound = Interval.upto(40.0), Interval.upto(1000.0)
     states = list(range(7, 11)) if BENCH_QUICK else list(range(4, 11))
     workers = 4
+    cpu_count = os.cpu_count() or 1
+    honest = cpu_count >= workers
+
+    if honest:
+        from repro.check.pool import default_pool
+
+        default_pool().warm(workers)
 
     def run():
         serial_start = time.perf_counter()
@@ -284,8 +305,9 @@ def test_parallel_fanout(benchmark):
     serial_time, parallel_time, sweep_time, parallel_sweep_time, sweep_paths = (
         benchmark.pedantic(run, rounds=1, iterations=1)
     )
+    mode = "honest" if honest else f"CLAMPED to {min(workers, cpu_count)}"
     print_table(
-        f"Serial vs workers={workers} fan-out (TMR-9, {os.cpu_count()} cores)",
+        f"Serial vs workers={workers} fan-out (TMR-9, {cpu_count} cores, {mode})",
         ["workload", "serial s", "parallel s", "speedup"],
         [
             (
@@ -302,21 +324,31 @@ def test_parallel_fanout(benchmark):
             ),
         ],
     )
-    update_bench_json(
-        "parallel_fanout",
-        {
-            "model": "tmr-9",
-            "workers": workers,
-            "cpu_count": os.cpu_count(),
-            "quick": BENCH_QUICK,
-            "until_serial_seconds": serial_time,
-            "until_parallel_seconds": parallel_time,
-            "sweep_serial_seconds": sweep_time,
-            "sweep_parallel_seconds": parallel_sweep_time,
-            "sweep_paths_per_sec_serial": sweep_paths / sweep_time,
-            "sweep_paths_per_sec_parallel": sweep_paths / parallel_sweep_time,
-            "sweep_speedup": sweep_time / parallel_sweep_time,
-        },
-    )
-    if not BENCH_QUICK and (os.cpu_count() or 1) >= workers:
-        assert parallel_sweep_time < sweep_time
+    payload = {
+        "model": "tmr-9",
+        "workers": workers,
+        "cpu_count": cpu_count,
+        "quick": BENCH_QUICK,
+        "recorded": honest,
+        "until_serial_seconds": serial_time,
+        "until_parallel_seconds": parallel_time,
+        "sweep_serial_seconds": sweep_time,
+        "sweep_parallel_seconds": parallel_sweep_time,
+        "sweep_paths_per_sec_serial": sweep_paths / sweep_time,
+        "sweep_paths_per_sec_parallel": sweep_paths / parallel_sweep_time,
+        "sweep_speedup": sweep_time / parallel_sweep_time,
+    }
+    if not honest:
+        payload["reason"] = (
+            f"machine has {cpu_count} cores < workers={workers}: the clamp "
+            "ran the 'parallel' sweep serially, so these timings measure "
+            "the clamp overhead, not the fan-out"
+        )
+    update_bench_json("parallel_fanout", payload, path=BENCH_2_JSON)
+    if not BENCH_QUICK:
+        if honest:
+            assert sweep_time / parallel_sweep_time >= 2.0
+        else:
+            # The clamp must make oversubscription harmless: the
+            # "parallel" run degrades to serial plus one event.
+            assert sweep_time / parallel_sweep_time >= 0.95

@@ -96,9 +96,12 @@ class CheckOptions:
         (``"gauss-seidel"``, ``"jacobi"``, ``"sor"``, ``"direct"``).
     workers:
         Number of worker processes for the uniformization engine's
-        per-initial-state fan-out (``0``/``1`` = serial; results are
-        bitwise identical either way, see
-        :func:`repro.check.paths_engine.joint_distribution_many`).
+        per-initial-state fan-out (``0``/``1`` = serial; clamped to the
+        machine's core count, with a ``pool.workers-clamped`` event when
+        clamping).  The fan-out runs on the engine cache's persistent
+        shared-memory worker pool, and results are bitwise identical
+        either way — see
+        :func:`repro.check.paths_engine.joint_distribution_many`.
     observe:
         Whether ``check()`` records a :class:`repro.obs.RunReport`
         (per-phase timings, cache activity, error budget).  On by

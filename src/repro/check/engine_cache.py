@@ -67,7 +67,7 @@ class EngineCache:
     resolve to the first stored value.
     """
 
-    def __init__(self, max_entries: int = 64) -> None:
+    def __init__(self, max_entries: int = 64, worker_pool: Any = None) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
         self._max_entries = int(max_entries)
@@ -76,6 +76,7 @@ class EngineCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._worker_pool = worker_pool
 
     # ------------------------------------------------------------------
     def get_or_build(self, key: Hashable, builder: Callable[[], Any]) -> Any:
@@ -116,6 +117,23 @@ class EngineCache:
         """
         key = ("omega-calculators", tuple(float(r) for r in reward_levels))
         return self.get_or_build(key, dict)
+
+    def worker_pool(self):
+        """The persistent fan-out pool everything on this cache shares.
+
+        Returns the :class:`~repro.check.pool.PersistentWorkerPool`
+        passed at construction, or the process-wide default pool
+        otherwise — so CLI invocations, repeated ``ModelChecker``
+        instances and a future server all reuse one set of forked
+        workers instead of re-spawning a pool per call.  :meth:`clear`
+        does not touch the pool; worker processes are engine capacity,
+        not cached precomputation.
+        """
+        if self._worker_pool is not None:
+            return self._worker_pool
+        from repro.check.pool import default_pool
+
+        return default_pool()
 
     # ------------------------------------------------------------------
     @property

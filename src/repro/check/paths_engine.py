@@ -60,13 +60,20 @@ Multiprocess fan-out
 --------------------
 :func:`joint_distribution_many` (and the ``workers=`` parameter of
 :func:`joint_distribution_all` / :func:`repro.check.until_probabilities`)
-shards the initial states over a ``fork``-based process pool.  Each
-worker inherits the shared read-only :class:`PathEngineContext` by
-copy-on-write and runs the same deterministic per-state search, so the
-merged result dict is bitwise identical to the serial evaluation; only
-the per-state ``omega_evaluations`` diagnostics reflect each worker's
-own memo locality.  On platforms without ``fork`` the fan-out falls
-back to the serial loop.
+shards the initial states over the **persistent** ``fork``-based worker
+pool of :mod:`repro.check.pool`: workers are forked once per process
+and reused across calls, the context's large read-only arrays (CSR
+successor structure, Poisson tables, psi mask) are published once to
+POSIX shared memory, and each task carries only a small descriptor
+handle — the context is never pickled on the hot path.  States are
+split into many small out-degree-balanced shards that idle workers
+steal from the shared queue.  Every worker runs the same deterministic
+per-state search over byte-identical arrays, so the merged result dict
+is bitwise identical to the serial evaluation; only the per-state
+``omega_evaluations`` diagnostics reflect each worker's own memo
+locality.  Worker counts are clamped to the machine's core count, and
+on platforms without ``fork`` the fan-out falls back to the serial
+loop.
 
 All Poisson tables are evaluated in log space
 (:func:`repro.numerics.poisson.poisson_pmf_table`), so the engine stays
@@ -80,11 +87,8 @@ double precision.
 
 from __future__ import annotations
 
-import concurrent.futures
 import math
 import multiprocessing
-import os
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import AbstractSet, Dict, Iterable, List, Optional, Tuple
 
@@ -93,13 +97,11 @@ import numpy as np
 from repro.check.engine_cache import EngineCache
 from repro.exceptions import (
     CheckError,
-    GuardExceeded,
     NumericalError,
-    WorkerError,
 )
 from repro.guard import get_guard
 from repro.mrm.model import MRM
-from repro.obs import Collector, get_collector, use_collector
+from repro.obs import get_collector
 from repro.numerics.orderstat import OmegaCalculator
 from repro.numerics.poisson import poisson_pmf_table
 
@@ -818,6 +820,7 @@ def joint_distribution_all(
     uniformization_rate: Optional[float] = None,
     workers: int = 0,
     cache: Optional[EngineCache] = None,
+    pool: Optional["object"] = None,
 ) -> Dict[int, PathEngineResult]:
     """Batched evaluation: one shared context, one search per initial state.
 
@@ -826,9 +829,13 @@ def joint_distribution_all(
     :func:`joint_distribution` per state (the searches are independent;
     the shared Omega memo tables return the same memoized values).
 
-    ``workers > 1`` shards the initial states over a process pool (see
-    :func:`joint_distribution_many`); ``cache`` reuses/persists the
-    precomputation across calls (see :func:`prepare_path_engine`).
+    ``workers > 1`` shards the initial states over the persistent worker
+    pool (see :func:`joint_distribution_many`); ``cache`` reuses/persists
+    the precomputation across calls (see :func:`prepare_path_engine`)
+    and ``pool`` selects an explicit
+    :class:`~repro.check.pool.PersistentWorkerPool` (the cache's own
+    pool when checking through an :class:`~repro.check.engine_cache.\
+EngineCache`; the process-wide default otherwise).
     """
     context = prepare_path_engine(
         model,
@@ -843,16 +850,16 @@ def joint_distribution_all(
         uniformization_rate=uniformization_rate,
         cache=cache,
     )
-    return joint_distribution_many(context, initial_states, workers=workers)
+    return joint_distribution_many(
+        context, initial_states, workers=workers, pool=pool
+    )
 
 
-# The shared read-only context of a fan-out pool, inherited by each
-# worker through fork copy-on-write (never pickled).
-_WORKER_CONTEXT: Optional[PathEngineContext] = None
-
-#: Wall-clock watchdog per shard.  Generous — it exists to catch a hung
-#: worker (deadlocked fork, stuck allocator), not a slow one; genuinely
-#: slow shards are the ambient guard's business.
+#: Wall-clock watchdog per pool attempt.  Generous — it exists to catch
+#: a hung worker (deadlocked fork, stuck allocator), not a slow one;
+#: genuinely slow shards are the ambient guard's business.  Enforced as
+#: one absolute deadline across all of an attempt's shards, so k hung
+#: shards cost one timeout, not k.
 DEFAULT_SHARD_TIMEOUT_S = 600.0
 
 #: Pool submissions per shard before it is re-executed serially: the
@@ -860,188 +867,55 @@ DEFAULT_SHARD_TIMEOUT_S = 600.0
 POOL_RETRIES = 1
 
 
-def _fan_out_initializer(context: PathEngineContext) -> None:
-    global _WORKER_CONTEXT
-    _WORKER_CONTEXT = context
-
-
-def _fan_out_shard(states: List[int]):
-    """Evaluate one shard in a worker; returns ``(pairs, snapshot)``.
-
-    Telemetry propagation: the worker inherits the parent's thread-local
-    ambient collector through fork (the pool is created on the checking
-    thread, so the fork snapshot carries it).  When that inherited
-    collector is recording, the worker installs its *own* fresh
-    :class:`~repro.obs.Collector` — recording into the inherited copy
-    would be lost with the process — and ships its picklable snapshot
-    back alongside the results; the parent merges it with per-worker
-    clock-offset normalization.  ``snapshot`` is ``None`` when the
-    parent was not observing.
-    """
-    context = _WORKER_CONTEXT
-    if not get_collector().enabled:
-        pairs = [
-            (state, joint_distribution_from_context(context, state))
-            for state in states
-        ]
-        return pairs, None
-    collector = Collector()
-    with use_collector(collector):
-        with collector.span("pool.shard", states=len(states), pid=os.getpid()):
-            pairs = [
-                (state, joint_distribution_from_context(context, state))
-                for state in states
-            ]
-    return pairs, collector.snapshot()
-
-
-def _terminate_workers(executor: "concurrent.futures.ProcessPoolExecutor") -> None:
-    """Best-effort kill of a pool's worker processes.
-
-    Needed on the timeout path: a hung worker would otherwise survive
-    ``shutdown(wait=False)`` and block interpreter exit at the atexit
-    join.  Reaches into executor internals deliberately — there is no
-    public kill switch — and tolerates their absence.
-    """
-    processes = getattr(executor, "_processes", None) or {}
-    for process in list(processes.values()):
-        try:
-            process.terminate()
-        except Exception:  # pragma: no cover - already-dead workers
-            pass
-
-
-def _unpack_shard_part(part):
-    """Split a worker return into ``(pairs, snapshot)``.
-
-    Tolerates bare ``(state, result)`` pair lists (pre-telemetry shard
-    functions, fault-injection stubs) by treating them as having no
-    snapshot.
-    """
-    if (
-        isinstance(part, tuple)
-        and len(part) == 2
-        and (part[1] is None or isinstance(part[1], dict))
-    ):
-        return part[0], part[1]
-    return part, None
-
-
-def _run_shard_pool(
-    context: PathEngineContext,
-    shards: List[Tuple[int, List[int]]],
-    timeout_s: float,
-) -> Tuple[
-    Dict[int, PathEngineResult],
-    List[Dict],
-    List[Tuple[int, List[int], WorkerError]],
-    List[int],
-]:
-    """One pool attempt over ``(shard_index, states)`` shards.
-
-    Returns the merged results of the shards that completed, the
-    telemetry snapshots workers shipped back with them, an
-    ``(shard_index, shard, WorkerError)`` list for the shards that did
-    not — a dead worker (OOM-kill, nonzero exit, crashing initializer:
-    all surface as ``BrokenProcessPool``) or a per-shard watchdog
-    timeout — and the pids of the pool's worker processes.  A failed
-    shard contributes *neither* results nor a snapshot: its partial
-    trace dies with the worker, so nothing half-recorded can merge.
-    Guard trips and out-of-memory conditions raised *by the engine code
-    in a worker* are not worker failures; they propagate so the caller's
-    degradation cascade handles them exactly as in a serial run.
-    """
-    fork = multiprocessing.get_context("fork")
-    results: Dict[int, PathEngineResult] = {}
-    snapshots: List[Dict] = []
-    failures: List[Tuple[int, List[int], WorkerError]] = []
-    executor = concurrent.futures.ProcessPoolExecutor(
-        max_workers=len(shards),
-        mp_context=fork,
-        initializer=_fan_out_initializer,
-        initargs=(context,),
-    )
-    timed_out = False
-    try:
-        futures = [
-            (executor.submit(_fan_out_shard, shard), index, shard)
-            for index, shard in shards
-        ]
-        worker_pids = sorted((getattr(executor, "_processes", None) or {}).keys())
-        for future, index, shard in futures:
-            try:
-                part = future.result(timeout=timeout_s)
-            except BrokenProcessPool as error:
-                failures.append(
-                    (index, shard, WorkerError(f"worker died: {error}", shard=shard))
-                )
-            except concurrent.futures.TimeoutError:
-                timed_out = True
-                future.cancel()
-                failures.append(
-                    (
-                        index,
-                        shard,
-                        WorkerError(
-                            f"shard timed out after {timeout_s:g}s", shard=shard
-                        ),
-                    )
-                )
-            except (GuardExceeded, MemoryError):
-                # A budget tripped inside the worker's engine code — the
-                # run is over for every shard; surface it to the cascade.
-                _terminate_workers(executor)
-                executor.shutdown(wait=False, cancel_futures=True)
-                raise
-            else:
-                pairs, snapshot = _unpack_shard_part(part)
-                for state, result in pairs:
-                    results[state] = result
-                if snapshot is not None:
-                    snapshots.append(snapshot)
-    finally:
-        if timed_out:
-            _terminate_workers(executor)
-        executor.shutdown(wait=not timed_out, cancel_futures=True)
-    return results, snapshots, failures, worker_pids
-
-
 def joint_distribution_many(
     context: PathEngineContext,
     initial_states: Iterable[int],
     workers: int = 0,
     shard_timeout_s: Optional[float] = None,
+    pool: Optional["object"] = None,
 ) -> Dict[int, PathEngineResult]:
     """Run the search for many initial states against one shared context.
 
     With ``workers <= 1`` this is the serial loop of
     :func:`joint_distribution_all`.  With ``workers > 1`` the states are
-    split into ``workers`` contiguous shards evaluated by a
-    ``fork``-based process pool: each worker inherits the read-only
-    context by copy-on-write, runs the same deterministic searches, and
-    ships back its ``(state, PathEngineResult)`` pairs.  The merged dict
-    (probabilities, error bounds, path counts) is bitwise identical to
-    the serial evaluation — the per-state search does not depend on the
-    memo state, which only shortcuts work.  Only the per-state
-    ``omega_evaluations`` diagnostics differ: serially they reflect one
-    memo warmed left-to-right, in parallel each shard warms its own.
-    Platforms without the ``fork`` start method fall back to the serial
-    loop.
+    split into many small cost-balanced shards (out-degree frontier
+    estimates, about four per worker) and drained by a **persistent**
+    ``fork``-based worker pool (:mod:`repro.check.pool`): workers are
+    forked once per process and reused across calls, the context's large
+    arrays are published once to POSIX shared memory, and each task
+    ships only a small descriptor handle — the context is *never*
+    pickled on this path.  Idle workers steal the next shard from the
+    shared queue, so one expensive state no longer drags a rigid
+    ``len/workers`` slice behind it.  The merged dict (probabilities,
+    error bounds, path counts) is bitwise identical to the serial
+    evaluation — the per-state search does not depend on the memo state,
+    which only shortcuts work.  Only the per-state ``omega_evaluations``
+    diagnostics differ: serially they reflect one memo warmed
+    left-to-right, in parallel each shard warms its own.  Platforms
+    without the ``fork`` start method fall back to the serial loop.
 
-    The pool is fault tolerant.  Each shard runs under a watchdog
-    timeout (``shard_timeout_s``, default
+    ``workers`` is clamped to ``os.cpu_count()`` — oversubscribing cores
+    only re-creates the regression this pool replaced — and a
+    ``pool.workers-clamped`` event records any clamp on the ambient
+    collector.  ``pool`` selects the :class:`repro.check.pool.\
+PersistentWorkerPool` to run on (e.g. the one owned by an
+    :class:`~repro.check.engine_cache.EngineCache`); by default the
+    process-wide pool is used.
+
+    The pool is fault tolerant.  Each attempt runs under one *absolute*
+    watchdog deadline (``shard_timeout_s``, default
     :data:`DEFAULT_SHARD_TIMEOUT_S`, clipped to the ambient guard's
-    remaining deadline); a worker that dies mid-shard — OOM-kill,
-    nonzero exit, crashing initializer — is detected instead of hanging
-    the parent.  Failed shards are re-submitted to a fresh pool up to
-    :data:`POOL_RETRIES` times and finally re-executed serially in the
-    parent, so the merged result is still bitwise identical to the
-    all-serial run.  Every recovery is recorded as a
-    ``pool.worker-failure`` event on the ambient collector (with the
-    shard index and the pool's worker pids); only a failure of the
-    serial re-execution itself can raise, and guard trips inside
-    workers propagate unchanged (they belong to the degradation
-    cascade, not to pool recovery).
+    remaining deadline) covering all of its shards; a worker that dies
+    mid-shard — OOM-kill, nonzero exit, crashing initializer — is
+    detected instead of hanging the parent.  Failed shards are
+    re-submitted to a rebuilt pool up to :data:`POOL_RETRIES` times and
+    finally re-executed serially in the parent, so the merged result is
+    still bitwise identical to the all-serial run.  Every recovery is
+    recorded as a ``pool.worker-failure`` event on the ambient collector
+    (with the shard index and the pool's worker pids); only a failure of
+    the serial re-execution itself can raise, and guard trips inside
+    workers propagate unchanged (they belong to the degradation cascade,
+    not to pool recovery).
 
     When the ambient collector is recording, each worker records its
     shard under its own collector and ships the snapshot back with the
@@ -1051,23 +925,34 @@ def joint_distribution_many(
     failure event instead of a partial trace being merged.
     """
     states = [int(state) for state in initial_states]
-    workers = int(workers or 0)
+    requested = int(workers or 0)
+    obs = get_collector()
     use_pool = (
-        workers > 1
+        requested > 1
         and len(states) > 1
         and "fork" in multiprocessing.get_all_start_methods()
     )
+    workers = requested
+    if use_pool:
+        from repro.check import pool as pool_module
+
+        effective, cpu = pool_module.effective_workers(requested)
+        if effective < requested and obs.enabled:
+            obs.event(
+                "pool.workers-clamped",
+                requested=requested,
+                cpu_count=cpu,
+                effective=max(effective, 1),
+            )
+        workers = min(effective, len(states))
+        use_pool = workers > 1
     if not use_pool:
         return {
             state: joint_distribution_from_context(context, state)
             for state in states
         }
-    workers = min(workers, len(states))
-    shards = [
-        [int(state) for state in shard]
-        for shard in np.array_split(np.asarray(states, dtype=np.int64), workers)
-        if shard.size
-    ]
+    worker_pool = pool if pool is not None else pool_module.default_pool()
+    shards = pool_module.plan_shards(context, states, workers)
     timeout_s = (
         DEFAULT_SHARD_TIMEOUT_S if shard_timeout_s is None else float(shard_timeout_s)
     )
@@ -1079,13 +964,12 @@ def joint_distribution_many(
         # proper GuardExceeded) before the watchdog fires.
         timeout_s = min(timeout_s, remaining + 5.0)
 
-    obs = get_collector()
     results: Dict[int, PathEngineResult] = {}
     pending = list(enumerate(shards))
     total_failures = 0
     for attempt in range(1 + POOL_RETRIES):
-        parts, snapshots, failures, pool_pids = _run_shard_pool(
-            context, pending, timeout_s
+        parts, snapshots, failures, pool_pids = worker_pool.run_shards(
+            context, pending, timeout_s, workers
         )
         results.update(parts)
         if obs.enabled:

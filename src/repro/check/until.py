@@ -377,14 +377,17 @@ def until_probabilities(
     states exactly 0; the engines run only on the remaining pending
     ``Phi``-states.
 
-    ``workers > 1`` shards the pending states of the uniformization
-    engine across a process pool over the shared read-only context (see
+    ``workers > 1`` (clamped to the machine's core count) shards the
+    pending states of the uniformization engine across the persistent
+    shared-memory worker pool (see
     :func:`repro.check.paths_engine.joint_distribution_many`); the
     probabilities and error bounds are bitwise-identical to the serial
     run.  The discretization engine is a single batched sweep, so the
     parameter is accepted but has no effect there.  ``cache`` shares
     engine precomputation (Poisson tables, successor structures,
-    discretization grids, Omega memos) across formulas and calls.
+    discretization grids, Omega memos) across formulas and calls, and
+    its :meth:`~repro.check.engine_cache.EngineCache.worker_pool` is the
+    pool the fan-out runs on.
 
     Returns
     -------
@@ -426,7 +429,12 @@ def until_probabilities(
             workers=int(workers),
             pending=len(pending),
         ):
-            results = joint_distribution_many(context, pending, workers=workers)
+            results = joint_distribution_many(
+                context,
+                pending,
+                workers=workers,
+                pool=cache.worker_pool() if cache is not None else None,
+            )
         for state in pending:
             result = results[state]
             values[state] = result.probability

@@ -17,8 +17,9 @@ or, with a guarded-command model description::
 * ``-c/--const NAME=VALUE`` overrides a ``const`` declaration of a
   ``.mrm`` model (repeatable).
 * ``-j/--workers N`` fans the uniformization engine's per-initial-state
-  searches out over ``N`` worker processes (results are identical to a
-  serial run).
+  searches out over ``N`` worker processes (clamped to the machine's
+  core count; the workers form a persistent shared-memory pool reused
+  across formulas, and results are identical to a serial run).
 * ``--timeout SECONDS`` and ``--mem-budget BYTES`` (``K``/``M``/``G``
   suffixes accepted) bound each formula's evaluation; on a tripped
   budget the checker degrades through cheaper engine tiers instead of
@@ -118,7 +119,8 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="worker processes for the uniformization engine's "
-        "per-initial-state fan-out (default: serial)",
+        "per-initial-state fan-out (default: serial; clamped to the "
+        "machine's core count)",
     )
     parser.add_argument(
         "--timeout",

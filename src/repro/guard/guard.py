@@ -27,9 +27,12 @@ Three budgets are supported:
 
 Like the :mod:`repro.obs` collector, the *ambient* guard is thread-local
 (:func:`get_guard` / :func:`use_guard`) so deep call chains need no
-extra parameter, and fan-out worker processes inherit it through fork —
-the deadline is an absolute monotonic instant, so parent and workers
-agree on it.  The default :class:`NullGuard` is a no-op whose
+extra parameter.  Fan-out worker processes do *not* rely on fork
+inheritance (the persistent pool's workers outlive any single guard):
+each shard task carries the parent guard's absolute monotonic deadline
+and memory budget, and the worker installs a fresh guard built from
+them — ``CLOCK_MONOTONIC`` is shared across fork, so parent and workers
+agree on the instant.  The default :class:`NullGuard` is a no-op whose
 ``enabled`` is ``False``, letting hot loops skip even the argument
 construction.
 """

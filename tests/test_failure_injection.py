@@ -334,16 +334,33 @@ class TestDegradationCascade:
         assert all(r.get("cached") for r in second.report.degradations)
 
 
-def _exit_hard(states):
+def _exit_hard(task):
     os._exit(3)
 
 
-def _sleep_forever(states):
+def _sleep_forever(task):
     time.sleep(600.0)
 
 
-def _crash_initializer(context):
+def _crash_initializer():
     raise RuntimeError("injected initializer crash")
+
+
+@pytest.fixture
+def multicore(monkeypatch):
+    """Pretend the box has cores to spare.
+
+    The fan-out clamps ``workers`` to ``os.cpu_count()``; on a 1-core CI
+    runner that would silently serialize every pool test below, making
+    the fault-injection vacuous.  Patching the seam keeps the pool in
+    play; the default pool is reset afterwards so no stub-poisoned
+    workers leak into other tests.
+    """
+    from repro.check import pool
+
+    monkeypatch.setattr(pool, "_cpu_count", lambda: 8)
+    yield
+    pool.reset_default_pool()
 
 
 class TestFaultTolerantPool:
@@ -359,37 +376,47 @@ class TestFaultTolerantPool:
         states = list(range(model.num_states))
         return paths_engine.joint_distribution_all(model, states, **self.FANOUT)
 
-    def test_dead_worker_recovers_serially_bitwise(self, wavelan):
+    def test_dead_worker_recovers_serially_bitwise(self, wavelan, multicore):
+        from repro.check import pool
+
         serial = self._serial(wavelan)
         states = list(range(wavelan.num_states))
-        original = paths_engine._fan_out_shard
-        paths_engine._fan_out_shard = _exit_hard
+        original = pool._fan_out_shard
+        pool._fan_out_shard = _exit_hard
         try:
             recovered = paths_engine.joint_distribution_all(
                 wavelan, states, workers=2, **self.FANOUT
             )
         finally:
-            paths_engine._fan_out_shard = original
+            pool._fan_out_shard = original
         assert set(recovered) == set(serial)
         for state in serial:
             assert recovered[state].probability == serial[state].probability
             assert recovered[state].error_bound == serial[state].error_bound
 
-    def test_crashing_initializer_recovers_serially(self, wavelan):
+    def test_crashing_initializer_recovers_serially(self, wavelan, multicore):
+        from repro.check import pool
+
         serial = self._serial(wavelan)
         states = list(range(wavelan.num_states))
-        original = paths_engine._fan_out_initializer
-        paths_engine._fan_out_initializer = _crash_initializer
+        original = pool._fan_out_initializer
+        pool._fan_out_initializer = _crash_initializer
+        # The initializer runs when workers fork; reset so the patched
+        # hook is part of the next pool's fork snapshot.
+        pool.reset_default_pool()
         try:
             recovered = paths_engine.joint_distribution_all(
                 wavelan, states, workers=2, **self.FANOUT
             )
         finally:
-            paths_engine._fan_out_initializer = original
+            pool._fan_out_initializer = original
+            pool.reset_default_pool()
         for state in serial:
             assert recovered[state].probability == serial[state].probability
 
-    def test_hung_worker_times_out_not_hangs(self, wavelan):
+    def test_hung_worker_times_out_not_hangs(self, wavelan, multicore):
+        from repro.check import pool
+
         serial = self._serial(wavelan)
         states = list(range(wavelan.num_states))
         context = paths_engine.prepare_path_engine(
@@ -400,35 +427,107 @@ class TestFaultTolerantPool:
             truncation_probability=self.FANOUT["truncation_probability"],
             strategy=self.FANOUT["strategy"],
         )
-        original = paths_engine._fan_out_shard
-        paths_engine._fan_out_shard = _sleep_forever
+        original = pool._fan_out_shard
+        pool._fan_out_shard = _sleep_forever
         start = time.monotonic()
         try:
             recovered = paths_engine.joint_distribution_many(
                 context, states, workers=2, shard_timeout_s=0.5
             )
         finally:
-            paths_engine._fan_out_shard = original
+            pool._fan_out_shard = original
         elapsed = time.monotonic() - start
         assert elapsed < 30.0  # watchdog + retries, nowhere near 600 s
         for state in serial:
             assert recovered[state].probability == serial[state].probability
 
-    def test_pool_failures_recorded_on_collector(self, wavelan):
+    def test_hung_shards_share_one_absolute_deadline(self, wavelan, multicore):
+        # Regression: the old watchdog applied its timeout per future
+        # sequentially, so k hung shards cost k timeouts.  Two sleeping
+        # shards must together cost about *one* timeout per attempt.
+        from repro.check import pool
+
+        states = list(range(wavelan.num_states))
+        context = paths_engine.prepare_path_engine(
+            wavelan,
+            psi_states=self.FANOUT["psi_states"],
+            time_bound=self.FANOUT["time_bound"],
+            reward_bound=self.FANOUT["reward_bound"],
+            truncation_probability=self.FANOUT["truncation_probability"],
+            strategy=self.FANOUT["strategy"],
+        )
+        shards = [(0, states[: len(states) // 2]), (1, states[len(states) // 2 :])]
+        worker_pool = pool.PersistentWorkerPool()
+        original = pool._fan_out_shard
+        pool._fan_out_shard = _sleep_forever
+        timeout_s = 1.0
+        start = time.monotonic()
+        try:
+            results, snapshots, failures, _ = worker_pool.run_shards(
+                context, shards, timeout_s, workers=2
+            )
+        finally:
+            pool._fan_out_shard = original
+            worker_pool.reset()
+        elapsed = time.monotonic() - start
+        assert not results
+        assert len(failures) == len(shards)
+        assert all("timed out" in str(error) for _, _, error in failures)
+        # One shared deadline: well under 2 stacked timeouts even with
+        # fork/teardown slack on a loaded box.
+        assert elapsed < timeout_s + 3.0
+
+    def test_pool_submit_failure_is_reported_not_masked(self, wavelan):
+        # Regression: an exception inside the submit loop used to raise
+        # UnboundLocalError over ``worker_pids`` instead of surfacing
+        # the real failure as shard-level WorkerErrors.
+        from repro.check import pool
+
+        context = paths_engine.prepare_path_engine(
+            wavelan,
+            psi_states=self.FANOUT["psi_states"],
+            time_bound=self.FANOUT["time_bound"],
+            reward_bound=self.FANOUT["reward_bound"],
+            truncation_probability=self.FANOUT["truncation_probability"],
+            strategy=self.FANOUT["strategy"],
+        )
+
+        class _RefusingExecutor:
+            def submit(self, fn, *args):
+                raise RuntimeError("injected submit failure")
+
+        worker_pool = pool.PersistentWorkerPool()
+        worker_pool._executor = _RefusingExecutor()
+        worker_pool._size = 2
+        shards = [(0, [0, 1]), (1, [2, 3])]
+        results, snapshots, failures, worker_pids = worker_pool.run_shards(
+            context, shards, timeout_s=5.0, workers=2
+        )
+        assert not results and not snapshots
+        assert worker_pids == []
+        assert [index for index, _, _ in failures] == [0, 1]
+        assert all(
+            "injected submit failure" in str(error) for _, _, error in failures
+        )
+        # The pool marked itself broken so the next call rebuilds.
+        assert not worker_pool.alive
+
+    def test_pool_failures_recorded_on_collector(self, wavelan, multicore):
+        from repro.check import pool
         from repro.obs import Collector, use_collector
         from repro.obs.report import RunReport
 
         states = list(range(wavelan.num_states))
         collector = Collector()
-        original = paths_engine._fan_out_shard
-        paths_engine._fan_out_shard = _exit_hard
+        original = pool._fan_out_shard
+        pool._fan_out_shard = _exit_hard
         try:
             with use_collector(collector):
                 paths_engine.joint_distribution_all(
                     wavelan, states, workers=2, **self.FANOUT
                 )
         finally:
-            paths_engine._fan_out_shard = original
+            pool._fan_out_shard = original
         events = collector.events_named("pool.worker-failure")
         assert events
         assert collector.counter("pool.worker-failures") == len(events)

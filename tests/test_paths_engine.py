@@ -441,6 +441,17 @@ class TestColumnarEngine:
 
 
 class TestParallelFanOut:
+    @pytest.fixture(autouse=True)
+    def _multicore(self, monkeypatch):
+        # The worker clamp would silently serialize workers=2 on a
+        # single-core runner; pretend the box has cores so these tests
+        # genuinely exercise the pool.
+        from repro.check import pool
+
+        monkeypatch.setattr(pool, "_cpu_count", lambda: 4)
+        yield
+        pool.reset_default_pool()
+
     def test_workers_match_serial_bitwise(self):
         from repro.check.paths_engine import joint_distribution_all
         from repro.models import build_tmr

@@ -37,7 +37,7 @@ from repro.obs.series import NULL_SERIES, NullSeries
 from repro.obs.trace import SpanRecord
 
 
-def _exit_hard(states):
+def _exit_hard(task):
     os._exit(3)
 
 
@@ -348,8 +348,15 @@ class TestCheckerTrace:
         # Frontier sizes are positive state counts.
         assert all(v >= 1.0 for _, v in frontier["points"])
 
-    def test_workers_produce_one_merged_trace(self):
+    def test_workers_produce_one_merged_trace(self, monkeypatch):
         # 11 modules: enough pending Sup-states for four genuine shards.
+        # The clamp would serialize workers=4 on a small CI box, and the
+        # work-stealing planner would cut ~4 shards per worker — pin
+        # both seams so the trace shape is deterministic here.
+        from repro.check import pool
+
+        monkeypatch.setattr(pool, "_cpu_count", lambda: 4)
+        monkeypatch.setattr(pool, "OVERSUBSCRIPTION", 1)
         model = build_tmr(11)
         checker = ModelChecker(
             model, CheckOptions(workers=4), engine_cache=EngineCache()
@@ -368,6 +375,11 @@ class TestCheckerTrace:
         (search,) = spans_named(trace, "until.search")
         assert all(s["parent_id"] == search["span_id"] for s in shards)
         assert search["attributes"]["workers"] == 4
+        # Every pending state ran in exactly one shard.
+        assert (
+            sum(s["attributes"]["states"] for s in shards)
+            == search["attributes"]["pending"]
+        )
 
         # The tree is still rooted in the formula spans.
         (check,) = spans_named(trace, "check")
@@ -390,11 +402,14 @@ class TestKilledWorkerTrace:
         strategy="paths",
     )
 
-    def test_killed_worker_is_flagged_not_merged(self, wavelan):
+    def test_killed_worker_is_flagged_not_merged(self, wavelan, monkeypatch):
+        from repro.check import pool
+
+        monkeypatch.setattr(pool, "_cpu_count", lambda: 4)
         states = list(range(wavelan.num_states))
         collector = Collector()
-        original = paths_engine._fan_out_shard
-        paths_engine._fan_out_shard = _exit_hard
+        original = pool._fan_out_shard
+        pool._fan_out_shard = _exit_hard
         try:
             from repro.obs import use_collector
 
@@ -403,7 +418,8 @@ class TestKilledWorkerTrace:
                     wavelan, states, workers=2, **self.FANOUT
                 )
         finally:
-            paths_engine._fan_out_shard = original
+            pool._fan_out_shard = original
+            pool.reset_default_pool()
 
         # A worker that dies ships no snapshot: its partial trace must
         # never appear in the merged span list.
