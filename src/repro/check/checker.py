@@ -66,6 +66,7 @@ _UNTIL_ENGINES = ("uniformization", "discretization")
 _PATH_STRATEGIES = ("paths", "merged", "merged-legacy")
 _TRUNCATION_MODES = ("safe", "paper")
 _LINEAR_SOLVERS = ("gauss-seidel", "jacobi", "sor", "direct")
+_KERNEL_BACKENDS = ("auto", "numpy", "numba", "python")
 
 
 @dataclass(frozen=True)
@@ -94,6 +95,14 @@ class CheckOptions:
     linear_solver:
         Solver for steady-state/unbounded-until linear systems
         (``"gauss-seidel"``, ``"jacobi"``, ``"sor"``, ``"direct"``).
+    kernels:
+        Compiled-kernel backend for the path engine's hot loops
+        (``"auto"``, ``"numpy"``, ``"numba"``, ``"python"``).  The
+        default ``"auto"`` uses the numba-jitted frontier merge and
+        Omega sweep when the optional ``repro[speed]`` extra is
+        installed and falls back to the NumPy reference path (with a
+        ``kernels.fallback`` event) otherwise.  All backends are
+        bitwise identical — see :mod:`repro.kernels`.
     workers:
         Number of worker processes for the uniformization engine's
         per-initial-state fan-out (``0``/``1`` = serial; clamped to the
@@ -139,6 +148,7 @@ class CheckOptions:
     path_strategy: str = "paths"
     truncation_mode: str = "safe"
     linear_solver: str = "gauss-seidel"
+    kernels: str = "auto"
     workers: int = 0
     observe: bool = True
     deadline_s: Optional[float] = None
@@ -166,6 +176,11 @@ class CheckOptions:
             raise CheckError(
                 f"unknown linear solver {self.linear_solver!r} "
                 f"(expected one of {_LINEAR_SOLVERS})"
+            )
+        if self.kernels not in _KERNEL_BACKENDS:
+            raise CheckError(
+                f"unknown kernel backend {self.kernels!r} "
+                f"(expected one of {_KERNEL_BACKENDS})"
             )
         if not isinstance(self.workers, int) or self.workers < 0:
             raise CheckError(
@@ -540,6 +555,7 @@ class ModelChecker:
                         solver=opts.linear_solver,
                         workers=opts.workers,
                         cache=self._engine_cache,
+                        kernels=opts.kernels,
                     )
                 if span is not None:
                     span.attributes["engine"] = result.engine

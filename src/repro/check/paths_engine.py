@@ -94,6 +94,7 @@ from typing import AbstractSet, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import kernels as kernels_mod
 from repro.check.engine_cache import EngineCache
 from repro.exceptions import (
     CheckError,
@@ -415,6 +416,7 @@ class PathEngineContext:
     succ_moves: Optional[np.ndarray] = None
     psi_mask: Optional[np.ndarray] = None
     class_table: Optional[ClassTable] = None
+    kernels: str = "numpy"
 
 
 def prepare_path_engine(
@@ -429,6 +431,7 @@ def prepare_path_engine(
     truncation: str = "safe",
     uniformization_rate: Optional[float] = None,
     cache: Optional[EngineCache] = None,
+    kernels: str = "auto",
 ) -> PathEngineContext:
     """Validate the query and build the shared :class:`PathEngineContext`.
 
@@ -436,6 +439,13 @@ def prepare_path_engine(
     state; see there for their meaning.  The model is used as given —
     callers evaluating an until formula must apply
     :meth:`repro.mrm.MRM.make_absorbing` first (Theorems 4.1/4.3).
+
+    ``kernels`` selects the hot-loop backend (see :mod:`repro.kernels`):
+    the name is resolved here — ``"auto"`` becomes ``"numba"`` or
+    ``"numpy"`` — a ``kernels.backend`` obs event records the choice
+    (plus the one-off JIT compile time when this process compiled the
+    set), and the resolved name travels inside the context so every
+    search, including pool workers, uses the same backend.
 
     When an :class:`~repro.check.engine_cache.EngineCache` is supplied
     the whole context is cached under the model fingerprint plus the
@@ -463,6 +473,28 @@ def prepare_path_engine(
     psi = frozenset(int(s) for s in psi_states)
     dead = frozenset(int(s) for s in dead_states) if dead_states else frozenset()
 
+    resolved_kernels = kernels_mod.resolve_backend(kernels)
+    obs = get_collector()
+    if obs.enabled:
+        kernel_set = kernels_mod.active_kernels(resolved_kernels)
+        obs.event(
+            "kernels.backend",
+            requested=kernels,
+            backend=resolved_kernels,
+            compile_seconds=(
+                kernel_set.compile_seconds if kernel_set is not None else 0.0
+            ),
+        )
+        obs.annotate(kernels=resolved_kernels)
+    if cache is not None and resolved_kernels != "numpy":
+        # Reference the process-wide kernel set from the cache so its
+        # lifetime (and /cache introspection) covers the compiled code
+        # alongside the contexts it accelerates.
+        cache.get_or_build(
+            ("kernels", resolved_kernels),
+            lambda: kernels_mod.kernel_set(resolved_kernels),
+        )
+
     def build() -> PathEngineContext:
         return _build_context(
             model,
@@ -476,6 +508,7 @@ def prepare_path_engine(
             truncation,
             uniformization_rate,
             cache,
+            resolved_kernels,
         )
 
     if cache is None:
@@ -492,6 +525,7 @@ def prepare_path_engine(
         strategy,
         truncation,
         uniformization_rate,
+        resolved_kernels,
     )
     return cache.get_or_build(key, build)
 
@@ -508,6 +542,7 @@ def _build_context(
     truncation: str,
     uniformization_rate: Optional[float],
     cache: Optional[EngineCache],
+    kernels: str = "numpy",
 ) -> PathEngineContext:
     """The actual context construction behind :func:`prepare_path_engine`."""
     with get_collector().span("until.prepare"):
@@ -523,6 +558,7 @@ def _build_context(
             truncation,
             uniformization_rate,
             cache,
+            kernels,
         )
 
 
@@ -538,6 +574,7 @@ def _build_context_timed(
     truncation: str,
     uniformization_rate: Optional[float],
     cache: Optional[EngineCache],
+    kernels: str = "numpy",
 ) -> PathEngineContext:
     n_states = model.num_states
     process = model.uniformize(uniformization_rate)
@@ -647,6 +684,7 @@ def _build_context_timed(
         succ_moves=np.asarray(flat_moves, dtype=np.int64),
         psi_mask=psi_mask,
         class_table=ClassTable(len(reward_levels), num_impulses),
+        kernels=kernels,
     )
 
 
@@ -675,6 +713,7 @@ def joint_distribution_from_context(
             context.time_bound,
             context.reward_bound,
             calculators=context.calculators,
+            kernels=context.kernels,
         )
     else:
         runner = (
@@ -727,6 +766,7 @@ def joint_distribution(
     strategy: str = "paths",
     truncation: str = "safe",
     uniformization_rate: Optional[float] = None,
+    kernels: str = "auto",
 ) -> PathEngineResult:
     """``Pr{Y(t) <= r, X(t) in psi_states}`` from ``initial_state``.
 
@@ -786,6 +826,12 @@ def joint_distribution(
           error bound covers exactly what was discarded, as before.
     uniformization_rate:
         Optional explicit ``Lambda``.
+    kernels:
+        Hot-loop backend for the columnar sweep and the Omega
+        recursion: ``"auto"`` (numba when available, else the NumPy
+        reference path), ``"numpy"``, ``"numba"`` or ``"python"``.
+        All backends return bitwise-identical results; see
+        :mod:`repro.kernels`.
 
     Returns
     -------
@@ -802,6 +848,7 @@ def joint_distribution(
         strategy=strategy,
         truncation=truncation,
         uniformization_rate=uniformization_rate,
+        kernels=kernels,
     )
     return joint_distribution_from_context(context, initial_state)
 
@@ -821,6 +868,7 @@ def joint_distribution_all(
     workers: int = 0,
     cache: Optional[EngineCache] = None,
     pool: Optional["object"] = None,
+    kernels: str = "auto",
 ) -> Dict[int, PathEngineResult]:
     """Batched evaluation: one shared context, one search per initial state.
 
@@ -849,6 +897,7 @@ EngineCache`; the process-wide default otherwise).
         truncation=truncation,
         uniformization_rate=uniformization_rate,
         cache=cache,
+        kernels=kernels,
     )
     return joint_distribution_many(
         context, initial_states, workers=workers, pool=pool
@@ -1349,6 +1398,7 @@ def _sweep_packed(
     pmf_count = len(pmf)
     head_count = len(heads)
     maxpois_count = 0 if maxpois is None else len(maxpois)
+    kernel = kernels_mod.active_kernels(context.kernels)
     guard = get_guard()
     obs = get_collector()
     frontier_series = obs.series("until.frontier") if obs.enabled else None
@@ -1395,32 +1445,54 @@ def _sweep_packed(
             guard.checkpoint(
                 "until.columnar.expand", mem_bytes=stored_bytes + total * 8 * 7
             )
-        parent = np.repeat(np.arange(states.size), degrees)
-        offsets = np.arange(total) - np.repeat(
-            np.cumsum(degrees) - degrees, degrees
-        )
-        edges = np.repeat(indptr[states], degrees) + offsets
-        moves = succ_moves[edges]
-        child_states = succ_targets[edges]
-        child_mass = mass[parent] * succ_probs[edges]
-        child_lo = class_lo[parent] + move_lo[moves]
-        child_hi = class_hi[parent] + move_hi[moves]
-        # Merge equal (state, class) pairs: one lexsort groups them,
-        # reduceat sums their masses.
-        order = np.lexsort((child_states, child_lo, child_hi))
-        sorted_states = child_states[order]
-        sorted_lo = child_lo[order]
-        sorted_hi = child_hi[order]
-        boundaries = np.empty(total, dtype=bool)
-        boundaries[0] = True
-        np.not_equal(sorted_hi[1:], sorted_hi[:-1], out=boundaries[1:])
-        boundaries[1:] |= sorted_lo[1:] != sorted_lo[:-1]
-        boundaries[1:] |= sorted_states[1:] != sorted_states[:-1]
-        group_starts = np.flatnonzero(boundaries)
-        merged_mass = np.add.reduceat(child_mass[order], group_starts)
-        merged_states = sorted_states[group_starts]
-        merged_lo = sorted_lo[group_starts]
-        merged_hi = sorted_hi[group_starts]
+        if kernel is not None:
+            # Compiled path: one fused expansion + stable-sort +
+            # grouping pass (see repro.kernels).  The group reduction
+            # stays on np.add.reduceat over the kernel-sorted masses so
+            # the summation order is the NumPy path's by construction.
+            merged_states, merged_lo, merged_hi, sorted_mass, group_starts = (
+                kernel.expand_merge(
+                    states,
+                    class_lo,
+                    class_hi,
+                    mass,
+                    indptr,
+                    succ_targets,
+                    succ_probs,
+                    succ_moves,
+                    move_lo,
+                    move_hi,
+                    total,
+                )
+            )
+            merged_mass = np.add.reduceat(sorted_mass, group_starts)
+        else:
+            parent = np.repeat(np.arange(states.size), degrees)
+            offsets = np.arange(total) - np.repeat(
+                np.cumsum(degrees) - degrees, degrees
+            )
+            edges = np.repeat(indptr[states], degrees) + offsets
+            moves = succ_moves[edges]
+            child_states = succ_targets[edges]
+            child_mass = mass[parent] * succ_probs[edges]
+            child_lo = class_lo[parent] + move_lo[moves]
+            child_hi = class_hi[parent] + move_hi[moves]
+            # Merge equal (state, class) pairs: one lexsort groups them,
+            # reduceat sums their masses.
+            order = np.lexsort((child_states, child_lo, child_hi))
+            sorted_states = child_states[order]
+            sorted_lo = child_lo[order]
+            sorted_hi = child_hi[order]
+            boundaries = np.empty(total, dtype=bool)
+            boundaries[0] = True
+            np.not_equal(sorted_hi[1:], sorted_hi[:-1], out=boundaries[1:])
+            boundaries[1:] |= sorted_lo[1:] != sorted_lo[:-1]
+            boundaries[1:] |= sorted_states[1:] != sorted_states[:-1]
+            group_starts = np.flatnonzero(boundaries)
+            merged_mass = np.add.reduceat(child_mass[order], group_starts)
+            merged_states = sorted_states[group_starts]
+            merged_lo = sorted_lo[group_starts]
+            merged_hi = sorted_hi[group_starts]
         # Truncation test on the merged classes (same conventions as the
         # legacy runner: pmf scores 0.0 past the table, maxpois clamps
         # to its final suffix-maximum entry).
@@ -1449,17 +1521,23 @@ def _sweep_packed(
     all_lo = np.concatenate(stored_lo)
     all_hi = np.concatenate(stored_hi)
     all_mass = np.concatenate(stored_mass)
-    order = np.lexsort((all_lo, all_hi))
-    sorted_lo = all_lo[order]
-    sorted_hi = all_hi[order]
-    boundaries = np.empty(all_lo.size, dtype=bool)
-    boundaries[0] = True
-    np.not_equal(sorted_hi[1:], sorted_hi[:-1], out=boundaries[1:])
-    boundaries[1:] |= sorted_lo[1:] != sorted_lo[:-1]
-    group_starts = np.flatnonzero(boundaries)
-    masses = np.add.reduceat(all_mass[order], group_starts)
-    class_lo = sorted_lo[group_starts]
-    class_hi = sorted_hi[group_starts]
+    if kernel is not None:
+        class_lo, class_hi, sorted_mass, group_starts = kernel.group_pairs(
+            all_lo, all_hi, all_mass
+        )
+        masses = np.add.reduceat(sorted_mass, group_starts)
+    else:
+        order = np.lexsort((all_lo, all_hi))
+        sorted_lo = all_lo[order]
+        sorted_hi = all_hi[order]
+        boundaries = np.empty(all_lo.size, dtype=bool)
+        boundaries[0] = True
+        np.not_equal(sorted_hi[1:], sorted_hi[:-1], out=boundaries[1:])
+        boundaries[1:] |= sorted_lo[1:] != sorted_lo[:-1]
+        group_starts = np.flatnonzero(boundaries)
+        masses = np.add.reduceat(all_mass[order], group_starts)
+        class_lo = sorted_lo[group_starts]
+        class_hi = sorted_hi[group_starts]
     # Unpack the merged class words back into count matrices.
     field_mask = np.int64((1 << bits) - 1)
     k_rows = np.empty((class_lo.size, num_levels), dtype=np.int64)
@@ -1674,6 +1752,7 @@ def _combine_with_omega_matrix(
     time_bound: float,
     reward_bound: float,
     calculators: Dict[float, OmegaCalculator],
+    kernels: str = "numpy",
 ) -> Tuple[float, int, int]:
     """Vectorized Omega combination over columnar class matrices.
 
@@ -1710,7 +1789,7 @@ def _combine_with_omega_matrix(
         if calculator is None:
             calculator = OmegaCalculator(coefficients, threshold)
             calculators[threshold] = calculator
-        values = calculator.value_many(k_rows[rows])
+        values = calculator.value_many(k_rows[rows], backend=kernels)
         probability += float(masses[rows] @ values)
     omega_evals = (
         sum(c.evaluations for c in calculators.values()) - evaluations_before

@@ -164,6 +164,7 @@ class ContextDescriptor:
     strategy: str
     truncation: str
     num_states: int
+    kernels: str = "numpy"
 
 
 _PUBLISH_LOCK = threading.Lock()
@@ -281,6 +282,7 @@ def publish_context(context) -> ContextDescriptor:
         strategy=context.strategy,
         truncation=context.truncation,
         num_states=int(context.num_states),
+        kernels=context.kernels,
     )
     with _PUBLISH_LOCK:
         _SEGMENTS[token] = segment
@@ -387,6 +389,7 @@ def _attach_context(descriptor: ContextDescriptor):
         succ_moves=arrays["succ_moves"],
         psi_mask=arrays["psi_mask"],
         class_table=ClassTable(len(descriptor.reward_levels), num_impulses),
+        kernels=descriptor.kernels,
     )
     _WORKER_CONTEXTS[descriptor.token] = (context, segment)
     while len(_WORKER_CONTEXTS) > _WORKER_CACHE_LIMIT:

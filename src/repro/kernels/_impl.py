@@ -1,0 +1,329 @@
+"""Backend-agnostic loop kernels for the two hot paths.
+
+Every function in this module is written in the nopython subset of
+Python/NumPy that Numba's ``njit`` accepts — scalars, tuples, lists of
+tuples and NumPy arrays only, no helper calls — and is **also** run
+un-jitted as the ``"python"`` backend, which is what the
+bitwise-equivalence tests exercise on machines without numba.
+:mod:`repro.kernels` wraps these callables per backend; nothing here
+imports numba.
+
+Bitwise contract
+----------------
+These kernels must reproduce the NumPy reference paths *bitwise*:
+
+* :func:`expand_merge` and :func:`group_pairs` replace the
+  ``np.lexsort`` + boundary-detection passes of ``_sweep_packed``.  A
+  stable sort by a key tuple has exactly one result permutation, so the
+  LSD radix sort used here (stable counting passes, least-significant
+  key first) yields the identical order ``np.lexsort`` produces.  The
+  kernels return the mass column *in sorted order* plus the group
+  starts; the per-group mass reduction stays on ``np.add.reduceat`` in
+  the NumPy wrapper, shared verbatim by all backends, because the
+  ufunc's internal pairwise summation order is part of the bitwise
+  contract and is matched trivially by invoking the ufunc itself.
+  The truncation test and discarded-mass sum also stay in the wrapper.
+* :func:`omega_eval` replays the scalar Omega stack of
+  ``OmegaCalculator._evaluate`` over bit-packed count keys: the same
+  first-positive-group ``(i, j)`` selection, the same
+  ``w_j * Omega(k - 1_j) + w_i * Omega(k - 1_i)`` arithmetic on the
+  same float64 weights, hence the same values by induction.  Compiled
+  without ``fastmath`` so no FMA contraction or reassociation happens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Fixed bit-field layout for packed Omega count keys: 4 fields of 15
+# bits per 63-bit word, two words -> at most 8 coefficient groups with
+# counts below 2**15.  Callers must check both limits and fall back to
+# the tuple-keyed NumPy path when exceeded.
+OMEGA_BITS = 15
+OMEGA_FIELDS_PER_WORD = 4
+OMEGA_MAX_GROUPS = 2 * OMEGA_FIELDS_PER_WORD
+OMEGA_MAX_COUNT = (1 << OMEGA_BITS) - 1
+
+
+def expand_merge(
+    states,
+    class_lo,
+    class_hi,
+    mass,
+    indptr,
+    targets,
+    probs,
+    moves,
+    move_lo,
+    move_hi,
+    total,
+):
+    """One fused frontier step: CSR expansion, class derivation, grouping.
+
+    Expands every frontier row through the CSR successor arrays,
+    derives the child class words from the per-move bit-field
+    increments, then sorts the children by ``(hi, lo, state)`` with a
+    stable LSD radix sort — the exact permutation
+    ``np.lexsort((state, lo, hi))`` produces — and detects the group
+    boundaries.  ``total`` is the pre-computed total out-degree of the
+    frontier (the wrapper already needed it for the memory-guard
+    checkpoint).
+
+    Returns ``(group_states, group_lo, group_hi, sorted_mass,
+    group_starts)``: one leader key per distinct ``(state, lo, hi)``
+    group in sort order, the child masses permuted into sort order, and
+    the start offset of each group — ready for
+    ``np.add.reduceat(sorted_mass, group_starts)`` in the wrapper.
+    """
+    child_states = np.empty(total, dtype=np.int64)
+    child_lo = np.empty(total, dtype=np.int64)
+    child_hi = np.empty(total, dtype=np.int64)
+    child_mass = np.empty(total, dtype=np.float64)
+    pos = 0
+    for row in range(states.shape[0]):
+        state = states[row]
+        parent_lo = class_lo[row]
+        parent_hi = class_hi[row]
+        parent_mass = mass[row]
+        for edge in range(indptr[state], indptr[state + 1]):
+            move = moves[edge]
+            child_states[pos] = targets[edge]
+            child_lo[pos] = parent_lo + move_lo[move]
+            child_hi[pos] = parent_hi + move_hi[move]
+            child_mass[pos] = parent_mass * probs[edge]
+            pos += 1
+
+    # Stable LSD radix sort over the keys state (least significant),
+    # lo, hi: 8-bit counting passes, skipping the passes a key's value
+    # range never reaches (hi is all-zero whenever the class fields fit
+    # one word, costing zero passes).
+    order = np.arange(total)
+    scratch = np.empty(total, dtype=np.int64)
+    for key in (child_states, child_lo, child_hi):
+        key_max = np.int64(0)
+        for i in range(total):
+            if key[i] > key_max:
+                key_max = key[i]
+        shift = 0
+        while (key_max >> shift) > 0:
+            counts = np.zeros(257, dtype=np.int64)
+            for i in range(total):
+                counts[((key[order[i]] >> shift) & 0xFF) + 1] += 1
+            for digit in range(256):
+                counts[digit + 1] += counts[digit]
+            for i in range(total):
+                digit = (key[order[i]] >> shift) & 0xFF
+                scratch[counts[digit]] = order[i]
+                counts[digit] += 1
+            swap = order
+            order = scratch
+            scratch = swap
+            shift += 8
+
+    sorted_mass = np.empty(total, dtype=np.float64)
+    group_states = np.empty(total, dtype=np.int64)
+    group_lo = np.empty(total, dtype=np.int64)
+    group_hi = np.empty(total, dtype=np.int64)
+    group_starts = np.empty(total, dtype=np.int64)
+    num_groups = 0
+    prev_state = np.int64(0)
+    prev_lo = np.int64(0)
+    prev_hi = np.int64(0)
+    for rank in range(total):
+        idx = order[rank]
+        state = child_states[idx]
+        lo = child_lo[idx]
+        hi = child_hi[idx]
+        sorted_mass[rank] = child_mass[idx]
+        if rank == 0 or state != prev_state or lo != prev_lo or hi != prev_hi:
+            group_states[num_groups] = state
+            group_lo[num_groups] = lo
+            group_hi[num_groups] = hi
+            group_starts[num_groups] = rank
+            num_groups += 1
+            prev_state = state
+            prev_lo = lo
+            prev_hi = hi
+    return (
+        group_states[:num_groups],
+        group_lo[:num_groups],
+        group_hi[:num_groups],
+        sorted_mass,
+        group_starts[:num_groups],
+    )
+
+
+def group_pairs(lo, hi, mass):
+    """Final class aggregation: group the stored psi rows by class words.
+
+    The ``np.lexsort((lo, hi))`` + boundary-detection counterpart for
+    the end-of-sweep aggregation: stable radix sort by ``(hi, lo)``,
+    then one grouping pass.  Returns ``(group_lo, group_hi,
+    sorted_mass, group_starts)`` for the wrapper's
+    ``np.add.reduceat``.
+    """
+    n = lo.shape[0]
+    order = np.arange(n)
+    scratch = np.empty(n, dtype=np.int64)
+    for key in (lo, hi):
+        key_max = np.int64(0)
+        for i in range(n):
+            if key[i] > key_max:
+                key_max = key[i]
+        shift = 0
+        while (key_max >> shift) > 0:
+            counts = np.zeros(257, dtype=np.int64)
+            for i in range(n):
+                counts[((key[order[i]] >> shift) & 0xFF) + 1] += 1
+            for digit in range(256):
+                counts[digit + 1] += counts[digit]
+            for i in range(n):
+                digit = (key[order[i]] >> shift) & 0xFF
+                scratch[counts[digit]] = order[i]
+                counts[digit] += 1
+            swap = order
+            order = scratch
+            scratch = swap
+            shift += 8
+
+    sorted_mass = np.empty(n, dtype=np.float64)
+    group_lo = np.empty(n, dtype=np.int64)
+    group_hi = np.empty(n, dtype=np.int64)
+    group_starts = np.empty(n, dtype=np.int64)
+    num_groups = 0
+    prev_lo = np.int64(0)
+    prev_hi = np.int64(0)
+    for rank in range(n):
+        idx = order[rank]
+        key_lo = lo[idx]
+        key_hi = hi[idx]
+        sorted_mass[rank] = mass[idx]
+        if rank == 0 or key_lo != prev_lo or key_hi != prev_hi:
+            group_lo[num_groups] = key_lo
+            group_hi[num_groups] = key_hi
+            group_starts[num_groups] = rank
+            num_groups += 1
+            prev_lo = key_lo
+            prev_hi = key_hi
+    return (
+        group_lo[:num_groups],
+        group_hi[:num_groups],
+        sorted_mass,
+        group_starts[:num_groups],
+    )
+
+
+def omega_eval(rows, greater, lesser, weight_j, weight_i, memo, out):
+    """Memoized Omega recursion (Alg. 4.8) over packed count keys.
+
+    ``rows`` is an ``(m, g)`` int64 count matrix with ``g <=``
+    :data:`OMEGA_MAX_GROUPS` and every count ``<=``
+    :data:`OMEGA_MAX_COUNT`; ``greater``/``lesser`` list the group
+    indices with coefficient above/at-most the threshold, in ascending
+    order (the scalar path's first-positive selection order);
+    ``weight_j``/``weight_i`` are the per-``(i, j)`` recursion weights
+    built with the scalar arithmetic.  ``memo`` maps packed
+    ``(lo, hi)`` keys to values and persists across calls per
+    calculator and backend.  Writes ``Omega(threshold, rows[r])`` into
+    ``out[r]`` and returns the number of nodes evaluated for the first
+    time (the ``evaluations`` delta).
+    """
+    evals = 0
+    one = np.int64(1)
+    for r in range(rows.shape[0]):
+        root_lo = np.int64(0)
+        root_hi = np.int64(0)
+        for f in range(rows.shape[1]):
+            value = rows[r, f]
+            if f < OMEGA_FIELDS_PER_WORD:
+                root_lo |= value << np.int64(f * OMEGA_BITS)
+            else:
+                root_hi |= value << np.int64((f - OMEGA_FIELDS_PER_WORD) * OMEGA_BITS)
+        root = (root_lo, root_hi)
+        if root not in memo:
+            # Iterative DFS replaying OmegaCalculator._evaluate: a node
+            # is resolved once both children are memoized; missing
+            # children are pushed and the node re-visited.
+            stack = [root]
+            while len(stack) > 0:
+                cur = stack[len(stack) - 1]
+                if cur in memo:
+                    stack.pop()
+                    continue
+                cur_lo = cur[0]
+                cur_hi = cur[1]
+                i_sel = -1
+                mass_greater = np.int64(0)
+                for t in range(greater.shape[0]):
+                    f = greater[t]
+                    if f < OMEGA_FIELDS_PER_WORD:
+                        count = (cur_lo >> np.int64(f * OMEGA_BITS)) & np.int64(
+                            OMEGA_MAX_COUNT
+                        )
+                    else:
+                        count = (
+                            cur_hi >> np.int64((f - OMEGA_FIELDS_PER_WORD) * OMEGA_BITS)
+                        ) & np.int64(OMEGA_MAX_COUNT)
+                    mass_greater += count
+                    if i_sel < 0 and count > 0:
+                        i_sel = f
+                if mass_greater == 0:
+                    memo[cur] = 1.0
+                    evals += 1
+                    stack.pop()
+                    continue
+                j_sel = -1
+                mass_lesser = np.int64(0)
+                for t in range(lesser.shape[0]):
+                    f = lesser[t]
+                    if f < OMEGA_FIELDS_PER_WORD:
+                        count = (cur_lo >> np.int64(f * OMEGA_BITS)) & np.int64(
+                            OMEGA_MAX_COUNT
+                        )
+                    else:
+                        count = (
+                            cur_hi >> np.int64((f - OMEGA_FIELDS_PER_WORD) * OMEGA_BITS)
+                        ) & np.int64(OMEGA_MAX_COUNT)
+                    mass_lesser += count
+                    if j_sel < 0 and count > 0:
+                        j_sel = f
+                if mass_lesser == 0:
+                    memo[cur] = 0.0
+                    evals += 1
+                    stack.pop()
+                    continue
+                # Decrement one field: fields are independent bit
+                # ranges and the decremented count is positive, so a
+                # plain word subtraction never borrows across fields.
+                if j_sel < OMEGA_FIELDS_PER_WORD:
+                    child_j = (cur_lo - (one << np.int64(j_sel * OMEGA_BITS)), cur_hi)
+                else:
+                    child_j = (
+                        cur_lo,
+                        cur_hi
+                        - (one << np.int64((j_sel - OMEGA_FIELDS_PER_WORD) * OMEGA_BITS)),
+                    )
+                if i_sel < OMEGA_FIELDS_PER_WORD:
+                    child_i = (cur_lo - (one << np.int64(i_sel * OMEGA_BITS)), cur_hi)
+                else:
+                    child_i = (
+                        cur_lo,
+                        cur_hi
+                        - (one << np.int64((i_sel - OMEGA_FIELDS_PER_WORD) * OMEGA_BITS)),
+                    )
+                have_j = child_j in memo
+                have_i = child_i in memo
+                if have_j and have_i:
+                    memo[cur] = (
+                        weight_j[i_sel, j_sel] * memo[child_j]
+                        + weight_i[i_sel, j_sel] * memo[child_i]
+                    )
+                    evals += 1
+                    stack.pop()
+                else:
+                    if not have_j:
+                        stack.append(child_j)
+                    if not have_i:
+                        stack.append(child_i)
+        out[r] = memo[root]
+    return evals

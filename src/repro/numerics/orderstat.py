@@ -62,6 +62,13 @@ class OmegaCalculator:
         self._greater = [l for l, c in enumerate(coeffs) if c > threshold]
         self._lesser = [l for l, c in enumerate(coeffs) if c <= threshold]
         self._memo: Dict[Tuple[int, ...], float] = {}
+        # Per-backend compiled-kernel state: (greater, lesser, weight
+        # tables, packed-key memo), built lazily on first kernel use.
+        # The packed memos are independent of the tuple-keyed _memo;
+        # both paths compute bitwise-identical values, so mixing
+        # backends on one calculator at most repeats work, never
+        # changes a result.
+        self._kernel_state: Dict[str, tuple] = {}
         self.evaluations = 0
 
     @property
@@ -88,7 +95,7 @@ class OmegaCalculator:
             raise NumericalError("counts must be non-negative")
         return self._value(key)
 
-    def value_many(self, counts) -> np.ndarray:
+    def value_many(self, counts, backend: str = "numpy") -> np.ndarray:
         """Batch ``Omega(threshold, k)`` for every row of ``counts``.
 
         ``counts`` is a 2-D array-like of non-negative integers, one
@@ -100,11 +107,20 @@ class OmegaCalculator:
         per-class Omega combination of the path engine into one batched
         lookup per depth instead of one memoized recursion per class.
 
+        ``backend`` selects a compiled kernel (see :mod:`repro.kernels`)
+        for the recursion when one is available and the counts fit the
+        packed-key layout; results are bitwise identical to the default
+        ``"numpy"`` path, which this method silently falls back to
+        otherwise.
+
         Returns the values as a float array aligned with the input rows.
         """
         matrix = np.asarray(counts, dtype=np.int64)
         if matrix.ndim != 2:
-            raise NumericalError("value_many expects a 2-D array of counts")
+            raise NumericalError(
+                "value_many expects a 2-D array of counts, got shape "
+                f"{matrix.shape}"
+            )
         if matrix.shape[1] != len(self._coefficients):
             raise NumericalError(
                 f"count vectors have length {matrix.shape[1]}, expected "
@@ -112,12 +128,66 @@ class OmegaCalculator:
             )
         if matrix.size and int(matrix.min()) < 0:
             raise NumericalError("counts must be non-negative")
+        if backend != "numpy" and matrix.size:
+            values = self._value_many_kernel(matrix, backend)
+            if values is not None:
+                return values
         memo = self._memo
         keys = list(map(tuple, matrix.tolist()))
         missing = [key for key in dict.fromkeys(keys) if key not in memo]
         if missing:
             self._evaluate_batch(missing)
         return np.array([memo[key] for key in keys], dtype=float)
+
+    def _value_many_kernel(self, matrix: np.ndarray, backend: str):
+        """Kernel-backed :meth:`value_many`, or ``None`` to fall back.
+
+        Falls back (returning ``None``) when the backend has no kernel
+        set, the group count exceeds the packed-key layout, or any
+        count overflows a packed field — the NumPy path handles every
+        such case.
+        """
+        # Local import: keeps repro.numerics importable without pulling
+        # in the obs layer at module-import time.
+        from repro import kernels as kernels_mod
+
+        if len(self._coefficients) > kernels_mod.OMEGA_MAX_GROUPS:
+            return None
+        if int(matrix.max()) > kernels_mod.OMEGA_MAX_COUNT:
+            return None
+        kernel_set = kernels_mod.active_kernels(backend)
+        if kernel_set is None:
+            return None
+        matrix = np.ascontiguousarray(matrix)
+        state = self._kernel_state.get(kernel_set.backend)
+        if state is None:
+            num_groups = len(self._coefficients)
+            # Per-(i, j) recursion weights with the exact scalar
+            # arithmetic of _split, as in _evaluate_batch.
+            weight_j = np.zeros((num_groups, num_groups), dtype=np.float64)
+            weight_i = np.zeros((num_groups, num_groups), dtype=np.float64)
+            for i in self._greater:
+                for j in self._lesser:
+                    c_i = self._coefficients[i]
+                    c_j = self._coefficients[j]
+                    weight_j[i, j] = (c_i - self._threshold) / (c_i - c_j)
+                    weight_i[i, j] = (self._threshold - c_j) / (c_i - c_j)
+            state = (
+                np.asarray(self._greater, dtype=np.int64),
+                np.asarray(self._lesser, dtype=np.int64),
+                weight_j,
+                weight_i,
+                kernel_set.make_omega_memo(),
+            )
+            self._kernel_state[kernel_set.backend] = state
+        greater, lesser, weight_j, weight_i, memo = state
+        values = np.empty(matrix.shape[0], dtype=np.float64)
+        self.evaluations += int(
+            kernel_set.omega_eval(
+                matrix, greater, lesser, weight_j, weight_i, memo, values
+            )
+        )
+        return values
 
     def _split(self, key: Tuple[int, ...]):
         """Base-case value, or the two child keys with their weights.

@@ -199,6 +199,13 @@ class TestValueMany:
         with pytest.raises(NumericalError):
             calculator.value_many([[1, -2]])  # negative count
 
+    def test_non_2d_error_names_the_offending_shape(self):
+        calculator = OmegaCalculator([2.0, 0.0], threshold=1.0)
+        with pytest.raises(NumericalError, match=r"got shape \(2,\)"):
+            calculator.value_many([1, 2])
+        with pytest.raises(NumericalError, match=r"got shape \(1, 1, 2\)"):
+            calculator.value_many([[[1, 2]]])
+
 
 class TestConditionalProbability:
     def test_impulses_alone_exceed_bound(self):

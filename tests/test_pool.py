@@ -134,6 +134,9 @@ class TestContextTransfer:
             assert attached.state_level == list(context.state_level)
             assert attached.num_states == context.num_states
             assert attached.strategy == context.strategy
+            # Workers inherit the resolved kernel backend.
+            assert descriptor.kernels == context.kernels
+            assert attached.kernels == context.kernels
             assert attached.pmf.tobytes() == np.ascontiguousarray(
                 context.pmf
             ).tobytes()
