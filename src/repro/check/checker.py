@@ -51,6 +51,7 @@ from repro.logic.ast import (
     TrueFormula,
     Until,
 )
+from repro.diag.lints import lint_formula
 from repro.logic.parser import parse_formula
 from repro.mrm.model import MRM
 from repro.obs import Collector, ErrorBudget, RunReport, get_collector, use_collector
@@ -332,6 +333,16 @@ class ModelChecker:
         before = self._engine_cache.stats
         start = time.perf_counter()
         with use_collector(collector), use_guard(guard if guard.enabled else None):
+            # The formula parsed (errors would have raised in _coerce);
+            # record the lint verdict so reports show what was checked
+            # under vacuous bounds or measure-zero reward points.
+            lint_warnings = lint_formula(parsed)
+            collector.event(
+                "diag.count",
+                errors=0,
+                warnings=len(lint_warnings),
+                codes=",".join(sorted({d.code for d in lint_warnings})),
+            )
             with collector.span("check", formula=str(parsed)) as root:
                 states = self._sat(parsed)
         wall_seconds = time.perf_counter() - start

@@ -50,6 +50,22 @@ A ``report`` subcommand compares two saved report files::
 printing wall-clock, phase, error-budget and trust deltas for the
 formulas the two runs share.
 
+A ``lint`` subcommand checks sources without running the checker::
+
+    mrmc-impulse lint [--format {text,json}] FILE...
+
+``.mrm`` files run the full front-end pipeline (lex/parse with
+multi-error recovery, semantic checks, compile, model lints); any
+other file is read as CSRL formulas, one per line (``#`` comments and
+blank lines skipped).  Text output uses the classic caret format
+(``file:line:col: severity[CODE]: message`` plus a source excerpt);
+``--format json`` emits the ``repro.diagnostics/1`` document described
+in ``docs/diagnostics.md``.  Exit status is 1 when any *error* was
+found (warnings alone exit 0), 2 for unreadable files.
+
+When a parse fails in the main checking pipeline, the same caret
+diagnostics are printed to stderr after the one-line summary.
+
 Formulas are read one per line, either from ``--formula/-f`` arguments
 or from standard input.  Empty lines and lines starting with ``#`` are
 skipped.  States in the output are 1-based, matching the file formats.
@@ -64,6 +80,12 @@ import sys
 from typing import List, Optional
 
 from repro.check.checker import CheckOptions, ModelChecker
+from repro.diag import (
+    diagnostics_payload,
+    lint_formula_source,
+    lint_model_source,
+    render_diagnostics,
+)
 from repro.exceptions import ReproError
 from repro.io.bundle import load_mrm
 from repro.lang.compiler import load_model
@@ -202,6 +224,95 @@ def _report_main(argv: List[str]) -> int:
     return 0
 
 
+def _rebase_line(diagnostic, line_offset: int):
+    """Shift a diagnostic's span down by ``line_offset`` lines.
+
+    Formula files are linted one line at a time, so the per-line spans
+    (always line 1) must be re-anchored to the file line.
+    """
+    if diagnostic.span is None or line_offset == 0:
+        return diagnostic
+    span = dataclasses.replace(
+        diagnostic.span,
+        line=diagnostic.span.line + line_offset,
+        end_line=diagnostic.span.end_line + line_offset,
+    )
+    return dataclasses.replace(diagnostic, span=span)
+
+
+def _lint_file(path: str):
+    """Diagnostics for one file (source text, diagnostic list)."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    if path.endswith(".mrm"):
+        return source, lint_model_source(source)
+    diagnostics = []
+    for index, line in enumerate(source.splitlines()):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        for diagnostic in lint_formula_source(line.rstrip()):
+            diagnostics.append(_rebase_line(diagnostic, index))
+    return source, diagnostics
+
+
+def _lint_main(argv: List[str]) -> int:
+    """The ``lint`` subcommand: batch front-end checks, no model run."""
+    parser = argparse.ArgumentParser(
+        prog="mrmc-impulse lint",
+        description="lint .mrm models and CSRL formula files without "
+        "running the checker",
+    )
+    parser.add_argument(
+        "files",
+        nargs="+",
+        metavar="FILE",
+        help=".mrm model, or a text file of CSRL formulas (one per line)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text with caret excerpts)",
+    )
+    args = parser.parse_args(argv)
+    per_file = []
+    sources = {}
+    for path in args.files:
+        try:
+            source, diagnostics = _lint_file(path)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        sources[path] = source
+        per_file.append((path, diagnostics))
+    payload = diagnostics_payload(per_file)
+    if args.format == "json":
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        for path, diagnostics in per_file:
+            if diagnostics:
+                print(
+                    render_diagnostics(
+                        diagnostics, source=sources[path], filename=path
+                    )
+                )
+        summary = payload["summary"]
+        print(
+            f"{summary['files']} file(s): "
+            f"{summary['errors']} error(s), {summary['warnings']} warning(s)"
+        )
+    return 1 if payload["summary"]["errors"] else 0
+
+
+def _print_error_diagnostics(error: BaseException, source: Optional[str]) -> None:
+    """Caret excerpts for a raised ParseError, when it carries any."""
+    diagnostics = getattr(error, "diagnostics", ())
+    if diagnostics:
+        print(render_diagnostics(diagnostics, source=source), file=sys.stderr)
+
+
 def _print_report(report: RunReport) -> None:
     """Render one run report as the --verbose per-phase table."""
     print(f"  wall time: {report.wall_seconds * 1e3:.3f} ms")
@@ -303,6 +414,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "report":
         return _report_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return _lint_main(argv[1:])
     parser = _build_argument_parser()
     args = parser.parse_args(argv)
 
@@ -369,6 +482,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             declared_formulas = None
     except (ReproError, OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
+        if args.tra.endswith(".mrm"):
+            try:
+                with open(args.tra, encoding="utf-8") as handle:
+                    model_source = handle.read()
+            except OSError:
+                model_source = None
+            _print_error_diagnostics(error, model_source)
         return 2
 
     checker = ModelChecker(model, options)
@@ -379,6 +499,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             result = checker.check(formula)
         except ReproError as error:
             print(f"error: {formula}: {error}", file=sys.stderr)
+            _print_error_diagnostics(error, formula)
             status = 1
             continue
         states = sorted(result.states)

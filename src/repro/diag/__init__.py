@@ -1,0 +1,55 @@
+"""Shared diagnostics engine for the CSRL and ``.mrm`` front ends.
+
+The package splits into four layers:
+
+* :mod:`repro.diag.core` — :class:`Span`, :class:`Diagnostic`,
+  :class:`DiagnosticSink` and the :func:`did_you_mean` suggestion
+  helper;
+* :mod:`repro.diag.codes` — the stable, append-only error-code
+  catalogue (``CSRL0xx``, ``MRM1xx``/``2xx``/``3xx``);
+* :mod:`repro.diag.render` — caret excerpts and the
+  ``repro.diagnostics/1`` JSON document of ``mrmc-impulse lint``;
+* :mod:`repro.diag.lints` — semantic lints over formulas, built MRMs
+  and ``.mrm`` source files.
+
+Both parsers emit into a :class:`DiagnosticSink` and *recover* instead
+of aborting, so a single run reports every error; the raised
+:class:`~repro.exceptions.ParseError` summarizes the first one and
+carries the full list as ``error.diagnostics``.
+"""
+
+from repro.diag.codes import CATALOG, describe, is_known_code, severity_of
+from repro.diag.core import Diagnostic, DiagnosticSink, Span, did_you_mean
+from repro.diag.lints import (
+    lint_formula,
+    lint_formula_source,
+    lint_model,
+    lint_model_source,
+)
+from repro.diag.render import (
+    DIAGNOSTICS_SCHEMA,
+    diagnostics_payload,
+    render_diagnostic,
+    render_diagnostics,
+    validate_diagnostics_json,
+)
+
+__all__ = [
+    "CATALOG",
+    "describe",
+    "is_known_code",
+    "severity_of",
+    "Diagnostic",
+    "DiagnosticSink",
+    "Span",
+    "did_you_mean",
+    "lint_formula",
+    "lint_formula_source",
+    "lint_model",
+    "lint_model_source",
+    "DIAGNOSTICS_SCHEMA",
+    "diagnostics_payload",
+    "render_diagnostic",
+    "render_diagnostics",
+    "validate_diagnostics_json",
+]

@@ -1,0 +1,96 @@
+"""The stable error-code catalogue.
+
+Codes are grouped by front end and phase:
+
+* ``CSRL0xx`` — CSRL formula grammar (lexical and syntactic errors);
+* ``CSRL02x`` — CSRL semantic lints (warnings on well-formed formulas);
+* ``MRM1xx`` — ``.mrm`` lexer;
+* ``MRM2xx`` — ``.mrm`` parser;
+* ``MRM3xx`` — ``.mrm``/MRM semantic checks and lints.
+
+Every code a parser or lint pass can emit is listed here with its
+default severity and a one-line description; ``docs/diagnostics.md``
+renders this table for users.  Codes are append-only: a released code
+never changes meaning or is reused.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["CATALOG", "describe", "severity_of", "is_known_code"]
+
+#: code -> (default severity, description)
+CATALOG: Dict[str, Tuple[str, str]] = {
+    # ------------------------------------------------------------------
+    # CSRL formula grammar
+    # ------------------------------------------------------------------
+    "CSRL001": ("error", "unexpected character in a formula"),
+    "CSRL002": ("error", "malformed number literal (e.g. '1.2.3', '5..2', '1e+')"),
+    "CSRL003": ("error", "unexpected end of formula"),
+    "CSRL004": ("error", "a specific token was expected but something else was found"),
+    "CSRL005": ("error", "unexpected token"),
+    "CSRL006": ("error", "keyword cannot start a state formula"),
+    "CSRL007": ("error", "expected a comparison operator (<, <=, >, >=)"),
+    "CSRL008": ("error", "expected 'U' between the operands of an until formula"),
+    "CSRL009": ("error", "interval upper bound lies below its lower bound"),
+    "CSRL010": ("error", "probability bound outside [0, 1]"),
+    "CSRL011": ("error", "infinity (~) is only allowed as an interval upper bound"),
+    "CSRL012": ("error", "expected a number in an interval bound"),
+    "CSRL013": ("error", "unexpected trailing input after a complete formula"),
+    "CSRL014": ("error", "empty formula"),
+    # ------------------------------------------------------------------
+    # CSRL lints (well-formed but suspicious formulas)
+    # ------------------------------------------------------------------
+    "CSRL020": ("warning", "vacuous probability bound (every state satisfies it)"),
+    "CSRL021": ("warning", "explicitly written unbounded interval [0,~] (omit it)"),
+    "CSRL022": ("warning", "point reward interval [r,r] with r > 0 (typically measure zero)"),
+    # ------------------------------------------------------------------
+    # .mrm lexer
+    # ------------------------------------------------------------------
+    "MRM101": ("error", "unexpected character in model source"),
+    "MRM102": ("error", "unterminated string literal"),
+    "MRM103": ("error", "malformed number literal"),
+    # ------------------------------------------------------------------
+    # .mrm parser
+    # ------------------------------------------------------------------
+    "MRM201": ("error", "unexpected end of model source"),
+    "MRM202": ("error", "a specific token was expected but something else was found"),
+    "MRM203": ("error", "chained comparison (comparisons are non-associative; parenthesize)"),
+    "MRM204": ("error", "expected a declaration (const/var/label/reward/formula or '[')"),
+    "MRM205": ("error", "label and formula names must be non-empty"),
+    "MRM206": ("error", "unexpected token in an expression"),
+    "MRM207": ("error", "empty model source"),
+    "MRM208": ("error", "expected 'state' or 'impulse' after 'reward'"),
+    # ------------------------------------------------------------------
+    # .mrm / MRM semantic checks and lints
+    # ------------------------------------------------------------------
+    "MRM301": ("warning", "state unreachable from the initial state"),
+    "MRM302": ("warning", "absorbing state carries a positive state reward (accumulates forever)"),
+    "MRM303": ("warning", "rate row sums to zero (absorbing state)"),
+    "MRM304": ("error", "impulse reward declared for an action no command carries"),
+    "MRM305": ("warning", "command can never fire (guard unsatisfiable on reachable states)"),
+    "MRM306": ("warning", "label holds in no reachable state"),
+    "MRM307": ("error", "semantic error while compiling the model"),
+    "MRM308": ("error", "declared formula is not valid CSRL"),
+}
+
+
+def describe(code: str) -> str:
+    """One-line description of a catalogued code."""
+    try:
+        return CATALOG[code][1]
+    except KeyError:
+        raise KeyError(f"unknown diagnostic code {code!r}") from None
+
+
+def severity_of(code: str) -> str:
+    """Default severity (``"error"``/``"warning"``) of a catalogued code."""
+    try:
+        return CATALOG[code][0]
+    except KeyError:
+        raise KeyError(f"unknown diagnostic code {code!r}") from None
+
+
+def is_known_code(code: str) -> bool:
+    return code in CATALOG

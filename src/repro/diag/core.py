@@ -1,0 +1,289 @@
+"""Core diagnostics model: spans, diagnostics, and the collecting sink.
+
+Both front ends (the CSRL formula grammar of :mod:`repro.logic.parser`
+and the guarded-command ``.mrm`` language of :mod:`repro.lang`) report
+problems through the same three types:
+
+* :class:`Span` — a line/column *range* in the source text (1-based,
+  end-exclusive columns), optionally carrying the flat character offset
+  for single-line formula sources;
+* :class:`Diagnostic` — one finding: a stable error code from
+  :mod:`repro.diag.codes` (``CSRL010``, ``MRM203``, ...), a severity
+  (``error`` or ``warning``), a message, the span, and an optional
+  "did you mean" suggestion;
+* :class:`DiagnosticSink` — the collector the parsers emit into.
+  Parsers *recover* instead of aborting (synchronizing at ``;``/``]``/
+  declaration keywords), so one run reports every error; at the end,
+  :meth:`DiagnosticSink.raise_if_errors` raises a single
+  :class:`~repro.exceptions.ParseError` summarizing the first error and
+  carrying the complete diagnostic list for callers that want all of
+  them.
+
+The :func:`did_you_mean` helper produces the suggestion strings for
+near-miss keywords, labels and action names.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.diag.codes import severity_of
+from repro.exceptions import ParseError
+
+__all__ = [
+    "Span",
+    "Diagnostic",
+    "DiagnosticSink",
+    "did_you_mean",
+]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A source range: 1-based lines and columns, end-exclusive columns.
+
+    A single character at line 3, column 5 is ``Span(3, 5, 3, 6)``.
+    ``offset`` is the flat character offset of the start when known
+    (CSRL formulas are addressed by offset; ``.mrm`` files by
+    line/column).
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+    offset: Optional[int] = field(default=None, compare=False)
+
+    @staticmethod
+    def from_offsets(source: str, start: int, end: Optional[int] = None) -> "Span":
+        """Build a span from flat character offsets into ``source``.
+
+        ``end`` defaults to ``start + 1`` (a single character); both are
+        clamped to the source length so "unexpected end of input" spans
+        stay printable.
+        """
+        start = max(0, min(int(start), len(source)))
+        stop = start + 1 if end is None else max(start, min(int(end), len(source) + 1))
+        line = source.count("\n", 0, start) + 1
+        bol = source.rfind("\n", 0, start) + 1
+        column = start - bol + 1
+        end_line = source.count("\n", 0, max(start, stop - 1)) + 1
+        if end_line == line:
+            end_column = column + (stop - start)
+        else:
+            end_bol = source.rfind("\n", 0, max(start, stop - 1)) + 1
+            end_column = max(start, stop - 1) - end_bol + 2
+        return Span(line, column, end_line, end_column, offset=start)
+
+    @staticmethod
+    def at(line: int, column: int, length: int = 1) -> "Span":
+        """A single-line span of ``length`` characters."""
+        length = max(1, int(length))
+        return Span(int(line), int(column), int(line), int(column) + length)
+
+    @property
+    def length(self) -> int:
+        """Character length for single-line spans (1 for multi-line)."""
+        if self.end_line != self.line:
+            return 1
+        return max(1, self.end_column - self.column)
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a front end or lint pass.
+
+    ``code`` is stable across releases (documented in
+    ``docs/diagnostics.md``); tools may match on it.  ``severity`` is
+    ``"error"`` or ``"warning"``.  ``span`` is ``None`` only for
+    problems with no usable location (an empty input, a semantic error
+    reported by the compiler without source attribution).
+    """
+
+    code: str
+    severity: str
+    message: str
+    span: Optional[Span] = None
+    suggestion: Optional[str] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the ``repro.diagnostics/1`` item shape)."""
+        payload: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "line": self.span.line if self.span else None,
+            "column": self.span.column if self.span else None,
+            "end_line": self.span.end_line if self.span else None,
+            "end_column": self.span.end_column if self.span else None,
+            "suggestion": self.suggestion,
+        }
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "Diagnostic":
+        """Inverse of :meth:`to_dict` (used by the JSON round-trip tests)."""
+        span = None
+        if payload.get("line") is not None:
+            span = Span(
+                payload["line"],
+                payload["column"],
+                payload.get("end_line", payload["line"]),
+                payload.get("end_column", payload["column"] + 1),
+            )
+        return Diagnostic(
+            code=payload["code"],
+            severity=payload["severity"],
+            message=payload["message"],
+            span=span,
+            suggestion=payload.get("suggestion"),
+        )
+
+    def __str__(self) -> str:
+        location = f" at {self.span}" if self.span else ""
+        text = f"[{self.code}] {self.message}{location}"
+        if self.suggestion:
+            text += f" (did you mean {self.suggestion!r}?)"
+        return text
+
+
+class DiagnosticSink:
+    """Collects :class:`Diagnostic` records during a parse or lint run.
+
+    The sink is deliberately dumb: parsers decide *where* to recover;
+    the sink only accumulates, de-duplicates exact repeats (recovery
+    paths occasionally revisit a token), and converts to the raised
+    :class:`~repro.exceptions.ParseError` summary.
+    """
+
+    def __init__(self) -> None:
+        self._diagnostics: List[Diagnostic] = []
+        self._seen: set = set()
+
+    # ------------------------------------------------------------------
+    def emit(self, diagnostic: Diagnostic) -> None:
+        key = (
+            diagnostic.code,
+            diagnostic.message,
+            diagnostic.span.line if diagnostic.span else None,
+            diagnostic.span.column if diagnostic.span else None,
+        )
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._diagnostics.append(diagnostic)
+
+    def error(
+        self,
+        code: str,
+        message: str,
+        span: Optional[Span] = None,
+        suggestion: Optional[str] = None,
+    ) -> Diagnostic:
+        diagnostic = Diagnostic(code, "error", message, span, suggestion)
+        self.emit(diagnostic)
+        return diagnostic
+
+    def warning(
+        self,
+        code: str,
+        message: str,
+        span: Optional[Span] = None,
+        suggestion: Optional[str] = None,
+    ) -> Diagnostic:
+        diagnostic = Diagnostic(code, "warning", message, span, suggestion)
+        self.emit(diagnostic)
+        return diagnostic
+
+    def report(
+        self,
+        code: str,
+        message: str,
+        span: Optional[Span] = None,
+        suggestion: Optional[str] = None,
+    ) -> Diagnostic:
+        """Emit with the code's catalogued default severity."""
+        diagnostic = Diagnostic(code, severity_of(code), message, span, suggestion)
+        self.emit(diagnostic)
+        return diagnostic
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        for diagnostic in diagnostics:
+            self.emit(diagnostic)
+
+    # ------------------------------------------------------------------
+    @property
+    def diagnostics(self) -> Tuple[Diagnostic, ...]:
+        return tuple(self._diagnostics)
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.is_error)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if not d.is_error)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.is_error for d in self._diagnostics)
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def __iter__(self):
+        return iter(self._diagnostics)
+
+    # ------------------------------------------------------------------
+    def raise_if_errors(self) -> None:
+        """Raise a :class:`~repro.exceptions.ParseError` when any error
+        diagnostic was collected.
+
+        The exception message summarizes the first error (with its code
+        and location) and says how many more there are; the full list —
+        warnings included — rides along as ``error.diagnostics``.
+        """
+        errors = self.errors
+        if not errors:
+            return
+        first = errors[0]
+        message = f"[{first.code}] {first.message}"
+        if first.suggestion:
+            message += f" (did you mean {first.suggestion!r}?)"
+        position = None
+        if first.span is not None:
+            position = first.span.offset
+            if position is None:
+                message += f" at {first.span}"
+        if len(errors) > 1:
+            message += f" (and {len(errors) - 1} more error{'s' if len(errors) > 2 else ''})"
+        raise ParseError(message, position=position, diagnostics=self.diagnostics)
+
+
+def did_you_mean(word: str, candidates: Sequence[str]) -> Optional[str]:
+    """The closest near-miss among ``candidates``, or ``None``.
+
+    Used for suggestion strings on unknown keywords, labels, state
+    names and actions.  Conservative on purpose: a suggestion that is
+    wrong is worse than none.
+    """
+    if not word or not candidates:
+        return None
+    matches = difflib.get_close_matches(word, list(candidates), n=1, cutoff=0.6)
+    if matches and matches[0] != word:
+        return matches[0]
+    # Case-insensitive exact hit beats fuzzy distance ("tt" -> "TT").
+    lowered = {c.lower(): c for c in candidates}
+    exact = lowered.get(word.lower())
+    if exact is not None and exact != word:
+        return exact
+    return matches[0] if matches else None

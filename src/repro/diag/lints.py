@@ -1,0 +1,219 @@
+"""Semantic lints over formulas, models and ``.mrm`` source files.
+
+Three entry points, all returning plain lists of
+:class:`~repro.diag.core.Diagnostic`:
+
+* :func:`lint_formula` — AST-level warnings on a *well-formed* CSRL
+  formula (vacuous probability bounds, measure-zero reward points);
+* :func:`lint_model` — warnings on a built :class:`~repro.mrm.model.MRM`
+  (unreachable states, absorbing states that keep accumulating state
+  reward, zero-rate rows);
+* :func:`lint_model_source` — the full ``.mrm`` pipeline used by
+  ``mrmc-impulse lint``: lex + parse with multi-error recovery, then
+  AST-level semantic checks (impulse rewards on undeclared actions,
+  invalid declared formulas), then — when those pass — a compile and
+  the model/formula lints with source spans where available.
+
+Errors make ``mrmc-impulse lint`` exit non-zero; warnings do not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.diag.core import Diagnostic, DiagnosticSink, did_you_mean
+from repro.exceptions import ModelError, ParseError
+from repro.logic.ast import (
+    Comparison,
+    Next,
+    Prob,
+    StateFormula,
+    Steady,
+    Until,
+)
+from repro.mrm.model import MRM
+
+__all__ = [
+    "lint_formula",
+    "lint_formula_source",
+    "lint_model",
+    "lint_model_source",
+]
+
+
+# ----------------------------------------------------------------------
+# formula lints (AST level)
+# ----------------------------------------------------------------------
+def _bound_is_vacuous(comparison: Comparison, bound: float) -> bool:
+    """Whether every probability in [0, 1] satisfies the bound."""
+    if comparison is Comparison.GE and bound == 0.0:
+        return True
+    if comparison is Comparison.LE and bound == 1.0:
+        return True
+    return False
+
+
+def lint_formula(formula: StateFormula) -> List[Diagnostic]:
+    """Warnings for a well-formed formula (no spans: AST input)."""
+    sink = DiagnosticSink()
+    for node in formula.subformulas():
+        if isinstance(node, (Prob, Steady)):
+            if _bound_is_vacuous(node.comparison, node.bound):
+                operator = "P" if isinstance(node, Prob) else "S"
+                sink.warning(
+                    "CSRL020",
+                    f"bound {operator}({node.comparison}{node.bound:g}) is vacuous: "
+                    "every state satisfies it",
+                )
+        if isinstance(node, (Next, Until)):
+            reward = node.reward_bound
+            if reward.is_point and reward.lower > 0.0:
+                sink.warning(
+                    "CSRL022",
+                    f"point reward interval [{reward.lower:g},{reward.upper:g}] "
+                    "is met only when the accumulated reward is exactly "
+                    f"{reward.lower:g}; for continuously accumulating rewards "
+                    "this path set typically has probability 0",
+                )
+    return list(sink.diagnostics)
+
+
+def lint_formula_source(text: str) -> List[Diagnostic]:
+    """Parse one CSRL formula and return every diagnostic (no raise).
+
+    Syntax errors come back as error diagnostics (multi-error recovery:
+    one run reports all of them); on a clean parse the AST lints run
+    on top.
+    """
+    from repro.logic.parser import parse_formula
+
+    sink = DiagnosticSink()
+    formula = parse_formula(text, sink=sink)
+    if not sink.has_errors and formula is not None:
+        sink.extend(lint_formula(formula))
+    return list(sink.diagnostics)
+
+
+# ----------------------------------------------------------------------
+# model lints (built MRM)
+# ----------------------------------------------------------------------
+def lint_model(
+    model: MRM,
+    initial_states: Optional[Sequence[int]] = None,
+) -> List[Diagnostic]:
+    """Warnings on a built MRM.
+
+    ``initial_states`` enables the reachability lint (MRM301); without
+    it — a bare ``.tra`` bundle has no distinguished initial state —
+    only the per-state lints run.
+    """
+    from repro.graphs.reachability import forward_reachable
+
+    sink = DiagnosticSink()
+    n = model.num_states
+    if initial_states is not None:
+        reachable = forward_reachable(model.rates, initial_states)
+        unreachable = sorted(set(range(n)) - reachable)
+        for state in unreachable:
+            sink.warning(
+                "MRM301",
+                f"state {model.state_names[state]!r} (index {state}) is "
+                "unreachable from the initial state",
+            )
+    for state in range(n):
+        if model.is_absorbing(state):
+            name = model.state_names[state]
+            sink.warning(
+                "MRM303",
+                f"rate row of state {name!r} (index {state}) sums to zero "
+                "(the state is absorbing)",
+            )
+            if model.state_reward(state) > 0.0:
+                sink.warning(
+                    "MRM302",
+                    f"absorbing state {name!r} (index {state}) carries state "
+                    f"reward rate {model.state_reward(state):g}: accumulated "
+                    "reward grows without bound once the state is entered",
+                )
+    return list(sink.diagnostics)
+
+
+# ----------------------------------------------------------------------
+# full .mrm source lint
+# ----------------------------------------------------------------------
+def lint_model_source(source: str) -> List[Diagnostic]:
+    """Lex, parse, semantically check and lint ``.mrm`` source text."""
+    from repro.lang.compiler import compile_model
+    from repro.lang.parser import parse_model_collect
+    from repro.logic.parser import parse_formula
+
+    sink = DiagnosticSink()
+    ast = parse_model_collect(source, sink)
+    if sink.has_errors or ast is None:
+        return list(sink.diagnostics)
+
+    # AST-level semantic checks that have spans.
+    declared_actions = sorted({c.action for c in ast.commands if c.action})
+    for declaration in ast.impulse_rewards:
+        if declaration.action not in declared_actions:
+            sink.error(
+                "MRM304",
+                f"impulse reward declared for action {declaration.action!r}, "
+                "but no command carries that action",
+                span=declaration.span,
+                suggestion=did_you_mean(declaration.action, declared_actions),
+            )
+    for declaration in ast.formulas:
+        formula_sink = DiagnosticSink()
+        parsed = parse_formula(declaration.text, sink=formula_sink)
+        if formula_sink.has_errors:
+            nested = "; ".join(
+                f"[{d.code}] {d.message}" for d in formula_sink.errors
+            )
+            sink.error(
+                "MRM308",
+                f"formula {declaration.name!r} is not valid CSRL: {nested}",
+                span=declaration.span,
+            )
+        elif parsed is not None:
+            for warning in lint_formula(parsed):
+                sink.warning(
+                    warning.code,
+                    f"in formula {declaration.name!r}: {warning.message}",
+                    span=declaration.span,
+                )
+    if sink.has_errors:
+        return list(sink.diagnostics)
+
+    try:
+        compiled = compile_model(source)
+    except (ModelError, ParseError) as error:
+        sink.error("MRM307", str(error))
+        return list(sink.diagnostics)
+
+    # Dead commands and never-true labels need the reachable state space.
+    from repro.lang.expressions import evaluate_boolean
+
+    environments: List[Dict[str, float]] = []
+    for valuation in compiled.states:
+        environment = dict(compiled.constants)
+        environment.update(zip(compiled.variable_names, valuation))
+        environments.append(environment)
+    for command in ast.commands:
+        if not any(evaluate_boolean(command.guard, env) for env in environments):
+            label = f"[{command.action}]" if command.action else "[]"
+            sink.warning(
+                "MRM305",
+                f"command {label} can never fire: its guard is unsatisfiable "
+                "on the reachable state space",
+                span=command.span,
+            )
+    for declaration in ast.labels:
+        if not compiled.mrm.states_with_label(declaration.name):
+            sink.warning(
+                "MRM306",
+                f"label {declaration.name!r} holds in no reachable state",
+                span=declaration.span,
+            )
+    sink.extend(lint_model(compiled.mrm, initial_states=(compiled.initial_state,)))
+    return list(sink.diagnostics)

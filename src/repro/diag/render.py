@@ -1,0 +1,186 @@
+"""Human- and machine-readable rendering of diagnostics.
+
+:func:`render_diagnostic` produces the classic compiler format — a
+``file:line:column: severity[CODE]: message`` header followed by the
+offending source line and a caret run under the span::
+
+    model.mrm:3:14: error[MRM203]: comparisons are non-associative; parenthesize
+      [go] a < b < c -> 1 : x' = 1;
+                 ^
+
+:func:`diagnostics_payload` builds the ``repro.diagnostics/1`` JSON
+document emitted by ``mrmc-impulse lint --format json``, and
+:func:`validate_diagnostics_json` checks a parsed payload against that
+schema (the round-trip contract the CLI tests pin down).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.diag.codes import is_known_code
+from repro.diag.core import Diagnostic
+
+__all__ = [
+    "render_diagnostic",
+    "render_diagnostics",
+    "DIAGNOSTICS_SCHEMA",
+    "diagnostics_payload",
+    "validate_diagnostics_json",
+]
+
+#: Schema identifier of the lint JSON output.
+DIAGNOSTICS_SCHEMA = "repro.diagnostics/1"
+
+
+def _source_line(source: str, line: int) -> Optional[str]:
+    lines = source.splitlines()
+    if 1 <= line <= len(lines):
+        return lines[line - 1]
+    return None
+
+
+def render_diagnostic(
+    diagnostic: Diagnostic,
+    source: Optional[str] = None,
+    filename: Optional[str] = None,
+) -> str:
+    """Render one diagnostic, with a caret excerpt when ``source`` is given."""
+    span = diagnostic.span
+    location = ""
+    if filename:
+        location = f"{filename}:"
+    if span is not None:
+        location += f"{span.line}:{span.column}:"
+    if location:
+        location += " "
+    parts = [f"{location}{diagnostic.severity}[{diagnostic.code}]: {diagnostic.message}"]
+    if source is not None and span is not None:
+        excerpt = _source_line(source, span.line)
+        if excerpt is not None:
+            width = span.length
+            if span.line == span.end_line:
+                width = min(width, max(1, len(excerpt) - span.column + 2))
+            parts.append(f"  {excerpt}")
+            parts.append("  " + " " * (span.column - 1) + "^" * max(1, width))
+    if diagnostic.suggestion:
+        parts.append(f"  = help: did you mean {diagnostic.suggestion!r}?")
+    return "\n".join(parts)
+
+
+def render_diagnostics(
+    diagnostics: Iterable[Diagnostic],
+    source: Optional[str] = None,
+    filename: Optional[str] = None,
+) -> str:
+    """Render a batch, one blank line between entries."""
+    return "\n".join(
+        render_diagnostic(d, source=source, filename=filename) for d in diagnostics
+    )
+
+
+# ----------------------------------------------------------------------
+# JSON document (the `mrmc-impulse lint --format json` contract)
+# ----------------------------------------------------------------------
+def diagnostics_payload(
+    per_file: Sequence[Tuple[str, Sequence[Diagnostic]]],
+) -> Dict[str, Any]:
+    """The ``repro.diagnostics/1`` document for a batch lint run."""
+    files: List[Dict[str, Any]] = []
+    total_errors = 0
+    total_warnings = 0
+    for path, diagnostics in per_file:
+        errors = sum(1 for d in diagnostics if d.is_error)
+        warnings = len(list(diagnostics)) - errors
+        total_errors += errors
+        total_warnings += warnings
+        files.append(
+            {
+                "path": path,
+                "errors": errors,
+                "warnings": warnings,
+                "diagnostics": [d.to_dict() for d in diagnostics],
+            }
+        )
+    return {
+        "schema": DIAGNOSTICS_SCHEMA,
+        "files": files,
+        "summary": {
+            "files": len(files),
+            "errors": total_errors,
+            "warnings": total_warnings,
+        },
+    }
+
+
+def validate_diagnostics_json(payload: Dict[str, Any]) -> List[Diagnostic]:
+    """Validate a parsed ``repro.diagnostics/1`` document.
+
+    Returns the flat list of :class:`Diagnostic` records on success;
+    raises :class:`ValueError` naming the first violation otherwise.
+    Used by the CLI tests to prove the JSON output round-trips through
+    the documented schema.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("diagnostics payload must be a JSON object")
+    if payload.get("schema") != DIAGNOSTICS_SCHEMA:
+        raise ValueError(
+            f"unknown schema {payload.get('schema')!r}; expected {DIAGNOSTICS_SCHEMA!r}"
+        )
+    files = payload.get("files")
+    summary = payload.get("summary")
+    if not isinstance(files, list):
+        raise ValueError("'files' must be a list")
+    if not isinstance(summary, dict):
+        raise ValueError("'summary' must be an object")
+    collected: List[Diagnostic] = []
+    errors = 0
+    warnings = 0
+    for entry in files:
+        if not isinstance(entry, dict) or "path" not in entry:
+            raise ValueError("each file entry needs a 'path'")
+        diagnostics = entry.get("diagnostics")
+        if not isinstance(diagnostics, list):
+            raise ValueError(f"{entry['path']}: 'diagnostics' must be a list")
+        file_errors = 0
+        file_warnings = 0
+        for item in diagnostics:
+            if not isinstance(item, dict):
+                raise ValueError(f"{entry['path']}: diagnostic items must be objects")
+            for key in ("code", "severity", "message"):
+                if not isinstance(item.get(key), str):
+                    raise ValueError(
+                        f"{entry['path']}: diagnostic missing string field {key!r}"
+                    )
+            if item["severity"] not in ("error", "warning"):
+                raise ValueError(
+                    f"{entry['path']}: bad severity {item['severity']!r}"
+                )
+            if not is_known_code(item["code"]):
+                raise ValueError(
+                    f"{entry['path']}: unknown diagnostic code {item['code']!r}"
+                )
+            for key in ("line", "column", "end_line", "end_column"):
+                value = item.get(key)
+                if value is not None and (not isinstance(value, int) or value < 1):
+                    raise ValueError(
+                        f"{entry['path']}: field {key!r} must be a positive "
+                        f"integer or null, got {value!r}"
+                    )
+            if item["severity"] == "error":
+                file_errors += 1
+            else:
+                file_warnings += 1
+            collected.append(Diagnostic.from_dict(item))
+        if entry.get("errors") != file_errors or entry.get("warnings") != file_warnings:
+            raise ValueError(
+                f"{entry['path']}: per-file error/warning counts disagree with "
+                "the diagnostics list"
+            )
+        errors += file_errors
+        warnings += file_warnings
+    if summary.get("errors") != errors or summary.get("warnings") != warnings:
+        raise ValueError("summary error/warning counts disagree with the files")
+    if summary.get("files") != len(files):
+        raise ValueError("summary file count disagrees with the files list")
+    return collected

@@ -36,20 +36,48 @@ class FormulaError(ReproError):
 
 
 class ParseError(FormulaError):
-    """The CSRL parser rejected its input.
+    """A front end (CSRL formula or ``.mrm`` model) rejected its input.
+
+    Since the front ends recover at synchronization points instead of
+    aborting, one raised ``ParseError`` summarizes a whole run: the
+    message describes the *first* error (with its stable code) and the
+    complete list — warnings included — is available as
+    :attr:`diagnostics`.
 
     Attributes
     ----------
     position:
         Character offset in the input at which parsing failed, or ``None``
         when the error is not tied to a specific offset.
+    diagnostics:
+        Every :class:`repro.diag.Diagnostic` collected during the run
+        (errors and warnings, in source order).  Empty for errors raised
+        outside a sink-driven parse.
     """
 
-    def __init__(self, message: str, position: "int | None" = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        position: "int | None" = None,
+        diagnostics: "tuple | list" = (),
+    ) -> None:
         if position is not None:
             message = f"{message} (at position {position})"
         super().__init__(message)
         self.position = position
+        self.diagnostics = tuple(diagnostics)
+
+    def __reduce__(self):
+        # The appended position suffix must not be re-applied on unpickle.
+        return (_rebuild_parse_error, (type(self), self.args[0], self.position, self.diagnostics))
+
+
+def _rebuild_parse_error(cls, message, position, diagnostics):
+    error = cls.__new__(cls)
+    Exception.__init__(error, message)
+    error.position = position
+    error.diagnostics = diagnostics
+    return error
 
 
 class CheckError(ReproError):

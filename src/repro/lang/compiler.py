@@ -359,8 +359,9 @@ def compile_model(
         try:
             parse_csrl(declaration.text)
         except ParseError as error:
+            location = f" (line {declaration.span.line})" if declaration.span else ""
             raise ModelError(
-                f"formula {declaration.name!r} is not valid CSRL: {error}"
+                f"formula {declaration.name!r}{location} is not valid CSRL: {error}"
             ) from error
         formulas[declaration.name] = declaration.text
 

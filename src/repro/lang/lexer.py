@@ -3,14 +3,22 @@
 Token kinds: keywords (``const var init label reward state impulse
 true false``), identifiers, numbers, strings (double-quoted label
 names), and punctuation/operators.  ``//`` starts a line comment.
+
+Lexical errors carry stable codes (``MRM101``-``MRM103``) and are
+emitted into a :class:`~repro.diag.DiagnosticSink`; the lexer recovers
+(skipping the offending character, or the rest of the line for an
+unterminated string) so one pass reports every problem.  Without an
+explicit sink, :func:`tokenize_model` raises
+:class:`~repro.exceptions.ParseError` summarizing the collected
+diagnostics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
-from repro.exceptions import ParseError
+from repro.diag.core import DiagnosticSink, Span
 
 __all__ = ["LangToken", "tokenize_model"]
 
@@ -65,9 +73,12 @@ class LangToken:
     def location(self) -> str:
         return f"line {self.line}, column {self.column}"
 
+    def span(self, length: Optional[int] = None) -> Span:
+        """Source span of this token (``length`` overrides ``len(text)``)."""
+        return Span.at(self.line, self.column, length or max(1, len(self.text)))
 
-def tokenize_model(source: str) -> List[LangToken]:
-    """Tokenize model source text; raises :class:`ParseError` on junk."""
+
+def _tokenize(source: str, sink: DiagnosticSink) -> List[LangToken]:
     tokens: List[LangToken] = []
     line = 1
     column = 1
@@ -90,8 +101,16 @@ def tokenize_model(source: str) -> List[LangToken]:
             continue
         if ch == '"':
             end = source.find('"', i + 1)
-            if end < 0:
-                raise ParseError(f"unterminated string at line {line}")
+            newline = source.find("\n", i + 1)
+            if end < 0 or (0 <= newline < end):
+                sink.error(
+                    "MRM102",
+                    "unterminated string literal",
+                    Span.at(line, column),
+                )
+                # recover at the end of the line
+                i = newline if newline >= 0 else n
+                continue
             text = source[i + 1 : end]
             tokens.append(LangToken("string", text, line, column))
             column += end - i + 1
@@ -125,10 +144,14 @@ def tokenize_model(source: str) -> List[LangToken]:
             text = source[start:i]
             try:
                 float(text)
-            except ValueError as error:
-                raise ParseError(
-                    f"bad number {text!r} at line {line}"
-                ) from error
+            except ValueError:
+                sink.error(
+                    "MRM103",
+                    f"malformed number literal {text!r}",
+                    Span.at(line, column, len(text)),
+                )
+                # substitute a harmless zero so parsing can continue
+                text = "0"
             tokens.append(LangToken("number", text, line, column))
             column += i - start
             continue
@@ -141,7 +164,28 @@ def tokenize_model(source: str) -> List[LangToken]:
             tokens.append(LangToken(kind, text, line, column))
             column += i - start
             continue
-        raise ParseError(
-            f"unexpected character {ch!r} at line {line}, column {column}"
+        sink.error(
+            "MRM101",
+            f"unexpected character {ch!r}",
+            Span.at(line, column),
         )
+        i += 1
+        column += 1
+    return tokens
+
+
+def tokenize_model(
+    source: str, sink: Optional[DiagnosticSink] = None
+) -> List[LangToken]:
+    """Tokenize model source text.
+
+    With a ``sink``, lexical errors are collected there and the lexer
+    recovers; without one, a :class:`~repro.exceptions.ParseError`
+    summarizing every error is raised.
+    """
+    if sink is not None:
+        return _tokenize(source, sink)
+    own = DiagnosticSink()
+    tokens = _tokenize(source, own)
+    own.raise_if_errors()
     return tokens

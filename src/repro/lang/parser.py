@@ -21,7 +21,15 @@ model; they are parsed for well-formedness at compile time and exposed
 on the compiled artifact.
 
 Expression precedence, loosest first: ``|``, ``&``, comparisons
-(non-associative), ``+ -``, ``* /``, unary ``- !``, atoms.
+(non-associative: ``a < b < c`` is rejected with ``MRM203``), ``+ -``,
+``* /``, unary ``- !``, atoms.
+
+Errors are emitted into a :class:`~repro.diag.DiagnosticSink` with
+stable ``MRM2xx`` codes; the parser panics to the next ``;`` or
+declaration keyword and keeps going, so a single run reports every
+error in the file.  :func:`parse_model_source` raises a summarizing
+:class:`~repro.exceptions.ParseError`; :func:`parse_model_collect`
+returns the (partial) AST and leaves the diagnostics in the sink.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.exceptions import ParseError
+from repro.diag.core import DiagnosticSink, Span, did_you_mean
 from repro.lang.expressions import Binary, Boolean, Expression, Name, Number, Unary
 from repro.lang.lexer import LangToken, tokenize_model
 
@@ -43,13 +51,18 @@ __all__ = [
     "FormulaDecl",
     "ModelAst",
     "parse_model_source",
+    "parse_model_collect",
 ]
+
+_DECL_KEYWORDS = ("const", "var", "label", "reward", "formula")
+_COMPARISON_OPS = ("<=", ">=", "!=", "<", ">", "=")
 
 
 @dataclass(frozen=True)
 class ConstDecl:
     name: str
     value: Expression
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -58,6 +71,7 @@ class VarDecl:
     lower: Expression
     upper: Expression
     initial: Expression
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -66,30 +80,35 @@ class Command:
     guard: Expression
     rate: Expression
     updates: Tuple[Tuple[str, Expression], ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class LabelDecl:
     name: str
     condition: Expression
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class StateRewardDecl:
     condition: Expression
     rate: Expression
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class ImpulseRewardDecl:
     action: str
     value: Expression
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class FormulaDecl:
     name: str
     text: str
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -103,9 +122,14 @@ class ModelAst:
     formulas: List[FormulaDecl] = field(default_factory=list)
 
 
+class _Recover(Exception):
+    """Internal: unwind to the declaration loop after an emitted error."""
+
+
 class _ModelParser:
-    def __init__(self, tokens: List[LangToken]) -> None:
+    def __init__(self, tokens: List[LangToken], sink: DiagnosticSink) -> None:
         self._tokens = tokens
+        self._sink = sink
         self._pos = 0
 
     # ------------------------------------------------------------------
@@ -114,19 +138,37 @@ class _ModelParser:
             return self._tokens[self._pos]
         return None
 
+    def _error(
+        self,
+        code: str,
+        message: str,
+        token: Optional[LangToken] = None,
+        suggestion: Optional[str] = None,
+    ) -> None:
+        span = token.span() if token is not None else self._eof_span()
+        self._sink.error(code, message, span, suggestion)
+
+    def _eof_span(self) -> Span:
+        if self._tokens:
+            last = self._tokens[-1]
+            return Span.at(last.line, last.column + max(1, len(last.text)))
+        return Span.at(1, 1)
+
     def _next(self) -> LangToken:
         token = self._peek()
         if token is None:
-            raise ParseError("unexpected end of model source")
+            self._error("MRM201", "unexpected end of model source")
+            raise _Recover
         self._pos += 1
         return token
 
     def _expect(self, kind: str, what: str) -> LangToken:
         token = self._next()
         if token.kind != kind:
-            raise ParseError(
-                f"expected {what} but found {token.text!r} at {token.location()}"
+            self._error(
+                "MRM202", f"expected {what} but found {token.text!r}", token
             )
+            raise _Recover
         return token
 
     def _at(self, kind: str, text: Optional[str] = None) -> bool:
@@ -137,41 +179,65 @@ class _ModelParser:
             and (text is None or token.text == text)
         )
 
+    def _synchronize(self) -> None:
+        """Panic-mode recovery: skip past the next ``;`` or stop at a
+        token that can start a declaration, whichever comes first."""
+        while True:
+            token = self._peek()
+            if token is None:
+                return
+            if token.kind == ";":
+                self._pos += 1
+                return
+            if token.kind == "[":
+                return
+            if token.kind == "keyword" and token.text in _DECL_KEYWORDS:
+                return
+            self._pos += 1
+
     # ------------------------------------------------------------------
     def parse(self) -> ModelAst:
         ast = ModelAst()
         while self._peek() is not None:
             token = self._peek()
-            if token.kind == "keyword" and token.text == "const":
-                ast.constants.append(self._const())
-            elif token.kind == "keyword" and token.text == "var":
-                ast.variables.append(self._variable())
-            elif token.kind == "keyword" and token.text == "label":
-                ast.labels.append(self._label())
-            elif token.kind == "keyword" and token.text == "reward":
-                self._reward(ast)
-            elif token.kind == "keyword" and token.text == "formula":
-                ast.formulas.append(self._formula())
-            elif token.kind == "[":
-                ast.commands.append(self._command())
-            else:
-                raise ParseError(
-                    f"unexpected {token.text!r} at {token.location()} "
-                    "(expected const/var/label/reward or a '[' command)"
-                )
+            try:
+                if token.kind == "keyword" and token.text == "const":
+                    ast.constants.append(self._const())
+                elif token.kind == "keyword" and token.text == "var":
+                    ast.variables.append(self._variable())
+                elif token.kind == "keyword" and token.text == "label":
+                    ast.labels.append(self._label())
+                elif token.kind == "keyword" and token.text == "reward":
+                    self._reward(ast)
+                elif token.kind == "keyword" and token.text == "formula":
+                    ast.formulas.append(self._formula())
+                elif token.kind == "[":
+                    ast.commands.append(self._command())
+                else:
+                    self._pos += 1
+                    self._error(
+                        "MRM204",
+                        f"unexpected {token.text!r} "
+                        "(expected const/var/label/reward/formula or a '[' command)",
+                        token,
+                        suggestion=did_you_mean(token.text, _DECL_KEYWORDS),
+                    )
+                    raise _Recover
+            except _Recover:
+                self._synchronize()
         return ast
 
     def _const(self) -> ConstDecl:
-        self._next()  # const
-        name = self._expect("ident", "a constant name").text
+        keyword = self._next()  # const
+        name_token = self._expect("ident", "a constant name")
         self._expect("=", "'='")
         value = self._expression()
         self._expect(";", "';'")
-        return ConstDecl(name, value)
+        return ConstDecl(name_token.text, value, span=keyword.span())
 
     def _variable(self) -> VarDecl:
-        self._next()  # var
-        name = self._expect("ident", "a variable name").text
+        keyword = self._next()  # var
+        name_token = self._expect("ident", "a variable name")
         self._expect(":", "':'")
         self._expect("[", "'['")
         lower = self._expression()
@@ -180,19 +246,24 @@ class _ModelParser:
         self._expect("]", "']'")
         init_kw = self._next()
         if init_kw.kind != "keyword" or init_kw.text != "init":
-            raise ParseError(
-                f"expected 'init' at {init_kw.location()}, found {init_kw.text!r}"
+            self._error(
+                "MRM202",
+                f"expected 'init' but found {init_kw.text!r}",
+                init_kw,
+                suggestion=did_you_mean(init_kw.text, ["init"]),
             )
+            raise _Recover
         initial = self._expression()
         self._expect(";", "';'")
-        return VarDecl(name, lower, upper, initial)
+        return VarDecl(name_token.text, lower, upper, initial, span=keyword.span())
 
     def _command(self) -> Command:
-        self._expect("[", "'['")
+        open_token = self._expect("[", "'['")
         action: Optional[str] = None
         if self._at("ident"):
             action = self._next().text
-        self._expect("]", "']'")
+        close = self._expect("]", "']'")
+        close_column = close.column + 1
         guard = self._expression()
         self._expect("->", "'->'")
         rate = self._expression()
@@ -202,7 +273,10 @@ class _ModelParser:
             self._next()
             updates.append(self._update())
         self._expect(";", "';'")
-        return Command(action, guard, rate, tuple(updates))
+        span = Span.at(
+            open_token.line, open_token.column, close_column - open_token.column
+        )
+        return Command(action, guard, rate, tuple(updates), span=span)
 
     def _update(self) -> Tuple[str, Expression]:
         name = self._expect("ident", "a variable name").text
@@ -215,23 +289,31 @@ class _ModelParser:
 
     def _label(self) -> LabelDecl:
         self._next()  # label
-        name = self._expect("string", "a quoted label name").text
-        if not name:
-            raise ParseError("label names must be non-empty")
+        name_token = self._expect("string", "a quoted label name")
+        if not name_token.text:
+            self._error("MRM205", "label names must be non-empty", name_token)
         self._expect("=", "'='")
         condition = self._expression()
         self._expect(";", "';'")
-        return LabelDecl(name, condition)
+        return LabelDecl(
+            name_token.text,
+            condition,
+            span=name_token.span(len(name_token.text) + 2),
+        )
 
     def _formula(self) -> FormulaDecl:
         self._next()  # formula
-        name = self._expect("string", "a quoted formula name").text
-        if not name:
-            raise ParseError("formula names must be non-empty")
+        name_token = self._expect("string", "a quoted formula name")
+        if not name_token.text:
+            self._error("MRM205", "formula names must be non-empty", name_token)
         self._expect("=", "'='")
-        text = self._expect("string", "a quoted CSRL formula").text
+        text_token = self._expect("string", "a quoted CSRL formula")
         self._expect(";", "';'")
-        return FormulaDecl(name, text)
+        return FormulaDecl(
+            name_token.text,
+            text_token.text,
+            span=text_token.span(len(text_token.text) + 2),
+        )
 
     def _reward(self, ast: ModelAst) -> None:
         self._next()  # reward
@@ -241,20 +323,30 @@ class _ModelParser:
             self._expect(":", "':'")
             rate = self._expression()
             self._expect(";", "';'")
-            ast.state_rewards.append(StateRewardDecl(condition, rate))
+            ast.state_rewards.append(
+                StateRewardDecl(condition, rate, span=kind.span())
+            )
             return
         if kind.kind == "keyword" and kind.text == "impulse":
             self._expect("[", "'['")
-            action = self._expect("ident", "an action name").text
+            action_token = self._expect("ident", "an action name")
             self._expect("]", "']'")
             self._expect(":", "':'")
             value = self._expression()
             self._expect(";", "';'")
-            ast.impulse_rewards.append(ImpulseRewardDecl(action, value))
+            ast.impulse_rewards.append(
+                ImpulseRewardDecl(
+                    action_token.text, value, span=action_token.span()
+                )
+            )
             return
-        raise ParseError(
-            f"expected 'state' or 'impulse' after 'reward' at {kind.location()}"
+        self._error(
+            "MRM208",
+            f"expected 'state' or 'impulse' after 'reward', found {kind.text!r}",
+            kind,
+            suggestion=did_you_mean(kind.text, ["state", "impulse"]),
         )
+        raise _Recover
 
     # ------------------------------------------------------------------
     # expressions (precedence climbing)
@@ -276,13 +368,33 @@ class _ModelParser:
             left = Binary("&", left, self._comparison())
         return left
 
+    def _comparison_operator(self) -> Optional[str]:
+        for operator in _COMPARISON_OPS:
+            if self._at(operator):
+                return operator
+        return None
+
     def _comparison(self) -> Expression:
         left = self._additive()
-        for operator in ("<=", ">=", "!=", "<", ">", "="):
-            if self._at(operator):
-                self._next()
-                return Binary(operator, left, self._additive())
-        return left
+        operator = self._comparison_operator()
+        if operator is None:
+            return left
+        self._next()
+        left = Binary(operator, left, self._additive())
+        # a < b < c does NOT mean (a < b) & (b < c); refuse the chain
+        # instead of silently comparing a boolean to a number.
+        while True:
+            chained = self._comparison_operator()
+            if chained is None:
+                return left
+            op_token = self._next()
+            self._error(
+                "MRM203",
+                f"chained comparison: {chained!r} after a comparison is "
+                "ambiguous; comparisons are non-associative — parenthesize",
+                op_token,
+            )
+            left = Binary(chained, left, self._additive())
 
     def _additive(self) -> Expression:
         left = self._multiplicative()
@@ -321,14 +433,38 @@ class _ModelParser:
             inner = self._expression()
             self._expect(")", "')'")
             return inner
-        raise ParseError(
-            f"unexpected {token.text!r} in expression at {token.location()}"
+        self._error(
+            "MRM206", f"unexpected {token.text!r} in expression", token
         )
+        raise _Recover
+
+
+def parse_model_collect(
+    source: str, sink: DiagnosticSink
+) -> Optional[ModelAst]:
+    """Parse model source, collecting diagnostics instead of raising.
+
+    Returns the (possibly partial) AST; declarations the parser had to
+    abandon at a synchronization point are simply absent.  Check
+    ``sink.has_errors`` before trusting the result.
+    """
+    tokens = tokenize_model(source, sink)
+    if not tokens:
+        if not sink.has_errors:
+            sink.error("MRM207", "empty model source")
+        return None
+    return _ModelParser(tokens, sink).parse()
 
 
 def parse_model_source(source: str) -> ModelAst:
-    """Parse model source text into a :class:`ModelAst`."""
-    tokens = tokenize_model(source)
-    if not tokens:
-        raise ParseError("empty model source")
-    return _ModelParser(tokens).parse()
+    """Parse model source text into a :class:`ModelAst`.
+
+    Raises :class:`~repro.exceptions.ParseError` carrying every
+    diagnostic of the run (multi-error recovery) if the source is
+    malformed.
+    """
+    sink = DiagnosticSink()
+    ast = parse_model_collect(source, sink)
+    sink.raise_if_errors()
+    assert ast is not None
+    return ast

@@ -123,7 +123,11 @@ def _check_state(value, role: str) -> None:
 def _check_probability(value: float) -> float:
     value = float(value)
     if not 0.0 <= value <= 1.0:
-        raise FormulaError(f"probability bound must be in [0, 1], got {value}")
+        # Same defect the parser reports as CSRL010; AST-level
+        # construction shares the code so both are greppable.
+        raise FormulaError(
+            f"probability bound must lie in [0, 1], got {value} (CSRL010)"
+        )
     return value
 
 

@@ -18,14 +18,26 @@ entirely (``X f``, ``f U f``) or given as a single time interval
 The grammar is LL(1) apart from the ``[ X ... ]`` / ``[ f U ... ]``
 distinction inside ``P(...)``, which a single token of lookahead after
 ``[`` resolves (an ``X`` keyword starts a next formula).
+
+Errors are reported through the shared diagnostics engine
+(:mod:`repro.diag`): the parser emits coded diagnostics
+(``CSRL001``-``CSRL014``, plus ``CSRL02x`` lint warnings) into a
+:class:`~repro.diag.DiagnosticSink` and *recovers* — synchronizing at
+``]``/``)``/connectives — so one run reports every error in the input.
+:func:`parse_formula` raises a single
+:class:`~repro.exceptions.ParseError` that summarizes the first error
+and carries the complete list as ``error.diagnostics``; pass an
+explicit ``sink`` to collect diagnostics (including warnings) without
+raising.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+from repro.diag.core import DiagnosticSink, Span, did_you_mean
 from repro.exceptions import ParseError
 from repro.logic.ast import (
     And,
@@ -46,8 +58,9 @@ from repro.numerics.intervals import Interval
 
 __all__ = ["tokenize", "parse_formula"]
 
-_SYMBOLS = ("&&", "||", "=>", "<=", ">=", "(", ")", "[", "]", ",", "!", "~", "<", ">")
+_SYMBOLS = ("&&", "||", "=>", "<=", ">=", "(", ")", "[", "]", ",", "!", "~", "<", ">", "-")
 _KEYWORDS = {"TT", "FF", "U", "X", "S", "P"}
+_COMPARISON_KINDS = ("<", "<=", ">", ">=")
 
 
 @dataclass(frozen=True)
@@ -63,13 +76,8 @@ def _is_word_char(ch: str) -> bool:
     return ch.isalnum() or ch == "_"
 
 
-def tokenize(text: str) -> List[Token]:
-    """Split a CSRL formula string into tokens.
-
-    Atomic propositions are maximal runs of word characters that are not
-    pure numbers (so ``3up`` is an identifier while ``3`` and ``0.5`` are
-    numbers).  Keywords (``TT FF U X S P``) are case-sensitive.
-    """
+def _tokenize(text: str, sink: DiagnosticSink) -> List[Token]:
+    """Tokenize, emitting diagnostics into ``sink`` and recovering."""
     tokens: List[Token] = []
     i = 0
     n = len(text)
@@ -107,12 +115,63 @@ def tokenize(text: str) -> List[Token]:
             word = text[start:i]
             if _looks_numeric_full(word):
                 tokens.append(Token("number", word, start))
-            elif word in _KEYWORDS:
+                continue
+            if word in _KEYWORDS:
                 tokens.append(Token("keyword", word, start))
-            else:
-                tokens.append(Token("ident", word, start))
+                continue
+            # Malformed numerics must not silently become atomic
+            # propositions: a digit- or dot-leading word containing a
+            # dot that fails to parse as a float (1.2.3, 5..2), or a
+            # dangling exponent sign (1e+), is a number gone wrong.
+            if (word[0].isdigit() or word[0] == ".") and "." in word:
+                sink.error(
+                    "CSRL002",
+                    f"malformed number literal {word!r}",
+                    Span.from_offsets(text, start, i),
+                )
+            elif (
+                word[0].isdigit()
+                and word[-1] in "eE"
+                and i < n
+                and text[i] in "+-"
+                and _looks_numeric(word[:-1])
+            ):
+                # the rolled-back sign of a digit-less exponent: fold it
+                # into one diagnostic instead of a CSRL001 cascade
+                word += text[i]
+                i += 1
+                sink.error(
+                    "CSRL002",
+                    f"malformed number literal {word!r}",
+                    Span.from_offsets(text, start, i),
+                )
+            tokens.append(Token("ident", word, start))
             continue
-        raise ParseError(f"unexpected character {ch!r}", position=i)
+        sink.error(
+            "CSRL001",
+            f"unexpected character {ch!r}",
+            Span.from_offsets(text, i, i + 1),
+        )
+        i += 1
+    return tokens
+
+
+def tokenize(text: str, sink: Optional[DiagnosticSink] = None) -> List[Token]:
+    """Split a CSRL formula string into tokens.
+
+    Atomic propositions are maximal runs of word characters that are not
+    pure numbers (so ``3up`` is an identifier while ``3`` and ``0.5`` are
+    numbers).  Keywords (``TT FF U X S P``) are case-sensitive.
+
+    Without an explicit ``sink``, lexical errors raise
+    :class:`~repro.exceptions.ParseError` (after scanning the whole
+    input, so the exception carries every error).
+    """
+    if sink is not None:
+        return _tokenize(text, sink)
+    own = DiagnosticSink()
+    tokens = _tokenize(text, own)
+    own.raise_if_errors()
     return tokens
 
 
@@ -137,12 +196,30 @@ def _looks_numeric_full(word: str) -> bool:
     return True
 
 
-class _Parser:
-    """Recursive-descent parser over the token stream."""
+class _Recover(Exception):
+    """Internal: unwind to the nearest synchronization point.
 
-    def __init__(self, tokens: List[Token], source: str) -> None:
+    Raised after the diagnostic has already been emitted; never escapes
+    :meth:`_Parser.parse`.
+    """
+
+
+class _Parser:
+    """Recursive-descent parser with multi-error recovery.
+
+    Hard errors emit a diagnostic and raise :class:`_Recover`; the
+    nearest enclosing construct synchronizes (``P(...)`` blocks to their
+    closing ``]``, bounds to ``)``, intervals to ``]``) and parsing
+    continues, substituting placeholder nodes.  Soft errors (an
+    out-of-range bound, a bad interval endpoint) emit and continue in
+    place.  The resulting tree is only used when the sink stayed free of
+    errors.
+    """
+
+    def __init__(self, tokens: List[Token], source: str, sink: DiagnosticSink) -> None:
         self._tokens = tokens
         self._source = source
+        self._sink = sink
         self._pos = 0
 
     # ------------------------------------------------------------------
@@ -153,19 +230,37 @@ class _Parser:
             return self._tokens[self._pos]
         return None
 
+    def _span(self, token: Optional[Token]) -> Span:
+        if token is None:
+            return Span.from_offsets(self._source, len(self._source))
+        return Span.from_offsets(
+            self._source, token.position, token.position + len(token.text)
+        )
+
+    def _error(
+        self,
+        code: str,
+        message: str,
+        token: Optional[Token] = None,
+        suggestion: Optional[str] = None,
+    ) -> None:
+        self._sink.error(code, message, self._span(token), suggestion)
+
     def _next(self) -> Token:
         token = self._peek()
         if token is None:
-            raise ParseError("unexpected end of formula", position=len(self._source))
+            self._error("CSRL003", "unexpected end of formula")
+            raise _Recover
         self._pos += 1
         return token
 
     def _expect(self, kind: str) -> Token:
         token = self._next()
         if token.kind != kind:
-            raise ParseError(
-                f"expected {kind!r} but found {token.text!r}", position=token.position
+            self._error(
+                "CSRL004", f"expected {kind!r} but found {token.text!r}", token
             )
+            raise _Recover
         return token
 
     def _at(self, kind: str, text: Optional[str] = None) -> bool:
@@ -176,16 +271,36 @@ class _Parser:
             return False
         return text is None or token.text == text
 
+    def _sync(self, stops: Tuple[str, ...]) -> None:
+        """Skip tokens until one of ``stops`` at the current bracket depth."""
+        depth = 0
+        while True:
+            token = self._peek()
+            if token is None:
+                return
+            if depth == 0 and token.kind in stops:
+                return
+            if token.kind in ("(", "["):
+                depth += 1
+            elif token.kind in (")", "]"):
+                depth = max(0, depth - 1)
+            self._pos += 1
+
     # ------------------------------------------------------------------
     # grammar
     # ------------------------------------------------------------------
-    def parse(self) -> StateFormula:
-        formula = self._state_formula()
+    def parse(self) -> Optional[StateFormula]:
+        formula: Optional[StateFormula] = None
+        try:
+            formula = self._state_formula()
+        except _Recover:
+            self._sync(())  # drain; every error is already recorded
         trailing = self._peek()
         if trailing is not None:
-            raise ParseError(
+            self._error(
+                "CSRL013",
                 f"unexpected trailing input {trailing.text!r}",
-                position=trailing.position,
+                trailing,
             )
         return formula
 
@@ -212,14 +327,23 @@ class _Parser:
         left = self._unary()
         while self._at("&&"):
             self._next()
-            right = self._unary()
+            try:
+                right = self._unary()
+            except _Recover:
+                # Recover at the next connective so errors on both sides
+                # of a '&&' chain are reported in one run.
+                self._sync(("&&", "||", "=>", "]", ")"))
+                if self._at("&&"):
+                    continue
+                return left
             left = And(left, right)
         return left
 
     def _unary(self) -> StateFormula:
         token = self._peek()
         if token is None:
-            raise ParseError("unexpected end of formula", position=len(self._source))
+            self._error("CSRL003", "unexpected end of formula")
+            raise _Recover
         if token.kind == "!":
             self._next()
             return Not(self._unary())
@@ -239,45 +363,75 @@ class _Parser:
                 return self._steady()
             if token.text == "P":
                 return self._probability()
-            raise ParseError(
+            self._error(
+                "CSRL006",
                 f"keyword {token.text!r} cannot start a state formula",
-                position=token.position,
+                token,
             )
+            raise _Recover
         if token.kind == "ident":
             self._next()
             return Atomic(token.text)
-        raise ParseError(
-            f"unexpected token {token.text!r}", position=token.position
-        )
+        self._error("CSRL005", f"unexpected token {token.text!r}", token)
+        raise _Recover
 
-    def _comparison_and_bound(self) -> "tuple[Comparison, float]":
-        self._expect("(")
-        op_token = self._next()
-        if op_token.kind not in ("<", "<=", ">", ">="):
-            raise ParseError(
-                f"expected a comparison operator, found {op_token.text!r}",
-                position=op_token.position,
-            )
-        comparison = Comparison.from_symbol(op_token.kind)
-        number = self._expect("number")
-        bound = float(number.text)
-        self._expect(")")
-        return comparison, bound
+    def _comparison_and_bound(self, operator: str) -> "Tuple[Comparison, float]":
+        """``(op p)`` after a ``P``/``S``; recovers to the closing ``)``."""
+        try:
+            self._expect("(")
+            op_token = self._next()
+            if op_token.kind not in _COMPARISON_KINDS:
+                self._error(
+                    "CSRL007",
+                    f"expected a comparison operator, found {op_token.text!r}",
+                    op_token,
+                )
+                raise _Recover
+            comparison = Comparison.from_symbol(op_token.kind)
+            negative = False
+            if self._at("-"):
+                self._next()
+                negative = True
+            number = self._expect("number")
+            bound = float(number.text)
+            if negative:
+                bound = -bound
+            if not 0.0 <= bound <= 1.0:
+                rendered = f"-{number.text}" if negative else number.text
+                self._error(
+                    "CSRL010",
+                    f"{operator} bound must lie in [0, 1], got {rendered}",
+                    number,
+                )
+                bound = min(max(bound, 0.0), 1.0)
+            self._expect(")")
+            return comparison, bound
+        except _Recover:
+            self._sync((")",))
+            if self._at(")"):
+                self._next()
+            return Comparison.GE, 0.0
 
     def _steady(self) -> Steady:
         self._next()  # consume S
-        comparison, bound = self._comparison_and_bound()
+        comparison, bound = self._comparison_and_bound("S")
         child = self._unary()
         return Steady(comparison, bound, child)
 
     def _probability(self) -> Prob:
         self._next()  # consume P
-        comparison, bound = self._comparison_and_bound()
+        comparison, bound = self._comparison_and_bound("P")
         self._expect("[")
-        if self._at("keyword", "X"):
-            path = self._next_path()
-        else:
-            path = self._until_path()
+        try:
+            if self._at("keyword", "X"):
+                path = self._next_path()
+            else:
+                path = self._until_path()
+        except _Recover:
+            # Report what went wrong inside this block, then continue
+            # after its closing bracket so later formulas are checked.
+            self._sync(("]",))
+            path = Next(TrueFormula())
         self._expect("]")
         return Prob(comparison, bound, path)
 
@@ -291,33 +445,57 @@ class _Parser:
         left = self._state_formula()
         keyword = self._next()
         if keyword.kind != "keyword" or keyword.text != "U":
-            raise ParseError(
+            suggestion = None
+            if keyword.kind == "ident":
+                suggestion = did_you_mean(keyword.text, ["U"])
+            self._error(
+                "CSRL008",
                 f"expected 'U' in until formula, found {keyword.text!r}",
-                position=keyword.position,
+                keyword,
+                suggestion,
             )
+            raise _Recover
         time_bound, reward_bound = self._optional_bounds()
         right = self._state_formula()
         return Until(left, right, time_bound=time_bound, reward_bound=reward_bound)
 
-    def _optional_bounds(self) -> "tuple[Interval, Interval]":
+    def _optional_bounds(self) -> "Tuple[Interval, Interval]":
         time_bound = Interval.unbounded()
         reward_bound = Interval.unbounded()
         if self._at("["):
-            time_bound = self._interval()
+            time_bound = self._interval("time")
             if self._at("["):
-                reward_bound = self._interval()
+                reward_bound = self._interval("reward")
         return time_bound, reward_bound
 
-    def _interval(self) -> Interval:
-        self._expect("[")
-        lower = self._bound_value(allow_infinity=False)
-        self._expect(",")
-        upper = self._bound_value(allow_infinity=True)
-        close = self._expect("]")
+    def _interval(self, role: str) -> Interval:
+        open_token = self._expect("[")
+        try:
+            lower = self._bound_value(allow_infinity=False)
+            self._expect(",")
+            upper = self._bound_value(allow_infinity=True)
+            close = self._expect("]")
+        except _Recover:
+            self._sync(("]",))
+            if self._at("]"):
+                self._next()
+            return Interval.unbounded()
         if upper < lower:
-            raise ParseError(
+            self._sink.error(
+                "CSRL009",
                 f"interval upper bound {upper:g} below lower bound {lower:g}",
-                position=close.position,
+                self._span(close),
+            )
+            return Interval(lower, lower)
+        if lower == 0.0 and math.isinf(upper):
+            self._sink.warning(
+                "CSRL021",
+                f"{role} interval [0,~] is vacuous; omit the bound",
+                Span.from_offsets(
+                    self._source,
+                    open_token.position,
+                    close.position + len(close.text),
+                ),
             )
         return Interval(lower, upper)
 
@@ -325,21 +503,46 @@ class _Parser:
         token = self._next()
         if token.kind == "~":
             if not allow_infinity:
-                raise ParseError(
+                self._error(
+                    "CSRL011",
                     "infinity is only allowed as an upper bound",
-                    position=token.position,
+                    token,
                 )
+                return 0.0
             return math.inf
-        if token.kind != "number":
-            raise ParseError(
-                f"expected a number in interval bound, found {token.text!r}",
-                position=token.position,
+        if token.kind == "-":
+            number = self._peek()
+            text = "-" + number.text if number is not None else "-"
+            self._error(
+                "CSRL012",
+                f"expected a non-negative number in interval bound, found {text!r}",
+                token,
             )
+            if number is not None and number.kind == "number":
+                self._next()
+            return 0.0
+        if token.kind != "number":
+            self._error(
+                "CSRL012",
+                f"expected a number in interval bound, found {token.text!r}",
+                token,
+            )
+            raise _Recover
         return float(token.text)
 
 
-def parse_formula(text: str) -> StateFormula:
+def parse_formula(
+    text: str, sink: Optional[DiagnosticSink] = None
+) -> Optional[StateFormula]:
     """Parse a CSRL state formula from the appendix grammar.
+
+    Without an explicit ``sink`` (the common case), syntax errors raise
+    :class:`~repro.exceptions.ParseError`; thanks to multi-error
+    recovery the exception's ``diagnostics`` attribute lists *every*
+    error (and warning) found in the input, not just the first.  With a
+    ``sink``, diagnostics are collected there instead and the function
+    returns ``None`` when the input was unrecoverable (check
+    ``sink.has_errors`` before using the returned tree).
 
     Examples
     --------
@@ -349,7 +552,11 @@ def parse_formula(text: str) -> StateFormula:
     >>> str(parse_formula("S(>0.5) (busy || idle)"))
     'S(>0.5) (busy || idle)'
     """
-    tokens = tokenize(text)
-    if not tokens:
-        raise ParseError("empty formula")
-    return _Parser(tokens, text).parse()
+    own = sink if sink is not None else DiagnosticSink()
+    tokens = _tokenize(text, own)
+    if not tokens and not own.has_errors:
+        own.error("CSRL014", "empty formula")
+    formula = _Parser(tokens, text, own).parse() if tokens else None
+    if sink is None:
+        own.raise_if_errors()
+    return formula

@@ -62,7 +62,12 @@ class Interval:
             raise FormulaError("interval endpoints must not be NaN")
         if math.isinf(lower):
             raise FormulaError("interval lower bound must be finite")
-        if lower < 0 and not self.is_empty:
+        if upper < lower:
+            raise FormulaError(
+                f"interval upper bound below lower bound: [{lower}, {upper}] "
+                "(use Interval.EMPTY for the empty interval)"
+            )
+        if lower < 0:
             raise FormulaError(
                 f"interval bounds must be non-negative, got [{lower}, {upper}]"
             )
@@ -172,14 +177,24 @@ class Interval:
         ``{x >= 0 | rate * x in self}``; callers intersect with ``I``.
 
         A zero rate accumulates no reward, so the result is ``[0, inf)``
-        when ``0 in self`` and empty otherwise.
+        when ``0 in self`` and empty otherwise.  Reward rates are
+        non-negative by Definition 3.1; a negative ``rate`` is rejected
+        (dividing by it would silently invert the interval).
         """
+        if rate < 0.0:
+            raise FormulaError(
+                f"reward rate must be non-negative, got {rate}"
+            )
         if self.is_empty:
             return Interval.EMPTY
         if rate == 0.0:
             return Interval.unbounded() if self.contains(0.0) else Interval.EMPTY
         lower = self.lower / rate
         upper = self.upper / rate
+        if math.isinf(lower):
+            # A subnormal rate can overflow lower/rate to infinity: no
+            # finite residence time accumulates that much reward.
+            return Interval.EMPTY
         return Interval(lower, upper)
 
     @staticmethod
@@ -234,9 +249,10 @@ class Interval:
         return f"[{self.lower:.12g},{upper}]"
 
 
-# The canonical empty interval: bypass validation by constructing a clearly
-# inverted pair directly (``__post_init__`` tolerates it because
-# ``is_empty`` is True for lower > upper).
+# The canonical empty interval: the ONLY inverted instance.  Built by
+# bypassing ``__post_init__`` (which rejects ``upper < lower`` for every
+# other construction), so all operations can canonicalize empty results
+# to this sentinel.
 _empty = object.__new__(Interval)
 object.__setattr__(_empty, "lower", 1.0)
 object.__setattr__(_empty, "upper", 0.0)

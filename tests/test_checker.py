@@ -180,3 +180,24 @@ class TestOptions:
         checker = ModelChecker(wavelan, options)
         result = checker.check("P(>0.1) [idle U[0,2][0,2000] busy]")
         assert result.probability_of(2) == pytest.approx(0.15789, abs=2e-5)
+
+
+class TestDiagCountEvent:
+    def test_every_observed_run_records_diag_count(self, checker):
+        checker.check("busy")
+        events = [
+            e for e in checker.last_report.events
+            if e.get("event") == "diag.count"
+        ]
+        assert len(events) == 1
+        assert events[0]["errors"] == 0
+        assert events[0]["warnings"] == 0
+
+    def test_lint_warnings_counted(self, checker):
+        checker.check("P(>=0) [busy U idle]")
+        (event,) = [
+            e for e in checker.last_report.events
+            if e.get("event") == "diag.count"
+        ]
+        assert event["warnings"] == 1
+        assert "CSRL020" in event["codes"]

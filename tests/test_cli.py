@@ -1,5 +1,8 @@
 """Tests for the mrmc-impulse command-line interface."""
 
+import json
+import os
+
 import pytest
 
 from repro.cli.main import main
@@ -181,3 +184,98 @@ class TestLanguageModels:
         assert status == 0
         assert "formula 'table_5_3'" in out
         assert "formula 'long_run_operational'" in out
+
+
+class TestLintSubcommand:
+    FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "bad_models")
+    EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples", "models")
+
+    def test_examples_are_clean(self, capsys):
+        models = sorted(
+            os.path.join(self.EXAMPLES, name)
+            for name in os.listdir(self.EXAMPLES)
+            if name.endswith(".mrm")
+        )
+        assert models
+        status = main(["lint", *models])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "0 error(s)" in out
+
+    def test_bad_fixtures_fail_with_carets(self, capsys):
+        fixtures = sorted(
+            os.path.join(self.FIXTURES, name)
+            for name in os.listdir(self.FIXTURES)
+            if name.endswith(".mrm")
+        )
+        status = main(["lint", *fixtures])
+        out = capsys.readouterr().out
+        assert status == 1
+        for code in ("MRM103", "MRM202", "MRM203", "MRM208", "MRM304"):
+            assert f"error[{code}]" in out
+        assert "^" in out
+        assert "did you mean 'state'?" in out
+
+    def test_json_round_trips_documented_schema(self, capsys):
+        from repro.diag import validate_diagnostics_json
+
+        fixture = os.path.join(self.FIXTURES, "many_errors.mrm")
+        clean = os.path.join(self.EXAMPLES, "tmr.mrm")
+        status = main(["lint", "--format", "json", fixture, clean])
+        out = capsys.readouterr().out
+        assert status == 1
+        payload = json.loads(out)
+        collected = validate_diagnostics_json(payload)
+        assert payload["schema"] == "repro.diagnostics/1"
+        assert payload["summary"]["files"] == 2
+        assert payload["summary"]["errors"] >= 3
+        assert {d.code for d in collected} >= {"MRM202", "MRM203", "MRM208"}
+
+    def test_formula_file_linted_per_line(self, capsys, tmp_path):
+        formulas = tmp_path / "props.csrl"
+        formulas.write_text(
+            "# comment\n"
+            "P(>=0.5) [a U[0,3] b]\n"
+            "\n"
+            "P(>=1.5) [1.2.3 U b]\n"
+        )
+        status = main(["lint", str(formulas)])
+        out = capsys.readouterr().out
+        assert status == 1
+        # diagnostics are re-anchored to the file's line numbers
+        assert ":4:5: error[CSRL010]" in out
+        assert ":4:11: error[CSRL002]" in out
+
+    def test_warnings_alone_exit_zero(self, capsys, tmp_path):
+        formulas = tmp_path / "props.csrl"
+        formulas.write_text("P(>=0) [a U b]\n")
+        status = main(["lint", str(formulas)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "warning[CSRL020]" in out
+        assert "1 warning(s)" in out
+
+    def test_missing_file_exits_two(self, capsys, tmp_path):
+        status = main(["lint", str(tmp_path / "ghost.mrm")])
+        assert status == 2
+
+
+class TestParseDiagnosticsInCheckPipeline:
+    def test_formula_parse_failure_prints_carets(self, capsys, wavelan_files):
+        status, _, err = run_cli(
+            capsys, wavelan_files, formulas=["P(>=1.5) [busy U idle]"]
+        )
+        assert status == 1
+        assert "error[CSRL010]" in err
+        assert "^" in err
+
+    def test_mrm_parse_failure_prints_carets(self, capsys, tmp_path):
+        bad = tmp_path / "bad.mrm"
+        bad.write_text(
+            "var x : [0..3] init 0;\n[go] 0 < x < 3 -> 1 : x' = x + 1;\n"
+        )
+        status = main([str(bad), "--formula", "TT"])
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "error[MRM203]" in err
+        assert "[go] 0 < x < 3" in err

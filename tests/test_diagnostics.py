@@ -1,0 +1,487 @@
+"""Golden tests for the shared diagnostics engine (repro.diag).
+
+Covers the core types (Span/Diagnostic/DiagnosticSink), the caret
+renderer, the ``repro.diagnostics/1`` JSON contract, the semantic
+lints, and a golden table of malformed inputs for both front ends
+asserting stable codes, severities, spans and caret excerpts.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.ctmc.chain import CTMC
+from repro.diag import (
+    CATALOG,
+    DIAGNOSTICS_SCHEMA,
+    Diagnostic,
+    DiagnosticSink,
+    Span,
+    describe,
+    diagnostics_payload,
+    did_you_mean,
+    is_known_code,
+    lint_formula,
+    lint_formula_source,
+    lint_model,
+    lint_model_source,
+    render_diagnostic,
+    render_diagnostics,
+    severity_of,
+    validate_diagnostics_json,
+)
+from repro.exceptions import ParseError
+from repro.lang.parser import parse_model_source
+from repro.logic.parser import parse_formula
+from repro.mrm.model import MRM
+
+
+class TestSpan:
+    def test_from_offsets_single_line(self):
+        span = Span.from_offsets("abc def", 4, 7)
+        assert (span.line, span.column, span.end_line, span.end_column) == (
+            1, 5, 1, 8,
+        )
+        assert span.offset == 4
+        assert span.length == 3
+
+    def test_from_offsets_multi_line(self):
+        span = Span.from_offsets("ab\ncd\nef", 6)
+        assert span.line == 3
+        assert span.column == 1
+
+    def test_from_offsets_clamped_to_source(self):
+        span = Span.from_offsets("ab", 99)
+        assert span.line == 1
+        assert span.column == 3
+
+    def test_at(self):
+        span = Span.at(3, 14, 5)
+        assert (span.line, span.column, span.end_line, span.end_column) == (
+            3, 14, 3, 19,
+        )
+
+    def test_str(self):
+        assert str(Span.at(2, 7)) == "line 2, column 7"
+
+
+class TestDiagnostic:
+    def test_str_with_suggestion(self):
+        diagnostic = Diagnostic(
+            "MRM208", "error", "expected 'state'", Span.at(1, 8), "state"
+        )
+        text = str(diagnostic)
+        assert "[MRM208]" in text
+        assert "line 1, column 8" in text
+        assert "did you mean 'state'?" in text
+
+    def test_dict_round_trip(self):
+        diagnostic = Diagnostic(
+            "CSRL010", "error", "bound out of range", Span.at(1, 5, 3), None
+        )
+        clone = Diagnostic.from_dict(diagnostic.to_dict())
+        assert clone.code == diagnostic.code
+        assert clone.severity == diagnostic.severity
+        assert clone.span.column == diagnostic.span.column
+        assert clone.span.end_column == diagnostic.span.end_column
+
+    def test_spanless_dict_round_trip(self):
+        diagnostic = Diagnostic("MRM307", "error", "boom")
+        clone = Diagnostic.from_dict(diagnostic.to_dict())
+        assert clone.span is None
+
+
+class TestSink:
+    def test_collects_in_order_and_dedupes(self):
+        sink = DiagnosticSink()
+        sink.error("CSRL001", "bad", Span.at(1, 1))
+        sink.warning("CSRL020", "meh")
+        sink.error("CSRL001", "bad", Span.at(1, 1))  # exact repeat
+        assert [d.code for d in sink] == ["CSRL001", "CSRL020"]
+        assert len(sink.errors) == 1
+        assert len(sink.warnings) == 1
+        assert sink.has_errors
+
+    def test_report_uses_catalogued_severity(self):
+        sink = DiagnosticSink()
+        sink.report("MRM301", "unreachable")
+        sink.report("MRM304", "undeclared")
+        assert [d.severity for d in sink] == ["warning", "error"]
+
+    def test_raise_if_errors_summarizes(self):
+        sink = DiagnosticSink()
+        sink.error("CSRL002", "malformed number literal '1.2.3'", Span.at(1, 11))
+        sink.error("CSRL008", "expected 'U'", Span.at(1, 17))
+        with pytest.raises(ParseError) as info:
+            sink.raise_if_errors()
+        assert "[CSRL002]" in str(info.value)
+        assert "and 1 more error" in str(info.value)
+        assert len(info.value.diagnostics) == 2
+
+    def test_warnings_do_not_raise(self):
+        sink = DiagnosticSink()
+        sink.warning("CSRL020", "vacuous")
+        sink.raise_if_errors()
+
+    def test_parse_error_pickles_with_diagnostics(self):
+        try:
+            parse_formula("P(>=1.5) [a U b]")
+        except ParseError as error:
+            clone = pickle.loads(pickle.dumps(error))
+            assert str(clone) == str(error)
+            assert [d.code for d in clone.diagnostics] == [
+                d.code for d in error.diagnostics
+            ]
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+
+class TestCatalog:
+    def test_every_code_has_severity_and_description(self):
+        for code, (severity, description) in CATALOG.items():
+            assert severity in ("error", "warning"), code
+            assert description, code
+            assert severity_of(code) == severity
+            assert describe(code) == description
+            assert is_known_code(code)
+
+    def test_unknown_code(self):
+        assert not is_known_code("CSRL999")
+        with pytest.raises(KeyError):
+            severity_of("CSRL999")
+
+
+class TestDidYouMean:
+    def test_close_match(self):
+        assert did_you_mean("stat", ["state", "impulse"]) == "state"
+
+    def test_case_insensitive_exact(self):
+        assert did_you_mean("u", ["U"]) == "U"
+
+    def test_no_match(self):
+        assert did_you_mean("zzz", ["state", "impulse"]) is None
+
+    def test_empty_inputs(self):
+        assert did_you_mean("", ["a"]) is None
+        assert did_you_mean("a", []) is None
+
+
+# A golden table of malformed inputs for both front ends: source,
+# kind ('csrl' or 'mrm'), and the expected (code, severity, line,
+# column) of every diagnostic, in order.
+GOLDEN_CASES = [
+    ("P(>=0.5) [1.2.3 U b]", "csrl", [("CSRL002", "error", 1, 11)]),
+    ("P(>=0.5) [5..2 U b]", "csrl", [("CSRL002", "error", 1, 11)]),
+    ("P(>=1.5) [a U b]", "csrl", [("CSRL010", "error", 1, 5)]),
+    ("S(<-0.2) a", "csrl", [("CSRL010", "error", 1, 5)]),
+    ("P(>=0.5) [a U[3,0] b]", "csrl", [("CSRL009", "error", 1, 18)]),
+    ("P(>=0.5) [a U[~,3] b]", "csrl", [("CSRL011", "error", 1, 15)]),
+    ("a && $", "csrl", [("CSRL001", "error", 1, 6), ("CSRL003", "error", 1, 7)]),
+    ("a b", "csrl", [("CSRL013", "error", 1, 3)]),
+    ("", "csrl", [("CSRL014", "error", None, None)]),
+    (
+        "P(>=1.5) [1.2.3 U b] && P(<=0.5) [a W c]",
+        "csrl",
+        [
+            ("CSRL002", "error", 1, 11),
+            ("CSRL010", "error", 1, 5),
+            ("CSRL008", "error", 1, 37),
+        ],
+    ),
+    ("const = 1;", "mrm", [("MRM202", "error", 1, 7)]),
+    (
+        "var x : [0..3] init 0;\n[go] 0 < x < 3 -> 1 : x' = x + 1;",
+        "mrm",
+        [("MRM203", "error", 2, 12)],
+    ),
+    ("reward stat x = 0 : 1;", "mrm", [("MRM208", "error", 1, 8)]),
+    (
+        # the unterminated string is skipped to end of line, so the
+        # parser then also runs out of input — two diagnostics
+        'label "oops = true;',
+        "mrm",
+        [("MRM102", "error", 1, 7), ("MRM201", "error", 1, 6)],
+    ),
+    ("bogus;", "mrm", [("MRM204", "error", 1, 1)]),
+    (
+        "const = 1;\n"
+        "var x : [0..2] init 0;\n"
+        "[go] 0 < x < 2 -> 1 : x' = x + 1;\n"
+        "reward stat x = 0 : 1;",
+        "mrm",
+        [
+            ("MRM202", "error", 1, 7),
+            ("MRM203", "error", 3, 12),
+            ("MRM208", "error", 4, 8),
+        ],
+    ),
+]
+
+
+class TestGoldenMalformedInputs:
+    @pytest.mark.parametrize(
+        "source, kind, expected",
+        GOLDEN_CASES,
+        ids=[repr(case[0])[:40] for case in GOLDEN_CASES],
+    )
+    def test_codes_severities_and_spans(self, source, kind, expected):
+        if kind == "csrl":
+            diagnostics = lint_formula_source(source)
+        else:
+            sink = DiagnosticSink()
+            from repro.lang.parser import parse_model_collect
+
+            parse_model_collect(source, sink)
+            diagnostics = list(sink.diagnostics)
+        observed = [
+            (
+                d.code,
+                d.severity,
+                d.span.line if d.span else None,
+                d.span.column if d.span else None,
+            )
+            for d in diagnostics
+        ]
+        assert observed == expected
+
+    @pytest.mark.parametrize(
+        "source, kind, expected",
+        GOLDEN_CASES,
+        ids=[repr(case[0])[:40] for case in GOLDEN_CASES],
+    )
+    def test_caret_points_at_span(self, source, kind, expected):
+        if kind == "csrl":
+            diagnostics = lint_formula_source(source)
+        else:
+            sink = DiagnosticSink()
+            from repro.lang.parser import parse_model_collect
+
+            parse_model_collect(source, sink)
+            diagnostics = list(sink.diagnostics)
+        for diagnostic, (code, severity, line, column) in zip(
+            diagnostics, expected
+        ):
+            rendered = render_diagnostic(diagnostic, source=source)
+            assert f"{severity}[{code}]" in rendered
+            if line is None:
+                continue
+            lines = rendered.splitlines()
+            # header, source excerpt, caret line(, help)
+            assert len(lines) >= 3
+            excerpt, caret = lines[1], lines[2]
+            assert excerpt == "  " + source.splitlines()[line - 1]
+            assert caret.index("^") == 2 + (column - 1)
+
+    def test_at_least_ten_golden_cases(self):
+        assert len(GOLDEN_CASES) >= 10
+
+    def test_single_inputs_with_three_or_more_errors_both_front_ends(self):
+        multi = [
+            case
+            for case in GOLDEN_CASES
+            if len([e for e in case[2] if e[1] == "error"]) >= 3
+        ]
+        assert {case[1] for case in multi} == {"csrl", "mrm"}
+
+
+class TestRenderer:
+    def test_filename_prefix(self):
+        diagnostic = Diagnostic("MRM203", "error", "chained", Span.at(1, 3, 1))
+        rendered = render_diagnostic(diagnostic, source="a < b < c", filename="m.mrm")
+        assert rendered.startswith("m.mrm:1:3: error[MRM203]: chained")
+
+    def test_suggestion_help_line(self):
+        diagnostic = Diagnostic(
+            "MRM208", "error", "expected 'state'", Span.at(1, 1, 4), "state"
+        )
+        rendered = render_diagnostic(diagnostic, source="stat")
+        assert rendered.splitlines()[-1] == "  = help: did you mean 'state'?"
+
+    def test_caret_width_matches_span(self):
+        diagnostic = Diagnostic(
+            "CSRL002", "error", "malformed", Span.at(1, 11, 5)
+        )
+        rendered = render_diagnostic(
+            diagnostic, source="P(>=0.5) [1.2.3 U b]"
+        )
+        assert rendered.splitlines()[2] == "  " + " " * 10 + "^" * 5
+
+    def test_batch_rendering(self):
+        diagnostics = [
+            Diagnostic("CSRL001", "error", "one", Span.at(1, 1)),
+            Diagnostic("CSRL020", "warning", "two"),
+        ]
+        rendered = render_diagnostics(diagnostics)
+        assert "error[CSRL001]" in rendered
+        assert "warning[CSRL020]" in rendered
+
+
+class TestJsonContract:
+    def _payload(self):
+        return diagnostics_payload(
+            [
+                ("good.mrm", []),
+                ("bad.mrm", lint_model_source("const = 1;\nbogus;")),
+                ("f.csrl", lint_formula_source("P(>=0) [a U[0,~] b]")),
+            ]
+        )
+
+    def test_schema_and_summary(self):
+        payload = self._payload()
+        assert payload["schema"] == DIAGNOSTICS_SCHEMA
+        assert payload["summary"]["files"] == 3
+        assert payload["summary"]["errors"] == 2
+        assert payload["summary"]["warnings"] == 2
+
+    def test_round_trips_through_json(self):
+        payload = json.loads(json.dumps(self._payload()))
+        collected = validate_diagnostics_json(payload)
+        # the explicit [0,~] interval warns, and so does the P(>=0) bound
+        assert [d.code for d in collected] == [
+            "MRM202", "MRM204", "CSRL021", "CSRL020",
+        ]
+
+    def test_validation_rejects_wrong_schema(self):
+        payload = self._payload()
+        payload["schema"] = "something/9"
+        with pytest.raises(ValueError, match="schema"):
+            validate_diagnostics_json(payload)
+
+    def test_validation_rejects_unknown_code(self):
+        payload = self._payload()
+        payload["files"][1]["diagnostics"][0]["code"] = "XYZ001"
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            validate_diagnostics_json(payload)
+
+    def test_validation_rejects_count_mismatch(self):
+        payload = self._payload()
+        payload["summary"]["errors"] = 99
+        with pytest.raises(ValueError, match="summary"):
+            validate_diagnostics_json(payload)
+
+
+class TestFormulaLints:
+    def test_vacuous_bound_warns(self):
+        diagnostics = lint_formula(parse_formula("P(>=0) [a U b]"))
+        assert [d.code for d in diagnostics] == ["CSRL020"]
+        assert diagnostics[0].severity == "warning"
+
+    def test_le_one_bound_warns(self):
+        diagnostics = lint_formula(parse_formula("S(<=1) a"))
+        assert [d.code for d in diagnostics] == ["CSRL020"]
+
+    def test_point_reward_interval_warns(self):
+        diagnostics = lint_formula(
+            parse_formula("P(>=0.5) [a U[0,3][2,2] b]")
+        )
+        assert [d.code for d in diagnostics] == ["CSRL022"]
+
+    def test_clean_formula_is_silent(self):
+        assert lint_formula(parse_formula("P(>=0.5) [a U[0,3] b]")) == []
+
+
+class TestModelLints:
+    def _mrm(self):
+        # 0 -> 1 -> 2 (absorbing, rewarded), 3 unreachable
+        chain = CTMC(
+            [
+                [0.0, 2.0, 0.0, 0.0],
+                [0.0, 0.0, 1.0, 0.0],
+                [0.0, 0.0, 0.0, 0.0],
+                [0.0, 1.0, 0.0, 0.0],
+            ],
+            labels={0: {"up"}, 3: {"ghost"}},
+        )
+        return MRM(chain, state_rewards=[1.0, 1.0, 2.0, 0.0])
+
+    def test_unreachable_absorbing_and_rewarded(self):
+        diagnostics = lint_model(self._mrm(), initial_states=[0])
+        codes = [d.code for d in diagnostics]
+        assert codes == ["MRM301", "MRM303", "MRM302"]
+        assert all(d.severity == "warning" for d in diagnostics)
+
+    def test_without_initial_states_skips_reachability(self):
+        codes = [d.code for d in lint_model(self._mrm())]
+        assert codes == ["MRM303", "MRM302"]
+
+
+class TestModelSourceLints:
+    def test_impulse_on_undeclared_action_with_suggestion(self):
+        source = (
+            "var x : [0..1] init 0;\n"
+            "[work] x = 0 -> 1 : x' = 1;\n"
+            "[] x = 1 -> 1 : x' = 0;\n"
+            "reward impulse [wrok] : 2;\n"
+        )
+        diagnostics = lint_model_source(source)
+        (diagnostic,) = [d for d in diagnostics if d.code == "MRM304"]
+        assert diagnostic.severity == "error"
+        assert diagnostic.suggestion == "work"
+        assert diagnostic.span.line == 4
+
+    def test_invalid_declared_formula(self):
+        source = (
+            "var x : [0..1] init 0;\n"
+            "[t] x = 0 -> 1 : x' = 1;\n"
+            "[t] x = 1 -> 1 : x' = 0;\n"
+            'formula "bad" = "P(>=1.5) [a U b]";\n'
+        )
+        diagnostics = lint_model_source(source)
+        (diagnostic,) = [d for d in diagnostics if d.code == "MRM308"]
+        assert "CSRL010" in diagnostic.message
+        assert diagnostic.span.line == 4
+
+    def test_dead_command_and_never_true_label(self):
+        source = (
+            "var x : [0..1] init 0;\n"
+            "[t] x = 0 -> 1 : x' = 1;\n"
+            "[t] x = 1 -> 1 : x' = 0;\n"
+            "[dead] x = 5 -> 1 : x' = 0;\n"
+            'label "never" = x = 9;\n'
+        )
+        diagnostics = lint_model_source(source)
+        codes = {d.code for d in diagnostics}
+        assert {"MRM305", "MRM306"} <= codes
+        dead = [d for d in diagnostics if d.code == "MRM305"][0]
+        assert dead.span.line == 4
+
+    def test_semantic_compile_error_reported_as_mrm307(self):
+        source = "var x : [0..1] init 0;\n[t] x = 0 -> 0 - 1 : x' = 1;\n"
+        diagnostics = lint_model_source(source)
+        codes = [d.code for d in diagnostics]
+        assert codes == ["MRM307"]
+
+    def test_clean_model_is_quiet(self):
+        source = (
+            "var x : [0..1] init 0;\n"
+            "[t] x = 0 -> 1 : x' = 1;\n"
+            "[t] x = 1 -> 2 : x' = 0;\n"
+            'label "busy" = x = 1;\n'
+        )
+        assert lint_model_source(source) == []
+
+    def test_parse_errors_short_circuit_lints(self):
+        diagnostics = lint_model_source("const = 1;\nreward impulse [a] : 1;")
+        assert all(d.code.startswith("MRM2") for d in diagnostics)
+
+
+class TestFrontEndsShareTheEngine:
+    """Both parsers produce the same Diagnostic type through one sink."""
+
+    def test_csrl_and_mrm_diagnostics_are_interchangeable(self):
+        csrl = lint_formula_source("P(>=1.5) [a U b]")
+        mrm = lint_model_source("bogus;")
+        payload = diagnostics_payload([("f", csrl), ("m.mrm", mrm)])
+        collected = validate_diagnostics_json(
+            json.loads(json.dumps(payload))
+        )
+        assert [d.code for d in collected] == ["CSRL010", "MRM204"]
+
+    def test_parse_errors_carry_diagnostics_on_both_front_ends(self):
+        with pytest.raises(ParseError) as csrl_info:
+            parse_formula("P(>=1.5) [a U b]")
+        with pytest.raises(ParseError) as mrm_info:
+            parse_model_source("reward stat x = 0 : 1;")
+        assert csrl_info.value.diagnostics[0].code == "CSRL010"
+        assert mrm_info.value.diagnostics[0].code == "MRM208"

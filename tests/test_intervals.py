@@ -118,6 +118,20 @@ class TestAlgebra:
         # rate * x in [2, 6] with rate 2 => x in [1, 3]
         assert Interval(2, 6).reward_window(2.0) == Interval(1, 3)
 
+    def test_reward_window_negative_rate_rejected(self):
+        # Regression: dividing by a negative rate used to return the
+        # non-canonical inverted interval Interval(-2, -8).
+        with pytest.raises(FormulaError, match="non-negative"):
+            Interval(2, 8).reward_window(-1.0)
+
+    def test_inverted_construction_rejected(self):
+        with pytest.raises(FormulaError, match="below lower"):
+            Interval(5, 2)
+
+    def test_empty_sentinel_survives_inversion_check(self):
+        assert Interval.EMPTY.is_empty
+        assert Interval.empty() is Interval.EMPTY
+
     def test_reward_window_zero_rate_containing_zero(self):
         assert Interval(0, 6).reward_window(0.0).is_unbounded
 
@@ -204,6 +218,41 @@ class TestProperties:
     # Subnormal endpoints (5e-324 and friends) make `rate * (x / rate)`
     # land outside the interval purely through denormal rounding; the
     # membership property is only meaningful over normal floats.
+    @given(
+        a=finite, b=finite, c=finite, d=finite,
+        amount=finite,
+        rate=st.floats(min_value=0.0, max_value=1e3),
+    )
+    def test_operations_canonicalize_empties(self, a, b, c, d, amount, rate):
+        """Every operation yields either a proper interval or EMPTY.
+
+        Since construction now rejects ``upper < lower``, the sentinel is
+        the only inverted instance — an empty result must BE the
+        sentinel, never merely compare empty.
+        """
+        first = Interval(min(a, b), max(a, b))
+        second = Interval(min(c, d), max(c, d))
+        results = [
+            first.intersect(second),
+            first.shift_down(amount),
+            first.reward_window(rate),
+            first.scale(max(rate, 1e-6)),
+            Interval.k_state(first, second, rate=rate),
+            Interval.k_transition(first, second, rate=rate, impulse=amount),
+        ]
+        for result in results:
+            assert result.is_empty == (result.lower > result.upper)
+            if result.is_empty:
+                assert result is Interval.EMPTY
+
+    @given(
+        a=finite, b=finite,
+        rate=st.floats(min_value=-1e6, max_value=-1e-9),
+    )
+    def test_reward_window_rejects_every_negative_rate(self, a, b, rate):
+        with pytest.raises(FormulaError):
+            Interval(min(a, b), max(a, b)).reward_window(rate)
+
     @given(
         a=st.floats(min_value=1e-9, max_value=1e6),
         b=st.floats(min_value=1e-9, max_value=1e6),

@@ -399,3 +399,67 @@ class TestFormulaDeclarations:
             "var x : [0..1] init 0; [go] x = 0 -> 1 : x' = 1;"
         )
         assert compiled.formulas == {}
+
+
+class TestDiagnosticsRegressions:
+    """Front-end bugs fixed by the shared diagnostics engine."""
+
+    def test_chained_comparison_rejected(self):
+        # 0 < x < 3 used to parse as (0 < x) < 3, silently comparing a
+        # boolean to a number.
+        source = "var x : [0..3] init 0;\n[go] 0 < x < 3 -> 1 : x' = x + 1;\n"
+        with pytest.raises(ParseError) as info:
+            parse_model_source(source)
+        matching = [d for d in info.value.diagnostics if d.code == "MRM203"]
+        assert len(matching) == 1
+        diagnostic = matching[0]
+        assert diagnostic.span.line == 2
+        assert diagnostic.span.column == 12  # the second '<'
+        assert "non-associative" in diagnostic.message
+        assert "parenthesize" in diagnostic.message
+
+    def test_parenthesized_comparison_chain_accepted(self):
+        source = (
+            "var x : [0..3] init 0;\n"
+            "[go] (0 < x) & (x < 3) -> 1 : x' = x + 1;\n"
+        )
+        ast = parse_model_source(source)
+        assert len(ast.commands) == 1
+
+    def test_multiple_errors_reported_in_one_run(self):
+        source = (
+            "const = 1;\n"
+            "var x : [0..2] init 0;\n"
+            "[go] 0 < x < 2 -> 1 : x' = x + 1;\n"
+            "reward stat x = 0 : 1;\n"
+        )
+        with pytest.raises(ParseError) as info:
+            parse_model_source(source)
+        codes = [d.code for d in info.value.diagnostics]
+        assert codes == ["MRM202", "MRM203", "MRM208"]
+        lines = [d.span.line for d in info.value.diagnostics]
+        assert lines == [1, 3, 4]
+
+    def test_reward_kind_suggestion(self):
+        with pytest.raises(ParseError) as info:
+            parse_model_source("reward stat x = 0 : 1;")
+        (diagnostic,) = info.value.diagnostics
+        assert diagnostic.code == "MRM208"
+        assert diagnostic.suggestion == "state"
+
+    def test_declarations_carry_spans(self):
+        source = (
+            "const k = 2;\n"
+            "var x : [0..1] init 0;\n"
+            "[go] x = 0 -> k : x' = 1;\n"
+            'label "done" = x = 1;\n'
+            "reward impulse [go] : 1;\n"
+        )
+        ast = parse_model_source(source)
+        assert ast.constants[0].span.line == 1
+        assert ast.variables[0].span.line == 2
+        assert ast.commands[0].span.line == 3
+        assert ast.labels[0].span.line == 4
+        impulse = ast.impulse_rewards[0]
+        assert impulse.span.line == 5
+        assert impulse.span.column == 17  # the action name inside [ ]

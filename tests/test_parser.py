@@ -289,3 +289,89 @@ def _close_interval(a, b):
         return abs(x - y) <= 1e-6 * max(1.0, abs(y))
 
     return close(a.lower, b.lower) and close(a.upper, b.upper)
+
+
+class TestDiagnosticsRegressions:
+    """Silent mis-parses fixed by the shared diagnostics engine."""
+
+    def test_malformed_numeric_no_longer_an_atomic_proposition(self):
+        # '1.2.3' used to tokenize as the atomic proposition "1.2.3" and
+        # this formula parsed (and model-checked) without complaint.
+        with pytest.raises(ParseError) as info:
+            parse_formula("P(>=0.5) [1.2.3 U b]")
+        matching = [d for d in info.value.diagnostics if d.code == "CSRL002"]
+        assert len(matching) == 1
+        diagnostic = matching[0]
+        assert diagnostic.severity == "error"
+        assert diagnostic.span.line == 1
+        assert diagnostic.span.column == 11
+        assert diagnostic.span.end_column == 16
+
+    @pytest.mark.parametrize("literal", ["1.2.3", "5..2", ".5.", "0..1"])
+    def test_malformed_dotted_literals(self, literal):
+        with pytest.raises(ParseError) as info:
+            parse_formula(f"P(>=0.5) [{literal} U b]")
+        assert any(d.code == "CSRL002" for d in info.value.diagnostics)
+
+    def test_dangling_exponent_sign(self):
+        with pytest.raises(ParseError) as info:
+            parse_formula("P(>=0.5) [a U[0,1e+] b]")
+        (diagnostic,) = [
+            d for d in info.value.diagnostics if d.code == "CSRL002"
+        ]
+        assert "'1e+'" in diagnostic.message
+
+    def test_digit_leading_identifiers_still_fine(self):
+        assert parse_formula("3up") == Atomic("3up")
+
+    @pytest.mark.parametrize(
+        "formula, column",
+        [
+            ("P(>=1.5) [a U b]", 5),   # P, upper end
+            ("P(<=-0.1) [a U b]", 6),  # P, lower end (negative)
+            ("S(>=1.5) a", 5),         # S, upper end
+            ("S(<-0.2) a", 5),         # S, lower end (negative)
+        ],
+    )
+    def test_probability_bounds_validated_at_parse_time(self, formula, column):
+        # P(>=1.5) used to raise a position-less FormulaError from the
+        # AST constructor; S(<-0.2) died on the '-' character.  Both now
+        # produce CSRL010 with the number token's span.
+        with pytest.raises(ParseError) as info:
+            parse_formula(formula)
+        matching = [d for d in info.value.diagnostics if d.code == "CSRL010"]
+        assert len(matching) == 1
+        assert matching[0].span.column == column
+        assert "[0, 1]" in matching[0].message
+
+    def test_multiple_errors_reported_in_one_run(self):
+        with pytest.raises(ParseError) as info:
+            parse_formula("P(>=1.5) [1.2.3 U b] && P(<=0.5) [a W c]")
+        codes = {d.code for d in info.value.diagnostics}
+        assert {"CSRL010", "CSRL002", "CSRL008"} <= codes
+        assert len(info.value.diagnostics) >= 3
+        assert "more error" in str(info.value)
+
+    def test_until_keyword_suggestion(self):
+        with pytest.raises(ParseError) as info:
+            parse_formula("P(>=0.5) [a u b]")
+        (diagnostic,) = [
+            d for d in info.value.diagnostics if d.code == "CSRL008"
+        ]
+        assert diagnostic.suggestion == "U"
+
+    def test_collecting_sink_does_not_raise(self):
+        from repro.diag import DiagnosticSink
+
+        sink = DiagnosticSink()
+        formula = parse_formula("P(>=1.5) [a U b]", sink=sink)
+        assert sink.has_errors
+        assert formula is not None  # clamped placeholder bound
+
+    def test_explicit_vacuous_interval_warns(self):
+        from repro.diag import DiagnosticSink
+
+        sink = DiagnosticSink()
+        parse_formula("P(>=0.5) [a U[0,~] b]", sink=sink)
+        assert not sink.has_errors
+        assert [d.code for d in sink.warnings] == ["CSRL021"]
