@@ -4,15 +4,23 @@ import json
 import os
 from typing import Any, Dict, Iterable, Sequence
 
-__all__ = ["print_table", "update_bench_json", "BENCH_JSON", "BENCH_2_JSON"]
+__all__ = [
+    "print_table",
+    "update_bench_json",
+    "BENCH_JSON",
+    "BENCH_2_JSON",
+    "BENCH_4_JSON",
+]
 
 # Machine-readable perf trajectories at the repo root; successive PRs
 # append/overwrite their entries so regressions are visible in history.
 # The engine benchmarks (columnar, parallel fan-out) record into
-# BENCH_2.json; the instrumentation benchmarks into BENCH_3.json.
+# BENCH_2.json; the instrumentation benchmarks into BENCH_3.json; the
+# server benchmarks (warm daemon vs cold CLI) into BENCH_4.json.
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_JSON = os.path.join(_REPO_ROOT, "BENCH_3.json")
 BENCH_2_JSON = os.path.join(_REPO_ROOT, "BENCH_2.json")
+BENCH_4_JSON = os.path.join(_REPO_ROOT, "BENCH_4.json")
 
 
 def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[str]]) -> None:

@@ -1,0 +1,147 @@
+"""Checker-as-a-service throughput: warm daemon vs cold CLI on TMR.
+
+The daemon exists to amortize what every cold CLI invocation pays per
+query: interpreter + NumPy startup, model compilation, and all engine
+precomputation (Poisson tables, path-engine contexts, Omega memos).
+This benchmark quantifies the win on the paper's TMR model:
+
+* **cold CLI** — one ``python -m repro.cli.main`` subprocess per check,
+  nothing shared (how a script would shell out per query);
+* **warm server** — the same checks as requests against one in-process
+  daemon whose model/checker/engine caches were warmed by a single
+  prior request.
+
+Results land in ``BENCH_4.json`` at the repo root: per-query wall
+times, warm requests/sec, and the speedup ratio.  The assertion is
+deliberately loose (warm must beat cold; on any realistic box the
+ratio is two to three orders of magnitude) so the benchmark guards the
+architecture, not a machine-specific constant.
+
+``BENCH_QUICK=1`` (the CI setting) shrinks the repetition counts.
+"""
+
+import asyncio
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from _bench_utils import BENCH_4_JSON, print_table, update_bench_json
+
+from repro.server import ServerClient, ServerConfig
+from repro.server.daemon import ReproServer
+
+BENCH_QUICK = os.environ.get("BENCH_QUICK", "").strip() not in ("", "0")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TMR_PATH = REPO_ROOT / "examples" / "models" / "tmr.mrm"
+FORMULA = "P(>0.1) [Sup U[0,2][0,30] failed]"
+
+COLD_RUNS = 2 if BENCH_QUICK else 4
+WARM_RUNS = 50 if BENCH_QUICK else 200
+
+
+def _cold_cli_seconds():
+    """Wall time of one fresh-process CLI invocation of the check."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    start = time.perf_counter()
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli.main",
+            str(TMR_PATH),
+            "-f",
+            FORMULA,
+        ],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    elapsed = time.perf_counter() - start
+    assert completed.returncode == 0, completed.stderr
+    return elapsed
+
+
+def test_warm_server_vs_cold_cli(tmp_path):
+    sock = str(tmp_path / "bench.sock")
+    config = ServerConfig(socket_path=sock, model_root=str(TMR_PATH.parent))
+    server = ReproServer(config)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+
+        async def main():
+            await server.start()
+            ready.set()
+            await server._stopped.wait()
+
+        loop.run_until_complete(main())
+        loop.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10.0)
+
+    try:
+        cold_times = [_cold_cli_seconds() for _ in range(COLD_RUNS)]
+
+        with ServerClient(socket_path=sock) as client:
+            # One priming request pays the model compile + engine build.
+            first = client.check({"path": "tmr.mrm"}, FORMULA)
+            assert first["trust"] == "exact"
+            start = time.perf_counter()
+            for _ in range(WARM_RUNS):
+                body = client.check({"path": "tmr.mrm"}, FORMULA)
+            warm_wall = time.perf_counter() - start
+            assert body["trust"] == "exact"
+            assert body["states"] == first["states"]
+    finally:
+        future = asyncio.run_coroutine_threadsafe(
+            server.shutdown(drain=False), loop
+        )
+        try:
+            future.result(timeout=15.0)
+        except Exception:
+            pass
+        thread.join(timeout=15.0)
+
+    cold_mean = sum(cold_times) / len(cold_times)
+    warm_mean = warm_wall / WARM_RUNS
+    warm_rps = WARM_RUNS / warm_wall
+    speedup = cold_mean / warm_mean
+
+    print_table(
+        "warm server vs cold CLI (TMR)",
+        ["mode", "runs", "mean s/query", "queries/s"],
+        [
+            ["cold CLI", COLD_RUNS, f"{cold_mean:.4f}", f"{1 / cold_mean:.1f}"],
+            ["warm server", WARM_RUNS, f"{warm_mean:.6f}", f"{warm_rps:.1f}"],
+            ["speedup", "", f"{speedup:.1f}x", ""],
+        ],
+    )
+    update_bench_json(
+        "server_warm_vs_cold_cli",
+        {
+            "model": "tmr(N=3)",
+            "formula": FORMULA,
+            "cold_cli_runs": COLD_RUNS,
+            "cold_cli_mean_s": cold_mean,
+            "warm_server_runs": WARM_RUNS,
+            "warm_server_mean_s": warm_mean,
+            "warm_server_requests_per_sec": warm_rps,
+            "speedup": speedup,
+            "quick_mode": BENCH_QUICK,
+        },
+        path=BENCH_4_JSON,
+    )
+    # The architecture guarantee, not a machine constant: a warm daemon
+    # answer must be far cheaper than a cold process per query.
+    assert speedup > 5.0

@@ -295,7 +295,11 @@ class ModelChecker:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def check(self, formula: Union[str, StateFormula]) -> SatResult:
+    def check(
+        self,
+        formula: Union[str, StateFormula],
+        guard: Optional[NullGuard] = None,
+    ) -> SatResult:
         """Evaluate a state formula; returns its satisfying set.
 
         Accepts either an AST or concrete syntax (parsed with
@@ -314,9 +318,15 @@ class ModelChecker:
         on cheaper engine tiers, the result's :attr:`SatResult.trust`
         reports ``"degraded"``/``"partial"``, and every step is listed
         in the report's ``degradations`` section.
+
+        A per-call ``guard`` overrides both the constructor guard and
+        the options-derived budgets for this one evaluation — the hook a
+        long-lived service uses to run every request on a *shared*
+        checker (warm formula caches) under that request's own
+        admission-clipped budgets.
         """
         parsed = self._coerce(formula)
-        guard = self._make_guard()
+        guard = guard if guard is not None else self._make_guard()
         self._partial = False
         self._degradations = []
         if not self._options.observe:

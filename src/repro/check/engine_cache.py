@@ -62,9 +62,11 @@ class EngineCache:
     Notes
     -----
     The cache is safe under concurrent lookups (a lock guards the
-    table), but builders run outside the lock so a slow build never
-    blocks unrelated lookups; two racing builders for the same key
-    resolve to the first stored value.
+    table), and builds are *single-flight*: the first thread to miss a
+    key builds it outside the lock while concurrent callers for the
+    same key wait on a per-key latch and then reuse the stored value —
+    a slow build never blocks unrelated lookups and never runs twice.
+    If the owning build raises, one waiter takes over as the builder.
     """
 
     def __init__(self, max_entries: int = 64, worker_pool: Any = None) -> None:
@@ -73,6 +75,7 @@ class EngineCache:
         self._max_entries = int(max_entries)
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.RLock()
+        self._building: Dict[Hashable, threading.Event] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -82,26 +85,41 @@ class EngineCache:
     def get_or_build(self, key: Hashable, builder: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, building it on first use."""
         obs = get_collector()
-        with self._lock:
-            if key in self._entries:
-                self._hits += 1
-                self._entries.move_to_end(key)
-                obs.counter_add("engine-cache.hits")
-                return self._entries[key]
-            self._misses += 1
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self._hits += 1
+                    self._entries.move_to_end(key)
+                    obs.counter_add("engine-cache.hits")
+                    return self._entries[key]
+                latch = self._building.get(key)
+                if latch is None:
+                    self._building[key] = threading.Event()
+                    self._misses += 1
+                    break
+            # Another thread is building this key; wait for its latch,
+            # then loop: normally the entry is now cached (a hit), but
+            # if the build failed or was already evicted we become the
+            # builder ourselves.
+            latch.wait()
         obs.counter_add("engine-cache.misses")
-        value = builder()
+        try:
+            value = builder()
+        except BaseException:
+            with self._lock:
+                latch = self._building.pop(key, None)
+            if latch is not None:
+                latch.set()
+            raise
         with self._lock:
-            if key in self._entries:
-                # A concurrent builder won the race; keep its value so
-                # every caller shares one object.
-                self._entries.move_to_end(key)
-                return self._entries[key]
             self._entries[key] = value
             while len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
                 self._evictions += 1
                 obs.counter_add("engine-cache.evictions")
+            latch = self._building.pop(key, None)
+        if latch is not None:
+            latch.set()
         return value
 
     def calculators_for(self, reward_levels: Sequence[float]) -> Dict[float, Any]:

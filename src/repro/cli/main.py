@@ -63,6 +63,16 @@ blank lines skipped).  Text output uses the classic caret format
 in ``docs/diagnostics.md``.  Exit status is 1 when any *error* was
 found (warnings alone exit 0), 2 for unreadable files.
 
+``serve`` and ``client`` subcommands run the checker as a persistent
+daemon (newline-delimited JSON-RPC over TCP or a Unix socket) and talk
+to it::
+
+    mrmc-impulse serve --socket /tmp/mrmc.sock --mem-ceiling 2G
+    mrmc-impulse client --socket /tmp/mrmc.sock check model.mrm -f "P(>0.5) [a U[0,4][0,3] b]"
+
+See :mod:`repro.server` and the "Running as a service" section of
+``docs/api.md`` for the protocol, tenancy and coalescing semantics.
+
 When a parse fails in the main checking pipeline, the same caret
 diagnostics are printed to stderr after the one-line summary.
 
@@ -416,6 +426,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _report_main(argv[1:])
     if argv and argv[0] == "lint":
         return _lint_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.server.daemon import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        from repro.server.client import client_main
+
+        return client_main(argv[1:])
     parser = _build_argument_parser()
     args = parser.parse_args(argv)
 

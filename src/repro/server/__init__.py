@@ -1,0 +1,87 @@
+"""Checker-as-a-service: a fault-tolerant daemon over the library engines.
+
+Everything a long-lived checking service needs exists in library form —
+:class:`~repro.check.EngineCache` for warm cross-request state,
+:class:`~repro.guard.Guard` for cooperative budgets, the persistent
+shared-memory worker pool, and :class:`~repro.obs.RunReport` /
+Prometheus export for observability — but it all dies with the CLI
+process.  This package keeps it alive: :class:`ReproServer` is an
+asyncio front end speaking newline-delimited JSON-RPC over a TCP or
+Unix socket (``mrmc-impulse serve``), answering ``(model, formula,
+options)`` requests through the existing :class:`~repro.check.ModelChecker`
+with robustness as the design center:
+
+* **Admission control** — per-request guard budgets clipped by
+  per-tenant quotas and a server-wide memory ceiling
+  (:mod:`repro.server.admission`); requests the server cannot afford
+  are refused with a typed ``overloaded`` response carrying a
+  ``retry_after_s`` hint instead of queueing unboundedly.
+* **Fair scheduling** — a weighted start-time-fair queue with a bounded
+  depth (:mod:`repro.server.scheduler`); one chatty tenant cannot
+  starve the rest.
+* **Request coalescing** — concurrent identical queries (same model
+  content hash, formula, engine options) share one engine run
+  (:mod:`repro.server.coalesce`), and P-formulas over the same model
+  that differ only in comparison/bound share the quantitative values
+  through the per-model checker's path-value cache — the batched
+  ``until_probabilities`` engine invocation answers them all at once.
+* **Graceful degradation** — parse failures, model lint rejections,
+  guard trips, pool-worker deaths and client disconnects all degrade to
+  typed error responses (:mod:`repro.server.protocol`); the daemon
+  itself never dies, and SIGTERM drains in-flight requests before exit.
+* **Observability** — per-request :class:`~repro.obs.RunReport`
+  summaries, server counters (queue depth, coalesce hits, shed count,
+  per-tenant spend) exposed as a Prometheus text snapshot
+  (:mod:`repro.server.metrics`).
+
+:class:`~repro.server.client.ServerClient` (``mrmc-impulse client``) is
+the matching scripting front end.
+"""
+
+from repro.server.admission import AdmissionController, AdmissionTicket, TenantPolicy
+from repro.server.coalesce import Coalescer
+from repro.server.daemon import ReproServer, ServerConfig, serve_main
+from repro.server.client import ServerClient, client_main
+from repro.server.guards import RequestCancelled, RequestGuard
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ServerError,
+    classify_exception,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    validate_request,
+)
+from repro.server.scheduler import FairQueue
+from repro.server.service import CheckerService
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionTicket",
+    "TenantPolicy",
+    "Coalescer",
+    "ReproServer",
+    "ServerConfig",
+    "serve_main",
+    "ServerClient",
+    "client_main",
+    "RequestCancelled",
+    "RequestGuard",
+    "ServerMetrics",
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ServerError",
+    "classify_exception",
+    "decode_frame",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "validate_request",
+    "FairQueue",
+    "CheckerService",
+]

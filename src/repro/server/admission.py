@@ -1,0 +1,221 @@
+"""Admission control: per-tenant quotas under a server-wide ceiling.
+
+Every request is admitted (or refused, typed) *before* it is queued:
+
+* **Budget clipping.**  The request's own ``deadline_s`` /
+  ``mem_budget_bytes`` asks are clipped to the tenant's
+  :class:`TenantPolicy` caps — a tenant cannot buy more runtime or
+  memory per request than its policy grants, no matter what its client
+  sends.
+* **Memory ceiling.**  When the server is configured with a memory
+  ceiling, each admitted request *commits* its granted memory budget
+  against it for the request's whole life (queue wait included); a
+  request whose minimum grant no longer fits is refused with
+  ``overloaded`` + ``retry_after_s`` instead of letting concurrent
+  checks OOM the daemon.  Because the granted budget is also the
+  request's :class:`~repro.guard.Guard` memory budget, the commitment
+  is enforced, not advisory: the engines' cooperative checkpoints trip
+  before the request outgrows what admission charged for it.
+* **Concurrency quota.**  A per-tenant bound on requests in flight
+  (queued + executing); beyond it the tenant — and only that tenant —
+  is refused.
+
+The controller is thread-safe; tickets are returned by :meth:`admit`
+and must be released exactly once via :meth:`release`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional
+
+from repro.server.protocol import ServerError
+
+__all__ = ["TenantPolicy", "AdmissionTicket", "AdmissionController"]
+
+#: The smallest memory grant worth admitting; below this headroom a
+#: request would trip its budget on the first table allocation anyway.
+MIN_GRANT_BYTES = 8 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's share of the server.
+
+    Attributes
+    ----------
+    name:
+        Tenant identifier (requests carry it as ``params.tenant``).
+    weight:
+        Fair-queue weight; a tenant with weight 2 drains twice as fast
+        as one with weight 1 under contention.
+    max_in_flight:
+        Bound on this tenant's queued + executing requests.
+    max_deadline_s:
+        Cap on the per-request deadline; also the default when the
+        request asks for none.  ``None`` leaves time unbounded.
+    max_mem_bytes:
+        Cap on the per-request memory budget; also the default when the
+        request asks for none.  ``None`` defers to the server ceiling.
+    """
+
+    name: str = "default"
+    weight: float = 1.0
+    max_in_flight: int = 16
+    max_deadline_s: Optional[float] = None
+    max_mem_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"tenant weight must be positive, got {self.weight!r}")
+        if self.max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be at least 1, got {self.max_in_flight!r}"
+            )
+
+
+@dataclass
+class AdmissionTicket:
+    """Proof of admission; holds the granted budgets until released."""
+
+    tenant: str
+    weight: float
+    deadline_s: Optional[float]
+    mem_budget_bytes: Optional[int]
+    committed_bytes: int = 0
+    released: bool = field(default=False, repr=False)
+
+
+def _clip(requested: Optional[float], cap: Optional[float]) -> Optional[float]:
+    """The smaller of a request's ask and the policy cap (None = no bound)."""
+    if requested is None:
+        return cap
+    if cap is None:
+        return requested
+    return min(requested, cap)
+
+
+class AdmissionController:
+    """Admits requests against tenant quotas and the memory ceiling."""
+
+    def __init__(
+        self,
+        default_policy: Optional[TenantPolicy] = None,
+        tenants: Optional[Mapping[str, TenantPolicy]] = None,
+        mem_ceiling_bytes: Optional[int] = None,
+        min_grant_bytes: int = MIN_GRANT_BYTES,
+    ) -> None:
+        self._default = default_policy or TenantPolicy()
+        self._tenants: Dict[str, TenantPolicy] = dict(tenants or {})
+        if mem_ceiling_bytes is not None and mem_ceiling_bytes < 1:
+            raise ValueError("mem_ceiling_bytes must be positive or None")
+        self._ceiling = mem_ceiling_bytes
+        self._min_grant = int(min_grant_bytes)
+        self._lock = threading.Lock()
+        self._committed = 0
+        self._in_flight: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        """The tenant's policy; unknown tenants get the default quotas."""
+        policy = self._tenants.get(tenant)
+        if policy is not None:
+            return policy
+        return replace(self._default, name=tenant)
+
+    @property
+    def committed_bytes(self) -> int:
+        with self._lock:
+            return self._committed
+
+    @property
+    def mem_ceiling_bytes(self) -> Optional[int]:
+        return self._ceiling
+
+    def in_flight(self, tenant: Optional[str] = None) -> int:
+        with self._lock:
+            if tenant is not None:
+                return self._in_flight.get(tenant, 0)
+            return sum(self._in_flight.values())
+
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        tenant: str,
+        deadline_s: Optional[float] = None,
+        mem_budget_bytes: Optional[int] = None,
+        retry_after_s: float = 0.5,
+    ) -> AdmissionTicket:
+        """Admit one request, clipping its budgets; typed refusal otherwise.
+
+        Raises
+        ------
+        ServerError
+            ``overloaded`` when the tenant's in-flight quota is full or
+            the memory ceiling has no usable headroom left.
+        """
+        policy = self.policy_for(tenant)
+        granted_deadline = _clip(deadline_s, policy.max_deadline_s)
+        granted_mem = _clip(mem_budget_bytes, policy.max_mem_bytes)
+        with self._lock:
+            active = self._in_flight.get(tenant, 0)
+            if active >= policy.max_in_flight:
+                raise ServerError(
+                    "overloaded",
+                    f"tenant {tenant!r} already has {active} requests in "
+                    f"flight (quota {policy.max_in_flight})",
+                    data={"tenant": tenant, "in_flight": active},
+                    retry_after_s=retry_after_s,
+                )
+            committed = 0
+            if self._ceiling is not None:
+                headroom = self._ceiling - self._committed
+                if granted_mem is None:
+                    granted_mem = headroom
+                else:
+                    granted_mem = min(granted_mem, headroom)
+                if granted_mem < self._min_grant:
+                    raise ServerError(
+                        "overloaded",
+                        f"memory ceiling leaves {max(headroom, 0)} bytes of "
+                        f"headroom (minimum useful grant "
+                        f"{self._min_grant} bytes)",
+                        data={
+                            "committed_bytes": self._committed,
+                            "ceiling_bytes": self._ceiling,
+                        },
+                        retry_after_s=retry_after_s,
+                    )
+                committed = int(granted_mem)
+                self._committed += committed
+            self._in_flight[tenant] = active + 1
+        return AdmissionTicket(
+            tenant=tenant,
+            weight=policy.weight,
+            deadline_s=granted_deadline,
+            mem_budget_bytes=None if granted_mem is None else int(granted_mem),
+            committed_bytes=committed,
+        )
+
+    def release(self, ticket: AdmissionTicket) -> None:
+        """Return the ticket's commitments (idempotent)."""
+        with self._lock:
+            if ticket.released:
+                return
+            ticket.released = True
+            self._committed -= ticket.committed_bytes
+            remaining = self._in_flight.get(ticket.tenant, 0) - 1
+            if remaining > 0:
+                self._in_flight[ticket.tenant] = remaining
+            else:
+                self._in_flight.pop(ticket.tenant, None)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Structured state for the metrics endpoint."""
+        with self._lock:
+            return {
+                "committed_bytes": self._committed,
+                "ceiling_bytes": self._ceiling,
+                "in_flight": dict(self._in_flight),
+            }

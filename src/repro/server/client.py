@@ -1,0 +1,342 @@
+"""Synchronous client for the daemon + the ``mrmc-impulse client`` CLI.
+
+:class:`ServerClient` is a small blocking NDJSON-RPC client (one frame
+out, one frame back per request) usable from tests, scripts and the
+bundled CLI.  A typed error response raises
+:class:`~repro.server.protocol.ServerError` carrying the server's error
+code, message, structured data and ``retry_after_s`` hint, so callers
+can branch on ``error.code`` exactly as documented in the protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.server.protocol import MAX_FRAME_BYTES, ServerError
+
+__all__ = ["ServerClient", "client_main"]
+
+
+class ClientTransportError(ConnectionError):
+    """The connection died or the server spoke something unframeable."""
+
+
+class ServerClient:
+    """Blocking client for one daemon connection.
+
+    Parameters
+    ----------
+    socket_path:
+        Unix socket path; mutually exclusive with ``host``/``port``.
+    host, port:
+        TCP endpoint when ``socket_path`` is not given.
+    timeout:
+        Socket timeout in seconds for connect and each response read.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        if socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(socket_path)
+        else:
+            if port is None:
+                raise ValueError("either socket_path or port is required")
+            sock = socket.create_connection((host, int(port)), timeout=timeout)
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request(
+        self, method: str, params: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """One round trip; the ``result`` object, or a typed raise."""
+        self.send(method, params)
+        return self.receive()
+
+    def send(
+        self, method: str, params: Optional[Mapping[str, Any]] = None
+    ) -> int:
+        """Write one request frame without waiting (for pipelining)."""
+        self._next_id += 1
+        frame = {
+            "id": self._next_id,
+            "method": method,
+            "params": dict(params or {}),
+        }
+        data = json.dumps(frame, separators=(",", ":")).encode("utf-8") + b"\n"
+        try:
+            self._file.write(data)
+            self._file.flush()
+        except (OSError, ValueError) as error:
+            raise ClientTransportError(f"send failed: {error}")
+        return self._next_id
+
+    def send_raw(self, payload: bytes) -> None:
+        """Write arbitrary bytes (fault-injection tests use this)."""
+        self._file.write(payload)
+        self._file.flush()
+
+    def receive(self) -> Dict[str, Any]:
+        """Read one response frame; raises :class:`ServerError` on error."""
+        try:
+            line = self._file.readline(MAX_FRAME_BYTES + 1024)
+        except (OSError, ValueError) as error:
+            raise ClientTransportError(f"receive failed: {error}")
+        if not line:
+            raise ClientTransportError("server closed the connection")
+        try:
+            frame = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ClientTransportError(f"unparseable response frame: {error}")
+        if not isinstance(frame, dict):
+            raise ClientTransportError("response frame is not an object")
+        error = frame.get("error")
+        if error is not None:
+            raise ServerError(
+                code=str(error.get("code", "internal")),
+                message=str(error.get("message", "unknown server error")),
+                data=error.get("data"),
+                retry_after_s=error.get("retry_after_s"),
+            )
+        result = frame.get("result")
+        return result if isinstance(result, dict) else {"value": result}
+
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("metrics")
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        return self.request("shutdown", {"drain": drain})
+
+    def check(
+        self,
+        model: Mapping[str, Any],
+        formula: str,
+        tenant: str = "default",
+        options: Optional[Mapping[str, Any]] = None,
+        include_report: bool = False,
+    ) -> Dict[str, Any]:
+        """Check ``formula`` against ``model`` (``{"source"|"path": …}``)."""
+        params: Dict[str, Any] = {
+            "model": dict(model),
+            "formula": formula,
+            "tenant": tenant,
+        }
+        if options:
+            params["options"] = dict(options)
+        if include_report:
+            params["include_report"] = True
+        return self.request("check", params)
+
+
+# ----------------------------------------------------------------------
+# CLI entry point
+# ----------------------------------------------------------------------
+def _print_result(formula: str, body: Mapping[str, Any]) -> None:
+    states = body.get("states") or []
+    rendered = ", ".join(str(int(s) + 1) for s in states) or "(none)"
+    print(f"{formula}")
+    print(f"  trust: {body.get('trust', '?')}"
+          + ("  [coalesced]" if body.get("coalesced") else ""))
+    print(f"  satisfying states (1-based): {rendered}")
+    if body.get("wall_seconds") is not None:
+        print(f"  wall seconds: {body['wall_seconds']:.4f}")
+
+
+def client_main(argv: Optional[List[str]] = None) -> int:
+    """The ``mrmc-impulse client`` subcommand."""
+    import argparse
+
+    from repro.cli.main import _parse_size
+
+    parser = argparse.ArgumentParser(
+        prog="mrmc-impulse client",
+        description="talk to a running mrmc-impulse serve daemon",
+    )
+    parser.add_argument("--socket", metavar="PATH", default=None,
+                        help="Unix socket the daemon listens on")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="transport timeout in seconds (default 60)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("ping", help="round-trip liveness probe")
+    metrics_parser = sub.add_parser(
+        "metrics", help="operational counters (Prometheus text)"
+    )
+    metrics_parser.add_argument("--json", action="store_true",
+                                help="structured JSON instead of Prometheus "
+                                "text")
+    shutdown_parser = sub.add_parser(
+        "shutdown", help="ask the daemon to drain and exit"
+    )
+    shutdown_parser.add_argument("--no-drain", action="store_true",
+                                 help="fail queued requests instead of "
+                                 "finishing them")
+
+    check_parser = sub.add_parser("check", help="model-check formulas")
+    check_parser.add_argument("model", metavar="MODEL",
+                              help="local .mrm file to send inline, or (with "
+                              "--remote-path) a path the server resolves "
+                              "under its model root")
+    check_parser.add_argument("--remote-path", action="store_true",
+                              help="treat MODEL as a server-side path "
+                              "instead of reading it locally")
+    check_parser.add_argument("-f", "--formula", action="append", default=[],
+                              metavar="FORMULA", required=True,
+                              help="CSRL formula or a name the model "
+                              "declares (repeatable)")
+    check_parser.add_argument("--const", action="append", default=[],
+                              metavar="NAME=VALUE",
+                              help="override a model constant (repeatable)")
+    check_parser.add_argument("--tenant", default="default")
+    check_parser.add_argument("--deadline", type=float, default=None,
+                              metavar="SECONDS",
+                              help="request deadline (clipped by the "
+                              "tenant's quota)")
+    check_parser.add_argument("--mem-budget", default=None, metavar="BYTES",
+                              help="request memory budget, K/M/G suffixes "
+                              "accepted (clipped by the tenant's quota)")
+    check_parser.add_argument("--tolerance", type=float, default=None,
+                              help="guard error tolerance")
+    check_parser.add_argument("--no-degrade", action="store_true",
+                              help="fail typed instead of degrading "
+                              "through cheaper engines")
+    check_parser.add_argument("--workers", type=int, default=None,
+                              help="parallel fan-out width (clipped by the "
+                              "server)")
+    check_parser.add_argument("--include-report", action="store_true",
+                              help="attach the full RunReport to the result")
+    check_parser.add_argument("--json", action="store_true",
+                              help="print raw result objects as JSON lines")
+
+    args = parser.parse_args(argv)
+    if (args.socket is None) == (args.port is None):
+        print("error: exactly one of --socket or --port is required",
+              flush=True)
+        return 2
+
+    try:
+        client = ServerClient(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            timeout=args.timeout,
+        )
+    except OSError as error:
+        print(f"error: cannot connect: {error}", flush=True)
+        return 2
+
+    with client:
+        try:
+            if args.command == "ping":
+                print(json.dumps(client.ping(), sort_keys=True))
+                return 0
+            if args.command == "metrics":
+                result = client.metrics()
+                if args.json:
+                    print(json.dumps(result, sort_keys=True, indent=2))
+                else:
+                    print(result.get("prometheus", ""), end="")
+                return 0
+            if args.command == "shutdown":
+                print(json.dumps(
+                    client.shutdown(drain=not args.no_drain), sort_keys=True
+                ))
+                return 0
+
+            # check
+            if args.remote_path:
+                model: Dict[str, Any] = {"path": args.model}
+            else:
+                try:
+                    with open(args.model, "r", encoding="utf-8") as handle:
+                        model = {"source": handle.read()}
+                except OSError as error:
+                    print(f"error: cannot read model: {error}", flush=True)
+                    return 2
+            if args.const:
+                constants: Dict[str, float] = {}
+                for item in args.const:
+                    name, separator, value = item.partition("=")
+                    if not separator:
+                        print(f"error: bad --const {item!r}: expected "
+                              "NAME=VALUE", flush=True)
+                        return 2
+                    constants[name.strip()] = float(value)
+                model["constants"] = constants
+            options: Dict[str, Any] = {}
+            if args.deadline is not None:
+                options["deadline_s"] = args.deadline
+            if args.mem_budget is not None:
+                options["mem_budget_bytes"] = _parse_size(args.mem_budget)
+            if args.tolerance is not None:
+                options["error_tolerance"] = args.tolerance
+            if args.no_degrade:
+                options["degrade"] = False
+            if args.workers is not None:
+                options["workers"] = args.workers
+
+            failed = False
+            for formula in args.formula:
+                try:
+                    body = client.check(
+                        model,
+                        formula,
+                        tenant=args.tenant,
+                        options=options or None,
+                        include_report=args.include_report,
+                    )
+                except ServerError as error:
+                    failed = True
+                    payload = error.payload()
+                    if args.json:
+                        print(json.dumps(
+                            {"formula": formula, "error": payload},
+                            sort_keys=True,
+                        ))
+                    else:
+                        print(f"{formula}")
+                        print(f"  error [{error.code}]: {error}")
+                        if payload.get("retry_after_s") is not None:
+                            print("  retry after: "
+                                  f"{payload['retry_after_s']:g}s")
+                    continue
+                if args.json:
+                    print(json.dumps(body, sort_keys=True))
+                else:
+                    _print_result(formula, body)
+            return 1 if failed else 0
+        except ServerError as error:
+            print(f"error [{error.code}]: {error}", flush=True)
+            return 1
+        except (ClientTransportError, ConnectionError, socket.timeout) as error:
+            print(f"error: transport failure: {error}", flush=True)
+            return 2

@@ -1,0 +1,113 @@
+"""Request coalescing: concurrent identical queries share one engine run.
+
+The coalescing key is ``(model content hash, formula text, engine
+options)`` — everything that determines the *answer*.  The first
+arrival ("leader") is admitted, queued and executed; every concurrent
+identical request ("follower") attaches to the leader's in-flight entry
+and awaits its future instead of triggering another engine invocation.
+N concurrent identical requests therefore cost exactly one run, and all
+N receive the same result object.
+
+Budgets are deliberately *not* part of the key: a coalesced run executes
+under the leader's admitted budgets, and followers share whatever trust
+level that run produced (the response says ``coalesced: true`` so a
+client that insists on its own budget can disable coalescing by varying
+the formula text or reissuing after the in-flight run completes).
+
+Cancellation is reference-counted: each waiter that disconnects detaches
+from the entry, and only when the *last* waiter is gone is the run's
+cancel latch set — a leader's disconnect never kills a run that other
+clients still await.
+
+The coalescer is loop-affine: every method must be called from the
+daemon's event-loop thread (entries hold ``asyncio`` futures).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+__all__ = ["InFlightEntry", "Coalescer"]
+
+
+@dataclass
+class InFlightEntry:
+    """One in-flight engine run and the clients awaiting it."""
+
+    key: Hashable
+    future: "asyncio.Future[Any]"
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    waiters: int = 1
+    coalesced: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.future.done()
+
+
+class Coalescer:
+    """In-flight map of engine runs keyed by their answer-determining key."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[Hashable, InFlightEntry] = {}
+        self._hits = 0
+
+    @property
+    def hits(self) -> int:
+        """Total follower attachments (N identical requests count N-1)."""
+        return self._hits
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    # ------------------------------------------------------------------
+    def join(
+        self, key: Hashable, loop: Optional[asyncio.AbstractEventLoop] = None
+    ) -> Tuple[InFlightEntry, bool]:
+        """Attach to the in-flight run for ``key``; ``(entry, leader)``.
+
+        The caller that gets ``leader=True`` owns admission, queueing and
+        eventually :meth:`resolve`/:meth:`fail`; followers only await
+        ``entry.future`` and :meth:`detach` if they stop waiting.
+        """
+        entry = self._inflight.get(key)
+        if entry is not None and not entry.done:
+            entry.waiters += 1
+            entry.coalesced += 1
+            self._hits += 1
+            return entry, False
+        if loop is None:
+            loop = asyncio.get_event_loop()
+        entry = InFlightEntry(key=key, future=loop.create_future())
+        self._inflight[key] = entry
+        return entry, True
+
+    def detach(self, entry: InFlightEntry) -> None:
+        """One waiter stopped waiting (client disconnect).
+
+        When the last waiter detaches from an unfinished run, its cancel
+        latch is set so the executing guard aborts at the next engine
+        checkpoint instead of finishing work nobody will read.
+        """
+        entry.waiters -= 1
+        if entry.waiters <= 0 and not entry.done:
+            entry.cancel_event.set()
+
+    # ------------------------------------------------------------------
+    def resolve(self, entry: InFlightEntry, result: Any) -> None:
+        """Complete the run; every waiter's await returns ``result``."""
+        self._inflight.pop(entry.key, None)
+        if not entry.future.done():
+            entry.future.set_result(result)
+
+    def fail(self, entry: InFlightEntry, error: BaseException) -> None:
+        """Fail the run; every waiter's await raises ``error``."""
+        self._inflight.pop(entry.key, None)
+        if not entry.future.done():
+            entry.future.set_exception(error)
+            # A coalesced failure with zero remaining waiters would log
+            # an "exception was never retrieved" warning at GC time.
+            entry.future.exception()

@@ -1,0 +1,587 @@
+"""The ``mrmc-impulse serve`` daemon: asyncio front end over the service.
+
+One :class:`ReproServer` listens on a TCP or Unix socket, reads
+newline-delimited JSON-RPC frames, and answers ``check`` requests
+through a :class:`~repro.server.service.CheckerService` with the full
+robustness pipeline:
+
+``frame → validate → coalesce → admit → fair queue → execute → respond``
+
+* Malformed frames, bad parameters, rejected models and engine failures
+  all produce typed error responses on the same connection; nothing a
+  client sends can kill the daemon.
+* Admission (:class:`~repro.server.admission.AdmissionController`)
+  clips every request's budgets to its tenant's quota and the server
+  memory ceiling, refusing with ``overloaded`` + ``retry_after_s`` when
+  full — as does the bounded weighted fair queue
+  (:class:`~repro.server.scheduler.FairQueue`).
+* Identical concurrent queries coalesce onto one engine run
+  (:class:`~repro.server.coalesce.Coalescer`); a client disconnect
+  detaches its waiter, and only when the last waiter is gone does the
+  run's :class:`~repro.server.guards.RequestGuard` cancel at the next
+  engine checkpoint.
+* SIGTERM/SIGINT drain: the listener closes, queued and executing
+  requests finish (bounded by ``drain_timeout_s``), responses are
+  delivered, and the process exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Set
+
+from repro.server.admission import AdmissionController, AdmissionTicket, TenantPolicy
+from repro.server.coalesce import Coalescer, InFlightEntry
+from repro.server.guards import RequestCancelled, RequestGuard
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ServerError,
+    classify_exception,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    validate_request,
+)
+from repro.server.scheduler import FairQueue
+from repro.server.service import CheckerService, RequestSpec
+
+__all__ = ["ServerConfig", "ReproServer", "serve_main"]
+
+
+def _default_concurrency() -> int:
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+@dataclass
+class ServerConfig:
+    """Static configuration of one daemon instance."""
+
+    socket_path: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    model_root: str = "."
+    max_queue_depth: int = 128
+    max_concurrent: int = 0  # 0 -> min(4, cores)
+    mem_ceiling_bytes: Optional[int] = None
+    default_policy: TenantPolicy = field(default_factory=TenantPolicy)
+    tenants: Dict[str, TenantPolicy] = field(default_factory=dict)
+    model_cache_entries: int = 32
+    checker_cache_entries: int = 32
+    max_workers: int = 4
+    drain_timeout_s: float = 30.0
+    allow_remote_shutdown: bool = True
+
+    def concurrency(self) -> int:
+        return self.max_concurrent if self.max_concurrent > 0 else _default_concurrency()
+
+
+@dataclass
+class _Work:
+    """One admitted request waiting in (or popped from) the fair queue."""
+
+    spec: RequestSpec
+    entry: InFlightEntry
+    ticket: AdmissionTicket
+    abs_deadline: Optional[float]
+
+
+class ReproServer:
+    """The daemon: listener, scheduler and graceful-shutdown machinery."""
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        service: Optional[CheckerService] = None,
+        metrics: Optional[ServerMetrics] = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.metrics = metrics or ServerMetrics()
+        self.service = service or CheckerService(
+            model_root=self.config.model_root,
+            model_cache_entries=self.config.model_cache_entries,
+            checker_cache_entries=self.config.checker_cache_entries,
+            max_workers=self.config.max_workers,
+        )
+        self.admission = AdmissionController(
+            default_policy=self.config.default_policy,
+            tenants=self.config.tenants,
+            mem_ceiling_bytes=self.config.mem_ceiling_bytes,
+        )
+        self.queue = FairQueue(max_depth=self.config.max_queue_depth)
+        self.coalescer = Coalescer()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._work_available: Optional[asyncio.Event] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._active = 0
+        self._draining = False
+        self._shutdown_started = False
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._bound_port: Optional[int] = None
+        self.metrics.register_gauge("queue_depth", lambda: float(len(self.queue)))
+        self.metrics.register_gauge("active_requests", lambda: float(self._active))
+        self.metrics.register_gauge(
+            "coalesce_inflight", lambda: float(len(self.coalescer))
+        )
+        self.metrics.register_gauge(
+            "committed_mem_bytes", lambda: float(self.admission.committed_bytes)
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and start the scheduler (returns immediately)."""
+        self._loop = asyncio.get_running_loop()
+        self._work_available = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.concurrency(),
+            thread_name_prefix="repro-server",
+        )
+        limit = MAX_FRAME_BYTES + 1024
+        if self.config.socket_path is not None:
+            path = self.config.socket_path
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, path=path, limit=limit
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection,
+                host=self.config.host,
+                port=self.config.port,
+                limit=limit,
+            )
+            self._bound_port = self._server.sockets[0].getsockname()[1]
+        self._scheduler_task = self._loop.create_task(self._scheduler_loop())
+        # Install drain-on-signal before anyone can see the ready line,
+        # so a SIGTERM racing startup still drains instead of killing.
+        # In-process embeddings run the loop off the main thread, where
+        # signal handlers cannot be installed; they call shutdown()
+        # directly, so the suppression loses nothing.
+
+        def _initiate() -> None:
+            self._loop.create_task(self.shutdown(drain=True))
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(
+                NotImplementedError, ValueError, RuntimeError
+            ):
+                self._loop.add_signal_handler(signum, _initiate)
+
+    @property
+    def endpoint(self) -> str:
+        """Human/scriptable address: ``unix:<path>`` or ``tcp:<host>:<port>``."""
+        if self.config.socket_path is not None:
+            return f"unix:{self.config.socket_path}"
+        return f"tcp:{self.config.host}:{self._bound_port}"
+
+    @property
+    def port(self) -> Optional[int]:
+        return self._bound_port
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def run_until_signalled(self) -> None:
+        """Serve until SIGTERM/SIGINT (handlers installed by
+        :meth:`start`) initiates the drain, then return."""
+        await self._stopped.wait()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting work; optionally drain in-flight requests.
+
+        Draining finishes every queued and executing request (bounded by
+        ``drain_timeout_s``) and delivers its response before
+        connections close; without draining, queued requests fail typed
+        as ``shutting-down`` and only executing ones finish.
+        """
+        if self._shutdown_started:
+            await self._stopped.wait()
+            return
+        self._shutdown_started = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if not drain:
+            for _, work in self.queue.drain():
+                self.admission.release(work.ticket)
+                self.coalescer.fail(
+                    work.entry,
+                    ServerError("shutting-down", "daemon is shutting down"),
+                )
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while (
+            len(self.queue) or self._active or len(self.coalescer)
+        ) and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        # Give response writers one scheduling round before teardown.
+        await asyncio.sleep(0.05)
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._scheduler_task
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+        if self.config.socket_path is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(self.config.socket_path)
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.record_connection()
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        tasks: Set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # An over-long frame leaves the stream unframed; the
+                    # typed refusal is the last thing this connection gets.
+                    self.metrics.record_malformed_frame()
+                    await self._write(
+                        writer,
+                        write_lock,
+                        error_response(
+                            None,
+                            ServerError(
+                                "invalid-request",
+                                f"frame exceeds {MAX_FRAME_BYTES} bytes",
+                            ),
+                        ),
+                    )
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_frame(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            # Mid-request disconnect: cancel this connection's waiters.
+            # Detach-counting in the coalescer decides whether any
+            # underlying engine run is actually cancelled.
+            for task in list(tasks):
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            self._writers.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        payload: Mapping[str, Any],
+    ) -> None:
+        try:
+            async with write_lock:
+                writer.write(encode_frame(payload))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client already gone; the response dies quietly
+
+    async def _serve_frame(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id: Any = None
+        try:
+            obj = decode_frame(line)
+            request_id = obj.get("id")
+            request_id, method, params = validate_request(obj)
+        except ServerError as error:
+            self.metrics.record_malformed_frame()
+            self.metrics.record_error(error.code)
+            await self._write(writer, write_lock, error_response(request_id, error))
+            return
+        try:
+            result = await self._dispatch(method, params)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            error = classify_exception(exc)
+            self.metrics.record_request(method, "error")
+            self.metrics.record_error(error.code)
+            await self._write(writer, write_lock, error_response(request_id, error))
+            return
+        self.metrics.record_request(method, "ok")
+        await self._write(writer, write_lock, ok_response(request_id, result))
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, method: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        if method == "ping":
+            return {
+                "protocol": PROTOCOL_VERSION,
+                "pid": os.getpid(),
+                "draining": self._draining,
+            }
+        if method == "metrics":
+            return {
+                "prometheus": self.metrics.prometheus_text(),
+                "counters": self.metrics.snapshot(),
+                "coalesce_hits": self.coalescer.hits,
+                "admission": self.admission.snapshot(),
+                "queue_depths": self.queue.depths(),
+                "cached_models": self.service.cached_models(),
+                "cached_checkers": self.service.cached_checkers(),
+                "engine_cache": vars(self.service.engine_cache.stats),
+            }
+        if method == "shutdown":
+            if not self.config.allow_remote_shutdown:
+                raise ServerError(
+                    "invalid-request", "remote shutdown is disabled on this server"
+                )
+            drain = bool(params.get("drain", True))
+            assert self._loop is not None
+            self._loop.create_task(self.shutdown(drain=drain))
+            return {"draining": True}
+        # method == "check"
+        if self._draining:
+            raise ServerError(
+                "shutting-down", "daemon is draining and accepts no new work"
+            )
+        spec = self.service.parse_request(params)
+        return await self._handle_check(spec)
+
+    async def _handle_check(self, spec: RequestSpec) -> Dict[str, Any]:
+        entry, leader = self.coalescer.join(spec.coalesce_key, self._loop)
+        if leader:
+            try:
+                ticket = self.admission.admit(
+                    spec.tenant,
+                    deadline_s=spec.deadline_s,
+                    mem_budget_bytes=spec.mem_budget_bytes,
+                    retry_after_s=self.queue.retry_after_s(),
+                )
+            except ServerError as error:
+                self.coalescer.fail(entry, error)
+                raise
+            abs_deadline = (
+                None
+                if ticket.deadline_s is None
+                else time.monotonic() + ticket.deadline_s
+            )
+            work = _Work(
+                spec=spec, entry=entry, ticket=ticket, abs_deadline=abs_deadline
+            )
+            try:
+                self.queue.push(spec.tenant, ticket.weight, work)
+            except ServerError as error:
+                self.admission.release(ticket)
+                self.coalescer.fail(entry, error)
+                raise
+            assert self._work_available is not None
+            self._work_available.set()
+        try:
+            # Shielded: cancelling this waiter (client disconnect) must
+            # not cancel the shared future other waiters still await —
+            # detach-counting below decides the run's actual fate.
+            result = await asyncio.shield(entry.future)
+        except asyncio.CancelledError:
+            self.coalescer.detach(entry)
+            raise
+        if not leader:
+            self.metrics.record_coalesce_hit()
+            result = {**result, "coalesced": True}
+        return result
+
+    # ------------------------------------------------------------------
+    # scheduling + execution
+    # ------------------------------------------------------------------
+    async def _scheduler_loop(self) -> None:
+        assert self._work_available is not None
+        concurrency = self.config.concurrency()
+        while True:
+            await self._work_available.wait()
+            self._work_available.clear()
+            while self._active < concurrency:
+                popped = self.queue.pop()
+                if popped is None:
+                    break
+                _, work = popped
+                self._active += 1
+                assert self._loop is not None
+                self._loop.create_task(self._run_work(work))
+
+    async def _run_work(self, work: _Work) -> None:
+        spec, entry, ticket = work.spec, work.entry, work.ticket
+        try:
+            if entry.cancel_event.is_set():
+                raise RequestCancelled("every client disconnected while queued")
+            remaining: Optional[float] = None
+            if work.abs_deadline is not None:
+                # Queue wait burns the budget.  An exhausted deadline is
+                # still handed to the guard (clamped to epsilon) rather
+                # than rejected here, so the degradation policy decides:
+                # degrade=True yields a partial result, degrade=False a
+                # typed guard-exceeded — same contract as mid-run trips.
+                remaining = max(work.abs_deadline - time.monotonic(), 1e-9)
+            guard = RequestGuard(
+                deadline_s=remaining,
+                mem_budget_bytes=ticket.mem_budget_bytes,
+                error_tolerance=spec.error_tolerance,
+                cancel_event=entry.cancel_event,
+            )
+            assert self._loop is not None and self._executor is not None
+            start = time.perf_counter()
+            result = await self._loop.run_in_executor(
+                self._executor, self.service.execute, spec, guard
+            )
+            self.metrics.record_spend(spec.tenant, time.perf_counter() - start)
+            result.setdefault("coalesced", False)
+            self.coalescer.resolve(entry, result)
+        except asyncio.CancelledError:
+            self.coalescer.fail(
+                entry, ServerError("shutting-down", "daemon is shutting down")
+            )
+            raise
+        except BaseException as exc:
+            error = classify_exception(exc)
+            if error.code == "cancelled":
+                # No waiter is left to receive (and count) this one.
+                self.metrics.record_error("cancelled")
+            self.coalescer.fail(entry, error)
+        finally:
+            self.admission.release(ticket)
+            self._active -= 1
+            if self._work_available is not None:
+                self._work_available.set()
+
+
+# ----------------------------------------------------------------------
+# CLI entry point
+# ----------------------------------------------------------------------
+def serve_main(argv) -> int:
+    """The ``mrmc-impulse serve`` subcommand."""
+    import argparse
+
+    from repro.cli.main import _parse_size
+
+    parser = argparse.ArgumentParser(
+        prog="mrmc-impulse serve",
+        description="run the persistent model-checking daemon "
+        "(newline-delimited JSON-RPC over TCP or a Unix socket)",
+    )
+    parser.add_argument("--socket", metavar="PATH", default=None,
+                        help="serve on a Unix domain socket at PATH")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="TCP bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (default 0 = ephemeral; the bound "
+                        "port is printed on the ready line)")
+    parser.add_argument("--model-root", default=".", metavar="DIR",
+                        help="directory 'path' model references resolve "
+                        "under (default: cwd)")
+    parser.add_argument("--max-queue", type=int, default=128, metavar="N",
+                        help="bound on queued requests before load is shed")
+    parser.add_argument("--concurrency", type=int, default=0, metavar="N",
+                        help="executing requests in parallel "
+                        "(default min(4, cores))")
+    parser.add_argument("--mem-ceiling", default=None, metavar="BYTES",
+                        help="server-wide memory ceiling admitted request "
+                        "budgets may sum to (K/M/G suffixes accepted)")
+    parser.add_argument("--deadline-cap", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-request deadline cap (and default) for "
+                        "every tenant")
+    parser.add_argument("--mem-cap", default=None, metavar="BYTES",
+                        help="per-request memory budget cap for every tenant")
+    parser.add_argument("--max-in-flight", type=int, default=16, metavar="N",
+                        help="per-tenant bound on requests in flight")
+    parser.add_argument("--tenant", action="append", default=[],
+                        metavar="NAME=WEIGHT",
+                        help="declare a tenant with a fair-queue weight "
+                        "(repeatable; undeclared tenants get weight 1)")
+    parser.add_argument("--no-remote-shutdown", action="store_true",
+                        help="ignore protocol 'shutdown' requests "
+                        "(SIGTERM still drains)")
+    parser.add_argument("--drain-timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="bound on the SIGTERM drain (default 30)")
+    args = parser.parse_args(argv)
+
+    try:
+        default_policy = TenantPolicy(
+            max_in_flight=args.max_in_flight,
+            max_deadline_s=args.deadline_cap,
+            max_mem_bytes=None if args.mem_cap is None else _parse_size(args.mem_cap),
+        )
+        tenants: Dict[str, TenantPolicy] = {}
+        for item in args.tenant:
+            name, separator, weight = item.partition("=")
+            if not separator:
+                raise ValueError(f"bad --tenant {item!r}: expected NAME=WEIGHT")
+            tenants[name.strip()] = TenantPolicy(
+                name=name.strip(),
+                weight=float(weight),
+                max_in_flight=args.max_in_flight,
+                max_deadline_s=args.deadline_cap,
+                max_mem_bytes=default_policy.max_mem_bytes,
+            )
+        config = ServerConfig(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            model_root=args.model_root,
+            max_queue_depth=args.max_queue,
+            max_concurrent=args.concurrency,
+            mem_ceiling_bytes=(
+                None if args.mem_ceiling is None else _parse_size(args.mem_ceiling)
+            ),
+            default_policy=default_policy,
+            tenants=tenants,
+            drain_timeout_s=args.drain_timeout,
+            allow_remote_shutdown=not args.no_remote_shutdown,
+        )
+    except ValueError as error:
+        print(f"error: {error}", flush=True)
+        return 2
+
+    async def _amain() -> int:
+        server = ReproServer(config)
+        await server.start()
+        print(f"mrmc-impulse serve: listening on {server.endpoint}", flush=True)
+        await server.run_until_signalled()
+        print("mrmc-impulse serve: drained, exiting", flush=True)
+        return 0
+
+    try:
+        return asyncio.run(_amain())
+    except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C race
+        return 0

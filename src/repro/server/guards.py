@@ -1,0 +1,91 @@
+"""Per-request guards: library budgets plus client-driven cancellation.
+
+A request's :class:`RequestGuard` is an ordinary
+:class:`~repro.guard.Guard` (deadline, memory budget, cooperative
+checkpoints in every engine hot loop) extended with a cancellation
+latch.  The daemon sets the latch when the last client waiting on a
+coalesced run disconnects; the next engine checkpoint then raises
+:class:`RequestCancelled` — which deliberately does **not** derive from
+:class:`~repro.exceptions.GuardExceeded`, so the checker's degradation
+cascade does not burn cheaper engine tiers producing an answer nobody
+is waiting for.  The exception propagates straight out of ``check()``
+and the scheduler accounts the request as ``cancelled``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.exceptions import ReproError
+from repro.guard import Guard
+
+__all__ = ["RequestCancelled", "RequestGuard"]
+
+
+class RequestCancelled(ReproError):
+    """The client(s) waiting on this request disconnected.
+
+    Raised cooperatively at a guard checkpoint, never asynchronously;
+    computation stops at a well-defined loop boundary and the engines'
+    shared caches stay consistent.
+    """
+
+
+class RequestGuard(Guard):
+    """A guard whose checkpoints also honor a cancellation latch.
+
+    Parameters
+    ----------
+    cancel_event:
+        The latch; when set, the next :meth:`checkpoint` (or
+        :meth:`reserve`) raises :class:`RequestCancelled`.  A fresh
+        private event is created when omitted.
+    deadline_s, mem_budget_bytes, error_tolerance, rss_check_interval:
+        As for :class:`~repro.guard.Guard`.
+    """
+
+    def __init__(
+        self,
+        deadline_s: Optional[float] = None,
+        mem_budget_bytes: Optional[int] = None,
+        error_tolerance: Optional[float] = None,
+        rss_check_interval: int = 64,
+        cancel_event: Optional[threading.Event] = None,
+    ) -> None:
+        super().__init__(
+            deadline_s=deadline_s,
+            mem_budget_bytes=mem_budget_bytes,
+            error_tolerance=error_tolerance,
+            rss_check_interval=rss_check_interval,
+        )
+        self._cancel = cancel_event if cancel_event is not None else threading.Event()
+
+    @property
+    def cancel_event(self) -> threading.Event:
+        return self._cancel
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation (idempotent, thread-safe)."""
+        self._cancel.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel.is_set()
+
+    def _check_cancelled(self, phase: Optional[str]) -> None:
+        if self._cancel.is_set():
+            raise RequestCancelled(
+                "request cancelled by client disconnect"
+                + (f" during {phase}" if phase else "")
+            )
+
+    def checkpoint(
+        self, phase: Optional[str] = None, mem_bytes: Optional[int] = None
+    ) -> None:
+        self._check_cancelled(phase)
+        super().checkpoint(phase, mem_bytes)
+
+    def reserve(self, mem_bytes: int, phase: Optional[str] = None) -> None:
+        self._check_cancelled(phase)
+        super().reserve(mem_bytes, phase)

@@ -1,0 +1,231 @@
+"""Server-level counters and their Prometheus text snapshot.
+
+The per-request :class:`~repro.obs.RunReport` instrumentation already
+exists; this module adds the *daemon's* own operational counters —
+requests by method and outcome, typed errors by code, shed load,
+coalesce hits, queue depth, per-tenant spend — and renders them in the
+Prometheus text-exposition format the repo's existing validator
+(:func:`repro.obs.validate_prometheus_text`) accepts, so the ``metrics``
+method doubles as a ``/metrics`` scrape target via
+``mrmc-impulse client … metrics``.
+
+All mutators are thread-safe: the scheduler updates from the event-loop
+thread, execution wall-clock spend from worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["ServerMetrics"]
+
+
+class ServerMetrics:
+    """Lock-protected operational counters of one daemon."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._requests: Dict[tuple, int] = {}  # (method, outcome) -> count
+        self._errors: Dict[str, int] = {}  # error code -> count
+        self._tenant_spend_s: Dict[str, float] = {}
+        self._tenant_requests: Dict[str, int] = {}
+        self._shed = 0
+        self._cancelled = 0
+        self._coalesce_hits = 0
+        self._connections = 0
+        self._malformed_frames = 0
+        # Gauge callbacks wired by the daemon (queue depth, active runs,
+        # committed memory, coalesce state) so the snapshot always shows
+        # live values without the metrics object owning those subsystems.
+        self._gauges: Dict[str, Callable[[], float]] = {}
+
+    # ------------------------------------------------------------------
+    def register_gauge(self, name: str, read: Callable[[], float]) -> None:
+        with self._lock:
+            self._gauges[name] = read
+
+    def record_request(self, method: str, outcome: str) -> None:
+        with self._lock:
+            key = (method, outcome)
+            self._requests[key] = self._requests.get(key, 0) + 1
+
+    def record_error(self, code: str) -> None:
+        with self._lock:
+            self._errors[code] = self._errors.get(code, 0) + 1
+            if code == "overloaded":
+                self._shed += 1
+            if code == "cancelled":
+                self._cancelled += 1
+
+    def record_spend(self, tenant: str, wall_seconds: float) -> None:
+        with self._lock:
+            self._tenant_spend_s[tenant] = (
+                self._tenant_spend_s.get(tenant, 0.0) + float(wall_seconds)
+            )
+            self._tenant_requests[tenant] = self._tenant_requests.get(tenant, 0) + 1
+
+    def record_coalesce_hit(self) -> None:
+        with self._lock:
+            self._coalesce_hits += 1
+
+    def record_connection(self) -> None:
+        with self._lock:
+            self._connections += 1
+
+    def record_malformed_frame(self) -> None:
+        with self._lock:
+            self._malformed_frames += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def shed_total(self) -> int:
+        with self._lock:
+            return self._shed
+
+    @property
+    def cancelled_total(self) -> int:
+        with self._lock:
+            return self._cancelled
+
+    @property
+    def coalesce_hits_total(self) -> int:
+        with self._lock:
+            return self._coalesce_hits
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Structured counters for the JSON half of the metrics method."""
+        with self._lock:
+            gauges = {name: float(read()) for name, read in self._gauges.items()}
+            return {
+                "uptime_seconds": time.monotonic() - self._started,
+                "requests": {
+                    f"{method}:{outcome}": count
+                    for (method, outcome), count in sorted(self._requests.items())
+                },
+                "errors": dict(sorted(self._errors.items())),
+                "shed_total": self._shed,
+                "cancelled_total": self._cancelled,
+                "coalesce_hits_total": self._coalesce_hits,
+                "connections_total": self._connections,
+                "malformed_frames_total": self._malformed_frames,
+                "tenant_spend_seconds": dict(sorted(self._tenant_spend_s.items())),
+                "tenant_requests": dict(sorted(self._tenant_requests.items())),
+                "gauges": gauges,
+            }
+
+    # ------------------------------------------------------------------
+    def prometheus_text(self) -> str:
+        """The counters as a Prometheus text-exposition snapshot."""
+        snap = self.snapshot()
+        lines: List[str] = []
+
+        def family(name: str, kind: str, help_text: str) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        def sample(
+            name: str, labels: Optional[Dict[str, str]], value: float
+        ) -> None:
+            if labels:
+                rendered = ",".join(
+                    '{}="{}"'.format(
+                        k, str(v).replace("\\", r"\\").replace('"', r"\"")
+                    )
+                    for k, v in labels.items()
+                )
+                lines.append(f"{name}{{{rendered}}} {float(value):g}")
+            else:
+                lines.append(f"{name} {float(value):g}")
+
+        family(
+            "repro_server_uptime_seconds", "gauge", "Seconds since daemon start."
+        )
+        sample("repro_server_uptime_seconds", None, snap["uptime_seconds"])
+
+        family(
+            "repro_server_requests_total",
+            "counter",
+            "Requests handled, by method and outcome.",
+        )
+        for key, count in snap["requests"].items():
+            method, _, outcome = key.partition(":")
+            sample(
+                "repro_server_requests_total",
+                {"method": method, "outcome": outcome},
+                count,
+            )
+
+        family(
+            "repro_server_errors_total",
+            "counter",
+            "Typed error responses, by error code.",
+        )
+        for code, count in snap["errors"].items():
+            sample("repro_server_errors_total", {"code": code}, count)
+
+        family(
+            "repro_server_shed_total",
+            "counter",
+            "Requests refused by admission control or the bounded queue.",
+        )
+        sample("repro_server_shed_total", None, snap["shed_total"])
+
+        family(
+            "repro_server_cancelled_total",
+            "counter",
+            "Requests abandoned by client disconnect.",
+        )
+        sample("repro_server_cancelled_total", None, snap["cancelled_total"])
+
+        family(
+            "repro_server_coalesce_hits_total",
+            "counter",
+            "Requests answered by an in-flight identical run.",
+        )
+        sample(
+            "repro_server_coalesce_hits_total", None, snap["coalesce_hits_total"]
+        )
+
+        family(
+            "repro_server_connections_total",
+            "counter",
+            "Client connections accepted.",
+        )
+        sample("repro_server_connections_total", None, snap["connections_total"])
+
+        family(
+            "repro_server_malformed_frames_total",
+            "counter",
+            "Frames that failed to parse as protocol requests.",
+        )
+        sample(
+            "repro_server_malformed_frames_total",
+            None,
+            snap["malformed_frames_total"],
+        )
+
+        family(
+            "repro_server_tenant_spend_seconds",
+            "counter",
+            "Accumulated engine wall-clock seconds, per tenant.",
+        )
+        for tenant, spend in snap["tenant_spend_seconds"].items():
+            sample("repro_server_tenant_spend_seconds", {"tenant": tenant}, spend)
+
+        family(
+            "repro_server_tenant_requests_total",
+            "counter",
+            "Executed requests, per tenant.",
+        )
+        for tenant, count in snap["tenant_requests"].items():
+            sample("repro_server_tenant_requests_total", {"tenant": tenant}, count)
+
+        for name, value in sorted(snap["gauges"].items()):
+            metric = f"repro_server_{name}"
+            family(metric, "gauge", f"Live server gauge {name}.")
+            sample(metric, None, value)
+
+        return "\n".join(lines) + "\n"

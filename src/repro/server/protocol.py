@@ -1,0 +1,245 @@
+"""Wire protocol of the checking daemon: NDJSON frames, typed errors.
+
+The daemon and its clients speak newline-delimited JSON-RPC: one JSON
+object per line (UTF-8, no embedded newlines), at most
+:data:`MAX_FRAME_BYTES` per frame.  Requests carry ``id`` (echoed back
+verbatim, any JSON value), ``method`` and ``params``; responses carry
+``id``, ``ok`` and either ``result`` or ``error``.  Because every
+response names its request id, a client may pipeline requests on one
+connection and receive the answers out of order.
+
+Methods
+-------
+``check``
+    ``params``: ``model`` (``{"source": str}`` or ``{"path": str}``,
+    optionally with ``constants``), ``formula`` (CSRL text),
+    ``options`` (a subset of :class:`~repro.check.CheckOptions` fields
+    plus ``deadline_s``/``mem_budget_bytes``), ``tenant`` and
+    ``include_report``.
+``ping``
+    Liveness probe; returns the protocol version and server pid.
+``metrics``
+    Returns the Prometheus text snapshot plus a structured counter dict.
+``shutdown``
+    Asks the daemon to drain and exit (when the server allows it).
+
+Error taxonomy
+--------------
+Failures never close the protocol down to an untyped disconnect: every
+failure mode has a stable ``error.code`` from :data:`ERROR_CODES`:
+
+================  ======================================================
+``invalid-request``  Malformed frame, unknown method, bad parameter.
+``parse-error``      The CSRL formula was rejected (diagnostics attached).
+``model-error``      The model source failed the lint/compile gate
+                     (diagnostics attached) or the path is not servable.
+``check-error``      Model checking failed for a structural reason.
+``guard-exceeded``   A deadline/memory budget tripped with degradation
+                     off, or the deadline passed while queued.
+``worker-error``     A pool worker failed beyond serial recovery.
+``overloaded``       Admission refused the request (queue bound, memory
+                     ceiling); ``retry_after_s`` says when to retry.
+``cancelled``        The request was abandoned by its client.
+``shutting-down``    The daemon is draining and accepts no new work.
+``internal``         Anything else; the daemon stays up regardless.
+================  ======================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import (
+    CheckError,
+    FormulaError,
+    GuardExceeded,
+    ModelError,
+    NumericalError,
+    ParseError,
+    ReproError,
+    WorkerError,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "METHODS",
+    "ERROR_CODES",
+    "ServerError",
+    "encode_frame",
+    "decode_frame",
+    "validate_request",
+    "ok_response",
+    "error_response",
+    "classify_exception",
+]
+
+PROTOCOL_VERSION = "repro.server/1"
+
+#: Hard bound on one frame; inline model sources ride in requests, so
+#: this is generous, but a client streaming garbage cannot make the
+#: daemon buffer without limit.
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+METHODS = ("check", "ping", "metrics", "shutdown")
+
+ERROR_CODES = (
+    "invalid-request",
+    "parse-error",
+    "model-error",
+    "check-error",
+    "guard-exceeded",
+    "worker-error",
+    "overloaded",
+    "cancelled",
+    "shutting-down",
+    "internal",
+)
+
+
+class ServerError(ReproError):
+    """A typed request failure, rendered as an ``error`` response.
+
+    Attributes
+    ----------
+    code:
+        One of :data:`ERROR_CODES`.
+    data:
+        Optional structured detail (diagnostics, the tripped phase, …).
+    retry_after_s:
+        For ``overloaded`` responses: the client's backoff hint.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        data: Optional[Mapping[str, Any]] = None,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown server error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.data = dict(data) if data else None
+        self.retry_after_s = retry_after_s
+
+    def payload(self) -> Dict[str, Any]:
+        """The JSON body of the ``error`` field."""
+        body: Dict[str, Any] = {"code": self.code, "message": str(self)}
+        if self.data:
+            body["data"] = self.data
+        if self.retry_after_s is not None:
+            body["retry_after_s"] = float(self.retry_after_s)
+        return body
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_frame(payload: Mapping[str, Any]) -> bytes:
+    """One NDJSON frame: compact JSON plus the terminating newline."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into a JSON object, typed on failure."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ServerError(
+            "invalid-request",
+            f"frame of {len(line)} bytes exceeds the limit of "
+            f"{MAX_FRAME_BYTES} bytes",
+        )
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ServerError("invalid-request", f"frame is not valid JSON: {error}")
+    if not isinstance(obj, dict):
+        raise ServerError(
+            "invalid-request",
+            f"frame must be a JSON object, got {type(obj).__name__}",
+        )
+    return obj
+
+
+def validate_request(obj: Mapping[str, Any]) -> Tuple[Any, str, Dict[str, Any]]:
+    """``(id, method, params)`` of a request frame, typed on failure."""
+    request_id = obj.get("id")
+    method = obj.get("method")
+    if not isinstance(method, str):
+        raise ServerError("invalid-request", "request is missing a string 'method'")
+    if method not in METHODS:
+        raise ServerError(
+            "invalid-request",
+            f"unknown method {method!r} (expected one of {', '.join(METHODS)})",
+        )
+    params = obj.get("params", {})
+    if params is None:
+        params = {}
+    if not isinstance(params, dict):
+        raise ServerError(
+            "invalid-request",
+            f"'params' must be an object, got {type(params).__name__}",
+        )
+    return request_id, method, params
+
+
+def ok_response(request_id: Any, result: Mapping[str, Any]) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": dict(result)}
+
+
+def error_response(request_id: Any, error: ServerError) -> Dict[str, Any]:
+    return {"id": request_id, "ok": False, "error": error.payload()}
+
+
+# ----------------------------------------------------------------------
+# exception -> typed error mapping
+# ----------------------------------------------------------------------
+def _diagnostics_data(error: BaseException) -> Optional[Dict[str, Any]]:
+    diagnostics = getattr(error, "diagnostics", None)
+    if not diagnostics:
+        return None
+    return {
+        "diagnostics": [
+            {
+                "code": d.code,
+                "severity": d.severity,
+                "message": d.message,
+            }
+            for d in diagnostics
+        ]
+    }
+
+
+def classify_exception(error: BaseException) -> ServerError:
+    """Map any exception escaping a request to its typed server error.
+
+    The mapping is total: whatever a handler raises — library errors,
+    injected faults, genuine bugs — the caller gets a typed response and
+    the daemon survives.  Already-typed :class:`ServerError` instances
+    pass through unchanged.
+    """
+    from repro.server.guards import RequestCancelled
+
+    if isinstance(error, ServerError):
+        return error
+    if isinstance(error, RequestCancelled):
+        return ServerError("cancelled", str(error) or "request cancelled")
+    if isinstance(error, ParseError):
+        return ServerError("parse-error", str(error), data=_diagnostics_data(error))
+    if isinstance(error, (ModelError,)):
+        return ServerError("model-error", str(error), data=_diagnostics_data(error))
+    if isinstance(error, GuardExceeded):
+        data = {"phase": error.phase} if error.phase else None
+        return ServerError("guard-exceeded", str(error), data=data)
+    if isinstance(error, WorkerError):
+        data = {"shard": list(error.shard)} if error.shard else None
+        return ServerError("worker-error", str(error), data=data)
+    if isinstance(error, (CheckError, FormulaError, NumericalError, ReproError)):
+        return ServerError("check-error", str(error))
+    if isinstance(error, MemoryError):
+        return ServerError("guard-exceeded", "out of memory during evaluation")
+    return ServerError("internal", f"{type(error).__name__}: {error}")

@@ -1,0 +1,141 @@
+"""A bounded, weighted start-time-fair queue for admitted requests.
+
+The daemon queues admitted requests per tenant and drains them in
+*virtual-time* order (start-time fair queuing): each tenant carries a
+virtual clock that advances by ``1 / weight`` per served request, and
+:meth:`FairQueue.pop` always serves the non-empty tenant with the
+smallest clock.  A tenant that was idle re-enters at the current global
+virtual time (no credit hoarding), so under contention tenants drain in
+proportion to their weights — deterministically, with alphabetical
+tie-breaking, which keeps the fairness property unit-testable without
+statistics.
+
+Depth is bounded twice: a global ``max_depth`` across all tenants and a
+per-push ``tenant_depth`` bound supplied by the caller (the tenant's
+in-flight quota already caps it, but the queue enforces its own line).
+A full queue refuses the push with a typed ``overloaded``
+:class:`~repro.server.protocol.ServerError` whose ``retry_after_s``
+scales with the backlog — load is shed at the door, never buffered
+unboundedly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, Optional, Tuple
+
+from repro.server.protocol import ServerError
+
+__all__ = ["FairQueue"]
+
+
+class FairQueue:
+    """Weighted fair FIFO-per-tenant queue with a bounded global depth."""
+
+    def __init__(self, max_depth: int = 128, base_retry_after_s: float = 0.25) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be at least 1, got {max_depth!r}")
+        self._max_depth = int(max_depth)
+        self._base_retry = float(base_retry_after_s)
+        self._lock = threading.Lock()
+        self._queues: Dict[str, deque] = {}
+        self._vtime: Dict[str, float] = {}
+        self._global_vtime = 0.0
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def depths(self) -> Dict[str, int]:
+        """Per-tenant queued counts (a snapshot)."""
+        with self._lock:
+            return {name: len(q) for name, q in self._queues.items() if q}
+
+    @property
+    def max_depth(self) -> int:
+        return self._max_depth
+
+    def retry_after_s(self) -> float:
+        """Backoff hint scaled by the current backlog."""
+        with self._lock:
+            depth = self._depth
+        return self._base_retry * (1.0 + depth / float(self._max_depth))
+
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        tenant: str,
+        weight: float,
+        item: Any,
+        tenant_depth: Optional[int] = None,
+    ) -> None:
+        """Queue one item for ``tenant``; typed refusal when full."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight!r}")
+        with self._lock:
+            if self._depth >= self._max_depth:
+                depth = self._depth
+                raise ServerError(
+                    "overloaded",
+                    f"queue is full ({depth} of {self._max_depth} slots)",
+                    data={"queue_depth": depth},
+                    retry_after_s=self._base_retry
+                    * (1.0 + depth / float(self._max_depth)),
+                )
+            queue = self._queues.get(tenant)
+            if queue is None:
+                queue = deque()
+                self._queues[tenant] = queue
+            if tenant_depth is not None and len(queue) >= tenant_depth:
+                raise ServerError(
+                    "overloaded",
+                    f"tenant {tenant!r} queue is full "
+                    f"({len(queue)} of {tenant_depth} slots)",
+                    data={"tenant": tenant, "queue_depth": len(queue)},
+                    retry_after_s=self._base_retry,
+                )
+            if not queue:
+                # An idle tenant re-enters at the current virtual time:
+                # it gets no credit for the interval it was not queuing.
+                self._vtime[tenant] = max(
+                    self._vtime.get(tenant, 0.0), self._global_vtime
+                )
+            queue.append((float(weight), item))
+            self._depth += 1
+
+    def pop(self) -> Optional[Tuple[str, Any]]:
+        """The next ``(tenant, item)`` in fair order, or ``None``."""
+        with self._lock:
+            best: Optional[str] = None
+            best_vtime = 0.0
+            for tenant, queue in sorted(self._queues.items()):
+                if not queue:
+                    continue
+                vtime = self._vtime.get(tenant, 0.0)
+                if best is None or vtime < best_vtime:
+                    best = tenant
+                    best_vtime = vtime
+            if best is None:
+                return None
+            weight, item = self._queues[best].popleft()
+            self._depth -= 1
+            self._global_vtime = best_vtime
+            self._vtime[best] = best_vtime + 1.0 / weight
+            if not self._queues[best]:
+                del self._queues[best]
+            return best, item
+
+    def drain(self) -> list:
+        """Remove and return every queued ``(tenant, item)`` (shutdown)."""
+        drained = []
+        with self._lock:
+            for tenant, queue in sorted(self._queues.items()):
+                while queue:
+                    _, item = queue.popleft()
+                    drained.append((tenant, item))
+            self._queues.clear()
+            self._depth = 0
+        return drained

@@ -148,3 +148,139 @@ class TestCheckerIntegration:
             isinstance(key, tuple) and key and key[0] == "disc-grid"
             for key in cache._entries
         )
+
+
+class TestThreadSafety:
+    """The cache under concurrency: the daemon hammers one shared
+    instance from its executor threads, so builds must be single-flight
+    and lookups race-free."""
+
+    def test_single_flight_concurrent_builders(self):
+        import threading
+        import time
+
+        cache = EngineCache()
+        builds = []
+        started = threading.Event()
+        release = threading.Event()
+        results = {}
+
+        def builder():
+            builds.append(threading.get_ident())
+            started.set()
+            release.wait(10.0)
+            return object()
+
+        def work(index):
+            results[index] = cache.get_or_build("key", builder)
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(8)
+        ]
+        threads[0].start()
+        assert started.wait(10.0)
+        for thread in threads[1:]:
+            thread.start()
+        time.sleep(0.05)  # let the waiters reach the build latch
+        release.set()
+        for thread in threads:
+            thread.join(10.0)
+        assert len(builds) == 1  # exactly one build despite 8 callers
+        assert len({id(v) for v in results.values()}) == 1
+        stats = cache.stats
+        assert stats.misses == 1
+        assert stats.hits == 7
+
+    def test_failed_build_releases_the_latch(self):
+        cache = EngineCache()
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("boom")
+            return "ok"
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_build("key", flaky)
+        # The failed owner released its latch; the next caller builds.
+        assert cache.get_or_build("key", flaky) == "ok"
+        assert len(calls) == 2
+
+    def test_waiter_takes_over_after_failed_build(self):
+        import threading
+        import time
+
+        cache = EngineCache()
+        owner_entered = threading.Event()
+        owner_release = threading.Event()
+        outcome = {}
+
+        def failing():
+            owner_entered.set()
+            owner_release.wait(10.0)
+            raise RuntimeError("owner build failed")
+
+        def first():
+            try:
+                cache.get_or_build("key", failing)
+            except RuntimeError as error:
+                outcome["first"] = error
+
+        def second():
+            outcome["second"] = cache.get_or_build("key", lambda: "rescued")
+
+        owner = threading.Thread(target=first)
+        owner.start()
+        assert owner_entered.wait(10.0)
+        waiter = threading.Thread(target=second)
+        waiter.start()
+        time.sleep(0.05)  # waiter blocks on the owner's latch
+        owner_release.set()
+        owner.join(10.0)
+        waiter.join(10.0)
+        assert isinstance(outcome["first"], RuntimeError)
+        assert outcome["second"] == "rescued"
+
+    def test_concurrent_checkers_share_one_cache(self):
+        """Multi-threaded ModelChecker regression: distinct checkers on
+        one shared cache, in parallel, stay correct and share builds."""
+        import threading
+
+        formulas = [
+            "P(>=0) [up U[0,2][0,4] down]",
+            "P(>=0.1) [up U[0,2][0,4] down]",
+            "P(>=0) [up U[0,1][0,3] down]",
+            "P(>=0.2) [up U[0,3][0,5] down]",
+        ]
+        serial = {
+            f: ModelChecker(two_state(), engine_cache=EngineCache())
+            .check(f)
+            .probabilities
+            for f in formulas
+        }
+        shared = EngineCache()
+        results = {}
+        errors = []
+        barrier = threading.Barrier(len(formulas))
+
+        def work(formula):
+            try:
+                barrier.wait(10.0)
+                checker = ModelChecker(two_state(), engine_cache=shared)
+                results[formula] = checker.check(formula).probabilities
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=work, args=(f,)) for f in formulas
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert not errors
+        assert results == serial
+        # The path-engine context was built once and shared, not per
+        # thread: every thread past the first hit the cache.
+        assert shared.stats.entries >= 1

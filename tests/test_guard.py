@@ -320,3 +320,69 @@ class TestGuardedCheck:
         report = RunReport.from_dict(payload)
         assert report.trust == "exact"
         assert report.degradations == []
+
+
+class TestConcurrentGuards:
+    def test_concurrent_checks_one_cache_distinct_guards(self, wavelan):
+        """The server's execution model in miniature: several threads
+        run ``check()`` against one shared EngineCache, each under its
+        own per-call guard (the ambient installation is thread-local).
+        A generous budget in one thread must not leak into (or rescue)
+        a starved one, and the starved thread's degradation must not
+        poison the generous thread's exact result."""
+        import threading
+
+        from repro.check.engine_cache import EngineCache
+
+        formula = "P(>0.1) [!sleep U[0,1][0,4] sleep]"
+        # A formula the shared cache has never seen: its cold build is
+        # where the starved guard's checkpoints fire (a fully warm run
+        # can finish without ever re-entering a guarded phase).
+        cold_formula = "P(>0.1) [!sleep U[0,2][0,8] sleep]"
+        shared = EngineCache()
+        reference = ModelChecker(
+            wavelan, CheckOptions(), engine_cache=shared
+        ).check(formula)
+        assert reference.trust == "exact"
+
+        outcomes = {}
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def generous():
+            try:
+                checker = ModelChecker(
+                    wavelan, CheckOptions(), engine_cache=shared
+                )
+                barrier.wait(10.0)
+                outcomes["generous"] = checker.check(
+                    formula, guard=Guard(deadline_s=300.0)
+                )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def starved():
+            try:
+                checker = ModelChecker(
+                    wavelan, CheckOptions(), engine_cache=shared
+                )
+                barrier.wait(10.0)
+                outcomes["starved"] = checker.check(
+                    cold_formula, guard=Guard(deadline_s=1e-9)
+                )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=generous),
+            threading.Thread(target=starved),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60.0)
+        assert not errors
+        assert outcomes["generous"].trust == "exact"
+        assert outcomes["generous"].states == reference.states
+        assert outcomes["generous"].probabilities == reference.probabilities
+        assert outcomes["starved"].trust in ("degraded", "partial")

@@ -232,3 +232,54 @@ class TestPersistence:
         assert cache.worker_pool() is pool.default_pool()
         own = pool.PersistentWorkerPool()
         assert EngineCache(worker_pool=own).worker_pool() is own
+
+
+class TestAtexitCleanup:
+    def test_default_pool_workers_die_at_interpreter_exit(self, tmp_path):
+        """Regression for the atexit hook: forked default-pool workers
+        must not outlive the parent interpreter (a daemon embedding the
+        pool would otherwise leak one orphan set per restart)."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        script = tmp_path / "warm_and_exit.py"
+        script.write_text(
+            "from repro.check import pool\n"
+            "pool._cpu_count = lambda: 8\n"
+            "warmed = pool.default_pool().warm(2)\n"
+            "assert warmed == 2, warmed\n"
+            "pids = pool.default_pool().worker_pids()\n"
+            "assert pids\n"
+            "print(' '.join(str(p) for p in pids), flush=True)\n"
+            # Normal interpreter exit: the atexit hook must reap them.
+        )
+        repo_src = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_src)
+        output = subprocess.run(
+            [sys.executable, str(script)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert output.returncode == 0, output.stderr
+        pids = [int(p) for p in output.stdout.split()]
+        assert pids
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            alive = []
+            for pid in pids:
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    continue
+                alive.append(pid)
+            if not alive:
+                return
+            time.sleep(0.05)
+        raise AssertionError(f"workers outlived the parent: {alive}")

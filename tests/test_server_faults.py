@@ -1,0 +1,336 @@
+"""Fault-injection harness for the daemon: the server never dies.
+
+Each test injects one failure mode the issue names — worker processes
+killed mid-request, queue floods past the admission bound, clients
+disconnecting mid-computation, SIGTERM during in-flight work — and
+asserts the daemon's contract: typed error responses (never silence,
+never a crash), subsequent requests answered bitwise-identically to a
+fresh CLI/library run, and a clean drain on SIGTERM with exit code 0.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.check.checker import CheckOptions, ModelChecker
+from repro.lang.compiler import compile_model
+from repro.server import ServerClient, ServerConfig, ServerError
+from repro.server.client import ClientTransportError
+from repro.server.daemon import ReproServer
+
+TMR_PATH = Path(__file__).resolve().parent.parent / "examples" / "models" / "tmr.mrm"
+TMR_SOURCE = TMR_PATH.read_text(encoding="utf-8")
+FORMULA = "P(>0.1) [Sup U[0,2][0,30] failed]"
+
+
+def _exit_hard(task):
+    os._exit(13)
+
+
+@pytest.fixture
+def multicore(monkeypatch):
+    """Pretend the box has cores to spare (same seam as the pool tests):
+    on a 1-core runner ``workers=2`` would silently serialize and the
+    worker-death injection would never engage."""
+    from repro.check import pool
+
+    monkeypatch.setattr(pool, "_cpu_count", lambda: 8)
+    yield
+    pool.reset_default_pool()
+
+
+@pytest.fixture
+def server_factory(tmp_path):
+    started = []
+
+    def start(**config_kwargs):
+        sock = str(tmp_path / f"srv{len(started)}.sock")
+        config_kwargs.setdefault("model_root", str(TMR_PATH.parent))
+        config_kwargs.setdefault("drain_timeout_s", 10.0)
+        config = ServerConfig(socket_path=sock, **config_kwargs)
+        server = ReproServer(config)
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+
+            async def main():
+                await server.start()
+                ready.set()
+                await server._stopped.wait()
+
+            loop.run_until_complete(main())
+            loop.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(10.0), "daemon failed to start"
+        started.append((server, loop, thread))
+        return server, sock
+
+    yield start
+    for server, loop, thread in started:
+        if not server._stopped.is_set():
+            future = asyncio.run_coroutine_threadsafe(
+                server.shutdown(drain=False), loop
+            )
+            try:
+                future.result(timeout=15.0)
+            except Exception:
+                pass
+        thread.join(timeout=15.0)
+
+
+def _wait_for(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def _read_ready_line(proc, timeout=30.0):
+    """Skip interpreter noise (runpy warnings) up to the ready line."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError("daemon exited before printing ready line")
+        if "listening on" in line:
+            return line
+    raise AssertionError("no ready line within timeout")
+
+
+class TestWorkerDeath:
+    def test_killed_workers_recover_bitwise_and_daemon_survives(
+        self, server_factory, multicore
+    ):
+        from repro.check import pool
+
+        server, sock = server_factory()
+        original = pool._fan_out_shard
+        pool._fan_out_shard = _exit_hard
+        pool.reset_default_pool()  # fork with the lethal shard function
+        try:
+            with ServerClient(socket_path=sock) as client:
+                body = client.check(
+                    {"source": TMR_SOURCE},
+                    FORMULA,
+                    options={"workers": 2},
+                )
+        finally:
+            pool._fan_out_shard = original
+            pool.reset_default_pool()
+        # The engine lost its workers mid-request, recovered serially,
+        # and the daemon answered as if nothing happened...
+        assert body["trust"] == "exact"
+        direct = ModelChecker(
+            compile_model(TMR_SOURCE).mrm, CheckOptions()
+        ).check(FORMULA)
+        assert body["states"] == sorted(int(s) for s in direct.states)
+        assert body["probabilities"] == [
+            float(v) for v in direct.probabilities
+        ]
+        # ...and keeps serving afterwards.
+        with ServerClient(socket_path=sock) as client:
+            assert client.ping()["draining"] is False
+
+
+class TestFloodRecovery:
+    def test_flood_sheds_then_recovers(self, server_factory):
+        server, sock = server_factory(max_concurrent=1, max_queue_depth=2)
+        release = threading.Event()
+        server.service.before_execute = lambda spec: release.wait(30.0)
+        flood = 12
+        formulas = [
+            f"P(>0.1) [Sup U[0,{2 + i}][0,30] failed]" for i in range(flood)
+        ]
+        shed = 0
+        served = 0
+        try:
+            with ServerClient(socket_path=sock) as client:
+                # Let the first request occupy the executor slot before
+                # the flood, so exactly two survivors fit in the queue.
+                client.send(
+                    "check",
+                    {"model": {"source": TMR_SOURCE}, "formula": formulas[0]},
+                )
+                assert _wait_for(lambda: server._active == 1)
+                for formula in formulas[1:]:
+                    client.send(
+                        "check",
+                        {"model": {"source": TMR_SOURCE}, "formula": formula},
+                    )
+                # 1 executing + 2 queued survive; the rest shed typed.
+                assert _wait_for(
+                    lambda: server.metrics.shed_total >= flood - 3
+                )
+                release.set()
+                for _ in range(flood):
+                    try:
+                        body = client.receive()
+                        assert body["trust"] == "exact"
+                        served += 1
+                    except ServerError as error:
+                        assert error.code == "overloaded"
+                        assert error.retry_after_s > 0
+                        shed += 1
+        finally:
+            server.service.before_execute = None
+            release.set()
+        assert served == 3
+        assert shed == flood - 3
+        # After the flood: queue empty, budgets returned, still serving.
+        assert len(server.queue) == 0
+        assert server.admission.in_flight() == 0
+        with ServerClient(socket_path=sock) as client:
+            body = client.check({"source": TMR_SOURCE}, FORMULA)
+        assert body["trust"] == "exact"
+
+
+class TestClientDisconnect:
+    def test_disconnect_mid_request_cancels_and_daemon_continues(
+        self, server_factory
+    ):
+        server, sock = server_factory(max_concurrent=1)
+        release = threading.Event()
+        server.service.before_execute = lambda spec: release.wait(30.0)
+        try:
+            victim = ServerClient(socket_path=sock)
+            victim.send(
+                "check",
+                {"model": {"source": TMR_SOURCE}, "formula": FORMULA},
+            )
+            assert _wait_for(lambda: server._active == 1)
+            entries = list(server.coalescer._inflight.values())
+            assert len(entries) == 1
+            victim.close()  # walk away mid-computation
+            # The last waiter detaching sets the run's cancel latch...
+            assert _wait_for(lambda: entries[0].cancel_event.is_set())
+            release.set()
+            # ...the guard trips at the next checkpoint, the run is
+            # accounted as cancelled, and its budgets come back.
+            assert _wait_for(lambda: server.metrics.cancelled_total == 1)
+            assert _wait_for(lambda: server.admission.in_flight() == 0)
+        finally:
+            server.service.before_execute = None
+            release.set()
+        with ServerClient(socket_path=sock) as client:
+            body = client.check({"source": TMR_SOURCE}, FORMULA)
+        assert body["trust"] == "exact"
+
+    def test_disconnect_of_one_waiter_spares_shared_run(self, server_factory):
+        server, sock = server_factory(max_concurrent=1)
+        release = threading.Event()
+        server.service.before_execute = lambda spec: release.wait(30.0)
+        try:
+            quitter = ServerClient(socket_path=sock)
+            stayer = ServerClient(socket_path=sock)
+            request = {
+                "model": {"source": TMR_SOURCE},
+                "formula": FORMULA,
+            }
+            quitter.send("check", request)
+            assert _wait_for(lambda: server._active == 1)
+            stayer.send("check", request)  # coalesces onto the same run
+            entries = list(server.coalescer._inflight.values())
+            assert _wait_for(lambda: entries[0].waiters == 2)
+            quitter.close()
+            assert _wait_for(lambda: entries[0].waiters == 1)
+            # One waiter remains, so the run is NOT cancelled.
+            assert not entries[0].cancel_event.is_set()
+            release.set()
+            body = stayer.receive()
+            stayer.close()
+        finally:
+            server.service.before_execute = None
+            release.set()
+        assert body["trust"] == "exact"
+        assert server.metrics.cancelled_total == 0
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_inflight_and_exits_zero(self, tmp_path):
+        sock = str(tmp_path / "drain.sock")
+        repo_root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli.main",
+                "serve",
+                "--socket",
+                sock,
+                "--model-root",
+                str(TMR_PATH.parent),
+                "--drain-timeout",
+                "20",
+            ],
+            cwd=str(repo_root),
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            _read_ready_line(proc)
+            client = ServerClient(socket_path=sock, timeout=30.0)
+            # A genuinely in-flight request: sent, then SIGTERM lands
+            # while the daemon still owes the response.
+            client.send("check", {
+                "model": {"path": "tmr.mrm"},
+                "formula": "table_5_3",
+            })
+            time.sleep(0.05)
+            proc.send_signal(signal.SIGTERM)
+            body = client.receive()  # drained, not dropped
+            assert body["trust"] == "exact"
+            assert body["states"]
+            client.close()
+            assert proc.wait(timeout=30.0) == 0
+            rest = proc.stdout.read()
+            assert "drained, exiting" in rest
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+
+    def test_sigterm_on_idle_daemon_exits_zero(self, tmp_path):
+        sock = str(tmp_path / "idle.sock")
+        repo_root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli.main",
+                "serve",
+                "--socket",
+                sock,
+            ],
+            cwd=str(repo_root),
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            _read_ready_line(proc)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=20.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
