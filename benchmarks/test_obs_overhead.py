@@ -17,19 +17,40 @@ collect between rounds (as ``timeit`` does), and the reported overhead
 is the **median of the per-pair ratios** — robust to the occasional
 round that lands on a noisy neighbour.
 
+A second leg prices the daemon's observability stack the same way: two
+in-process daemons serve the identical request sequence over a Unix
+socket, one with JSON request logs and latency histograms on, one with
+logging off and histograms disabled.  Each request is a *fresh* check
+(unseen time bounds, so the engine really runs — the daemon analogue
+of the library leg's full workload) and is sent to both daemons
+back-to-back, so every pair shares scheduler and cache state; the
+asserted overhead is the median of the paired differences over the
+median request, which is robust against the multi-percent drift a
+shared box shows between coarser timing rounds.  The marginal
+bookkeeping cost of one request (log record, three histogram
+observations, slow-log entry) is also measured directly on the
+cache-hit path — the cheapest request the daemon can serve — and
+recorded alongside as an absolute per-request number.
+
 Results land in ``BENCH_3.json`` at the repo root.  ``BENCH_QUICK=1``
 (the CI setting) shrinks the model; the overhead assertion is kept in
 both modes.
 """
 
+import asyncio
 import gc
 import os
 import statistics
+import threading
 import time
+from pathlib import Path
 
 from repro.check import CheckOptions, ModelChecker
 from repro.check.engine_cache import EngineCache
 from repro.models import build_tmr
+from repro.server import ServerClient, ServerConfig
+from repro.server.daemon import ReproServer
+from repro.server.metrics import ServerMetrics
 
 from _bench_utils import print_table, update_bench_json
 
@@ -119,4 +140,176 @@ def test_obs_overhead():
         f"{OVERHEAD_BUDGET:.0%} budget "
         f"(best plain round {best_plain * 1e3:.3f} ms, "
         f"best observed round {best_observed * 1e3:.3f} ms)"
+    )
+
+
+# --------------------------------------------------------------------------
+# Daemon leg: JSON logging + latency histograms, on vs off.
+
+MODEL_ROOT = (
+    Path(__file__).resolve().parent.parent / "examples" / "models"
+)
+DAEMON_FORMULA = "P(>0.1) [Sup U[0,2][0,30] failed]"
+
+
+def _start_daemon(sock_path, config_kwargs, metrics):
+    """Run an in-process daemon on a background event loop."""
+    config = ServerConfig(
+        socket_path=str(sock_path),
+        model_root=str(MODEL_ROOT),
+        drain_timeout_s=30.0,
+        **config_kwargs,
+    )
+    server = ReproServer(config, metrics=metrics)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+
+        async def main():
+            await server.start()
+            ready.set()
+            await server._stopped.wait()
+
+        loop.run_until_complete(main())
+        loop.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    if not ready.wait(30.0):
+        raise RuntimeError("benchmark daemon failed to start")
+
+    def stop():
+        future = asyncio.run_coroutine_threadsafe(
+            server.shutdown(drain=False), loop
+        )
+        future.result(timeout=30.0)
+        thread.join(timeout=30.0)
+
+    return stop
+
+
+def _timed_check(client, formula):
+    """One check request; returns its round-trip seconds."""
+    start = time.perf_counter()
+    client.check({"path": "tmr.mrm"}, formula)
+    return time.perf_counter() - start
+
+
+def test_daemon_obs_overhead(tmp_path):
+    fresh_pairs = 40 if BENCH_QUICK else 100
+    cached_pairs = 200 if BENCH_QUICK else 400
+    warmup = 10
+
+    devnull = open(os.devnull, "w", encoding="utf-8")
+    stop_on = stop_off = None
+    clients = []
+    try:
+        # Full observability: JSON request log (formatted and written,
+        # the stream just points at /dev/null so disk speed is not part
+        # of the measurement) plus the latency histograms.
+        stop_on = _start_daemon(
+            tmp_path / "on.sock",
+            {
+                "log_format": "json",
+                "log_level": "info",
+                "log_stream": devnull,
+            },
+            metrics=ServerMetrics(),
+        )
+        # Everything off: no log records, histograms disabled.
+        stop_off = _start_daemon(
+            tmp_path / "off.sock",
+            {"log_level": "off"},
+            metrics=ServerMetrics(latency_histograms=False),
+        )
+
+        client_on = ServerClient(
+            socket_path=str(tmp_path / "on.sock"), timeout=60.0
+        )
+        client_off = ServerClient(
+            socket_path=str(tmp_path / "off.sock"), timeout=60.0
+        )
+        clients = [client_on, client_off]
+
+        # Warm both daemons: model compile, checker cache, engine state.
+        for _ in range(warmup):
+            _timed_check(client_off, DAEMON_FORMULA)
+            _timed_check(client_on, DAEMON_FORMULA)
+
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        gc.collect()
+        try:
+            # Fresh checks: every formula has time bounds neither daemon
+            # has seen, so both run the engine for real.  Back-to-back
+            # identical requests form one pair.
+            fresh_off, fresh_diff = [], []
+            for i in range(fresh_pairs):
+                formula = (
+                    f"P(>0.1) [Sup U[0,2][0,{30 + (i + 1) * 0.01:.2f}] failed]"
+                )
+                plain = _timed_check(client_off, formula)
+                observed = _timed_check(client_on, formula)
+                fresh_off.append(plain)
+                fresh_diff.append(observed - plain)
+
+            # Cache-hit checks: the cheapest request the daemon serves,
+            # isolating the marginal per-request bookkeeping cost.
+            cached_off, cached_diff = [], []
+            for _ in range(cached_pairs):
+                plain = _timed_check(client_off, DAEMON_FORMULA)
+                observed = _timed_check(client_on, DAEMON_FORMULA)
+                cached_off.append(plain)
+                cached_diff.append(observed - plain)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    finally:
+        for client in clients:
+            client.close()
+        if stop_on is not None:
+            stop_on()
+        if stop_off is not None:
+            stop_off()
+        devnull.close()
+
+    plain_request = statistics.median(fresh_off)
+    marginal = statistics.median(fresh_diff)
+    overhead = marginal / plain_request
+    cached_request = statistics.median(cached_off)
+    cached_marginal = statistics.median(cached_diff)
+
+    print_table(
+        "Daemon observability overhead (JSON logs + histograms, on vs off)",
+        ["quantity", "value"],
+        [
+            ["median fresh check, all off", f"{plain_request * 1e3:.3f} ms"],
+            ["marginal cost, fresh check", f"{marginal * 1e6:+.1f} us"],
+            ["overhead (fresh checks)", f"{overhead * 100:+.2f}%"],
+            ["median cache-hit, all off", f"{cached_request * 1e3:.3f} ms"],
+            ["marginal cost, cache hit", f"{cached_marginal * 1e6:+.1f} us"],
+        ],
+    )
+    update_bench_json(
+        "daemon_obs_overhead",
+        {
+            "plain_seconds": plain_request,
+            "marginal_seconds": marginal,
+            "overhead_fraction": overhead,
+            "budget_fraction": OVERHEAD_BUDGET,
+            "cached_plain_seconds": cached_request,
+            "cached_marginal_seconds": cached_marginal,
+            "fresh_pairs": fresh_pairs,
+            "cached_pairs": cached_pairs,
+            "quick": BENCH_QUICK,
+        },
+    )
+
+    assert overhead < OVERHEAD_BUDGET, (
+        f"daemon observability overhead {overhead:.1%} exceeds the "
+        f"{OVERHEAD_BUDGET:.0%} budget "
+        f"(median fresh check {plain_request * 1e3:.3f} ms, "
+        f"marginal cost {marginal * 1e6:+.1f} us)"
     )

@@ -299,6 +299,7 @@ class ModelChecker:
         self,
         formula: Union[str, StateFormula],
         guard: Optional[NullGuard] = None,
+        request_id: Optional[str] = None,
     ) -> SatResult:
         """Evaluate a state formula; returns its satisfying set.
 
@@ -323,7 +324,11 @@ class ModelChecker:
         the options-derived budgets for this one evaluation — the hook a
         long-lived service uses to run every request on a *shared*
         checker (warm formula caches) under that request's own
-        admission-clipped budgets.
+        admission-clipped budgets.  A per-call ``request_id`` becomes
+        the run collector's correlation id: every span of the trace
+        (including pool-worker shard spans) records it as an attribute,
+        so the daemon's response envelope, its log lines and the
+        exported Chrome trace all name the same request.
         """
         parsed = self._coerce(formula)
         guard = guard if guard is not None else self._make_guard()
@@ -339,7 +344,7 @@ class ModelChecker:
                 probabilities=probabilities,
                 trust=self._trust(guard, None),
             )
-        collector = Collector()
+        collector = Collector(request_id=request_id)
         before = self._engine_cache.stats
         start = time.perf_counter()
         with use_collector(collector), use_guard(guard if guard.enabled else None):

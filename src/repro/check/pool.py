@@ -417,6 +417,10 @@ class _ShardTask:
     observe: bool = False
     deadline: Optional[float] = None
     mem_budget: Optional[int] = None
+    # Correlation id of the originating request, if the parent run has
+    # one: worker-side shard spans stamp it so a merged trace names the
+    # same request end to end.
+    request_id: Optional[str] = None
 
 
 def _fan_out_initializer() -> None:
@@ -461,7 +465,7 @@ def _fan_out_shard(task: _ShardTask):
                 for state in task.states
             ]
         return pairs, None
-    collector = Collector()
+    collector = Collector(request_id=task.request_id)
     with use_guard(guard), use_collector(collector):
         with collector.span("pool.shard", states=len(task.states), pid=os.getpid()):
             pairs = [
@@ -689,6 +693,7 @@ class PersistentWorkerPool:
         deadline = None if remaining is None else time.monotonic() + remaining
         mem_budget = guard.mem_budget_bytes
         observe = get_collector().enabled
+        request_id = getattr(get_collector(), "request_id", None)
 
         future_map: Dict[concurrent.futures.Future, Tuple[int, List[int]]] = {}
         try:
@@ -699,6 +704,7 @@ class PersistentWorkerPool:
                     observe=observe,
                     deadline=deadline,
                     mem_budget=mem_budget,
+                    request_id=request_id,
                 )
                 future_map[executor.submit(_fan_out_shard, task)] = (
                     index,

@@ -18,6 +18,7 @@ from repro.obs.collector import (
 )
 from repro.obs.export import (
     CHROME_REQUIRED_KEYS,
+    ExpositionBuilder,
     chrome_trace,
     diff_reports,
     load_report_file,
@@ -25,6 +26,7 @@ from repro.obs.export import (
     validate_chrome_trace,
     validate_prometheus_text,
 )
+from repro.obs.logging import LOG_LEVELS, SlowLog, StructuredLogger
 from repro.obs.report import (
     REPORT_SCHEMA,
     ErrorBudget,
@@ -50,10 +52,14 @@ __all__ = [
     "PhaseTiming",
     "REPORT_SCHEMA",
     "chrome_trace",
+    "ExpositionBuilder",
     "prometheus_exposition",
     "validate_chrome_trace",
     "validate_prometheus_text",
     "diff_reports",
     "load_report_file",
     "CHROME_REQUIRED_KEYS",
+    "LOG_LEVELS",
+    "StructuredLogger",
+    "SlowLog",
 ]

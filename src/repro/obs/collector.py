@@ -107,6 +107,8 @@ class _SpanHandle:
     def __enter__(self) -> SpanRecord:
         collector = self._collector
         stack = collector._span_stack
+        if collector.request_id is not None:
+            self._attributes.setdefault("request_id", collector.request_id)
         record = SpanRecord(
             span_id=collector._next_span_id,
             parent_id=stack[-1].span_id if stack else None,
@@ -150,6 +152,7 @@ class NullCollector:
     """
 
     enabled = False
+    request_id: Optional[str] = None
 
     def counter_add(self, name: str, value: float = 1.0) -> None:
         pass
@@ -196,7 +199,17 @@ class Collector(NullCollector):
 
     enabled = True
 
-    def __init__(self, event_capacity: int = DEFAULT_EVENT_CAPACITY) -> None:
+    def __init__(
+        self,
+        event_capacity: int = DEFAULT_EVENT_CAPACITY,
+        request_id: Optional[str] = None,
+    ) -> None:
+        # The end-to-end correlation id: when set, every span records it
+        # as a ``request_id`` attribute (see ``_SpanHandle.__enter__``),
+        # fan-out workers inherit it through the shard-task envelope,
+        # and the Chrome-trace exporter ships it in each event's args —
+        # so one id links a daemon response to its spans in Perfetto.
+        self.request_id = request_id
         self.counters: Dict[str, float] = {}
         self.events: Deque[Dict[str, Any]] = deque(maxlen=max(1, int(event_capacity)))
         self.phases: Dict[str, List[float]] = {}

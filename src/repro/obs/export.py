@@ -31,13 +31,24 @@ from __future__ import annotations
 import json
 import math
 import re
-from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.obs.report import RunReport
 
 __all__ = [
     "chrome_trace",
     "validate_chrome_trace",
+    "ExpositionBuilder",
     "prometheus_exposition",
     "validate_prometheus_text",
     "diff_reports",
@@ -183,6 +194,85 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def _format_le(bound: float) -> str:
+    """An ``le`` label value: ``+Inf`` for the overflow bucket."""
+    if math.isinf(bound):
+        return "+Inf"
+    return _format_value(bound)
+
+
+class ExpositionBuilder:
+    """Incremental renderer for the Prometheus text-exposition format.
+
+    Both metric producers in the repo — the per-run report exporter
+    below and the daemon's :class:`repro.server.metrics.ServerMetrics`
+    — render through this one class, so label-value escaping
+    (backslash, double quote, newline) and value formatting cannot
+    drift between them.  ``histogram`` emits a full conformant family:
+    cumulative ``_bucket`` samples with ``le`` labels ending in
+    ``+Inf``, plus ``_sum`` and ``_count``.
+    """
+
+    def __init__(self) -> None:
+        self._lines: List[str] = []
+
+    def family(self, name: str, kind: str, help_text: str) -> None:
+        """Open a metric family: its ``# HELP`` and ``# TYPE`` comments."""
+        self._lines.append(f"# HELP {name} {help_text}")
+        self._lines.append(f"# TYPE {name} {kind}")
+
+    def sample(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]],
+        value: float,
+    ) -> None:
+        """One sample line, with label values escaped."""
+        if labels:
+            rendered = ",".join(
+                f'{key}="{_escape_label(str(val))}"'
+                for key, val in labels.items()
+            )
+            self._lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
+        else:
+            self._lines.append(f"{name} {_format_value(value)}")
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]],
+        bounds: Sequence[float],
+        counts: Sequence[int],
+        sum_value: float,
+    ) -> None:
+        """One histogram series: buckets, ``_sum`` and ``_count``.
+
+        ``bounds`` are the finite upper bucket edges; ``counts`` holds
+        one *per-bucket* (non-cumulative) count per edge plus a final
+        overflow count, so ``len(counts) == len(bounds) + 1``.  The
+        cumulative ``_bucket`` samples and the ``+Inf`` bucket (always
+        equal to ``_count``) are derived here.
+        """
+        if len(counts) != len(bounds) + 1:
+            raise ValueError(
+                f"histogram {name!r}: expected {len(bounds) + 1} bucket "
+                f"counts, got {len(counts)}"
+            )
+        base = dict(labels) if labels else {}
+        cumulative = 0
+        for bound, count in zip(list(bounds) + [math.inf], counts):
+            cumulative += int(count)
+            self.sample(
+                f"{name}_bucket", {**base, "le": _format_le(bound)}, cumulative
+            )
+        self.sample(f"{name}_sum", labels, float(sum_value))
+        self.sample(f"{name}_count", labels, cumulative)
+
+    def text(self) -> str:
+        """The accumulated exposition, newline-terminated."""
+        return "\n".join(self._lines) + "\n"
+
+
 def prometheus_exposition(
     reports: Union[RunReport, Mapping[str, Any], Sequence[Any]],
 ) -> str:
@@ -202,20 +292,9 @@ def prometheus_exposition(
     else:
         report_list = [_as_report(r) for r in reports]
 
-    lines: List[str] = []
-
-    def family(name: str, kind: str, help_text: str) -> None:
-        lines.append(f"# HELP {name} {help_text}")
-        lines.append(f"# TYPE {name} {kind}")
-
-    def sample(name: str, labels: Dict[str, str], value: float) -> None:
-        if labels:
-            rendered = ",".join(
-                f'{k}="{_escape_label(str(v))}"' for k, v in labels.items()
-            )
-            lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
-        else:
-            lines.append(f"{name} {_format_value(value)}")
+    builder = ExpositionBuilder()
+    family = builder.family
+    sample = builder.sample
 
     family("repro_checks_total", "counter", "Number of check() runs in this snapshot.")
     sample("repro_checks_total", {}, float(len(report_list)))
@@ -301,18 +380,24 @@ def prometheus_exposition(
             float(len(report.degradations)),
         )
 
-    return "\n".join(lines) + "\n"
+    return builder.text()
 
 
 def validate_prometheus_text(text: str) -> int:
     """Check a snapshot against the text-exposition grammar.
 
     Validates metric/label naming, HELP/TYPE comment structure, and
-    sample-line shape.  Raises :class:`ValueError` on the first
+    sample-line shape; for every family declared ``TYPE … histogram``
+    it additionally validates the histogram structure — cumulative
+    bucket counts monotonically non-decreasing in ascending ``le``
+    order, a ``+Inf`` bucket present and equal to the series'
+    ``_count``, and ``_sum``/``_count`` samples for every bucketed
+    label combination.  Raises :class:`ValueError` on the first
     violation; returns the number of sample lines otherwise.
     """
     samples = 0
     typed: Dict[str, str] = {}
+    parsed: List[Tuple[int, str, Dict[str, str], float]] = []
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
@@ -344,22 +429,97 @@ def validate_prometheus_text(text: str) -> int:
         name = re.split(r"[{\s]", line, maxsplit=1)[0]
         if not _METRIC_NAME_OK.match(name):
             raise ValueError(f"line {lineno}: bad metric name {name!r}")
+        labels: Dict[str, str] = {}
         brace = line.find("{")
         if brace >= 0:
             label_blob = line[brace + 1 : line.rfind("}")]
             for pair in filter(None, _split_labels(label_blob)):
-                key = pair.split("=", 1)[0]
+                key, _, raw = pair.partition("=")
                 if not _LABEL_NAME_OK.match(key):
                     raise ValueError(f"line {lineno}: bad label name {key!r}")
+                labels[key] = _unquote_label(raw)
         value_text = line[line.rfind("}") + 1 :] if brace >= 0 else line[len(name) :]
         try:
-            float(value_text.split()[0])
+            value = float(value_text.split()[0])
         except (ValueError, IndexError):
             raise ValueError(f"line {lineno}: bad sample value in {line!r}") from None
+        parsed.append((lineno, name, labels, value))
         samples += 1
     if samples == 0:
         raise ValueError("no sample lines found")
+    for family, kind in typed.items():
+        if kind == "histogram":
+            _validate_histogram_family(family, parsed)
     return samples
+
+
+def _unquote_label(raw: str) -> str:
+    """Undo exposition label-value quoting and escaping."""
+    if len(raw) >= 2 and raw.startswith('"') and raw.endswith('"'):
+        raw = raw[1:-1]
+    return (
+        raw.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _validate_histogram_family(
+    family: str, parsed: Sequence[Tuple[int, str, Dict[str, str], float]]
+) -> None:
+    """Structural checks for one ``TYPE … histogram`` family."""
+    buckets: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float, int]]] = {}
+    sums: Dict[Tuple[Tuple[str, str], ...], float] = {}
+    counts: Dict[Tuple[Tuple[str, str], ...], float] = {}
+    for lineno, name, labels, value in parsed:
+        if name == f"{family}_bucket":
+            le = labels.get("le")
+            if le is None:
+                raise ValueError(
+                    f"line {lineno}: histogram bucket of {family!r} has no "
+                    "'le' label"
+                )
+            try:
+                bound = math.inf if le == "+Inf" else float(le)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: bad 'le' value {le!r} in {family!r}"
+                ) from None
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            buckets.setdefault(key, []).append((bound, value, lineno))
+        elif name == f"{family}_sum":
+            sums[tuple(sorted(labels.items()))] = value
+        elif name == f"{family}_count":
+            counts[tuple(sorted(labels.items()))] = value
+        elif name == family:
+            raise ValueError(
+                f"histogram family {family!r} has a bare sample (expected "
+                "_bucket/_sum/_count)"
+            )
+    if not buckets:
+        return  # a declared histogram family with no series yet is legal
+    for key, series in buckets.items():
+        series.sort(key=lambda entry: entry[0])
+        previous = -math.inf
+        for bound, value, lineno in series:
+            if value < previous:
+                raise ValueError(
+                    f"line {lineno}: histogram {family!r} bucket "
+                    f"le={_format_le(bound)} count {value:g} is below the "
+                    f"previous bucket's {previous:g}"
+                )
+            previous = value
+        if not math.isinf(series[-1][0]):
+            raise ValueError(
+                f"histogram {family!r}{dict(key)} is missing its +Inf bucket"
+            )
+        if key not in sums:
+            raise ValueError(f"histogram {family!r}{dict(key)} is missing _sum")
+        if key not in counts:
+            raise ValueError(f"histogram {family!r}{dict(key)} is missing _count")
+        if counts[key] != series[-1][1]:
+            raise ValueError(
+                f"histogram {family!r}{dict(key)}: +Inf bucket "
+                f"{series[-1][1]:g} != _count {counts[key]:g}"
+            )
 
 
 def _split_labels(blob: str) -> Iterable[str]:

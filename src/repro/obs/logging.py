@@ -1,0 +1,226 @@
+"""Structured logging and the bounded slow-request log.
+
+The daemon's operational narrative — requests admitted, completed,
+shed, cancelled — needs to be machine-joinable with the metrics scrape
+and the trace exporters, so every record here is *structured*: an
+event name plus typed fields (``tenant``, ``request_id``, duration
+seconds), rendered either as one JSON object per line (the fleet
+format: ``--log-format json``) or as a human ``key=value`` line
+(``--log-format text``).  A ``request_id`` field on a log line is the
+same identifier stamped on the response envelope and on every span
+attribute of the run's trace, which is what makes one slow request
+findable across all three.
+
+:class:`SlowLog` is the retention half of that story: a bounded
+worst-N-by-duration record of completed requests (with their
+error-budget summaries riding along), cheap enough to keep forever and
+small enough to ship whole over the daemon's ``slowlog`` method or the
+HTTP sidecar's ``/debug/slowlog``.
+
+Everything here is stdlib-only and thread-safe; the daemon logs from
+the event-loop thread and from executor worker threads alike.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+__all__ = [
+    "LOG_LEVELS",
+    "StructuredLogger",
+    "SlowLog",
+]
+
+#: Recognized level names, in increasing severity.  ``off`` disables
+#: every record (the benchmark baseline and quiet embeddings use it).
+LOG_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
+
+
+#: Second-granularity timestamp prefix cache.  Formatting the calendar
+#: part of the timestamp (``gmtime`` plus an f-string) dominates the
+#: cost of a log record, and every record within the same wall-clock
+#: second shares it, so cache one ``(second, prefix)`` pair.  The
+#: benign race (two threads formatting the same second twice) only
+#: costs a redundant recompute; tuple assignment is atomic.
+_TS_CACHE = (-1, "")
+
+
+def _utc_timestamp(epoch_seconds: float) -> str:
+    """RFC 3339 UTC timestamp with millisecond precision."""
+    global _TS_CACHE
+    second = int(epoch_seconds)
+    cached_second, prefix = _TS_CACHE
+    if second != cached_second:
+        whole = time.gmtime(second)
+        prefix = (
+            f"{whole.tm_year:04d}-{whole.tm_mon:02d}-{whole.tm_mday:02d}T"
+            f"{whole.tm_hour:02d}:{whole.tm_min:02d}:{whole.tm_sec:02d}."
+        )
+        _TS_CACHE = (second, prefix)
+    millis = int((epoch_seconds - second) * 1000)
+    return f"{prefix}{millis:03d}Z"
+
+
+class StructuredLogger:
+    """A tiny leveled, structured, line-oriented logger.
+
+    Not built on :mod:`logging`: the records are data (event name +
+    fields), the two output formats are fixed, and the hot call must
+    stay a couple of dict operations plus one write.  A logger below
+    threshold returns before building the record, so ``off`` costs a
+    single integer comparison per call site.
+
+    Parameters
+    ----------
+    stream:
+        Where lines go (default ``sys.stderr``).  The stream is written
+        under a lock and flushed per record, so interleaved writers
+        from multiple threads never shear a line.
+    fmt:
+        ``"json"`` for one JSON object per line, ``"text"`` for a
+        ``timestamp LEVEL event key=value ...`` line.
+    level:
+        Threshold name from :data:`LOG_LEVELS`.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        fmt: str = "text",
+        level: str = "info",
+    ) -> None:
+        if fmt not in ("text", "json"):
+            raise ValueError(f"unknown log format {fmt!r} (expected text or json)")
+        if level not in LOG_LEVELS:
+            raise ValueError(
+                f"unknown log level {level!r} "
+                f"(expected one of {', '.join(sorted(LOG_LEVELS))})"
+            )
+        self._stream = stream if stream is not None else sys.stderr
+        self._fmt = fmt
+        self._threshold = LOG_LEVELS[level]
+        self._lock = threading.Lock()
+
+    @property
+    def format(self) -> str:
+        return self._fmt
+
+    def enabled_for(self, level: str) -> bool:
+        return LOG_LEVELS.get(level, 0) >= self._threshold
+
+    # ------------------------------------------------------------------
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        """Emit one record; ``None``-valued fields are dropped."""
+        if LOG_LEVELS.get(level, 0) < self._threshold:
+            return
+        payload: Dict[str, Any] = {
+            "ts": _utc_timestamp(time.time()),
+            "level": level,
+            "event": event,
+        }
+        for key, value in fields.items():
+            if value is not None:
+                payload[key] = value
+        if self._fmt == "json":
+            # Insertion order is already stable (ts, level, event, then
+            # the caller's fields); sorting would only add cost, and the
+            # compact separators shave both time and bytes.
+            line = json.dumps(payload, default=str, separators=(",", ":"))
+        else:
+            detail = " ".join(
+                f"{key}={_render_text_value(value)}"
+                for key, value in payload.items()
+                if key not in ("ts", "level", "event")
+            )
+            line = f"{payload['ts']} {level.upper():<7} {event}"
+            if detail:
+                line = f"{line} {detail}"
+        with self._lock:
+            try:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                pass  # a dead log stream must never take the daemon down
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+
+def _render_text_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    if " " in text or '"' in text:
+        return json.dumps(text)
+    return text
+
+
+class SlowLog:
+    """A bounded record of the slowest requests seen so far.
+
+    Keeps the worst ``capacity`` entries by ``duration_s`` on a min-heap
+    (O(log capacity) per record, O(capacity) memory forever), so a
+    long-running daemon can always answer "which requests were slow and
+    why" without retaining unbounded history.  Entries are free-form
+    dicts — the daemon stores the request id, tenant, formula, the
+    per-stage latencies and the run's error-budget summary.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity!r}")
+        self._capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._heap: List[Any] = []  # (duration_s, seq, entry)
+        self._seq = 0  # tie-breaker: equal durations never compare dicts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def record(self, duration_s: float, entry: Dict[str, Any]) -> bool:
+        """Offer one completed request; returns ``True`` when retained."""
+        duration_s = float(duration_s)
+        item = dict(entry)
+        item["duration_s"] = duration_s
+        with self._lock:
+            self._seq += 1
+            if len(self._heap) < self._capacity:
+                heapq.heappush(self._heap, (duration_s, self._seq, item))
+                return True
+            if duration_s <= self._heap[0][0]:
+                return False
+            heapq.heapreplace(self._heap, (duration_s, self._seq, item))
+            return True
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Retained entries, slowest first (a copy; JSON-ready)."""
+        with self._lock:
+            ranked = sorted(self._heap, key=lambda it: (-it[0], it[1]))
+            return [dict(item) for _, _, item in ranked]
+
+    def threshold_s(self) -> Optional[float]:
+        """The duration a new request must exceed to be retained, or
+        ``None`` while the log is not yet full."""
+        with self._lock:
+            if len(self._heap) < self._capacity:
+                return None
+            return float(self._heap[0][0])

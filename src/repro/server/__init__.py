@@ -30,9 +30,13 @@ with robustness as the design center:
   typed error responses (:mod:`repro.server.protocol`); the daemon
   itself never dies, and SIGTERM drains in-flight requests before exit.
 * **Observability** — per-request :class:`~repro.obs.RunReport`
-  summaries, server counters (queue depth, coalesce hits, shed count,
-  per-tenant spend) exposed as a Prometheus text snapshot
-  (:mod:`repro.server.metrics`).
+  summaries, server counters and fixed-bucket latency histograms
+  (queue wait, execution, end-to-end; :mod:`repro.server.metrics`)
+  exposed as a Prometheus text snapshot; a server-minted ``request_id``
+  correlating the response envelope, the structured request log and
+  every span of the run's trace; and an optional HTTP telemetry sidecar
+  (:mod:`repro.server.http`, ``--http``) serving ``/metrics``,
+  ``/healthz``, ``/readyz`` and ``/debug/*`` to a stock Prometheus.
 
 :class:`~repro.server.client.ServerClient` (``mrmc-impulse client``) is
 the matching scripting front end.
@@ -43,7 +47,8 @@ from repro.server.coalesce import Coalescer
 from repro.server.daemon import ReproServer, ServerConfig, serve_main
 from repro.server.client import ServerClient, client_main
 from repro.server.guards import RequestCancelled, RequestGuard
-from repro.server.metrics import ServerMetrics
+from repro.server.http import HttpSidecar
+from repro.server.metrics import LATENCY_BUCKETS, ServerMetrics
 from repro.server.protocol import (
     ERROR_CODES,
     MAX_FRAME_BYTES,
@@ -71,7 +76,9 @@ __all__ = [
     "client_main",
     "RequestCancelled",
     "RequestGuard",
+    "HttpSidecar",
     "ServerMetrics",
+    "LATENCY_BUCKETS",
     "ERROR_CODES",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",

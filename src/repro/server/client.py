@@ -131,6 +131,9 @@ class ServerClient:
     def metrics(self) -> Dict[str, Any]:
         return self.request("metrics")
 
+    def slowlog(self) -> Dict[str, Any]:
+        return self.request("slowlog")
+
     def shutdown(self, drain: bool = True) -> Dict[str, Any]:
         return self.request("shutdown", {"drain": drain})
 
@@ -194,6 +197,7 @@ def client_main(argv: Optional[List[str]] = None) -> int:
     metrics_parser.add_argument("--json", action="store_true",
                                 help="structured JSON instead of Prometheus "
                                 "text")
+    sub.add_parser("slowlog", help="the daemon's worst-N slow-request log")
     shutdown_parser = sub.add_parser(
         "shutdown", help="ask the daemon to drain and exit"
     )
@@ -265,6 +269,9 @@ def client_main(argv: Optional[List[str]] = None) -> int:
                     print(json.dumps(result, sort_keys=True, indent=2))
                 else:
                     print(result.get("prometheus", ""), end="")
+                return 0
+            if args.command == "slowlog":
+                print(json.dumps(client.slowlog(), sort_keys=True, indent=2))
                 return 0
             if args.command == "shutdown":
                 print(json.dumps(

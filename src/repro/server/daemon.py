@@ -23,6 +23,14 @@ robustness pipeline:
 * SIGTERM/SIGINT drain: the listener closes, queued and executing
   requests finish (bounded by ``drain_timeout_s``), responses are
   delivered, and the process exits 0.
+* Fleet observability: every frame is minted a ``request_id`` that
+  flows through the engine's span attributes, the structured request
+  log (:class:`~repro.obs.StructuredLogger`), the bounded slow-request
+  log and the response envelope; stage latencies land in the
+  :class:`~repro.server.metrics.ServerMetrics` histograms; and the
+  optional :class:`~repro.server.http.HttpSidecar` (``--http``) serves
+  ``/metrics``, ``/healthz``, ``/readyz`` and the debug routes to a
+  stock Prometheus scraper.
 """
 
 from __future__ import annotations
@@ -33,12 +41,15 @@ import contextlib
 import os
 import signal
 import time
+import uuid
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Set
+from typing import Any, Dict, List, Mapping, Optional, Set, TextIO, Tuple
 
+from repro.obs.logging import SlowLog, StructuredLogger
 from repro.server.admission import AdmissionController, AdmissionTicket, TenantPolicy
 from repro.server.coalesce import Coalescer, InFlightEntry
 from repro.server.guards import RequestCancelled, RequestGuard
+from repro.server.http import HttpSidecar
 from repro.server.metrics import ServerMetrics
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
@@ -79,6 +90,16 @@ class ServerConfig:
     max_workers: int = 4
     drain_timeout_s: float = 30.0
     allow_remote_shutdown: bool = True
+    # Telemetry sidecar: bind the HTTP listener when http_host is set
+    # (port 0 = ephemeral, like the RPC listener).
+    http_host: Optional[str] = None
+    http_port: int = 0
+    # Structured request log: format/level as in repro.obs.logging;
+    # stream defaults to stderr, tests and benchmarks inject their own.
+    log_format: str = "text"
+    log_level: str = "info"
+    log_stream: Optional[TextIO] = None
+    slowlog_capacity: int = 32
 
     def concurrency(self) -> int:
         return self.max_concurrent if self.max_concurrent > 0 else _default_concurrency()
@@ -92,6 +113,10 @@ class _Work:
     entry: InFlightEntry
     ticket: AdmissionTicket
     abs_deadline: Optional[float]
+    # Correlation id of the leader frame (the engine run's id) and the
+    # queue-entry instant, for the queue-wait histogram.
+    request_id: Optional[str] = None
+    enqueued_at: float = 0.0
 
 
 class ReproServer:
@@ -129,6 +154,13 @@ class ReproServer:
         self._shutdown_started = False
         self._writers: Set[asyncio.StreamWriter] = set()
         self._bound_port: Optional[int] = None
+        self.log = StructuredLogger(
+            stream=self.config.log_stream,
+            fmt=self.config.log_format,
+            level=self.config.log_level,
+        )
+        self.slowlog = SlowLog(capacity=self.config.slowlog_capacity)
+        self.http: Optional[HttpSidecar] = None
         self.metrics.register_gauge("queue_depth", lambda: float(len(self.queue)))
         self.metrics.register_gauge("active_requests", lambda: float(self._active))
         self.metrics.register_gauge(
@@ -166,7 +198,19 @@ class ReproServer:
                 limit=limit,
             )
             self._bound_port = self._server.sockets[0].getsockname()[1]
+        if self.config.http_host is not None:
+            self.http = HttpSidecar(
+                self, host=self.config.http_host, port=self.config.http_port
+            )
+            await self.http.start()
         self._scheduler_task = self._loop.create_task(self._scheduler_loop())
+        self.log.info(
+            "server.started",
+            endpoint=self.endpoint,
+            http=None if self.http is None else self.http.endpoint,
+            pid=os.getpid(),
+            concurrency=self.config.concurrency(),
+        )
         # Install drain-on-signal before anyone can see the ready line,
         # so a SIGTERM racing startup still drains instead of killing.
         # In-process embeddings run the loop off the main thread, where
@@ -197,6 +241,25 @@ class ReproServer:
     def draining(self) -> bool:
         return self._draining
 
+    def readiness(self) -> Tuple[bool, List[str]]:
+        """``(ready, reasons)`` for the sidecar's ``/readyz`` probe.
+
+        Ready means "send this daemon new work": the listener is up,
+        the executor pool is warm, the drain has not started, and the
+        admitted memory has headroom under the server ceiling.  The
+        reasons list names every failing condition, so a 503 body tells
+        the operator *why* the instance left the rotation.
+        """
+        reasons: List[str] = []
+        if self._draining or self._shutdown_started:
+            reasons.append("draining")
+        if self._executor is None or self._server is None:
+            reasons.append("not-started")
+        ceiling = self.config.mem_ceiling_bytes
+        if ceiling is not None and self.admission.committed_bytes >= ceiling:
+            reasons.append("memory-ceiling")
+        return (not reasons), reasons
+
     async def run_until_signalled(self) -> None:
         """Serve until SIGTERM/SIGINT (handlers installed by
         :meth:`start`) initiates the drain, then return."""
@@ -215,6 +278,12 @@ class ReproServer:
             return
         self._shutdown_started = True
         self._draining = True
+        self.log.info(
+            "server.draining",
+            drain=drain,
+            queued=len(self.queue),
+            active=self._active,
+        )
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -244,6 +313,12 @@ class ReproServer:
         if self.config.socket_path is not None:
             with contextlib.suppress(OSError):
                 os.unlink(self.config.socket_path)
+        # The telemetry sidecar outlives the drain on purpose — /healthz
+        # stays 200 (and /readyz 503) while requests finish — and only
+        # goes away with the daemon itself.
+        if self.http is not None:
+            await self.http.close()
+        self.log.info("server.stopped", endpoint=self.endpoint)
         self._stopped.set()
 
     # ------------------------------------------------------------------
@@ -318,6 +393,11 @@ class ReproServer:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
     ) -> None:
+        # The server-minted correlation id: stamped on the response
+        # envelope, every log line, the slow log, and (for check) every
+        # span attribute of the engine run's trace.
+        rid = uuid.uuid4().hex[:16]
+        started = time.perf_counter()
         request_id: Any = None
         try:
             obj = decode_frame(line)
@@ -326,30 +406,94 @@ class ReproServer:
         except ServerError as error:
             self.metrics.record_malformed_frame()
             self.metrics.record_error(error.code)
-            await self._write(writer, write_lock, error_response(request_id, error))
+            self.log.warning(
+                "request.rejected", request_id=rid, code=error.code, error=str(error)
+            )
+            await self._write(
+                writer, write_lock, error_response(request_id, error, rid)
+            )
             return
         try:
-            result = await self._dispatch(method, params)
+            result = await self._dispatch(method, params, rid)
         except asyncio.CancelledError:
             raise
         except BaseException as exc:
             error = classify_exception(exc)
             self.metrics.record_request(method, "error")
             self.metrics.record_error(error.code)
-            await self._write(writer, write_lock, error_response(request_id, error))
+            self._finish_frame(
+                method, params, rid, error.code, time.perf_counter() - started, None
+            )
+            await self._write(
+                writer, write_lock, error_response(request_id, error, rid)
+            )
             return
         self.metrics.record_request(method, "ok")
-        await self._write(writer, write_lock, ok_response(request_id, result))
+        self._finish_frame(
+            method, params, rid, "ok", time.perf_counter() - started, result
+        )
+        await self._write(writer, write_lock, ok_response(request_id, result, rid))
+
+    def _finish_frame(
+        self,
+        method: str,
+        params: Mapping[str, Any],
+        rid: str,
+        outcome: str,
+        duration_s: float,
+        result: Optional[Mapping[str, Any]],
+    ) -> None:
+        """Record one answered frame: histogram, log line, slow log."""
+        self.metrics.observe_request(method, outcome, total_s=duration_s)
+        is_check = method == "check"
+        tenant = params.get("tenant", "default") if is_check else None
+        formula = params.get("formula") if is_check else None
+        self.log.log(
+            "info" if is_check else "debug",
+            "request.completed",
+            request_id=rid,
+            method=method,
+            outcome=outcome,
+            duration_s=duration_s,
+            tenant=tenant,
+            formula=formula,
+            coalesced=bool(result.get("coalesced")) if is_check and result else None,
+        )
+        if is_check:
+            entry: Dict[str, Any] = {
+                "request_id": rid,
+                "tenant": tenant,
+                "formula": formula,
+                "outcome": outcome,
+            }
+            if result:
+                if result.get("coalesced"):
+                    entry["coalesced"] = True
+                if result.get("run_request_id"):
+                    entry["run_request_id"] = result["run_request_id"]
+                if result.get("error_budget") is not None:
+                    entry["error_budget"] = result["error_budget"]
+                if result.get("trust") is not None:
+                    entry["trust"] = result["trust"]
+            self.slowlog.record(duration_s, entry)
 
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    async def _dispatch(self, method: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    async def _dispatch(
+        self, method: str, params: Dict[str, Any], rid: str
+    ) -> Dict[str, Any]:
         if method == "ping":
             return {
                 "protocol": PROTOCOL_VERSION,
                 "pid": os.getpid(),
                 "draining": self._draining,
+            }
+        if method == "slowlog":
+            return {
+                "capacity": self.slowlog.capacity,
+                "threshold_s": self.slowlog.threshold_s(),
+                "entries": self.slowlog.entries(),
             }
         if method == "metrics":
             return {
@@ -377,9 +521,9 @@ class ReproServer:
                 "shutting-down", "daemon is draining and accepts no new work"
             )
         spec = self.service.parse_request(params)
-        return await self._handle_check(spec)
+        return await self._handle_check(spec, rid)
 
-    async def _handle_check(self, spec: RequestSpec) -> Dict[str, Any]:
+    async def _handle_check(self, spec: RequestSpec, rid: str) -> Dict[str, Any]:
         entry, leader = self.coalescer.join(spec.coalesce_key, self._loop)
         if leader:
             try:
@@ -398,7 +542,12 @@ class ReproServer:
                 else time.monotonic() + ticket.deadline_s
             )
             work = _Work(
-                spec=spec, entry=entry, ticket=ticket, abs_deadline=abs_deadline
+                spec=spec,
+                entry=entry,
+                ticket=ticket,
+                abs_deadline=abs_deadline,
+                request_id=rid,
+                enqueued_at=time.monotonic(),
             )
             try:
                 self.queue.push(spec.tenant, ticket.weight, work)
@@ -418,7 +567,15 @@ class ReproServer:
             raise
         if not leader:
             self.metrics.record_coalesce_hit()
-            result = {**result, "coalesced": True}
+            # The follower keeps its own frame id; the leader's id (the
+            # one stamped on the shared engine run's spans) rides along
+            # so a coalesced answer can still be traced to its run.
+            result = {
+                **result,
+                "coalesced": True,
+                "run_request_id": result.get("request_id"),
+                "request_id": rid,
+            }
         return result
 
     # ------------------------------------------------------------------
@@ -441,6 +598,9 @@ class ReproServer:
 
     async def _run_work(self, work: _Work) -> None:
         spec, entry, ticket = work.spec, work.entry, work.ticket
+        queue_wait_s = max(0.0, time.monotonic() - work.enqueued_at)
+        execution_s: Optional[float] = None
+        outcome = "ok"
         try:
             if entry.cancel_event.is_set():
                 raise RequestCancelled("every client disconnected while queued")
@@ -461,23 +621,41 @@ class ReproServer:
             assert self._loop is not None and self._executor is not None
             start = time.perf_counter()
             result = await self._loop.run_in_executor(
-                self._executor, self.service.execute, spec, guard
+                self._executor,
+                self.service.execute,
+                spec,
+                guard,
+                work.request_id,
             )
-            self.metrics.record_spend(spec.tenant, time.perf_counter() - start)
+            execution_s = time.perf_counter() - start
+            self.metrics.record_spend(spec.tenant, execution_s)
             result.setdefault("coalesced", False)
             self.coalescer.resolve(entry, result)
         except asyncio.CancelledError:
+            outcome = "shutting-down"
             self.coalescer.fail(
                 entry, ServerError("shutting-down", "daemon is shutting down")
             )
             raise
         except BaseException as exc:
             error = classify_exception(exc)
+            outcome = error.code
             if error.code == "cancelled":
                 # No waiter is left to receive (and count) this one.
                 self.metrics.record_error("cancelled")
+                self.log.warning(
+                    "request.cancelled",
+                    request_id=work.request_id,
+                    tenant=spec.tenant,
+                )
             self.coalescer.fail(entry, error)
         finally:
+            self.metrics.observe_request(
+                "check",
+                outcome,
+                queue_wait_s=queue_wait_s,
+                execution_s=execution_s,
+            )
             self.admission.release(ticket)
             self._active -= 1
             if self._work_available is not None:
@@ -531,12 +709,39 @@ def serve_main(argv) -> int:
     parser.add_argument("--no-remote-shutdown", action="store_true",
                         help="ignore protocol 'shutdown' requests "
                         "(SIGTERM still drains)")
+    parser.add_argument("--http", default=None, metavar="HOST:PORT",
+                        help="serve the HTTP telemetry sidecar "
+                        "(/metrics, /healthz, /readyz, /debug/*) on "
+                        "HOST:PORT (port 0 = ephemeral)")
+    parser.add_argument("--log-format", choices=("text", "json"),
+                        default="text",
+                        help="structured request-log format on stderr "
+                        "(default text; json = one object per line)")
+    parser.add_argument("--log-level",
+                        choices=("debug", "info", "warning", "error", "off"),
+                        default="info",
+                        help="request-log threshold (default info)")
+    parser.add_argument("--slowlog", type=int, default=32, metavar="N",
+                        help="retain the N slowest requests for the "
+                        "slowlog method and /debug/slowlog (default 32)")
     parser.add_argument("--drain-timeout", type=float, default=30.0,
                         metavar="SECONDS",
                         help="bound on the SIGTERM drain (default 30)")
     args = parser.parse_args(argv)
 
     try:
+        http_host: Optional[str] = None
+        http_port = 0
+        if args.http is not None:
+            host_part, separator, port_part = args.http.rpartition(":")
+            if not separator or not port_part.isdigit():
+                raise ValueError(
+                    f"bad --http {args.http!r}: expected HOST:PORT"
+                )
+            http_host = host_part or "127.0.0.1"
+            http_port = int(port_part)
+        if args.slowlog < 1:
+            raise ValueError("--slowlog must be at least 1")
         default_policy = TenantPolicy(
             max_in_flight=args.max_in_flight,
             max_deadline_s=args.deadline_cap,
@@ -568,6 +773,11 @@ def serve_main(argv) -> int:
             tenants=tenants,
             drain_timeout_s=args.drain_timeout,
             allow_remote_shutdown=not args.no_remote_shutdown,
+            http_host=http_host,
+            http_port=http_port,
+            log_format=args.log_format,
+            log_level=args.log_level,
+            slowlog_capacity=args.slowlog,
         )
     except ValueError as error:
         print(f"error: {error}", flush=True)
@@ -576,7 +786,10 @@ def serve_main(argv) -> int:
     async def _amain() -> int:
         server = ReproServer(config)
         await server.start()
-        print(f"mrmc-impulse serve: listening on {server.endpoint}", flush=True)
+        ready = f"mrmc-impulse serve: listening on {server.endpoint}"
+        if server.http is not None:
+            ready += f" (telemetry {server.http.endpoint})"
+        print(ready, flush=True)
         await server.run_until_signalled()
         print("mrmc-impulse serve: drained, exiting", flush=True)
         return 0

@@ -1,0 +1,201 @@
+"""The HTTP telemetry sidecar: ``/metrics``, health, and debug routes.
+
+A stock Prometheus cannot speak the daemon's NDJSON-RPC protocol, so
+:class:`HttpSidecar` exposes the same telemetry over a minimal HTTP/1.1
+listener (stdlib asyncio only, no frameworks) that rides the daemon's
+event loop:
+
+``GET /metrics``
+    The Prometheus text-exposition snapshot — identical bytes to the
+    protocol ``metrics`` method's ``prometheus`` field, and valid under
+    :func:`repro.obs.validate_prometheus_text`.
+``GET /healthz``
+    Liveness: 200 whenever the process can answer at all, including
+    during a SIGTERM drain.  Carries uptime, pid, version, protocol.
+``GET /readyz``
+    Readiness: 200 only while the daemon accepts new work; 503 with the
+    blocking reasons while draining, before the executor is warm, or
+    with admitted memory at the ceiling.  Load balancers watch this one.
+``GET /debug/vars``
+    The full structured counter snapshot as JSON (an expvar-style dump).
+``GET /debug/slowlog``
+    The bounded worst-N slow-request log as JSON.
+
+The sidecar is deliberately read-only — nothing it serves mutates the
+daemon — and it stays up *through* the drain so operators can watch a
+shutdown happen; the daemon closes it at the very end of
+:meth:`~repro.server.daemon.ReproServer.shutdown`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro import __version__
+from repro.server.protocol import PROTOCOL_VERSION
+
+__all__ = ["HttpSidecar"]
+
+#: Cap on the request line + headers; telemetry GETs are tiny, and the
+#: sidecar must not buffer garbage without limit any more than the RPC
+#: listener does.
+_MAX_HEAD_BYTES = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+_JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+
+class HttpSidecar:
+    """One telemetry listener bound next to a :class:`ReproServer`.
+
+    The ``server`` argument is duck-typed (anything with ``metrics``,
+    ``slowlog``, ``readiness()`` and ``endpoint``), which keeps this
+    module import-light and lets tests drive it with a stub daemon.
+    """
+
+    def __init__(self, server: Any, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = server
+        self._host = host
+        self._port = port
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._bound_port: Optional[int] = None
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._listener = await asyncio.start_server(
+            self._on_connection,
+            host=self._host,
+            port=self._port,
+            limit=_MAX_HEAD_BYTES,
+        )
+        self._bound_port = self._listener.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    async def close(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+
+    @property
+    def port(self) -> Optional[int]:
+        return self._bound_port
+
+    @property
+    def endpoint(self) -> str:
+        return f"http://{self._host}:{self._bound_port}"
+
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, content_type, body = await self._respond(reader)
+            payload = body.encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+        except (ConnectionError, OSError, asyncio.LimitOverrunError, ValueError):
+            pass  # scraper gone or sent garbage; nothing to salvage
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, str, str]:
+        request_line = await reader.readline()
+        parts = request_line.decode("ascii", errors="replace").split()
+        if len(parts) < 2:
+            return 400, _JSON_CONTENT_TYPE, _json_body({"error": "bad request line"})
+        method, path = parts[0], parts[1]
+        # Drain (and ignore) the headers so keep-alive clients that send
+        # a full request are not answered mid-stream.
+        consumed = len(request_line)
+        while True:
+            line = await reader.readline()
+            consumed += len(line)
+            if line in (b"\r\n", b"\n", b"") or consumed > _MAX_HEAD_BYTES:
+                break
+        if method.upper() != "GET":
+            return (
+                405,
+                _JSON_CONTENT_TYPE,
+                _json_body({"error": f"method {method} not allowed"}),
+            )
+        path = path.split("?", 1)[0]
+        return self._route(path)
+
+    # ------------------------------------------------------------------
+    def _route(self, path: str) -> Tuple[int, str, str]:
+        if path == "/metrics":
+            return 200, _PROMETHEUS_CONTENT_TYPE, self._server.metrics.prometheus_text()
+        if path == "/healthz":
+            return 200, _JSON_CONTENT_TYPE, _json_body(self._health())
+        if path == "/readyz":
+            ready, reasons = self._server.readiness()
+            body = {"ready": ready, "reasons": reasons}
+            return (200 if ready else 503), _JSON_CONTENT_TYPE, _json_body(body)
+        if path == "/debug/vars":
+            return 200, _JSON_CONTENT_TYPE, _json_body(self._debug_vars())
+        if path == "/debug/slowlog":
+            slowlog = self._server.slowlog
+            body = {
+                "capacity": slowlog.capacity,
+                "threshold_s": slowlog.threshold_s(),
+                "entries": slowlog.entries(),
+            }
+            return 200, _JSON_CONTENT_TYPE, _json_body(body)
+        return 404, _JSON_CONTENT_TYPE, _json_body({"error": f"no route {path}"})
+
+    def _health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "pid": os.getpid(),
+            "version": __version__,
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "endpoint": self._server.endpoint,
+            "draining": bool(getattr(self._server, "draining", False)),
+        }
+
+    def _debug_vars(self) -> Dict[str, Any]:
+        server = self._server
+        body: Dict[str, Any] = {
+            "health": self._health(),
+            "counters": server.metrics.snapshot(),
+        }
+        admission = getattr(server, "admission", None)
+        if admission is not None:
+            body["admission"] = admission.snapshot()
+        queue = getattr(server, "queue", None)
+        if queue is not None:
+            body["queue_depths"] = queue.depths()
+        coalescer = getattr(server, "coalescer", None)
+        if coalescer is not None:
+            body["coalesce_inflight"] = len(coalescer)
+        return body
+
+
+def _json_body(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, default=str) + "\n"

@@ -1,13 +1,15 @@
-"""Server-level counters and their Prometheus text snapshot.
+"""Server-level counters, latency histograms, and their Prometheus text.
 
 The per-request :class:`~repro.obs.RunReport` instrumentation already
-exists; this module adds the *daemon's* own operational counters —
+exists; this module adds the *daemon's* own operational telemetry —
 requests by method and outcome, typed errors by code, shed load,
-coalesce hits, queue depth, per-tenant spend — and renders them in the
-Prometheus text-exposition format the repo's existing validator
-(:func:`repro.obs.validate_prometheus_text`) accepts, so the ``metrics``
-method doubles as a ``/metrics`` scrape target via
-``mrmc-impulse client … metrics``.
+coalesce hits, queue depth, per-tenant spend, and fixed-bucket latency
+histograms for the three stages of a request's life (queue wait,
+engine execution, end-to-end total).  Everything renders through the
+shared :class:`repro.obs.ExpositionBuilder`, so the ``metrics`` method
+and the HTTP sidecar's ``/metrics`` both produce text the repo's own
+:func:`repro.obs.validate_prometheus_text` accepts — histogram
+structure included.
 
 All mutators are thread-safe: the scheduler updates from the event-loop
 thread, execution wall-clock spend from worker threads.
@@ -15,17 +17,78 @@ thread, execution wall-clock spend from worker threads.
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
-__all__ = ["ServerMetrics"]
+from repro import __version__
+from repro.obs.export import ExpositionBuilder
+from repro.server.protocol import PROTOCOL_VERSION
+
+__all__ = ["LATENCY_BUCKETS", "ServerMetrics"]
+
+#: Fixed upper bucket edges (seconds) shared by every latency histogram.
+#: Fixed buckets keep scrapes joinable across daemons and restarts; the
+#: spread covers sub-millisecond cache hits through multi-second
+#: numerical runs, with an implicit ``+Inf`` overflow bucket on top.
+LATENCY_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+#: (metric suffix, help text) for each request stage we histogram.
+_LATENCY_STAGES = (
+    ("queue_wait_seconds", "Seconds a request waited in the fair queue."),
+    ("execution_seconds", "Engine wall-clock seconds of one execution."),
+    ("request_seconds", "End-to-end seconds from frame to response."),
+)
+
+
+class _Histogram:
+    """One labelled latency series: per-bucket counts plus a sum.
+
+    Counts are *non-cumulative* (one slot per finite edge plus the
+    overflow slot); :meth:`ExpositionBuilder.histogram` derives the
+    cumulative ``_bucket`` samples at render time.
+    """
+
+    __slots__ = ("counts", "sum")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(LATENCY_BUCKETS) + 1)
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(LATENCY_BUCKETS, value)] += 1
+        self.sum += value
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
 
 
 class ServerMetrics:
-    """Lock-protected operational counters of one daemon."""
+    """Lock-protected operational counters of one daemon.
 
-    def __init__(self) -> None:
+    ``latency_histograms=False`` disables the stage histograms entirely
+    (``observe_request`` becomes a no-op) — the overhead benchmark's
+    baseline leg runs the daemon that way to price the instrumentation.
+    """
+
+    def __init__(self, latency_histograms: bool = True) -> None:
         self._lock = threading.Lock()
         self._started = time.monotonic()
         self._requests: Dict[tuple, int] = {}  # (method, outcome) -> count
@@ -37,6 +100,11 @@ class ServerMetrics:
         self._coalesce_hits = 0
         self._connections = 0
         self._malformed_frames = 0
+        self.latency_histograms = bool(latency_histograms)
+        # stage suffix -> (method, outcome) -> _Histogram
+        self._latency: Dict[str, Dict[tuple, _Histogram]] = {
+            suffix: {} for suffix, _ in _LATENCY_STAGES
+        }
         # Gauge callbacks wired by the daemon (queue depth, active runs,
         # committed memory, coalesce state) so the snapshot always shows
         # live values without the metrics object owning those subsystems.
@@ -79,6 +147,39 @@ class ServerMetrics:
         with self._lock:
             self._malformed_frames += 1
 
+    def observe_request(
+        self,
+        method: str,
+        outcome: str,
+        *,
+        queue_wait_s: Optional[float] = None,
+        execution_s: Optional[float] = None,
+        total_s: Optional[float] = None,
+    ) -> None:
+        """Record one request's stage latencies into the histograms.
+
+        ``outcome`` is ``"ok"`` or a typed error code — both label sets
+        are bounded, so histogram cardinality stays method × code.
+        Stages a request never reached (a shed request has no execution
+        leg) are simply omitted by passing ``None``.
+        """
+        if not self.latency_histograms:
+            return
+        key = (method, outcome)
+        with self._lock:
+            for suffix, value in (
+                ("queue_wait_seconds", queue_wait_s),
+                ("execution_seconds", execution_s),
+                ("request_seconds", total_s),
+            ):
+                if value is None:
+                    continue
+                series = self._latency[suffix]
+                hist = series.get(key)
+                if hist is None:
+                    hist = series[key] = _Histogram()
+                hist.observe(max(0.0, float(value)))
+
     # ------------------------------------------------------------------
     @property
     def shed_total(self) -> int:
@@ -99,8 +200,22 @@ class ServerMetrics:
         """Structured counters for the JSON half of the metrics method."""
         with self._lock:
             gauges = {name: float(read()) for name, read in self._gauges.items()}
+            latency = {
+                suffix: {
+                    f"{method}:{outcome}": {
+                        "count": hist.count,
+                        "sum": hist.sum,
+                    }
+                    for (method, outcome), hist in sorted(series.items())
+                }
+                for suffix, series in self._latency.items()
+            }
             return {
                 "uptime_seconds": time.monotonic() - self._started,
+                "build": {
+                    "version": __version__,
+                    "protocol": PROTOCOL_VERSION,
+                },
                 "requests": {
                     f"{method}:{outcome}": count
                     for (method, outcome), count in sorted(self._requests.items())
@@ -113,32 +228,40 @@ class ServerMetrics:
                 "malformed_frames_total": self._malformed_frames,
                 "tenant_spend_seconds": dict(sorted(self._tenant_spend_s.items())),
                 "tenant_requests": dict(sorted(self._tenant_requests.items())),
+                "latency_seconds": latency,
                 "gauges": gauges,
+            }
+
+    def _latency_render_state(self) -> Dict[str, List[tuple]]:
+        """Consistent copies of the histogram series, for rendering."""
+        with self._lock:
+            return {
+                suffix: [
+                    (method, outcome, list(hist.counts), hist.sum)
+                    for (method, outcome), hist in sorted(series.items())
+                ]
+                for suffix, series in self._latency.items()
             }
 
     # ------------------------------------------------------------------
     def prometheus_text(self) -> str:
         """The counters as a Prometheus text-exposition snapshot."""
         snap = self.snapshot()
-        lines: List[str] = []
+        latency = self._latency_render_state()
+        builder = ExpositionBuilder()
+        family = builder.family
+        sample = builder.sample
 
-        def family(name: str, kind: str, help_text: str) -> None:
-            lines.append(f"# HELP {name} {help_text}")
-            lines.append(f"# TYPE {name} {kind}")
-
-        def sample(
-            name: str, labels: Optional[Dict[str, str]], value: float
-        ) -> None:
-            if labels:
-                rendered = ",".join(
-                    '{}="{}"'.format(
-                        k, str(v).replace("\\", r"\\").replace('"', r"\"")
-                    )
-                    for k, v in labels.items()
-                )
-                lines.append(f"{name}{{{rendered}}} {float(value):g}")
-            else:
-                lines.append(f"{name} {float(value):g}")
+        family(
+            "repro_server_build_info",
+            "gauge",
+            "Constant 1, labelled with the server build and protocol.",
+        )
+        sample(
+            "repro_server_build_info",
+            {"version": snap["build"]["version"], "protocol": snap["build"]["protocol"]},
+            1,
+        )
 
         family(
             "repro_server_uptime_seconds", "gauge", "Seconds since daemon start."
@@ -223,9 +346,22 @@ class ServerMetrics:
         for tenant, count in snap["tenant_requests"].items():
             sample("repro_server_tenant_requests_total", {"tenant": tenant}, count)
 
+        if self.latency_histograms:
+            for suffix, help_text in _LATENCY_STAGES:
+                metric = f"repro_server_{suffix}"
+                family(metric, "histogram", help_text)
+                for method, outcome, counts, sum_value in latency[suffix]:
+                    builder.histogram(
+                        metric,
+                        {"method": method, "outcome": outcome},
+                        LATENCY_BUCKETS,
+                        counts,
+                        sum_value,
+                    )
+
         for name, value in sorted(snap["gauges"].items()):
             metric = f"repro_server_{name}"
             family(metric, "gauge", f"Live server gauge {name}.")
             sample(metric, None, value)
 
-        return "\n".join(lines) + "\n"
+        return builder.text()

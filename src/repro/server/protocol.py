@@ -20,8 +20,16 @@ Methods
     Liveness probe; returns the protocol version and server pid.
 ``metrics``
     Returns the Prometheus text snapshot plus a structured counter dict.
+``slowlog``
+    Returns the daemon's bounded worst-N slow-request log.
 ``shutdown``
     Asks the daemon to drain and exit (when the server allows it).
+
+Besides the client-chosen ``id``, every response carries a
+server-minted ``request_id`` — the correlation token that also appears
+in the daemon's structured log lines and on every span attribute of the
+run's trace, so one slow or failing request can be chased across the
+wire, the logs and an exported Chrome trace.
 
 Error taxonomy
 --------------
@@ -82,7 +90,7 @@ PROTOCOL_VERSION = "repro.server/1"
 #: daemon buffer without limit.
 MAX_FRAME_BYTES = 4 * 1024 * 1024
 
-METHODS = ("check", "ping", "metrics", "shutdown")
+METHODS = ("check", "ping", "metrics", "slowlog", "shutdown")
 
 ERROR_CODES = (
     "invalid-request",
@@ -187,12 +195,30 @@ def validate_request(obj: Mapping[str, Any]) -> Tuple[Any, str, Dict[str, Any]]:
     return request_id, method, params
 
 
-def ok_response(request_id: Any, result: Mapping[str, Any]) -> Dict[str, Any]:
-    return {"id": request_id, "ok": True, "result": dict(result)}
+def ok_response(
+    request_id: Any,
+    result: Mapping[str, Any],
+    server_request_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    frame: Dict[str, Any] = {"id": request_id, "ok": True, "result": dict(result)}
+    if server_request_id is not None:
+        frame["request_id"] = server_request_id
+    return frame
 
 
-def error_response(request_id: Any, error: ServerError) -> Dict[str, Any]:
-    return {"id": request_id, "ok": False, "error": error.payload()}
+def error_response(
+    request_id: Any,
+    error: ServerError,
+    server_request_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    frame: Dict[str, Any] = {
+        "id": request_id,
+        "ok": False,
+        "error": error.payload(),
+    }
+    if server_request_id is not None:
+        frame["request_id"] = server_request_id
+    return frame
 
 
 # ----------------------------------------------------------------------

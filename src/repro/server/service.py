@@ -379,9 +379,16 @@ class CheckerService:
     # execution (worker-thread side)
     # ------------------------------------------------------------------
     def execute(
-        self, spec: RequestSpec, guard: Optional[RequestGuard] = None
+        self,
+        spec: RequestSpec,
+        guard: Optional[RequestGuard] = None,
+        request_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Run one admitted request; returns the JSON result body.
+
+        ``request_id`` is the daemon-minted correlation id: it becomes
+        the run collector's id (so every span of the trace carries it)
+        and is echoed in the result body.
 
         Raises whatever the front end or engines raise — the daemon maps
         every exception to a typed error response via
@@ -394,7 +401,7 @@ class CheckerService:
         if before is not None:
             before(spec)
         with lock:
-            result = checker.check(formula, guard=guard)
+            result = checker.check(formula, guard=guard, request_id=request_id)
         body: Dict[str, Any] = {
             "formula": result.formula,
             "states": sorted(int(s) for s in result.states),
@@ -406,6 +413,8 @@ class CheckerService:
             "trust": result.trust,
             "model_fingerprint": entry.mrm.fingerprint(),
         }
+        if request_id is not None:
+            body["request_id"] = request_id
         report = result.report
         if report is not None:
             body["wall_seconds"] = report.wall_seconds

@@ -1,0 +1,146 @@
+"""Tests for repro.obs.logging: StructuredLogger and SlowLog."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs import LOG_LEVELS, SlowLog, StructuredLogger
+
+
+class TestStructuredLogger:
+    def test_json_format_one_object_per_line(self):
+        stream = io.StringIO()
+        log = StructuredLogger(stream=stream, fmt="json", level="info")
+        log.info("request.completed", request_id="abc123", duration_s=0.25)
+        log.warning("request.shed", tenant="bulk")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "request.completed"
+        assert first["level"] == "info"
+        assert first["request_id"] == "abc123"
+        assert first["duration_s"] == 0.25
+        assert first["ts"].endswith("Z")
+        assert json.loads(lines[1])["level"] == "warning"
+
+    def test_text_format_key_value_line(self):
+        stream = io.StringIO()
+        log = StructuredLogger(stream=stream, fmt="text", level="debug")
+        log.debug("cache.hit", key="a b", count=3)
+        line = stream.getvalue().strip()
+        assert " DEBUG " in line
+        assert "cache.hit" in line
+        assert 'key="a b"' in line  # spaces force quoting
+        assert "count=3" in line
+
+    def test_level_threshold_drops_records(self):
+        stream = io.StringIO()
+        log = StructuredLogger(stream=stream, fmt="json", level="warning")
+        log.debug("nope")
+        log.info("nope")
+        log.warning("yes")
+        log.error("yes")
+        events = [json.loads(l)["level"] for l in stream.getvalue().splitlines()]
+        assert events == ["warning", "error"]
+        assert not log.enabled_for("info")
+        assert log.enabled_for("error")
+
+    def test_off_level_disables_everything(self):
+        stream = io.StringIO()
+        log = StructuredLogger(stream=stream, fmt="json", level="off")
+        for level in ("debug", "info", "warning", "error"):
+            log.log(level, "nope")
+        assert stream.getvalue() == ""
+
+    def test_none_fields_are_dropped(self):
+        stream = io.StringIO()
+        log = StructuredLogger(stream=stream, fmt="json", level="info")
+        log.info("event", present=1, absent=None)
+        record = json.loads(stream.getvalue())
+        assert "present" in record and "absent" not in record
+
+    def test_invalid_format_and_level_raise(self):
+        with pytest.raises(ValueError):
+            StructuredLogger(fmt="xml")
+        with pytest.raises(ValueError):
+            StructuredLogger(level="loud")
+
+    def test_dead_stream_never_raises(self):
+        stream = io.StringIO()
+        log = StructuredLogger(stream=stream, fmt="json", level="info")
+        stream.close()
+        log.info("event")  # must not raise
+
+    def test_concurrent_writers_never_shear_lines(self):
+        stream = io.StringIO()
+        log = StructuredLogger(stream=stream, fmt="json", level="info")
+
+        def spam(tag):
+            for i in range(200):
+                log.info("tick", tag=tag, i=i)
+
+        threads = [
+            threading.Thread(target=spam, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 800
+        for line in lines:
+            json.loads(line)  # every line is a complete record
+
+    def test_levels_are_ordered(self):
+        assert (
+            LOG_LEVELS["debug"]
+            < LOG_LEVELS["info"]
+            < LOG_LEVELS["warning"]
+            < LOG_LEVELS["error"]
+            < LOG_LEVELS["off"]
+        )
+
+
+class TestSlowLog:
+    def test_retains_worst_n_by_duration(self):
+        slowlog = SlowLog(capacity=3)
+        for duration in (0.1, 0.5, 0.2, 0.9, 0.05, 0.3):
+            slowlog.record(duration, {"d": duration})
+        entries = slowlog.entries()
+        assert [e["duration_s"] for e in entries] == [0.9, 0.5, 0.3]
+        assert len(slowlog) == 3
+
+    def test_record_reports_retention(self):
+        slowlog = SlowLog(capacity=2)
+        assert slowlog.record(0.5, {}) is True
+        assert slowlog.record(0.7, {}) is True
+        assert slowlog.record(0.1, {}) is False  # below the floor
+        assert slowlog.record(0.6, {}) is True  # evicts 0.5
+
+    def test_threshold_none_until_full(self):
+        slowlog = SlowLog(capacity=2)
+        assert slowlog.threshold_s() is None
+        slowlog.record(0.5, {})
+        assert slowlog.threshold_s() is None
+        slowlog.record(0.2, {})
+        assert slowlog.threshold_s() == 0.2
+
+    def test_entries_are_copies(self):
+        slowlog = SlowLog(capacity=1)
+        slowlog.record(1.0, {"request_id": "abc"})
+        slowlog.entries()[0]["request_id"] = "mutated"
+        assert slowlog.entries()[0]["request_id"] == "abc"
+
+    def test_equal_durations_never_compare_entries(self):
+        slowlog = SlowLog(capacity=4)
+        # Dicts are not orderable; identical durations must not reach
+        # a dict-vs-dict comparison inside the heap.
+        for _ in range(8):
+            slowlog.record(0.5, {"payload": object()})
+        assert len(slowlog) == 4
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SlowLog(capacity=0)

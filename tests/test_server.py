@@ -237,10 +237,19 @@ class TestCoalescing:
         assert len(calls) == 1  # exactly one engine invocation
         assert server.coalescer.hits == n - 1
         assert server.metrics.coalesce_hits_total == n - 1
-        flags = sorted(body.pop("coalesced") for body in bodies)
-        assert flags == [False] + [True] * (n - 1)
-        for body in bodies[1:]:
-            assert body == bodies[0]
+        flags = [body.pop("coalesced") for body in bodies]
+        assert sorted(flags) == [False] + [True] * (n - 1)
+        # Every waiter keeps its own request id; followers also carry
+        # the leader's id (the one on the shared run's spans).  Beyond
+        # the correlation fields the answers are identical.
+        rids = [body.pop("request_id") for body in bodies]
+        assert len(set(rids)) == n
+        leader = flags.index(False)
+        for index, body in enumerate(bodies):
+            if index == leader:
+                continue
+            assert body.pop("run_request_id") == rids[leader]
+            assert body == bodies[leader]
 
     def test_different_formulas_do_not_coalesce(self, server_factory):
         server, sock = server_factory()
@@ -421,6 +430,62 @@ class TestMetrics:
         assert result["admission"]["committed_bytes"] == 0
         assert result["cached_models"] == 1
         assert result["cached_checkers"] == 1
+
+    def test_latency_histograms_in_scrape(self, server_factory):
+        server, sock = server_factory()
+        with ServerClient(socket_path=sock) as client:
+            client.check({"source": TMR_SOURCE}, FORMULA)
+            client.ping()
+            text = client.metrics()["prometheus"]
+        validate_prometheus_text(text)
+        # One check ran: its stage histograms each count exactly one
+        # observation, and the +Inf bucket equals _count (the validator
+        # enforces monotonicity and the +Inf invariant family-wide).
+        for stage in ("queue_wait", "execution", "request"):
+            assert f"# TYPE repro_server_{stage}_seconds histogram" in text
+            assert (
+                f'repro_server_{stage}_seconds_bucket'
+                f'{{method="check",outcome="ok",le="+Inf"}} 1' in text
+            )
+            assert (
+                f'repro_server_{stage}_seconds_count'
+                f'{{method="check",outcome="ok"}} 1' in text
+            )
+        # Non-check methods get end-to-end totals only.
+        assert 'repro_server_request_seconds_count{method="ping",outcome="ok"}' in text
+        assert 'repro_server_execution_seconds_count{method="ping"' not in text
+
+    def test_build_info_in_scrape(self, server_factory):
+        import repro
+
+        _, sock = server_factory()
+        with ServerClient(socket_path=sock) as client:
+            text = client.metrics()["prometheus"]
+        assert (
+            f'repro_server_build_info{{version="{repro.__version__}",'
+            'protocol="repro.server/1"} 1' in text
+        )
+
+    def test_hostile_tenant_label_is_escaped(self, server_factory):
+        """Backslashes, quotes and newlines in a tenant name must render
+        as valid Prometheus label escapes, not corrupt the exposition."""
+        server, sock = server_factory()
+        hostile = 'ten"ant\\with\nnewline'
+        with ServerClient(socket_path=sock) as client:
+            client.check({"source": TMR_SOURCE}, FORMULA, tenant=hostile)
+            text = client.metrics()["prometheus"]
+        validate_prometheus_text(text)
+        assert r'tenant="ten\"ant\\with\nnewline"' in text
+
+    def test_histograms_can_be_disabled(self):
+        from repro.server import ServerMetrics
+
+        metrics = ServerMetrics(latency_histograms=False)
+        metrics.observe_request("check", "ok", total_s=0.5)
+        text = metrics.prometheus_text()
+        validate_prometheus_text(text)
+        assert "repro_server_request_seconds" not in text
+        assert metrics.snapshot()["latency_seconds"]["request_seconds"] == {}
 
     def test_warm_checks_reuse_engine_state(self, server_factory):
         """The daemon's raison d'être: request N+1 is served from warm

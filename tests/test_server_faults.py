@@ -306,6 +306,104 @@ class TestSigtermDrain:
                 proc.kill()
                 proc.wait(timeout=10.0)
 
+    def test_sigterm_drain_flips_readyz_while_healthz_stays_up(self, tmp_path):
+        """Readiness transitions across a daemon's life: 200 fresh,
+        503 (draining) after SIGTERM while liveness stays 200, and the
+        drained response still delivered."""
+        import json as json_module
+        import urllib.error
+        import urllib.request
+
+        sock = str(tmp_path / "ready.sock")
+        repo_root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli.main",
+                "serve",
+                "--socket",
+                sock,
+                "--model-root",
+                str(TMR_PATH.parent),
+                "--drain-timeout",
+                "20",
+                "--http",
+                "127.0.0.1:0",
+                "--log-format",
+                "json",
+            ],
+            cwd=str(repo_root),
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+
+        def probe(url):
+            try:
+                with urllib.request.urlopen(url, timeout=5.0) as resp:
+                    return resp.status, resp.read().decode()
+            except urllib.error.HTTPError as error:
+                return error.code, error.read().decode()
+
+        try:
+            ready_line = _read_ready_line(proc)
+            assert "telemetry http://" in ready_line
+            http = ready_line.split("telemetry ")[1].rstrip(")\n")
+            # Fresh daemon: live and ready.
+            assert probe(http + "/healthz")[0] == 200
+            status, body = probe(http + "/readyz")
+            assert status == 200 and json_module.loads(body)["ready"] is True
+
+            client = ServerClient(socket_path=sock, timeout=30.0)
+            client.send("check", {
+                "model": {"path": "tmr.mrm"},
+                "formula": "table_5_3",
+            })
+            time.sleep(0.05)
+            proc.send_signal(signal.SIGTERM)
+            # While the in-flight request pins the drain open, /readyz
+            # answers 503 naming the reason and /healthz stays 200; the
+            # sidecar only disappears with the process itself.
+            saw_503 = False
+            while True:
+                try:
+                    status, body = probe(http + "/readyz")
+                except (ConnectionError, OSError):
+                    break
+                if status == 503:
+                    if not saw_503:
+                        assert "draining" in json_module.loads(body)["reasons"]
+                        health_status, health_body = probe(http + "/healthz")
+                        assert health_status == 200
+                        assert json_module.loads(health_body)["draining"] is True
+                    saw_503 = True
+                else:
+                    # The signal handler may not have run yet, but once
+                    # draining starts readiness never flips back.
+                    assert not saw_503
+                time.sleep(0.01)
+            assert saw_503
+            body = client.receive()  # drained, not dropped
+            assert body["trust"] == "exact"
+            client.close()
+            assert proc.wait(timeout=30.0) == 0
+            # The JSON request log reached stderr with the same
+            # request_id the response envelope carried.
+            completed = [
+                json_module.loads(line)
+                for line in proc.stdout.read().splitlines()
+                if line.startswith("{") and '"request.completed"' in line
+            ]
+            assert any(r["outcome"] == "ok" for r in completed)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+
     def test_sigterm_on_idle_daemon_exits_zero(self, tmp_path):
         sock = str(tmp_path / "idle.sock")
         repo_root = Path(__file__).resolve().parent.parent

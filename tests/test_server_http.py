@@ -1,0 +1,360 @@
+"""Tests for the HTTP telemetry sidecar and request-id correlation.
+
+The sidecar (repro.server.http) is the fleet-facing surface: a stock
+Prometheus scrapes /metrics, a load balancer watches /readyz, operators
+read /debug/*.  These tests drive it over real HTTP against in-process
+daemons, and close the correlation loop the observability layer
+promises: one request_id on the response envelope, in the structured
+log, in the slow log, and on every span of the exported Chrome trace.
+"""
+
+import asyncio
+import io
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.obs import chrome_trace, validate_prometheus_text
+from repro.server import ServerClient, ServerConfig
+from repro.server.daemon import ReproServer
+
+TMR_PATH = Path(__file__).resolve().parent.parent / "examples" / "models" / "tmr.mrm"
+TMR_SOURCE = TMR_PATH.read_text(encoding="utf-8")
+FORMULA = "P(>0.1) [Sup U[0,2][0,30] failed]"
+
+
+@pytest.fixture
+def http_server_factory(tmp_path):
+    """In-process daemons with the HTTP sidecar bound on an ephemeral port."""
+    started = []
+
+    def start(**config_kwargs):
+        sock = str(tmp_path / f"srv{len(started)}.sock")
+        log_stream = io.StringIO()
+        config_kwargs.setdefault("model_root", str(TMR_PATH.parent))
+        config_kwargs.setdefault("drain_timeout_s", 10.0)
+        config_kwargs.setdefault("http_host", "127.0.0.1")
+        config_kwargs.setdefault("log_format", "json")
+        config_kwargs.setdefault("log_level", "debug")
+        config_kwargs.setdefault("log_stream", log_stream)
+        config = ServerConfig(socket_path=sock, **config_kwargs)
+        server = ReproServer(config)
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+
+            async def main():
+                await server.start()
+                ready.set()
+                await server._stopped.wait()
+
+            loop.run_until_complete(main())
+            loop.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(10.0), "daemon failed to start"
+        started.append((server, loop, thread))
+        return server, sock, loop, log_stream
+
+    yield start
+    for server, loop, thread in started:
+        if not server._stopped.is_set():
+            future = asyncio.run_coroutine_threadsafe(
+                server.shutdown(drain=False), loop
+            )
+            try:
+                future.result(timeout=15.0)
+            except Exception:
+                pass
+        thread.join(timeout=15.0)
+
+
+def _get(server, path, timeout=10.0):
+    """(status, content_type, body) from the sidecar; never raises on 4xx/5xx."""
+    url = f"http://127.0.0.1:{server.http.port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, resp.headers.get("Content-Type"), resp.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers.get("Content-Type"), error.read().decode()
+
+
+def _wait_for(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestRoutes:
+    def test_metrics_scrape_is_valid_prometheus(self, http_server_factory):
+        server, sock, _, _ = http_server_factory()
+        with ServerClient(socket_path=sock) as client:
+            client.check({"source": TMR_SOURCE}, FORMULA)
+        status, content_type, body = _get(server, "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        validate_prometheus_text(body)
+        # The histogram families are present with the full contract the
+        # validator enforces: cumulative buckets, +Inf == _count.
+        assert "# TYPE repro_server_request_seconds histogram" in body
+        assert 'repro_server_request_seconds_bucket{method="check",outcome="ok",le="+Inf"} 1' in body
+        assert 'repro_server_request_seconds_count{method="check",outcome="ok"} 1' in body
+        assert "# TYPE repro_server_queue_wait_seconds histogram" in body
+        assert "# TYPE repro_server_execution_seconds histogram" in body
+
+    def test_build_info_gauge(self, http_server_factory):
+        import repro
+        from repro.server import PROTOCOL_VERSION
+
+        server, _, _, _ = http_server_factory()
+        _, _, body = _get(server, "/metrics")
+        assert (
+            f'repro_server_build_info{{version="{repro.__version__}",'
+            f'protocol="{PROTOCOL_VERSION}"}} 1' in body
+        )
+
+    def test_healthz_carries_uptime_and_identity(self, http_server_factory):
+        server, _, _, _ = http_server_factory()
+        status, content_type, body = _get(server, "/healthz")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["uptime_seconds"] >= 0.0
+        assert health["protocol"] == "repro.server/1"
+        assert health["draining"] is False
+
+    def test_readyz_ok_on_fresh_daemon(self, http_server_factory):
+        server, _, _, _ = http_server_factory()
+        status, _, body = _get(server, "/readyz")
+        assert status == 200
+        assert json.loads(body) == {"ready": True, "reasons": []}
+
+    def test_debug_vars_snapshot(self, http_server_factory):
+        server, sock, _, _ = http_server_factory()
+        with ServerClient(socket_path=sock) as client:
+            client.ping()
+        status, _, body = _get(server, "/debug/vars")
+        assert status == 200
+        vars_ = json.loads(body)
+        assert vars_["counters"]["requests"]["ping:ok"] == 1
+        assert vars_["counters"]["build"]["version"]
+        assert "admission" in vars_ and "queue_depths" in vars_
+
+    def test_debug_slowlog(self, http_server_factory):
+        server, sock, _, _ = http_server_factory()
+        with ServerClient(socket_path=sock) as client:
+            body = client.check({"source": TMR_SOURCE}, FORMULA)
+        status, _, raw = _get(server, "/debug/slowlog")
+        assert status == 200
+        slowlog = json.loads(raw)
+        entries = slowlog["entries"]
+        assert len(entries) == 1
+        assert entries[0]["request_id"] == body["request_id"]
+        assert entries[0]["outcome"] == "ok"
+        assert entries[0]["duration_s"] > 0
+        assert "error_budget" in entries[0]
+
+    def test_unknown_route_404(self, http_server_factory):
+        server, _, _, _ = http_server_factory()
+        status, _, body = _get(server, "/nope")
+        assert status == 404
+        assert "no route" in json.loads(body)["error"]
+
+    def test_non_get_405(self, http_server_factory):
+        server, _, _, _ = http_server_factory()
+        url = f"http://127.0.0.1:{server.http.port}/metrics"
+        request = urllib.request.Request(url, data=b"{}", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert excinfo.value.code == 405
+
+    def test_garbage_request_does_not_kill_sidecar(self, http_server_factory):
+        import socket as socket_module
+
+        server, _, _, _ = http_server_factory()
+        with socket_module.create_connection(
+            ("127.0.0.1", server.http.port), timeout=5.0
+        ) as raw:
+            raw.sendall(b"\x00\x01\x02 not http\r\n\r\n")
+            raw.recv(4096)
+        status, _, _ = _get(server, "/healthz")
+        assert status == 200
+
+
+class TestReadinessTransitions:
+    def test_readyz_503_while_draining_healthz_stays_200(
+        self, http_server_factory
+    ):
+        server, sock, loop, _ = http_server_factory(max_concurrent=1)
+        release = threading.Event()
+        server.service.before_execute = lambda spec: release.wait(30.0)
+        try:
+            with ServerClient(socket_path=sock) as client:
+                client.send(
+                    "check",
+                    {"model": {"source": TMR_SOURCE}, "formula": FORMULA},
+                )
+                assert _wait_for(lambda: server._active == 1)
+                # Drain starts; the in-flight request pins it open.
+                asyncio.run_coroutine_threadsafe(server.shutdown(), loop)
+                assert _wait_for(lambda: server.draining)
+                status, _, body = _get(server, "/readyz")
+                assert status == 503
+                ready = json.loads(body)
+                assert ready["ready"] is False
+                assert "draining" in ready["reasons"]
+                status, _, body = _get(server, "/healthz")
+                assert status == 200
+                assert json.loads(body)["draining"] is True
+                release.set()
+                assert client.receive()["trust"] == "exact"
+        finally:
+            server.service.before_execute = None
+            release.set()
+        assert _wait_for(lambda: server._stopped.is_set())
+
+    def test_readyz_503_at_memory_ceiling(self, http_server_factory):
+        server, sock, _, _ = http_server_factory(
+            max_concurrent=1, mem_ceiling_bytes=64 << 20
+        )
+        release = threading.Event()
+        server.service.before_execute = lambda spec: release.wait(30.0)
+        try:
+            with ServerClient(socket_path=sock) as client:
+                client.send(
+                    "check",
+                    {
+                        "model": {"source": TMR_SOURCE},
+                        "formula": FORMULA,
+                        "options": {"mem_budget_bytes": 64 << 20},
+                    },
+                )
+                assert _wait_for(lambda: server._active == 1)
+                status, _, body = _get(server, "/readyz")
+                assert status == 503
+                assert "memory-ceiling" in json.loads(body)["reasons"]
+                release.set()
+                client.receive()
+        finally:
+            server.service.before_execute = None
+            release.set()
+        status, _, _ = _get(server, "/readyz")
+        assert status == 200
+
+
+class TestRequestIdCorrelation:
+    def test_one_id_across_envelope_log_spans_and_trace(
+        self, http_server_factory
+    ):
+        server, sock, _, log_stream = http_server_factory()
+        with ServerClient(socket_path=sock) as client:
+            request_id = client.send(
+                "check",
+                {
+                    "model": {"source": TMR_SOURCE},
+                    "formula": FORMULA,
+                    "include_report": True,
+                },
+            )
+            frame = json.loads(client._file.readline())
+        assert frame["id"] == request_id
+        rid = frame["request_id"]
+        assert isinstance(rid, str) and rid
+        body = frame["result"]
+        # ... in the result body,
+        assert body["request_id"] == rid
+        # ... on every span of the run's trace,
+        spans = body["report"]["trace"]
+        assert spans
+        assert all(
+            span["attributes"].get("request_id") == rid for span in spans
+        )
+        # ... in the exported Chrome trace's args,
+        trace = chrome_trace(body["report"])
+        complete = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert complete
+        assert all(e["args"]["request_id"] == rid for e in complete)
+        # ... and in the structured JSON log.
+        records = [
+            json.loads(line) for line in log_stream.getvalue().splitlines()
+        ]
+        completed = [
+            r
+            for r in records
+            if r["event"] == "request.completed" and r.get("request_id") == rid
+        ]
+        assert len(completed) == 1
+        assert completed[0]["method"] == "check"
+        assert completed[0]["outcome"] == "ok"
+        assert completed[0]["duration_s"] > 0
+
+    def test_pool_worker_spans_carry_the_request_id(
+        self, http_server_factory, monkeypatch
+    ):
+        from repro.check import pool
+
+        # Fan-out only engages on multi-core hosts; pin the count so the
+        # shard spans exist regardless of where the suite runs.
+        monkeypatch.setattr(pool, "_cpu_count", lambda: 8)
+        pool.reset_default_pool()
+        try:
+            server, sock, _, _ = http_server_factory()
+            with ServerClient(socket_path=sock) as client:
+                body = client.check(
+                    {"source": TMR_SOURCE},
+                    FORMULA,
+                    options={"workers": 2},
+                    include_report=True,
+                )
+        finally:
+            pool.reset_default_pool()
+        rid = body["request_id"]
+        shard_spans = [
+            s for s in body["report"]["trace"] if s["name"] == "pool.shard"
+        ]
+        assert shard_spans, "expected pool.shard spans from the fan-out"
+        assert all(
+            s["attributes"].get("request_id") == rid for s in shard_spans
+        )
+
+    def test_error_responses_carry_request_id_and_log(
+        self, http_server_factory
+    ):
+        server, sock, _, log_stream = http_server_factory()
+        with ServerClient(socket_path=sock) as client:
+            client.send(
+                "check",
+                {"model": {"source": TMR_SOURCE}, "formula": ")("},
+            )
+            frame = json.loads(client._file.readline())
+        assert frame["ok"] is False
+        rid = frame["request_id"]
+        assert rid
+        records = [
+            json.loads(line) for line in log_stream.getvalue().splitlines()
+        ]
+        failed = [r for r in records if r.get("request_id") == rid]
+        assert failed and failed[-1]["outcome"] == "parse-error"
+
+    def test_slowlog_method_over_rpc(self, http_server_factory):
+        server, sock, _, _ = http_server_factory()
+        with ServerClient(socket_path=sock) as client:
+            body = client.check({"source": TMR_SOURCE}, FORMULA)
+            slowlog = client.slowlog()
+        assert slowlog["capacity"] == 32
+        assert [e["request_id"] for e in slowlog["entries"]] == [
+            body["request_id"]
+        ]

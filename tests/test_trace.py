@@ -620,6 +620,93 @@ class TestPrometheusExport:
             validate_prometheus_text("# TYPE x flavour\nx 1\n")
 
 
+class TestHistogramExposition:
+    def render(self, counts, sum_value=1.5, bounds=(0.1, 1.0)):
+        from repro.obs import ExpositionBuilder
+
+        builder = ExpositionBuilder()
+        builder.family("h_seconds", "histogram", "A latency histogram.")
+        builder.histogram(
+            "h_seconds", {"method": "check"}, bounds, counts, sum_value
+        )
+        return builder.text()
+
+    def test_builder_emits_cumulative_buckets_and_inf(self):
+        text = self.render(counts=[2, 3, 1])
+        assert validate_prometheus_text(text) == 5
+        assert 'h_seconds_bucket{method="check",le="0.1"} 2' in text
+        assert 'h_seconds_bucket{method="check",le="1"} 5' in text
+        assert 'h_seconds_bucket{method="check",le="+Inf"} 6' in text
+        assert 'h_seconds_sum{method="check"} 1.5' in text
+        assert 'h_seconds_count{method="check"} 6' in text
+
+    def test_builder_rejects_count_shape_mismatch(self):
+        with pytest.raises(ValueError, match="bucket"):
+            self.render(counts=[2, 3])  # needs len(bounds) + 1 entries
+
+    def test_validator_rejects_non_monotonic_buckets(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 6\n'
+            "h_sum 1\n"
+            "h_count 6\n"
+        )
+        with pytest.raises(ValueError, match="below the previous"):
+            validate_prometheus_text(bad)
+
+    def test_validator_rejects_missing_inf_bucket(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 1\n'
+            "h_sum 1\n"
+            "h_count 1\n"
+        )
+        with pytest.raises(ValueError, match=r"missing its \+Inf"):
+            validate_prometheus_text(bad)
+
+    def test_validator_rejects_inf_count_mismatch(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 4\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            validate_prometheus_text(bad)
+
+    def test_validator_rejects_missing_sum_and_count(self):
+        with pytest.raises(ValueError, match="missing _sum"):
+            validate_prometheus_text(
+                "# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 1\nh_count 1\n'
+            )
+        with pytest.raises(ValueError, match="missing _count"):
+            validate_prometheus_text(
+                "# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 1\nh_sum 0.5\n'
+            )
+
+    def test_validator_rejects_bare_histogram_sample(self):
+        with pytest.raises(ValueError, match="bare sample"):
+            validate_prometheus_text("# TYPE h histogram\nh 1\n")
+
+    def test_declared_but_empty_histogram_family_is_legal(self):
+        text = "# TYPE h histogram\nother_metric 1\n"
+        assert validate_prometheus_text(text) == 1
+
+    def test_builder_escapes_label_values(self):
+        from repro.obs import ExpositionBuilder
+
+        builder = ExpositionBuilder()
+        builder.family("g", "gauge", "g.")
+        builder.sample("g", {"who": 'a"b\\c\nd'}, 1.0)
+        text = builder.text()
+        assert validate_prometheus_text(text) == 1
+        assert r'who="a\"b\\c\nd"' in text
+
+
 class TestDiffReports:
     def make(self, formula, wall, trust="exact"):
         return RunReport(formula=formula, wall_seconds=wall, trust=trust)
